@@ -1,0 +1,181 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * **A1 — rule back-end**: relational-algebra plan vs Datalog program vs a
+//!   SchedLang-compiled protocol, on identical scheduling rounds.
+//! * **A2 — trigger policy**: time vs fill-level vs hybrid triggers at a
+//!   fixed arrival pattern (how many rounds / how much rule work each incurs).
+//! * **A3 — batch size**: scheduler invocation granularity.
+//! * **A4 — protocol cost**: what each shipped protocol's rule costs to
+//!   evaluate on the same pending/history state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use declsched::{
+    DeclarativeScheduler, Protocol, ProtocolKind, Request, SchedulerConfig, SchedulingPolicy,
+    TriggerPolicy,
+};
+use rand_like::SplitMix;
+
+/// A tiny deterministic generator so the bench does not depend on `rand`
+/// (keeps bench inputs identical across runs and machines).
+mod rand_like {
+    /// SplitMix64 — enough randomness for spreading objects.
+    pub struct SplitMix(pub u64);
+    impl SplitMix {
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+fn scheduler_with_pending(
+    policy: impl Into<SchedulingPolicy>,
+    clients: usize,
+    objects: u64,
+) -> DeclarativeScheduler {
+    let mut scheduler = DeclarativeScheduler::new(
+        policy,
+        SchedulerConfig {
+            trigger: TriggerPolicy::Always,
+            prune_history: false,
+            enforce_intra_order: false,
+        },
+    );
+    let mut rng = SplitMix(7);
+    // History: half the clients hold a write lock somewhere.
+    let mut history = Vec::new();
+    for ta in 0..clients as u64 {
+        if ta % 2 == 0 {
+            history.push(Request::write(0, 1_000 + ta, 0, (rng.next() % objects) as i64));
+        }
+    }
+    scheduler.preload_history(&history).unwrap();
+    // Pending: one request per client.
+    for ta in 0..clients as u64 {
+        let object = (rng.next() % objects) as i64;
+        let request = if ta % 3 == 0 {
+            Request::write(0, ta + 1, 0, object)
+        } else {
+            Request::read(0, ta + 1, 0, object)
+        };
+        scheduler.submit(request, 0);
+    }
+    scheduler
+}
+
+fn ablation_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backend");
+    group.sample_size(10);
+    let clients = 200;
+    let schedlang_protocol = schedlang::compile_protocol(schedlang::stdlib::SS2PL).unwrap();
+    let variants: Vec<(&str, Protocol)> = vec![
+        ("algebra", Protocol::algebra(ProtocolKind::Ss2pl)),
+        ("datalog", Protocol::datalog(ProtocolKind::Ss2pl)),
+        ("schedlang", schedlang_protocol),
+    ];
+    for (label, protocol) in variants {
+        group.bench_function(BenchmarkId::new("ss2pl", label), |b| {
+            b.iter_batched(
+                || scheduler_with_pending(protocol.clone(), clients, 500),
+                |mut s| s.run_round(1).unwrap(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn ablation_trigger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_trigger");
+    group.sample_size(10);
+    let triggers = [
+        ("time_5ms", TriggerPolicy::TimeElapsed { interval_ms: 5 }),
+        ("fill_64", TriggerPolicy::FillLevel { threshold: 64 }),
+        (
+            "hybrid",
+            TriggerPolicy::Hybrid {
+                interval_ms: 5,
+                threshold: 64,
+            },
+        ),
+        ("always", TriggerPolicy::Always),
+    ];
+    for (label, trigger) in triggers {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut scheduler = DeclarativeScheduler::new(
+                    Protocol::algebra(ProtocolKind::Ss2pl),
+                    SchedulerConfig {
+                        trigger,
+                        ..SchedulerConfig::default()
+                    },
+                );
+                // 512 requests arriving over 64 virtual milliseconds.
+                let mut rng = SplitMix(3);
+                let mut scheduled = 0usize;
+                for i in 0..512u64 {
+                    let now = i / 8;
+                    scheduler.submit(Request::read(0, i + 1, 0, (rng.next() % 1000) as i64), now);
+                    if let Some(batch) = scheduler.tick(now).unwrap() {
+                        scheduled += batch.len();
+                    }
+                }
+                // Drain the tail.
+                while scheduler.pending() > 0 || scheduler.queued() > 0 {
+                    scheduled += scheduler.run_round(100).unwrap().len();
+                }
+                scheduled
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablation_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_batch_size");
+    group.sample_size(10);
+    for &batch in &[32usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || scheduler_with_pending(Protocol::algebra(ProtocolKind::Ss2pl), batch, 2_000),
+                |mut s| s.run_round(1).unwrap(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn ablation_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_protocols");
+    group.sample_size(10);
+    for &kind in ProtocolKind::all() {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut s =
+                        scheduler_with_pending(Protocol::algebra(kind), 200, 500);
+                    if kind == ProtocolKind::ConsistencyRationing {
+                        s.register_aux_relation(declsched::protocol::object_class_table(&[]));
+                    }
+                    s
+                },
+                |mut s| s.run_round(1).unwrap(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_backend,
+    ablation_trigger,
+    ablation_batch_size,
+    ablation_protocols
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the Figure 2 simulation: wall-clock cost of the
+//! multi-user native-scheduler simulation at increasing client counts (the
+//! virtual-time results themselves are printed by the `fig2_native_overhead`
+//! binary; this bench tracks that the simulator stays fast enough to sweep).
+
+use bench::{workload_spec, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkit::{run_multi_user, MultiUserConfig};
+
+fn bench_multi_user_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_multi_user_sim");
+    group.sample_size(10);
+    let config = MultiUserConfig::default();
+    for &clients in &[10usize, 50, 100] {
+        let spec = workload_spec(clients, Scale::quick());
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &spec, |b, spec| {
+            b.iter(|| run_multi_user(spec, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_user_sim);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the Section 4.3.2 experiment: the cost of one
+//! declarative SS2PL scheduling round as the number of concurrently active
+//! clients grows, on both rule back-ends.
+
+use bench::{sec43_scheduler, Backend, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_rule_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec43_rule_round");
+    group.sample_size(10);
+    for &clients in &[50usize, 150, 300, 500] {
+        for backend in [Backend::Algebra, Backend::Datalog] {
+            let label = match backend {
+                Backend::Algebra => "algebra",
+                Backend::Datalog => "datalog",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, clients),
+                &clients,
+                |b, &clients| {
+                    b.iter_batched(
+                        || sec43_scheduler(clients, backend, Scale::quick()).0,
+                        |mut scheduler| scheduler.run_round(2).expect("round cannot fail"),
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_round);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Reproduces the **Section 4.4** discussion: where does declarative
+//! scheduling become cheaper than the native lock-based scheduler?
+//!
+//! For every client count the native overhead (multi-user minus single-user
+//! time, per 240 s window — the paper's 46 s / 225 s numbers) is compared
+//! with the extrapolated total declarative scheduling overhead from the
+//! Section 4.3 methodology.
+//!
+//! Usage: `cargo run --release -p bench --bin crossover [--paper]`
+
+use bench::{crossover_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let client_counts = [50, 100, 200, 300, 400, 500, 600];
+
+    println!("# Section 4.4 — native vs declarative scheduling overhead (seconds per 240 s window)");
+    println!("clients,native_overhead_secs,declarative_overhead_secs,winner");
+    let rows = crossover_table(&client_counts, scale);
+    for r in &rows {
+        println!(
+            "{},{:.1},{:.1},{}",
+            r.clients, r.native_overhead_secs, r.declarative_overhead_secs, r.winner
+        );
+    }
+    println!();
+    if let Some(first_win) = rows.iter().find(|r| r.winner == "declarative") {
+        println!(
+            "# crossover: declarative scheduling wins from {} concurrent clients onwards",
+            first_win.clients
+        );
+    } else {
+        println!("# crossover: native scheduling won at every measured client count");
+    }
+    println!("# paper: native wins at 300 clients (46 s vs 1314 s), declarative wins at 500 clients (225 s vs 106 s)");
+}

@@ -1,0 +1,23 @@
+//! Reproduces **Figure 2**: ratio of multi-user to single-user execution time
+//! of the native lock-based scheduler, for a sweep of client counts.
+//!
+//! Usage: `cargo run --release -p bench --bin fig2_native_overhead [--paper]`
+
+use bench::{fig2_series, Scale};
+use simkit::Fig2Point;
+
+fn main() {
+    let scale = Scale::from_args();
+    let client_counts = [1, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600];
+
+    println!("# Figure 2 — native scheduler overhead (multi-user / single-user, %)");
+    println!("# workload: 20 SELECT + 20 UPDATE per txn, {} rows, uniform", {
+        bench::workload_spec(1, scale).table_rows
+    });
+    println!("{}", Fig2Point::csv_header());
+    for point in fig2_series(&client_counts, scale) {
+        println!("{}", point.to_csv());
+    }
+    println!();
+    println!("# paper reference points: 300 clients ≈ 124 %, 500 clients ≈ 1600 %");
+}

@@ -1,0 +1,34 @@
+//! Reproduces the **Section 4.2.2** operating points: committed statements in
+//! a 240 s multi-user window and the single-user replay time, at 300 and 500
+//! clients.
+//!
+//! Usage: `cargo run --release -p bench --bin sec42_throughput [--paper]`
+
+use bench::{sec42_rows, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Section 4.2.2 — native scheduler operating points");
+    println!("clients,committed_stmts_per_240s,su_seconds_for_that_schedule,mu_over_su_percent,overhead_secs_per_240s,deadlock_aborts");
+    for p in sec42_rows(scale) {
+        // Normalise the single-user time to the same 240 s window so the
+        // numbers are directly comparable with the paper's 194 s / 15 s.
+        let su_per_240 = if p.mu_time.secs_f64() > 0.0 {
+            p.su_time.secs_f64() * 240.0 / p.mu_time.secs_f64()
+        } else {
+            0.0
+        };
+        println!(
+            "{},{:.0},{:.1},{:.1},{:.1},{}",
+            p.clients,
+            p.statements_per_240s,
+            su_per_240,
+            p.ratio_percent(),
+            p.overhead_secs_per_240s(),
+            p.deadlock_aborts
+        );
+    }
+    println!();
+    println!("# paper: 300 clients -> 550055 stmts / 240s, SU 194s (overhead 46s)");
+    println!("# paper: 500 clients ->  48267 stmts / 240s, SU  15s (overhead 225s)");
+}

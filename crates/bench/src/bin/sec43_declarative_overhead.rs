@@ -1,0 +1,25 @@
+//! Reproduces **Section 4.3.2**: the cost of one declarative SS2PL
+//! scheduling round (drain → insert → rule → delete → history insert), the
+//! number of qualified requests per round and the extrapolated total
+//! declarative scheduling overhead.
+//!
+//! Usage: `cargo run --release -p bench --bin sec43_declarative_overhead [--paper]`
+
+use bench::{sec43_experiment, Backend, Scale, Sec43Row};
+
+fn main() {
+    let scale = Scale::from_args();
+    let client_counts = [100, 200, 300, 400, 500, 600];
+
+    println!("# Section 4.3.2 — declarative scheduling overhead (SS2PL rule, Listing 1)");
+    println!("{}", Sec43Row::csv_header());
+    for backend in [Backend::Algebra, Backend::Datalog] {
+        for row in sec43_experiment(&client_counts, backend, scale) {
+            println!("{}", row.to_csv());
+        }
+    }
+    println!();
+    println!("# paper (commercial DBMS, SQL): 358 ms per round @ 300 clients, 545 ms @ 500 clients");
+    println!("# paper: ~clients/2 tuples returned per round");
+    println!("# paper: total overhead 3668 runs x 358 ms = 1314 s @ 300 clients; 193 runs x 545 ms = 106 s @ 500 clients");
+}

@@ -1,0 +1,31 @@
+//! Reproduces **Table 1** (related approaches feature matrix) and
+//! **Table 2** (the request relation schema).
+//!
+//! Table 1 is qualitative; the related-approach rows are reproduced verbatim
+//! from the paper and followed by the feature rows of the protocols this
+//! system actually implements — every one of them declarative (D) and
+//! flexible (F), which is the gap the paper identifies in prior work.
+//!
+//! Usage: `cargo run -p bench --bin table1_matrix`
+
+use bench::{render_matrix_row, table1_protocols, table1_related, table2_schema};
+
+fn main() {
+    println!("# Table 1 — related approaches (P QoS D F HS)");
+    println!("{:<12} P    QoS  D    F    HS", "approach");
+    for (name, features) in table1_related() {
+        println!("{}", render_matrix_row(name, &features));
+    }
+    println!();
+    println!("# This system's declaratively defined protocols (same axes)");
+    println!("{:<12} P    QoS  D    F    HS", "protocol");
+    for (name, features) in table1_protocols() {
+        println!("{}", render_matrix_row(&name, &features));
+    }
+    println!();
+    println!("# Table 2 — attributes of the requests / history / rte relations");
+    println!("{:<12} type", "attribute");
+    for (name, dtype) in table2_schema() {
+        println!("{name:<12} {dtype}");
+    }
+}

@@ -1,0 +1,370 @@
+//! Shared experiment runners behind the reproduction binaries and the
+//! Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation maps onto one function
+//! here (see DESIGN.md §5 for the experiment index):
+//!
+//! * Figure 2 / Section 4.2.2 → [`fig2_series`], [`sec42_rows`]
+//! * Section 4.3.2 (declarative overhead) → [`sec43_experiment`]
+//! * Section 4.4 (crossover discussion) → [`crossover_table`]
+//! * Table 1 (related approaches) / Table 2 (request schema) →
+//!   [`table1_related`], [`table1_protocols`], [`table2_schema`]
+
+#![warn(missing_docs)]
+
+use declsched::{
+    DeclarativeScheduler, Protocol, ProtocolKind, Request, SchedulerConfig, TriggerPolicy,
+};
+use simkit::{fig2_point, CostModel, Fig2Point, MultiUserConfig};
+use std::time::Instant;
+use workload::OltpSpec;
+
+pub use declsched::protocol::Backend;
+
+/// Scaled-down workload dimensions used by default so the full sweep runs in
+/// seconds; pass `--paper` to the binaries for the full-size workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Transactions per client in the multi-user simulation.
+    pub transactions_per_client: usize,
+    /// Rows of the benchmark table.
+    pub table_rows: usize,
+}
+
+impl Scale {
+    /// Quick scale: completes the whole sweep in a few seconds.
+    pub fn quick() -> Self {
+        Scale {
+            transactions_per_client: 5,
+            table_rows: 20_000,
+        }
+    }
+
+    /// The paper's scale (100 000 rows; 50 transactions per client keep the
+    /// run bounded while well past the throughput knee).
+    pub fn paper() -> Self {
+        Scale {
+            transactions_per_client: 50,
+            table_rows: 100_000,
+        }
+    }
+
+    /// Pick a scale from command-line arguments (`--paper` selects the full
+    /// size).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--paper") {
+            Scale::paper()
+        } else {
+            Scale::quick()
+        }
+    }
+}
+
+/// Build the paper's workload spec for a client count at the given scale.
+pub fn workload_spec(clients: usize, scale: Scale) -> OltpSpec {
+    let mut spec = OltpSpec::paper(clients);
+    spec.transactions_per_client = scale.transactions_per_client;
+    spec.table_rows = scale.table_rows;
+    spec
+}
+
+/// Figure 2: sweep the client count and compute the multi-user vs single-user
+/// execution-time ratio of the native lock-based scheduler.
+pub fn fig2_series(client_counts: &[usize], scale: Scale) -> Vec<Fig2Point> {
+    let config = MultiUserConfig {
+        cost: CostModel::paper_calibrated(),
+        time_budget: None,
+    };
+    client_counts
+        .iter()
+        .map(|&clients| fig2_point(&workload_spec(clients, scale), &config))
+        .collect()
+}
+
+/// Section 4.2.2: the two operating points the paper quotes, derived from the
+/// same simulation as Figure 2.
+pub fn sec42_rows(scale: Scale) -> Vec<Fig2Point> {
+    fig2_series(&[300, 500], scale)
+}
+
+/// One row of the Section 4.3.2 experiment.
+#[derive(Debug, Clone)]
+pub struct Sec43Row {
+    /// Concurrently active clients (= pending requests in the round).
+    pub clients: usize,
+    /// Which rule back-end was measured.
+    pub backend: &'static str,
+    /// Rows in the history relation during the measurement.
+    pub history_rows: usize,
+    /// Wall-clock microseconds for the full scheduling round (drain, insert,
+    /// rule, delete, history insert) — the paper's "total execution time".
+    pub round_micros: u64,
+    /// Wall-clock microseconds of the rule evaluation alone.
+    pub rule_micros: u64,
+    /// Requests qualified by the round (the paper observes ≈ clients / 2).
+    pub qualified: usize,
+    /// Scheduler runs needed to schedule `total_statements` statements at
+    /// this qualification rate.
+    pub scheduler_runs: u64,
+    /// Estimated total declarative scheduling overhead in seconds for the
+    /// whole workload (`scheduler_runs × round_micros`).
+    pub total_overhead_secs: f64,
+}
+
+impl Sec43Row {
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{:.1}",
+            self.clients,
+            self.backend,
+            self.history_rows,
+            self.round_micros,
+            self.rule_micros,
+            self.qualified,
+            self.scheduler_runs,
+            self.total_overhead_secs
+        )
+    }
+
+    /// CSV header.
+    pub fn csv_header() -> &'static str {
+        "clients,backend,history_rows,round_micros,rule_micros,qualified,scheduler_runs,total_overhead_secs"
+    }
+}
+
+/// Build the Section 4.3 scenario for `clients` concurrently active
+/// transactions: each has executed half of its statements (which sit in the
+/// history, uncommitted — "filled with half of the requests of the
+/// corresponding workload, without requests of committed transactions") and
+/// has exactly one request pending, mirroring one interactive request per
+/// connected client.
+pub fn sec43_scheduler(
+    clients: usize,
+    backend: Backend,
+    scale: Scale,
+) -> (DeclarativeScheduler, u64) {
+    let spec = workload_spec(clients, scale);
+    let generated = spec.generate();
+    let mut scheduler = DeclarativeScheduler::new(
+        Protocol::new(ProtocolKind::Ss2pl, backend),
+        SchedulerConfig {
+            trigger: TriggerPolicy::Always,
+            prune_history: false,
+            enforce_intra_order: false,
+        },
+    );
+
+    // History: the first half of every client's first transaction — already
+    // executed, not yet committed (exactly the paper's pre-fill).
+    let mut preload = Vec::new();
+    for client in &generated {
+        let txn = &client.transactions[0];
+        let half = txn.statements.len() / 2;
+        for stmt in &txn.statements[..half] {
+            preload.push(Request::from_statement(0, stmt));
+        }
+    }
+    scheduler
+        .preload_history(&preload)
+        .expect("history preload cannot fail");
+
+    // Pending: the next statement of every client.
+    for client in &generated {
+        let txn = &client.transactions[0];
+        let half = txn.statements.len() / 2;
+        scheduler.submit(Request::from_statement(0, &txn.statements[half]), 1);
+    }
+
+    // Total statements the full workload would push through the scheduler —
+    // used to extrapolate the total overhead exactly as the paper does
+    // (total statements / qualified per round = scheduler runs).
+    let total_statements = spec.total_statements() as u64;
+    (scheduler, total_statements)
+}
+
+/// Section 4.3.2: measure one declarative scheduling round at each client
+/// count on the given back-end.
+pub fn sec43_experiment(client_counts: &[usize], backend: Backend, scale: Scale) -> Vec<Sec43Row> {
+    client_counts
+        .iter()
+        .map(|&clients| {
+            let (mut scheduler, total_statements) = sec43_scheduler(clients, backend, scale);
+            let history_rows = scheduler.history_len();
+            let started = Instant::now();
+            let batch = scheduler.run_round(2).expect("measurement round cannot fail");
+            let elapsed = started.elapsed().as_micros() as u64;
+            let qualified = batch.len().max(1);
+            let scheduler_runs = total_statements / qualified as u64;
+            let round_micros = elapsed.max(batch.round_micros);
+            Sec43Row {
+                clients,
+                backend: match backend {
+                    Backend::Algebra => "algebra",
+                    Backend::Datalog => "datalog",
+                },
+                history_rows,
+                round_micros,
+                rule_micros: batch.rule_eval_micros,
+                qualified: batch.len(),
+                scheduler_runs,
+                total_overhead_secs: scheduler_runs as f64 * round_micros as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// One row of the crossover table (Section 4.4): native scheduler overhead
+/// vs extrapolated declarative scheduling overhead at the same client count.
+#[derive(Debug, Clone)]
+pub struct CrossoverRow {
+    /// Client count.
+    pub clients: usize,
+    /// Native scheduler overhead (multi-user minus single-user virtual
+    /// seconds, normalised to a 240 s window like the paper's 46 s / 225 s).
+    pub native_overhead_secs: f64,
+    /// Extrapolated declarative scheduling overhead in (real) seconds.
+    pub declarative_overhead_secs: f64,
+    /// Which approach wins at this client count.
+    pub winner: &'static str,
+}
+
+/// Section 4.4: combine the Figure 2 native overhead with the Section 4.3
+/// declarative overhead to locate the crossover.
+pub fn crossover_table(client_counts: &[usize], scale: Scale) -> Vec<CrossoverRow> {
+    let fig2 = fig2_series(client_counts, scale);
+    let sec43 = sec43_experiment(client_counts, Backend::Algebra, scale);
+    fig2.iter()
+        .zip(sec43.iter())
+        .map(|(f, s)| {
+            let native = f.overhead_secs_per_240s();
+            let declarative = s.total_overhead_secs;
+            CrossoverRow {
+                clients: f.clients,
+                native_overhead_secs: native,
+                declarative_overhead_secs: declarative,
+                winner: if declarative < native {
+                    "declarative"
+                } else {
+                    "native"
+                },
+            }
+        })
+        .collect()
+}
+
+/// The related-approaches rows of the paper's Table 1 (verbatim from the
+/// paper; qualitative, so reproduced as data).
+pub fn table1_related() -> Vec<(&'static str, [bool; 5])> {
+    vec![
+        ("EQMS", [true, true, false, false, false]),
+        ("Ganymed", [true, false, false, false, true]),
+        ("WLMS", [true, true, false, false, false]),
+        ("C-JDBC", [true, false, false, false, true]),
+        ("GP", [true, false, false, false, false]),
+        ("WebQoS", [true, true, false, true, false]),
+        ("QShuffler", [true, false, false, false, false]),
+    ]
+}
+
+/// The same feature axes for the protocols this system actually implements —
+/// the "our approach" row of Table 1, broken out per protocol.
+pub fn table1_protocols() -> Vec<(String, [bool; 5])> {
+    ProtocolKind::all()
+        .iter()
+        .map(|&kind| {
+            let p = Protocol::algebra(kind);
+            (
+                p.name().to_string(),
+                [
+                    p.features.performance,
+                    p.features.qos,
+                    p.features.declarative,
+                    p.features.flexible,
+                    p.features.high_scalability,
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Table 2: the request relation schema (column name, type).
+pub fn table2_schema() -> Vec<(String, String)> {
+    Request::schema()
+        .fields()
+        .iter()
+        .map(|f| (f.name.clone(), f.data_type.to_string()))
+        .collect()
+}
+
+/// Render a `+`/`-` feature matrix row.
+pub fn render_matrix_row(name: &str, features: &[bool; 5]) -> String {
+    let sym = |b: bool| if b { '+' } else { '-' };
+    format!(
+        "{name:<12} {}    {}    {}    {}    {}",
+        sym(features[0]),
+        sym(features[1]),
+        sym(features[2]),
+        sym(features[3]),
+        sym(features[4])
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_ratio_increases_with_client_count() {
+        let series = fig2_series(&[8, 64], Scale::quick());
+        assert_eq!(series.len(), 2);
+        assert!(series[0].ratio_percent() >= 100.0);
+        assert!(series[1].ratio_percent() >= series[0].ratio_percent());
+    }
+
+    #[test]
+    fn sec43_round_qualifies_most_single_pending_requests() {
+        let rows = sec43_experiment(&[32], Backend::Algebra, Scale::quick());
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.clients, 32);
+        assert!(row.qualified > 0 && row.qualified <= 32);
+        assert!(row.history_rows > 0);
+        assert!(row.scheduler_runs > 0);
+        assert!(row.round_micros >= row.rule_micros);
+    }
+
+    #[test]
+    fn sec43_backends_qualify_identically() {
+        let a = sec43_experiment(&[24], Backend::Algebra, Scale::quick());
+        let d = sec43_experiment(&[24], Backend::Datalog, Scale::quick());
+        assert_eq!(a[0].qualified, d[0].qualified);
+        assert_eq!(a[0].history_rows, d[0].history_rows);
+    }
+
+    #[test]
+    fn table1_and_table2_shapes() {
+        assert_eq!(table1_related().len(), 7);
+        assert!(table1_protocols().len() >= 7);
+        // No related approach is declarative; all of ours are.
+        assert!(table1_related().iter().all(|(_, f)| !f[2]));
+        assert!(table1_protocols().iter().all(|(_, f)| f[2]));
+        let schema = table2_schema();
+        assert_eq!(schema.len(), 5);
+        assert_eq!(schema[0].0, "id");
+        let row = render_matrix_row("EQMS", &table1_related()[0].1);
+        assert!(row.starts_with("EQMS"));
+        assert!(row.contains('+'));
+    }
+
+    #[test]
+    fn crossover_produces_one_row_per_client_count() {
+        let rows = crossover_table(&[8, 32], Scale::quick());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.native_overhead_secs >= 0.0);
+            assert!(r.declarative_overhead_secs > 0.0);
+            assert!(r.winner == "declarative" || r.winner == "native");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The history database (Figure 1: "Already executed requests").
+//!
+//! The paper: "the scheduler accesses a second database, called history
+//! database, in which all relevant prior executed requests are stored.  From
+//! this history database, all necessary information about the current
+//! database state etc. can be obtained."
+
+use crate::error::SchedResult;
+use crate::request::{Operation, Request};
+use relalg::Table;
+use std::collections::HashSet;
+
+/// Stores requests that have been scheduled (and sent to the server), so that
+/// protocol rules can reason about held locks, finished transactions and
+/// prior conflicting operations.
+#[derive(Debug)]
+pub struct HistoryStore {
+    table: Table,
+    finished: HashSet<u64>,
+    total_inserted: u64,
+}
+
+impl Default for HistoryStore {
+    fn default() -> Self {
+        HistoryStore::new()
+    }
+}
+
+impl HistoryStore {
+    /// Create an empty history.  The relation is named `history`, matching
+    /// the paper's Listing 1.
+    pub fn new() -> Self {
+        HistoryStore {
+            table: Table::new("history", Request::schema()),
+            finished: HashSet::new(),
+            total_inserted: 0,
+        }
+    }
+
+    /// Record a scheduled request.
+    pub fn insert(&mut self, request: &Request) -> SchedResult<()> {
+        self.table.push(request.to_tuple())?;
+        self.total_inserted += 1;
+        if request.op.is_terminal() {
+            self.finished.insert(request.ta);
+        }
+        Ok(())
+    }
+
+    /// Record a batch of scheduled requests.
+    pub fn insert_batch<'a>(
+        &mut self,
+        requests: impl IntoIterator<Item = &'a Request>,
+    ) -> SchedResult<()> {
+        for r in requests {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Number of history rows currently retained.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Total rows ever inserted (monotonic, unaffected by pruning).
+    pub fn total_inserted(&self) -> u64 {
+        self.total_inserted
+    }
+
+    /// The relational view (`history` relation) for rule evaluation.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Whether a transaction has a commit or abort record in the history.
+    pub fn is_finished(&self, ta: u64) -> bool {
+        self.finished.contains(&ta)
+    }
+
+    /// Transactions with a terminal record.
+    pub fn finished_transactions(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.finished.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drop the rows of finished transactions — the "relevant prior executed
+    /// requests" the paper keeps are exactly those of transactions that still
+    /// hold locks.  Under SS2PL a finished transaction's history rows can no
+    /// longer influence any scheduling decision, so pruning them bounds the
+    /// history size (and therefore rule-evaluation time) by the number of
+    /// *active* transactions.  Returns the number of pruned rows.
+    pub fn prune_finished(&mut self) -> usize {
+        if self.finished.is_empty() {
+            return 0;
+        }
+        let finished = self.finished.clone();
+        let removed = self.table.delete_where(|row| {
+            Request::from_tuple(row)
+                .map(|r| finished.contains(&r.ta))
+                .unwrap_or(false)
+        });
+        if removed > 0 {
+            self.finished.clear();
+        }
+        removed
+    }
+
+    /// Objects write-locked by unfinished transactions, with the owning
+    /// transaction — an imperative helper mirroring what the declarative
+    /// `WLockedObjects` CTE of Listing 1 computes; used by tests as an
+    /// oracle and by imperative baseline comparisons.
+    pub fn write_locked_objects(&self) -> Vec<(i64, u64)> {
+        let mut out = Vec::new();
+        for row in self.table.rows() {
+            if let Some(r) = Request::from_tuple(row) {
+                if r.op == Operation::Write && !self.is_finished(r.ta) {
+                    out.push((r.object, r.ta));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Objects read-locked (and not yet released) by unfinished transactions
+    /// that have not also written them — the `RLockedObjects` CTE.
+    pub fn read_locked_objects(&self) -> Vec<(i64, u64)> {
+        let writes: HashSet<(i64, u64)> = self
+            .table
+            .rows()
+            .iter()
+            .filter_map(Request::from_tuple)
+            .filter(|r| r.op == Operation::Write)
+            .map(|r| (r.object, r.ta))
+            .collect();
+        let mut out = Vec::new();
+        for row in self.table.rows() {
+            if let Some(r) = Request::from_tuple(row) {
+                if r.op == Operation::Read
+                    && !self.is_finished(r.ta)
+                    && !writes.contains(&(r.object, r.ta))
+                {
+                    out.push((r.object, r.ta));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_finished_tracking() {
+        let mut h = HistoryStore::new();
+        h.insert(&Request::write(1, 10, 0, 100)).unwrap();
+        h.insert(&Request::read(2, 11, 0, 101)).unwrap();
+        h.insert(&Request::commit(3, 10, 1)).unwrap();
+        assert_eq!(h.len(), 3);
+        assert!(h.is_finished(10));
+        assert!(!h.is_finished(11));
+        assert_eq!(h.finished_transactions(), vec![10]);
+        assert_eq!(h.total_inserted(), 3);
+    }
+
+    #[test]
+    fn lock_oracles_match_listing_1_semantics() {
+        let mut h = HistoryStore::new();
+        // T10 wrote object 100 and is still active -> write lock.
+        h.insert(&Request::write(1, 10, 0, 100)).unwrap();
+        // T11 read object 101 and is still active -> read lock.
+        h.insert(&Request::read(2, 11, 0, 101)).unwrap();
+        // T12 wrote object 102 but committed -> no lock.
+        h.insert(&Request::write(3, 12, 0, 102)).unwrap();
+        h.insert(&Request::commit(4, 12, 1)).unwrap();
+        // T13 read and then wrote object 103 -> write lock, not read lock.
+        h.insert(&Request::read(5, 13, 0, 103)).unwrap();
+        h.insert(&Request::write(6, 13, 1, 103)).unwrap();
+
+        assert_eq!(h.write_locked_objects(), vec![(100, 10), (103, 13)]);
+        assert_eq!(h.read_locked_objects(), vec![(101, 11)]);
+    }
+
+    #[test]
+    fn prune_drops_only_finished_transactions() {
+        let mut h = HistoryStore::new();
+        h.insert(&Request::write(1, 10, 0, 100)).unwrap();
+        h.insert(&Request::commit(2, 10, 1)).unwrap();
+        h.insert(&Request::write(3, 11, 0, 101)).unwrap();
+        let removed = h.prune_finished();
+        assert_eq!(removed, 2);
+        assert_eq!(h.len(), 1);
+        // Pruning twice is a no-op.
+        assert_eq!(h.prune_finished(), 0);
+        // The monotone counter keeps the full count.
+        assert_eq!(h.total_inserted(), 3);
+    }
+
+    #[test]
+    fn batch_insert() {
+        let mut h = HistoryStore::new();
+        let batch = vec![Request::read(1, 1, 0, 5), Request::commit(2, 1, 1)];
+        h.insert_batch(batch.iter()).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.is_finished(1));
+    }
+}

@@ -1,0 +1,89 @@
+//! # declsched — the declarative middleware scheduler
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (*Declarative Scheduling in Highly Scalable Systems*, EDBT 2010 workshops):
+//! a scheduler component that sits between clients and a server and is
+//! **programmed with declarative rules** instead of hand-coded scheduling
+//! algorithms.
+//!
+//! The architecture follows the paper's Figure 1:
+//!
+//! ```text
+//!  clients ──► incoming queue ──► pending-request DB ──┐
+//!                   ▲                                  │ declarative rule
+//!                   │ trigger (time / fill level)      ▼ (SQL-style plan or Datalog)
+//!                   └──────────────────  history DB ◄── qualified, ordered batch ──► server
+//! ```
+//!
+//! * Requests are **data**: [`request::Request`] mirrors the paper's Table 2
+//!   (`ID`, `TA`, `INTRATA`, `Operation`, `Object`) plus optional SLA
+//!   metadata.
+//! * Scheduling protocols are **declarative rules** ([`rules::RuleSet`])
+//!   evaluated over the `requests` (pending) and `history` relations each
+//!   round, through either the relational-algebra back-end (`relalg`, the
+//!   paper's SQL formulation of Listing 1) or the Datalog back-end.
+//! * The [`scheduler::DeclarativeScheduler`] implements the paper's loop:
+//!   drain the incoming queue, insert into the pending DB, evaluate the rule,
+//!   move qualified requests to the history DB and hand the ordered batch to
+//!   the [`dispatch::Dispatcher`], which executes it on the `txnstore` server
+//!   with the server's own locking disabled.
+//! * A [`passthrough`] mode forwards requests without scheduling, which is
+//!   how the paper measures the pure scheduling overhead.
+//! * [`middleware`] adds the client-worker / control-instance threading
+//!   described in Section 3.3, built on crossbeam channels.
+//!
+//! Protocols shipped (all expressed declaratively, see [`protocol`]):
+//! SS2PL (the paper's example), conservative 2PL, FCFS, SLA priority,
+//! earliest-deadline-first, relaxed reads, consistency rationing and an
+//! adaptive protocol that switches consistency levels under load — the
+//! paper's stated long-term goal ("reduced consistency criteria may be used
+//! during times of high load").
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dispatch;
+pub mod error;
+pub mod history;
+pub mod metrics;
+pub mod middleware;
+pub mod passthrough;
+pub mod pending;
+pub mod protocol;
+pub mod queue;
+pub mod request;
+pub mod rules;
+pub mod scheduler;
+pub mod trigger;
+
+pub use dispatch::{DispatchReport, Dispatcher};
+pub use error::{SchedError, SchedResult};
+pub use history::HistoryStore;
+pub use metrics::SchedulerMetrics;
+pub use pending::PendingStore;
+pub use protocol::{
+    AdaptiveProtocol, Backend, Protocol, ProtocolFeatures, ProtocolKind, SchedulingPolicy,
+};
+pub use queue::IncomingQueue;
+pub use request::{Operation, Request, RequestKey, SlaMeta};
+pub use rules::{OrderingSpec, RuleBackend, RuleSet};
+pub use scheduler::{DeclarativeScheduler, ScheduleBatch, SchedulerConfig};
+pub use trigger::TriggerPolicy;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::dispatch::{DispatchReport, Dispatcher};
+    pub use crate::error::{SchedError, SchedResult};
+    pub use crate::history::HistoryStore;
+    pub use crate::metrics::SchedulerMetrics;
+    pub use crate::passthrough::PassthroughScheduler;
+    pub use crate::pending::PendingStore;
+    pub use crate::protocol::{
+        AdaptiveProtocol, Backend, Protocol, ProtocolFeatures, ProtocolKind, SchedulingPolicy,
+    };
+    pub use crate::queue::IncomingQueue;
+    pub use crate::request::{Operation, Request, RequestKey, SlaMeta};
+    pub use crate::rules::{OrderingSpec, RuleBackend, RuleSet};
+    pub use crate::scheduler::{DeclarativeScheduler, ScheduleBatch, SchedulerConfig};
+    pub use crate::trigger::TriggerPolicy;
+}

@@ -1,0 +1,88 @@
+//! Scheduler-side metrics: what the declarative scheduling overhead
+//! experiment (paper Section 4.3) measures.
+
+/// Counters and timings accumulated by a [`crate::scheduler::DeclarativeScheduler`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SchedulerMetrics {
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Requests submitted to the incoming queue.
+    pub requests_submitted: u64,
+    /// Requests qualified and dispatched across all rounds.
+    pub requests_scheduled: u64,
+    /// Requests that stayed pending at least one extra round because the
+    /// rule did not qualify them.
+    pub requests_deferred: u64,
+    /// Total wall-clock microseconds spent evaluating the declarative rule.
+    pub rule_eval_micros: u64,
+    /// Total wall-clock microseconds spent per round end to end (drain,
+    /// insert, rule, delete, history insert) — the quantity the paper's
+    /// Section 4.3.2 reports per scheduler run.
+    pub round_micros: u64,
+    /// Largest batch produced by a single round.
+    pub max_batch: u64,
+    /// Rounds that ran in overload (relaxed) mode under an adaptive policy.
+    pub overload_rounds: u64,
+}
+
+impl SchedulerMetrics {
+    /// Create zeroed metrics.
+    pub fn new() -> Self {
+        SchedulerMetrics::default()
+    }
+
+    /// Average number of requests scheduled per round.
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.requests_scheduled as f64 / self.rounds as f64
+        }
+    }
+
+    /// Average rule evaluation time per round in microseconds.
+    pub fn avg_rule_eval_micros(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.rule_eval_micros as f64 / self.rounds as f64
+        }
+    }
+
+    /// Average end-to-end round time in microseconds (the paper's
+    /// "total execution time" per scheduler run).
+    pub fn avg_round_micros(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.round_micros as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_guard_against_zero_rounds() {
+        let m = SchedulerMetrics::new();
+        assert_eq!(m.avg_batch_size(), 0.0);
+        assert_eq!(m.avg_rule_eval_micros(), 0.0);
+        assert_eq!(m.avg_round_micros(), 0.0);
+    }
+
+    #[test]
+    fn averages_compute() {
+        let m = SchedulerMetrics {
+            rounds: 4,
+            requests_scheduled: 100,
+            rule_eval_micros: 2_000,
+            round_micros: 4_000,
+            ..SchedulerMetrics::default()
+        };
+        assert_eq!(m.avg_batch_size(), 25.0);
+        assert_eq!(m.avg_rule_eval_micros(), 500.0);
+        assert_eq!(m.avg_round_micros(), 1_000.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The threaded middleware: client workers, control instance and the
+//! scheduler thread (the paper's Section 3.3 architecture).
+//!
+//! "When clients connect to the external scheduler, a control instance
+//! creates a separate client worker for each connected client. … If the
+//! client worker receives a request from its client, the request is, in a
+//! first step, buffered in an incoming queue. Periodically, the scheduler
+//! gets triggered …"
+//!
+//! In this implementation the control instance is [`Middleware`], client
+//! workers are [`ClientHandle`]s (one per connected client, each backed by a
+//! crossbeam channel into the scheduler thread), and the scheduler thread
+//! runs the drain → rule → dispatch loop, replying to every client once its
+//! request has been executed on the server.
+
+use crate::dispatch::Dispatcher;
+use crate::error::{SchedError, SchedResult};
+use crate::protocol::SchedulingPolicy;
+use crate::request::Request;
+use crate::scheduler::{DeclarativeScheduler, SchedulerConfig};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use txnstore::Statement;
+
+/// A request travelling from a client worker to the scheduler thread.
+struct ClientMessage {
+    statement: Statement,
+    sla: Option<crate::request::SlaMeta>,
+    reply: Sender<SchedResult<()>>,
+}
+
+/// Messages understood by the scheduler thread.
+enum ControlMessage {
+    /// A client request to schedule and execute.
+    Request(ClientMessage),
+    /// Orderly shutdown: drain what is pending, then stop.
+    Shutdown,
+}
+
+/// Handle held by one connected client; cheap to clone per client worker.
+#[derive(Clone)]
+pub struct ClientHandle {
+    sender: Sender<ControlMessage>,
+}
+
+impl ClientHandle {
+    /// Submit a statement and wait until the middleware has scheduled and
+    /// executed it on the server.
+    pub fn execute(&self, statement: Statement) -> SchedResult<()> {
+        self.execute_with_sla(statement, None)
+    }
+
+    /// Submit a statement carrying SLA metadata.
+    pub fn execute_with_sla(
+        &self,
+        statement: Statement,
+        sla: Option<crate::request::SlaMeta>,
+    ) -> SchedResult<()> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender
+            .send(ControlMessage::Request(ClientMessage {
+                statement,
+                sla,
+                reply: reply_tx,
+            }))
+            .map_err(|_| SchedError::ChannelClosed {
+                endpoint: "scheduler thread",
+            })?;
+        reply_rx.recv().map_err(|_| SchedError::ChannelClosed {
+            endpoint: "scheduler thread",
+        })?
+    }
+}
+
+/// Summary returned when the middleware shuts down.
+#[derive(Debug, Clone, Copy)]
+pub struct MiddlewareReport {
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Requests scheduled and executed.
+    pub requests_scheduled: u64,
+    /// Data requests executed on the server.
+    pub executed: u64,
+    /// Transactions committed on the server.
+    pub commits: u64,
+}
+
+/// The control instance: owns the scheduler thread.
+pub struct Middleware {
+    sender: Sender<ControlMessage>,
+    handle: JoinHandle<MiddlewareReport>,
+}
+
+impl Middleware {
+    /// Start the middleware: a scheduler thread using `policy`/`config` over
+    /// a dispatcher with a fresh `rows`-row benchmark table named `table`.
+    pub fn start(
+        policy: impl Into<SchedulingPolicy>,
+        config: SchedulerConfig,
+        table: impl Into<String>,
+        rows: usize,
+    ) -> SchedResult<Self> {
+        let table = table.into();
+        let dispatcher = Dispatcher::new(table.clone(), rows)?;
+        let scheduler = DeclarativeScheduler::new(policy, config);
+        let (sender, receiver) = unbounded::<ControlMessage>();
+        let handle = std::thread::Builder::new()
+            .name("declsched-scheduler".to_string())
+            .spawn(move || scheduler_loop(scheduler, dispatcher, receiver))
+            .expect("spawning the scheduler thread cannot fail");
+        Ok(Middleware { sender, handle })
+    }
+
+    /// Connect a new client (the control instance "creates a separate client
+    /// worker for each connected client").
+    pub fn connect(&self) -> ClientHandle {
+        ClientHandle {
+            sender: self.sender.clone(),
+        }
+    }
+
+    /// Shut down: tell the scheduler thread to drain what is pending, wait
+    /// for it to stop and return its report.  Requests submitted through
+    /// still-alive [`ClientHandle`]s after this call are not executed.
+    pub fn shutdown(self) -> MiddlewareReport {
+        let _ = self.sender.send(ControlMessage::Shutdown);
+        drop(self.sender);
+        self.handle
+            .join()
+            .expect("scheduler thread never panics during an orderly shutdown")
+    }
+}
+
+/// The scheduler thread body.
+fn scheduler_loop(
+    mut scheduler: DeclarativeScheduler,
+    mut dispatcher: Dispatcher,
+    receiver: Receiver<ControlMessage>,
+) -> MiddlewareReport {
+    let started = Instant::now();
+    // Replies waiting for their request (keyed by (ta, intra)) to execute.
+    let mut waiting_replies: Vec<(crate::request::RequestKey, Sender<SchedResult<()>>)> =
+        Vec::new();
+    let mut disconnected = false;
+
+    loop {
+        // Collect what has arrived; block briefly so an idle middleware does
+        // not spin.
+        match receiver.recv_timeout(Duration::from_millis(1)) {
+            Ok(first) => {
+                let now_ms = started.elapsed().as_millis() as u64;
+                let mut handle = |msg: ControlMessage, disconnected: &mut bool| match msg {
+                    ControlMessage::Request(msg) => {
+                        enqueue(&mut scheduler, msg, &mut waiting_replies, now_ms)
+                    }
+                    ControlMessage::Shutdown => *disconnected = true,
+                };
+                handle(first, &mut disconnected);
+                // Drain any further messages that are already queued up.
+                while let Ok(msg) = receiver.try_recv() {
+                    handle(msg, &mut disconnected);
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                disconnected = true;
+            }
+        }
+
+        let now_ms = started.elapsed().as_millis() as u64;
+        // When shutting down, keep scheduling until everything drained.
+        let batch = if disconnected && (scheduler.queued() > 0 || scheduler.pending() > 0) {
+            Some(scheduler.run_round(now_ms))
+        } else {
+            match scheduler.tick(now_ms) {
+                Ok(Some(b)) => Some(Ok(b)),
+                Ok(None) => None,
+                Err(e) => Some(Err(e)),
+            }
+        };
+
+        if let Some(batch) = batch {
+            match batch {
+                Ok(batch) => {
+                    if disconnected && batch.is_empty() && scheduler.queued() == 0 {
+                        // Shutdown fixpoint: no new requests can arrive and
+                        // the rule admits nothing more (e.g. a client went
+                        // away without committing).  Fail the stragglers
+                        // instead of spinning forever.
+                        for (key, reply) in waiting_replies.drain(..) {
+                            let _ = reply.send(Err(SchedError::TransactionFinished { ta: key.ta }));
+                        }
+                        break;
+                    }
+                    for request in &batch.requests {
+                        let result = dispatcher.execute_request(request);
+                        reply_to(&mut waiting_replies, request, result);
+                    }
+                }
+                Err(e) => {
+                    // A rule failure fails every waiting client rather than
+                    // hanging them.
+                    for (_, reply) in waiting_replies.drain(..) {
+                        let _ = reply.send(Err(e.clone()));
+                    }
+                }
+            }
+        }
+
+        if disconnected && scheduler.queued() == 0 && scheduler.pending() == 0 {
+            break;
+        }
+    }
+
+    let metrics = scheduler.metrics();
+    let totals = dispatcher.totals();
+    MiddlewareReport {
+        rounds: metrics.rounds,
+        requests_scheduled: metrics.requests_scheduled,
+        executed: totals.executed,
+        commits: totals.commits,
+    }
+}
+
+fn enqueue(
+    scheduler: &mut DeclarativeScheduler,
+    msg: ClientMessage,
+    waiting: &mut Vec<(crate::request::RequestKey, Sender<SchedResult<()>>)>,
+    now_ms: u64,
+) {
+    let mut request = Request::from_statement(0, &msg.statement);
+    if let Some(sla) = msg.sla {
+        request = request.with_sla(sla);
+    }
+    let key = request.key();
+    scheduler.submit(request, now_ms);
+    waiting.push((key, msg.reply));
+}
+
+fn reply_to(
+    waiting: &mut Vec<(crate::request::RequestKey, Sender<SchedResult<()>>)>,
+    request: &Request,
+    result: SchedResult<()>,
+) {
+    if let Some(pos) = waiting.iter().position(|(key, _)| *key == request.key()) {
+        let (_, reply) = waiting.swap_remove(pos);
+        let _ = reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Protocol, ProtocolKind};
+    use crate::trigger::TriggerPolicy;
+    use txnstore::TxnId;
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 1,
+                threshold: 4,
+            },
+            ..SchedulerConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_client_round_trip() {
+        let mw = Middleware::start(
+            Protocol::algebra(ProtocolKind::Ss2pl),
+            config(),
+            "bench",
+            100,
+        )
+        .unwrap();
+        let client = mw.connect();
+        client.execute(Statement::select(TxnId(1), 0, "bench", 5)).unwrap();
+        client.execute(Statement::update(TxnId(1), 1, "bench", 5, 42)).unwrap();
+        client.execute(Statement::commit(TxnId(1), 2, "bench")).unwrap();
+        let report = mw.shutdown();
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.commits, 1);
+        assert!(report.rounds >= 1);
+        assert_eq!(report.requests_scheduled, 3);
+    }
+
+    #[test]
+    fn concurrent_clients_on_conflicting_rows_all_complete() {
+        let mw = Middleware::start(
+            Protocol::algebra(ProtocolKind::Ss2pl),
+            config(),
+            "bench",
+            10,
+        )
+        .unwrap();
+        let mut joins = Vec::new();
+        for ta in 1..=4u64 {
+            let client = mw.connect();
+            joins.push(std::thread::spawn(move || {
+                // Every client touches the same row 3, forcing the
+                // declarative rule to serialise them.
+                client
+                    .execute(Statement::update(TxnId(ta), 0, "bench", 3, ta as i64))
+                    .unwrap();
+                client.execute(Statement::commit(TxnId(ta), 1, "bench")).unwrap();
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let report = mw.shutdown();
+        assert_eq!(report.executed, 4);
+        assert_eq!(report.commits, 4);
+    }
+
+    #[test]
+    fn shutdown_with_no_clients_is_clean() {
+        let mw = Middleware::start(
+            Protocol::datalog(ProtocolKind::Fcfs),
+            config(),
+            "bench",
+            10,
+        )
+        .unwrap();
+        let report = mw.shutdown();
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.rounds, 0);
+    }
+}

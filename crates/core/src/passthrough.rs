@@ -1,0 +1,128 @@
+//! Non-scheduling passthrough mode.
+//!
+//! The paper: "To be able to measure the real declarative scheduling
+//! overhead, we will design the scheduler to be able to run in a
+//! non-scheduling mode.  In this mode, the scheduler forwards the requests to
+//! the server without scheduling.  This way, the server undertakes the task
+//! of doing request scheduling."
+//!
+//! [`PassthroughScheduler`] therefore wraps an engine with its **native**
+//! lock-based scheduling enabled and forwards every request immediately; the
+//! difference between a run through the [`crate::scheduler::DeclarativeScheduler`]
+//! and a run through this type is, by construction, the declarative
+//! scheduling overhead.
+
+use crate::error::SchedResult;
+use crate::request::Request;
+use txnstore::{Engine, EngineMetrics, ExecOutcome, Statement};
+
+/// Outcome of forwarding a single request in passthrough mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassthroughOutcome {
+    /// The server executed the request.
+    Executed,
+    /// The server blocked the request on a lock (its native scheduler will
+    /// resume it when the lock becomes free; the caller re-submits).
+    Blocked,
+    /// The server aborted the request's transaction as a deadlock victim.
+    Aborted,
+}
+
+/// Forwards requests straight to a natively scheduled engine.
+#[derive(Debug)]
+pub struct PassthroughScheduler {
+    engine: Engine,
+    table: String,
+    forwarded: u64,
+}
+
+impl PassthroughScheduler {
+    /// Create a passthrough scheduler over a fresh natively scheduled engine
+    /// with a benchmark table of `rows` rows.
+    pub fn new(table: impl Into<String>, rows: usize) -> SchedResult<Self> {
+        let table = table.into();
+        let mut engine = Engine::new();
+        engine.setup_benchmark_table(&table, rows)?;
+        Ok(PassthroughScheduler {
+            engine,
+            table,
+            forwarded: 0,
+        })
+    }
+
+    /// Forward one request to the server without any scheduling decision.
+    pub fn forward(&mut self, request: &Request) -> SchedResult<PassthroughOutcome> {
+        let stmt: Statement = request.to_statement(&self.table);
+        self.forwarded += 1;
+        match self.engine.execute(&stmt)? {
+            ExecOutcome::Completed { .. } => Ok(PassthroughOutcome::Executed),
+            ExecOutcome::Blocked { .. } => Ok(PassthroughOutcome::Blocked),
+            ExecOutcome::DeadlockVictim { .. } => Ok(PassthroughOutcome::Aborted),
+        }
+    }
+
+    /// Number of requests forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// The server's own execution metrics (lock waits, deadlocks, …) — the
+    /// baseline numbers the declarative mode is compared against.
+    pub fn server_metrics(&self) -> EngineMetrics {
+        self.engine.metrics()
+    }
+
+    /// Access the underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwards_without_scheduling_and_reports_server_behaviour() {
+        let mut p = PassthroughScheduler::new("bench", 50).unwrap();
+        // Two transactions race for the same row: the *server* blocks the
+        // second one — exactly what the middleware-scheduled mode avoids.
+        assert_eq!(
+            p.forward(&Request::write(1, 1, 0, 7)).unwrap(),
+            PassthroughOutcome::Executed
+        );
+        assert_eq!(
+            p.forward(&Request::write(2, 2, 0, 7)).unwrap(),
+            PassthroughOutcome::Blocked
+        );
+        assert_eq!(
+            p.forward(&Request::commit(3, 1, 1)).unwrap(),
+            PassthroughOutcome::Executed
+        );
+        // Retry of the blocked request now succeeds.
+        assert_eq!(
+            p.forward(&Request::write(2, 2, 0, 7)).unwrap(),
+            PassthroughOutcome::Executed
+        );
+        assert_eq!(p.forwarded(), 4);
+        let metrics = p.server_metrics();
+        assert_eq!(metrics.lock_waits, 1);
+        assert_eq!(metrics.commits, 1);
+    }
+
+    #[test]
+    fn deadlock_is_reported_as_aborted() {
+        let mut p = PassthroughScheduler::new("bench", 10).unwrap();
+        p.forward(&Request::write(1, 1, 0, 1)).unwrap();
+        p.forward(&Request::write(2, 2, 0, 2)).unwrap();
+        assert_eq!(
+            p.forward(&Request::write(3, 1, 1, 2)).unwrap(),
+            PassthroughOutcome::Blocked
+        );
+        assert_eq!(
+            p.forward(&Request::write(4, 2, 1, 1)).unwrap(),
+            PassthroughOutcome::Aborted
+        );
+        assert_eq!(p.server_metrics().deadlock_aborts, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The pending-request database (Figure 1: "Pending request").
+
+use crate::error::SchedResult;
+use crate::request::{Request, RequestKey};
+use relalg::Table;
+use std::collections::HashMap;
+
+/// Stores requests that have been drained from the incoming queue but not yet
+/// scheduled.  Internally this is both a [`relalg::Table`] (so declarative
+/// rules can query it) and a key→request map (so the scheduler can recover
+/// full request objects — including write payloads and SLA metadata — for the
+/// requests the rule qualifies).
+#[derive(Debug)]
+pub struct PendingStore {
+    table: Table,
+    by_key: HashMap<RequestKey, Request>,
+}
+
+impl Default for PendingStore {
+    fn default() -> Self {
+        PendingStore::new()
+    }
+}
+
+impl PendingStore {
+    /// Create an empty store.  The relation is named `requests`, matching the
+    /// paper's Listing 1.
+    pub fn new() -> Self {
+        PendingStore {
+            table: Table::new("requests", Request::schema()),
+            by_key: HashMap::new(),
+        }
+    }
+
+    /// Insert a batch of requests (one incoming-queue drain).
+    pub fn insert_batch(&mut self, requests: Vec<Request>) -> SchedResult<()> {
+        for r in requests {
+            self.table.push(r.to_tuple())?;
+            self.by_key.insert(r.key(), r);
+        }
+        Ok(())
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether there are no pending requests.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// The relational view (`requests` relation) for rule evaluation.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Look up the full request for a key.
+    pub fn get(&self, key: RequestKey) -> Option<&Request> {
+        self.by_key.get(&key)
+    }
+
+    /// All pending requests in insertion order.
+    pub fn requests(&self) -> Vec<&Request> {
+        // Insertion order is the table's row order; map back through keys.
+        self.table
+            .rows()
+            .iter()
+            .filter_map(|row| Request::from_tuple(row))
+            .filter_map(|r| self.by_key.get(&r.key()))
+            .collect()
+    }
+
+    /// Remove the requests with the given keys (they qualified and move to
+    /// the history), returning the full request objects in the order given.
+    pub fn take(&mut self, keys: &[RequestKey]) -> Vec<Request> {
+        let mut taken = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(r) = self.by_key.remove(key) {
+                taken.push(r);
+            }
+        }
+        if !taken.is_empty() {
+            let remove: std::collections::HashSet<RequestKey> =
+                keys.iter().copied().collect();
+            self.table.delete_where(|row| {
+                Request::from_tuple(row)
+                    .map(|r| remove.contains(&r.key()))
+                    .unwrap_or(false)
+            });
+        }
+        taken
+    }
+
+    /// Distinct transactions with at least one pending request.
+    pub fn pending_transactions(&self) -> Vec<u64> {
+        let mut tas: Vec<u64> = self.by_key.keys().map(|k| k.ta).collect();
+        tas.sort_unstable();
+        tas.dedup();
+        tas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Operation;
+
+    fn reqs() -> Vec<Request> {
+        vec![
+            Request::read(1, 10, 0, 100),
+            Request::write(2, 10, 1, 101),
+            Request::write(3, 11, 0, 100),
+            Request::commit(4, 12, 0),
+        ]
+    }
+
+    #[test]
+    fn insert_query_take_cycle() {
+        let mut p = PendingStore::new();
+        p.insert_batch(reqs()).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.table().len(), 4);
+        assert_eq!(p.pending_transactions(), vec![10, 11, 12]);
+
+        let taken = p.take(&[
+            RequestKey { ta: 10, intra: 0 },
+            RequestKey { ta: 12, intra: 0 },
+        ]);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].op, Operation::Read);
+        assert_eq!(taken[1].op, Operation::Commit);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.table().len(), 2);
+        assert!(p.get(RequestKey { ta: 10, intra: 0 }).is_none());
+        assert!(p.get(RequestKey { ta: 10, intra: 1 }).is_some());
+    }
+
+    #[test]
+    fn take_of_unknown_keys_is_silent() {
+        let mut p = PendingStore::new();
+        p.insert_batch(reqs()).unwrap();
+        let taken = p.take(&[RequestKey { ta: 99, intra: 0 }]);
+        assert!(taken.is_empty());
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn requests_preserve_payloads() {
+        let mut p = PendingStore::new();
+        let mut r = Request::write(1, 5, 0, 7);
+        r.write_value = Some(relalg::Value::Int(999));
+        p.insert_batch(vec![r]).unwrap();
+        let got = p.get(RequestKey { ta: 5, intra: 0 }).unwrap();
+        assert_eq!(got.write_value, Some(relalg::Value::Int(999)));
+        assert_eq!(p.requests().len(), 1);
+    }
+}

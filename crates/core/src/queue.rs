@@ -1,0 +1,99 @@
+//! The incoming request queue (Figure 1: "Incoming queue").
+//!
+//! Client workers append requests here; the scheduler drains the whole queue
+//! into the pending-request relation whenever its trigger fires.
+
+use crate::request::Request;
+use std::collections::VecDeque;
+
+/// A FIFO queue of requests with arrival timestamps (virtual milliseconds).
+#[derive(Debug, Default)]
+pub struct IncomingQueue {
+    entries: VecDeque<(u64, Request)>,
+    total_enqueued: u64,
+    last_drain_ms: u64,
+}
+
+impl IncomingQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        IncomingQueue::default()
+    }
+
+    /// Enqueue a request at time `now_ms`.
+    pub fn push(&mut self, request: Request, now_ms: u64) {
+        self.entries.push_back((now_ms, request));
+        self.total_enqueued += 1;
+    }
+
+    /// Number of buffered requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Arrival time of the oldest buffered request, if any.
+    pub fn oldest_arrival_ms(&self) -> Option<u64> {
+        self.entries.front().map(|(t, _)| *t)
+    }
+
+    /// Milliseconds the oldest buffered request has been waiting at `now_ms`.
+    pub fn oldest_wait_ms(&self, now_ms: u64) -> u64 {
+        self.oldest_arrival_ms()
+            .map(|t| now_ms.saturating_sub(t))
+            .unwrap_or(0)
+    }
+
+    /// Time of the last drain (used by time-based triggers).
+    pub fn last_drain_ms(&self) -> u64 {
+        self.last_drain_ms
+    }
+
+    /// Drain the queue: remove and return every buffered request in arrival
+    /// order ("the scheduler … empties the incoming queue and moves all
+    /// requests into the pending request database as a batch job").
+    pub fn drain(&mut self, now_ms: u64) -> Vec<Request> {
+        self.last_drain_ms = now_ms;
+        self.entries.drain(..).map(|(_, r)| r).collect()
+    }
+
+    /// Total number of requests ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let mut q = IncomingQueue::new();
+        q.push(Request::read(1, 1, 0, 5), 10);
+        q.push(Request::write(2, 1, 1, 6), 12);
+        q.push(Request::commit(3, 1, 2), 15);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.oldest_arrival_ms(), Some(10));
+        assert_eq!(q.oldest_wait_ms(25), 15);
+        let drained = q.drain(30);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].id, 1);
+        assert_eq!(drained[2].id, 3);
+        assert!(q.is_empty());
+        assert_eq!(q.last_drain_ms(), 30);
+        assert_eq!(q.total_enqueued(), 3);
+    }
+
+    #[test]
+    fn empty_queue_edge_cases() {
+        let mut q = IncomingQueue::new();
+        assert_eq!(q.oldest_wait_ms(100), 0);
+        assert!(q.drain(100).is_empty());
+        assert_eq!(q.total_enqueued(), 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Abstract syntax of Datalog programs.
+
+use relalg::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: either a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Variable, conventionally starting with an uppercase letter.
+    Var(String),
+    /// Constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Variable constructor.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Constant constructor.
+    pub fn constant(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// Is this a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Variable name if this is a variable.
+    pub fn var_name(&self) -> Option<&str> {
+        match self {
+            Term::Var(n) => Some(n),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => write!(f, "\"{s}\""),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom: a predicate applied to terms, e.g. `pending(Id, Ta, Op, Obj)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate (relation) name.
+    pub predicate: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Names of all variables appearing in the atom.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.var_name())
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison operators usable as built-in constraints in rule bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Neq,
+    /// Less-than.
+    Lt,
+    /// Less-than-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-than-or-equal.
+    Ge,
+}
+
+impl CompareOp {
+    /// Apply the comparison to two constants.  Returns `false` when the
+    /// values are incomparable (mirrors SQL semantics: such bindings are
+    /// filtered out).
+    pub fn apply(self, a: &Value, b: &Value) -> bool {
+        match a.sql_cmp(b) {
+            None => false,
+            Some(ord) => match self {
+                CompareOp::Eq => ord == std::cmp::Ordering::Equal,
+                CompareOp::Neq => ord != std::cmp::Ordering::Equal,
+                CompareOp::Lt => ord == std::cmp::Ordering::Less,
+                CompareOp::Le => ord != std::cmp::Ordering::Greater,
+                CompareOp::Gt => ord == std::cmp::Ordering::Greater,
+                CompareOp::Ge => ord != std::cmp::Ordering::Less,
+            },
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Neq => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One item in a rule body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyItem {
+    /// A positive atom: bindings must satisfy it.
+    Positive(Atom),
+    /// A negated atom: bindings must not satisfy it (stratified negation).
+    Negative(Atom),
+    /// A built-in comparison constraint over already-bound terms.
+    Compare {
+        /// Operator.
+        op: CompareOp,
+        /// Left term.
+        left: Term,
+        /// Right term.
+        right: Term,
+    },
+}
+
+impl BodyItem {
+    /// Variables that this item *requires* to be bound elsewhere
+    /// (negated atoms and comparisons do not bind variables themselves).
+    pub fn required_variables(&self) -> BTreeSet<&str> {
+        match self {
+            BodyItem::Positive(_) => BTreeSet::new(),
+            BodyItem::Negative(a) => a.variables(),
+            BodyItem::Compare { left, right, .. } => {
+                let mut s = BTreeSet::new();
+                if let Some(v) = left.var_name() {
+                    s.insert(v);
+                }
+                if let Some(v) = right.var_name() {
+                    s.insert(v);
+                }
+                s
+            }
+        }
+    }
+}
+
+impl fmt::Display for BodyItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyItem::Positive(a) => write!(f, "{a}"),
+            BodyItem::Negative(a) => write!(f, "!{a}"),
+            BodyItem::Compare { op, left, right } => write!(f, "{left} {op} {right}"),
+        }
+    }
+}
+
+/// A Datalog rule: `head :- body.`  A rule with an empty body is a fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Head atom (derived relation).
+    pub head: Atom,
+    /// Body items (conjunction).
+    pub body: Vec<BodyItem>,
+}
+
+impl Rule {
+    /// Construct a rule.
+    pub fn new(head: Atom, body: Vec<BodyItem>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Construct a fact (empty body, all head terms must be constants).
+    pub fn fact(head: Atom) -> Self {
+        Rule {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// Is this rule a fact?
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Predicates of positive body atoms.
+    pub fn positive_deps(&self) -> Vec<&str> {
+        self.body
+            .iter()
+            .filter_map(|b| match b {
+                BodyItem::Positive(a) => Some(a.predicate.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Predicates of negative body atoms.
+    pub fn negative_deps(&self) -> Vec<&str> {
+        self.body
+            .iter()
+            .filter_map(|b| match b {
+                BodyItem::Negative(a) => Some(a.predicate.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Range-restriction / safety check: every head variable, every variable
+    /// in a negated atom and every variable in a comparison must occur in at
+    /// least one positive body atom.
+    pub fn is_safe(&self) -> bool {
+        let bound: BTreeSet<&str> = self
+            .body
+            .iter()
+            .filter_map(|b| match b {
+                BodyItem::Positive(a) => Some(a.variables()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let head_ok = self.head.variables().iter().all(|v| bound.contains(v));
+        let body_ok = self
+            .body
+            .iter()
+            .all(|b| b.required_variables().iter().all(|v| bound.contains(v)));
+        head_ok && body_ok
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fact() {
+            return write!(f, "{}.", self.head);
+        }
+        write!(f, "{} :- ", self.head)?;
+        for (i, b) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog program: an ordered list of rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Build a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// Names of all predicates defined by rule heads (the IDB).
+    pub fn idb_predicates(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.predicate.as_str()).collect()
+    }
+
+    /// Names of predicates that only appear in bodies (the EDB — these must
+    /// be supplied as facts by the caller).
+    pub fn edb_predicates(&self) -> BTreeSet<&str> {
+        let idb = self.idb_predicates();
+        self.rules
+            .iter()
+            .flat_map(|r| {
+                r.body.iter().filter_map(|b| match b {
+                    BodyItem::Positive(a) | BodyItem::Negative(a) => {
+                        Some(a.predicate.as_str())
+                    }
+                    BodyItem::Compare { .. } => None,
+                })
+            })
+            .filter(|p| !idb.contains(p))
+            .collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(p: &str, terms: Vec<Term>) -> Atom {
+        Atom::new(p, terms)
+    }
+
+    #[test]
+    fn safety_check_accepts_range_restricted_rules() {
+        // ok(X) :- p(X), !q(X), X > 3.
+        let rule = Rule::new(
+            atom("ok", vec![Term::var("X")]),
+            vec![
+                BodyItem::Positive(atom("p", vec![Term::var("X")])),
+                BodyItem::Negative(atom("q", vec![Term::var("X")])),
+                BodyItem::Compare {
+                    op: CompareOp::Gt,
+                    left: Term::var("X"),
+                    right: Term::constant(3),
+                },
+            ],
+        );
+        assert!(rule.is_safe());
+    }
+
+    #[test]
+    fn safety_check_rejects_unbound_head_or_negated_vars() {
+        // bad(Y) :- p(X).
+        let r1 = Rule::new(
+            atom("bad", vec![Term::var("Y")]),
+            vec![BodyItem::Positive(atom("p", vec![Term::var("X")]))],
+        );
+        assert!(!r1.is_safe());
+        // bad(X) :- p(X), !q(Z).
+        let r2 = Rule::new(
+            atom("bad", vec![Term::var("X")]),
+            vec![
+                BodyItem::Positive(atom("p", vec![Term::var("X")])),
+                BodyItem::Negative(atom("q", vec![Term::var("Z")])),
+            ],
+        );
+        assert!(!r2.is_safe());
+    }
+
+    #[test]
+    fn edb_and_idb_partition() {
+        let p = Program::new(vec![
+            Rule::new(
+                atom("reach", vec![Term::var("X"), Term::var("Y")]),
+                vec![BodyItem::Positive(atom("edge", vec![Term::var("X"), Term::var("Y")]))],
+            ),
+            Rule::new(
+                atom("reach", vec![Term::var("X"), Term::var("Z")]),
+                vec![
+                    BodyItem::Positive(atom("reach", vec![Term::var("X"), Term::var("Y")])),
+                    BodyItem::Positive(atom("edge", vec![Term::var("Y"), Term::var("Z")])),
+                ],
+            ),
+        ]);
+        assert_eq!(p.idb_predicates().into_iter().collect::<Vec<_>>(), vec!["reach"]);
+        assert_eq!(p.edb_predicates().into_iter().collect::<Vec<_>>(), vec!["edge"]);
+    }
+
+    #[test]
+    fn compare_op_semantics() {
+        use relalg::Value;
+        assert!(CompareOp::Lt.apply(&Value::Int(1), &Value::Int(2)));
+        assert!(CompareOp::Neq.apply(&Value::str("a"), &Value::str("b")));
+        assert!(!CompareOp::Eq.apply(&Value::Null, &Value::Null));
+        assert!(CompareOp::Ge.apply(&Value::Float(2.0), &Value::Int(2)));
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let rule = Rule::new(
+            atom("ok", vec![Term::var("X")]),
+            vec![
+                BodyItem::Positive(atom("p", vec![Term::var("X"), Term::constant("w")])),
+                BodyItem::Negative(atom("q", vec![Term::var("X")])),
+            ],
+        );
+        assert_eq!(rule.to_string(), "ok(X) :- p(X, \"w\"), !q(X).");
+        let fact = Rule::fact(atom("p", vec![Term::constant(1)]));
+        assert_eq!(fact.to_string(), "p(1).");
+    }
+}

@@ -1,0 +1,195 @@
+//! Fact storage: relations and the database of relations.
+
+use crate::error::{DatalogError, DatalogResult};
+use relalg::{Table, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A set of ground tuples for one predicate.
+///
+/// Tuples are stored both in insertion order (for deterministic output) and
+/// in a hash set (for O(1) duplicate detection during fixpoint evaluation).
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    rows: Vec<Vec<Value>>,
+    index: HashSet<Vec<Value>>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, row: Vec<Value>) -> bool {
+        if self.index.contains(&row) {
+            return false;
+        }
+        self.index.insert(row.clone());
+        self.rows.push(row);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.index.contains(row)
+    }
+
+    /// All tuples in insertion order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<Value>> {
+        self.rows.iter()
+    }
+}
+
+/// A collection of named relations: the extensional database (facts supplied
+/// by the caller) plus, after evaluation, the derived intensional relations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Add a single fact.
+    pub fn add_fact(&mut self, predicate: impl Into<String>, row: Vec<Value>) -> bool {
+        self.relations.entry(predicate.into()).or_default().insert(row)
+    }
+
+    /// Add many facts for one predicate.
+    pub fn add_facts(
+        &mut self,
+        predicate: impl Into<String>,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) {
+        let rel = self.relations.entry(predicate.into()).or_default();
+        for row in rows {
+            rel.insert(row);
+        }
+    }
+
+    /// Ensure a (possibly empty) relation exists for a predicate.  Useful so
+    /// that rules referring to an empty EDB relation evaluate rather than
+    /// erroring on a missing name.
+    pub fn declare(&mut self, predicate: impl Into<String>) {
+        self.relations.entry(predicate.into()).or_default();
+    }
+
+    /// Load every row of a [`relalg::Table`] as facts for `predicate`.
+    /// This is how the scheduler moves its pending/history relations into the
+    /// Datalog engine each round.
+    pub fn load_table(&mut self, predicate: impl Into<String>, table: &Table) {
+        let rel = self.relations.entry(predicate.into()).or_default();
+        for row in table.rows() {
+            rel.insert(row.values().to_vec());
+        }
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, predicate: &str) -> Option<&Relation> {
+        self.relations.get(predicate)
+    }
+
+    /// Look up a relation, returning an empty one if absent.
+    pub fn relation_or_empty(&self, predicate: &str) -> Relation {
+        self.relations.get(predicate).cloned().unwrap_or_default()
+    }
+
+    /// Mutable access to a relation, creating it if absent.
+    pub fn relation_mut(&mut self, predicate: &str) -> &mut Relation {
+        self.relations.entry(predicate.to_string()).or_default()
+    }
+
+    /// Names of all stored relations (unsorted).
+    pub fn predicates(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Verify that every fact for `predicate` has the given arity.
+    pub fn check_arity(&self, predicate: &str, expected: usize) -> DatalogResult<()> {
+        if let Some(rel) = self.relations.get(predicate) {
+            for row in rel.rows() {
+                if row.len() != expected {
+                    return Err(DatalogError::FactArity {
+                        predicate: predicate.to_string(),
+                        expected,
+                        got: row.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of facts across all relations.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::{Field, Schema};
+
+    #[test]
+    fn relation_deduplicates_and_preserves_order() {
+        let mut r = Relation::new();
+        assert!(r.insert(vec![Value::Int(1)]));
+        assert!(r.insert(vec![Value::Int(2)]));
+        assert!(!r.insert(vec![Value::Int(1)]));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[Value::Int(2)]));
+        assert_eq!(r.rows()[0], vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn database_fact_management() {
+        let mut db = Database::new();
+        db.add_fact("edge", vec![1.into(), 2.into()]);
+        db.add_facts("edge", vec![vec![2.into(), 3.into()], vec![1.into(), 2.into()]]);
+        db.declare("empty");
+        assert_eq!(db.relation("edge").unwrap().len(), 2);
+        assert!(db.relation("empty").unwrap().is_empty());
+        assert!(db.relation("missing").is_none());
+        assert_eq!(db.total_facts(), 2);
+    }
+
+    #[test]
+    fn load_table_moves_rows_into_relation() {
+        let schema = Schema::new(vec![Field::int("ta"), Field::str("op")]);
+        let mut t = Table::new("requests", schema);
+        t.push(relalg::tuple![1, "r"]).unwrap();
+        t.push(relalg::tuple![2, "w"]).unwrap();
+        let mut db = Database::new();
+        db.load_table("pending", &t);
+        assert_eq!(db.relation("pending").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arity_check() {
+        let mut db = Database::new();
+        db.add_fact("p", vec![1.into()]);
+        assert!(db.check_arity("p", 1).is_ok());
+        assert!(db.check_arity("p", 2).is_err());
+        assert!(db.check_arity("absent", 3).is_ok());
+    }
+}

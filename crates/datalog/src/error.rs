@@ -1,0 +1,104 @@
+//! Errors produced by the Datalog engine.
+
+use std::fmt;
+
+/// Result alias.
+pub type DatalogResult<T> = Result<T, DatalogError>;
+
+/// Errors produced while parsing, stratifying or evaluating programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// Syntax error with line/column information.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A rule violates the safety (range-restriction) requirement.
+    UnsafeRule {
+        /// The offending rule rendered as text.
+        rule: String,
+    },
+    /// The program cannot be stratified (negation through a recursive cycle).
+    NotStratifiable {
+        /// The predicates on the offending cycle.
+        cycle: Vec<String>,
+    },
+    /// A predicate is used with inconsistent arities.
+    ArityMismatch {
+        /// The predicate.
+        predicate: String,
+        /// Arities observed.
+        arities: Vec<usize>,
+    },
+    /// Facts supplied for a predicate do not match its declared arity.
+    FactArity {
+        /// The predicate.
+        predicate: String,
+        /// Expected arity.
+        expected: usize,
+        /// Got arity.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            DatalogError::UnsafeRule { rule } => {
+                write!(f, "unsafe rule (unbound variable in head, negation or comparison): {rule}")
+            }
+            DatalogError::NotStratifiable { cycle } => write!(
+                f,
+                "program is not stratifiable: negation on recursive cycle [{}]",
+                cycle.join(" -> ")
+            ),
+            DatalogError::ArityMismatch { predicate, arities } => write!(
+                f,
+                "predicate `{predicate}` used with inconsistent arities: {arities:?}"
+            ),
+            DatalogError::FactArity {
+                predicate,
+                expected,
+                got,
+            } => write!(
+                f,
+                "fact for `{predicate}` has arity {got}, rules expect {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_relevant_names() {
+        let e = DatalogError::NotStratifiable {
+            cycle: vec!["p".into(), "q".into()],
+        };
+        assert!(e.to_string().contains("p -> q"));
+        let e = DatalogError::Parse {
+            line: 3,
+            column: 7,
+            message: "expected `.`".into(),
+        };
+        assert!(e.to_string().contains("3:7"));
+        let e = DatalogError::ArityMismatch {
+            predicate: "pending".into(),
+            arities: vec![4, 5],
+        };
+        assert!(e.to_string().contains("pending"));
+    }
+}

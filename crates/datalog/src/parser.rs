@@ -1,0 +1,409 @@
+//! Text syntax for Datalog programs.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! program   := (rule | comment)*
+//! rule      := atom ( ":-" body )? "."
+//! body      := item ("," item)*
+//! item      := "!" atom | atom | term cmp term
+//! atom      := ident "(" term ("," term)* ")"
+//! term      := VARIABLE | NUMBER | STRING | lower_ident
+//! cmp       := "=" | "!=" | "<" | "<=" | ">" | ">="
+//! comment   := "%" ... end of line     (also "#" and "//")
+//! ```
+//!
+//! Identifiers starting with an uppercase letter or `_` are variables;
+//! lowercase identifiers are string constants (Prolog-style atoms); numbers
+//! and double-quoted strings are constants.
+
+use crate::ast::{Atom, BodyItem, CompareOp, Program, Rule, Term};
+use crate::error::{DatalogError, DatalogResult};
+use relalg::Value;
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+/// Parse a program from text.
+pub fn parse_program(src: &str) -> DatalogResult<Program> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        column: 1,
+    };
+    let mut rules = Vec::new();
+    loop {
+        p.skip_ws_and_comments();
+        if p.at_end() {
+            break;
+        }
+        rules.push(p.parse_rule()?);
+    }
+    // Safety check here so callers get errors at parse time rather than at
+    // evaluation time.
+    for rule in &rules {
+        if !rule.is_safe() {
+            return Err(DatalogError::UnsafeRule {
+                rule: rule.to_string(),
+            });
+        }
+    }
+    Ok(Program::new(rules))
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> DatalogError {
+        DatalogError::Parse {
+            line: self.line,
+            column: self.column,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') | Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> DatalogResult<()> {
+        self.skip_ws_and_comments();
+        for &b in s.as_bytes() {
+            if self.peek() != Some(b) {
+                return Err(self.error(format!("expected `{s}`")));
+            }
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn try_consume(&mut self, s: &str) -> bool {
+        self.skip_ws_and_comments();
+        let bytes = s.as_bytes();
+        if self.src.len() - self.pos < bytes.len() {
+            return false;
+        }
+        if &self.src[self.pos..self.pos + bytes.len()] == bytes {
+            for _ in 0..bytes.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_rule(&mut self) -> DatalogResult<Rule> {
+        let head = self.parse_atom()?;
+        self.skip_ws_and_comments();
+        let body = if self.try_consume(":-") {
+            let mut items = vec![self.parse_body_item()?];
+            while self.try_consume(",") {
+                items.push(self.parse_body_item()?);
+            }
+            items
+        } else {
+            Vec::new()
+        };
+        self.expect(".")?;
+        Ok(Rule::new(head, body))
+    }
+
+    fn parse_body_item(&mut self) -> DatalogResult<BodyItem> {
+        self.skip_ws_and_comments();
+        // Negated atom: `!pred(...)` or `not pred(...)`.
+        if self.peek() == Some(b'!') && self.src.get(self.pos + 1) != Some(&b'=') {
+            self.bump();
+            let atom = self.parse_atom()?;
+            return Ok(BodyItem::Negative(atom));
+        }
+        if self.lookahead_keyword("not") {
+            self.try_consume("not");
+            let atom = self.parse_atom()?;
+            return Ok(BodyItem::Negative(atom));
+        }
+        // Either an atom or a comparison; decide by looking for `(` after an
+        // identifier.
+        let start = (self.pos, self.line, self.column);
+        if let Ok(term) = self.parse_term() {
+            self.skip_ws_and_comments();
+            if let Some(op) = self.try_parse_compare_op() {
+                let right = self.parse_term()?;
+                return Ok(BodyItem::Compare {
+                    op,
+                    left: term,
+                    right,
+                });
+            }
+            // Not a comparison: rewind and parse as an atom.
+            self.pos = start.0;
+            self.line = start.1;
+            self.column = start.2;
+        }
+        let atom = self.parse_atom()?;
+        Ok(BodyItem::Positive(atom))
+    }
+
+    fn lookahead_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws_and_comments();
+        let bytes = kw.as_bytes();
+        if self.src.len() - self.pos < bytes.len() + 1 {
+            return false;
+        }
+        &self.src[self.pos..self.pos + bytes.len()] == bytes
+            && self.src[self.pos + bytes.len()].is_ascii_whitespace()
+    }
+
+    fn try_parse_compare_op(&mut self) -> Option<CompareOp> {
+        for (text, op) in [
+            ("!=", CompareOp::Neq),
+            ("<=", CompareOp::Le),
+            (">=", CompareOp::Ge),
+            ("<", CompareOp::Lt),
+            (">", CompareOp::Gt),
+            ("=", CompareOp::Eq),
+        ] {
+            if self.try_consume(text) {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn parse_atom(&mut self) -> DatalogResult<Atom> {
+        self.skip_ws_and_comments();
+        let name = self.parse_identifier()?;
+        if name.chars().next().map(|c| c.is_uppercase()).unwrap_or(false) {
+            return Err(self.error("predicate names must start with a lowercase letter"));
+        }
+        self.expect("(")?;
+        let mut terms = vec![self.parse_term()?];
+        while self.try_consume(",") {
+            terms.push(self.parse_term()?);
+        }
+        self.expect(")")?;
+        Ok(Atom::new(name, terms))
+    }
+
+    fn parse_term(&mut self) -> DatalogResult<Term> {
+        self.skip_ws_and_comments();
+        match self.peek() {
+            Some(b'"') => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(c) => s.push(c as char),
+                        None => return Err(self.error("unterminated string literal")),
+                    }
+                }
+                Ok(Term::Const(Value::str(s)))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                let mut text = String::new();
+                if c == b'-' {
+                    text.push('-');
+                    self.bump();
+                }
+                let mut is_float = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c as char);
+                        self.bump();
+                    } else if c == b'.' && self.src.get(self.pos + 1).map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                        is_float = true;
+                        text.push('.');
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if text == "-" {
+                    return Err(self.error("expected digits after `-`"));
+                }
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("invalid float `{text}`")))?;
+                    Ok(Term::Const(Value::Float(v)))
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("invalid integer `{text}`")))?;
+                    Ok(Term::Const(Value::Int(v)))
+                }
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.parse_identifier()?;
+                let first = name.chars().next().unwrap_or('_');
+                if first.is_uppercase() || first == '_' {
+                    Ok(Term::Var(name))
+                } else {
+                    // Prolog-style atom constant.
+                    Ok(Term::Const(Value::str(name)))
+                }
+            }
+            _ => Err(self.error("expected a term (variable, number, string or atom)")),
+        }
+    }
+
+    fn parse_identifier(&mut self) -> DatalogResult<String> {
+        self.skip_ws_and_comments();
+        let mut name = String::new();
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {}
+            _ => return Err(self.error("expected an identifier")),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                name.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts_rules_and_comments() {
+        let p = parse_program(
+            r#"
+            % transitive closure
+            edge(1, 2).
+            edge(2, 3).   # another comment
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Z) :- reach(X, Y), edge(Y, Z).  // recursive step
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 4);
+        assert!(p.rules[0].is_fact());
+        assert_eq!(p.rules[2].head.predicate, "reach");
+    }
+
+    #[test]
+    fn parses_negation_both_syntaxes() {
+        let p = parse_program(
+            r#"
+            free(O) :- object(O), !locked(O).
+            free2(O) :- object(O), not locked(O).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules[0].negative_deps(), vec!["locked"]);
+        assert_eq!(p.rules[1].negative_deps(), vec!["locked"]);
+    }
+
+    #[test]
+    fn parses_comparisons_and_constants() {
+        let p = parse_program(
+            r#"
+            conflict(T1, T2) :- op(T1, O, "w"), op(T2, O, Kind), T1 != T2, Kind = "w".
+            big(X) :- val(X), X >= 10.
+            neg(X) :- val(X), X < -3.
+            frac(X) :- val(X), X > 2.5.
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 4);
+        let body = &p.rules[0].body;
+        assert!(matches!(body[2], BodyItem::Compare { op: CompareOp::Neq, .. }));
+        // lowercase identifier as atom constant
+        let p2 = parse_program("class(T, premium) :- ta(T).").unwrap();
+        match &p2.rules[0].head.terms[1] {
+            Term::Const(v) => assert_eq!(v.as_str(), Some("premium")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsafe_rules_at_parse_time() {
+        let err = parse_program("bad(X) :- other(Y).").unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeRule { .. }));
+        let err = parse_program("bad(X) :- p(X), !q(Z).").unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeRule { .. }));
+    }
+
+    #[test]
+    fn reports_positions_for_syntax_errors() {
+        let err = parse_program("p(X) :- q(X)").unwrap_err(); // missing period
+        match err {
+            DatalogError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_program("p(").is_err());
+        assert!(parse_program("P(x).").is_err()); // uppercase predicate
+        assert!(parse_program(r#"p("unterminated)."#).is_err());
+    }
+
+    #[test]
+    fn underscore_variables_are_variables() {
+        let p = parse_program("head(X) :- pair(X, _Ignored).").unwrap();
+        match &p.rules[0].body[0] {
+            BodyItem::Positive(a) => assert!(a.terms[1].is_var()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let src = r#"qualified(T, I) :- pending(Id, T, I, Op, O), wlocked(O, T2), T != T2."#;
+        let p1 = parse_program(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

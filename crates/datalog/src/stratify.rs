@@ -1,0 +1,219 @@
+//! Stratification of Datalog programs with negation.
+//!
+//! A program is stratifiable when no predicate depends on itself through a
+//! negation.  Evaluation then proceeds stratum by stratum: all rules of a
+//! stratum see the *complete* relations of lower strata, which gives negation
+//! a well-defined (perfect-model) semantics.  The scheduling protocols of the
+//! paper are naturally stratified — e.g. "blocked requests" are derived from
+//! the history first, then "qualified requests" are those *not* blocked.
+
+use crate::ast::Program;
+use crate::error::{DatalogError, DatalogResult};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of stratification: for every IDB predicate a stratum number, and
+/// the rules grouped per stratum in evaluation order.
+#[derive(Debug, Clone)]
+pub struct Stratification {
+    /// Stratum number per IDB predicate.
+    pub strata: BTreeMap<String, usize>,
+    /// Rule indexes (into `program.rules`) grouped by stratum, lowest first.
+    pub rule_groups: Vec<Vec<usize>>,
+}
+
+/// Compute a stratification or report the negative cycle that prevents one.
+pub fn stratify(program: &Program) -> DatalogResult<Stratification> {
+    // Check arity consistency first: the same predicate must always be used
+    // with one arity, otherwise evaluation would silently mis-join.
+    check_arities(program)?;
+
+    let idb: BTreeSet<&str> = program.idb_predicates();
+
+    // Edges between IDB predicates: (from body predicate, to head predicate,
+    // negative?).  EDB predicates live conceptually in stratum 0 and never
+    // constrain anything.
+    let mut edges: Vec<(String, String, bool)> = Vec::new();
+    for rule in &program.rules {
+        let head = rule.head.predicate.clone();
+        for dep in rule.positive_deps() {
+            if idb.contains(dep) {
+                edges.push((dep.to_string(), head.clone(), false));
+            }
+        }
+        for dep in rule.negative_deps() {
+            if idb.contains(dep) {
+                edges.push((dep.to_string(), head.clone(), true));
+            }
+        }
+    }
+
+    // Iteratively raise strata: head >= body for positive deps,
+    // head > body (i.e. >= body+1) for negative deps.  If a stratum ever
+    // exceeds the number of IDB predicates there must be a negative cycle.
+    let mut strata: BTreeMap<String, usize> =
+        idb.iter().map(|p| (p.to_string(), 0usize)).collect();
+    let max_stratum = idb.len().max(1);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (from, to, negative) in &edges {
+            let from_stratum = strata[from];
+            let required = if *negative {
+                from_stratum + 1
+            } else {
+                from_stratum
+            };
+            let entry = strata.get_mut(to).expect("head is always an IDB predicate");
+            if *entry < required {
+                *entry = required;
+                if *entry > max_stratum {
+                    return Err(DatalogError::NotStratifiable {
+                        cycle: find_negative_cycle(&edges),
+                    });
+                }
+                changed = true;
+            }
+        }
+    }
+
+    // Group rules by the stratum of their head predicate.
+    let max = strata.values().copied().max().unwrap_or(0);
+    let mut rule_groups: Vec<Vec<usize>> = vec![Vec::new(); max + 1];
+    for (i, rule) in program.rules.iter().enumerate() {
+        let s = strata[&rule.head.predicate];
+        rule_groups[s].push(i);
+    }
+
+    Ok(Stratification { strata, rule_groups })
+}
+
+fn check_arities(program: &Program) -> DatalogResult<()> {
+    let mut arities: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    for rule in &program.rules {
+        arities
+            .entry(rule.head.predicate.as_str())
+            .or_default()
+            .insert(rule.head.arity());
+        for item in &rule.body {
+            match item {
+                crate::ast::BodyItem::Positive(a) | crate::ast::BodyItem::Negative(a) => {
+                    arities.entry(a.predicate.as_str()).or_default().insert(a.arity());
+                }
+                crate::ast::BodyItem::Compare { .. } => {}
+            }
+        }
+    }
+    for (pred, set) in arities {
+        if set.len() > 1 {
+            return Err(DatalogError::ArityMismatch {
+                predicate: pred.to_string(),
+                arities: set.into_iter().collect(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Best-effort extraction of a cycle containing a negative edge, for error
+/// reporting.  Falls back to listing all predicates on negative edges.
+fn find_negative_cycle(edges: &[(String, String, bool)]) -> Vec<String> {
+    let mut on_negative: BTreeSet<String> = BTreeSet::new();
+    for (from, to, negative) in edges {
+        if *negative {
+            on_negative.insert(from.clone());
+            on_negative.insert(to.clone());
+        }
+    }
+    on_negative.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn positive_recursion_is_single_stratum() {
+        let p = parse_program(
+            "reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.strata["reach"], 0);
+        assert_eq!(s.rule_groups.len(), 1);
+        assert_eq!(s.rule_groups[0].len(), 2);
+    }
+
+    #[test]
+    fn negation_pushes_dependent_predicate_to_higher_stratum() {
+        let p = parse_program(
+            r#"
+            blocked(O) :- history(T, O, "w").
+            qualified(T, O) :- pending(T, O), !blocked(O).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.strata["blocked"], 0);
+        assert_eq!(s.strata["qualified"], 1);
+        assert_eq!(s.rule_groups.len(), 2);
+    }
+
+    #[test]
+    fn negation_through_recursion_is_rejected() {
+        let p = parse_program(
+            r#"
+            win(X) :- move(X, Y), !win(Y).
+            "#,
+        )
+        .unwrap();
+        let err = stratify(&p).unwrap_err();
+        match err {
+            DatalogError::NotStratifiable { cycle } => assert!(cycle.contains(&"win".to_string())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutual_negative_cycle_is_rejected() {
+        let p = parse_program(
+            r#"
+            p(X) :- base(X), !q(X).
+            q(X) :- base(X), !p(X).
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            stratify(&p),
+            Err(DatalogError::NotStratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let p = parse_program(
+            r#"
+            a(X) :- b(X).
+            c(X) :- b(X, Y).
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(stratify(&p), Err(DatalogError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn chains_of_negation_produce_multiple_strata() {
+        let p = parse_program(
+            r#"
+            a(X) :- base(X).
+            b(X) :- base(X), !a(X).
+            c(X) :- base(X), !b(X).
+            "#,
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.strata["a"], 0);
+        assert_eq!(s.strata["b"], 1);
+        assert_eq!(s.strata["c"], 2);
+    }
+}

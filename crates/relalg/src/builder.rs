@@ -1,0 +1,252 @@
+//! A fluent builder for relational plans.
+//!
+//! Scheduling protocols in the core crate are authored through this builder,
+//! which keeps them readable algebra rather than deeply nested enum
+//! constructors.
+
+use crate::expr::Expr;
+use crate::plan::{Aggregate, JoinKind, Plan, ProjectItem, SortKey};
+use crate::value::Value;
+
+/// Fluent plan builder.  Every method consumes and returns the builder so
+/// pipelines read top-down like SQL `FROM ... WHERE ... SELECT`.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: Plan,
+}
+
+impl PlanBuilder {
+    /// Start from a catalog relation.
+    pub fn scan(relation: impl Into<String>) -> Self {
+        PlanBuilder {
+            plan: Plan::Scan {
+                relation: relation.into(),
+            },
+        }
+    }
+
+    /// Start from literal rows.
+    pub fn values(columns: Vec<&str>, rows: Vec<Vec<Value>>) -> Self {
+        PlanBuilder {
+            plan: Plan::Values {
+                columns: columns.into_iter().map(String::from).collect(),
+                rows,
+            },
+        }
+    }
+
+    /// Wrap an existing plan.
+    pub fn from_plan(plan: Plan) -> Self {
+        PlanBuilder { plan }
+    }
+
+    /// Filter rows (`WHERE`).
+    pub fn filter(self, predicate: Expr) -> Self {
+        PlanBuilder {
+            plan: Plan::Select {
+                input: Box::new(self.plan),
+                predicate,
+            },
+        }
+    }
+
+    /// Project expressions without aliases (`SELECT e1, e2, ...`).
+    pub fn project(self, exprs: Vec<Expr>) -> Self {
+        PlanBuilder {
+            plan: Plan::Project {
+                input: Box::new(self.plan),
+                items: exprs.into_iter().map(ProjectItem::expr).collect(),
+            },
+        }
+    }
+
+    /// Project expressions with aliases (`SELECT e1 AS a, e2 AS b`).
+    pub fn project_as(self, items: Vec<(Expr, &str)>) -> Self {
+        PlanBuilder {
+            plan: Plan::Project {
+                input: Box::new(self.plan),
+                items: items
+                    .into_iter()
+                    .map(|(e, a)| ProjectItem::aliased(e, a))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Join with another plan.
+    pub fn join(self, right: PlanBuilder, kind: JoinKind, on: Option<Expr>) -> Self {
+        PlanBuilder {
+            plan: Plan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                kind,
+                on,
+            },
+        }
+    }
+
+    /// Inner equi-join convenience: `on` pairs are (left column, right column).
+    pub fn equi_join(self, right: PlanBuilder, pairs: &[(&str, &str)]) -> Self {
+        let mut pred: Option<Expr> = None;
+        for (l, r) in pairs {
+            let p = Expr::col(*l).eq(Expr::col(*r));
+            pred = Some(match pred {
+                Some(prev) => prev.and(p),
+                None => p,
+            });
+        }
+        self.join(right, JoinKind::Inner, pred)
+    }
+
+    /// Bag union (`UNION ALL`).
+    pub fn union_all(self, right: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Plan::UnionAll {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    /// Set difference (`EXCEPT`).
+    pub fn except(self, right: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Plan::Except {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    /// Set intersection (`INTERSECT`).
+    pub fn intersect(self, right: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Plan::Intersect {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    /// Remove duplicates (`DISTINCT`).
+    pub fn distinct(self) -> Self {
+        PlanBuilder {
+            plan: Plan::Distinct {
+                input: Box::new(self.plan),
+            },
+        }
+    }
+
+    /// Sort rows (`ORDER BY`).
+    pub fn sort(self, keys: Vec<SortKey>) -> Self {
+        PlanBuilder {
+            plan: Plan::Sort {
+                input: Box::new(self.plan),
+                keys,
+            },
+        }
+    }
+
+    /// Keep the first `count` rows (`LIMIT`).
+    pub fn limit(self, count: usize) -> Self {
+        PlanBuilder {
+            plan: Plan::Limit {
+                input: Box::new(self.plan),
+                count,
+            },
+        }
+    }
+
+    /// Group-by aggregation.
+    pub fn aggregate(self, group_by: Vec<Expr>, aggregates: Vec<Aggregate>) -> Self {
+        PlanBuilder {
+            plan: Plan::Aggregate {
+                input: Box::new(self.plan),
+                group_by,
+                aggregates,
+            },
+        }
+    }
+
+    /// Rename all output columns (arity must match at execution time).
+    pub fn rename(self, columns: Vec<&str>) -> Self {
+        PlanBuilder {
+            plan: Plan::Rename {
+                input: Box::new(self.plan),
+                columns: columns.into_iter().map(String::from).collect(),
+            },
+        }
+    }
+
+    /// Finish and return the plan.
+    pub fn build(self) -> Plan {
+        self.plan
+    }
+}
+
+impl From<PlanBuilder> for Plan {
+    fn from(b: PlanBuilder) -> Plan {
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AggFunc;
+
+    #[test]
+    fn builder_produces_expected_tree_shape() {
+        let plan = PlanBuilder::scan("requests")
+            .filter(Expr::col("operation").eq(Expr::lit("w")))
+            .project(vec![Expr::col("ta")])
+            .distinct()
+            .limit(10)
+            .build();
+        assert_eq!(plan.node_count(), 5);
+        let text = plan.explain();
+        assert!(text.contains("Limit 10"));
+        assert!(text.contains("Scan requests"));
+    }
+
+    #[test]
+    fn equi_join_builds_conjunction() {
+        let plan = PlanBuilder::scan("a")
+            .equi_join(
+                PlanBuilder::scan("b"),
+                &[("x", "bx"), ("y", "by")],
+            )
+            .build();
+        match plan {
+            Plan::Join { on: Some(pred), kind: JoinKind::Inner, .. } => {
+                let s = pred.to_string();
+                assert!(s.contains("(x = bx)"));
+                assert!(s.contains("(y = by)"));
+                assert!(s.contains("AND"));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_and_rename_builders() {
+        let plan = PlanBuilder::scan("requests")
+            .aggregate(
+                vec![Expr::col("ta")],
+                vec![Aggregate::new(AggFunc::Count, Expr::col("id"), "n")],
+            )
+            .rename(vec!["ta", "count"])
+            .build();
+        assert!(plan.explain().contains("Rename [ta, count]"));
+    }
+
+    #[test]
+    fn values_builder() {
+        let plan = PlanBuilder::values(
+            vec!["a"],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .build();
+        assert!(matches!(plan, Plan::Values { ref rows, .. } if rows.len() == 2));
+    }
+}

@@ -1,0 +1,142 @@
+//! A catalog of named relations against which plans are evaluated.
+
+use crate::error::{RelError, RelResult};
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// A set of named [`Table`]s.
+///
+/// The declarative scheduler registers its `requests`, `history` and
+/// (optionally) auxiliary relations (SLA classes, object placement, ...) in a
+/// catalog, then executes protocol plans against it every scheduling round.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under its own name.  Fails if the name is taken.
+    pub fn register(&mut self, table: Table) -> &mut Self {
+        let name = table.name().to_string();
+        assert!(
+            !self.tables.contains_key(&name),
+            "relation `{name}` is already registered; use replace()"
+        );
+        self.tables.insert(name, table);
+        self
+    }
+
+    /// Register a table, failing with an error (rather than panicking) if the
+    /// name is already taken.
+    pub fn try_register(&mut self, table: Table) -> RelResult<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(RelError::DuplicateRelation { relation: name });
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Insert or replace a table under its own name.
+    pub fn replace(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Remove a table by name, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> RelResult<&Table> {
+        self.tables.get(name).ok_or_else(|| RelError::UnknownRelation {
+            relation: name.to_string(),
+        })
+    }
+
+    /// Look up a table mutably by name.
+    pub fn get_mut(&mut self, name: &str) -> RelResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RelError::UnknownRelation {
+                relation: name.to_string(),
+            })
+    }
+
+    /// Whether a relation with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all registered relations (unsorted).
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::tuple;
+
+    fn table(name: &str) -> Table {
+        let schema = Schema::new(vec![Field::int("x")]);
+        let mut t = Table::new(name, schema);
+        t.push(tuple![1]).unwrap();
+        t
+    }
+
+    #[test]
+    fn register_lookup_remove() {
+        let mut c = Catalog::new();
+        c.register(table("requests"));
+        c.register(table("history"));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains("requests"));
+        assert_eq!(c.get("requests").unwrap().len(), 1);
+        assert!(c.get("missing").is_err());
+        assert!(c.remove("history").is_some());
+        assert!(!c.contains("history"));
+    }
+
+    #[test]
+    fn try_register_rejects_duplicates() {
+        let mut c = Catalog::new();
+        c.try_register(table("requests")).unwrap();
+        let err = c.try_register(table("requests")).unwrap_err();
+        assert!(matches!(err, RelError::DuplicateRelation { .. }));
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut c = Catalog::new();
+        c.register(table("requests"));
+        let schema = Schema::new(vec![Field::int("x")]);
+        c.replace(Table::new("requests", schema));
+        assert_eq!(c.get("requests").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_mutation() {
+        let mut c = Catalog::new();
+        c.register(table("requests"));
+        c.get_mut("requests").unwrap().push(tuple![2]).unwrap();
+        assert_eq!(c.get("requests").unwrap().len(), 2);
+    }
+}

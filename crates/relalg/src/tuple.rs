@@ -1,0 +1,145 @@
+//! Tuples (rows) of a relation.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A row of a relation: an ordered list of values whose positions correspond
+/// to the columns of the owning [`crate::schema::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The empty tuple.
+    pub fn empty() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrow the value at position `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds; callers resolve column names to
+    /// indexes through the schema before evaluation, so an out-of-bounds
+    /// access is a programming error.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Borrow the value at position `idx`, if in range.
+    pub fn try_get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume the tuple and return its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenate with another tuple (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Concatenate with `arity` NULL values (used by outer joins for the
+    /// unmatched side, exactly as the paper's SS2PL query relies on to detect
+    /// transactions without a commit/abort record).
+    pub fn concat_nulls(&self, arity: usize) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + arity);
+        values.extend_from_slice(&self.values);
+        values.extend(std::iter::repeat(Value::Null).take(arity));
+        Tuple::new(values)
+    }
+
+    /// Build a new tuple containing the values at the given positions.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples:
+/// `tuple![1, "w", 42]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple![1, "w", 42];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), &Value::Int(1));
+        assert_eq!(t.get(1).as_str(), Some("w"));
+        assert_eq!(t.try_get(5), None);
+    }
+
+    #[test]
+    fn concat_and_null_padding() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2).as_str(), Some("x"));
+
+        let padded = a.concat_nulls(2);
+        assert_eq!(padded.arity(), 4);
+        assert!(padded.get(2).is_null());
+        assert!(padded.get(3).is_null());
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let t = tuple![10, 20, 30];
+        let p = t.project(&[2, 0, 0]);
+        assert_eq!(p.values(), &[Value::Int(30), Value::Int(10), Value::Int(10)]);
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        assert_eq!(tuple![1, "r"].to_string(), "(1, r)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+}

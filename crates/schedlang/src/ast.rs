@@ -1,0 +1,213 @@
+//! Abstract syntax of SchedLang protocols.
+
+use std::fmt;
+
+/// The dispatch ordering named in an `order by …;` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderBy {
+    /// `order by arrival;` — FIFO by request id.
+    Arrival,
+    /// `order by transaction;` — group by transaction, keep intra order.
+    Transaction,
+    /// `order by priority;` — SLA priority, highest first.
+    Priority,
+    /// `order by deadline;` — earliest deadline first.
+    Deadline,
+}
+
+impl OrderBy {
+    /// Parse the ordering name used in source text.
+    pub fn from_name(name: &str) -> Option<OrderBy> {
+        match name {
+            "arrival" => Some(OrderBy::Arrival),
+            "transaction" => Some(OrderBy::Transaction),
+            "priority" => Some(OrderBy::Priority),
+            "deadline" => Some(OrderBy::Deadline),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OrderBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OrderBy::Arrival => "arrival",
+            OrderBy::Transaction => "transaction",
+            OrderBy::Priority => "priority",
+            OrderBy::Deadline => "deadline",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A term appearing in a clause body or a `define` head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyTerm {
+    /// A variable (`T2`, `_`, …).
+    Variable(String),
+    /// An integer constant.
+    Number(i64),
+    /// A string constant.
+    Str(String),
+    /// A lowercase identifier.  In `admit`/`block` bodies the identifiers
+    /// `ta`, `intra`, `op` and `obj` denote fields of the pending request
+    /// under consideration; any other lowercase identifier is a symbolic
+    /// constant (as in Datalog).
+    Ident(String),
+}
+
+/// Comparison operators in constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One element of a clause body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyAtom {
+    /// `pred(t1, …, tn)`
+    Positive {
+        /// Predicate name.
+        predicate: String,
+        /// Arguments.
+        terms: Vec<BodyTerm>,
+    },
+    /// `not pred(t1, …, tn)`
+    Negative {
+        /// Predicate name.
+        predicate: String,
+        /// Arguments.
+        terms: Vec<BodyTerm>,
+    },
+    /// `t1 <op> t2`
+    Compare {
+        /// Operator.
+        op: CmpOp,
+        /// Left term.
+        left: BodyTerm,
+        /// Right term.
+        right: BodyTerm,
+    },
+}
+
+/// A clause of a protocol definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `order by <name>;`
+    Order(OrderBy),
+    /// `define head(args) when body;` — a helper predicate.
+    Define {
+        /// Head predicate name.
+        name: String,
+        /// Head arguments (variables or constants).
+        args: Vec<BodyTerm>,
+        /// Body atoms.
+        body: Vec<BodyAtom>,
+    },
+    /// `block when body;` — pending requests matching the body must wait.
+    Block {
+        /// Body atoms (implicitly conjoined with the pending request).
+        body: Vec<BodyAtom>,
+    },
+    /// `admit when body;` — pending requests matching the body qualify.
+    Admit {
+        /// Body atoms (implicitly conjoined with the pending request).
+        body: Vec<BodyAtom>,
+    },
+    /// `admit otherwise;` — requests not matched by any `block` clause
+    /// qualify.
+    AdmitOtherwise,
+}
+
+/// A parsed protocol definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolDef {
+    /// Protocol name.
+    pub name: String,
+    /// Clauses in source order.
+    pub clauses: Vec<Clause>,
+}
+
+impl ProtocolDef {
+    /// The ordering named by the protocol (defaults to arrival order).
+    pub fn ordering(&self) -> OrderBy {
+        self.clauses
+            .iter()
+            .find_map(|c| match c {
+                Clause::Order(o) => Some(*o),
+                _ => None,
+            })
+            .unwrap_or(OrderBy::Arrival)
+    }
+
+    /// Whether the protocol contains an `admit otherwise` clause or no
+    /// explicit `admit` clauses at all (both imply the default admission
+    /// rule).
+    pub fn has_default_admission(&self) -> bool {
+        let has_otherwise = self
+            .clauses
+            .iter()
+            .any(|c| matches!(c, Clause::AdmitOtherwise));
+        let has_explicit_admit = self.clauses.iter().any(|c| matches!(c, Clause::Admit { .. }));
+        has_otherwise || !has_explicit_admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_by_names() {
+        assert_eq!(OrderBy::from_name("arrival"), Some(OrderBy::Arrival));
+        assert_eq!(OrderBy::from_name("deadline"), Some(OrderBy::Deadline));
+        assert_eq!(OrderBy::from_name("nope"), None);
+        assert_eq!(OrderBy::Priority.to_string(), "priority");
+    }
+
+    #[test]
+    fn default_admission_logic() {
+        let block_only = ProtocolDef {
+            name: "p".into(),
+            clauses: vec![Clause::Block { body: vec![] }],
+        };
+        assert!(block_only.has_default_admission());
+
+        let explicit = ProtocolDef {
+            name: "p".into(),
+            clauses: vec![Clause::Admit { body: vec![] }],
+        };
+        assert!(!explicit.has_default_admission());
+
+        let with_otherwise = ProtocolDef {
+            name: "p".into(),
+            clauses: vec![Clause::Admit { body: vec![] }, Clause::AdmitOtherwise],
+        };
+        assert!(with_otherwise.has_default_admission());
+    }
+
+    #[test]
+    fn ordering_defaults_to_arrival() {
+        let p = ProtocolDef {
+            name: "p".into(),
+            clauses: vec![],
+        };
+        assert_eq!(p.ordering(), OrderBy::Arrival);
+        let p = ProtocolDef {
+            name: "p".into(),
+            clauses: vec![Clause::Order(OrderBy::Deadline)],
+        };
+        assert_eq!(p.ordering(), OrderBy::Deadline);
+    }
+}

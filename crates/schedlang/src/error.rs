@@ -1,0 +1,102 @@
+//! Diagnostics for SchedLang programs.
+
+use std::fmt;
+
+/// Result alias.
+pub type LangResult<T> = Result<T, LangError>;
+
+/// Errors produced while lexing, parsing or compiling SchedLang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// A character that cannot start any token.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// The parser expected something else.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// What was expected.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// A semantic error detected during compilation.
+    Semantic {
+        /// Which protocol the error is in.
+        protocol: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The generated Datalog failed to validate (indicates an unsafe clause,
+    /// e.g. a head variable that is never bound).
+    Generated {
+        /// Which protocol the error is in.
+        protocol: String,
+        /// The underlying Datalog error.
+        message: String,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, column, found } => {
+                write!(f, "lexical error at {line}:{column}: unexpected character `{found}`")
+            }
+            LangError::Parse {
+                line,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parse error at {line}:{column}: expected {expected}, found {found}"
+            ),
+            LangError::Semantic { protocol, message } => {
+                write!(f, "semantic error in protocol `{protocol}`: {message}")
+            }
+            LangError::Generated { protocol, message } => write!(
+                f,
+                "protocol `{protocol}` compiled to invalid rules: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_positions_and_names() {
+        let e = LangError::Parse {
+            line: 2,
+            column: 5,
+            expected: "`when`".into(),
+            found: "`;`".into(),
+        };
+        assert!(e.to_string().contains("2:5"));
+        assert!(e.to_string().contains("`when`"));
+        let e = LangError::Semantic {
+            protocol: "p".into(),
+            message: "duplicate order clause".into(),
+        };
+        assert!(e.to_string().contains("duplicate order clause"));
+        let e = LangError::Lex {
+            line: 1,
+            column: 3,
+            found: '$',
+        };
+        assert!(e.to_string().contains('$'));
+    }
+}

@@ -1,0 +1,365 @@
+//! Tokenizer for SchedLang.
+
+use crate::error::{LangError, LangResult};
+use std::fmt;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `protocol` keyword.
+    Protocol,
+    /// `order` keyword.
+    Order,
+    /// `by` keyword.
+    By,
+    /// `define` keyword.
+    Define,
+    /// `when` keyword.
+    When,
+    /// `block` keyword.
+    Block,
+    /// `admit` keyword.
+    Admit,
+    /// `otherwise` keyword.
+    Otherwise,
+    /// `not` keyword.
+    Not,
+    /// An identifier starting with a lowercase letter (predicate names,
+    /// field keywords, ordering names).
+    Ident(String),
+    /// A variable: an identifier starting with an uppercase letter or `_`.
+    Variable(String),
+    /// An integer literal.
+    Number(i64),
+    /// A double-quoted string literal.
+    Str(String),
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semicolon,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Neq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Variable(s) => write!(f, "variable `{s}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", keyword_text(other)),
+        }
+    }
+}
+
+fn keyword_text(kind: &TokenKind) -> &'static str {
+    match kind {
+        TokenKind::Protocol => "protocol",
+        TokenKind::Order => "order",
+        TokenKind::By => "by",
+        TokenKind::Define => "define",
+        TokenKind::When => "when",
+        TokenKind::Block => "block",
+        TokenKind::Admit => "admit",
+        TokenKind::Otherwise => "otherwise",
+        TokenKind::Not => "not",
+        TokenKind::LBrace => "{",
+        TokenKind::RBrace => "}",
+        TokenKind::LParen => "(",
+        TokenKind::RParen => ")",
+        TokenKind::Comma => ",",
+        TokenKind::Semicolon => ";",
+        TokenKind::Eq => "=",
+        TokenKind::Neq => "!=",
+        TokenKind::Lt => "<",
+        TokenKind::Le => "<=",
+        TokenKind::Gt => ">",
+        TokenKind::Ge => ">=",
+        _ => "?",
+    }
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Tokenize a SchedLang source string.  `#`, `%` and `//` start line
+/// comments.
+pub fn tokenize(src: &str) -> LangResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    let bump = |pos: &mut usize, line: &mut usize, column: &mut usize| {
+        if bytes[*pos] == b'\n' {
+            *line += 1;
+            *column = 1;
+        } else {
+            *column += 1;
+        }
+        *pos += 1;
+    };
+
+    while pos < bytes.len() {
+        let c = bytes[pos] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump(&mut pos, &mut line, &mut column);
+            continue;
+        }
+        // Comments.
+        if c == '#' || c == '%' || (c == '/' && bytes.get(pos + 1) == Some(&b'/')) {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                bump(&mut pos, &mut line, &mut column);
+            }
+            continue;
+        }
+        let start_line = line;
+        let start_column = column;
+        // Punctuation and operators.
+        let simple = match c {
+            '{' => Some(TokenKind::LBrace),
+            '}' => Some(TokenKind::RBrace),
+            '(' => Some(TokenKind::LParen),
+            ')' => Some(TokenKind::RParen),
+            ',' => Some(TokenKind::Comma),
+            ';' => Some(TokenKind::Semicolon),
+            '=' => Some(TokenKind::Eq),
+            _ => None,
+        };
+        if let Some(kind) = simple {
+            tokens.push(Token {
+                kind,
+                line: start_line,
+                column: start_column,
+            });
+            bump(&mut pos, &mut line, &mut column);
+            continue;
+        }
+        if c == '!' && bytes.get(pos + 1) == Some(&b'=') {
+            tokens.push(Token {
+                kind: TokenKind::Neq,
+                line: start_line,
+                column: start_column,
+            });
+            bump(&mut pos, &mut line, &mut column);
+            bump(&mut pos, &mut line, &mut column);
+            continue;
+        }
+        if c == '<' || c == '>' {
+            let with_eq = bytes.get(pos + 1) == Some(&b'=');
+            let kind = match (c, with_eq) {
+                ('<', false) => TokenKind::Lt,
+                ('<', true) => TokenKind::Le,
+                ('>', false) => TokenKind::Gt,
+                ('>', true) => TokenKind::Ge,
+                _ => unreachable!(),
+            };
+            tokens.push(Token {
+                kind,
+                line: start_line,
+                column: start_column,
+            });
+            bump(&mut pos, &mut line, &mut column);
+            if with_eq {
+                bump(&mut pos, &mut line, &mut column);
+            }
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            bump(&mut pos, &mut line, &mut column);
+            let mut s = String::new();
+            loop {
+                if pos >= bytes.len() {
+                    return Err(LangError::Lex {
+                        line,
+                        column,
+                        found: '"',
+                    });
+                }
+                let ch = bytes[pos] as char;
+                bump(&mut pos, &mut line, &mut column);
+                if ch == '"' {
+                    break;
+                }
+                s.push(ch);
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(s),
+                line: start_line,
+                column: start_column,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == '-' && bytes.get(pos + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)) {
+            let mut text = String::new();
+            if c == '-' {
+                text.push('-');
+                bump(&mut pos, &mut line, &mut column);
+            }
+            while pos < bytes.len() && (bytes[pos] as char).is_ascii_digit() {
+                text.push(bytes[pos] as char);
+                bump(&mut pos, &mut line, &mut column);
+            }
+            let value: i64 = text.parse().map_err(|_| LangError::Lex {
+                line: start_line,
+                column: start_column,
+                found: c,
+            })?;
+            tokens.push(Token {
+                kind: TokenKind::Number(value),
+                line: start_line,
+                column: start_column,
+            });
+            continue;
+        }
+        // Identifiers, variables and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while pos < bytes.len() {
+                let ch = bytes[pos] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    text.push(ch);
+                    bump(&mut pos, &mut line, &mut column);
+                } else {
+                    break;
+                }
+            }
+            let kind = match text.as_str() {
+                "protocol" => TokenKind::Protocol,
+                "order" => TokenKind::Order,
+                "by" => TokenKind::By,
+                "define" => TokenKind::Define,
+                "when" => TokenKind::When,
+                "block" => TokenKind::Block,
+                "admit" => TokenKind::Admit,
+                "otherwise" => TokenKind::Otherwise,
+                "not" => TokenKind::Not,
+                _ => {
+                    let first = text.chars().next().unwrap_or('a');
+                    if first.is_uppercase() || first == '_' {
+                        TokenKind::Variable(text)
+                    } else {
+                        TokenKind::Ident(text)
+                    }
+                }
+            };
+            tokens.push(Token {
+                kind,
+                line: start_line,
+                column: start_column,
+            });
+            continue;
+        }
+        return Err(LangError::Lex {
+            line: start_line,
+            column: start_column,
+            found: c,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_identifiers_and_variables() {
+        let ks = kinds("protocol p { order by arrival; }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Protocol,
+                TokenKind::Ident("p".into()),
+                TokenKind::LBrace,
+                TokenKind::Order,
+                TokenKind::By,
+                TokenKind::Ident("arrival".into()),
+                TokenKind::Semicolon,
+                TokenKind::RBrace,
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("T2 _x obj"),
+            vec![
+                TokenKind::Variable("T2".into()),
+                TokenKind::Variable("_x".into()),
+                TokenKind::Ident("obj".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_strings_numbers_and_comments() {
+        let ks = kinds(
+            r#"
+            # a comment
+            block when x(obj), T1 != ta, T1 <= 5, op = "w"; // trailing
+            "#,
+        );
+        assert!(ks.contains(&TokenKind::Neq));
+        assert!(ks.contains(&TokenKind::Le));
+        assert!(ks.contains(&TokenKind::Number(5)));
+        assert!(ks.contains(&TokenKind::Str("w".into())));
+        assert_eq!(kinds("-42"), vec![TokenKind::Number(-42), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let tokens = tokenize("protocol\n  p").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[1].column, 3);
+    }
+
+    #[test]
+    fn bad_character_and_unterminated_string_error() {
+        assert!(matches!(tokenize("$"), Err(LangError::Lex { .. })));
+        assert!(matches!(tokenize("\"abc"), Err(LangError::Lex { .. })));
+    }
+}

@@ -1,0 +1,295 @@
+//! Recursive-descent parser for SchedLang.
+
+use crate::ast::{BodyAtom, BodyTerm, Clause, CmpOp, OrderBy, ProtocolDef};
+use crate::error::{LangError, LangResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a SchedLang source string containing exactly one protocol
+/// definition.
+pub fn parse(src: &str) -> LangResult<ProtocolDef> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let protocol = parser.protocol()?;
+    parser.expect(&TokenKind::Eof, "end of input")?;
+    Ok(protocol)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, expected: &str) -> LangError {
+        let t = self.peek();
+        LangError::Parse {
+            line: t.line,
+            column: t.column,
+            expected: expected.to_string(),
+            found: t.kind.to_string(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, expected: &str) -> LangResult<Token> {
+        if &self.peek().kind == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.error(expected))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, expected: &str) -> LangResult<String> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.error(expected)),
+        }
+    }
+
+    fn protocol(&mut self) -> LangResult<ProtocolDef> {
+        self.expect(&TokenKind::Protocol, "`protocol`")?;
+        let name = self.ident("a protocol name")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut clauses = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            clauses.push(self.clause()?);
+        }
+        Ok(ProtocolDef { name, clauses })
+    }
+
+    fn clause(&mut self) -> LangResult<Clause> {
+        match self.peek().kind.clone() {
+            TokenKind::Order => {
+                self.advance();
+                self.expect(&TokenKind::By, "`by`")?;
+                let name = self.ident("an ordering (arrival, transaction, priority, deadline)")?;
+                let order = OrderBy::from_name(&name).ok_or_else(|| LangError::Parse {
+                    line: self.peek().line,
+                    column: self.peek().column,
+                    expected: "one of arrival, transaction, priority, deadline".into(),
+                    found: format!("`{name}`"),
+                })?;
+                self.expect(&TokenKind::Semicolon, "`;`")?;
+                Ok(Clause::Order(order))
+            }
+            TokenKind::Define => {
+                self.advance();
+                let name = self.ident("a predicate name")?;
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let mut args = vec![self.term()?];
+                while self.eat(&TokenKind::Comma) {
+                    args.push(self.term()?);
+                }
+                self.expect(&TokenKind::RParen, "`)`")?;
+                self.expect(&TokenKind::When, "`when`")?;
+                let body = self.body()?;
+                self.expect(&TokenKind::Semicolon, "`;`")?;
+                Ok(Clause::Define { name, args, body })
+            }
+            TokenKind::Block => {
+                self.advance();
+                self.expect(&TokenKind::When, "`when`")?;
+                let body = self.body()?;
+                self.expect(&TokenKind::Semicolon, "`;`")?;
+                Ok(Clause::Block { body })
+            }
+            TokenKind::Admit => {
+                self.advance();
+                if self.eat(&TokenKind::Otherwise) {
+                    self.expect(&TokenKind::Semicolon, "`;`")?;
+                    return Ok(Clause::AdmitOtherwise);
+                }
+                self.expect(&TokenKind::When, "`when` or `otherwise`")?;
+                let body = self.body()?;
+                self.expect(&TokenKind::Semicolon, "`;`")?;
+                Ok(Clause::Admit { body })
+            }
+            _ => Err(self.error("`order`, `define`, `block` or `admit`")),
+        }
+    }
+
+    fn body(&mut self) -> LangResult<Vec<BodyAtom>> {
+        let mut atoms = vec![self.body_atom()?];
+        while self.eat(&TokenKind::Comma) {
+            atoms.push(self.body_atom()?);
+        }
+        Ok(atoms)
+    }
+
+    fn body_atom(&mut self) -> LangResult<BodyAtom> {
+        // Negated atom.
+        if self.eat(&TokenKind::Not) {
+            let (predicate, terms) = self.predicate_call()?;
+            return Ok(BodyAtom::Negative { predicate, terms });
+        }
+        // Either a predicate call or a comparison; decide by what follows the
+        // first term.
+        let first = self.term()?;
+        if let BodyTerm::Ident(name) = &first {
+            if self.peek().kind == TokenKind::LParen {
+                self.advance();
+                let mut terms = vec![self.term()?];
+                while self.eat(&TokenKind::Comma) {
+                    terms.push(self.term()?);
+                }
+                self.expect(&TokenKind::RParen, "`)`")?;
+                return Ok(BodyAtom::Positive {
+                    predicate: name.clone(),
+                    terms,
+                });
+            }
+        }
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(self.error("a comparison operator or `(`")),
+        };
+        self.advance();
+        let right = self.term()?;
+        Ok(BodyAtom::Compare {
+            op,
+            left: first,
+            right,
+        })
+    }
+
+    fn predicate_call(&mut self) -> LangResult<(String, Vec<BodyTerm>)> {
+        let name = self.ident("a predicate name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut terms = vec![self.term()?];
+        while self.eat(&TokenKind::Comma) {
+            terms.push(self.term()?);
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok((name, terms))
+    }
+
+    fn term(&mut self) -> LangResult<BodyTerm> {
+        match self.peek().kind.clone() {
+            TokenKind::Variable(v) => {
+                self.advance();
+                Ok(BodyTerm::Variable(v))
+            }
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(BodyTerm::Number(n))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(BodyTerm::Str(s))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(BodyTerm::Ident(name))
+            }
+            _ => Err(self.error("a term (variable, number, string or identifier)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_protocol() {
+        let src = r#"
+            protocol relaxed {
+                order by deadline;
+                define finished(T) when history(_, T, _, "c", _);
+                admit when op = "r";
+                block when wlocked(obj, T2), T2 != ta;
+                admit otherwise;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.name, "relaxed");
+        assert_eq!(p.clauses.len(), 5);
+        assert_eq!(p.ordering(), OrderBy::Deadline);
+        assert!(p.has_default_admission());
+        match &p.clauses[1] {
+            Clause::Define { name, args, body } => {
+                assert_eq!(name, "finished");
+                assert_eq!(args.len(), 1);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected clause {other:?}"),
+        }
+        match &p.clauses[3] {
+            Clause::Block { body } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[1], BodyAtom::Compare { op: CmpOp::Neq, .. }));
+            }
+            other => panic!("unexpected clause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negation_and_numbers() {
+        let src = r#"
+            protocol p {
+                block when not finished(ta), obj > 100;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        match &p.clauses[0] {
+            Clause::Block { body } => {
+                assert!(matches!(body[0], BodyAtom::Negative { .. }));
+                assert!(matches!(
+                    body[1],
+                    BodyAtom::Compare {
+                        op: CmpOp::Gt,
+                        right: BodyTerm::Number(100),
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected clause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_helpful_parse_errors() {
+        // Missing `by`.
+        let err = parse("protocol p { order arrival; }").unwrap_err();
+        match err {
+            LangError::Parse { expected, .. } => assert!(expected.contains("by")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown ordering.
+        assert!(parse("protocol p { order by speed; }").is_err());
+        // Missing semicolon.
+        assert!(parse("protocol p { admit otherwise }").is_err());
+        // Garbage after the protocol.
+        assert!(parse("protocol p { } extra").is_err());
+        // Clause keyword misuse.
+        assert!(parse("protocol p { when x(1); }").is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! A virtual clock measured in microseconds.
+
+use std::fmt;
+
+/// Monotonic virtual time in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VirtualClock {
+    micros: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn zero() -> Self {
+        VirtualClock { micros: 0 }
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        VirtualClock { micros }
+    }
+
+    /// Construct from (virtual) seconds.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        VirtualClock {
+            micros: (secs * 1_000_000.0).round() as u64,
+        }
+    }
+
+    /// Advance by a number of microseconds.
+    pub fn advance(&mut self, micros: u64) {
+        self.micros = self.micros.saturating_add(micros);
+    }
+
+    /// Current time in microseconds.
+    pub fn micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Current time in (virtual) seconds.
+    pub fn secs_f64(&self) -> f64 {
+        self.micros as f64 / 1_000_000.0
+    }
+
+    /// Whether this clock has reached or passed `deadline`.
+    pub fn reached(&self, deadline: VirtualClock) -> bool {
+        self.micros >= deadline.micros
+    }
+}
+
+impl fmt::Display for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_convert() {
+        let mut c = VirtualClock::zero();
+        c.advance(1_500_000);
+        assert_eq!(c.micros(), 1_500_000);
+        assert!((c.secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(c.to_string(), "1.500s");
+    }
+
+    #[test]
+    fn from_secs_and_deadlines() {
+        let deadline = VirtualClock::from_secs_f64(240.0);
+        assert_eq!(deadline.micros(), 240_000_000);
+        let mut c = VirtualClock::from_micros(239_999_999);
+        assert!(!c.reached(deadline));
+        c.advance(1);
+        assert!(c.reached(deadline));
+    }
+
+    #[test]
+    fn saturating_advance_never_overflows() {
+        let mut c = VirtualClock::from_micros(u64::MAX - 1);
+        c.advance(100);
+        assert_eq!(c.micros(), u64::MAX);
+    }
+}

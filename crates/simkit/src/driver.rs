@@ -1,0 +1,400 @@
+//! The simulation drivers: multi-user native-scheduler runs and single-user
+//! replays.
+
+use crate::clock::VirtualClock;
+use crate::cost::CostModel;
+use crate::results::{Fig2Point, MultiUserResult, SingleUserResult};
+use std::collections::HashMap;
+use txnstore::{Engine, ExecOutcome, Statement, StatementKind, TxnId};
+use workload::{ClientWorkload, OltpSpec, Trace};
+
+/// Configuration of a multi-user run.
+#[derive(Debug, Clone)]
+pub struct MultiUserConfig {
+    /// Cost model for virtual time accounting.
+    pub cost: CostModel,
+    /// Optional virtual-time budget; the run stops once it is reached
+    /// (mirrors the paper's fixed 240 s windows).  `None` runs the workload
+    /// to completion.
+    pub time_budget: Option<VirtualClock>,
+}
+
+impl Default for MultiUserConfig {
+    fn default() -> Self {
+        MultiUserConfig {
+            cost: CostModel::paper_calibrated(),
+            time_budget: None,
+        }
+    }
+}
+
+/// Per-client progress bookkeeping inside the simulation loop.
+struct ClientState {
+    workload: ClientWorkload,
+    txn_idx: usize,
+    stmt_idx: usize,
+    blocked: bool,
+    done: bool,
+    /// Set when the client's transaction was aborted as a deadlock victim:
+    /// it backs off until another transaction commits (or until it is the
+    /// only client left that can run).  This mirrors what a real client does
+    /// after receiving a deadlock error — retry after a pause — and it
+    /// guarantees global progress: every retry is preceded by a commit, and
+    /// the number of commits is bounded by the workload size.
+    backing_off: bool,
+}
+
+impl ClientState {
+    fn current_statement(&self) -> Option<&Statement> {
+        self.workload
+            .transactions
+            .get(self.txn_idx)
+            .and_then(|t| t.statements.get(self.stmt_idx))
+    }
+
+    fn runnable(&self) -> bool {
+        !self.done && !self.blocked && !self.backing_off
+    }
+}
+
+/// Run the workload in multi-user mode against the native strict-2PL
+/// scheduler of [`txnstore::Engine`], charging virtual time from `config`.
+pub fn run_multi_user(spec: &OltpSpec, config: &MultiUserConfig) -> MultiUserResult {
+    let mut engine = Engine::new();
+    engine
+        .setup_benchmark_table(&spec.table, spec.table_rows)
+        .expect("benchmark table creation cannot fail on a fresh engine");
+
+    let client_workloads = spec.generate();
+    let mut txn_owner: HashMap<TxnId, usize> = HashMap::new();
+    for cw in &client_workloads {
+        for t in &cw.transactions {
+            txn_owner.insert(t.txn, cw.client_id);
+        }
+    }
+    let mut clients: Vec<ClientState> = client_workloads
+        .into_iter()
+        .map(|workload| ClientState {
+            workload,
+            txn_idx: 0,
+            stmt_idx: 0,
+            blocked: false,
+            done: false,
+            backing_off: false,
+        })
+        .collect();
+
+    let mut clock = VirtualClock::zero();
+    let mut trace = Trace::new();
+    let mut next = 0usize;
+
+    loop {
+        if clients.iter().all(|c| c.done) {
+            break;
+        }
+        if let Some(budget) = config.time_budget {
+            if clock.reached(budget) {
+                break;
+            }
+        }
+
+        // Find the next runnable client (round robin).
+        let chosen = (0..clients.len())
+            .map(|offset| (next + offset) % clients.len())
+            .find(|&idx| clients[idx].runnable());
+
+        match chosen {
+            Some(idx) => {
+                next = idx + 1;
+                let active = clients.iter().filter(|c| !c.done).count();
+                run_one_statement(
+                    idx,
+                    &mut clients,
+                    &mut engine,
+                    &config.cost,
+                    &mut clock,
+                    &mut trace,
+                    &txn_owner,
+                    active,
+                );
+            }
+            None => {
+                // Nobody is runnable.  If clients are backing off after a
+                // deadlock abort, wake the first of them: with no runnable
+                // client there are no lock holders left, so it will make
+                // progress unimpeded.  If none is backing off either, every
+                // live client is blocked on a lock, which the deadlock
+                // prevention in the lock manager rules out.
+                if let Some(c) = clients.iter_mut().find(|c| !c.done && c.backing_off) {
+                    c.backing_off = false;
+                } else {
+                    debug_assert!(
+                        clients.iter().all(|c| c.done),
+                        "all live clients blocked — lock manager invariant violated"
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    let committed = trace.committed_only();
+    let metrics = engine.metrics();
+    MultiUserResult {
+        clients: spec.clients,
+        elapsed: clock,
+        committed_statements: committed.data_statement_count() as u64,
+        committed_txns: committed.committed_txns().len() as u64,
+        deadlock_aborts: metrics.deadlock_aborts,
+        lock_waits: metrics.lock_waits,
+        wasted_statements: metrics.wasted_statements,
+        trace: committed,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one_statement(
+    idx: usize,
+    clients: &mut [ClientState],
+    engine: &mut Engine,
+    cost: &CostModel,
+    clock: &mut VirtualClock,
+    trace: &mut Trace,
+    txn_owner: &HashMap<TxnId, usize>,
+    active_clients: usize,
+) {
+    let Some(stmt) = clients[idx].current_statement().cloned() else {
+        clients[idx].done = true;
+        return;
+    };
+
+    let outcome = engine
+        .execute(&stmt)
+        .expect("generated workload statements target existing rows");
+
+    match outcome {
+        ExecOutcome::Completed { unblocked } => {
+            let charge = match stmt.kind {
+                StatementKind::Select { .. } => cost.multi_user_statement_us(false, active_clients),
+                StatementKind::Update { .. } => cost.multi_user_statement_us(true, active_clients),
+                StatementKind::Commit | StatementKind::Abort => {
+                    cost.multi_user_terminal_us(active_clients)
+                }
+            };
+            clock.advance(charge);
+            trace.record(stmt.clone());
+            for txn in unblocked {
+                if let Some(&owner) = txn_owner.get(&txn) {
+                    clients[owner].blocked = false;
+                }
+            }
+            // Advance this client's cursor.
+            if stmt.kind.is_terminal() {
+                // A transaction finished: deadlock victims waiting to retry
+                // may now make progress against a less contended lock table.
+                for c in clients.iter_mut() {
+                    c.backing_off = false;
+                }
+                clients[idx].txn_idx += 1;
+                clients[idx].stmt_idx = 0;
+                if clients[idx].txn_idx >= clients[idx].workload.transactions.len() {
+                    clients[idx].done = true;
+                }
+            } else {
+                clients[idx].stmt_idx += 1;
+            }
+        }
+        ExecOutcome::Blocked { .. } => {
+            clock.advance(cost.wait_overhead_us);
+            clients[idx].blocked = true;
+            // The statement is retried from the same position once unblocked.
+        }
+        ExecOutcome::DeadlockVictim { unblocked } => {
+            clock.advance(cost.deadlock_rollback_us);
+            for txn in unblocked {
+                if let Some(&owner) = txn_owner.get(&txn) {
+                    clients[owner].blocked = false;
+                }
+            }
+            // Record the rollback so the committed-schedule extraction knows
+            // the statements executed so far belong to a discarded attempt.
+            trace.record(Statement::abort(stmt.txn, stmt.intra, stmt.table.clone()));
+            // Restart the current transaction from its first statement, but
+            // back off until another transaction commits so that repeated
+            // mutual victimisation cannot live-lock the run.
+            clients[idx].stmt_idx = 0;
+            clients[idx].backing_off = true;
+            engine.begin(stmt.txn);
+        }
+    }
+}
+
+/// Replay a committed schedule in single-user mode: one transaction,
+/// exclusive access, per-row locking disabled.  Returns its virtual run time.
+pub fn run_single_user(trace: &Trace, spec: &OltpSpec, cost: &CostModel) -> SingleUserResult {
+    let mut engine = Engine::new();
+    engine
+        .setup_benchmark_table(&spec.table, spec.table_rows)
+        .expect("benchmark table creation cannot fail on a fresh engine");
+    let statements = trace.statements();
+    let run = engine
+        .run_single_user(statements)
+        .expect("replaying a committed schedule cannot fail");
+
+    let mut clock = VirtualClock::zero();
+    for stmt in statements {
+        match stmt.kind {
+            StatementKind::Select { .. } => clock.advance(cost.single_user_statement_us(false)),
+            StatementKind::Update { .. } => clock.advance(cost.single_user_statement_us(true)),
+            StatementKind::Commit | StatementKind::Abort => {}
+        }
+    }
+    SingleUserResult {
+        elapsed: clock,
+        statements: run.statements,
+    }
+}
+
+/// Run both modes for one client count and combine them into a Figure 2
+/// point.
+pub fn fig2_point(spec: &OltpSpec, config: &MultiUserConfig) -> Fig2Point {
+    let mu = run_multi_user(spec, config);
+    let su = run_single_user(&mu.trace, spec, &config.cost);
+    Fig2Point {
+        clients: spec.clients,
+        mu_time: mu.elapsed,
+        su_time: su.elapsed,
+        committed_statements: mu.committed_statements,
+        statements_per_240s: mu.statements_per_240s(),
+        deadlock_aborts: mu.deadlock_aborts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::Value;
+    use workload::KeyDistribution;
+
+    fn tiny_spec(clients: usize) -> OltpSpec {
+        OltpSpec {
+            clients,
+            transactions_per_client: 3,
+            selects_per_txn: 3,
+            updates_per_txn: 3,
+            table_rows: 100,
+            table: "bench".to_string(),
+            distribution: KeyDistribution::Uniform,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn single_client_run_commits_everything_without_waits() {
+        let spec = tiny_spec(1);
+        let result = run_multi_user(&spec, &MultiUserConfig::default());
+        assert_eq!(result.committed_txns, 3);
+        assert_eq!(result.committed_statements, 18);
+        assert_eq!(result.lock_waits, 0);
+        assert_eq!(result.deadlock_aborts, 0);
+        assert!(result.elapsed.micros() > 0);
+    }
+
+    #[test]
+    fn contended_run_still_commits_all_transactions() {
+        let mut spec = tiny_spec(8);
+        // Tiny table to force conflicts.
+        spec.table_rows = 5;
+        let result = run_multi_user(&spec, &MultiUserConfig::default());
+        assert_eq!(result.committed_txns, 8 * 3);
+        assert_eq!(result.committed_statements as usize, 8 * 3 * 6);
+        assert!(result.lock_waits > 0, "expected contention on a 5-row table");
+    }
+
+    #[test]
+    fn single_user_replay_matches_committed_statement_count() {
+        let spec = tiny_spec(4);
+        let config = MultiUserConfig::default();
+        let mu = run_multi_user(&spec, &config);
+        let su = run_single_user(&mu.trace, &spec, &config.cost);
+        assert_eq!(su.statements, mu.committed_statements);
+        assert!(su.elapsed.micros() > 0);
+        assert!(su.elapsed <= mu.elapsed, "single user can never be slower");
+    }
+
+    #[test]
+    fn mu_su_replay_produce_identical_final_database_state() {
+        // The committed multi-user schedule and its single-user replay must
+        // leave every row with the same value — this is the serialisation
+        // argument behind the paper's lower-bound methodology.
+        let mut spec = tiny_spec(6);
+        spec.table_rows = 10;
+        let config = MultiUserConfig::default();
+
+        let mut mu_engine = Engine::new();
+        mu_engine.setup_benchmark_table(&spec.table, spec.table_rows).unwrap();
+        let result = run_multi_user(&spec, &config);
+
+        // Replay on a fresh engine.
+        let mut su_engine = Engine::new();
+        su_engine.setup_benchmark_table(&spec.table, spec.table_rows).unwrap();
+        su_engine.run_single_user(result.trace.statements()).unwrap();
+
+        // Re-execute the committed trace on yet another engine using the
+        // multi-user execution path (no contention now, single stream) and
+        // compare final row values.
+        let mut verify_engine = Engine::new();
+        verify_engine.setup_benchmark_table(&spec.table, spec.table_rows).unwrap();
+        for stmt in result.trace.statements() {
+            verify_engine.execute(stmt).unwrap();
+        }
+        for key in 0..spec.table_rows as i64 {
+            let a = su_engine.store().read(&spec.table, key).unwrap().values;
+            let b = verify_engine.store().read(&spec.table, key).unwrap().values;
+            assert_eq!(a, b, "row {key} diverged between SU replay and re-execution");
+            // Values are either the initial 0 or some written key value.
+            assert!(matches!(a[0], Value::Int(_)));
+        }
+    }
+
+    #[test]
+    fn time_budget_cuts_the_run_short() {
+        let spec = tiny_spec(4);
+        let unlimited = run_multi_user(&spec, &MultiUserConfig::default());
+        let limited = run_multi_user(
+            &spec,
+            &MultiUserConfig {
+                time_budget: Some(VirtualClock::from_micros(unlimited.elapsed.micros() / 4)),
+                ..MultiUserConfig::default()
+            },
+        );
+        assert!(limited.committed_statements < unlimited.committed_statements);
+    }
+
+    #[test]
+    fn fig2_point_ratio_grows_with_contention() {
+        let config = MultiUserConfig::default();
+        let low = fig2_point(&tiny_spec(2), &config);
+        let mut hot = tiny_spec(16);
+        hot.table_rows = 8; // heavy contention
+        let high = fig2_point(&hot, &config);
+        assert!(low.ratio_percent() >= 100.0);
+        assert!(
+            high.ratio_percent() > low.ratio_percent(),
+            "more contention must increase the MU/SU ratio: {} vs {}",
+            high.ratio_percent(),
+            low.ratio_percent()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = tiny_spec(5);
+        let config = MultiUserConfig::default();
+        let a = run_multi_user(&spec, &config);
+        let b = run_multi_user(&spec, &config);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.committed_statements, b.committed_statements);
+        assert_eq!(a.deadlock_aborts, b.deadlock_aborts);
+    }
+}

@@ -1,0 +1,183 @@
+//! Result records of simulation runs and the derived Figure 2 series.
+
+use crate::clock::VirtualClock;
+use workload::Trace;
+
+/// Result of a multi-user (native scheduler) run.
+#[derive(Debug, Clone)]
+pub struct MultiUserResult {
+    /// Number of concurrently active clients.
+    pub clients: usize,
+    /// Virtual time the run took.
+    pub elapsed: VirtualClock,
+    /// Data statements belonging to *committed* transactions.
+    pub committed_statements: u64,
+    /// Committed transactions.
+    pub committed_txns: u64,
+    /// Transactions aborted as deadlock victims (counting every abort, so a
+    /// transaction restarted twice counts twice).
+    pub deadlock_aborts: u64,
+    /// Statements that had to wait for a lock at least once.
+    pub lock_waits: u64,
+    /// Statements executed for transactions that later aborted (wasted work).
+    pub wasted_statements: u64,
+    /// The committed schedule, in execution order, for single-user replay.
+    pub trace: Trace,
+}
+
+impl MultiUserResult {
+    /// Committed statements per virtual second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.committed_statements as f64 / secs
+        }
+    }
+
+    /// Committed statements extrapolated to a 240 virtual-second window — the
+    /// quantity the paper reports ("550055 statements have been executed
+    /// within 240s").
+    pub fn statements_per_240s(&self) -> f64 {
+        self.throughput() * 240.0
+    }
+}
+
+/// Result of the single-user replay of a committed schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleUserResult {
+    /// Virtual time the replay took.
+    pub elapsed: VirtualClock,
+    /// Data statements replayed.
+    pub statements: u64,
+}
+
+/// One point of the Figure 2 series.
+#[derive(Debug, Clone)]
+pub struct Fig2Point {
+    /// Number of clients.
+    pub clients: usize,
+    /// Multi-user virtual time.
+    pub mu_time: VirtualClock,
+    /// Single-user replay virtual time of the same committed schedule.
+    pub su_time: VirtualClock,
+    /// Committed statements in the multi-user run.
+    pub committed_statements: u64,
+    /// Committed statements extrapolated to a 240 s window.
+    pub statements_per_240s: f64,
+    /// Deadlock aborts observed.
+    pub deadlock_aborts: u64,
+}
+
+impl Fig2Point {
+    /// The ratio plotted in Figure 2: multi-user time as a percentage of
+    /// single-user time (single-user = 100 %).
+    pub fn ratio_percent(&self) -> f64 {
+        let su = self.su_time.secs_f64();
+        if su == 0.0 {
+            0.0
+        } else {
+            self.mu_time.secs_f64() / su * 100.0
+        }
+    }
+
+    /// The scheduling overhead in virtual seconds (MU − SU), the quantity the
+    /// paper quotes as "46s" (300 clients) and "225s" (500 clients).
+    pub fn overhead_secs(&self) -> f64 {
+        self.mu_time.secs_f64() - self.su_time.secs_f64()
+    }
+
+    /// Overhead normalised to a 240 s multi-user window, comparable to the
+    /// paper's absolute numbers.
+    pub fn overhead_secs_per_240s(&self) -> f64 {
+        let mu = self.mu_time.secs_f64();
+        if mu == 0.0 {
+            0.0
+        } else {
+            self.overhead_secs() * (240.0 / mu)
+        }
+    }
+
+    /// Render as a CSV line: `clients,mu_s,su_s,ratio_pct,stmts_240s,deadlocks`.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{:.3},{:.3},{:.1},{:.0},{}",
+            self.clients,
+            self.mu_time.secs_f64(),
+            self.su_time.secs_f64(),
+            self.ratio_percent(),
+            self.statements_per_240s,
+            self.deadlock_aborts
+        )
+    }
+
+    /// CSV header matching [`Fig2Point::to_csv`].
+    pub fn csv_header() -> &'static str {
+        "clients,mu_seconds,su_seconds,mu_over_su_percent,committed_stmts_per_240s,deadlock_aborts"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_extrapolation() {
+        let r = MultiUserResult {
+            clients: 10,
+            elapsed: VirtualClock::from_secs_f64(60.0),
+            committed_statements: 6_000,
+            committed_txns: 150,
+            deadlock_aborts: 2,
+            lock_waits: 40,
+            wasted_statements: 15,
+            trace: Trace::new(),
+        };
+        assert!((r.throughput() - 100.0).abs() < 1e-9);
+        assert!((r.statements_per_240s() - 24_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig2_point_ratio_and_overhead() {
+        let p = Fig2Point {
+            clients: 300,
+            mu_time: VirtualClock::from_secs_f64(240.0),
+            su_time: VirtualClock::from_secs_f64(194.0),
+            committed_statements: 550_055,
+            statements_per_240s: 550_055.0,
+            deadlock_aborts: 12,
+        };
+        assert!((p.ratio_percent() - 123.7).abs() < 0.2);
+        assert!((p.overhead_secs() - 46.0).abs() < 1e-9);
+        assert!((p.overhead_secs_per_240s() - 46.0).abs() < 1e-9);
+        let csv = p.to_csv();
+        assert!(csv.starts_with("300,240.000,194.000"));
+        assert!(Fig2Point::csv_header().contains("mu_over_su_percent"));
+    }
+
+    #[test]
+    fn zero_division_is_guarded() {
+        let r = MultiUserResult {
+            clients: 1,
+            elapsed: VirtualClock::zero(),
+            committed_statements: 0,
+            committed_txns: 0,
+            deadlock_aborts: 0,
+            lock_waits: 0,
+            wasted_statements: 0,
+            trace: Trace::new(),
+        };
+        assert_eq!(r.throughput(), 0.0);
+        let p = Fig2Point {
+            clients: 1,
+            mu_time: VirtualClock::zero(),
+            su_time: VirtualClock::zero(),
+            committed_statements: 0,
+            statements_per_240s: 0.0,
+            deadlock_aborts: 0,
+        };
+        assert_eq!(p.ratio_percent(), 0.0);
+        assert_eq!(p.overhead_secs_per_240s(), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Waits-for graph and cycle detection.
+//!
+//! The native scheduler of the paper's commercial DBMS detects deadlocks and
+//! aborts a victim; without this, the multi-user runs of Figure 2 would hang
+//! at high client counts instead of merely slowing down.  The graph records
+//! an edge `A -> B` whenever transaction A waits for a lock held by B; a
+//! cycle through the would-be waiter means granting the wait would deadlock.
+
+use crate::txn::TxnId;
+use std::collections::{HashMap, HashSet};
+
+/// A directed waits-for graph between transactions.
+#[derive(Debug, Default, Clone)]
+pub struct WaitsForGraph {
+    edges: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl WaitsForGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        WaitsForGraph::default()
+    }
+
+    /// Add an edge `waiter -> holder`.  Self-edges are ignored.
+    pub fn add_edge(&mut self, waiter: TxnId, holder: TxnId) {
+        if waiter != holder {
+            self.edges.entry(waiter).or_default().insert(holder);
+        }
+    }
+
+    /// Add edges from `waiter` to every holder.
+    pub fn add_edges(&mut self, waiter: TxnId, holders: impl IntoIterator<Item = TxnId>) {
+        for h in holders {
+            self.add_edge(waiter, h);
+        }
+    }
+
+    /// Remove every edge originating from `waiter` (it stopped waiting).
+    pub fn remove_waiter(&mut self, waiter: TxnId) {
+        self.edges.remove(&waiter);
+    }
+
+    /// Remove a transaction entirely: as a waiter and as a wait target.
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        for targets in self.edges.values_mut() {
+            targets.remove(&txn);
+        }
+        self.edges.retain(|_, targets| !targets.is_empty());
+    }
+
+    /// Whether the graph currently contains the edge `waiter -> holder`.
+    pub fn has_edge(&self, waiter: TxnId, holder: TxnId) -> bool {
+        self.edges
+            .get(&waiter)
+            .map(|t| t.contains(&holder))
+            .unwrap_or(false)
+    }
+
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(HashSet::len).sum()
+    }
+
+    /// Depth-first search: would adding edges `waiter -> holders` close a
+    /// cycle that includes `waiter`?  (I.e. is `waiter` reachable from any of
+    /// the holders through existing edges?)
+    pub fn would_deadlock(&self, waiter: TxnId, holders: &[TxnId]) -> bool {
+        let mut stack: Vec<TxnId> = holders.iter().copied().filter(|h| *h != waiter).collect();
+        let mut visited: HashSet<TxnId> = HashSet::new();
+        while let Some(current) = stack.pop() {
+            if current == waiter {
+                return true;
+            }
+            if !visited.insert(current) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&current) {
+                for &n in next {
+                    if n == waiter {
+                        return true;
+                    }
+                    if !visited.contains(&n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Find any cycle currently present in the graph, returned as the list of
+    /// transactions on it (used by periodic detection strategies and tests).
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<TxnId, Color> = HashMap::new();
+        let nodes: Vec<TxnId> = self.edges.keys().copied().collect();
+        for &node in &nodes {
+            color.entry(node).or_insert(Color::White);
+        }
+
+        fn dfs(
+            node: TxnId,
+            edges: &HashMap<TxnId, HashSet<TxnId>>,
+            color: &mut HashMap<TxnId, Color>,
+            path: &mut Vec<TxnId>,
+        ) -> Option<Vec<TxnId>> {
+            color.insert(node, Color::Gray);
+            path.push(node);
+            if let Some(next) = edges.get(&node) {
+                for &n in next {
+                    match color.get(&n).copied().unwrap_or(Color::White) {
+                        Color::Gray => {
+                            // Found a back edge: extract the cycle from the path.
+                            let start = path.iter().position(|&p| p == n).unwrap_or(0);
+                            return Some(path[start..].to_vec());
+                        }
+                        Color::White => {
+                            if let Some(c) = dfs(n, edges, color, path) {
+                                return Some(c);
+                            }
+                        }
+                        Color::Black => {}
+                    }
+                }
+            }
+            path.pop();
+            color.insert(node, Color::Black);
+            None
+        }
+
+        let mut path = Vec::new();
+        for node in nodes {
+            if color.get(&node) == Some(&Color::White) {
+                if let Some(c) = dfs(node, &self.edges, &mut color, &mut path) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_add_remove() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(TxnId(1), TxnId(2));
+        g.add_edge(TxnId(1), TxnId(1)); // self edge ignored
+        g.add_edges(TxnId(2), vec![TxnId(3), TxnId(4)]);
+        assert!(g.has_edge(TxnId(1), TxnId(2)));
+        assert!(!g.has_edge(TxnId(1), TxnId(1)));
+        assert_eq!(g.edge_count(), 3);
+        g.remove_waiter(TxnId(2));
+        assert_eq!(g.edge_count(), 1);
+        g.remove_txn(TxnId(2));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn would_deadlock_detects_two_cycle() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(TxnId(2), TxnId(1));
+        // T1 about to wait for T2: T2 already waits for T1 -> cycle.
+        assert!(g.would_deadlock(TxnId(1), &[TxnId(2)]));
+        // T3 waiting for T1 is fine.
+        assert!(!g.would_deadlock(TxnId(3), &[TxnId(1)]));
+    }
+
+    #[test]
+    fn would_deadlock_detects_long_cycle() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(TxnId(2), TxnId(3));
+        g.add_edge(TxnId(3), TxnId(4));
+        g.add_edge(TxnId(4), TxnId(5));
+        // T5 waiting for T2 closes 2->3->4->5->2.
+        assert!(g.would_deadlock(TxnId(5), &[TxnId(2)]));
+        assert!(!g.would_deadlock(TxnId(5), &[TxnId(6)]));
+    }
+
+    #[test]
+    fn find_cycle_reports_members() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(TxnId(1), TxnId(2));
+        g.add_edge(TxnId(2), TxnId(3));
+        assert!(g.find_cycle().is_none());
+        g.add_edge(TxnId(3), TxnId(1));
+        let cycle = g.find_cycle().expect("cycle must be found");
+        assert_eq!(cycle.len(), 3);
+        assert!(cycle.contains(&TxnId(1)));
+        assert!(cycle.contains(&TxnId(3)));
+    }
+
+    #[test]
+    fn removing_victim_breaks_cycle() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(TxnId(1), TxnId(2));
+        g.add_edge(TxnId(2), TxnId(1));
+        assert!(g.find_cycle().is_some());
+        g.remove_txn(TxnId(2));
+        assert!(g.find_cycle().is_none());
+    }
+}

@@ -1,0 +1,449 @@
+//! The execution engine: statements + locks + transactions + storage.
+//!
+//! Two operating modes mirror the paper's measurement setup (Section 4.2):
+//!
+//! * **Native multi-user mode** — every statement acquires row locks through
+//!   the strict-2PL [`LockManager`]; conflicting statements block, deadlock
+//!   victims are rolled back.  This is the baseline whose overhead Figure 2
+//!   plots.
+//! * **Single-user mode** — the same statement sequence executed by one
+//!   transaction holding an exclusive table lock, with per-row locking
+//!   switched off.  Its run time is the lower bound the paper divides by.
+//!
+//! A third flag, `locking_disabled`, models the externally scheduled
+//! configuration: the declarative middleware scheduler has already arranged
+//! the statements so that they cannot conflict, so the engine skips lock
+//! acquisition entirely (the paper: "disable the server's own schedulers as
+//! far as possible").
+
+use crate::error::{StoreError, StoreResult};
+use crate::lock::{LockManager, LockOutcome, ObjectId};
+use crate::metrics::EngineMetrics;
+use crate::statement::{Statement, StatementKind};
+use crate::store::{Row, Store};
+use crate::txn::{TxnId, TxnManager, TxnState};
+
+/// Result of submitting a statement to the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The statement executed.  `unblocked` lists transactions that acquired
+    /// locks as a side effect (only non-empty for commit/abort statements).
+    Completed {
+        /// Transactions granted locks because this statement released them.
+        unblocked: Vec<TxnId>,
+    },
+    /// The statement must wait for a lock on `object`; re-submit it once the
+    /// transaction is unblocked.
+    Blocked {
+        /// The contended object.
+        object: ObjectId,
+    },
+    /// The transaction was chosen as a deadlock victim and has been rolled
+    /// back; `unblocked` lists transactions that acquired its locks.
+    DeadlockVictim {
+        /// Transactions granted locks by the rollback.
+        unblocked: Vec<TxnId>,
+    },
+}
+
+/// Summary of a single-user replay run (the paper's lower-bound measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleUserRun {
+    /// Data statements executed.
+    pub statements: u64,
+    /// SELECTs among them.
+    pub selects: u64,
+    /// UPDATEs among them.
+    pub updates: u64,
+}
+
+/// The storage engine.
+#[derive(Debug)]
+pub struct Engine {
+    store: Store,
+    locks: LockManager,
+    txns: TxnManager,
+    metrics: EngineMetrics,
+    locking_disabled: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Create an engine with native locking enabled.
+    pub fn new() -> Self {
+        Engine {
+            store: Store::new(),
+            locks: LockManager::new(),
+            txns: TxnManager::new(),
+            metrics: EngineMetrics::new(),
+            locking_disabled: false,
+        }
+    }
+
+    /// Create an engine with per-row locking disabled (externally scheduled
+    /// mode).  Correctness is then the responsibility of the middleware
+    /// scheduler feeding this engine.
+    pub fn without_locking() -> Self {
+        Engine {
+            locking_disabled: true,
+            ..Engine::new()
+        }
+    }
+
+    /// Whether per-row locking is disabled.
+    pub fn locking_disabled(&self) -> bool {
+        self.locking_disabled
+    }
+
+    /// Access the underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable access to the store (bulk loading).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Access the transaction manager.
+    pub fn txns(&self) -> &TxnManager {
+        &self.txns
+    }
+
+    /// Access the lock manager.
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// Create and populate the paper's benchmark table.
+    pub fn setup_benchmark_table(&mut self, name: &str, rows: usize) -> StoreResult<()> {
+        self.store.create_benchmark_table(name, rows)
+    }
+
+    /// Begin a transaction with a caller-chosen id (workloads number their
+    /// own transactions so the scheduler's `TA` column matches).
+    pub fn begin(&mut self, txn: TxnId) {
+        if !self.txns.begin_with_id(txn) {
+            // Restart of an aborted transaction: re-activate it.
+            self.txns.set_state(txn, TxnState::Active);
+            self.txns.record_restart(txn);
+        }
+    }
+
+    /// Submit a statement.  Transactions are begun implicitly on first use.
+    pub fn execute(&mut self, stmt: &Statement) -> StoreResult<ExecOutcome> {
+        if self.txns.state(stmt.txn).is_none() {
+            self.begin(stmt.txn);
+        }
+        match self.txns.state(stmt.txn) {
+            Some(TxnState::Active) | Some(TxnState::Blocked) => {}
+            _ => {
+                return Err(StoreError::InvalidTxn {
+                    txn: stmt.txn,
+                    action: "execute statement",
+                })
+            }
+        }
+
+        match &stmt.kind {
+            StatementKind::Commit => {
+                let unblocked = self.finish(stmt.txn, true);
+                Ok(ExecOutcome::Completed { unblocked })
+            }
+            StatementKind::Abort => {
+                let unblocked = self.finish(stmt.txn, false);
+                Ok(ExecOutcome::Completed { unblocked })
+            }
+            StatementKind::Select { key } => self.execute_data(stmt, *key, None),
+            StatementKind::Update { key, value } => {
+                self.execute_data(stmt, *key, Some(value.clone()))
+            }
+        }
+    }
+
+    fn execute_data(
+        &mut self,
+        stmt: &Statement,
+        key: i64,
+        write_value: Option<relalg::Value>,
+    ) -> StoreResult<ExecOutcome> {
+        let object = ObjectId(key);
+        if !self.locking_disabled {
+            let mode = stmt
+                .kind
+                .lock_mode()
+                .expect("data statements always have a lock mode");
+            match self.locks.acquire(stmt.txn, object, mode) {
+                LockOutcome::Granted => {
+                    self.txns.set_state(stmt.txn, TxnState::Active);
+                }
+                LockOutcome::Waiting => {
+                    self.txns.set_state(stmt.txn, TxnState::Blocked);
+                    self.metrics.lock_waits += 1;
+                    return Ok(ExecOutcome::Blocked { object });
+                }
+                LockOutcome::Deadlock => {
+                    // Victim: roll back everything this transaction did.
+                    let executed = self
+                        .txns
+                        .info(stmt.txn)
+                        .map(|i| i.statements_executed as u64)
+                        .unwrap_or(0);
+                    self.metrics.wasted_statements += executed;
+                    self.metrics.deadlock_aborts += 1;
+                    let unblocked = self.finish(stmt.txn, false);
+                    // finish() counted a regular abort already; deadlock_aborts
+                    // tracked separately above.
+                    return Ok(ExecOutcome::DeadlockVictim { unblocked });
+                }
+            }
+        }
+
+        // Execute against the store.
+        match write_value {
+            None => {
+                let _row = self.store.read(&stmt.table, key)?;
+                self.metrics.selects += 1;
+            }
+            Some(value) => {
+                self.store
+                    .write(stmt.txn, &stmt.table, Row::new(key, vec![value]))?;
+                self.metrics.updates += 1;
+            }
+        }
+        self.metrics.statements_executed += 1;
+        self.txns.record_statement(stmt.txn);
+        Ok(ExecOutcome::Completed { unblocked: vec![] })
+    }
+
+    /// Commit (`true`) or abort (`false`) a transaction, releasing its locks.
+    /// Returns the transactions unblocked by the release.
+    pub fn finish(&mut self, txn: TxnId, commit: bool) -> Vec<TxnId> {
+        if commit {
+            self.store.commit(txn);
+            self.txns.set_state(txn, TxnState::Committed);
+            self.metrics.commits += 1;
+        } else {
+            self.store.abort(txn);
+            self.txns.set_state(txn, TxnState::Aborted);
+            self.metrics.aborts += 1;
+        }
+        if self.locking_disabled {
+            return Vec::new();
+        }
+        let grants = self.locks.release_all(txn);
+        let mut unblocked: Vec<TxnId> = grants.into_iter().map(|(t, _)| t).collect();
+        unblocked.sort();
+        unblocked.dedup();
+        for &t in &unblocked {
+            if self.locks.waiting_for(t).is_none() {
+                self.txns.set_state(t, TxnState::Active);
+            }
+        }
+        unblocked
+    }
+
+    /// Execute a pre-recorded statement sequence in single-user mode: one
+    /// implicit transaction, exclusive access, no per-row locking.  Commit
+    /// and abort markers in the sequence are skipped (the paper replays "the
+    /// same statement sequence ... in a single transaction").
+    pub fn run_single_user(&mut self, statements: &[Statement]) -> StoreResult<SingleUserRun> {
+        let su_txn = TxnId(u64::MAX);
+        self.txns.begin_with_id(su_txn);
+        let mut run = SingleUserRun {
+            statements: 0,
+            selects: 0,
+            updates: 0,
+        };
+        for stmt in statements {
+            match &stmt.kind {
+                StatementKind::Select { key } => {
+                    let _ = self.store.read(&stmt.table, *key)?;
+                    run.selects += 1;
+                    run.statements += 1;
+                }
+                StatementKind::Update { key, value } => {
+                    self.store
+                        .write(su_txn, &stmt.table, Row::new(*key, vec![value.clone()]))?;
+                    run.updates += 1;
+                    run.statements += 1;
+                }
+                StatementKind::Commit | StatementKind::Abort => {}
+            }
+        }
+        self.store.commit(su_txn);
+        self.txns.set_state(su_txn, TxnState::Committed);
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relalg::Value;
+
+    fn engine_with_table(rows: usize) -> Engine {
+        let mut e = Engine::new();
+        e.setup_benchmark_table("bench", rows).unwrap();
+        e
+    }
+
+    #[test]
+    fn select_update_commit_happy_path() {
+        let mut e = engine_with_table(100);
+        let t = TxnId(1);
+        assert_eq!(
+            e.execute(&Statement::select(t, 0, "bench", 5)).unwrap(),
+            ExecOutcome::Completed { unblocked: vec![] }
+        );
+        assert_eq!(
+            e.execute(&Statement::update(t, 1, "bench", 5, 77)).unwrap(),
+            ExecOutcome::Completed { unblocked: vec![] }
+        );
+        e.execute(&Statement::commit(t, 2, "bench")).unwrap();
+        assert_eq!(e.store().read("bench", 5).unwrap().values, vec![Value::Int(77)]);
+        let m = e.metrics();
+        assert_eq!(m.statements_executed, 2);
+        assert_eq!(m.commits, 1);
+    }
+
+    #[test]
+    fn conflicting_update_blocks_until_commit() {
+        let mut e = engine_with_table(100);
+        let a = TxnId(1);
+        let b = TxnId(2);
+        e.execute(&Statement::update(a, 0, "bench", 5, 1)).unwrap();
+        let outcome = e.execute(&Statement::update(b, 0, "bench", 5, 2)).unwrap();
+        assert_eq!(outcome, ExecOutcome::Blocked { object: ObjectId(5) });
+        assert_eq!(e.txns().state(b), Some(TxnState::Blocked));
+        // Commit of A unblocks B.
+        let outcome = e.execute(&Statement::commit(a, 1, "bench")).unwrap();
+        assert_eq!(outcome, ExecOutcome::Completed { unblocked: vec![b] });
+        // Re-submission of B's statement now completes.
+        let outcome = e.execute(&Statement::update(b, 0, "bench", 5, 2)).unwrap();
+        assert_eq!(outcome, ExecOutcome::Completed { unblocked: vec![] });
+        e.execute(&Statement::commit(b, 1, "bench")).unwrap();
+        assert_eq!(e.store().read("bench", 5).unwrap().values, vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn shared_readers_do_not_block_each_other() {
+        let mut e = engine_with_table(100);
+        for i in 1..=5 {
+            let outcome = e
+                .execute(&Statement::select(TxnId(i), 0, "bench", 7))
+                .unwrap();
+            assert_eq!(outcome, ExecOutcome::Completed { unblocked: vec![] });
+        }
+        assert_eq!(e.metrics().lock_waits, 0);
+    }
+
+    #[test]
+    fn deadlock_victim_is_rolled_back() {
+        let mut e = engine_with_table(100);
+        let a = TxnId(1);
+        let b = TxnId(2);
+        e.execute(&Statement::update(a, 0, "bench", 1, 10)).unwrap();
+        e.execute(&Statement::update(b, 0, "bench", 2, 20)).unwrap();
+        // A waits for 2, B requesting 1 closes the cycle.
+        assert_eq!(
+            e.execute(&Statement::update(a, 1, "bench", 2, 11)).unwrap(),
+            ExecOutcome::Blocked { object: ObjectId(2) }
+        );
+        let outcome = e.execute(&Statement::update(b, 1, "bench", 1, 21)).unwrap();
+        match outcome {
+            ExecOutcome::DeadlockVictim { unblocked } => {
+                // B's rollback releases object 2 so A is unblocked.
+                assert_eq!(unblocked, vec![a]);
+            }
+            other => panic!("expected deadlock victim, got {other:?}"),
+        }
+        // B's write to row 2 was undone.
+        assert_eq!(e.store().read("bench", 2).unwrap().values, vec![Value::Int(0)]);
+        assert_eq!(e.txns().state(b), Some(TxnState::Aborted));
+        assert_eq!(e.metrics().deadlock_aborts, 1);
+        assert!(e.metrics().wasted_statements >= 1);
+    }
+
+    #[test]
+    fn aborted_transaction_can_restart() {
+        let mut e = engine_with_table(10);
+        let t = TxnId(3);
+        e.execute(&Statement::update(t, 0, "bench", 1, 5)).unwrap();
+        e.execute(&Statement::abort(t, 1, "bench")).unwrap();
+        assert_eq!(e.store().read("bench", 1).unwrap().values, vec![Value::Int(0)]);
+        // Restart with the same id.
+        e.begin(t);
+        e.execute(&Statement::update(t, 0, "bench", 1, 6)).unwrap();
+        e.execute(&Statement::commit(t, 1, "bench")).unwrap();
+        assert_eq!(e.store().read("bench", 1).unwrap().values, vec![Value::Int(6)]);
+        assert_eq!(e.txns().info(t).unwrap().restarts, 1);
+    }
+
+    #[test]
+    fn locking_disabled_mode_never_blocks() {
+        let mut e = Engine::without_locking();
+        e.setup_benchmark_table("bench", 10).unwrap();
+        let a = TxnId(1);
+        let b = TxnId(2);
+        assert_eq!(
+            e.execute(&Statement::update(a, 0, "bench", 3, 1)).unwrap(),
+            ExecOutcome::Completed { unblocked: vec![] }
+        );
+        assert_eq!(
+            e.execute(&Statement::update(b, 0, "bench", 3, 2)).unwrap(),
+            ExecOutcome::Completed { unblocked: vec![] }
+        );
+        assert_eq!(e.metrics().lock_waits, 0);
+        assert!(e.locking_disabled());
+    }
+
+    #[test]
+    fn single_user_replay_counts_and_applies_statements() {
+        let mut e = engine_with_table(100);
+        let seq = vec![
+            Statement::select(TxnId(1), 0, "bench", 1),
+            Statement::update(TxnId(1), 1, "bench", 1, 9),
+            Statement::commit(TxnId(1), 2, "bench"),
+            Statement::select(TxnId(2), 0, "bench", 2),
+            Statement::update(TxnId(2), 1, "bench", 2, 8),
+            Statement::commit(TxnId(2), 2, "bench"),
+        ];
+        let run = e.run_single_user(&seq).unwrap();
+        assert_eq!(run.statements, 4);
+        assert_eq!(run.selects, 2);
+        assert_eq!(run.updates, 2);
+        assert_eq!(e.store().read("bench", 1).unwrap().values, vec![Value::Int(9)]);
+    }
+
+    #[test]
+    fn statement_on_committed_txn_errors() {
+        let mut e = engine_with_table(10);
+        let t = TxnId(1);
+        e.execute(&Statement::select(t, 0, "bench", 1)).unwrap();
+        e.execute(&Statement::commit(t, 1, "bench")).unwrap();
+        let err = e.execute(&Statement::select(t, 2, "bench", 1)).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidTxn { .. }));
+    }
+
+    #[test]
+    fn unknown_table_and_row_errors_propagate() {
+        let mut e = engine_with_table(10);
+        assert!(e
+            .execute(&Statement::select(TxnId(1), 0, "missing", 1))
+            .is_err());
+        assert!(e
+            .execute(&Statement::select(TxnId(2), 0, "bench", 9999))
+            .is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the storage engine.
+
+use crate::lock::ObjectId;
+use crate::txn::TxnId;
+use std::fmt;
+
+/// Result alias.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named table does not exist.
+    UnknownTable {
+        /// Table name.
+        table: String,
+    },
+    /// A table with this name already exists.
+    DuplicateTable {
+        /// Table name.
+        table: String,
+    },
+    /// The requested row does not exist.
+    UnknownRow {
+        /// Table name.
+        table: String,
+        /// Row key.
+        key: i64,
+    },
+    /// The transaction id is unknown or no longer active.
+    InvalidTxn {
+        /// Transaction id.
+        txn: TxnId,
+        /// What the caller tried to do.
+        action: &'static str,
+    },
+    /// The transaction was chosen as a deadlock victim and must abort.
+    DeadlockVictim {
+        /// Transaction id.
+        txn: TxnId,
+        /// Object it was trying to lock when the cycle closed.
+        object: ObjectId,
+    },
+    /// A statement was submitted while the transaction is blocked waiting
+    /// for a lock (the caller must wait for the grant first).
+    TxnBlocked {
+        /// Transaction id.
+        txn: TxnId,
+        /// Object it is waiting for.
+        object: ObjectId,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownTable { table } => write!(f, "unknown table `{table}`"),
+            StoreError::DuplicateTable { table } => write!(f, "table `{table}` already exists"),
+            StoreError::UnknownRow { table, key } => {
+                write!(f, "row {key} does not exist in table `{table}`")
+            }
+            StoreError::InvalidTxn { txn, action } => {
+                write!(f, "transaction {txn} is not active ({action})")
+            }
+            StoreError::DeadlockVictim { txn, object } => write!(
+                f,
+                "transaction {txn} aborted as deadlock victim while locking object {object}"
+            ),
+            StoreError::TxnBlocked { txn, object } => write!(
+                f,
+                "transaction {txn} is blocked waiting for object {object}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_contain_identifiers() {
+        let e = StoreError::UnknownRow {
+            table: "accounts".into(),
+            key: 42,
+        };
+        assert!(e.to_string().contains("accounts"));
+        assert!(e.to_string().contains("42"));
+        let e = StoreError::DeadlockVictim {
+            txn: TxnId(7),
+            object: ObjectId(3),
+        };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,57 @@
+//! # txnstore — the storage server behind the declarative scheduler
+//!
+//! The EDBT 2010 paper evaluates its declarative scheduler against the
+//! *native, lock-based scheduler* of a commercial DBMS.  We cannot ship a
+//! commercial DBMS, so this crate is the substitute: an in-memory
+//! transactional row store whose concurrency control is a faithful
+//! strict two-phase-locking (SS2PL) lock manager with shared/exclusive row
+//! locks, a waits-for graph for deadlock detection, and transaction
+//! bookkeeping.  The overhead that Figure 2 of the paper measures — blocking,
+//! deadlock aborts, lock-management work growing with the number of
+//! concurrent clients — is a property of this protocol, which is why the
+//! substitution preserves the experiment's shape.
+//!
+//! The crate exposes three layers:
+//!
+//! * [`store::Store`] — named tables of rows (the paper's single
+//!   100 000-row table plus anything the examples need),
+//! * [`lock::LockManager`] + [`deadlock::WaitsForGraph`] — a pure state
+//!   machine (`acquire` returns *Granted*, *Waiting* or *Deadlock*), usable
+//!   from real threads and from the virtual-time simulator alike,
+//! * [`engine::Engine`] — ties store, locks and transactions together and
+//!   executes [`statement::Statement`]s under either the native multi-user
+//!   scheduler or the single-user exclusive mode the paper uses as its
+//!   lower bound.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod deadlock;
+pub mod engine;
+pub mod error;
+pub mod lock;
+pub mod metrics;
+pub mod statement;
+pub mod store;
+pub mod txn;
+
+pub use deadlock::WaitsForGraph;
+pub use engine::{Engine, ExecOutcome, SingleUserRun};
+pub use error::{StoreError, StoreResult};
+pub use lock::{LockManager, LockMode, LockOutcome, ObjectId};
+pub use metrics::EngineMetrics;
+pub use statement::{Statement, StatementKind};
+pub use store::{Row, Store, TableDef};
+pub use txn::{TxnId, TxnManager, TxnState};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::deadlock::WaitsForGraph;
+    pub use crate::engine::{Engine, ExecOutcome, SingleUserRun};
+    pub use crate::error::{StoreError, StoreResult};
+    pub use crate::lock::{LockManager, LockMode, LockOutcome, ObjectId};
+    pub use crate::metrics::EngineMetrics;
+    pub use crate::statement::{Statement, StatementKind};
+    pub use crate::store::{Row, Store, TableDef};
+    pub use crate::txn::{TxnId, TxnManager, TxnState};
+}

@@ -1,0 +1,418 @@
+//! Strict two-phase-locking lock manager.
+//!
+//! The manager is a *pure state machine*: callers drive it with
+//! [`LockManager::acquire`] / [`LockManager::release_all`] and receive
+//! explicit outcomes ([`LockOutcome::Granted`], [`LockOutcome::Waiting`],
+//! [`LockOutcome::Deadlock`]) instead of the manager blocking a thread.
+//! This makes it usable both by a real multi-threaded executor and by the
+//! virtual-time simulator that reproduces the paper's Figure 2 sweep.
+//!
+//! Properties implemented:
+//!
+//! * shared/exclusive row locks with the standard compatibility matrix,
+//! * lock upgrades (S → X) when the requester is the only holder,
+//! * FIFO wait queues (no starvation of writers behind a stream of readers),
+//! * deadlock *prevention checks* via a waits-for graph: an acquisition that
+//!   would close a cycle is refused with [`LockOutcome::Deadlock`] so the
+//!   caller can abort the victim — mirroring the behaviour of the native
+//!   DBMS scheduler the paper measures.
+
+use crate::deadlock::WaitsForGraph;
+use crate::txn::TxnId;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Identifier of a lockable object (a row of the paper's single table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub i64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Shared (read) lock; compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock; incompatible with everything.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Standard compatibility matrix.
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// Whether holding `self` is sufficient to satisfy a request for
+    /// `requested` (X covers S).
+    pub fn covers(self, requested: LockMode) -> bool {
+        match (self, requested) {
+            (LockMode::Exclusive, _) => true,
+            (LockMode::Shared, LockMode::Shared) => true,
+            (LockMode::Shared, LockMode::Exclusive) => false,
+        }
+    }
+}
+
+/// Outcome of a lock acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock was granted immediately (or was already held).
+    Granted,
+    /// The request was queued; the transaction must wait.  It will appear in
+    /// the grant list returned by a later [`LockManager::release_all`].
+    Waiting,
+    /// Granting the wait would create a deadlock; the caller should abort
+    /// this transaction (the victim) and retry it later.
+    Deadlock,
+}
+
+#[derive(Debug, Clone)]
+struct WaitRequest {
+    txn: TxnId,
+    mode: LockMode,
+}
+
+#[derive(Debug, Default, Clone)]
+struct LockEntry {
+    holders: HashMap<TxnId, LockMode>,
+    queue: VecDeque<WaitRequest>,
+}
+
+impl LockEntry {
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|(&h, &m)| h == txn || m.compatible_with(mode) && mode.compatible_with(m))
+    }
+}
+
+/// Statistics maintained by the lock manager; these are the raw ingredients
+/// of the "native scheduler overhead" the paper measures.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LockStats {
+    /// Immediately granted acquisitions.
+    pub granted_immediately: u64,
+    /// Acquisitions that had to wait.
+    pub waits: u64,
+    /// Acquisitions refused because they would deadlock.
+    pub deadlocks: u64,
+    /// Lock upgrades (S -> X).
+    pub upgrades: u64,
+    /// Grants handed out when earlier holders released.
+    pub granted_after_wait: u64,
+}
+
+/// The lock manager.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: HashMap<ObjectId, LockEntry>,
+    held: HashMap<TxnId, HashSet<ObjectId>>,
+    waiting: HashMap<TxnId, ObjectId>,
+    waits_for: WaitsForGraph,
+    stats: LockStats,
+}
+
+impl LockManager {
+    /// Create an empty lock manager.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Attempt to acquire `mode` on `object` for `txn`.
+    pub fn acquire(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> LockOutcome {
+        let entry = self.table.entry(object).or_default();
+
+        // Re-entrant / covered request.
+        if let Some(&held_mode) = entry.holders.get(&txn) {
+            if held_mode.covers(mode) {
+                self.stats.granted_immediately += 1;
+                return LockOutcome::Granted;
+            }
+            // Upgrade request: allowed immediately if txn is the only holder.
+            if entry.holders.len() == 1 {
+                entry.holders.insert(txn, LockMode::Exclusive);
+                self.stats.upgrades += 1;
+                return LockOutcome::Granted;
+            }
+        }
+
+        // Fresh or upgrade-with-contention request.
+        let no_earlier_waiters = entry.queue.is_empty() || entry.holders.contains_key(&txn);
+        if entry.grantable(txn, mode) && no_earlier_waiters {
+            entry.holders.insert(txn, mode);
+            self.held.entry(txn).or_default().insert(object);
+            self.stats.granted_immediately += 1;
+            return LockOutcome::Granted;
+        }
+
+        // Must wait: check for deadlock first.
+        let blockers: Vec<TxnId> = entry
+            .holders
+            .keys()
+            .copied()
+            .filter(|&h| h != txn)
+            .chain(entry.queue.iter().map(|w| w.txn).filter(|&w| w != txn))
+            .collect();
+        if self.waits_for.would_deadlock(txn, &blockers) {
+            self.stats.deadlocks += 1;
+            return LockOutcome::Deadlock;
+        }
+        self.waits_for.add_edges(txn, blockers);
+        self.waiting.insert(txn, object);
+        entry.queue.push_back(WaitRequest { txn, mode });
+        self.stats.waits += 1;
+        LockOutcome::Waiting
+    }
+
+    /// Release every lock held (and any wait) by `txn` — this is the "strict"
+    /// part of SS2PL: locks are only released at commit/abort time.  Returns
+    /// the transactions that were granted locks as a result, together with
+    /// the objects they now hold.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, ObjectId)> {
+        let mut affected_objects: Vec<ObjectId> = Vec::new();
+
+        // Drop held locks.
+        if let Some(objects) = self.held.remove(&txn) {
+            for object in objects {
+                if let Some(entry) = self.table.get_mut(&object) {
+                    entry.holders.remove(&txn);
+                    affected_objects.push(object);
+                }
+            }
+        }
+        // Drop a pending wait, if any.
+        if let Some(object) = self.waiting.remove(&txn) {
+            if let Some(entry) = self.table.get_mut(&object) {
+                entry.queue.retain(|w| w.txn != txn);
+            }
+        }
+        self.waits_for.remove_txn(txn);
+
+        // Try to grant queued waiters on every affected object, FIFO.
+        let mut grants = Vec::new();
+        for object in affected_objects {
+            self.grant_waiters(object, &mut grants);
+        }
+        // Cleanup empty entries to keep the table small across long runs.
+        self.table
+            .retain(|_, e| !e.holders.is_empty() || !e.queue.is_empty());
+        grants
+    }
+
+    fn grant_waiters(&mut self, object: ObjectId, grants: &mut Vec<(TxnId, ObjectId)>) {
+        let Some(entry) = self.table.get_mut(&object) else {
+            return;
+        };
+        loop {
+            let Some(front) = entry.queue.front().cloned() else { break };
+            if !entry.grantable(front.txn, front.mode) {
+                break;
+            }
+            entry.queue.pop_front();
+            entry.holders.insert(front.txn, front.mode);
+            self.held.entry(front.txn).or_default().insert(object);
+            self.waiting.remove(&front.txn);
+            self.waits_for.remove_waiter(front.txn);
+            self.stats.granted_after_wait += 1;
+            grants.push((front.txn, object));
+            // After granting an exclusive lock nothing else can be granted.
+            if front.mode == LockMode::Exclusive {
+                break;
+            }
+        }
+        // Re-add waits-for edges for remaining waiters (their blocker set may
+        // have changed).
+        let remaining: Vec<(TxnId, Vec<TxnId>)> = entry
+            .queue
+            .iter()
+            .map(|w| {
+                (
+                    w.txn,
+                    entry
+                        .holders
+                        .keys()
+                        .copied()
+                        .filter(|&h| h != w.txn)
+                        .collect(),
+                )
+            })
+            .collect();
+        for (waiter, blockers) in remaining {
+            self.waits_for.add_edges(waiter, blockers);
+        }
+    }
+
+    /// Objects currently locked by `txn`.
+    pub fn held_by(&self, txn: TxnId) -> Vec<ObjectId> {
+        self.held
+            .get(&txn)
+            .map(|s| {
+                let mut v: Vec<ObjectId> = s.iter().copied().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Whether `txn` is currently waiting, and if so for which object.
+    pub fn waiting_for(&self, txn: TxnId) -> Option<ObjectId> {
+        self.waiting.get(&txn).copied()
+    }
+
+    /// Transactions currently holding a lock on `object`.
+    pub fn holders(&self, object: ObjectId) -> Vec<TxnId> {
+        self.table
+            .get(&object)
+            .map(|e| {
+                let mut v: Vec<TxnId> = e.holders.keys().copied().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct objects with at least one holder or waiter.
+    pub fn locked_object_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of transactions currently waiting.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> LockStats {
+        self.stats
+    }
+
+    /// Access the waits-for graph (read-only; used by diagnostics).
+    pub fn waits_for(&self) -> &WaitsForGraph {
+        &self.waits_for
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: TxnId = TxnId(1);
+    const B: TxnId = TxnId(2);
+    const C: TxnId = TxnId(3);
+    const O1: ObjectId = ObjectId(10);
+    const O2: ObjectId = ObjectId(20);
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(A, O1, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(B, O1, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.holders(O1), vec![A, B]);
+    }
+
+    #[test]
+    fn exclusive_conflicts_queue_fifo() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(A, O1, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(B, O1, LockMode::Shared), LockOutcome::Waiting);
+        assert_eq!(lm.acquire(C, O1, LockMode::Shared), LockOutcome::Waiting);
+        assert_eq!(lm.waiting_for(B), Some(O1));
+        let grants = lm.release_all(A);
+        // Both shared waiters are granted together.
+        assert_eq!(grants.len(), 2);
+        assert!(grants.contains(&(B, O1)));
+        assert!(grants.contains(&(C, O1)));
+        assert_eq!(lm.waiting_count(), 0);
+    }
+
+    #[test]
+    fn writer_behind_readers_waits_then_gets_lock_alone() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(A, O1, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(B, O1, LockMode::Exclusive), LockOutcome::Waiting);
+        // A later reader must queue behind the writer (no starvation).
+        assert_eq!(lm.acquire(C, O1, LockMode::Shared), LockOutcome::Waiting);
+        let grants = lm.release_all(A);
+        assert_eq!(grants, vec![(B, O1)]);
+        // C still waits until B finishes.
+        assert_eq!(lm.waiting_for(C), Some(O1));
+        let grants = lm.release_all(B);
+        assert_eq!(grants, vec![(C, O1)]);
+    }
+
+    #[test]
+    fn reentrant_and_covered_requests_granted() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(A, O1, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(A, O1, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(A, O1, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.held_by(A), vec![O1]);
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(A, O1, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(A, O1, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.stats().upgrades, 1);
+        // Now B cannot get a shared lock.
+        assert_eq!(lm.acquire(B, O1, LockMode::Shared), LockOutcome::Waiting);
+    }
+
+    #[test]
+    fn two_txn_deadlock_detected() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(A, O1, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(B, O2, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(A, O2, LockMode::Exclusive), LockOutcome::Waiting);
+        // B requesting O1 would close the cycle A -> B -> A.
+        assert_eq!(lm.acquire(B, O1, LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(lm.stats().deadlocks, 1);
+        // Victim aborts: its locks release and A gets O2.
+        let grants = lm.release_all(B);
+        assert_eq!(grants, vec![(A, O2)]);
+    }
+
+    #[test]
+    fn three_txn_deadlock_detected() {
+        let mut lm = LockManager::new();
+        let o3 = ObjectId(30);
+        assert_eq!(lm.acquire(A, O1, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(B, O2, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(C, o3, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(A, O2, LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(lm.acquire(B, o3, LockMode::Exclusive), LockOutcome::Waiting);
+        assert_eq!(lm.acquire(C, O1, LockMode::Exclusive), LockOutcome::Deadlock);
+    }
+
+    #[test]
+    fn release_all_clears_waits_and_held_state() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(A, O1, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(B, O1, LockMode::Exclusive), LockOutcome::Waiting);
+        // B gives up (client abort while waiting).
+        let grants = lm.release_all(B);
+        assert!(grants.is_empty());
+        assert_eq!(lm.waiting_count(), 0);
+        let grants = lm.release_all(A);
+        assert!(grants.is_empty());
+        assert_eq!(lm.locked_object_count(), 0);
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let mut lm = LockManager::new();
+        lm.acquire(A, O1, LockMode::Exclusive);
+        lm.acquire(B, O1, LockMode::Exclusive);
+        lm.release_all(A);
+        let s = lm.stats();
+        assert_eq!(s.granted_immediately, 1);
+        assert_eq!(s.waits, 1);
+        assert_eq!(s.granted_after_wait, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Counters describing what the engine did — the raw material from which the
+//! paper's Figure 2 and Section 4.2.2 numbers are derived.
+
+/// Execution counters for one engine instance.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Data statements (SELECT/UPDATE) executed to completion.
+    pub statements_executed: u64,
+    /// SELECT statements executed.
+    pub selects: u64,
+    /// UPDATE statements executed.
+    pub updates: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (client-requested or deadlock victims).
+    pub aborts: u64,
+    /// Transactions aborted specifically as deadlock victims.
+    pub deadlock_aborts: u64,
+    /// Statements that had to wait for a lock before executing.
+    pub lock_waits: u64,
+    /// Statements re-executed because their transaction was restarted after a
+    /// deadlock abort.
+    pub wasted_statements: u64,
+}
+
+impl EngineMetrics {
+    /// Create zeroed metrics.
+    pub fn new() -> Self {
+        EngineMetrics::default()
+    }
+
+    /// Merge another metrics snapshot into this one.
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.statements_executed += other.statements_executed;
+        self.selects += other.selects;
+        self.updates += other.updates;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.deadlock_aborts += other.deadlock_aborts;
+        self.lock_waits += other.lock_waits;
+        self.wasted_statements += other.wasted_statements;
+    }
+
+    /// Fraction of executed statements that were wasted on aborted attempts.
+    pub fn waste_ratio(&self) -> f64 {
+        let total = self.statements_executed + self.wasted_statements;
+        if total == 0 {
+            0.0
+        } else {
+            self.wasted_statements as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = EngineMetrics {
+            statements_executed: 10,
+            selects: 5,
+            updates: 5,
+            commits: 1,
+            aborts: 1,
+            deadlock_aborts: 1,
+            lock_waits: 3,
+            wasted_statements: 2,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.statements_executed, 20);
+        assert_eq!(a.lock_waits, 6);
+        assert_eq!(a.deadlock_aborts, 2);
+    }
+
+    #[test]
+    fn waste_ratio_handles_zero_and_nonzero() {
+        assert_eq!(EngineMetrics::new().waste_ratio(), 0.0);
+        let m = EngineMetrics {
+            statements_executed: 75,
+            wasted_statements: 25,
+            ..EngineMetrics::default()
+        };
+        assert!((m.waste_ratio() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! Statements executed by the storage engine.
+//!
+//! The paper's workload consists of "transactions with 20 SELECT and 20
+//! UPDATE statements against a single table of 100000 rows", where each
+//! statement touches exactly one row.  A statement here is therefore a typed
+//! single-row operation plus the transaction-control operations (commit and
+//! abort) that the scheduler's history relation also records.
+
+use crate::lock::{LockMode, ObjectId};
+use crate::txn::TxnId;
+use relalg::Value;
+use std::fmt;
+
+/// The kind of a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementKind {
+    /// Read one row (SELECT ... WHERE key = ?).
+    Select {
+        /// Row key.
+        key: i64,
+    },
+    /// Overwrite one row's payload (UPDATE ... WHERE key = ?).
+    Update {
+        /// Row key.
+        key: i64,
+        /// New payload value for the first column.
+        value: Value,
+    },
+    /// Commit the transaction.
+    Commit,
+    /// Abort the transaction.
+    Abort,
+}
+
+impl StatementKind {
+    /// The object (row) this statement accesses, if it is a data statement.
+    pub fn object(&self) -> Option<ObjectId> {
+        match self {
+            StatementKind::Select { key } => Some(ObjectId(*key)),
+            StatementKind::Update { key, .. } => Some(ObjectId(*key)),
+            StatementKind::Commit | StatementKind::Abort => None,
+        }
+    }
+
+    /// The lock mode required by this statement, if any.
+    pub fn lock_mode(&self) -> Option<LockMode> {
+        match self {
+            StatementKind::Select { .. } => Some(LockMode::Shared),
+            StatementKind::Update { .. } => Some(LockMode::Exclusive),
+            StatementKind::Commit | StatementKind::Abort => None,
+        }
+    }
+
+    /// Whether this statement ends the transaction.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, StatementKind::Commit | StatementKind::Abort)
+    }
+
+    /// The single-letter operation code used by the scheduler's request
+    /// relations (`r`, `w`, `c`, `a` — matching the paper's Listing 1).
+    pub fn op_code(&self) -> &'static str {
+        match self {
+            StatementKind::Select { .. } => "r",
+            StatementKind::Update { .. } => "w",
+            StatementKind::Commit => "c",
+            StatementKind::Abort => "a",
+        }
+    }
+}
+
+/// A statement: which transaction issues it, its position inside that
+/// transaction, which table it targets and what it does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// Issuing transaction (the paper's `TA`).
+    pub txn: TxnId,
+    /// Position within the transaction (the paper's `INTRATA`).
+    pub intra: u32,
+    /// Target table.
+    pub table: String,
+    /// Operation.
+    pub kind: StatementKind,
+}
+
+impl Statement {
+    /// Construct a SELECT statement.
+    pub fn select(txn: TxnId, intra: u32, table: impl Into<String>, key: i64) -> Self {
+        Statement {
+            txn,
+            intra,
+            table: table.into(),
+            kind: StatementKind::Select { key },
+        }
+    }
+
+    /// Construct an UPDATE statement.
+    pub fn update(
+        txn: TxnId,
+        intra: u32,
+        table: impl Into<String>,
+        key: i64,
+        value: impl Into<Value>,
+    ) -> Self {
+        Statement {
+            txn,
+            intra,
+            table: table.into(),
+            kind: StatementKind::Update {
+                key,
+                value: value.into(),
+            },
+        }
+    }
+
+    /// Construct a COMMIT statement.
+    pub fn commit(txn: TxnId, intra: u32, table: impl Into<String>) -> Self {
+        Statement {
+            txn,
+            intra,
+            table: table.into(),
+            kind: StatementKind::Commit,
+        }
+    }
+
+    /// Construct an ABORT statement.
+    pub fn abort(txn: TxnId, intra: u32, table: impl Into<String>) -> Self {
+        Statement {
+            txn,
+            intra,
+            table: table.into(),
+            kind: StatementKind::Abort,
+        }
+    }
+
+    /// The object accessed, if any.
+    pub fn object(&self) -> Option<ObjectId> {
+        self.kind.object()
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            StatementKind::Select { key } => {
+                write!(f, "{}[{}] SELECT {}.{}", self.txn, self.intra, self.table, key)
+            }
+            StatementKind::Update { key, value } => write!(
+                f,
+                "{}[{}] UPDATE {}.{} = {}",
+                self.txn, self.intra, self.table, key, value
+            ),
+            StatementKind::Commit => write!(f, "{}[{}] COMMIT", self.txn, self.intra),
+            StatementKind::Abort => write!(f, "{}[{}] ABORT", self.txn, self.intra),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = Statement::select(TxnId(1), 0, "bench", 42);
+        assert_eq!(s.object(), Some(ObjectId(42)));
+        assert_eq!(s.kind.lock_mode(), Some(LockMode::Shared));
+        assert_eq!(s.kind.op_code(), "r");
+        assert!(!s.kind.is_terminal());
+
+        let u = Statement::update(TxnId(1), 1, "bench", 7, 99);
+        assert_eq!(u.kind.lock_mode(), Some(LockMode::Exclusive));
+        assert_eq!(u.kind.op_code(), "w");
+
+        let c = Statement::commit(TxnId(1), 2, "bench");
+        assert!(c.kind.is_terminal());
+        assert_eq!(c.object(), None);
+        assert_eq!(c.kind.op_code(), "c");
+
+        let a = Statement::abort(TxnId(1), 3, "bench");
+        assert_eq!(a.kind.op_code(), "a");
+        assert_eq!(a.kind.lock_mode(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Statement::update(TxnId(5), 3, "bench", 11, 2);
+        let text = s.to_string();
+        assert!(text.contains("T5"));
+        assert!(text.contains("UPDATE"));
+        assert!(text.contains("11"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Row storage: named tables of keyed rows with undo support.
+
+use crate::error::{StoreError, StoreResult};
+use crate::txn::TxnId;
+use relalg::Value;
+use std::collections::HashMap;
+
+/// A row: the primary key plus a list of column values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Primary key.
+    pub key: i64,
+    /// Column values (interpretation is up to the workload; the paper's
+    /// table has opaque payload columns).
+    pub values: Vec<Value>,
+}
+
+impl Row {
+    /// Construct a row.
+    pub fn new(key: i64, values: Vec<Value>) -> Self {
+        Row { key, values }
+    }
+}
+
+/// Definition of a table: its name and how many payload columns rows carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Number of payload columns.
+    pub columns: usize,
+}
+
+impl TableDef {
+    /// Construct a definition.
+    pub fn new(name: impl Into<String>, columns: usize) -> Self {
+        TableDef {
+            name: name.into(),
+            columns,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StoredTable {
+    def: TableDef,
+    rows: HashMap<i64, Vec<Value>>,
+}
+
+/// An undo record: the before-image of a row changed by a transaction.
+#[derive(Debug, Clone)]
+struct UndoRecord {
+    table: String,
+    key: i64,
+    /// `None` means the row did not exist before (an insert to undo).
+    before: Option<Vec<Value>>,
+}
+
+impl Default for StoredTable {
+    fn default() -> Self {
+        StoredTable {
+            def: TableDef::new("", 0),
+            rows: HashMap::new(),
+        }
+    }
+}
+
+/// The row store: tables plus per-transaction undo logs so that deadlock
+/// victims can be rolled back, exactly as the native DBMS scheduler does.
+#[derive(Debug, Default)]
+pub struct Store {
+    tables: HashMap<String, StoredTable>,
+    undo: HashMap<TxnId, Vec<UndoRecord>>,
+    /// Monotonic count of write operations applied (used by tests to verify
+    /// replay equivalence between multi-user and single-user runs).
+    writes_applied: u64,
+}
+
+impl Store {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Create a table.
+    pub fn create_table(&mut self, def: TableDef) -> StoreResult<()> {
+        if self.tables.contains_key(&def.name) {
+            return Err(StoreError::DuplicateTable { table: def.name });
+        }
+        self.tables.insert(
+            def.name.clone(),
+            StoredTable {
+                def,
+                rows: HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Create the paper's experiment table: `name` with `rows` rows keyed
+    /// `0..rows`, each carrying a single integer payload column initialised
+    /// to zero.
+    pub fn create_benchmark_table(&mut self, name: &str, rows: usize) -> StoreResult<()> {
+        self.create_table(TableDef::new(name, 1))?;
+        let table = self.tables.get_mut(name).expect("just created");
+        table.rows.reserve(rows);
+        for key in 0..rows as i64 {
+            table.rows.insert(key, vec![Value::Int(0)]);
+        }
+        Ok(())
+    }
+
+    /// Insert or overwrite a row outside any transaction (bulk loading).
+    pub fn load_row(&mut self, table: &str, row: Row) -> StoreResult<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StoreError::UnknownTable {
+                table: table.to_string(),
+            })?;
+        t.rows.insert(row.key, row.values);
+        Ok(())
+    }
+
+    /// Read a row within a transaction.
+    pub fn read(&self, table: &str, key: i64) -> StoreResult<Row> {
+        let t = self.tables.get(table).ok_or_else(|| StoreError::UnknownTable {
+            table: table.to_string(),
+        })?;
+        let values = t.rows.get(&key).ok_or(StoreError::UnknownRow {
+            table: table.to_string(),
+            key,
+        })?;
+        Ok(Row::new(key, values.clone()))
+    }
+
+    /// Write (update or insert) a row within a transaction, recording the
+    /// before-image so the write can be undone on abort.
+    pub fn write(&mut self, txn: TxnId, table: &str, row: Row) -> StoreResult<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StoreError::UnknownTable {
+                table: table.to_string(),
+            })?;
+        let before = t.rows.get(&row.key).cloned();
+        self.undo.entry(txn).or_default().push(UndoRecord {
+            table: table.to_string(),
+            key: row.key,
+            before,
+        });
+        t.rows.insert(row.key, row.values);
+        self.writes_applied += 1;
+        Ok(())
+    }
+
+    /// Commit a transaction: discard its undo log.
+    pub fn commit(&mut self, txn: TxnId) {
+        self.undo.remove(&txn);
+    }
+
+    /// Abort a transaction: apply its undo log in reverse order.
+    pub fn abort(&mut self, txn: TxnId) {
+        if let Some(records) = self.undo.remove(&txn) {
+            for rec in records.into_iter().rev() {
+                if let Some(t) = self.tables.get_mut(&rec.table) {
+                    match rec.before {
+                        Some(values) => {
+                            t.rows.insert(rec.key, values);
+                        }
+                        None => {
+                            t.rows.remove(&rec.key);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: &str) -> StoreResult<usize> {
+        self.tables
+            .get(table)
+            .map(|t| t.rows.len())
+            .ok_or_else(|| StoreError::UnknownTable {
+                table: table.to_string(),
+            })
+    }
+
+    /// Definition of a table.
+    pub fn table_def(&self, table: &str) -> StoreResult<&TableDef> {
+        self.tables
+            .get(table)
+            .map(|t| &t.def)
+            .ok_or_else(|| StoreError::UnknownTable {
+                table: table.to_string(),
+            })
+    }
+
+    /// Total writes applied since creation (committed or not).
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_bulk_load() {
+        let mut s = Store::new();
+        s.create_table(TableDef::new("accounts", 2)).unwrap();
+        assert!(s.create_table(TableDef::new("accounts", 2)).is_err());
+        s.load_row("accounts", Row::new(1, vec![Value::Int(100), Value::str("alice")]))
+            .unwrap();
+        assert_eq!(s.row_count("accounts").unwrap(), 1);
+        assert!(s.load_row("missing", Row::new(1, vec![])).is_err());
+        assert_eq!(s.table_def("accounts").unwrap().columns, 2);
+    }
+
+    #[test]
+    fn benchmark_table_has_requested_cardinality() {
+        let mut s = Store::new();
+        s.create_benchmark_table("bench", 1000).unwrap();
+        assert_eq!(s.row_count("bench").unwrap(), 1000);
+        assert_eq!(s.read("bench", 999).unwrap().values, vec![Value::Int(0)]);
+        assert!(s.read("bench", 1000).is_err());
+    }
+
+    #[test]
+    fn write_then_commit_is_durable_in_memory() {
+        let mut s = Store::new();
+        s.create_benchmark_table("t", 10).unwrap();
+        let txn = TxnId(1);
+        s.write(txn, "t", Row::new(3, vec![Value::Int(42)])).unwrap();
+        s.commit(txn);
+        assert_eq!(s.read("t", 3).unwrap().values, vec![Value::Int(42)]);
+        assert_eq!(s.writes_applied(), 1);
+    }
+
+    #[test]
+    fn abort_undoes_updates_and_inserts_in_reverse_order() {
+        let mut s = Store::new();
+        s.create_benchmark_table("t", 10).unwrap();
+        let txn = TxnId(1);
+        // Two updates of the same row: undo must restore the original 0.
+        s.write(txn, "t", Row::new(3, vec![Value::Int(1)])).unwrap();
+        s.write(txn, "t", Row::new(3, vec![Value::Int(2)])).unwrap();
+        // An insert of a brand-new row: undo must delete it.
+        s.write(txn, "t", Row::new(100, vec![Value::Int(9)])).unwrap();
+        s.abort(txn);
+        assert_eq!(s.read("t", 3).unwrap().values, vec![Value::Int(0)]);
+        assert!(s.read("t", 100).is_err());
+    }
+
+    #[test]
+    fn abort_of_unknown_txn_is_a_noop() {
+        let mut s = Store::new();
+        s.create_benchmark_table("t", 5).unwrap();
+        s.abort(TxnId(99));
+        assert_eq!(s.row_count("t").unwrap(), 5);
+    }
+
+    #[test]
+    fn independent_transactions_have_independent_undo() {
+        let mut s = Store::new();
+        s.create_benchmark_table("t", 10).unwrap();
+        s.write(TxnId(1), "t", Row::new(1, vec![Value::Int(11)])).unwrap();
+        s.write(TxnId(2), "t", Row::new(2, vec![Value::Int(22)])).unwrap();
+        s.abort(TxnId(1));
+        s.commit(TxnId(2));
+        assert_eq!(s.read("t", 1).unwrap().values, vec![Value::Int(0)]);
+        assert_eq!(s.read("t", 2).unwrap().values, vec![Value::Int(22)]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Transaction identifiers, states and the transaction manager.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Transaction identifier.  The scheduler's request model (`TA` in the
+/// paper's Table 2) maps 1:1 onto these ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Begun, executing statements.
+    Active,
+    /// Blocked waiting for a lock.
+    Blocked,
+    /// Committed; its locks are released.
+    Committed,
+    /// Aborted (by the client or as a deadlock victim); its locks are
+    /// released and its effects undone.
+    Aborted,
+}
+
+impl TxnState {
+    /// Whether the transaction has terminated (committed or aborted).
+    pub fn is_finished(self) -> bool {
+        matches!(self, TxnState::Committed | TxnState::Aborted)
+    }
+}
+
+/// Bookkeeping for one transaction.
+#[derive(Debug, Clone)]
+pub struct TxnInfo {
+    /// The id.
+    pub id: TxnId,
+    /// Current state.
+    pub state: TxnState,
+    /// Number of statements executed so far.
+    pub statements_executed: usize,
+    /// Number of times this transaction was restarted after a deadlock abort.
+    pub restarts: usize,
+}
+
+/// Allocates transaction ids and tracks their states.
+#[derive(Debug, Default)]
+pub struct TxnManager {
+    next_id: u64,
+    txns: HashMap<TxnId, TxnInfo>,
+}
+
+impl TxnManager {
+    /// Create an empty manager.
+    pub fn new() -> Self {
+        TxnManager::default()
+    }
+
+    /// Begin a new transaction.
+    pub fn begin(&mut self) -> TxnId {
+        self.next_id += 1;
+        let id = TxnId(self.next_id);
+        self.txns.insert(
+            id,
+            TxnInfo {
+                id,
+                state: TxnState::Active,
+                statements_executed: 0,
+                restarts: 0,
+            },
+        );
+        id
+    }
+
+    /// Begin a transaction with a caller-chosen id (used when replaying the
+    /// workload's own transaction numbering).  Returns `false` if the id is
+    /// already known.
+    pub fn begin_with_id(&mut self, id: TxnId) -> bool {
+        if self.txns.contains_key(&id) {
+            return false;
+        }
+        self.next_id = self.next_id.max(id.0);
+        self.txns.insert(
+            id,
+            TxnInfo {
+                id,
+                state: TxnState::Active,
+                statements_executed: 0,
+                restarts: 0,
+            },
+        );
+        true
+    }
+
+    /// Current state of a transaction, if known.
+    pub fn state(&self, id: TxnId) -> Option<TxnState> {
+        self.txns.get(&id).map(|t| t.state)
+    }
+
+    /// Whether the transaction exists and is in the [`TxnState::Active`]
+    /// state.
+    pub fn is_active(&self, id: TxnId) -> bool {
+        self.state(id) == Some(TxnState::Active)
+    }
+
+    /// Full info for a transaction.
+    pub fn info(&self, id: TxnId) -> Option<&TxnInfo> {
+        self.txns.get(&id)
+    }
+
+    /// Set the state of a transaction.  Unknown ids are ignored.
+    pub fn set_state(&mut self, id: TxnId, state: TxnState) {
+        if let Some(info) = self.txns.get_mut(&id) {
+            info.state = state;
+        }
+    }
+
+    /// Record a statement execution.
+    pub fn record_statement(&mut self, id: TxnId) {
+        if let Some(info) = self.txns.get_mut(&id) {
+            info.statements_executed += 1;
+        }
+    }
+
+    /// Record a restart after a deadlock abort.
+    pub fn record_restart(&mut self, id: TxnId) {
+        if let Some(info) = self.txns.get_mut(&id) {
+            info.restarts += 1;
+        }
+    }
+
+    /// Number of transactions in each terminal / live state:
+    /// `(active, blocked, committed, aborted)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut active = 0;
+        let mut blocked = 0;
+        let mut committed = 0;
+        let mut aborted = 0;
+        for t in self.txns.values() {
+            match t.state {
+                TxnState::Active => active += 1,
+                TxnState::Blocked => blocked += 1,
+                TxnState::Committed => committed += 1,
+                TxnState::Aborted => aborted += 1,
+            }
+        }
+        (active, blocked, committed, aborted)
+    }
+
+    /// Total number of transactions ever begun.
+    pub fn total(&self) -> usize {
+        self.txns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_and_state_transitions() {
+        let mut m = TxnManager::new();
+        let a = m.begin();
+        let b = m.begin();
+        assert_ne!(a, b);
+        assert!(m.is_active(a));
+        m.set_state(a, TxnState::Blocked);
+        assert_eq!(m.state(a), Some(TxnState::Blocked));
+        m.set_state(a, TxnState::Committed);
+        assert!(m.state(a).unwrap().is_finished());
+        assert_eq!(m.counts(), (1, 0, 1, 0));
+        assert_eq!(m.total(), 2);
+    }
+
+    #[test]
+    fn begin_with_explicit_id() {
+        let mut m = TxnManager::new();
+        assert!(m.begin_with_id(TxnId(10)));
+        assert!(!m.begin_with_id(TxnId(10)));
+        // Fresh ids continue after the explicit one.
+        let next = m.begin();
+        assert!(next.0 > 10);
+    }
+
+    #[test]
+    fn statement_and_restart_accounting() {
+        let mut m = TxnManager::new();
+        let t = m.begin();
+        m.record_statement(t);
+        m.record_statement(t);
+        m.record_restart(t);
+        let info = m.info(t).unwrap();
+        assert_eq!(info.statements_executed, 2);
+        assert_eq!(info.restarts, 1);
+        // Unknown ids are ignored silently.
+        m.record_statement(TxnId(999));
+        assert!(m.info(TxnId(999)).is_none());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TxnId(3).to_string(), "T3");
+    }
+}

@@ -1,0 +1,43 @@
+//! # workload — workload generation for the scheduling experiments
+//!
+//! The paper's evaluation workload (Section 4.2.1) is: *N* concurrently
+//! active clients, each running OLTP-style transactions of 20 SELECT and 20
+//! UPDATE statements against a single table of 100 000 rows, every statement
+//! touching exactly one uniformly random row.  This crate generates that
+//! workload deterministically (seeded), plus the variants used by the
+//! examples and ablation benches:
+//!
+//! * [`oltp::OltpSpec`] — the paper's workload, with configurable statement
+//!   counts, table size and key distribution ([`dist::KeyDistribution`]
+//!   uniform or Zipfian),
+//! * [`sla::SlaSpec`] — premium/free client classes with per-class deadlines,
+//!   the SLA scenario the paper motivates ("premium vs. free customers in
+//!   Web applications"),
+//! * [`mix::MixSpec`] — read-heavy / write-heavy / BI-batch mixes,
+//! * [`trace::Trace`] — recording of executed statement sequences so the
+//!   multi-user schedule can be replayed in single-user mode, exactly as the
+//!   paper's lower-bound measurement does.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dist;
+pub mod mix;
+pub mod oltp;
+pub mod sla;
+pub mod trace;
+
+pub use dist::KeyDistribution;
+pub use mix::{MixSpec, OperationMix};
+pub use oltp::{ClientWorkload, OltpSpec, TransactionSpec};
+pub use sla::{ClientClass, SlaRequestMeta, SlaSpec};
+pub use trace::Trace;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::dist::KeyDistribution;
+    pub use crate::mix::{MixSpec, OperationMix};
+    pub use crate::oltp::{ClientWorkload, OltpSpec, TransactionSpec};
+    pub use crate::sla::{ClientClass, SlaRequestMeta, SlaSpec};
+    pub use crate::trace::Trace;
+}

@@ -1,0 +1,265 @@
+//! The paper's OLTP workload generator.
+
+use crate::dist::KeyDistribution;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use txnstore::{Statement, TxnId};
+
+/// Specification of the paper's experiment workload (Section 4.2.1).
+#[derive(Debug, Clone)]
+pub struct OltpSpec {
+    /// Number of concurrently active clients.
+    pub clients: usize,
+    /// Transactions generated per client (clients run them back to back).
+    pub transactions_per_client: usize,
+    /// SELECT statements per transaction (paper: 20).
+    pub selects_per_txn: usize,
+    /// UPDATE statements per transaction (paper: 20).
+    pub updates_per_txn: usize,
+    /// Rows in the target table (paper: 100 000).
+    pub table_rows: usize,
+    /// Name of the target table.
+    pub table: String,
+    /// Key distribution (paper: uniform).
+    pub distribution: KeyDistribution,
+    /// RNG seed so every run of an experiment sees the same workload.
+    pub seed: u64,
+}
+
+impl Default for OltpSpec {
+    fn default() -> Self {
+        OltpSpec::paper(300)
+    }
+}
+
+impl OltpSpec {
+    /// The workload exactly as the paper describes it, for a given client
+    /// count: 20 SELECT + 20 UPDATE per transaction, 100 000 uniform rows.
+    pub fn paper(clients: usize) -> Self {
+        OltpSpec {
+            clients,
+            transactions_per_client: 50,
+            selects_per_txn: 20,
+            updates_per_txn: 20,
+            table_rows: 100_000,
+            table: "bench".to_string(),
+            distribution: KeyDistribution::Uniform,
+            seed: 42,
+        }
+    }
+
+    /// A scaled-down variant for unit tests and examples: small table, short
+    /// transactions, few clients.
+    pub fn small(clients: usize) -> Self {
+        OltpSpec {
+            clients,
+            transactions_per_client: 5,
+            selects_per_txn: 3,
+            updates_per_txn: 3,
+            table_rows: 200,
+            table: "bench".to_string(),
+            distribution: KeyDistribution::Uniform,
+            seed: 7,
+        }
+    }
+
+    /// Statements per transaction (data statements, excluding the commit).
+    pub fn statements_per_txn(&self) -> usize {
+        self.selects_per_txn + self.updates_per_txn
+    }
+
+    /// Total data statements across the whole workload.
+    pub fn total_statements(&self) -> usize {
+        self.clients * self.transactions_per_client * self.statements_per_txn()
+    }
+
+    /// Generate the workload: one [`ClientWorkload`] per client, each with
+    /// its own back-to-back transaction list.  Transaction ids are globally
+    /// unique and allocated round-robin so that `TA` numbers interleave the
+    /// way concurrently arriving requests would.
+    pub fn generate(&self) -> Vec<ClientWorkload> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut clients: Vec<ClientWorkload> = (0..self.clients)
+            .map(|id| ClientWorkload {
+                client_id: id,
+                transactions: Vec::with_capacity(self.transactions_per_client),
+            })
+            .collect();
+
+        let mut next_txn: u64 = 0;
+        for round in 0..self.transactions_per_client {
+            for client in clients.iter_mut() {
+                next_txn += 1;
+                let txn = TxnId(next_txn);
+                let spec = self.generate_transaction(txn, &mut rng);
+                debug_assert_eq!(round, client.transactions.len());
+                client.transactions.push(spec);
+            }
+        }
+        clients
+    }
+
+    fn generate_transaction(&self, txn: TxnId, rng: &mut StdRng) -> TransactionSpec {
+        // Build the operation mix (reads and writes), then shuffle so reads
+        // and writes interleave like a real OLTP transaction instead of all
+        // reads first.
+        let mut ops: Vec<bool> = Vec::with_capacity(self.statements_per_txn());
+        ops.extend(std::iter::repeat(false).take(self.selects_per_txn)); // false = read
+        ops.extend(std::iter::repeat(true).take(self.updates_per_txn)); // true = write
+        ops.shuffle(rng);
+
+        let mut statements = Vec::with_capacity(ops.len() + 1);
+        for (intra, is_write) in ops.iter().enumerate() {
+            let key = self.distribution.sample(rng, self.table_rows);
+            let stmt = if *is_write {
+                Statement::update(txn, intra as u32, self.table.clone(), key, key)
+            } else {
+                Statement::select(txn, intra as u32, self.table.clone(), key)
+            };
+            statements.push(stmt);
+        }
+        statements.push(Statement::commit(
+            txn,
+            ops.len() as u32,
+            self.table.clone(),
+        ));
+        TransactionSpec { txn, statements }
+    }
+}
+
+/// One generated transaction: its id plus its full statement list
+/// (data statements followed by a commit).
+#[derive(Debug, Clone)]
+pub struct TransactionSpec {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Statements, ending with [`txnstore::StatementKind::Commit`].
+    pub statements: Vec<Statement>,
+}
+
+impl TransactionSpec {
+    /// Number of data statements (excluding the terminal commit/abort).
+    pub fn data_statements(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| !s.kind.is_terminal())
+            .count()
+    }
+}
+
+/// The full statement stream of one client.
+#[derive(Debug, Clone)]
+pub struct ClientWorkload {
+    /// Client identifier (0-based).
+    pub client_id: usize,
+    /// Transactions in execution order.
+    pub transactions: Vec<TransactionSpec>,
+}
+
+impl ClientWorkload {
+    /// Total data statements this client will issue.
+    pub fn total_statements(&self) -> usize {
+        self.transactions.iter().map(TransactionSpec::data_statements).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txnstore::StatementKind;
+
+    #[test]
+    fn paper_spec_matches_section_4_2_1() {
+        let spec = OltpSpec::paper(300);
+        assert_eq!(spec.clients, 300);
+        assert_eq!(spec.selects_per_txn, 20);
+        assert_eq!(spec.updates_per_txn, 20);
+        assert_eq!(spec.table_rows, 100_000);
+        assert_eq!(spec.statements_per_txn(), 40);
+        assert!(matches!(spec.distribution, KeyDistribution::Uniform));
+    }
+
+    #[test]
+    fn generation_produces_expected_counts_and_unique_txn_ids() {
+        let spec = OltpSpec::small(4);
+        let clients = spec.generate();
+        assert_eq!(clients.len(), 4);
+        let mut txn_ids = Vec::new();
+        for c in &clients {
+            assert_eq!(c.transactions.len(), spec.transactions_per_client);
+            for t in &c.transactions {
+                txn_ids.push(t.txn);
+                assert_eq!(t.data_statements(), spec.statements_per_txn());
+                // Every transaction ends with a commit.
+                assert!(matches!(
+                    t.statements.last().unwrap().kind,
+                    StatementKind::Commit
+                ));
+                // Intra-transaction numbering is consecutive from zero.
+                for (i, s) in t.statements.iter().enumerate() {
+                    assert_eq!(s.intra as usize, i);
+                    assert_eq!(s.txn, t.txn);
+                }
+            }
+        }
+        let unique: std::collections::HashSet<_> = txn_ids.iter().collect();
+        assert_eq!(unique.len(), txn_ids.len());
+        assert_eq!(
+            clients.iter().map(ClientWorkload::total_statements).sum::<usize>(),
+            spec.total_statements()
+        );
+    }
+
+    #[test]
+    fn read_write_mix_is_respected_and_shuffled() {
+        let spec = OltpSpec::small(1);
+        let clients = spec.generate();
+        let txn = &clients[0].transactions[0];
+        let reads = txn
+            .statements
+            .iter()
+            .filter(|s| matches!(s.kind, StatementKind::Select { .. }))
+            .count();
+        let writes = txn
+            .statements
+            .iter()
+            .filter(|s| matches!(s.kind, StatementKind::Update { .. }))
+            .count();
+        assert_eq!(reads, spec.selects_per_txn);
+        assert_eq!(writes, spec.updates_per_txn);
+    }
+
+    #[test]
+    fn keys_stay_within_the_table() {
+        let mut spec = OltpSpec::small(2);
+        spec.table_rows = 50;
+        for c in spec.generate() {
+            for t in &c.transactions {
+                for s in &t.statements {
+                    if let Some(obj) = s.object() {
+                        assert!((0..50).contains(&obj.0));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_workload_different_seed_differs() {
+        let spec = OltpSpec::small(3);
+        let a = spec.generate();
+        let b = spec.generate();
+        let render = |cs: &Vec<ClientWorkload>| {
+            cs.iter()
+                .flat_map(|c| c.transactions.iter())
+                .flat_map(|t| t.statements.iter())
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&a), render(&b));
+        let mut spec2 = spec.clone();
+        spec2.seed = 999;
+        assert_ne!(render(&a), render(&spec2.generate()));
+    }
+}

@@ -1,0 +1,202 @@
+//! SLA-tiered workloads: premium vs. free clients.
+//!
+//! The paper motivates declarative scheduling with service-level agreements
+//! "e.g. for premium vs. free customers in Web applications".  This module
+//! generates the same OLTP statement stream as [`crate::oltp`] but tags every
+//! client with a class and every transaction with an arrival time and a
+//! deadline, which the SLA scheduling protocols in the core crate consume.
+
+use crate::oltp::{ClientWorkload, OltpSpec};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use txnstore::TxnId;
+
+/// Service class of a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClientClass {
+    /// Paying customer: strict deadline, high priority.
+    Premium,
+    /// Standard customer.
+    Standard,
+    /// Free tier: best effort.
+    Free,
+}
+
+impl ClientClass {
+    /// Numeric priority (higher = more important), used by priority-based
+    /// scheduling rules.
+    pub fn priority(self) -> i64 {
+        match self {
+            ClientClass::Premium => 3,
+            ClientClass::Standard => 2,
+            ClientClass::Free => 1,
+        }
+    }
+
+    /// The relative response-time target of this class, in milliseconds of
+    /// virtual time.  Premium requests must be answered quickly.
+    pub fn deadline_ms(self) -> u64 {
+        match self {
+            ClientClass::Premium => 50,
+            ClientClass::Standard => 200,
+            ClientClass::Free => 1000,
+        }
+    }
+
+    /// Class name as stored in the scheduler's SLA relation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClientClass::Premium => "premium",
+            ClientClass::Standard => "standard",
+            ClientClass::Free => "free",
+        }
+    }
+}
+
+/// SLA metadata attached to a transaction by the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaRequestMeta {
+    /// The transaction this metadata describes.
+    pub txn: TxnId,
+    /// Client class.
+    pub class: ClientClass,
+    /// Virtual arrival time in milliseconds.
+    pub arrival_ms: u64,
+    /// Absolute deadline in virtual milliseconds.
+    pub deadline_ms: u64,
+}
+
+/// Specification of an SLA-tiered workload.
+#[derive(Debug, Clone)]
+pub struct SlaSpec {
+    /// The underlying OLTP workload (statement shapes, table, distribution).
+    pub oltp: OltpSpec,
+    /// Fraction of clients in the premium class (0.0–1.0).
+    pub premium_fraction: f64,
+    /// Fraction of clients in the free class (0.0–1.0); the rest is standard.
+    pub free_fraction: f64,
+    /// Mean inter-arrival gap between a client's consecutive transactions,
+    /// in virtual milliseconds.
+    pub mean_think_time_ms: u64,
+    /// Seed for class assignment and arrival jitter.
+    pub seed: u64,
+}
+
+impl Default for SlaSpec {
+    fn default() -> Self {
+        SlaSpec {
+            oltp: OltpSpec::small(12),
+            premium_fraction: 0.2,
+            free_fraction: 0.5,
+            mean_think_time_ms: 10,
+            seed: 11,
+        }
+    }
+}
+
+impl SlaSpec {
+    /// Generate the statement workload plus per-transaction SLA metadata.
+    pub fn generate(&self) -> (Vec<ClientWorkload>, Vec<SlaRequestMeta>) {
+        let clients = self.oltp.generate();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let classes: Vec<ClientClass> = (0..clients.len())
+            .map(|i| self.class_for(i, clients.len()))
+            .collect();
+
+        let mut metas = Vec::new();
+        for client in &clients {
+            let class = classes[client.client_id];
+            let mut clock_ms: u64 = rng.gen_range(0..self.mean_think_time_ms.max(1));
+            for txn in &client.transactions {
+                let jitter = rng.gen_range(0..=self.mean_think_time_ms.max(1));
+                clock_ms += jitter;
+                metas.push(SlaRequestMeta {
+                    txn: txn.txn,
+                    class,
+                    arrival_ms: clock_ms,
+                    deadline_ms: clock_ms + class.deadline_ms(),
+                });
+            }
+        }
+        metas.sort_by_key(|m| (m.arrival_ms, m.txn));
+        (clients, metas)
+    }
+
+    /// Deterministic class assignment: the first `premium_fraction` of client
+    /// ids are premium, the last `free_fraction` are free, the middle is
+    /// standard.  Deterministic assignment keeps experiments reproducible and
+    /// makes per-class result tables easy to interpret.
+    fn class_for(&self, client_id: usize, total: usize) -> ClientClass {
+        let premium_cut = (self.premium_fraction * total as f64).round() as usize;
+        let free_cut = total - (self.free_fraction * total as f64).round() as usize;
+        if client_id < premium_cut {
+            ClientClass::Premium
+        } else if client_id >= free_cut {
+            ClientClass::Free
+        } else {
+            ClientClass::Standard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_fractions_are_respected() {
+        let spec = SlaSpec {
+            oltp: OltpSpec::small(10),
+            premium_fraction: 0.2,
+            free_fraction: 0.3,
+            ..SlaSpec::default()
+        };
+        let (clients, metas) = spec.generate();
+        assert_eq!(clients.len(), 10);
+        let mut premium = 0;
+        let mut free = 0;
+        let mut standard = 0;
+        for i in 0..10 {
+            match spec.class_for(i, 10) {
+                ClientClass::Premium => premium += 1,
+                ClientClass::Free => free += 1,
+                ClientClass::Standard => standard += 1,
+            }
+        }
+        assert_eq!(premium, 2);
+        assert_eq!(free, 3);
+        assert_eq!(standard, 5);
+        // Every transaction has metadata.
+        let total_txns: usize = clients.iter().map(|c| c.transactions.len()).sum();
+        assert_eq!(metas.len(), total_txns);
+    }
+
+    #[test]
+    fn deadlines_follow_class_targets_and_arrivals_are_sorted() {
+        let spec = SlaSpec::default();
+        let (_, metas) = spec.generate();
+        for m in &metas {
+            assert_eq!(m.deadline_ms - m.arrival_ms, m.class.deadline_ms());
+        }
+        for pair in metas.windows(2) {
+            assert!(pair[0].arrival_ms <= pair[1].arrival_ms);
+        }
+    }
+
+    #[test]
+    fn class_priorities_are_ordered() {
+        assert!(ClientClass::Premium.priority() > ClientClass::Standard.priority());
+        assert!(ClientClass::Standard.priority() > ClientClass::Free.priority());
+        assert!(ClientClass::Premium.deadline_ms() < ClientClass::Free.deadline_ms());
+        assert_eq!(ClientClass::Premium.as_str(), "premium");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SlaSpec::default();
+        let (_, a) = spec.generate();
+        let (_, b) = spec.generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Execution traces: recording the statement order produced by a multi-user
+//! run so it can be replayed in single-user mode.
+//!
+//! This is the heart of the paper's lower-bound methodology (Section 4.1):
+//! "In a separate run, we also logged the produced schedule.  We then reran
+//! this schedule with a single concurrent transaction, and locking disabled."
+
+use txnstore::{Statement, StatementKind, TxnId};
+
+/// An ordered record of executed statements.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    statements: Vec<Statement>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append a statement in execution order.
+    pub fn record(&mut self, stmt: Statement) {
+        self.statements.push(stmt);
+    }
+
+    /// Number of recorded statements (including commits/aborts).
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// All recorded statements in order.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// Number of data statements (SELECT/UPDATE) recorded.
+    pub fn data_statement_count(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| !s.kind.is_terminal())
+            .count()
+    }
+
+    /// Ids of transactions that committed within the trace.
+    pub fn committed_txns(&self) -> Vec<TxnId> {
+        let mut out: Vec<TxnId> = self
+            .statements
+            .iter()
+            .filter(|s| matches!(s.kind, StatementKind::Commit))
+            .map(|s| s.txn)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Keep only the statements of the *final, committed attempt* of every
+    /// transaction — the replay sequence must not contain work that the
+    /// multi-user run rolled back (client aborts or deadlock-victim
+    /// restarts), otherwise the single-user rerun would do more work than
+    /// the schedule it is meant to lower-bound.
+    ///
+    /// Concretely: transactions without a commit record are dropped
+    /// entirely, and for committed transactions every statement recorded
+    /// before that transaction's last abort record (a rolled-back attempt)
+    /// is dropped along with the abort records themselves.
+    pub fn committed_only(&self) -> Trace {
+        use std::collections::HashMap;
+        let committed: std::collections::HashSet<TxnId> =
+            self.committed_txns().into_iter().collect();
+        // Index of the last abort record per transaction.
+        let mut last_abort: HashMap<TxnId, usize> = HashMap::new();
+        for (i, s) in self.statements.iter().enumerate() {
+            if matches!(s.kind, StatementKind::Abort) {
+                last_abort.insert(s.txn, i);
+            }
+        }
+        Trace {
+            statements: self
+                .statements
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    committed.contains(&s.txn)
+                        && !matches!(s.kind, StatementKind::Abort)
+                        && last_abort.get(&s.txn).map_or(true, |&a| *i > a)
+                })
+                .map(|(_, s)| s.clone())
+                .collect(),
+        }
+    }
+
+    /// Consume the trace into its statements.
+    pub fn into_statements(self) -> Vec<Statement> {
+        self.statements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        // T1 commits, T2 aborts, T3 commits.
+        t.record(Statement::select(TxnId(1), 0, "bench", 1));
+        t.record(Statement::update(TxnId(2), 0, "bench", 2, 1));
+        t.record(Statement::update(TxnId(1), 1, "bench", 3, 1));
+        t.record(Statement::commit(TxnId(1), 2, "bench"));
+        t.record(Statement::abort(TxnId(2), 1, "bench"));
+        t.record(Statement::select(TxnId(3), 0, "bench", 4));
+        t.record(Statement::commit(TxnId(3), 1, "bench"));
+        t
+    }
+
+    #[test]
+    fn counts_and_committed_txns() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.data_statement_count(), 4);
+        assert_eq!(t.committed_txns(), vec![TxnId(1), TxnId(3)]);
+        assert!(!t.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn committed_only_drops_aborted_work_but_keeps_order() {
+        let t = sample_trace().committed_only();
+        assert_eq!(t.data_statement_count(), 3);
+        assert!(t.statements().iter().all(|s| s.txn != TxnId(2)));
+        // Order of the surviving statements is unchanged.
+        let intras: Vec<u32> = t
+            .statements()
+            .iter()
+            .filter(|s| s.txn == TxnId(1))
+            .map(|s| s.intra)
+            .collect();
+        assert_eq!(intras, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn into_statements_round_trips() {
+        let t = sample_trace();
+        let n = t.len();
+        assert_eq!(t.into_statements().len(), n);
+    }
+
+    #[test]
+    fn committed_only_keeps_only_the_final_attempt_of_restarted_txns() {
+        // T1 executes two statements, is rolled back (deadlock victim),
+        // restarts, executes again and commits.  Only the second attempt
+        // must survive.
+        let mut t = Trace::new();
+        t.record(Statement::update(TxnId(1), 0, "bench", 1, 1)); // attempt 1
+        t.record(Statement::update(TxnId(1), 1, "bench", 2, 1)); // attempt 1
+        t.record(Statement::abort(TxnId(1), 1, "bench")); // rollback marker
+        t.record(Statement::update(TxnId(1), 0, "bench", 1, 1)); // attempt 2
+        t.record(Statement::update(TxnId(1), 1, "bench", 2, 1)); // attempt 2
+        t.record(Statement::commit(TxnId(1), 2, "bench"));
+        let c = t.committed_only();
+        assert_eq!(c.data_statement_count(), 2);
+        assert_eq!(c.committed_txns(), vec![TxnId(1)]);
+        // No abort markers remain.
+        assert!(c
+            .statements()
+            .iter()
+            .all(|s| !matches!(s.kind, StatementKind::Abort)));
+    }
+}
