@@ -49,7 +49,12 @@ fn scheduler_with_pending(
     let mut history = Vec::new();
     for ta in 0..clients as u64 {
         if ta % 2 == 0 {
-            history.push(Request::write(0, 1_000 + ta, 0, (rng.next() % objects) as i64));
+            history.push(Request::write(
+                0,
+                1_000 + ta,
+                0,
+                (rng.next() % objects) as i64,
+            ));
         }
     }
     scheduler.preload_history(&history).unwrap();
@@ -156,8 +161,7 @@ fn ablation_protocols(c: &mut Criterion) {
         group.bench_function(kind.name(), |b| {
             b.iter_batched(
                 || {
-                    let mut s =
-                        scheduler_with_pending(Protocol::algebra(kind), 200, 500);
+                    let mut s = scheduler_with_pending(Protocol::algebra(kind), 200, 500);
                     if kind == ProtocolKind::ConsistencyRationing {
                         s.register_aux_relation(declsched::protocol::object_class_table(&[]));
                     }

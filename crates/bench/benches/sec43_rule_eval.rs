@@ -14,17 +14,13 @@ fn bench_rule_round(c: &mut Criterion) {
                 Backend::Algebra => "algebra",
                 Backend::Datalog => "datalog",
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, clients),
-                &clients,
-                |b, &clients| {
-                    b.iter_batched(
-                        || sec43_scheduler(clients, backend, Scale::quick()).0,
-                        |mut scheduler| scheduler.run_round(2).expect("round cannot fail"),
-                        criterion::BatchSize::LargeInput,
-                    );
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, clients), &clients, |b, &clients| {
+                b.iter_batched(
+                    || sec43_scheduler(clients, backend, Scale::quick()).0,
+                    |mut scheduler| scheduler.run_round(2).expect("round cannot fail"),
+                    criterion::BatchSize::LargeInput,
+                );
+            });
         }
     }
     group.finish();

@@ -14,7 +14,9 @@ fn main() {
     let scale = Scale::from_args();
     let client_counts = [50, 100, 200, 300, 400, 500, 600];
 
-    println!("# Section 4.4 — native vs declarative scheduling overhead (seconds per 240 s window)");
+    println!(
+        "# Section 4.4 — native vs declarative scheduling overhead (seconds per 240 s window)"
+    );
     println!("clients,native_overhead_secs,declarative_overhead_secs,winner");
     let rows = crossover_table(&client_counts, scale);
     for r in &rows {

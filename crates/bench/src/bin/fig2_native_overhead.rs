@@ -8,12 +8,15 @@ use simkit::Fig2Point;
 
 fn main() {
     let scale = Scale::from_args();
-    let client_counts = [1, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600];
+    let client_counts = [
+        1, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600,
+    ];
 
     println!("# Figure 2 — native scheduler overhead (multi-user / single-user, %)");
-    println!("# workload: 20 SELECT + 20 UPDATE per txn, {} rows, uniform", {
-        bench::workload_spec(1, scale).table_rows
-    });
+    println!(
+        "# workload: 20 SELECT + 20 UPDATE per txn, {} rows, uniform",
+        { bench::workload_spec(1, scale).table_rows }
+    );
     println!("{}", Fig2Point::csv_header());
     for point in fig2_series(&client_counts, scale) {
         println!("{}", point.to_csv());

@@ -19,7 +19,9 @@ fn main() {
         }
     }
     println!();
-    println!("# paper (commercial DBMS, SQL): 358 ms per round @ 300 clients, 545 ms @ 500 clients");
+    println!(
+        "# paper (commercial DBMS, SQL): 358 ms per round @ 300 clients, 545 ms @ 500 clients"
+    );
     println!("# paper: ~clients/2 tuples returned per round");
     println!("# paper: total overhead 3668 runs x 358 ms = 1314 s @ 300 clients; 193 runs x 545 ms = 106 s @ 500 clients");
 }

@@ -1,0 +1,60 @@
+//! The shard-scaling experiment: single-shard vs 2/4/8-shard throughput on a
+//! uniform single-object workload, swept over the workload's
+//! `cross_shard_fraction` knob to locate the crossover where serialized
+//! escalation traffic erases the parallelism win.
+//!
+//! Emits a human-readable CSV on stdout and writes the machine-readable
+//! `BENCH_shard_scaling.json` into the current directory so the perf
+//! trajectory is tracked across PRs.
+//!
+//! Usage: `cargo run --release -p bench --bin shard_scaling [--paper]`
+
+use bench::{shard_scaling_json, shard_scaling_sweep, shard_scaling_workload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let scale_label = if std::env::args().any(|a| a == "--paper") {
+        "paper"
+    } else {
+        "quick"
+    };
+    let shard_counts = [1usize, 2, 4, 8];
+    let fractions = [0.0f64, 0.05, 0.20, 0.50];
+    let (transactions, table_rows) = shard_scaling_workload(scale);
+
+    println!(
+        "# shard scaling — uniform single-object workload, {transactions} transactions over {table_rows} rows"
+    );
+    println!("{}", bench::ShardScalingRow::csv_header());
+    let rows = shard_scaling_sweep(&shard_counts, &fractions, scale);
+    for row in &rows {
+        println!("{}", row.to_csv());
+    }
+
+    // Headline numbers: the acceptance bar and the crossover.
+    if let Some(four) = rows
+        .iter()
+        .find(|r| r.shards == 4 && r.cross_shard_fraction == 0.0)
+    {
+        println!(
+            "# 4-shard speedup over 1 shard at cross_shard_fraction=0: {:.2}x",
+            four.speedup_vs_one_shard
+        );
+    }
+    if let Some(erased) = rows
+        .iter()
+        .find(|r| r.shards > 1 && r.speedup_vs_one_shard < 1.05 && r.cross_shard_fraction > 0.0)
+    {
+        println!(
+            "# crossover: at cross_shard_fraction={:.2} the {}-shard win is gone ({:.2}x)",
+            erased.cross_shard_fraction, erased.shards, erased.speedup_vs_one_shard
+        );
+    }
+
+    let json = shard_scaling_json(&rows, scale_label);
+    let path = "BENCH_shard_scaling.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}

@@ -192,7 +192,9 @@ pub fn sec43_experiment(client_counts: &[usize], backend: Backend, scale: Scale)
             let (mut scheduler, total_statements) = sec43_scheduler(clients, backend, scale);
             let history_rows = scheduler.history_len();
             let started = Instant::now();
-            let batch = scheduler.run_round(2).expect("measurement round cannot fail");
+            let batch = scheduler
+                .run_round(2)
+                .expect("measurement round cannot fail");
             let elapsed = started.elapsed().as_micros() as u64;
             let qualified = batch.len().max(1);
             let scheduler_runs = total_statements / qualified as u64;
@@ -251,6 +253,195 @@ pub fn crossover_table(client_counts: &[usize], scale: Scale) -> Vec<CrossoverRo
             }
         })
         .collect()
+}
+
+/// One measured configuration of the shard-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ShardScalingRow {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// Fraction of transactions spanning two shards (escalation traffic).
+    pub cross_shard_fraction: f64,
+    /// Transactions executed.
+    pub transactions: u64,
+    /// Wall-clock seconds for the whole run (submit → drain).
+    pub wall_secs: f64,
+    /// Scheduled requests per second across the fleet.
+    pub throughput_rps: f64,
+    /// Committed transactions per second.
+    pub commits_per_sec: f64,
+    /// Escalations taken by the serialized lane.
+    pub escalations: u64,
+    /// Escalation retry loops (lock-drain waits).
+    pub escalation_retries: u64,
+    /// Peak pending-relation size on any shard.
+    pub peak_pending: usize,
+    /// Commit throughput relative to the 1-shard run at the same
+    /// cross-shard fraction (1.0 for the 1-shard run itself).
+    pub speedup_vs_one_shard: f64,
+}
+
+impl ShardScalingRow {
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{:.2},{},{:.3},{:.0},{:.0},{},{},{},{:.2}",
+            self.shards,
+            self.cross_shard_fraction,
+            self.transactions,
+            self.wall_secs,
+            self.throughput_rps,
+            self.commits_per_sec,
+            self.escalations,
+            self.escalation_retries,
+            self.peak_pending,
+            self.speedup_vs_one_shard
+        )
+    }
+
+    /// CSV header.
+    pub fn csv_header() -> &'static str {
+        "shards,cross_shard_fraction,transactions,wall_secs,throughput_rps,commits_per_sec,escalations,escalation_retries,peak_pending,speedup_vs_one_shard"
+    }
+
+    /// One JSON object (hand-rolled; the workspace builds offline without a
+    /// serde dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"cross_shard_fraction\":{:.3},\"transactions\":{},\"wall_secs\":{:.6},\"throughput_rps\":{:.1},\"commits_per_sec\":{:.1},\"escalations\":{},\"escalation_retries\":{},\"peak_pending\":{},\"speedup_vs_one_shard\":{:.3}}}",
+            self.shards,
+            self.cross_shard_fraction,
+            self.transactions,
+            self.wall_secs,
+            self.throughput_rps,
+            self.commits_per_sec,
+            self.escalations,
+            self.escalation_retries,
+            self.peak_pending,
+            self.speedup_vs_one_shard
+        )
+    }
+}
+
+/// Workload dimensions of the shard-scaling experiment at a given scale.
+pub fn shard_scaling_workload(scale: Scale) -> (usize, usize) {
+    // (transactions, table_rows): enough pending work that rule evaluation
+    // dominates, scaled off the same knob as the other experiments.
+    let transactions = scale.transactions_per_client.max(1) * 256;
+    (transactions.min(4_096), scale.table_rows)
+}
+
+/// Run the sharded scheduler over a uniform single-object workload with the
+/// given shard count and cross-shard fraction, and measure it.
+///
+/// All transactions are submitted up front (the saturated-arrivals regime:
+/// the pending relation is full, so per-round rule evaluation dominates) and
+/// the run is timed until the last commit drains.
+pub fn shard_scaling_run(
+    shards: usize,
+    cross_shard_fraction: f64,
+    scale: Scale,
+) -> ShardScalingRow {
+    use declsched::shard_of;
+    use shard::{ShardConfig, ShardRouter};
+    use workload::ShardedSpec;
+
+    let (transactions, table_rows) = shard_scaling_workload(scale);
+    let spec = ShardedSpec::single_object(shards, transactions, table_rows)
+        .with_cross_shard_fraction(cross_shard_fraction);
+    let generated = spec.generate(|object| shard_of(object, shards));
+
+    let config = ShardConfig::new(shards, Protocol::algebra(ProtocolKind::Ss2pl))
+        .with_scheduler(SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 1,
+                threshold: 64,
+            },
+            ..SchedulerConfig::default()
+        })
+        .with_table("bench", table_rows);
+    let router = ShardRouter::start(config).expect("router start cannot fail");
+
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(generated.len());
+    for txn in &generated {
+        let requests: Vec<Request> = txn
+            .statements
+            .iter()
+            .map(|stmt| Request::from_statement(0, stmt))
+            .collect();
+        tickets.push(
+            router
+                .submit_transaction(requests)
+                .expect("submission cannot fail while the fleet is up"),
+        );
+    }
+    for ticket in tickets {
+        ticket.wait().expect("workload transactions always commit");
+    }
+    let wall = started.elapsed();
+    let report = router.shutdown();
+    let metrics = &report.metrics;
+
+    let wall_secs = wall.as_secs_f64().max(1e-9);
+    ShardScalingRow {
+        shards,
+        cross_shard_fraction,
+        transactions: metrics.transactions,
+        wall_secs,
+        throughput_rps: (metrics.merged.requests_scheduled + metrics.escalation.escalated_requests)
+            as f64
+            / wall_secs,
+        commits_per_sec: metrics.dispatch.commits as f64 / wall_secs,
+        escalations: metrics.escalation.escalations,
+        escalation_retries: metrics.escalation.retries,
+        peak_pending: metrics.peak_pending,
+        speedup_vs_one_shard: 1.0,
+    }
+}
+
+/// Sweep shard counts × cross-shard fractions and fill in speedups relative
+/// to the 1-shard run at the same fraction.
+pub fn shard_scaling_sweep(
+    shard_counts: &[usize],
+    fractions: &[f64],
+    scale: Scale,
+) -> Vec<ShardScalingRow> {
+    let mut rows = Vec::with_capacity(shard_counts.len() * fractions.len());
+    for &fraction in fractions {
+        let mut fraction_rows: Vec<ShardScalingRow> = shard_counts
+            .iter()
+            .map(|&shards| shard_scaling_run(shards, fraction, scale))
+            .collect();
+        // The baseline is the 1-shard run; without one, fall back to the
+        // smallest shard count measured (then the field is "vs the smallest
+        // configuration", still a well-defined ratio).
+        let baseline = fraction_rows
+            .iter()
+            .find(|r| r.shards == 1)
+            .or_else(|| fraction_rows.iter().min_by_key(|r| r.shards))
+            .map(|r| r.commits_per_sec)
+            .unwrap_or(0.0);
+        for row in &mut fraction_rows {
+            row.speedup_vs_one_shard = if baseline > 0.0 {
+                row.commits_per_sec / baseline
+            } else {
+                1.0
+            };
+        }
+        rows.append(&mut fraction_rows);
+    }
+    rows
+}
+
+/// Render a sweep as the `BENCH_shard_scaling.json` document.
+pub fn shard_scaling_json(rows: &[ShardScalingRow], scale_label: &str) -> String {
+    let series: Vec<String> = rows.iter().map(ShardScalingRow::to_json).collect();
+    format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"scale\": \"{}\",\n  \"series\": [\n    {}\n  ]\n}}\n",
+        scale_label,
+        series.join(",\n    ")
+    )
 }
 
 /// The related-approaches rows of the paper's Table 1 (verbatim from the
@@ -355,6 +546,35 @@ mod tests {
         let row = render_matrix_row("EQMS", &table1_related()[0].1);
         assert!(row.starts_with("EQMS"));
         assert!(row.contains('+'));
+    }
+
+    #[test]
+    fn shard_scaling_run_executes_and_reports() {
+        let tiny = Scale {
+            transactions_per_client: 1,
+            table_rows: 2_048,
+        };
+        let rows = shard_scaling_sweep(&[1, 2], &[0.0, 0.25], tiny);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.transactions, 256);
+            assert!(row.wall_secs > 0.0);
+            assert!(row.commits_per_sec > 0.0);
+            if row.cross_shard_fraction == 0.0 || row.shards == 1 {
+                assert_eq!(row.escalations, 0, "{row:?}");
+            } else {
+                assert_eq!(row.escalations, 64);
+            }
+            assert!(row.to_json().contains("\"shards\""));
+        }
+        // Baselines carry speedup 1.0 by construction.
+        assert!(rows
+            .iter()
+            .filter(|r| r.shards == 1)
+            .all(|r| (r.speedup_vs_one_shard - 1.0).abs() < f64::EPSILON));
+        let json = shard_scaling_json(&rows, "tiny");
+        assert!(json.contains("\"bench\": \"shard_scaling\""));
+        assert!(json.matches("{\"shards\"").count() == 4);
     }
 
     #[test]

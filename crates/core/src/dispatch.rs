@@ -144,11 +144,7 @@ mod tests {
         let mut d = Dispatcher::new("bench", 100).unwrap();
         let mut w = Request::write(1, 1, 0, 5);
         w.write_value = Some(Value::Int(42));
-        let b = batch(vec![
-            Request::read(2, 1, 1, 5),
-            w,
-            Request::commit(3, 1, 2),
-        ]);
+        let b = batch(vec![Request::read(2, 1, 1, 5), w, Request::commit(3, 1, 2)]);
         let report = d.execute_batch(&b).unwrap();
         assert_eq!(report.executed, 2);
         assert_eq!(report.reads, 1);

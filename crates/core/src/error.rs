@@ -44,10 +44,16 @@ impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedError::RuleEvaluation { protocol, message } => {
-                write!(f, "rule evaluation failed for protocol `{protocol}`: {message}")
+                write!(
+                    f,
+                    "rule evaluation failed for protocol `{protocol}`: {message}"
+                )
             }
             SchedError::MalformedRuleOutput { protocol, detail } => {
-                write!(f, "protocol `{protocol}` produced malformed output: {detail}")
+                write!(
+                    f,
+                    "protocol `{protocol}` produced malformed output: {detail}"
+                )
             }
             SchedError::Dispatch { message } => write!(f, "dispatch failed: {message}"),
             SchedError::ChannelClosed { endpoint } => {
@@ -100,7 +106,9 @@ mod tests {
         let e: SchedError = rel_err.into();
         assert!(e.to_string().contains("requests"));
 
-        let dl_err = datalog::DatalogError::UnsafeRule { rule: "bad(X).".into() };
+        let dl_err = datalog::DatalogError::UnsafeRule {
+            rule: "bad(X).".into(),
+        };
         let e: SchedError = dl_err.into();
         assert!(e.to_string().contains("bad(X)"));
 
@@ -113,7 +121,9 @@ mod tests {
     fn display_variants() {
         let e = SchedError::TransactionFinished { ta: 12 };
         assert!(e.to_string().contains("T12"));
-        let e = SchedError::ChannelClosed { endpoint: "client worker" };
+        let e = SchedError::ChannelClosed {
+            endpoint: "client worker",
+        };
         assert!(e.to_string().contains("client worker"));
     }
 }

@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn batch_insert() {
         let mut h = HistoryStore::new();
-        let batch = vec![Request::read(1, 1, 0, 5), Request::commit(2, 1, 1)];
+        let batch = [Request::read(1, 1, 0, 5), Request::commit(2, 1, 1)];
         h.insert_batch(batch.iter()).unwrap();
         assert_eq!(h.len(), 2);
         assert!(h.is_finished(1));

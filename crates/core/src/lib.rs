@@ -32,6 +32,34 @@
 //! * [`middleware`] adds the client-worker / control-instance threading
 //!   described in Section 3.3, built on crossbeam channels.
 //!
+//! ## Sharded topology
+//!
+//! The paper evaluates one declarative rule over a single global
+//! pending-request relation per round — a hard ceiling once the pending set
+//! grows.  The `shard` crate lifts that ceiling by partitioning Figure 1
+//! horizontally: the `requests` and `history` relations are hash-partitioned
+//! by object ([`request::shard_of`]) into N shards, and each shard owns a
+//! full private copy of the Figure 1 pipeline (incoming queue → pending DB →
+//! rule → history DB → dispatcher) on its own worker thread:
+//!
+//! ```text
+//!             ┌── shard 0: queue → pending₀/history₀ → rule → dispatcher₀
+//!  clients ─► router (hash of object footprint)
+//!             ├── shard 1: queue → pending₁/history₁ → rule → dispatcher₁
+//!             ├── …
+//!             └── escalation lane: freeze touched shards → evaluate the rule
+//!                 over the UNION of their history relations → execute → release
+//! ```
+//!
+//! Transactions whose [`request::footprint`] maps to one shard never
+//! synchronize with any other shard; spanning transactions are escalated to
+//! a serialized coordinator lane that freezes the touched shards at a round
+//! boundary (a batch-epoch barrier) so SS2PL/C2PL semantics survive the
+//! partitioning.  This crate contributes the building blocks the shard layer
+//! composes: [`request::footprint`] / [`request::shard_of`] extraction,
+//! [`SchedulerMetrics::merge`] for fleet-wide aggregation, and
+//! transaction-granularity submission on the middleware client handle.
+//!
 //! Protocols shipped (all expressed declaratively, see [`protocol`]):
 //! SS2PL (the paper's example), conservative 2PL, FCFS, SLA priority,
 //! earliest-deadline-first, relaxed reads, consistency rationing and an
@@ -65,7 +93,7 @@ pub use protocol::{
     AdaptiveProtocol, Backend, Protocol, ProtocolFeatures, ProtocolKind, SchedulingPolicy,
 };
 pub use queue::IncomingQueue;
-pub use request::{Operation, Request, RequestKey, SlaMeta};
+pub use request::{footprint, shard_of, Operation, Request, RequestKey, SlaMeta};
 pub use rules::{OrderingSpec, RuleBackend, RuleSet};
 pub use scheduler::{DeclarativeScheduler, ScheduleBatch, SchedulerConfig};
 pub use trigger::TriggerPolicy;
@@ -82,7 +110,7 @@ pub mod prelude {
         AdaptiveProtocol, Backend, Protocol, ProtocolFeatures, ProtocolKind, SchedulingPolicy,
     };
     pub use crate::queue::IncomingQueue;
-    pub use crate::request::{Operation, Request, RequestKey, SlaMeta};
+    pub use crate::request::{footprint, shard_of, Operation, Request, RequestKey, SlaMeta};
     pub use crate::rules::{OrderingSpec, RuleBackend, RuleSet};
     pub use crate::scheduler::{DeclarativeScheduler, ScheduleBatch, SchedulerConfig};
     pub use crate::trigger::TriggerPolicy;

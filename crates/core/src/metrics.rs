@@ -58,6 +58,21 @@ impl SchedulerMetrics {
             self.round_micros as f64 / self.rounds as f64
         }
     }
+
+    /// Fold another scheduler's metrics into this one.  Counters and timings
+    /// add; `max_batch` takes the maximum.  This is how the sharded
+    /// aggregator (`shard::ShardedMetrics`) merges per-shard metrics into a
+    /// fleet-wide view.
+    pub fn merge(&mut self, other: &SchedulerMetrics) {
+        self.rounds += other.rounds;
+        self.requests_submitted += other.requests_submitted;
+        self.requests_scheduled += other.requests_scheduled;
+        self.requests_deferred += other.requests_deferred;
+        self.rule_eval_micros += other.rule_eval_micros;
+        self.round_micros += other.round_micros;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.overload_rounds += other.overload_rounds;
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +85,34 @@ mod tests {
         assert_eq!(m.avg_batch_size(), 0.0);
         assert_eq!(m.avg_rule_eval_micros(), 0.0);
         assert_eq!(m.avg_round_micros(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_batches() {
+        let mut a = SchedulerMetrics {
+            rounds: 2,
+            requests_scheduled: 10,
+            rule_eval_micros: 100,
+            round_micros: 200,
+            max_batch: 6,
+            ..SchedulerMetrics::default()
+        };
+        let b = SchedulerMetrics {
+            rounds: 3,
+            requests_scheduled: 5,
+            rule_eval_micros: 50,
+            round_micros: 80,
+            max_batch: 9,
+            overload_rounds: 1,
+            ..SchedulerMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.requests_scheduled, 15);
+        assert_eq!(a.rule_eval_micros, 150);
+        assert_eq!(a.round_micros, 280);
+        assert_eq!(a.max_batch, 9);
+        assert_eq!(a.overload_rounds, 1);
     }
 
     #[test]

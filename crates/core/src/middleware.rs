@@ -71,6 +71,36 @@ impl ClientHandle {
             endpoint: "scheduler thread",
         })?
     }
+
+    /// Submit a whole transaction at once and wait until every statement has
+    /// been scheduled and executed.  Submitting at transaction granularity
+    /// lets the scheduler batch the statements into one round where the rule
+    /// admits them (`enforce_intra_order` keeps the in-transaction order
+    /// correct), and is the submission model the sharded middleware requires
+    /// — the router must see a transaction's full object footprint up front
+    /// to decide between the single-shard fast path and escalation.
+    pub fn execute_transaction(&self, statements: Vec<Statement>) -> SchedResult<()> {
+        let mut pending_replies = Vec::with_capacity(statements.len());
+        for statement in statements {
+            let (reply_tx, reply_rx) = bounded(1);
+            self.sender
+                .send(ControlMessage::Request(ClientMessage {
+                    statement,
+                    sla: None,
+                    reply: reply_tx,
+                }))
+                .map_err(|_| SchedError::ChannelClosed {
+                    endpoint: "scheduler thread",
+                })?;
+            pending_replies.push(reply_rx);
+        }
+        for reply_rx in pending_replies {
+            reply_rx.recv().map_err(|_| SchedError::ChannelClosed {
+                endpoint: "scheduler thread",
+            })??;
+        }
+        Ok(())
+    }
 }
 
 /// Summary returned when the middleware shuts down.
@@ -84,6 +114,9 @@ pub struct MiddlewareReport {
     pub executed: u64,
     /// Transactions committed on the server.
     pub commits: u64,
+    /// Full scheduler-side metrics (what `rounds`/`requests_scheduled`
+    /// summarise), so sharded deployments can merge per-shard reports.
+    pub scheduler: crate::metrics::SchedulerMetrics,
 }
 
 /// The control instance: owns the scheduler thread.
@@ -220,6 +253,7 @@ fn scheduler_loop(
         requests_scheduled: metrics.requests_scheduled,
         executed: totals.executed,
         commits: totals.commits,
+        scheduler: metrics,
     }
 }
 
@@ -276,9 +310,15 @@ mod tests {
         )
         .unwrap();
         let client = mw.connect();
-        client.execute(Statement::select(TxnId(1), 0, "bench", 5)).unwrap();
-        client.execute(Statement::update(TxnId(1), 1, "bench", 5, 42)).unwrap();
-        client.execute(Statement::commit(TxnId(1), 2, "bench")).unwrap();
+        client
+            .execute(Statement::select(TxnId(1), 0, "bench", 5))
+            .unwrap();
+        client
+            .execute(Statement::update(TxnId(1), 1, "bench", 5, 42))
+            .unwrap();
+        client
+            .execute(Statement::commit(TxnId(1), 2, "bench"))
+            .unwrap();
         let report = mw.shutdown();
         assert_eq!(report.executed, 2);
         assert_eq!(report.commits, 1);
@@ -304,7 +344,9 @@ mod tests {
                 client
                     .execute(Statement::update(TxnId(ta), 0, "bench", 3, ta as i64))
                     .unwrap();
-                client.execute(Statement::commit(TxnId(ta), 1, "bench")).unwrap();
+                client
+                    .execute(Statement::commit(TxnId(ta), 1, "bench"))
+                    .unwrap();
             }));
         }
         for j in joins {
@@ -316,14 +358,33 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_with_no_clients_is_clean() {
+    fn transaction_granularity_submission_round_trips() {
         let mw = Middleware::start(
-            Protocol::datalog(ProtocolKind::Fcfs),
+            Protocol::algebra(ProtocolKind::Ss2pl),
             config(),
             "bench",
-            10,
+            100,
         )
         .unwrap();
+        let client = mw.connect();
+        client
+            .execute_transaction(vec![
+                Statement::select(TxnId(1), 0, "bench", 5),
+                Statement::update(TxnId(1), 1, "bench", 5, 42),
+                Statement::commit(TxnId(1), 2, "bench"),
+            ])
+            .unwrap();
+        let report = mw.shutdown();
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.commits, 1);
+        assert_eq!(report.scheduler.requests_scheduled, 3);
+        assert_eq!(report.scheduler.requests_submitted, 3);
+    }
+
+    #[test]
+    fn shutdown_with_no_clients_is_clean() {
+        let mw = Middleware::start(Protocol::datalog(ProtocolKind::Fcfs), config(), "bench", 10)
+            .unwrap();
         let report = mw.shutdown();
         assert_eq!(report.executed, 0);
         assert_eq!(report.rounds, 0);

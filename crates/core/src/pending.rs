@@ -67,7 +67,7 @@ impl PendingStore {
         self.table
             .rows()
             .iter()
-            .filter_map(|row| Request::from_tuple(row))
+            .filter_map(Request::from_tuple)
             .filter_map(|r| self.by_key.get(&r.key()))
             .collect()
     }
@@ -82,8 +82,7 @@ impl PendingStore {
             }
         }
         if !taken.is_empty() {
-            let remove: std::collections::HashSet<RequestKey> =
-                keys.iter().copied().collect();
+            let remove: std::collections::HashSet<RequestKey> = keys.iter().copied().collect();
             self.table.delete_where(|row| {
                 Request::from_tuple(row)
                     .map(|r| remove.contains(&r.key()))

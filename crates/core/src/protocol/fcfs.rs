@@ -19,8 +19,7 @@ pub fn fcfs_algebra_plan() -> Plan {
 }
 
 /// The Datalog source of the FCFS protocol — a single rule.
-pub const FCFS_DATALOG_SOURCE: &str =
-    "qualified(T, I) :- requests(Id, T, I, Op, O).\n";
+pub const FCFS_DATALOG_SOURCE: &str = "qualified(T, I) :- requests(Id, T, I, Op, O).\n";
 
 /// Build the FCFS protocol on the requested back-end.
 pub(crate) fn build(backend: Backend) -> Protocol {
@@ -36,7 +35,11 @@ pub(crate) fn build(backend: Backend) -> Protocol {
     };
     Protocol {
         kind: ProtocolKind::Fcfs,
-        rules: RuleSet::new(ProtocolKind::Fcfs.name(), rule_backend, OrderingSpec::FifoById),
+        rules: RuleSet::new(
+            ProtocolKind::Fcfs.name(),
+            rule_backend,
+            OrderingSpec::FifoById,
+        ),
         features: ProtocolFeatures {
             performance: true,
             qos: false,

@@ -139,7 +139,10 @@ mod tests {
         let c = catalog(pending, history);
         let algebra = build(Backend::Algebra).rules.qualify(&c).unwrap();
         let datalog = build(Backend::Datalog).rules.qualify(&c).unwrap();
-        assert_eq!(algebra, datalog, "algebra and datalog relaxed rules disagree");
+        assert_eq!(
+            algebra, datalog,
+            "algebra and datalog relaxed rules disagree"
+        );
         algebra.into_iter().map(|k| (k.ta, k.intra)).collect()
     }
 

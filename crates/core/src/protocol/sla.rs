@@ -45,7 +45,8 @@ pub(crate) fn build_priority(backend: Backend) -> Protocol {
             flexible: true,
             high_scalability: true,
         },
-        description: "SS2PL correctness with premium-before-free dispatch ordering (class-based SLA)",
+        description:
+            "SS2PL correctness with premium-before-free dispatch ordering (class-based SLA)",
     }
 }
 
@@ -66,7 +67,8 @@ pub(crate) fn build_edf(backend: Backend) -> Protocol {
             flexible: true,
             high_scalability: true,
         },
-        description: "SS2PL correctness with earliest-deadline-first dispatch ordering (response-time SLA)",
+        description:
+            "SS2PL correctness with earliest-deadline-first dispatch ordering (response-time SLA)",
     }
 }
 

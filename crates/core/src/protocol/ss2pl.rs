@@ -39,9 +39,7 @@ pub(crate) fn history_renamed() -> PlanBuilder {
 /// committed nor aborted.  Output columns: `(h_object, h_ta)`.
 pub(crate) fn wlocked_objects_plan() -> PlanBuilder {
     let finished = PlanBuilder::scan("history")
-        .filter(
-            Expr::col("operation").in_list(vec![Value::str("a"), Value::str("c")]),
-        )
+        .filter(Expr::col("operation").in_list(vec![Value::str("a"), Value::str("c")]))
         .project(vec![Expr::col("ta")])
         .rename(vec!["f_ta"]);
     history_renamed()
@@ -202,7 +200,11 @@ pub(crate) fn build(backend: Backend) -> Protocol {
     };
     Protocol {
         kind: ProtocolKind::Ss2pl,
-        rules: RuleSet::new(ProtocolKind::Ss2pl.name(), rule_backend, OrderingSpec::FifoById),
+        rules: RuleSet::new(
+            ProtocolKind::Ss2pl.name(),
+            rule_backend,
+            OrderingSpec::FifoById,
+        ),
         features: ProtocolFeatures {
             performance: true,
             qos: false,
@@ -210,7 +212,8 @@ pub(crate) fn build(backend: Backend) -> Protocol {
             flexible: true,
             high_scalability: true,
         },
-        description: "Strong strict 2PL: serialisable schedules via declarative lock rules (paper Listing 1)",
+        description:
+            "Strong strict 2PL: serialisable schedules via declarative lock rules (paper Listing 1)",
     }
 }
 
@@ -357,7 +360,10 @@ mod tests {
             .lines()
             .filter(|l| l.contains(":-"))
             .count();
-        assert!(rule_lines <= 12, "SS2PL should stay compact, got {rule_lines} rules");
+        assert!(
+            rule_lines <= 12,
+            "SS2PL should stay compact, got {rule_lines} rules"
+        );
         // And it actually parses.
         let _ = ss2pl_datalog_program();
     }

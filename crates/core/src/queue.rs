@@ -61,6 +61,11 @@ impl IncomingQueue {
         self.entries.drain(..).map(|(_, r)| r).collect()
     }
 
+    /// The buffered requests in arrival order, without draining.
+    pub fn requests(&self) -> impl Iterator<Item = &Request> {
+        self.entries.iter().map(|(_, request)| request)
+    }
+
     /// Total number of requests ever enqueued.
     pub fn total_enqueued(&self) -> u64 {
         self.total_enqueued

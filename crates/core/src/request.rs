@@ -157,9 +157,7 @@ impl Request {
     pub fn from_statement(id: u64, stmt: &Statement) -> Self {
         let (op, object, write_value) = match &stmt.kind {
             StatementKind::Select { key } => (Operation::Read, *key, None),
-            StatementKind::Update { key, value } => {
-                (Operation::Write, *key, Some(value.clone()))
-            }
+            StatementKind::Update { key, value } => (Operation::Write, *key, Some(value.clone())),
             StatementKind::Commit => (Operation::Commit, -1, None),
             StatementKind::Abort => (Operation::Abort, -1, None),
         };
@@ -272,6 +270,42 @@ impl fmt::Display for Request {
     }
 }
 
+/// The object footprint of a group of requests: the distinct objects its data
+/// operations touch, in ascending order.  Terminal operations (commit/abort)
+/// carry no object and do not contribute.  This is what a shard router
+/// partitions on: a transaction whose footprint maps to a single shard can be
+/// scheduled entirely by that shard's rule, while a spanning footprint forces
+/// escalation to the serialized cross-shard lane.
+pub fn footprint<'a>(requests: impl IntoIterator<Item = &'a Request>) -> Vec<i64> {
+    let mut objects: Vec<i64> = requests
+        .into_iter()
+        .filter(|r| r.op.is_data())
+        .map(|r| r.object)
+        .collect();
+    objects.sort_unstable();
+    objects.dedup();
+    objects
+}
+
+/// The home shard of an object under `shards`-way partitioning.
+///
+/// Fibonacci (multiplicative) hashing of the object id: cheap, deterministic
+/// across processes, and it scatters the sequential object ids produced by
+/// the workload generators evenly, so uniform workloads load shards evenly.
+/// Every component that partitions by object — the shard router, the
+/// workload generator's `cross_shard_fraction` knob, the scaling bench —
+/// must agree on this single function.
+pub fn shard_of(object: i64, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    if shards == 1 {
+        return 0;
+    }
+    let h = (object as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    // Multiply-shift onto [0, shards): avoids the modulo's bias toward low
+    // shards and costs one multiplication.
+    (((h >> 32) * shards as u64) >> 32) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,7 +316,12 @@ mod tests {
         assert_eq!(Operation::Write.code(), "w");
         assert_eq!(Operation::Commit.code(), "c");
         assert_eq!(Operation::Abort.code(), "a");
-        for op in [Operation::Read, Operation::Write, Operation::Commit, Operation::Abort] {
+        for op in [
+            Operation::Read,
+            Operation::Write,
+            Operation::Commit,
+            Operation::Abort,
+        ] {
             assert_eq!(Operation::from_code(op.code()), Some(op));
         }
         assert_eq!(Operation::from_code("x"), None);
@@ -293,7 +332,10 @@ mod tests {
     #[test]
     fn schema_matches_table_2() {
         let s = Request::schema();
-        assert_eq!(s.names(), vec!["id", "ta", "intrata", "operation", "object"]);
+        assert_eq!(
+            s.names(),
+            vec!["id", "ta", "intrata", "operation", "object"]
+        );
         let sla = Request::sla_schema();
         assert_eq!(sla.len(), 5);
         assert_eq!(sla.names()[1], "class");
@@ -348,5 +390,37 @@ mod tests {
         let r = Request::read(5, 2, 1, 77);
         assert_eq!(r.key(), RequestKey { ta: 2, intra: 1 });
         assert!(r.to_string().contains("T2[1]"));
+    }
+
+    #[test]
+    fn footprint_collects_distinct_data_objects() {
+        let txn = vec![
+            Request::read(1, 1, 0, 9),
+            Request::write(2, 1, 1, 3),
+            Request::write(3, 1, 2, 9),
+            Request::commit(4, 1, 3),
+        ];
+        assert_eq!(footprint(&txn), vec![3, 9]);
+        assert!(footprint(&[Request::commit(1, 1, 0)]).is_empty());
+    }
+
+    #[test]
+    fn shard_placement_is_deterministic_total_and_balanced() {
+        for shards in [1usize, 2, 4, 8] {
+            let mut counts = vec![0usize; shards];
+            for object in 0..10_000i64 {
+                let s = shard_of(object, shards);
+                assert_eq!(s, shard_of(object, shards));
+                counts[s] += 1;
+            }
+            let expected = 10_000 / shards;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > expected / 2 && c < expected * 2,
+                    "shard {s}/{shards} unbalanced: {c} of 10000"
+                );
+            }
+        }
+        assert_eq!(shard_of(123, 1), 0);
     }
 }

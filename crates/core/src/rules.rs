@@ -49,9 +49,9 @@ impl OrderingSpec {
                     r.id,
                 )
             }),
-            OrderingSpec::DeadlineThenId => requests.sort_by_key(|r| {
-                (r.sla.map(|s| s.deadline_ms).unwrap_or(u64::MAX), r.id)
-            }),
+            OrderingSpec::DeadlineThenId => {
+                requests.sort_by_key(|r| (r.sla.map(|s| s.deadline_ms).unwrap_or(u64::MAX), r.id))
+            }
         }
     }
 
@@ -102,13 +102,12 @@ impl RuleBackend {
         match self {
             RuleBackend::Algebra { plan } => {
                 let result = relalg::execute(plan, catalog)?;
-                let ta_idx = result
-                    .schema()
-                    .index_of("ta")
-                    .ok_or_else(|| SchedError::MalformedRuleOutput {
+                let ta_idx = result.schema().index_of("ta").ok_or_else(|| {
+                    SchedError::MalformedRuleOutput {
                         protocol: "<algebra>".into(),
                         detail: "output has no `ta` column".into(),
-                    })?;
+                    }
+                })?;
                 let intra_idx = result.schema().index_of("intrata").ok_or_else(|| {
                     SchedError::MalformedRuleOutput {
                         protocol: "<algebra>".into(),
@@ -157,12 +156,15 @@ impl RuleBackend {
                             ),
                         });
                     }
-                    let ta = row[0].as_int().ok_or_else(|| SchedError::MalformedRuleOutput {
-                        protocol: "<datalog>".into(),
-                        detail: format!("non-integer ta value `{}`", row[0]),
-                    })?;
-                    let intra =
-                        row[1].as_int().ok_or_else(|| SchedError::MalformedRuleOutput {
+                    let ta = row[0]
+                        .as_int()
+                        .ok_or_else(|| SchedError::MalformedRuleOutput {
+                            protocol: "<datalog>".into(),
+                            detail: format!("non-integer ta value `{}`", row[0]),
+                        })?;
+                    let intra = row[1]
+                        .as_int()
+                        .ok_or_else(|| SchedError::MalformedRuleOutput {
                             protocol: "<datalog>".into(),
                             detail: format!("non-integer intrata value `{}`", row[1]),
                         })?;
@@ -303,7 +305,10 @@ mod tests {
             program,
             output: "qualified".into(),
         };
-        assert!(backend.evaluate(&catalog_with_requests()).unwrap().is_empty());
+        assert!(backend
+            .evaluate(&catalog_with_requests())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -320,7 +325,10 @@ mod tests {
             Request::read(2, 3, 0, 7),
         ];
         OrderingSpec::FifoById.sort(&mut requests);
-        assert_eq!(requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         OrderingSpec::PriorityThenId.sort(&mut requests);
         assert_eq!(requests[0].id, 1); // priority 3 first
         assert_eq!(requests[2].id, 2); // no SLA last
@@ -328,14 +336,21 @@ mod tests {
         assert_eq!(requests[0].id, 1); // deadline 100
         assert_eq!(requests[2].id, 2); // no SLA last
         OrderingSpec::ByTransaction.sort(&mut requests);
-        assert_eq!(requests.iter().map(|r| r.ta).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            requests.iter().map(|r| r.ta).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert_eq!(OrderingSpec::DeadlineThenId.label(), "edf");
     }
 
     #[test]
     fn rule_set_wraps_errors_with_protocol_name() {
         let plan = PlanBuilder::scan("missing_relation").build();
-        let rs = RuleSet::new("broken", RuleBackend::Algebra { plan }, OrderingSpec::FifoById);
+        let rs = RuleSet::new(
+            "broken",
+            RuleBackend::Algebra { plan },
+            OrderingSpec::FifoById,
+        );
         let err = rs.qualify(&catalog_with_requests()).unwrap_err();
         match err {
             SchedError::RuleEvaluation { protocol, .. } => assert_eq!(protocol, "broken"),

@@ -160,6 +160,24 @@ impl DeclarativeScheduler {
         self.history.len()
     }
 
+    /// The current `history` relation (rows of unpruned scheduled requests).
+    /// The shard layer's escalation lane snapshots this from every touched
+    /// shard and evaluates the protocol rule over the union.
+    pub fn history_table(&self) -> &Table {
+        self.history.table()
+    }
+
+    /// The current `requests` (pending) relation.
+    pub fn pending_table(&self) -> &Table {
+        self.pending.table()
+    }
+
+    /// Requests buffered in the incoming queue (submitted but not yet
+    /// drained into the pending relation), in arrival order.
+    pub fn queued_requests(&self) -> Vec<&Request> {
+        self.queue.requests().collect()
+    }
+
     /// Accumulated metrics.
     pub fn metrics(&self) -> SchedulerMetrics {
         self.metrics
@@ -265,7 +283,8 @@ impl DeclarativeScheduler {
         let mut sla = Table::new("sla", Request::sla_schema());
         for request in self.sla_rows.values() {
             if let Some(tuple) = request.to_sla_tuple() {
-                sla.push(tuple).expect("sla tuples always match the sla schema");
+                sla.push(tuple)
+                    .expect("sla tuples always match the sla schema");
             }
         }
         catalog.register(sla);

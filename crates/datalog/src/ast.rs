@@ -73,10 +73,7 @@ impl Atom {
 
     /// Names of all variables appearing in the atom.
     pub fn variables(&self) -> BTreeSet<&str> {
-        self.terms
-            .iter()
-            .filter_map(|t| t.var_name())
-            .collect()
+        self.terms.iter().filter_map(|t| t.var_name()).collect()
     }
 }
 
@@ -295,7 +292,10 @@ impl Program {
 
     /// Names of all predicates defined by rule heads (the IDB).
     pub fn idb_predicates(&self) -> BTreeSet<&str> {
-        self.rules.iter().map(|r| r.head.predicate.as_str()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.as_str())
+            .collect()
     }
 
     /// Names of predicates that only appear in bodies (the EDB — these must
@@ -306,9 +306,7 @@ impl Program {
             .iter()
             .flat_map(|r| {
                 r.body.iter().filter_map(|b| match b {
-                    BodyItem::Positive(a) | BodyItem::Negative(a) => {
-                        Some(a.predicate.as_str())
-                    }
+                    BodyItem::Positive(a) | BodyItem::Negative(a) => Some(a.predicate.as_str()),
                     BodyItem::Compare { .. } => None,
                 })
             })
@@ -376,7 +374,10 @@ mod tests {
         let p = Program::new(vec![
             Rule::new(
                 atom("reach", vec![Term::var("X"), Term::var("Y")]),
-                vec![BodyItem::Positive(atom("edge", vec![Term::var("X"), Term::var("Y")]))],
+                vec![BodyItem::Positive(atom(
+                    "edge",
+                    vec![Term::var("X"), Term::var("Y")],
+                ))],
             ),
             Rule::new(
                 atom("reach", vec![Term::var("X"), Term::var("Z")]),
@@ -386,8 +387,14 @@ mod tests {
                 ],
             ),
         ]);
-        assert_eq!(p.idb_predicates().into_iter().collect::<Vec<_>>(), vec!["reach"]);
-        assert_eq!(p.edb_predicates().into_iter().collect::<Vec<_>>(), vec!["edge"]);
+        assert_eq!(
+            p.idb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["reach"]
+        );
+        assert_eq!(
+            p.edb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["edge"]
+        );
     }
 
     #[test]

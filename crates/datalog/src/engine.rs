@@ -71,7 +71,10 @@ impl Database {
 
     /// Add a single fact.
     pub fn add_fact(&mut self, predicate: impl Into<String>, row: Vec<Value>) -> bool {
-        self.relations.entry(predicate.into()).or_default().insert(row)
+        self.relations
+            .entry(predicate.into())
+            .or_default()
+            .insert(row)
     }
 
     /// Add many facts for one predicate.
@@ -165,7 +168,10 @@ mod tests {
     fn database_fact_management() {
         let mut db = Database::new();
         db.add_fact("edge", vec![1.into(), 2.into()]);
-        db.add_facts("edge", vec![vec![2.into(), 3.into()], vec![1.into(), 2.into()]]);
+        db.add_facts(
+            "edge",
+            vec![vec![2.into(), 3.into()], vec![1.into(), 2.into()]],
+        );
         db.declare("empty");
         assert_eq!(db.relation("edge").unwrap().len(), 2);
         assert!(db.relation("empty").unwrap().is_empty());

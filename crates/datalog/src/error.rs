@@ -54,7 +54,10 @@ impl fmt::Display for DatalogError {
                 message,
             } => write!(f, "parse error at {line}:{column}: {message}"),
             DatalogError::UnsafeRule { rule } => {
-                write!(f, "unsafe rule (unbound variable in head, negation or comparison): {rule}")
+                write!(
+                    f,
+                    "unsafe rule (unbound variable in head, negation or comparison): {rule}"
+                )
             }
             DatalogError::NotStratifiable { cycle } => write!(
                 f,

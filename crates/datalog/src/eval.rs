@@ -91,8 +91,12 @@ fn evaluate_stratum(rules: &[&Rule], db: &mut Database) -> DatalogResult<()> {
             // For each positive body atom whose predicate has a delta, run
             // the rule with that atom restricted to the delta.
             for (pos, item) in rule.body.iter().enumerate() {
-                let BodyItem::Positive(atom) = item else { continue };
-                let Some(d) = delta.get(&atom.predicate) else { continue };
+                let BodyItem::Positive(atom) = item else {
+                    continue;
+                };
+                let Some(d) = delta.get(&atom.predicate) else {
+                    continue;
+                };
                 if d.is_empty() {
                     continue;
                 }
@@ -419,7 +423,10 @@ mod tests {
             ],
         );
         let out = evaluate(&program, db).unwrap();
-        assert_eq!(ints(out.relation("qualified").unwrap()), vec![vec![100], vec![102]]);
+        assert_eq!(
+            ints(out.relation("qualified").unwrap()),
+            vec![vec![100], vec![102]]
+        );
         assert_eq!(ints(out.relation("blocked").unwrap()), vec![vec![101]]);
     }
 

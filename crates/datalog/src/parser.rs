@@ -219,7 +219,12 @@ impl<'a> Parser<'a> {
     fn parse_atom(&mut self) -> DatalogResult<Atom> {
         self.skip_ws_and_comments();
         let name = self.parse_identifier()?;
-        if name.chars().next().map(|c| c.is_uppercase()).unwrap_or(false) {
+        if name
+            .chars()
+            .next()
+            .map(|c| c.is_uppercase())
+            .unwrap_or(false)
+        {
             return Err(self.error("predicate names must start with a lowercase letter"));
         }
         self.expect("(")?;
@@ -257,7 +262,13 @@ impl<'a> Parser<'a> {
                     if c.is_ascii_digit() {
                         text.push(c as char);
                         self.bump();
-                    } else if c == b'.' && self.src.get(self.pos + 1).map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                    } else if c == b'.'
+                        && self
+                            .src
+                            .get(self.pos + 1)
+                            .map(|d| d.is_ascii_digit())
+                            .unwrap_or(false)
+                    {
                         is_float = true;
                         text.push('.');
                         self.bump();
@@ -360,7 +371,13 @@ mod tests {
         .unwrap();
         assert_eq!(p.rules.len(), 4);
         let body = &p.rules[0].body;
-        assert!(matches!(body[2], BodyItem::Compare { op: CompareOp::Neq, .. }));
+        assert!(matches!(
+            body[2],
+            BodyItem::Compare {
+                op: CompareOp::Neq,
+                ..
+            }
+        ));
         // lowercase identifier as atom constant
         let p2 = parse_program("class(T, premium) :- ta(T).").unwrap();
         match &p2.rules[0].head.terms[1] {

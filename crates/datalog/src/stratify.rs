@@ -50,8 +50,7 @@ pub fn stratify(program: &Program) -> DatalogResult<Stratification> {
     // Iteratively raise strata: head >= body for positive deps,
     // head > body (i.e. >= body+1) for negative deps.  If a stratum ever
     // exceeds the number of IDB predicates there must be a negative cycle.
-    let mut strata: BTreeMap<String, usize> =
-        idb.iter().map(|p| (p.to_string(), 0usize)).collect();
+    let mut strata: BTreeMap<String, usize> = idb.iter().map(|p| (p.to_string(), 0usize)).collect();
     let max_stratum = idb.len().max(1);
     let mut changed = true;
     while changed {
@@ -84,7 +83,10 @@ pub fn stratify(program: &Program) -> DatalogResult<Stratification> {
         rule_groups[s].push(i);
     }
 
-    Ok(Stratification { strata, rule_groups })
+    Ok(Stratification {
+        strata,
+        rule_groups,
+    })
 }
 
 fn check_arities(program: &Program) -> DatalogResult<()> {
@@ -97,7 +99,10 @@ fn check_arities(program: &Program) -> DatalogResult<()> {
         for item in &rule.body {
             match item {
                 crate::ast::BodyItem::Positive(a) | crate::ast::BodyItem::Negative(a) => {
-                    arities.entry(a.predicate.as_str()).or_default().insert(a.arity());
+                    arities
+                        .entry(a.predicate.as_str())
+                        .or_default()
+                        .insert(a.arity());
                 }
                 crate::ast::BodyItem::Compare { .. } => {}
             }
@@ -134,10 +139,8 @@ mod tests {
 
     #[test]
     fn positive_recursion_is_single_stratum() {
-        let p = parse_program(
-            "reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).",
-        )
-        .unwrap();
+        let p =
+            parse_program("reach(X,Y) :- edge(X,Y). reach(X,Z) :- reach(X,Y), edge(Y,Z).").unwrap();
         let s = stratify(&p).unwrap();
         assert_eq!(s.strata["reach"], 0);
         assert_eq!(s.rule_groups.len(), 1);
@@ -198,7 +201,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert!(matches!(stratify(&p), Err(DatalogError::ArityMismatch { .. })));
+        assert!(matches!(
+            stratify(&p),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

@@ -212,13 +212,14 @@ mod tests {
     #[test]
     fn equi_join_builds_conjunction() {
         let plan = PlanBuilder::scan("a")
-            .equi_join(
-                PlanBuilder::scan("b"),
-                &[("x", "bx"), ("y", "by")],
-            )
+            .equi_join(PlanBuilder::scan("b"), &[("x", "bx"), ("y", "by")])
             .build();
         match plan {
-            Plan::Join { on: Some(pred), kind: JoinKind::Inner, .. } => {
+            Plan::Join {
+                on: Some(pred),
+                kind: JoinKind::Inner,
+                ..
+            } => {
                 let s = pred.to_string();
                 assert!(s.contains("(x = bx)"));
                 assert!(s.contains("(y = by)"));
@@ -242,11 +243,8 @@ mod tests {
 
     #[test]
     fn values_builder() {
-        let plan = PlanBuilder::values(
-            vec!["a"],
-            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
-        )
-        .build();
+        let plan =
+            PlanBuilder::values(vec!["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]).build();
         assert!(matches!(plan, Plan::Values { ref rows, .. } if rows.len() == 2));
     }
 }

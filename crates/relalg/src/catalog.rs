@@ -54,9 +54,11 @@ impl Catalog {
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> RelResult<&Table> {
-        self.tables.get(name).ok_or_else(|| RelError::UnknownRelation {
-            relation: name.to_string(),
-        })
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelError::UnknownRelation {
+                relation: name.to_string(),
+            })
     }
 
     /// Look up a table mutably by name.

@@ -78,7 +78,10 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> RelResult<ResultSet> {
     match plan {
         Plan::Scan { relation } => {
             let table = catalog.get(relation)?;
-            Ok(ResultSet::new(table.schema().clone(), table.rows().to_vec()))
+            Ok(ResultSet::new(
+                table.schema().clone(),
+                table.rows().to_vec(),
+            ))
         }
         Plan::Values { columns, rows } => {
             let fields = columns
@@ -634,8 +637,7 @@ mod tests {
     fn semi_and_anti_join_partition_left_side() {
         let c = catalog();
         let on = Some(Expr::col("object").eq(Expr::col("h_object")));
-        let renamed =
-            PlanBuilder::scan("history").rename(vec!["h_id", "h_ta", "h_op", "h_object"]);
+        let renamed = PlanBuilder::scan("history").rename(vec!["h_id", "h_ta", "h_op", "h_object"]);
         let semi = PlanBuilder::scan("requests")
             .join(renamed.clone(), JoinKind::Semi, on.clone())
             .build();
@@ -729,10 +731,7 @@ mod tests {
     #[test]
     fn aggregate_over_empty_input_yields_single_row() {
         let mut c = Catalog::new();
-        c.register(Table::new(
-            "empty",
-            Schema::new(vec![Field::int("x")]),
-        ));
+        c.register(Table::new("empty", Schema::new(vec![Field::int("x")])));
         let plan = PlanBuilder::scan("empty")
             .aggregate(
                 vec![],

@@ -164,11 +164,13 @@ impl Expr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         self.binary(BinOp::Add, other)
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         self.binary(BinOp::Sub, other)
     }
@@ -437,7 +439,9 @@ mod tests {
             .eq(Expr::lit("w"))
             .and(Expr::col("object").gt(Expr::lit(40)));
         assert!(pred.eval_predicate(&t, &s).unwrap());
-        let pred2 = Expr::col("ta").lt(Expr::lit(5)).or(Expr::col("ta").ge(Expr::lit(7)));
+        let pred2 = Expr::col("ta")
+            .lt(Expr::lit(5))
+            .or(Expr::col("ta").ge(Expr::lit(7)));
         assert!(pred2.eval_predicate(&t, &s).unwrap());
         let pred3 = Expr::col("ta").neq(Expr::lit(7));
         assert!(!pred3.eval_predicate(&t, &s).unwrap());
@@ -454,7 +458,11 @@ mod tests {
         assert!(Expr::col("x").is_null().eval_predicate(&t, &s).unwrap());
         assert!(!Expr::col("x").is_not_null().eval_predicate(&t, &s).unwrap());
         // NOT NULL stays NULL -> rejected.
-        assert!(!Expr::col("x").eq(Expr::lit(1)).not().eval_predicate(&t, &s).unwrap());
+        assert!(!Expr::col("x")
+            .eq(Expr::lit(1))
+            .not()
+            .eval_predicate(&t, &s)
+            .unwrap());
     }
 
     #[test]
@@ -498,7 +506,9 @@ mod tests {
 
     #[test]
     fn columns_collected_for_pushdown() {
-        let e = Expr::col("a").eq(Expr::lit(1)).and(Expr::col("b").is_null());
+        let e = Expr::col("a")
+            .eq(Expr::lit(1))
+            .and(Expr::col("b").is_null());
         let mut cols = e.columns();
         cols.sort_unstable();
         assert_eq!(cols, vec!["a", "b"]);
@@ -506,7 +516,9 @@ mod tests {
 
     #[test]
     fn display_is_readable_sql_like() {
-        let e = Expr::col("op").eq(Expr::lit("w")).and(Expr::col("ta").gt(Expr::lit(3)));
+        let e = Expr::col("op")
+            .eq(Expr::lit("w"))
+            .and(Expr::col("ta").gt(Expr::lit(3)));
         assert_eq!(e.to_string(), "((op = 'w') AND (ta > 3))");
     }
 
@@ -514,8 +526,14 @@ mod tests {
     fn result_types() {
         let s = schema();
         assert_eq!(Expr::col("ta").result_type(&s), DataType::Int);
-        assert_eq!(Expr::col("weight").add(Expr::lit(1)).result_type(&s), DataType::Float);
-        assert_eq!(Expr::col("ta").eq(Expr::lit(1)).result_type(&s), DataType::Bool);
+        assert_eq!(
+            Expr::col("weight").add(Expr::lit(1)).result_type(&s),
+            DataType::Float
+        );
+        assert_eq!(
+            Expr::col("ta").eq(Expr::lit(1)).result_type(&s),
+            DataType::Bool
+        );
         assert_eq!(Expr::lit("x").result_type(&s), DataType::Str);
     }
 }

@@ -274,7 +274,9 @@ fn output_columns(plan: &Plan) -> Option<Vec<String>> {
         Plan::UnionAll { left, .. } | Plan::Except { left, .. } | Plan::Intersect { left, .. } => {
             output_columns(left)
         }
-        Plan::Join { kind, left, right, .. } => match kind {
+        Plan::Join {
+            kind, left, right, ..
+        } => match kind {
             JoinKind::Semi | JoinKind::Anti => output_columns(left),
             JoinKind::Inner | JoinKind::LeftOuter => {
                 let l = output_columns(left)?;
@@ -305,7 +307,11 @@ mod tests {
     use crate::tuple;
 
     fn catalog() -> Catalog {
-        let schema = Schema::new(vec![Field::int("ta"), Field::str("op"), Field::int("object")]);
+        let schema = Schema::new(vec![
+            Field::int("ta"),
+            Field::str("op"),
+            Field::int("object"),
+        ]);
         let mut requests = Table::new("requests", schema.clone());
         requests.push(tuple![1, "r", 10]).unwrap();
         requests.push(tuple![2, "w", 11]).unwrap();
@@ -378,7 +384,10 @@ mod tests {
         );
         let text = optimized.explain();
         // Select pushed under the join (join line comes first now).
-        assert!(text.find("Join").unwrap() < text.find("Select (").unwrap_or(usize::MAX) || text.matches("Select").count() >= 1);
+        assert!(
+            text.find("Join").unwrap() < text.find("Select (").unwrap_or(usize::MAX)
+                || text.matches("Select").count() >= 1
+        );
         // Anti-regression: still produces 2 rows (ta 2 and 3 are writes; only object 10 matches history)
         assert_eq!(execute(&optimized, &c).unwrap().len(), 1);
     }

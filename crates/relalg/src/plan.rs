@@ -112,7 +112,9 @@ impl ProjectItem {
 
     /// The output column name.
     pub fn name(&self) -> String {
-        self.alias.clone().unwrap_or_else(|| self.expr.display_name())
+        self.alias
+            .clone()
+            .unwrap_or_else(|| self.expr.display_name())
     }
 }
 
@@ -335,7 +337,11 @@ impl Plan {
                         format!(
                             "{} {}",
                             k.expr,
-                            if k.order == SortOrder::Asc { "ASC" } else { "DESC" }
+                            if k.order == SortOrder::Asc {
+                                "ASC"
+                            } else {
+                                "DESC"
+                            }
                         )
                     })
                     .collect();

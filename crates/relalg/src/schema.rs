@@ -25,16 +25,16 @@ impl DataType {
     /// NULL is admissible for every type (all columns are nullable, as in the
     /// paper's history/pending relations where outer joins introduce NULLs).
     pub fn admits(self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null) => true,
-            (DataType::Any, _) => true,
-            (DataType::Int, Value::Int(_)) => true,
-            (DataType::Float, Value::Float(_)) => true,
-            (DataType::Float, Value::Int(_)) => true,
-            (DataType::Bool, Value::Bool(_)) => true,
-            (DataType::Str, Value::Str(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (DataType::Any, _)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Float, Value::Int(_))
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::Str, Value::Str(_))
+        )
     }
 }
 
@@ -165,7 +165,10 @@ impl Schema {
         let mut fields: Vec<Field> = self.fields.as_ref().clone();
         for f in other.fields() {
             if self.index_of(&f.name).is_some() {
-                fields.push(Field::new(format!("{right_prefix}.{}", f.name), f.data_type));
+                fields.push(Field::new(
+                    format!("{right_prefix}.{}", f.name),
+                    f.data_type,
+                ));
             } else {
                 fields.push(f.clone());
             }
@@ -188,15 +191,11 @@ impl Schema {
     /// names may differ — as in SQL's `UNION`/`EXCEPT`).
     pub fn union_compatible(&self, other: &Schema) -> bool {
         self.len() == other.len()
-            && self
-                .fields
-                .iter()
-                .zip(other.fields.iter())
-                .all(|(a, b)| {
-                    a.data_type == b.data_type
-                        || a.data_type == DataType::Any
-                        || b.data_type == DataType::Any
-                })
+            && self.fields.iter().zip(other.fields.iter()).all(|(a, b)| {
+                a.data_type == b.data_type
+                    || a.data_type == DataType::Any
+                    || b.data_type == DataType::Any
+            })
     }
 }
 

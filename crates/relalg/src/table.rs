@@ -35,11 +35,7 @@ impl Table {
     }
 
     /// Create a table pre-populated with rows (rows are validated).
-    pub fn with_rows(
-        name: impl Into<String>,
-        schema: Schema,
-        rows: Vec<Tuple>,
-    ) -> RelResult<Self> {
+    pub fn with_rows(name: impl Into<String>, schema: Schema, rows: Vec<Tuple>) -> RelResult<Self> {
         let mut t = Table::new(name, schema);
         for r in rows {
             t.push(r)?;
@@ -218,7 +214,13 @@ impl Table {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &rendered {
             let line: Vec<String> = row
@@ -235,7 +237,13 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} [{} rows]", self.name, self.schema, self.rows.len())
+        write!(
+            f,
+            "{} {} [{} rows]",
+            self.name,
+            self.schema,
+            self.rows.len()
+        )
     }
 }
 

@@ -65,7 +65,7 @@ impl Tuple {
     pub fn concat_nulls(&self, arity: usize) -> Tuple {
         let mut values = Vec::with_capacity(self.arity() + arity);
         values.extend_from_slice(&self.values);
-        values.extend(std::iter::repeat(Value::Null).take(arity));
+        values.extend(std::iter::repeat_n(Value::Null, arity));
         Tuple::new(values)
     }
 
@@ -134,7 +134,10 @@ mod tests {
     fn projection_reorders_and_duplicates() {
         let t = tuple![10, 20, 30];
         let p = t.project(&[2, 0, 0]);
-        assert_eq!(p.values(), &[Value::Int(30), Value::Int(10), Value::Int(10)]);
+        assert_eq!(
+            p.values(),
+            &[Value::Int(30), Value::Int(10), Value::Int(10)]
+        );
     }
 
     #[test]

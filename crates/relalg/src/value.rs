@@ -238,14 +238,20 @@ mod tests {
 
     #[test]
     fn numeric_cross_type_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Int(3).sql_eq(&Value::Float(3.0)), Some(true));
     }
 
     #[test]
     fn total_ordering_sorts_nulls_first_and_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("b"),
             Value::Int(10),
             Value::Null,

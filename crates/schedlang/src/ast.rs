@@ -159,7 +159,10 @@ impl ProtocolDef {
             .clauses
             .iter()
             .any(|c| matches!(c, Clause::AdmitOtherwise));
-        let has_explicit_admit = self.clauses.iter().any(|c| matches!(c, Clause::Admit { .. }));
+        let has_explicit_admit = self
+            .clauses
+            .iter()
+            .any(|c| matches!(c, Clause::Admit { .. }));
         has_otherwise || !has_explicit_admit
     }
 }

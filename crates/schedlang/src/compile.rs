@@ -34,8 +34,7 @@ pub fn compile(def: &ProtocolDef) -> LangResult<RuleSet> {
                 saw_order = true;
             }
             Clause::Define { name, args, body } => {
-                if name == QUALIFIED || name == BLOCKED || name == "requests" || name == "history"
-                {
+                if name == QUALIFIED || name == BLOCKED || name == "requests" || name == "history" {
                     return Err(LangError::Semantic {
                         protocol: def.name.clone(),
                         message: format!("`define {name}` would shadow a reserved predicate"),
@@ -200,7 +199,10 @@ impl Compiler {
                 }
                 BodyAtom::Negative { predicate, terms } => {
                     let terms: Vec<Term> = terms.iter().map(|t| term(self, t)).collect();
-                    if terms.iter().any(|t| matches!(t, Term::Var(v) if v.starts_with("_G"))) {
+                    if terms
+                        .iter()
+                        .any(|t| matches!(t, Term::Var(v) if v.starts_with("_G")))
+                    {
                         return Err(LangError::Semantic {
                             protocol: self.protocol.clone(),
                             message: format!(
@@ -266,10 +268,7 @@ mod tests {
     fn block_clauses_generate_default_admission() {
         // Block everything touching object 5; no explicit admit clauses.
         let p = compile_protocol(r#"protocol no5 { block when obj = 5; }"#).unwrap();
-        let c = catalog(
-            &[Request::read(1, 1, 0, 5), Request::read(2, 2, 0, 6)],
-            &[],
-        );
+        let c = catalog(&[Request::read(1, 1, 0, 5), Request::read(2, 2, 0, 6)], &[]);
         let keys = p.rules.qualify(&c).unwrap();
         assert_eq!(keys, vec![RequestKey { ta: 2, intra: 0 }]);
     }
@@ -325,7 +324,9 @@ mod tests {
     fn semantic_errors_are_reported() {
         // Duplicate order clause.
         assert!(matches!(
-            compile_protocol("protocol p { order by arrival; order by deadline; admit otherwise; }"),
+            compile_protocol(
+                "protocol p { order by arrival; order by deadline; admit otherwise; }"
+            ),
             Err(LangError::Semantic { .. })
         ));
         // Shadowing a reserved predicate.

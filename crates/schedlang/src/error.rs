@@ -48,8 +48,15 @@ pub enum LangError {
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LangError::Lex { line, column, found } => {
-                write!(f, "lexical error at {line}:{column}: unexpected character `{found}`")
+            LangError::Lex {
+                line,
+                column,
+                found,
+            } => {
+                write!(
+                    f,
+                    "lexical error at {line}:{column}: unexpected character `{found}`"
+                )
             }
             LangError::Parse {
                 line,

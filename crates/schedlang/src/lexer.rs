@@ -224,7 +224,13 @@ pub fn tokenize(src: &str) -> LangResult<Vec<Token>> {
             continue;
         }
         // Numbers.
-        if c.is_ascii_digit() || (c == '-' && bytes.get(pos + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)) {
+        if c.is_ascii_digit()
+            || (c == '-'
+                && bytes
+                    .get(pos + 1)
+                    .map(|d| d.is_ascii_digit())
+                    .unwrap_or(false))
+        {
             let mut text = String::new();
             if c == '-' {
                 text.push('-');

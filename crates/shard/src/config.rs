@@ -1,0 +1,67 @@
+//! Configuration of a sharded scheduler deployment.
+
+use declsched::protocol::SchedulingPolicy;
+use declsched::SchedulerConfig;
+use relalg::Table;
+
+/// Configuration for a [`crate::ShardRouter`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards (worker threads).  One shard degenerates to the
+    /// paper's single global scheduler behind a router.
+    pub shards: usize,
+    /// The declarative protocol every shard evaluates (also used by the
+    /// escalation lane over the merged relations).
+    pub policy: SchedulingPolicy,
+    /// Per-shard scheduler configuration (trigger, pruning, intra-order).
+    pub scheduler: SchedulerConfig,
+    /// Name of the benchmark table every shard's dispatcher serves.
+    pub table: String,
+    /// Rows in the benchmark table.  Every shard engine materialises the full
+    /// table; the router guarantees an object is only ever touched through
+    /// its home shard (or through the escalation lane, which also executes on
+    /// the home shard), so the copies never diverge.
+    pub rows: usize,
+    /// Upper bound on escalation re-tries while waiting for conflicting
+    /// shard-local locks to drain, before the transaction is failed.
+    pub max_escalation_attempts: u32,
+    /// Auxiliary relations (e.g. `object_class` for consistency rationing)
+    /// registered with every shard's scheduler and with the escalation
+    /// lane's merged catalog, so aux-joining protocols work sharded too.
+    pub aux_relations: Vec<Table>,
+}
+
+impl ShardConfig {
+    /// A config with the given shard count and policy, default scheduler
+    /// settings and a 10k-row `bench` table.
+    pub fn new(shards: usize, policy: impl Into<SchedulingPolicy>) -> Self {
+        ShardConfig {
+            shards: shards.max(1),
+            policy: policy.into(),
+            scheduler: SchedulerConfig::default(),
+            table: "bench".to_string(),
+            rows: 10_000,
+            max_escalation_attempts: 100_000,
+            aux_relations: Vec::new(),
+        }
+    }
+
+    /// Register an auxiliary relation protocol rules may join against.
+    pub fn with_aux_relation(mut self, table: Table) -> Self {
+        self.aux_relations.push(table);
+        self
+    }
+
+    /// Replace the per-shard scheduler configuration.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Replace the benchmark table name and size.
+    pub fn with_table(mut self, table: impl Into<String>, rows: usize) -> Self {
+        self.table = table.into();
+        self.rows = rows;
+        self
+    }
+}

@@ -1,0 +1,278 @@
+//! The serialized cross-shard lane.
+//!
+//! A transaction whose object footprint spans shards cannot be admitted by
+//! any single shard's rule — each shard only sees its own slice of the
+//! `history` relation, so none of them can prove conflict-freedom.  The
+//! coordinator restores the paper's single-relation picture just for these
+//! transactions: it freezes every touched shard at a round boundary (a
+//! batch-epoch barrier), evaluates the *same declarative rule* over the
+//! union of the frozen shards' history relations, and — only if the whole
+//! transaction qualifies — executes it on the owning shards inside the
+//! epoch.  If the rule defers the transaction (a shard-local lock
+//! conflicts), the shards are released so their clients can commit and drain
+//! the lock, and the escalation retries.
+//!
+//! Because the lane is serialized and shards are frozen while it evaluates,
+//! the merged catalog is a consistent snapshot and SS2PL/C2PL admission
+//! decisions carry over unchanged from the unsharded scheduler.
+//!
+//! Ordering caveat: the lane serializes against *held locks* (the history
+//! relations), not against local transactions still sitting in shard
+//! pending queues.  An escalated transaction may therefore execute before a
+//! concurrently pending local transaction with a smaller id on a shared
+//! object — a legal serialization, exactly as two concurrent transactions
+//! may commit in either order on the unsharded scheduler.  Locks are never
+//! violated: anything already executed-but-uncommitted defers the lane.
+//! The one pending-queue check the lane does make is for its *own*
+//! transaction: an earlier submission of the same transaction still waiting
+//! on a touched shard defers the escalation, so intra-transaction order
+//! always holds.
+
+use crate::metrics::EscalationStats;
+use crate::worker::{FreezeAck, ShardMessage};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use declsched::protocol::SchedulingPolicy;
+use declsched::{shard_of, Operation, Request, RequestKey, SchedError, SchedResult};
+use relalg::{Catalog, Table};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// A cross-shard transaction queued for the lane.
+pub(crate) struct EscalationJob {
+    /// The transaction's requests, in intra order.
+    pub requests: Vec<Request>,
+    /// Touched shard ids, ascending and distinct (includes shards holding
+    /// locks from the transaction's earlier submissions).
+    pub touched: Vec<usize>,
+    /// Signalled once with the outcome.
+    pub reply: Sender<SchedResult<()>>,
+}
+
+/// Coordinator mailbox.
+pub(crate) enum EscalationMessage {
+    /// Run one escalation.
+    Job(EscalationJob),
+    /// Finish queued jobs received before this marker, then stop.
+    Shutdown,
+}
+
+/// The escalation coordinator thread body.
+pub(crate) fn run_coordinator(
+    policy: SchedulingPolicy,
+    workers: Vec<Sender<ShardMessage>>,
+    receiver: Receiver<EscalationMessage>,
+    max_attempts: u32,
+    aux_relations: Vec<Table>,
+) -> EscalationStats {
+    let mut stats = EscalationStats::default();
+    while let Ok(EscalationMessage::Job(job)) = receiver.recv() {
+        stats.escalations += 1;
+        let result = run_escalation(
+            &policy,
+            &workers,
+            &job,
+            max_attempts,
+            &aux_relations,
+            &mut stats,
+        );
+        if result.is_err() {
+            stats.failed += 1;
+        } else {
+            stats.escalated_requests += job.requests.len() as u64;
+        }
+        let _ = job.reply.send(result);
+    }
+    stats
+}
+
+/// Freeze → evaluate → execute → release, retrying while the rule defers.
+fn run_escalation(
+    policy: &SchedulingPolicy,
+    workers: &[Sender<ShardMessage>],
+    job: &EscalationJob,
+    max_attempts: u32,
+    aux_relations: &[Table],
+    stats: &mut EscalationStats,
+) -> SchedResult<()> {
+    let protocol = policy.select(job.requests.len()).clone();
+    for attempt in 0..max_attempts.max(1) {
+        if attempt > 0 {
+            stats.retries += 1;
+            // Growing pause so the released shards get rounds in to drain
+            // the conflicting locks.  Each retry re-freezes and re-snapshots
+            // the touched shards (a full table clone per shard), so the
+            // backoff caps well above the workers' ~1 ms round cadence to
+            // keep that cost amortised under contention.
+            std::thread::sleep(Duration::from_micros(100 * u64::from(attempt.min(50))));
+        }
+
+        // Acquire the batch-epoch barrier in ascending shard order (the lane
+        // is serialized, so ordering only matters for determinism).
+        let mut snapshots: Vec<(usize, FreezeAck)> = Vec::with_capacity(job.touched.len());
+        for &shard in &job.touched {
+            let (ack_tx, ack_rx) = bounded(1);
+            let frozen: Vec<usize> = snapshots.iter().map(|(s, _)| *s).collect();
+            if workers[shard]
+                .send(ShardMessage::Freeze { ack: ack_tx })
+                .is_err()
+            {
+                release(workers, &frozen);
+                return Err(SchedError::ChannelClosed {
+                    endpoint: "shard worker (freeze)",
+                });
+            }
+            match ack_rx.recv() {
+                Ok(ack) => snapshots.push((shard, ack)),
+                Err(_) => {
+                    release(workers, &frozen);
+                    return Err(SchedError::ChannelClosed {
+                        endpoint: "shard worker (freeze ack)",
+                    });
+                }
+            }
+        }
+        let frozen: Vec<usize> = snapshots.iter().map(|(s, _)| *s).collect();
+
+        // An earlier submission of this very transaction still waiting in a
+        // shard's pending queue must execute before the escalated batch —
+        // replicating the terminal now would finish the transaction on that
+        // engine with the earlier statement unexecuted.  Defer until the
+        // shard has drained it.
+        let ta = job.requests.first().map(|r| r.ta);
+        let own_request_pending = ta.is_some_and(|ta| {
+            snapshots.iter().any(|(_, ack)| {
+                ack.pending
+                    .rows()
+                    .iter()
+                    .filter_map(Request::from_tuple)
+                    .any(|r| r.ta == ta)
+            })
+        });
+        if own_request_pending {
+            release(workers, &frozen);
+            continue;
+        }
+
+        // Evaluate the protocol rule over the merged relations.
+        let qualified = match qualify_merged(&protocol, &job.requests, &snapshots, aux_relations) {
+            Ok(q) => q,
+            Err(e) => {
+                release(workers, &frozen);
+                return Err(e);
+            }
+        };
+        let data_keys: Vec<RequestKey> = job
+            .requests
+            .iter()
+            .filter(|r| r.op.is_data())
+            .map(|r| r.key())
+            .collect();
+        let admitted = data_keys.iter().all(|k| qualified.contains(k));
+
+        if !admitted {
+            // A shard-local lock conflicts; release so it can drain.
+            release(workers, &frozen);
+            continue;
+        }
+
+        // Execute each request on its owning shard; terminals are replicated
+        // to every touched shard so each participating engine finishes the
+        // transaction.
+        let shards = workers.len();
+        let mut result = Ok(());
+        let mut dones = Vec::with_capacity(frozen.len());
+        for &shard in &frozen {
+            let sub_batch: Vec<Request> = job
+                .requests
+                .iter()
+                .filter(|r| {
+                    if r.op.is_data() {
+                        shard_of(r.object, shards) == shard
+                    } else {
+                        matches!(r.op, Operation::Commit | Operation::Abort)
+                    }
+                })
+                .cloned()
+                .collect();
+            if sub_batch.is_empty() {
+                continue;
+            }
+            let (done_tx, done_rx) = bounded(1);
+            if workers[shard]
+                .send(ShardMessage::Execute {
+                    requests: sub_batch,
+                    done: done_tx,
+                })
+                .is_err()
+            {
+                result = Err(SchedError::ChannelClosed {
+                    endpoint: "shard worker (execute)",
+                });
+                break;
+            }
+            dones.push(done_rx);
+        }
+        for done in dones {
+            match done.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+                Err(_) => {
+                    if result.is_ok() {
+                        result = Err(SchedError::ChannelClosed {
+                            endpoint: "shard worker (execute ack)",
+                        });
+                    }
+                }
+            }
+        }
+        release(workers, &frozen);
+        return result;
+    }
+    Err(SchedError::Dispatch {
+        message: format!(
+            "escalation starved after {max_attempts} attempts: a touched shard never \
+             drained its conflicting locks"
+        ),
+    })
+}
+
+/// Build `requests` ∪ merged `history` (∪ empty `sla`) and run the rule.
+fn qualify_merged(
+    protocol: &declsched::Protocol,
+    requests: &[Request],
+    snapshots: &[(usize, FreezeAck)],
+    aux_relations: &[Table],
+) -> SchedResult<HashSet<RequestKey>> {
+    let mut pending = Table::new("requests", Request::schema());
+    for (i, request) in requests.iter().enumerate() {
+        let mut row = request.clone();
+        row.id = i as u64 + 1;
+        pending
+            .push(row.to_tuple())
+            .map_err(declsched::SchedError::from)?;
+    }
+    let mut history = Table::new("history", Request::schema());
+    for (_, ack) in snapshots {
+        history
+            .extend(ack.history.rows().iter().cloned())
+            .map_err(declsched::SchedError::from)?;
+    }
+    let mut catalog = Catalog::new();
+    catalog.register(pending);
+    catalog.register(history);
+    catalog.register(Table::new("sla", Request::sla_schema()));
+    for aux in aux_relations {
+        catalog.replace(aux.clone());
+    }
+    Ok(protocol.rules.qualify(&catalog)?.into_iter().collect())
+}
+
+fn release(workers: &[Sender<ShardMessage>], frozen: &[usize]) {
+    for &shard in frozen {
+        let _ = workers[shard].send(ShardMessage::Release);
+    }
+}

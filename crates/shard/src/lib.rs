@@ -1,0 +1,332 @@
+//! # shard — the sharded scheduling subsystem
+//!
+//! The paper's scheduler evaluates one declarative rule over a single global
+//! pending-request relation each round.  That is elegant and correct, but
+//! the rule's cost grows with the size of the relations, and one scheduler
+//! thread is a hard ceiling.  This crate partitions the problem the way
+//! cluster schedulers partition hosts: by **object**.
+//!
+//! ```text
+//!                         ┌─ shard 0 ─────────────────────────────────┐
+//!                  ┌────► │ queue → requests₀/history₀ → rule → exec  │
+//!   clients ──► ShardRouter (hash of object footprint)                │
+//!                  ├────► │ shard 1: …                                │
+//!                  ├────► │ shard N-1: …                              │
+//!                  └────► │ escalation lane (serialized):             │
+//!                         │   freeze touched shards → rule over       │
+//!                         │   UNION of histories → execute → release  │
+//!                         └───────────────────────────────────────────┘
+//! ```
+//!
+//! * [`ShardRouter`] hash-partitions incoming transactions by their object
+//!   footprint (`declsched::footprint` / `declsched::shard_of`).  A
+//!   transaction whose footprint maps to one shard goes straight to that
+//!   shard's worker thread — no synchronization with any other shard, ever.
+//! * Each shard worker owns a full private copy of the paper's Figure-1
+//!   pipeline: incoming queue, `requests` (pending) relation, `history`
+//!   relation, the declarative rule, and a dispatcher with its own engine.
+//!   Per-object serialization is preserved because an object has exactly one
+//!   home shard.
+//! * Transactions whose footprint **spans** shards are escalated to a
+//!   serialized global lane: the coordinator freezes the touched shards at
+//!   round boundaries (batch-epoch barriers), evaluates the same declarative
+//!   rule over the union of their `history` relations, executes the
+//!   transaction on its owning shards inside the epoch, and releases.  SS2PL
+//!   / C2PL admission semantics therefore survive the partitioning — the
+//!   escalation lane momentarily reconstructs exactly the relation the
+//!   unsharded scheduler would have seen.
+//! * [`ShardedMetrics`] merges per-shard `SchedulerMetrics` and dispatch
+//!   totals with routing counters (throughput, peak queue depth, cross-shard
+//!   escalation rate).
+//! * [`ShardedMiddleware`] is the client-facing sharded counterpart of
+//!   `declsched::middleware::Middleware`.
+//!
+//! The scaling story is measured by the `shard_scaling` bench binary
+//! (`BENCH_shard_scaling.json`): on a uniform single-object workload the
+//! hot loop is embarrassingly parallel and shards scale near-linearly;
+//! raising the workload's `cross_shard_fraction` sends traffic through the
+//! serialized lane until it erases the win.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod config;
+mod escalation;
+mod metrics;
+mod middleware;
+mod router;
+mod worker;
+
+pub use config::ShardConfig;
+pub use metrics::{EscalationStats, ShardReport, ShardedMetrics};
+pub use middleware::{ShardedClientHandle, ShardedMiddleware};
+pub use router::{ShardRouter, ShardedReport, TxnTicket};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use declsched::{
+        shard_of, Operation, Protocol, ProtocolKind, Request, SchedulerConfig, TriggerPolicy,
+    };
+
+    fn config(shards: usize) -> ShardConfig {
+        ShardConfig::new(shards, Protocol::algebra(ProtocolKind::Ss2pl))
+            .with_scheduler(SchedulerConfig {
+                trigger: TriggerPolicy::Hybrid {
+                    interval_ms: 1,
+                    threshold: 4,
+                },
+                ..SchedulerConfig::default()
+            })
+            .with_table("bench", 1_000)
+    }
+
+    /// Pick one object per shard so tests can aim transactions precisely.
+    fn object_on_shard(shard: usize, shards: usize) -> i64 {
+        (0..1_000i64)
+            .find(|&o| shard_of(o, shards) == shard)
+            .expect("every shard owns some object")
+    }
+
+    fn txn(ta: u64, objects: &[i64], commit: bool) -> Vec<Request> {
+        let mut requests: Vec<Request> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, &object)| Request::write(0, ta, i as u32, object))
+            .collect();
+        if commit {
+            requests.push(Request::commit(0, ta, objects.len() as u32));
+        }
+        requests
+    }
+
+    #[test]
+    fn single_shard_transactions_route_and_execute() {
+        let router = ShardRouter::start(config(4)).unwrap();
+        let shards = router.shards();
+        for ta in 0..8u64 {
+            let object = object_on_shard((ta % 4) as usize, shards);
+            router
+                .execute_transaction(txn(ta + 1, &[object], true))
+                .unwrap();
+        }
+        let report = router.shutdown();
+        assert_eq!(report.metrics.transactions, 8);
+        assert_eq!(report.metrics.cross_shard_transactions, 0);
+        assert_eq!(report.metrics.dispatch.writes, 8);
+        assert_eq!(report.metrics.dispatch.commits, 8);
+        // Every shard executed its two transactions locally.
+        for shard in &report.shards {
+            assert_eq!(shard.dispatch.writes, 2, "shard {}", shard.shard);
+        }
+    }
+
+    #[test]
+    fn cross_shard_transaction_escalates_and_commits_on_every_touched_shard() {
+        let router = ShardRouter::start(config(4)).unwrap();
+        let shards = router.shards();
+        let a = object_on_shard(0, shards);
+        let b = object_on_shard(1, shards);
+        router.execute_transaction(txn(7, &[a, b], true)).unwrap();
+        let report = router.shutdown();
+        assert_eq!(report.metrics.cross_shard_transactions, 1);
+        assert_eq!(report.metrics.escalation.escalations, 1);
+        assert_eq!(report.metrics.escalation.failed, 0);
+        assert_eq!(report.metrics.escalation.escalated_requests, 3);
+        assert_eq!(report.metrics.dispatch.writes, 2);
+        // One commit per touched engine.
+        assert_eq!(report.metrics.dispatch.commits, 2);
+        assert_eq!(report.shards[0].dispatch.writes, 1);
+        assert_eq!(report.shards[1].dispatch.writes, 1);
+        assert!((report.metrics.cross_shard_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn escalation_waits_for_conflicting_local_lock_to_drain() {
+        let router = ShardRouter::start(config(2)).unwrap();
+        let shards = router.shards();
+        let a = object_on_shard(0, shards);
+        let b = object_on_shard(1, shards);
+        // T1 takes a write lock on `a` and holds it (no terminal yet).
+        router.execute_transaction(txn(1, &[a], false)).unwrap();
+        // T2 spans both shards and conflicts with T1's lock; let the lane
+        // spin on it while the main thread later commits T1.
+        let ticket = router.submit_transaction(txn(2, &[a, b], true)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Commit T1 (terminal-only submission routes to T1's home shard).
+        router
+            .execute_transaction(vec![Request::commit(0, 1, 5)])
+            .unwrap();
+        ticket.wait().unwrap();
+        let report = router.shutdown();
+        assert_eq!(report.metrics.escalation.escalations, 1);
+        assert!(
+            report.metrics.escalation.retries > 0,
+            "the lane must have retried while T1 held its lock"
+        );
+        assert_eq!(report.metrics.dispatch.writes, 3);
+        // Per-object execution order on shard 0: T1's write strictly before
+        // T2's.
+        let shard0: Vec<u64> = report.shards[0]
+            .executed_log
+            .iter()
+            .filter(|r| r.op == Operation::Write && r.object == a)
+            .map(|r| r.ta)
+            .collect();
+        assert_eq!(shard0, vec![1, 2]);
+    }
+
+    #[test]
+    fn incremental_cross_shard_growth_is_escalated_with_prior_homes_frozen() {
+        let router = ShardRouter::start(config(2)).unwrap();
+        let shards = router.shards();
+        let a = object_on_shard(0, shards);
+        let b = object_on_shard(1, shards);
+        // T1 starts on shard 0 …
+        router.execute_transaction(txn(1, &[a], false)).unwrap();
+        // … then grows a footprint on shard 1: the router must escalate and
+        // freeze shard 0 too (T1's own lock there must not block it).
+        router
+            .execute_transaction(vec![Request::write(0, 1, 5, b)])
+            .unwrap();
+        // Terminal-only submission for a multi-home transaction commits on
+        // every touched engine through the lane.
+        router
+            .execute_transaction(vec![Request::commit(0, 1, 9)])
+            .unwrap();
+        let report = router.shutdown();
+        assert_eq!(report.metrics.cross_shard_transactions, 2);
+        assert_eq!(report.metrics.escalation.failed, 0);
+        assert_eq!(report.metrics.dispatch.writes, 2);
+        assert_eq!(report.metrics.dispatch.commits, 2);
+    }
+
+    #[test]
+    fn pipelined_same_transaction_escalation_waits_for_earlier_submission() {
+        let router = ShardRouter::start(config(2)).unwrap();
+        let shards = router.shards();
+        let a = object_on_shard(0, shards);
+        let b = object_on_shard(1, shards);
+        // Submit T1's first statement and, *without waiting*, a spanning
+        // continuation carrying the terminal.  The lane must not replicate
+        // the commit to shard 0 while write(a) still sits in its queue.
+        let first = router
+            .submit_transaction(vec![Request::write(0, 1, 0, a)])
+            .unwrap();
+        let second = router
+            .submit_transaction(vec![Request::write(0, 1, 1, b), Request::commit(0, 1, 2)])
+            .unwrap();
+        first.wait().unwrap();
+        second.wait().unwrap();
+        let report = router.shutdown();
+        assert_eq!(report.metrics.escalation.failed, 0);
+        assert_eq!(report.metrics.dispatch.writes, 2);
+        // Intra-transaction order on shard 0: the write strictly before the
+        // escalated commit finished the transaction there.
+        let shard0_intras: Vec<u32> = report.shards[0]
+            .executed_log
+            .iter()
+            .filter(|r| r.ta == 1)
+            .map(|r| r.intra)
+            .collect();
+        let mut sorted = shard0_intras.clone();
+        sorted.sort_unstable();
+        assert_eq!(shard0_intras, sorted, "intra order violated on shard 0");
+    }
+
+    #[test]
+    fn duplicate_request_keys_are_rejected_without_poisoning_the_worker() {
+        // A trigger that never fires keeps submissions queued, so the
+        // in-flight duplicate check below is deterministic (nothing executes
+        // until the shutdown drain).
+        let cfg = ShardConfig::new(2, Protocol::algebra(ProtocolKind::Ss2pl))
+            .with_scheduler(SchedulerConfig {
+                trigger: TriggerPolicy::FillLevel { threshold: 1_000 },
+                ..SchedulerConfig::default()
+            })
+            .with_table("bench", 1_000);
+        let router = ShardRouter::start(cfg).unwrap();
+        let shards = router.shards();
+        let a = object_on_shard(0, shards);
+        let b = object_on_shard(1, shards);
+        // Duplicate (ta, intra) within one batch.
+        let err = router
+            .execute_transaction(vec![
+                Request::write(0, 1, 0, a),
+                Request::write(0, 1, 0, a),
+                Request::commit(0, 1, 1),
+            ])
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate request key"));
+        // Duplicate against an in-flight (still queued) ticket.
+        let held = router
+            .submit_transaction(vec![Request::write(0, 2, 0, a), Request::commit(0, 2, 1)])
+            .unwrap();
+        let err = router
+            .execute_transaction(vec![Request::write(0, 2, 0, a)])
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate request key"));
+        // The worker is still healthy: another transaction is accepted and
+        // the shutdown drain executes both (a poisoned ticket table would
+        // panic the worker and fail the join).
+        let ok = router.submit_transaction(txn(3, &[b], true)).unwrap();
+        let report = router.shutdown();
+        held.wait().unwrap();
+        ok.wait().unwrap();
+        assert_eq!(report.metrics.dispatch.writes, 2);
+        assert_eq!(report.metrics.dispatch.commits, 2);
+    }
+
+    #[test]
+    fn sharded_middleware_serves_concurrent_clients() {
+        let mw = ShardedMiddleware::start(
+            Protocol::algebra(ProtocolKind::Ss2pl),
+            SchedulerConfig {
+                trigger: TriggerPolicy::Hybrid {
+                    interval_ms: 1,
+                    threshold: 4,
+                },
+                ..SchedulerConfig::default()
+            },
+            "bench",
+            1_000,
+            4,
+        )
+        .unwrap();
+        let mut joins = Vec::new();
+        for ta in 1..=8u64 {
+            let client = mw.connect();
+            joins.push(std::thread::spawn(move || {
+                use txnstore::{Statement, TxnId};
+                let object = object_on_shard((ta % 4) as usize, 4);
+                client
+                    .execute_transaction(vec![
+                        Statement::update(TxnId(ta), 0, "bench", object, ta as i64),
+                        Statement::commit(TxnId(ta), 1, "bench"),
+                    ])
+                    .unwrap();
+            }));
+        }
+        for join in joins {
+            join.join().unwrap();
+        }
+        let report = mw.shutdown();
+        assert_eq!(report.metrics.dispatch.writes, 8);
+        assert_eq!(report.metrics.dispatch.commits, 8);
+        assert_eq!(report.metrics.transactions, 8);
+        assert!(report.metrics.merged.rounds >= 1);
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_the_global_scheduler() {
+        let router = ShardRouter::start(config(1)).unwrap();
+        router
+            .execute_transaction(txn(1, &[3, 900, 42], true))
+            .unwrap();
+        let report = router.shutdown();
+        // Everything is one shard, so nothing can cross shards.
+        assert_eq!(report.metrics.cross_shard_transactions, 0);
+        assert_eq!(report.metrics.escalation.escalations, 0);
+        assert_eq!(report.metrics.dispatch.writes, 3);
+    }
+}

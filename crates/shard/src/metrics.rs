@@ -1,0 +1,185 @@
+//! Fleet-wide metrics: merging per-shard scheduler metrics with routing and
+//! escalation counters.
+
+use declsched::{DispatchReport, Request, SchedulerMetrics};
+use std::time::Duration;
+
+/// What one shard worker reports when it shuts down.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard scheduler's accumulated metrics.
+    pub scheduler: SchedulerMetrics,
+    /// The shard dispatcher's totals (reads/writes/commits executed on this
+    /// shard's engine, including escalated requests executed here).
+    pub dispatch: DispatchReport,
+    /// Largest pending-relation size seen at any round start — the shard's
+    /// peak queue depth.
+    pub peak_pending: usize,
+    /// Every request this shard executed, in execution order.  Because each
+    /// object has exactly one home shard, concatenating nothing — just
+    /// filtering this log per object — yields the total per-object execution
+    /// order, which the equivalence tests compare across shard counts.
+    pub executed_log: Vec<Request>,
+}
+
+/// Counters kept by the escalation coordinator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EscalationStats {
+    /// Cross-shard transactions escalated to the serialized lane.
+    pub escalations: u64,
+    /// Escalations that failed (rule error, starvation bound hit, or a
+    /// touched shard gone).
+    pub failed: u64,
+    /// Freeze/evaluate/release attempts beyond the first, summed over all
+    /// escalations — the price paid waiting for shard-local locks to drain.
+    pub retries: u64,
+    /// Requests executed through the lane.
+    pub escalated_requests: u64,
+}
+
+/// Aggregated view over a whole sharded run, built by
+/// [`ShardedMetrics::aggregate`] from per-shard reports plus router and
+/// escalation counters.
+#[derive(Debug, Clone)]
+pub struct ShardedMetrics {
+    /// Number of shards.
+    pub shards: usize,
+    /// Per-shard scheduler metrics (index = shard id).
+    pub per_shard: Vec<SchedulerMetrics>,
+    /// All per-shard scheduler metrics merged ([`SchedulerMetrics::merge`]).
+    pub merged: SchedulerMetrics,
+    /// All per-shard dispatch totals merged.
+    pub dispatch: DispatchReport,
+    /// Peak pending-relation size over all shards.
+    pub peak_pending: usize,
+    /// Transactions routed (fast path + escalated).
+    pub transactions: u64,
+    /// Transactions that took the escalation lane.
+    pub cross_shard_transactions: u64,
+    /// Escalation-lane counters.
+    pub escalation: EscalationStats,
+    /// Wall-clock duration of the run (start to shutdown).
+    pub wall: Duration,
+}
+
+impl ShardedMetrics {
+    /// Merge shard reports and router counters into the fleet-wide view.
+    pub fn aggregate(
+        reports: &[ShardReport],
+        transactions: u64,
+        cross_shard_transactions: u64,
+        escalation: EscalationStats,
+        wall: Duration,
+    ) -> Self {
+        let mut merged = SchedulerMetrics::new();
+        let mut dispatch = DispatchReport::default();
+        let mut peak_pending = 0;
+        let mut per_shard = Vec::with_capacity(reports.len());
+        for report in reports {
+            merged.merge(&report.scheduler);
+            dispatch.merge(&report.dispatch);
+            peak_pending = peak_pending.max(report.peak_pending);
+            per_shard.push(report.scheduler);
+        }
+        ShardedMetrics {
+            shards: reports.len(),
+            per_shard,
+            merged,
+            dispatch,
+            peak_pending,
+            transactions,
+            cross_shard_transactions,
+            escalation,
+            wall,
+        }
+    }
+
+    /// Fraction of routed transactions that crossed shards.
+    pub fn cross_shard_rate(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.cross_shard_transactions as f64 / self.transactions as f64
+        }
+    }
+
+    /// Scheduled requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.merged.requests_scheduled as f64 / secs
+        }
+    }
+
+    /// Committed transactions per wall-clock second.
+    pub fn commit_throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.dispatch.commits as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(shard: usize, rounds: u64, scheduled: u64, peak: usize) -> ShardReport {
+        ShardReport {
+            shard,
+            scheduler: SchedulerMetrics {
+                rounds,
+                requests_scheduled: scheduled,
+                max_batch: scheduled,
+                ..SchedulerMetrics::default()
+            },
+            dispatch: DispatchReport {
+                executed: scheduled,
+                commits: 1,
+                ..DispatchReport::default()
+            },
+            peak_pending: peak,
+            executed_log: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregate_merges_shards_and_rates() {
+        let reports = vec![report(0, 3, 30, 7), report(1, 5, 10, 12)];
+        let m = ShardedMetrics::aggregate(
+            &reports,
+            20,
+            5,
+            EscalationStats {
+                escalations: 5,
+                escalated_requests: 15,
+                retries: 2,
+                failed: 0,
+            },
+            Duration::from_secs(2),
+        );
+        assert_eq!(m.shards, 2);
+        assert_eq!(m.merged.rounds, 8);
+        assert_eq!(m.merged.requests_scheduled, 40);
+        assert_eq!(m.merged.max_batch, 30);
+        assert_eq!(m.dispatch.executed, 40);
+        assert_eq!(m.dispatch.commits, 2);
+        assert_eq!(m.peak_pending, 12);
+        assert_eq!(m.cross_shard_rate(), 0.25);
+        assert_eq!(m.throughput_rps(), 20.0);
+        assert_eq!(m.commit_throughput(), 1.0);
+    }
+
+    #[test]
+    fn empty_run_has_zero_rates() {
+        let m = ShardedMetrics::aggregate(&[], 0, 0, EscalationStats::default(), Duration::ZERO);
+        assert_eq!(m.cross_shard_rate(), 0.0);
+        assert_eq!(m.throughput_rps(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Sharded mode of the paper's middleware: the same control-instance /
+//! client-worker shape as `declsched::middleware::Middleware`, with the
+//! single scheduler thread replaced by a [`ShardRouter`] fleet.
+//!
+//! Clients submit at transaction granularity (see
+//! `declsched::middleware::ClientHandle::execute_transaction` for the
+//! unsharded counterpart): the router must see a transaction's full object
+//! footprint up front to choose between the single-shard fast path and the
+//! escalation lane.
+
+use crate::config::ShardConfig;
+use crate::router::{RouterCore, ShardRouter, ShardedReport};
+use declsched::protocol::SchedulingPolicy;
+use declsched::{Request, SchedResult, SchedulerConfig};
+use std::sync::Arc;
+use txnstore::Statement;
+
+/// Handle held by one connected client; cheap to clone per client worker.
+#[derive(Clone)]
+pub struct ShardedClientHandle {
+    core: Arc<RouterCore>,
+}
+
+impl ShardedClientHandle {
+    /// Submit a whole transaction and wait until every statement has been
+    /// scheduled and executed on its home shard (or through the escalation
+    /// lane when the footprint spans shards).
+    pub fn execute_transaction(&self, statements: Vec<Statement>) -> SchedResult<()> {
+        let requests: Vec<Request> = statements
+            .iter()
+            .map(|statement| Request::from_statement(0, statement))
+            .collect();
+        self.core.submit(requests)?.wait()
+    }
+
+    /// Submit pre-built requests (one transaction) and wait.
+    pub fn execute_requests(&self, requests: Vec<Request>) -> SchedResult<()> {
+        self.core.submit(requests)?.wait()
+    }
+}
+
+/// The sharded middleware control instance.
+pub struct ShardedMiddleware {
+    router: ShardRouter,
+}
+
+impl ShardedMiddleware {
+    /// Start a sharded middleware: `shards` worker threads using
+    /// `policy`/`config`, each over a dispatcher with a fresh `rows`-row
+    /// benchmark table named `table` — the sharded counterpart of
+    /// `declsched::middleware::Middleware::start`.
+    pub fn start(
+        policy: impl Into<SchedulingPolicy>,
+        config: SchedulerConfig,
+        table: impl Into<String>,
+        rows: usize,
+        shards: usize,
+    ) -> SchedResult<Self> {
+        let shard_config = ShardConfig::new(shards, policy)
+            .with_scheduler(config)
+            .with_table(table, rows);
+        Self::with_config(shard_config)
+    }
+
+    /// Start from a full [`ShardConfig`].
+    pub fn with_config(config: ShardConfig) -> SchedResult<Self> {
+        Ok(ShardedMiddleware {
+            router: ShardRouter::start(config)?,
+        })
+    }
+
+    /// Connect a new client.
+    pub fn connect(&self) -> ShardedClientHandle {
+        ShardedClientHandle {
+            core: self.router.core(),
+        }
+    }
+
+    /// Access the underlying router (e.g. to submit without a handle).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Shut down the fleet and return the merged report.
+    pub fn shutdown(self) -> ShardedReport {
+        self.router.shutdown()
+    }
+}

@@ -1,0 +1,259 @@
+//! The shard router: partitions client transactions by object footprint and
+//! owns the shard worker fleet plus the escalation coordinator.
+
+use crate::config::ShardConfig;
+use crate::escalation::{run_coordinator, EscalationJob, EscalationMessage};
+use crate::metrics::{EscalationStats, ShardReport, ShardedMetrics};
+use crate::worker::{run_worker, ShardMessage};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use declsched::{
+    footprint, shard_of, DeclarativeScheduler, Dispatcher, Request, SchedError, SchedResult,
+};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A pending reply for one submitted transaction.
+pub struct TxnTicket {
+    rx: Receiver<SchedResult<()>>,
+}
+
+impl TxnTicket {
+    /// Block until the transaction has fully executed.
+    pub fn wait(self) -> SchedResult<()> {
+        self.rx.recv().map_err(|_| SchedError::ChannelClosed {
+            endpoint: "shard worker",
+        })?
+    }
+}
+
+struct Counters {
+    transactions: AtomicU64,
+    cross_shard: AtomicU64,
+}
+
+/// Routing state shared between the router and its client handles.
+///
+/// Routing is a pure function of the object footprint plus the `homes` map
+/// (which shards already hold locks for a transaction submitted
+/// incrementally), so client handles route directly without a central
+/// router thread hop.
+pub(crate) struct RouterCore {
+    workers: Vec<Sender<ShardMessage>>,
+    escalation: Sender<EscalationMessage>,
+    shards: usize,
+    counters: Counters,
+    /// ta → shards currently holding state for that transaction.  The map is
+    /// also the per-transaction submission lock: holding it across the
+    /// route-and-send keeps per-transaction ordering stable.
+    homes: Mutex<HashMap<u64, BTreeSet<usize>>>,
+}
+
+impl RouterCore {
+    /// Route one transaction: single-shard footprints go straight to their
+    /// shard, spanning footprints to the escalation lane.
+    pub(crate) fn submit(&self, requests: Vec<Request>) -> SchedResult<TxnTicket> {
+        let objects = footprint(&requests);
+        let own: BTreeSet<usize> = objects
+            .iter()
+            .map(|&object| shard_of(object, self.shards))
+            .collect();
+        let ta = requests.first().map(|r| r.ta);
+        let has_terminal = requests.iter().any(|r| r.op.is_terminal());
+
+        let (reply_tx, reply_rx) = bounded(1);
+        let ticket = TxnTicket { rx: reply_rx };
+        self.counters.transactions.fetch_add(1, Ordering::Relaxed);
+
+        let mut homes = self.homes.lock().expect("router homes lock poisoned");
+        // Union with the shards already touched by earlier submissions of
+        // the same transaction: a lock acquired there must be part of any
+        // barrier this submission takes.
+        let mut touched = own.clone();
+        if let Some(ta) = ta {
+            if let Some(previous) = homes.get(&ta) {
+                touched.extend(previous.iter().copied());
+            }
+        }
+
+        if touched.len() <= 1 {
+            // Fast path: the whole transaction lives on one shard (terminal-
+            // only transactions with no recorded home default to shard 0).
+            let target = touched.first().copied().unwrap_or(0);
+            self.workers[target]
+                .send(ShardMessage::Transaction {
+                    requests,
+                    reply: reply_tx,
+                })
+                .map_err(|_| SchedError::ChannelClosed {
+                    endpoint: "shard worker",
+                })?;
+        } else {
+            self.counters.cross_shard.fetch_add(1, Ordering::Relaxed);
+            self.escalation
+                .send(EscalationMessage::Job(EscalationJob {
+                    requests,
+                    touched: touched.iter().copied().collect(),
+                    reply: reply_tx,
+                }))
+                .map_err(|_| SchedError::ChannelClosed {
+                    endpoint: "escalation coordinator",
+                })?;
+        }
+        // Record homes only once the submission is actually in flight, so a
+        // failed send neither leaks an entry nor drops a live one.  Entries
+        // are removed when the transaction's terminal is submitted; a client
+        // that abandons a transaction without ever submitting one leaves its
+        // entry behind (bounded by abandoned transactions, not by traffic).
+        if let Some(ta) = ta {
+            if has_terminal {
+                homes.remove(&ta);
+            } else if !touched.is_empty() {
+                homes.insert(ta, touched);
+            }
+        }
+        Ok(ticket)
+    }
+}
+
+/// Summary of a whole sharded run, returned by [`ShardRouter::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Per-shard reports (index = shard id), including execution logs.
+    pub shards: Vec<ShardReport>,
+    /// The aggregated fleet-wide metrics.
+    pub metrics: ShardedMetrics,
+}
+
+/// The sharded scheduling subsystem: N shard workers, each running the
+/// paper's declarative scheduling loop over its slice of the object space,
+/// behind a footprint-hash router with a serialized escalation lane for
+/// spanning transactions.
+pub struct ShardRouter {
+    core: Arc<RouterCore>,
+    worker_handles: Vec<JoinHandle<ShardReport>>,
+    escalation_handle: JoinHandle<EscalationStats>,
+    started: Instant,
+}
+
+impl ShardRouter {
+    /// Start the fleet: one worker thread per shard (each with a private
+    /// scheduler and dispatcher) plus the escalation coordinator.
+    pub fn start(config: ShardConfig) -> SchedResult<Self> {
+        let shards = config.shards.max(1);
+        let mut workers = Vec::with_capacity(shards);
+        let mut worker_handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let mut scheduler =
+                DeclarativeScheduler::new(config.policy.clone(), config.scheduler.clone());
+            for aux in &config.aux_relations {
+                scheduler.register_aux_relation(aux.clone());
+            }
+            let dispatcher = Dispatcher::new(config.table.clone(), config.rows)?;
+            let (tx, rx) = unbounded::<ShardMessage>();
+            let handle = std::thread::Builder::new()
+                .name(format!("declsched-shard-{shard}"))
+                .spawn(move || run_worker(shard, scheduler, dispatcher, rx))
+                .expect("spawning a shard worker cannot fail");
+            workers.push(tx);
+            worker_handles.push(handle);
+        }
+
+        let (escalation_tx, escalation_rx) = unbounded::<EscalationMessage>();
+        let coordinator_workers = workers.clone();
+        let policy = config.policy.clone();
+        let max_attempts = config.max_escalation_attempts;
+        let aux_relations = config.aux_relations.clone();
+        let escalation_handle = std::thread::Builder::new()
+            .name("declsched-escalation".to_string())
+            .spawn(move || {
+                run_coordinator(
+                    policy,
+                    coordinator_workers,
+                    escalation_rx,
+                    max_attempts,
+                    aux_relations,
+                )
+            })
+            .expect("spawning the escalation coordinator cannot fail");
+
+        Ok(ShardRouter {
+            core: Arc::new(RouterCore {
+                workers,
+                escalation: escalation_tx,
+                shards,
+                counters: Counters {
+                    transactions: AtomicU64::new(0),
+                    cross_shard: AtomicU64::new(0),
+                },
+                homes: Mutex::new(HashMap::new()),
+            }),
+            worker_handles,
+            escalation_handle,
+            started: Instant::now(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.core.shards
+    }
+
+    /// Shared routing state for client handles.
+    pub(crate) fn core(&self) -> Arc<RouterCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// Submit a transaction asynchronously; the ticket resolves when every
+    /// request has executed.
+    pub fn submit_transaction(&self, requests: Vec<Request>) -> SchedResult<TxnTicket> {
+        self.core.submit(requests)
+    }
+
+    /// Submit a transaction and wait for it to execute.
+    pub fn execute_transaction(&self, requests: Vec<Request>) -> SchedResult<()> {
+        self.submit_transaction(requests)?.wait()
+    }
+
+    /// Shut down: finish queued escalations, drain every shard, join all
+    /// threads and return the merged report.  Transactions submitted through
+    /// still-alive handles after this call are not executed.
+    pub fn shutdown(self) -> ShardedReport {
+        // Stop the escalation lane first so no freeze epoch can outlive a
+        // worker: the coordinator finishes every job queued before the
+        // marker, then exits.
+        let _ = self.core.escalation.send(EscalationMessage::Shutdown);
+        let escalation = self
+            .escalation_handle
+            .join()
+            .expect("escalation coordinator never panics during an orderly shutdown");
+
+        for worker in &self.core.workers {
+            let _ = worker.send(ShardMessage::Shutdown);
+        }
+        let mut reports: Vec<ShardReport> = self
+            .worker_handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .expect("shard workers never panic during an orderly shutdown")
+            })
+            .collect();
+        reports.sort_by_key(|r| r.shard);
+
+        let metrics = ShardedMetrics::aggregate(
+            &reports,
+            self.core.counters.transactions.load(Ordering::Relaxed),
+            self.core.counters.cross_shard.load(Ordering::Relaxed),
+            escalation,
+            self.started.elapsed(),
+        );
+        ShardedReport {
+            shards: reports,
+            metrics,
+        }
+    }
+}

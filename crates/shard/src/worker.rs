@@ -1,0 +1,326 @@
+//! The shard worker: one thread owning a complete Figure-1 pipeline
+//! (incoming queue → pending relation → declarative rule → history relation
+//! → dispatcher) for the slice of the object space that hashes to it.
+//!
+//! Besides client transactions, the worker speaks the batch-epoch barrier
+//! protocol of the escalation lane: on `Freeze` it acks with a snapshot of
+//! its `history` relation and stops scheduling rounds; while frozen it
+//! executes `Execute` batches on behalf of the coordinator (recording them
+//! in its own history) and buffers client transactions; `Release` resumes
+//! normal rounds.  Freezes only ever happen at round boundaries, so a shard
+//! is never interrupted mid-rule.
+
+use crate::metrics::ShardReport;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use declsched::{DeclarativeScheduler, Dispatcher, Request, RequestKey, SchedError, SchedResult};
+use relalg::Table;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Coordinator's view of a frozen shard: the snapshot it needs to evaluate
+/// the rule over the union of touched shards.
+pub(crate) struct FreezeAck {
+    /// The shard's `history` relation at the freeze point.
+    pub history: Table,
+    /// The shard's `requests` (pending) relation at the freeze point, with
+    /// still-queued (undrained) submissions appended — everything this
+    /// shard has accepted but not yet executed.  The lane uses it to defer
+    /// an escalation while an *earlier submission of the same transaction*
+    /// is still waiting here, which would otherwise let the escalated
+    /// terminal overtake it.
+    pub pending: Table,
+}
+
+/// Messages understood by a shard worker.
+pub(crate) enum ShardMessage {
+    /// A whole client transaction whose footprint lives on this shard.
+    Transaction {
+        /// The transaction's requests, in intra order.
+        requests: Vec<Request>,
+        /// Signalled once when every request has executed (or on failure).
+        reply: Sender<SchedResult<()>>,
+    },
+    /// Escalation lane: freeze at the current round boundary and ack.
+    Freeze {
+        /// Where to send the history snapshot.
+        ack: Sender<FreezeAck>,
+    },
+    /// Escalation lane (only valid while frozen): execute these requests on
+    /// this shard's engine and record them in its history.
+    Execute {
+        /// The escalated requests owned by this shard, in intra order.
+        requests: Vec<Request>,
+        /// Signalled once with the execution outcome.
+        done: Sender<SchedResult<()>>,
+    },
+    /// Escalation lane: end the freeze epoch and resume rounds.
+    Release,
+    /// Orderly shutdown: drain what is pending, then stop.
+    Shutdown,
+}
+
+/// A client transaction waiting for its requests to execute.
+struct Ticket {
+    remaining: usize,
+    reply: Sender<SchedResult<()>>,
+}
+
+struct WorkerState {
+    shard: usize,
+    scheduler: DeclarativeScheduler,
+    dispatcher: Dispatcher,
+    started: Instant,
+    tickets: Vec<Option<Ticket>>,
+    waiting: HashMap<RequestKey, usize>,
+    executed_log: Vec<Request>,
+    peak_pending: usize,
+    disconnected: bool,
+}
+
+impl WorkerState {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Enqueue a client transaction into the local scheduler (queues only —
+    /// safe while frozen, because rounds are what a freeze suspends).
+    fn submit_transaction(&mut self, requests: Vec<Request>, reply: Sender<SchedResult<()>>) {
+        if requests.is_empty() {
+            let _ = reply.send(Ok(()));
+            return;
+        }
+        // Validate the whole batch before touching any state: a duplicate
+        // (ta, intra) — within the batch or against an in-flight ticket —
+        // would make both submissions unaccountable, so fail the new
+        // transaction outright and leave the scheduler untouched.
+        let mut batch_keys = std::collections::HashSet::with_capacity(requests.len());
+        for request in &requests {
+            let key = request.key();
+            if self.waiting.contains_key(&key) || !batch_keys.insert(key) {
+                let _ = reply.send(Err(SchedError::Dispatch {
+                    message: format!(
+                        "duplicate request key T{}[{}] submitted to shard {}",
+                        key.ta, key.intra, self.shard
+                    ),
+                }));
+                return;
+            }
+        }
+        let ticket_index = self.tickets.len();
+        let now_ms = self.now_ms();
+        let remaining = requests.len();
+        for request in requests {
+            let key = request.key();
+            self.scheduler.submit(request, now_ms);
+            self.waiting.insert(key, ticket_index);
+        }
+        self.tickets.push(Some(Ticket { remaining, reply }));
+    }
+
+    /// Resolve one executed (or failed) request against its ticket.
+    fn resolve(&mut self, key: RequestKey, result: SchedResult<()>) {
+        let Some(index) = self.waiting.remove(&key) else {
+            return;
+        };
+        let Some(ticket) = self.tickets[index].as_mut() else {
+            return;
+        };
+        match result {
+            Ok(()) => {
+                ticket.remaining -= 1;
+                if ticket.remaining == 0 {
+                    let ticket = self.tickets[index].take().expect("ticket present");
+                    let _ = ticket.reply.send(Ok(()));
+                }
+            }
+            Err(e) => {
+                let ticket = self.tickets[index].take().expect("ticket present");
+                let _ = ticket.reply.send(Err(e));
+            }
+        }
+    }
+
+    /// Fail every transaction still waiting (shutdown fixpoint or rule
+    /// failure).
+    fn fail_all_waiting(&mut self, err: impl Fn(RequestKey) -> SchedError) {
+        let waiting: Vec<(RequestKey, usize)> = self.waiting.drain().collect();
+        for (key, index) in waiting {
+            if let Some(ticket) = self.tickets[index].take() {
+                let _ = ticket.reply.send(Err(err(key)));
+            }
+        }
+    }
+
+    /// The barrier snapshot: history plus everything accepted but not yet
+    /// executed (pending relation ∪ incoming queue).
+    fn freeze_snapshot(&self) -> FreezeAck {
+        let mut pending = self.scheduler.pending_table().clone();
+        for request in self.scheduler.queued_requests() {
+            pending
+                .push(request.to_tuple())
+                .expect("request tuples always match the requests schema");
+        }
+        FreezeAck {
+            history: self.scheduler.history_table().clone(),
+            pending,
+        }
+    }
+
+    /// Execute an escalated batch: run it on the engine and record it in the
+    /// local history so the shard's own rule sees any locks it leaves behind
+    /// (an escalated transaction submitted without its terminal keeps its
+    /// write locks until the client commits it, exactly like a local one).
+    fn execute_escalated(&mut self, requests: &[Request]) -> SchedResult<()> {
+        for request in requests {
+            self.dispatcher.execute_request(request)?;
+            self.executed_log.push(request.clone());
+        }
+        self.scheduler.preload_history(requests)?;
+        Ok(())
+    }
+
+    /// Handle one message.  `Freeze` blocks inside this call until the
+    /// matching `Release` arrives, processing only escalation traffic (and
+    /// buffering client transactions) in between.
+    fn handle(&mut self, message: ShardMessage, receiver: &Receiver<ShardMessage>) {
+        match message {
+            ShardMessage::Transaction { requests, reply } => {
+                self.submit_transaction(requests, reply)
+            }
+            ShardMessage::Shutdown => self.disconnected = true,
+            ShardMessage::Execute { done, .. } => {
+                let _ = done.send(Err(SchedError::Dispatch {
+                    message: "escalated execute outside a freeze epoch".to_string(),
+                }));
+            }
+            ShardMessage::Release => {}
+            ShardMessage::Freeze { ack } => {
+                if ack.send(self.freeze_snapshot()).is_err() {
+                    // Coordinator went away mid-freeze; do not wait for a
+                    // release that will never come.
+                    return;
+                }
+                loop {
+                    match receiver.recv() {
+                        Ok(ShardMessage::Release) => break,
+                        Ok(ShardMessage::Execute { requests, done }) => {
+                            let result = self.execute_escalated(&requests);
+                            let _ = done.send(result);
+                        }
+                        Ok(ShardMessage::Transaction { requests, reply }) => {
+                            self.submit_transaction(requests, reply)
+                        }
+                        Ok(ShardMessage::Shutdown) => self.disconnected = true,
+                        Ok(ShardMessage::Freeze { ack }) => {
+                            // The lane is serialized, so a nested freeze can
+                            // only be a re-sent barrier; ack idempotently.
+                            let _ = ack.send(self.freeze_snapshot());
+                        }
+                        Err(_) => {
+                            self.disconnected = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The shard worker thread body.
+pub(crate) fn run_worker(
+    shard: usize,
+    scheduler: DeclarativeScheduler,
+    dispatcher: Dispatcher,
+    receiver: Receiver<ShardMessage>,
+) -> ShardReport {
+    let mut state = WorkerState {
+        shard,
+        scheduler,
+        dispatcher,
+        started: Instant::now(),
+        tickets: Vec::new(),
+        waiting: HashMap::new(),
+        executed_log: Vec::new(),
+        peak_pending: 0,
+        disconnected: false,
+    };
+
+    loop {
+        // Collect what has arrived; block briefly so an idle shard does not
+        // spin.
+        match receiver.recv_timeout(Duration::from_millis(1)) {
+            Ok(first) => {
+                state.handle(first, &receiver);
+                while let Ok(message) = receiver.try_recv() {
+                    state.handle(message, &receiver);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => state.disconnected = true,
+        }
+
+        state.peak_pending = state
+            .peak_pending
+            .max(state.scheduler.queued() + state.scheduler.pending());
+
+        let now_ms = state.now_ms();
+        // When shutting down, keep scheduling until everything drained.
+        let batch = if state.disconnected
+            && (state.scheduler.queued() > 0 || state.scheduler.pending() > 0)
+        {
+            Some(state.scheduler.run_round(now_ms))
+        } else {
+            match state.scheduler.tick(now_ms) {
+                Ok(Some(b)) => Some(Ok(b)),
+                Ok(None) => None,
+                Err(e) => Some(Err(e)),
+            }
+        };
+
+        if let Some(batch) = batch {
+            match batch {
+                Ok(batch) => {
+                    if state.disconnected && batch.is_empty() && state.scheduler.queued() == 0 {
+                        // Shutdown fixpoint: no new requests can arrive and
+                        // the rule admits nothing more (e.g. a client went
+                        // away without committing).  Fail the stragglers
+                        // instead of spinning forever.
+                        state
+                            .fail_all_waiting(|key| SchedError::TransactionFinished { ta: key.ta });
+                        break;
+                    }
+                    for request in &batch.requests {
+                        let result = state.dispatcher.execute_request(request);
+                        state.executed_log.push(request.clone());
+                        state.resolve(request.key(), result);
+                    }
+                }
+                Err(e) => {
+                    // A rule failure fails every waiting client rather than
+                    // hanging them.
+                    let err = e.clone();
+                    state.fail_all_waiting(|_| err.clone());
+                    if state.disconnected {
+                        // The drain loop cannot make progress if the rule
+                        // keeps erroring (run_round never empties the
+                        // pending relation), so stop instead of spinning.
+                        break;
+                    }
+                }
+            }
+        }
+
+        if state.disconnected && state.scheduler.queued() == 0 && state.scheduler.pending() == 0 {
+            break;
+        }
+    }
+
+    ShardReport {
+        shard: state.shard,
+        scheduler: state.scheduler.metrics(),
+        dispatch: state.dispatcher.totals(),
+        peak_pending: state.peak_pending,
+        executed_log: state.executed_log,
+    }
+}

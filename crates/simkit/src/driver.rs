@@ -9,7 +9,7 @@ use txnstore::{Engine, ExecOutcome, Statement, StatementKind, TxnId};
 use workload::{ClientWorkload, OltpSpec, Trace};
 
 /// Configuration of a multi-user run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MultiUserConfig {
     /// Cost model for virtual time accounting.
     pub cost: CostModel,
@@ -17,15 +17,6 @@ pub struct MultiUserConfig {
     /// (mirrors the paper's fixed 240 s windows).  `None` runs the workload
     /// to completion.
     pub time_budget: Option<VirtualClock>,
-}
-
-impl Default for MultiUserConfig {
-    fn default() -> Self {
-        MultiUserConfig {
-            cost: CostModel::paper_calibrated(),
-            time_budget: None,
-        }
-    }
 }
 
 /// Per-client progress bookkeeping inside the simulation loop.
@@ -308,7 +299,10 @@ mod tests {
         let result = run_multi_user(&spec, &MultiUserConfig::default());
         assert_eq!(result.committed_txns, 8 * 3);
         assert_eq!(result.committed_statements as usize, 8 * 3 * 6);
-        assert!(result.lock_waits > 0, "expected contention on a 5-row table");
+        assert!(
+            result.lock_waits > 0,
+            "expected contention on a 5-row table"
+        );
     }
 
     #[test]
@@ -332,26 +326,37 @@ mod tests {
         let config = MultiUserConfig::default();
 
         let mut mu_engine = Engine::new();
-        mu_engine.setup_benchmark_table(&spec.table, spec.table_rows).unwrap();
+        mu_engine
+            .setup_benchmark_table(&spec.table, spec.table_rows)
+            .unwrap();
         let result = run_multi_user(&spec, &config);
 
         // Replay on a fresh engine.
         let mut su_engine = Engine::new();
-        su_engine.setup_benchmark_table(&spec.table, spec.table_rows).unwrap();
-        su_engine.run_single_user(result.trace.statements()).unwrap();
+        su_engine
+            .setup_benchmark_table(&spec.table, spec.table_rows)
+            .unwrap();
+        su_engine
+            .run_single_user(result.trace.statements())
+            .unwrap();
 
         // Re-execute the committed trace on yet another engine using the
         // multi-user execution path (no contention now, single stream) and
         // compare final row values.
         let mut verify_engine = Engine::new();
-        verify_engine.setup_benchmark_table(&spec.table, spec.table_rows).unwrap();
+        verify_engine
+            .setup_benchmark_table(&spec.table, spec.table_rows)
+            .unwrap();
         for stmt in result.trace.statements() {
             verify_engine.execute(stmt).unwrap();
         }
         for key in 0..spec.table_rows as i64 {
             let a = su_engine.store().read(&spec.table, key).unwrap().values;
             let b = verify_engine.store().read(&spec.table, key).unwrap().values;
-            assert_eq!(a, b, "row {key} diverged between SU replay and re-execution");
+            assert_eq!(
+                a, b,
+                "row {key} diverged between SU replay and re-execution"
+            );
             // Values are either the initial 0 or some written key value.
             assert!(matches!(a[0], Value::Int(_)));
         }

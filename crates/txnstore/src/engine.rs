@@ -311,7 +311,10 @@ mod tests {
             ExecOutcome::Completed { unblocked: vec![] }
         );
         e.execute(&Statement::commit(t, 2, "bench")).unwrap();
-        assert_eq!(e.store().read("bench", 5).unwrap().values, vec![Value::Int(77)]);
+        assert_eq!(
+            e.store().read("bench", 5).unwrap().values,
+            vec![Value::Int(77)]
+        );
         let m = e.metrics();
         assert_eq!(m.statements_executed, 2);
         assert_eq!(m.commits, 1);
@@ -324,7 +327,12 @@ mod tests {
         let b = TxnId(2);
         e.execute(&Statement::update(a, 0, "bench", 5, 1)).unwrap();
         let outcome = e.execute(&Statement::update(b, 0, "bench", 5, 2)).unwrap();
-        assert_eq!(outcome, ExecOutcome::Blocked { object: ObjectId(5) });
+        assert_eq!(
+            outcome,
+            ExecOutcome::Blocked {
+                object: ObjectId(5)
+            }
+        );
         assert_eq!(e.txns().state(b), Some(TxnState::Blocked));
         // Commit of A unblocks B.
         let outcome = e.execute(&Statement::commit(a, 1, "bench")).unwrap();
@@ -333,7 +341,10 @@ mod tests {
         let outcome = e.execute(&Statement::update(b, 0, "bench", 5, 2)).unwrap();
         assert_eq!(outcome, ExecOutcome::Completed { unblocked: vec![] });
         e.execute(&Statement::commit(b, 1, "bench")).unwrap();
-        assert_eq!(e.store().read("bench", 5).unwrap().values, vec![Value::Int(2)]);
+        assert_eq!(
+            e.store().read("bench", 5).unwrap().values,
+            vec![Value::Int(2)]
+        );
     }
 
     #[test]
@@ -358,7 +369,9 @@ mod tests {
         // A waits for 2, B requesting 1 closes the cycle.
         assert_eq!(
             e.execute(&Statement::update(a, 1, "bench", 2, 11)).unwrap(),
-            ExecOutcome::Blocked { object: ObjectId(2) }
+            ExecOutcome::Blocked {
+                object: ObjectId(2)
+            }
         );
         let outcome = e.execute(&Statement::update(b, 1, "bench", 1, 21)).unwrap();
         match outcome {
@@ -369,7 +382,10 @@ mod tests {
             other => panic!("expected deadlock victim, got {other:?}"),
         }
         // B's write to row 2 was undone.
-        assert_eq!(e.store().read("bench", 2).unwrap().values, vec![Value::Int(0)]);
+        assert_eq!(
+            e.store().read("bench", 2).unwrap().values,
+            vec![Value::Int(0)]
+        );
         assert_eq!(e.txns().state(b), Some(TxnState::Aborted));
         assert_eq!(e.metrics().deadlock_aborts, 1);
         assert!(e.metrics().wasted_statements >= 1);
@@ -381,12 +397,18 @@ mod tests {
         let t = TxnId(3);
         e.execute(&Statement::update(t, 0, "bench", 1, 5)).unwrap();
         e.execute(&Statement::abort(t, 1, "bench")).unwrap();
-        assert_eq!(e.store().read("bench", 1).unwrap().values, vec![Value::Int(0)]);
+        assert_eq!(
+            e.store().read("bench", 1).unwrap().values,
+            vec![Value::Int(0)]
+        );
         // Restart with the same id.
         e.begin(t);
         e.execute(&Statement::update(t, 0, "bench", 1, 6)).unwrap();
         e.execute(&Statement::commit(t, 1, "bench")).unwrap();
-        assert_eq!(e.store().read("bench", 1).unwrap().values, vec![Value::Int(6)]);
+        assert_eq!(
+            e.store().read("bench", 1).unwrap().values,
+            vec![Value::Int(6)]
+        );
         assert_eq!(e.txns().info(t).unwrap().restarts, 1);
     }
 
@@ -423,7 +445,10 @@ mod tests {
         assert_eq!(run.statements, 4);
         assert_eq!(run.selects, 2);
         assert_eq!(run.updates, 2);
-        assert_eq!(e.store().read("bench", 1).unwrap().values, vec![Value::Int(9)]);
+        assert_eq!(
+            e.store().read("bench", 1).unwrap().values,
+            vec![Value::Int(9)]
+        );
     }
 
     #[test]

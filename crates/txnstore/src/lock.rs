@@ -208,8 +208,7 @@ impl LockManager {
         let Some(entry) = self.table.get_mut(&object) else {
             return;
         };
-        loop {
-            let Some(front) = entry.queue.front().cloned() else { break };
+        while let Some(front) = entry.queue.front().cloned() {
             if !entry.grantable(front.txn, front.mode) {
                 break;
             }
@@ -371,7 +370,10 @@ mod tests {
         assert_eq!(lm.acquire(B, O2, LockMode::Exclusive), LockOutcome::Granted);
         assert_eq!(lm.acquire(A, O2, LockMode::Exclusive), LockOutcome::Waiting);
         // B requesting O1 would close the cycle A -> B -> A.
-        assert_eq!(lm.acquire(B, O1, LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            lm.acquire(B, O1, LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
         assert_eq!(lm.stats().deadlocks, 1);
         // Victim aborts: its locks release and A gets O2.
         let grants = lm.release_all(B);
@@ -387,7 +389,10 @@ mod tests {
         assert_eq!(lm.acquire(C, o3, LockMode::Exclusive), LockOutcome::Granted);
         assert_eq!(lm.acquire(A, O2, LockMode::Exclusive), LockOutcome::Waiting);
         assert_eq!(lm.acquire(B, o3, LockMode::Exclusive), LockOutcome::Waiting);
-        assert_eq!(lm.acquire(C, O1, LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            lm.acquire(C, O1, LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
     }
 
     #[test]

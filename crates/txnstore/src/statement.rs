@@ -142,7 +142,11 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
             StatementKind::Select { key } => {
-                write!(f, "{}[{}] SELECT {}.{}", self.txn, self.intra, self.table, key)
+                write!(
+                    f,
+                    "{}[{}] SELECT {}.{}",
+                    self.txn, self.intra, self.table, key
+                )
             }
             StatementKind::Update { key, value } => write!(
                 f,

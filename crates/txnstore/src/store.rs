@@ -124,9 +124,12 @@ impl Store {
 
     /// Read a row within a transaction.
     pub fn read(&self, table: &str, key: i64) -> StoreResult<Row> {
-        let t = self.tables.get(table).ok_or_else(|| StoreError::UnknownTable {
-            table: table.to_string(),
-        })?;
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::UnknownTable {
+                table: table.to_string(),
+            })?;
         let values = t.rows.get(&key).ok_or(StoreError::UnknownRow {
             table: table.to_string(),
             key,
@@ -217,8 +220,11 @@ mod tests {
         let mut s = Store::new();
         s.create_table(TableDef::new("accounts", 2)).unwrap();
         assert!(s.create_table(TableDef::new("accounts", 2)).is_err());
-        s.load_row("accounts", Row::new(1, vec![Value::Int(100), Value::str("alice")]))
-            .unwrap();
+        s.load_row(
+            "accounts",
+            Row::new(1, vec![Value::Int(100), Value::str("alice")]),
+        )
+        .unwrap();
         assert_eq!(s.row_count("accounts").unwrap(), 1);
         assert!(s.load_row("missing", Row::new(1, vec![])).is_err());
         assert_eq!(s.table_def("accounts").unwrap().columns, 2);
@@ -238,7 +244,8 @@ mod tests {
         let mut s = Store::new();
         s.create_benchmark_table("t", 10).unwrap();
         let txn = TxnId(1);
-        s.write(txn, "t", Row::new(3, vec![Value::Int(42)])).unwrap();
+        s.write(txn, "t", Row::new(3, vec![Value::Int(42)]))
+            .unwrap();
         s.commit(txn);
         assert_eq!(s.read("t", 3).unwrap().values, vec![Value::Int(42)]);
         assert_eq!(s.writes_applied(), 1);
@@ -253,7 +260,8 @@ mod tests {
         s.write(txn, "t", Row::new(3, vec![Value::Int(1)])).unwrap();
         s.write(txn, "t", Row::new(3, vec![Value::Int(2)])).unwrap();
         // An insert of a brand-new row: undo must delete it.
-        s.write(txn, "t", Row::new(100, vec![Value::Int(9)])).unwrap();
+        s.write(txn, "t", Row::new(100, vec![Value::Int(9)]))
+            .unwrap();
         s.abort(txn);
         assert_eq!(s.read("t", 3).unwrap().values, vec![Value::Int(0)]);
         assert!(s.read("t", 100).is_err());
@@ -271,8 +279,10 @@ mod tests {
     fn independent_transactions_have_independent_undo() {
         let mut s = Store::new();
         s.create_benchmark_table("t", 10).unwrap();
-        s.write(TxnId(1), "t", Row::new(1, vec![Value::Int(11)])).unwrap();
-        s.write(TxnId(2), "t", Row::new(2, vec![Value::Int(22)])).unwrap();
+        s.write(TxnId(1), "t", Row::new(1, vec![Value::Int(11)]))
+            .unwrap();
+        s.write(TxnId(2), "t", Row::new(2, vec![Value::Int(22)]))
+            .unwrap();
         s.abort(TxnId(1));
         s.commit(TxnId(2));
         assert_eq!(s.read("t", 1).unwrap().values, vec![Value::Int(0)]);

@@ -24,12 +24,14 @@
 pub mod dist;
 pub mod mix;
 pub mod oltp;
+pub mod sharded;
 pub mod sla;
 pub mod trace;
 
 pub use dist::KeyDistribution;
 pub use mix::{MixSpec, OperationMix};
 pub use oltp::{ClientWorkload, OltpSpec, TransactionSpec};
+pub use sharded::ShardedSpec;
 pub use sla::{ClientClass, SlaRequestMeta, SlaSpec};
 pub use trace::Trace;
 
@@ -38,6 +40,7 @@ pub mod prelude {
     pub use crate::dist::KeyDistribution;
     pub use crate::mix::{MixSpec, OperationMix};
     pub use crate::oltp::{ClientWorkload, OltpSpec, TransactionSpec};
+    pub use crate::sharded::ShardedSpec;
     pub use crate::sla::{ClientClass, SlaRequestMeta, SlaSpec};
     pub use crate::trace::Trace;
 }

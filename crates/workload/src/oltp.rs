@@ -105,8 +105,8 @@ impl OltpSpec {
         // and writes interleave like a real OLTP transaction instead of all
         // reads first.
         let mut ops: Vec<bool> = Vec::with_capacity(self.statements_per_txn());
-        ops.extend(std::iter::repeat(false).take(self.selects_per_txn)); // false = read
-        ops.extend(std::iter::repeat(true).take(self.updates_per_txn)); // true = write
+        ops.extend(std::iter::repeat_n(false, self.selects_per_txn)); // false = read
+        ops.extend(std::iter::repeat_n(true, self.updates_per_txn)); // true = write
         ops.shuffle(rng);
 
         let mut statements = Vec::with_capacity(ops.len() + 1);
@@ -119,11 +119,7 @@ impl OltpSpec {
             };
             statements.push(stmt);
         }
-        statements.push(Statement::commit(
-            txn,
-            ops.len() as u32,
-            self.table.clone(),
-        ));
+        statements.push(Statement::commit(txn, ops.len() as u32, self.table.clone()));
         TransactionSpec { txn, statements }
     }
 }
@@ -160,7 +156,10 @@ pub struct ClientWorkload {
 impl ClientWorkload {
     /// Total data statements this client will issue.
     pub fn total_statements(&self) -> usize {
-        self.transactions.iter().map(TransactionSpec::data_statements).sum()
+        self.transactions
+            .iter()
+            .map(TransactionSpec::data_statements)
+            .sum()
     }
 }
 
@@ -206,7 +205,10 @@ mod tests {
         let unique: std::collections::HashSet<_> = txn_ids.iter().collect();
         assert_eq!(unique.len(), txn_ids.len());
         assert_eq!(
-            clients.iter().map(ClientWorkload::total_statements).sum::<usize>(),
+            clients
+                .iter()
+                .map(ClientWorkload::total_statements)
+                .sum::<usize>(),
             spec.total_statements()
         );
     }

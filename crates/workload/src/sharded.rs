@@ -1,0 +1,260 @@
+//! Workload generation for the sharded scheduler: the `cross_shard_fraction`
+//! knob.
+//!
+//! The shard subsystem's scaling hinges on one workload property: what
+//! fraction of transactions touch objects on more than one shard (and
+//! therefore take the serialized escalation lane instead of a parallel
+//! fast path).  This generator produces transactions with an exact,
+//! configurable cross-shard fraction so the scaling bench can sweep it and
+//! find the crossover point.
+//!
+//! The generator does not hard-code the placement function — it takes it as
+//! a parameter — so it stays decoupled from the shard crate while still
+//! agreeing with the router bit for bit (pass `declsched::shard_of`).
+
+use crate::oltp::TransactionSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use txnstore::{Statement, TxnId};
+
+/// Specification of a shard-aware workload.
+#[derive(Debug, Clone)]
+pub struct ShardedSpec {
+    /// Shard count the placement function partitions into.
+    pub shards: usize,
+    /// Fraction of transactions whose footprint spans two shards
+    /// (deterministically rounded: `floor(fraction * transactions)`
+    /// transactions are cross-shard, evenly interleaved).
+    pub cross_shard_fraction: f64,
+    /// Total transactions to generate.
+    pub transactions: usize,
+    /// Data statements per transaction (a terminal commit is appended).
+    pub statements_per_txn: usize,
+    /// Fraction of data statements that are updates (the rest are selects).
+    pub update_fraction: f64,
+    /// Rows in the target table.
+    pub table_rows: usize,
+    /// Name of the target table.
+    pub table: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShardedSpec {
+    /// A uniform single-object workload: every transaction updates one
+    /// uniformly random object and commits — the scaling bench's base case.
+    pub fn single_object(shards: usize, transactions: usize, table_rows: usize) -> Self {
+        ShardedSpec {
+            shards,
+            cross_shard_fraction: 0.0,
+            transactions,
+            statements_per_txn: 1,
+            update_fraction: 1.0,
+            table_rows,
+            table: "bench".to_string(),
+            seed: 42,
+        }
+    }
+
+    /// Set the cross-shard fraction.
+    pub fn with_cross_shard_fraction(mut self, fraction: f64) -> Self {
+        self.cross_shard_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Number of cross-shard transactions this spec will generate.
+    pub fn cross_shard_transactions(&self) -> usize {
+        (self.cross_shard_fraction * self.transactions as f64).floor() as usize
+    }
+
+    /// Generate the workload.  `shard_of` maps an object to its home shard
+    /// and must be the same function the router uses
+    /// (`declsched::shard_of(object, self.shards)`).
+    ///
+    /// Single-shard transactions draw every key from one (uniformly chosen)
+    /// shard's slice of the table; cross-shard transactions split their keys
+    /// over two distinct shards, guaranteeing escalation.  With
+    /// `cross_shard_fraction = 0` every transaction is confined to one
+    /// shard, which is what the shard-equivalence property test relies on.
+    pub fn generate(&self, shard_of: impl Fn(i64) -> usize) -> Vec<TransactionSpec> {
+        assert!(self.shards > 0, "shard count must be positive");
+        assert!(
+            self.table_rows >= self.shards.max(2),
+            "table must be large enough to populate every shard"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cross_target = self.cross_shard_transactions();
+        let mut generated_cross = 0usize;
+        let mut transactions = Vec::with_capacity(self.transactions);
+
+        for index in 0..self.transactions {
+            let txn = TxnId(index as u64 + 1);
+            // Interleave cross-shard transactions evenly through the stream.
+            let want_cross = self.shards > 1
+                && generated_cross < cross_target
+                && (index + 1) * cross_target / self.transactions.max(1) > generated_cross;
+            let spec = if want_cross {
+                generated_cross += 1;
+                self.generate_cross(txn, &mut rng, &shard_of)
+            } else {
+                self.generate_local(txn, &mut rng, &shard_of)
+            };
+            transactions.push(spec);
+        }
+        transactions
+    }
+
+    /// Draw a key homed on `shard` by rejection sampling (cheap: the
+    /// placement hash is balanced, so the expected number of draws is the
+    /// shard count).
+    fn key_on_shard(
+        &self,
+        rng: &mut StdRng,
+        shard: usize,
+        shard_of: &impl Fn(i64) -> usize,
+    ) -> i64 {
+        loop {
+            let key = rng.gen_range(0..self.table_rows as i64);
+            if shard_of(key) == shard {
+                return key;
+            }
+        }
+    }
+
+    fn statement(&self, txn: TxnId, intra: u32, key: i64, rng: &mut StdRng) -> Statement {
+        if rng.gen_bool(self.update_fraction) {
+            Statement::update(txn, intra, self.table.clone(), key, key)
+        } else {
+            Statement::select(txn, intra, self.table.clone(), key)
+        }
+    }
+
+    fn generate_local(
+        &self,
+        txn: TxnId,
+        rng: &mut StdRng,
+        shard_of: &impl Fn(i64) -> usize,
+    ) -> TransactionSpec {
+        // Uniform object ⇒ uniform home shard (the hash is balanced), so the
+        // fleet is loaded evenly.
+        let home = shard_of(rng.gen_range(0..self.table_rows as i64));
+        let mut statements = Vec::with_capacity(self.statements_per_txn + 1);
+        for intra in 0..self.statements_per_txn {
+            let key = self.key_on_shard(rng, home, shard_of);
+            statements.push(self.statement(txn, intra as u32, key, rng));
+        }
+        statements.push(Statement::commit(
+            txn,
+            self.statements_per_txn as u32,
+            self.table.clone(),
+        ));
+        TransactionSpec { txn, statements }
+    }
+
+    fn generate_cross(
+        &self,
+        txn: TxnId,
+        rng: &mut StdRng,
+        shard_of: &impl Fn(i64) -> usize,
+    ) -> TransactionSpec {
+        let first = shard_of(rng.gen_range(0..self.table_rows as i64));
+        let mut second = first;
+        while second == first {
+            second = shard_of(rng.gen_range(0..self.table_rows as i64));
+        }
+        // At least two data statements so both shards are actually touched.
+        let data = self.statements_per_txn.max(2);
+        let mut statements = Vec::with_capacity(data + 1);
+        for intra in 0..data {
+            let shard = if intra % 2 == 0 { first } else { second };
+            let key = self.key_on_shard(rng, shard, shard_of);
+            statements.push(self.statement(txn, intra as u32, key, rng));
+        }
+        statements.push(Statement::commit(txn, data as u32, self.table.clone()));
+        TransactionSpec { txn, statements }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// A stand-in placement hash with the same shape as the router's.
+    fn place(object: i64, shards: usize) -> usize {
+        (object as u64 % shards as u64) as usize
+    }
+
+    fn spec(shards: usize, fraction: f64) -> ShardedSpec {
+        ShardedSpec {
+            shards,
+            cross_shard_fraction: fraction,
+            transactions: 100,
+            statements_per_txn: 3,
+            update_fraction: 0.5,
+            table_rows: 1_000,
+            table: "bench".to_string(),
+            seed: 11,
+        }
+    }
+
+    fn footprint_shards(t: &TransactionSpec, shards: usize) -> HashSet<usize> {
+        t.statements
+            .iter()
+            .filter_map(|s| s.object())
+            .map(|o| place(o.0, shards))
+            .collect()
+    }
+
+    #[test]
+    fn zero_fraction_confines_every_transaction_to_one_shard() {
+        let s = spec(4, 0.0);
+        let txns = s.generate(|o| place(o, 4));
+        assert_eq!(txns.len(), 100);
+        for t in &txns {
+            assert_eq!(footprint_shards(t, 4).len(), 1, "txn {:?}", t.txn);
+        }
+    }
+
+    #[test]
+    fn fraction_is_exact_and_cross_txns_span_two_shards() {
+        let s = spec(4, 0.25);
+        let txns = s.generate(|o| place(o, 4));
+        let cross: Vec<_> = txns
+            .iter()
+            .filter(|t| footprint_shards(t, 4).len() > 1)
+            .collect();
+        assert_eq!(cross.len(), 25);
+        assert_eq!(cross.len(), s.cross_shard_transactions());
+        for t in cross {
+            assert_eq!(footprint_shards(t, 4).len(), 2);
+        }
+    }
+
+    #[test]
+    fn single_object_base_case_and_determinism() {
+        let s = ShardedSpec::single_object(4, 50, 400);
+        let a = s.generate(|o| place(o, 4));
+        let b = s.generate(|o| place(o, 4));
+        assert_eq!(a.len(), 50);
+        for t in &a {
+            assert_eq!(t.statements.len(), 2); // one update + commit
+        }
+        let render = |ts: &[TransactionSpec]| {
+            ts.iter()
+                .flat_map(|t| t.statements.iter())
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&a), render(&b));
+    }
+
+    #[test]
+    fn one_shard_never_generates_cross_traffic() {
+        let s = spec(1, 0.9);
+        let txns = s.generate(|_| 0);
+        for t in &txns {
+            assert_eq!(footprint_shards(t, 1).len(), 1);
+        }
+    }
+}

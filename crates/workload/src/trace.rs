@@ -89,7 +89,7 @@ impl Trace {
                 .filter(|(i, s)| {
                     committed.contains(&s.txn)
                         && !matches!(s.kind, StatementKind::Abort)
-                        && last_abort.get(&s.txn).map_or(true, |&a| *i > a)
+                        && last_abort.get(&s.txn).is_none_or(|&a| *i > a)
                 })
                 .map(|(_, s)| s.clone())
                 .collect(),

@@ -34,11 +34,21 @@ protocol hotel_reservations {
 "#;
 
 fn main() -> SchedResult<()> {
-    println!("SchedLang source ({} non-empty lines):", HOTEL_PROTOCOL.lines().filter(|l| !l.trim().is_empty()).count());
+    println!(
+        "SchedLang source ({} non-empty lines):",
+        HOTEL_PROTOCOL
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    );
     println!("{HOTEL_PROTOCOL}");
 
     let protocol = compile_protocol(HOTEL_PROTOCOL).expect("the protocol compiles");
-    println!("compiled to protocol `{}` on the {} back-end\n", protocol.name(), protocol.rules.backend.label());
+    println!(
+        "compiled to protocol `{}` on the {} back-end\n",
+        protocol.name(),
+        protocol.rules.backend.label()
+    );
 
     let mut scheduler = DeclarativeScheduler::new(
         protocol,
@@ -64,7 +74,10 @@ fn main() -> SchedResult<()> {
     for request in &batch.requests {
         println!("  {request}");
     }
-    println!("deferred: {} (the competing booking of room 7 waits for T1)", batch.pending_after);
+    println!(
+        "deferred: {} (the competing booking of room 7 waits for T1)",
+        batch.pending_after
+    );
     dispatcher.execute_batch(&batch)?;
 
     // T1 commits; the deferred booking goes through on the next round.
@@ -73,7 +86,14 @@ fn main() -> SchedResult<()> {
     dispatcher.execute_batch(&batch)?;
     let batch = scheduler.run_round(3)?;
     dispatcher.execute_batch(&batch)?;
-    println!("\nafter T1 committed, the deferred booking was scheduled: pending = {}", scheduler.pending());
-    println!("server totals: {} data statements, {} commits", dispatcher.totals().executed, dispatcher.totals().commits);
+    println!(
+        "\nafter T1 committed, the deferred booking was scheduled: pending = {}",
+        scheduler.pending()
+    );
+    println!(
+        "server totals: {} data statements, {} commits",
+        dispatcher.totals().executed,
+        dispatcher.totals().commits
+    );
     Ok(())
 }

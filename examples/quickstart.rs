@@ -67,8 +67,12 @@ fn main() -> SchedResult<()> {
     }
 
     let metrics = scheduler.metrics();
-    println!("\nscheduled {} requests in {} rounds (avg batch {:.1})",
-        metrics.requests_scheduled, metrics.rounds, metrics.avg_batch_size());
+    println!(
+        "\nscheduled {} requests in {} rounds (avg batch {:.1})",
+        metrics.requests_scheduled,
+        metrics.rounds,
+        metrics.avg_batch_size()
+    );
     println!(
         "server executed {} data statements, {} commits — final value of account 42: {}",
         dispatcher.totals().executed,

@@ -40,7 +40,10 @@ fn run(policy_name: &str, protocol: Protocol) -> SchedResult<()> {
     for client in &clients {
         let txn = &client.transactions[0];
         let stmt = &txn.statements[0];
-        let meta = metas.iter().find(|m| m.txn == txn.txn).expect("meta exists");
+        let meta = metas
+            .iter()
+            .find(|m| m.txn == txn.txn)
+            .expect("meta exists");
         let request = Request::from_statement(0, stmt).with_sla(SlaMeta {
             priority: meta.class.priority(),
             class: meta.class.as_str(),

@@ -1,0 +1,249 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace builds offline, so this local shim provides the API subset
+//! the property tests use: the [`strategy::Strategy`] trait with `prop_map`,
+//! integer-range and tuple strategies, `collection::vec`, a deterministic
+//! [`test_runner::TestRng`], `ProptestConfig::with_cases` and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! There is no shrinking: a failing case panics with the case number so it
+//! can be replayed (generation is fully deterministic).
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// lies in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The deterministic test runner substrate.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with a fixed, documented seed so failures replay.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x5eed_dec1_a4a7_1e57,
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Assert inside a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Define property tests: each function runs `cases` times with fresh
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let strategy = $strat;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for case in 0..config.cases {
+                    let $pat = $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    let run = || -> () { $body };
+                    if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "property {} failed at deterministic case {case}/{}",
+                            stringify!($name),
+                            config.cases
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_map_and_vec_generate() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let strat = (0u64..6, 0i64..8).prop_map(|(a, b)| (a + 100, b));
+        for _ in 0..50 {
+            let (a, b) = strat.generate(&mut rng);
+            assert!((100..106).contains(&a));
+            assert!((0..8).contains(&b));
+        }
+        let vecs = crate::collection::vec(0u8..3, 1..12);
+        for _ in 0..50 {
+            let v = vecs.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 12);
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself compiles and runs with a tuple pattern.
+        #[test]
+        fn macro_smoke((a, b) in (0u32..10, 0u32..10)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

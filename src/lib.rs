@@ -1,0 +1,20 @@
+//! Umbrella package for the reproduction suite.
+//!
+//! The actual functionality lives in the workspace crates:
+//!
+//! * [`declsched`] — the declarative middleware scheduler (paper core).
+//! * [`shard`] — the sharded scheduling subsystem (router + per-shard
+//!   schedulers + cross-shard escalation lane).
+//! * [`workload`] — deterministic workload generators.
+//! * [`relalg`] / `datalog` / [`schedlang`] — the rule back-ends.
+//! * [`txnstore`] — the in-memory transactional server.
+//!
+//! This package exists to host the runnable demos under `examples/`; it
+//! simply re-exports the crates so examples can use one import root.
+
+pub use declsched;
+pub use relalg;
+pub use schedlang;
+pub use shard;
+pub use txnstore;
+pub use workload;

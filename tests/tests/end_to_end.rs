@@ -30,7 +30,9 @@ fn run_workload(protocol: Protocol, spec: &OltpSpec) -> (Dispatcher, SchedulerMe
     loop {
         let mut all_done = true;
         for (client, cursor) in clients.iter().zip(cursors.iter_mut()) {
-            let Some(txn) = client.transactions.get(cursor.0) else { continue };
+            let Some(txn) = client.transactions.get(cursor.0) else {
+                continue;
+            };
             all_done = false;
             // Interactive model: submit the next statement only when the
             // previous one has been dispatched.
@@ -80,11 +82,11 @@ fn declaratively_scheduled_workload_completes_and_commits_everything() {
     let (dispatcher, metrics) = run_workload(Protocol::algebra(ProtocolKind::Ss2pl), &spec);
     let expected_txns = (spec.clients * spec.transactions_per_client) as u64;
     assert_eq!(dispatcher.totals().commits, expected_txns);
+    assert_eq!(dispatcher.totals().executed, spec.total_statements() as u64);
     assert_eq!(
-        dispatcher.totals().executed,
-        spec.total_statements() as u64
+        metrics.requests_scheduled as usize,
+        spec.total_statements() + spec.clients * spec.transactions_per_client
     );
-    assert_eq!(metrics.requests_scheduled as usize, spec.total_statements() + spec.clients * spec.transactions_per_client);
     assert!(metrics.rounds > 0);
 }
 
@@ -99,7 +101,9 @@ fn ss2pl_scheduled_execution_matches_native_server_final_state() {
 
     // Native sequential execution: client after client (a serial schedule).
     let mut engine = txnstore::Engine::new();
-    engine.setup_benchmark_table(&spec.table, spec.table_rows).unwrap();
+    engine
+        .setup_benchmark_table(&spec.table, spec.table_rows)
+        .unwrap();
     for client in spec.generate() {
         for txn in &client.transactions {
             for stmt in &txn.statements {
@@ -124,7 +128,12 @@ fn ss2pl_scheduled_execution_matches_native_server_final_state() {
     }
     for (row, writers) in writers_per_row {
         if writers.len() == 1 {
-            let a = dispatcher.engine().store().read(&spec.table, row).unwrap().values;
+            let a = dispatcher
+                .engine()
+                .store()
+                .read(&spec.table, row)
+                .unwrap()
+                .values;
             let b = engine.store().read(&spec.table, row).unwrap().values;
             assert_eq!(a, b, "row {row} diverged");
         }

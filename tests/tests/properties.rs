@@ -81,10 +81,8 @@ fn ss2pl_oracle(pending: &[Request], history: &[Request]) -> HashSet<RequestKey>
             Operation::Write => {
                 wlocked.entry(r.object).or_default().insert(r.ta);
             }
-            Operation::Read => {
-                if !wrote.contains(&(r.ta, r.object)) {
-                    rlocked.entry(r.object).or_default().insert(r.ta);
-                }
+            Operation::Read if !wrote.contains(&(r.ta, r.object)) => {
+                rlocked.entry(r.object).or_default().insert(r.ta);
             }
             _ => {}
         }

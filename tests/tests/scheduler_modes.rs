@@ -49,7 +49,10 @@ fn scheduled_mode_keeps_the_server_free_of_lock_activity() {
         assert!(now < 100, "scheduled mode did not converge");
     }
     let server = dispatcher.engine().metrics();
-    assert_eq!(server.lock_waits, 0, "scheduled mode must never block on the server");
+    assert_eq!(
+        server.lock_waits, 0,
+        "scheduled mode must never block on the server"
+    );
     assert_eq!(server.deadlock_aborts, 0);
     assert_eq!(server.commits, 3);
 
@@ -61,7 +64,10 @@ fn scheduled_mode_keeps_the_server_free_of_lock_activity() {
             blocked += 1;
         }
     }
-    assert_eq!(blocked, 2, "the native scheduler must block the two later writers");
+    assert_eq!(
+        blocked, 2,
+        "the native scheduler must block the two later writers"
+    );
     assert_eq!(passthrough.server_metrics().lock_waits, 2);
 }
 
@@ -146,7 +152,10 @@ fn time_trigger_batches_bursts() {
     };
     let bursty = run(0); // all 50 requests arrive at once
     let trickle = run(20); // one request every 20 ms (> the 10 ms interval)
-    assert!(bursty <= 2, "burst should be handled in one or two rounds, took {bursty}");
+    assert!(
+        bursty <= 2,
+        "burst should be handled in one or two rounds, took {bursty}"
+    );
     assert!(
         trickle > bursty * 5,
         "trickling arrivals should need many more rounds ({trickle} vs {bursty})"
@@ -188,8 +197,16 @@ fn history_pruning_bounds_rule_input() {
     }
     assert_eq!(pruned.pending(), 0);
     assert_eq!(unpruned.pending(), 0);
-    assert_eq!(pruned.history_len(), 0, "all transactions finished, nothing to keep");
-    assert_eq!(unpruned.history_len(), 80, "unpruned history keeps every request");
+    assert_eq!(
+        pruned.history_len(),
+        0,
+        "all transactions finished, nothing to keep"
+    );
+    assert_eq!(
+        unpruned.history_len(),
+        80,
+        "unpruned history keeps every request"
+    );
     // Both variants scheduled everything exactly once.
     assert_eq!(pruned.metrics().requests_scheduled, 80);
     assert_eq!(unpruned.metrics().requests_scheduled, 80);
