@@ -1,0 +1,59 @@
+//! The backend matrix: one uniform workload driven through the unified
+//! `session` façade against all three deployments (passthrough, unsharded
+//! middleware, shard router fleet), each in blocking (depth 1) and
+//! pipelined (depth 32) submission mode.
+//!
+//! This is the apples-to-apples comparison the unified API exists for —
+//! and the proof that pipelined submission (≥16 transactions in flight
+//! from one session) sustains strictly higher throughput than blocking
+//! one-at-a-time round trips.
+//!
+//! Emits a human-readable CSV on stdout and writes the machine-readable
+//! `BENCH_backend_matrix.json` into the current directory.
+//!
+//! Usage: `cargo run --release -p bench --bin backend_matrix [--paper|--smoke]`
+
+use bench::{backend_matrix_json, backend_matrix_sweep, shard_scaling_workload, Scale};
+
+const DEPTH: usize = 32;
+const SHARDS: usize = 4;
+
+fn main() {
+    let scale = Scale::from_args();
+    let scale_label = Scale::label_from_args();
+    let (transactions, table_rows) = shard_scaling_workload(scale);
+
+    println!(
+        "# backend matrix — uniform single-object workload, {transactions} transactions over {table_rows} rows, pipeline depth {DEPTH}"
+    );
+    println!("{}", bench::BackendMatrixRow::csv_header());
+    let rows = backend_matrix_sweep(DEPTH, SHARDS, scale);
+    for row in &rows {
+        println!("{}", row.to_csv());
+    }
+
+    // Headline: the pipelining win per deployment.
+    for backend in ["passthrough", "unsharded", &format!("sharded{SHARDS}")] {
+        let blocking = rows.iter().find(|r| r.backend == backend && r.depth == 1);
+        let pipelined = rows.iter().find(|r| r.backend == backend && r.depth > 1);
+        if let (Some(b), Some(p)) = (blocking, pipelined) {
+            println!(
+                "# {backend}: pipelined {:.0} tps vs blocking {:.0} tps ({:.1}x)",
+                p.throughput_tps,
+                b.throughput_tps,
+                if b.throughput_tps > 0.0 {
+                    p.throughput_tps / b.throughput_tps
+                } else {
+                    0.0
+                }
+            );
+        }
+    }
+
+    let json = backend_matrix_json(&rows, scale_label);
+    let path = "BENCH_backend_matrix.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}

@@ -13,11 +13,7 @@ use bench::{shard_scaling_json, shard_scaling_sweep, shard_scaling_workload, Sca
 
 fn main() {
     let scale = Scale::from_args();
-    let scale_label = if std::env::args().any(|a| a == "--paper") {
-        "paper"
-    } else {
-        "quick"
-    };
+    let scale_label = Scale::label_from_args();
     let shard_counts = [1usize, 2, 4, 8];
     let fractions = [0.0f64, 0.05, 0.20, 0.50];
     let (transactions, table_rows) = shard_scaling_workload(scale);

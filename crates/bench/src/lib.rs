@@ -49,13 +49,35 @@ impl Scale {
         }
     }
 
+    /// Smoke scale: tiny parameters for CI, so the bench harness is
+    /// exercised end-to-end on every push without costing minutes.
+    pub fn smoke() -> Self {
+        Scale {
+            transactions_per_client: 1,
+            table_rows: 2_048,
+        }
+    }
+
     /// Pick a scale from command-line arguments (`--paper` selects the full
-    /// size).
+    /// size, `--smoke` the CI-tiny one).
     pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--paper") {
             Scale::paper()
+        } else if std::env::args().any(|a| a == "--smoke") {
+            Scale::smoke()
         } else {
             Scale::quick()
+        }
+    }
+
+    /// The label matching [`Scale::from_args`], for output documents.
+    pub fn label_from_args() -> &'static str {
+        if std::env::args().any(|a| a == "--paper") {
+            "paper"
+        } else if std::env::args().any(|a| a == "--smoke") {
+            "smoke"
+        } else {
+            "quick"
         }
     }
 }
@@ -334,8 +356,9 @@ pub fn shard_scaling_workload(scale: Scale) -> (usize, usize) {
 /// Run the sharded scheduler over a uniform single-object workload with the
 /// given shard count and cross-shard fraction, and measure it.
 ///
-/// All transactions are submitted up front (the saturated-arrivals regime:
-/// the pending relation is full, so per-round rule evaluation dominates) and
+/// Driven entirely through the unified `session` façade: all transactions
+/// are submitted pipelined up front (the saturated-arrivals regime: the
+/// pending relation is full, so per-round rule evaluation dominates) and
 /// the run is timed until the last commit drains.
 pub fn shard_scaling_run(
     shards: usize,
@@ -343,7 +366,6 @@ pub fn shard_scaling_run(
     scale: Scale,
 ) -> ShardScalingRow {
     use declsched::shard_of;
-    use shard::{ShardConfig, ShardRouter};
     use workload::ShardedSpec;
 
     let (transactions, table_rows) = shard_scaling_workload(scale);
@@ -351,28 +373,27 @@ pub fn shard_scaling_run(
         .with_cross_shard_fraction(cross_shard_fraction);
     let generated = spec.generate(|object| shard_of(object, shards));
 
-    let config = ShardConfig::new(shards, Protocol::algebra(ProtocolKind::Ss2pl))
-        .with_scheduler(SchedulerConfig {
+    let scheduler = session::Scheduler::builder()
+        .policy(Protocol::algebra(ProtocolKind::Ss2pl))
+        .scheduler_config(SchedulerConfig {
             trigger: TriggerPolicy::Hybrid {
                 interval_ms: 1,
                 threshold: 64,
             },
             ..SchedulerConfig::default()
         })
-        .with_table("bench", table_rows);
-    let router = ShardRouter::start(config).expect("router start cannot fail");
+        .table("bench", table_rows)
+        .shards(shards)
+        .build()
+        .expect("fleet start cannot fail");
+    let mut client = scheduler.connect();
 
     let started = Instant::now();
     let mut tickets = Vec::with_capacity(generated.len());
     for txn in &generated {
-        let requests: Vec<Request> = txn
-            .statements
-            .iter()
-            .map(|stmt| Request::from_statement(0, stmt))
-            .collect();
         tickets.push(
-            router
-                .submit_transaction(requests)
+            client
+                .submit(session::Txn::from_statements(&txn.statements))
                 .expect("submission cannot fail while the fleet is up"),
         );
     }
@@ -380,22 +401,22 @@ pub fn shard_scaling_run(
         ticket.wait().expect("workload transactions always commit");
     }
     let wall = started.elapsed();
-    let report = router.shutdown();
-    let metrics = &report.metrics;
+    let report = scheduler.shutdown();
+    let detail = report.sharded.as_ref().expect("sharded deployment");
 
     let wall_secs = wall.as_secs_f64().max(1e-9);
     ShardScalingRow {
         shards,
         cross_shard_fraction,
-        transactions: metrics.transactions,
+        transactions: report.transactions,
         wall_secs,
-        throughput_rps: (metrics.merged.requests_scheduled + metrics.escalation.escalated_requests)
+        throughput_rps: (report.scheduler.requests_scheduled + detail.escalation.escalated_requests)
             as f64
             / wall_secs,
-        commits_per_sec: metrics.dispatch.commits as f64 / wall_secs,
-        escalations: metrics.escalation.escalations,
-        escalation_retries: metrics.escalation.retries,
-        peak_pending: metrics.peak_pending,
+        commits_per_sec: report.dispatch.commits as f64 / wall_secs,
+        escalations: detail.escalation.escalations,
+        escalation_retries: detail.escalation.retries,
+        peak_pending: detail.peak_pending,
         speedup_vs_one_shard: 1.0,
     }
 }
@@ -439,6 +460,199 @@ pub fn shard_scaling_json(rows: &[ShardScalingRow], scale_label: &str) -> String
     let series: Vec<String> = rows.iter().map(ShardScalingRow::to_json).collect();
     format!(
         "{{\n  \"bench\": \"shard_scaling\",\n  \"scale\": \"{}\",\n  \"series\": [\n    {}\n  ]\n}}\n",
+        scale_label,
+        series.join(",\n    ")
+    )
+}
+
+/// One deployment of the backend-matrix experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixBackend {
+    /// Non-scheduling passthrough (native server locking).
+    Passthrough,
+    /// The paper's single-scheduler middleware.
+    Unsharded,
+    /// The shard router fleet with the given shard count.
+    Sharded(usize),
+}
+
+impl MatrixBackend {
+    /// Stable label for output documents.
+    pub fn label(self) -> String {
+        match self {
+            MatrixBackend::Passthrough => "passthrough".to_string(),
+            MatrixBackend::Unsharded => "unsharded".to_string(),
+            MatrixBackend::Sharded(n) => format!("sharded{n}"),
+        }
+    }
+}
+
+/// One measured configuration of the backend-matrix experiment.
+#[derive(Debug, Clone)]
+pub struct BackendMatrixRow {
+    /// Deployment label (`passthrough`, `unsharded`, `sharded4`, …).
+    pub backend: String,
+    /// Submission mode: `blocking` (depth 1) or `pipelined`.
+    pub mode: &'static str,
+    /// Maximum transactions in flight per session.
+    pub depth: usize,
+    /// Transactions executed.
+    pub transactions: u64,
+    /// Wall-clock seconds from first submission to last completion.
+    pub wall_secs: f64,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+    /// Executed requests (data + terminals) per second.
+    pub requests_per_sec: f64,
+    /// Median per-transaction latency in milliseconds (submit → complete).
+    pub p50_ms: f64,
+    /// 99th-percentile per-transaction latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+impl BackendMatrixRow {
+    /// CSV header.
+    pub fn csv_header() -> &'static str {
+        "backend,mode,depth,transactions,wall_secs,throughput_tps,requests_per_sec,p50_ms,p99_ms"
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{:.3},{:.0},{:.0},{:.3},{:.3}",
+            self.backend,
+            self.mode,
+            self.depth,
+            self.transactions,
+            self.wall_secs,
+            self.throughput_tps,
+            self.requests_per_sec,
+            self.p50_ms,
+            self.p99_ms
+        )
+    }
+
+    /// One JSON object (hand-rolled; the workspace builds offline without a
+    /// serde dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"mode\":\"{}\",\"depth\":{},\"transactions\":{},\"wall_secs\":{:.6},\"throughput_tps\":{:.1},\"requests_per_sec\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4}}}",
+            self.backend,
+            self.mode,
+            self.depth,
+            self.transactions,
+            self.wall_secs,
+            self.throughput_tps,
+            self.requests_per_sec,
+            self.p50_ms,
+            self.p99_ms
+        )
+    }
+}
+
+fn percentile_ms(sorted: &[std::time::Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[index.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Run the uniform single-object workload against one deployment through
+/// the unified `session` façade, keeping at most `depth` transactions in
+/// flight (closed loop), and measure throughput and per-transaction
+/// latency.  `depth == 1` is the blocking one-at-a-time baseline.
+pub fn backend_matrix_run(backend: MatrixBackend, depth: usize, scale: Scale) -> BackendMatrixRow {
+    use std::collections::VecDeque;
+    use workload::ShardedSpec;
+
+    let depth = depth.max(1);
+    let (transactions, table_rows) = shard_scaling_workload(scale);
+    // One workload for every deployment: with no cross-shard traffic the
+    // placement layout is irrelevant to generation, so a fixed single-shard
+    // layout yields the *identical* transaction stream whatever backend is
+    // measured — the apples-to-apples property of the matrix.
+    let spec = ShardedSpec::single_object(1, transactions, table_rows);
+    let generated = spec.generate(|object| declsched::shard_of(object, 1));
+
+    let builder = session::Scheduler::builder()
+        .policy(Protocol::algebra(ProtocolKind::Ss2pl))
+        .scheduler_config(SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 1,
+                threshold: 64,
+            },
+            ..SchedulerConfig::default()
+        })
+        .table("bench", table_rows);
+    let scheduler = match backend {
+        MatrixBackend::Passthrough => builder.passthrough(),
+        MatrixBackend::Unsharded => builder.unsharded(),
+        MatrixBackend::Sharded(n) => builder.shards(n),
+    }
+    .build()
+    .expect("deployment start cannot fail");
+    let mut client = scheduler.connect();
+
+    let started = Instant::now();
+    let mut window: VecDeque<(session::Ticket, Instant)> = VecDeque::with_capacity(depth);
+    let mut latencies = Vec::with_capacity(generated.len());
+    for txn in &generated {
+        if window.len() >= depth {
+            let (ticket, submitted) = window.pop_front().expect("window non-empty");
+            ticket.wait().expect("workload transactions always commit");
+            latencies.push(submitted.elapsed());
+        }
+        window.push_back((
+            client
+                .submit(session::Txn::from_statements(&txn.statements))
+                .expect("submission cannot fail while the deployment is up"),
+            Instant::now(),
+        ));
+    }
+    while let Some((ticket, submitted)) = window.pop_front() {
+        ticket.wait().expect("workload transactions always commit");
+        latencies.push(submitted.elapsed());
+    }
+    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    let report = scheduler.shutdown();
+
+    latencies.sort_unstable();
+    BackendMatrixRow {
+        backend: backend.label(),
+        mode: if depth == 1 { "blocking" } else { "pipelined" },
+        depth,
+        transactions: report.transactions,
+        wall_secs,
+        throughput_tps: report.dispatch.commits as f64 / wall_secs,
+        requests_per_sec: report.executed_log.len() as f64 / wall_secs,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+    }
+}
+
+/// The full backend matrix: every deployment in blocking and pipelined
+/// mode, from one workload definition — the apples-to-apples comparison
+/// the unified API exists for.
+pub fn backend_matrix_sweep(depth: usize, shards: usize, scale: Scale) -> Vec<BackendMatrixRow> {
+    let backends = [
+        MatrixBackend::Passthrough,
+        MatrixBackend::Unsharded,
+        MatrixBackend::Sharded(shards),
+    ];
+    let mut rows = Vec::with_capacity(backends.len() * 2);
+    for backend in backends {
+        rows.push(backend_matrix_run(backend, 1, scale));
+        rows.push(backend_matrix_run(backend, depth, scale));
+    }
+    rows
+}
+
+/// Render a sweep as the `BENCH_backend_matrix.json` document.
+pub fn backend_matrix_json(rows: &[BackendMatrixRow], scale_label: &str) -> String {
+    let series: Vec<String> = rows.iter().map(BackendMatrixRow::to_json).collect();
+    format!(
+        "{{\n  \"bench\": \"backend_matrix\",\n  \"scale\": \"{}\",\n  \"series\": [\n    {}\n  ]\n}}\n",
         scale_label,
         series.join(",\n    ")
     )
@@ -575,6 +789,38 @@ mod tests {
         let json = shard_scaling_json(&rows, "tiny");
         assert!(json.contains("\"bench\": \"shard_scaling\""));
         assert!(json.matches("{\"shards\"").count() == 4);
+    }
+
+    #[test]
+    fn backend_matrix_pipelining_beats_blocking() {
+        let tiny = Scale::smoke();
+        let blocking = backend_matrix_run(MatrixBackend::Unsharded, 1, tiny);
+        let pipelined = backend_matrix_run(MatrixBackend::Unsharded, 24, tiny);
+        assert_eq!(blocking.transactions, 256);
+        assert_eq!(pipelined.transactions, 256);
+        assert_eq!(blocking.mode, "blocking");
+        assert_eq!(pipelined.mode, "pipelined");
+        assert!(
+            pipelined.throughput_tps > blocking.throughput_tps,
+            "pipelined ({:.0} tps) must beat blocking ({:.0} tps)",
+            pipelined.throughput_tps,
+            blocking.throughput_tps
+        );
+        assert!(blocking.p99_ms >= blocking.p50_ms);
+        let json = backend_matrix_json(&[blocking, pipelined], "smoke");
+        assert!(json.contains("\"bench\": \"backend_matrix\""));
+        assert_eq!(json.matches("{\"backend\"").count(), 2);
+    }
+
+    #[test]
+    fn backend_matrix_runs_on_every_deployment() {
+        let tiny = Scale::smoke();
+        for backend in [MatrixBackend::Passthrough, MatrixBackend::Sharded(2)] {
+            let row = backend_matrix_run(backend, 16, tiny);
+            assert_eq!(row.transactions, 256, "{}", row.backend);
+            assert!(row.throughput_tps > 0.0);
+            assert!(row.to_csv().starts_with(&row.backend));
+        }
     }
 
     #[test]

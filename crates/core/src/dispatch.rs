@@ -82,6 +82,13 @@ impl Dispatcher {
         self.totals
     }
 
+    /// Snapshot the final value of benchmark rows `0..rows` (see
+    /// [`snapshot_final_rows`]).  Reports embed this so backends can be
+    /// compared for final-state equivalence without exposing their engines.
+    pub fn final_rows(&self, rows: usize) -> Vec<i64> {
+        snapshot_final_rows(&self.engine, &self.table, rows)
+    }
+
     /// Execute one request.
     pub fn execute_request(&mut self, request: &Request) -> SchedResult<()> {
         let stmt = request.to_statement(&self.table);
@@ -120,6 +127,23 @@ impl Dispatcher {
         report.aborts -= before.aborts;
         Ok(report)
     }
+}
+
+/// Snapshot the final value of benchmark rows `0..rows` on `engine`
+/// (missing rows and non-integer payloads read as 0).  The single
+/// definition every backend's report uses, so final-state equivalence
+/// comparisons cannot diverge on snapshot conventions.
+pub fn snapshot_final_rows(engine: &Engine, table: &str, rows: usize) -> Vec<i64> {
+    (0..rows as i64)
+        .map(|key| {
+            engine
+                .store()
+                .read(table, key)
+                .ok()
+                .and_then(|row| row.values.first().and_then(|v| v.as_int()))
+                .unwrap_or(0)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -38,6 +38,11 @@ pub enum SchedError {
         /// The transaction id.
         ta: u64,
     },
+    /// The backend was already shut down when the operation arrived.
+    BackendShutdown {
+        /// Which backend refused the operation.
+        backend: &'static str,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -61,6 +66,9 @@ impl fmt::Display for SchedError {
             }
             SchedError::TransactionFinished { ta } => {
                 write!(f, "request for already-finished transaction T{ta}")
+            }
+            SchedError::BackendShutdown { backend } => {
+                write!(f, "the {backend} backend was already shut down")
             }
         }
     }

@@ -88,6 +88,7 @@ pub use dispatch::{DispatchReport, Dispatcher};
 pub use error::{SchedError, SchedResult};
 pub use history::HistoryStore;
 pub use metrics::SchedulerMetrics;
+pub use middleware::{ClientHandle, Middleware, MiddlewareReport, TxnTicket};
 pub use pending::PendingStore;
 pub use protocol::{
     AdaptiveProtocol, Backend, Protocol, ProtocolFeatures, ProtocolKind, SchedulingPolicy,

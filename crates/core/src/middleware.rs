@@ -11,31 +11,63 @@
 //! workers are [`ClientHandle`]s (one per connected client, each backed by a
 //! crossbeam channel into the scheduler thread), and the scheduler thread
 //! runs the drain → rule → dispatch loop, replying to every client once its
-//! request has been executed on the server.
+//! transaction has been executed on the server.
+//!
+//! Submission is **transaction-granular and pipelined**: a client hands over
+//! a whole transaction (one or more [`Request`]s, SLA metadata intact) with
+//! [`ClientHandle::submit_transaction`] and receives a [`TxnTicket`]
+//! immediately, so one client thread can keep dozens of transactions in
+//! flight.  The `session` crate's unified `Session` façade builds on exactly
+//! this shape (the sharded router fleet offers the same contract).
 
-use crate::dispatch::Dispatcher;
+use crate::dispatch::{DispatchReport, Dispatcher};
 use crate::error::{SchedError, SchedResult};
+use crate::metrics::SchedulerMetrics;
 use crate::protocol::SchedulingPolicy;
-use crate::request::Request;
+use crate::request::{Request, RequestKey};
 use crate::scheduler::{DeclarativeScheduler, SchedulerConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::collections::{HashMap, HashSet};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use txnstore::Statement;
 
-/// A request travelling from a client worker to the scheduler thread.
-struct ClientMessage {
-    statement: Statement,
-    sla: Option<crate::request::SlaMeta>,
+/// A whole client transaction travelling to the scheduler thread.
+struct TxnMessage {
+    requests: Vec<Request>,
     reply: Sender<SchedResult<()>>,
 }
 
 /// Messages understood by the scheduler thread.
 enum ControlMessage {
-    /// A client request to schedule and execute.
-    Request(ClientMessage),
+    /// A client transaction to schedule and execute.
+    Txn(TxnMessage),
     /// Orderly shutdown: drain what is pending, then stop.
     Shutdown,
+}
+
+/// A pending reply for one submitted transaction: resolves once every
+/// request of the transaction has been scheduled and executed on the server.
+///
+/// Dropping a ticket without waiting is safe — the scheduler thread still
+/// executes the transaction and simply discards the undeliverable reply.
+pub struct TxnTicket {
+    rx: Receiver<SchedResult<()>>,
+}
+
+impl TxnTicket {
+    /// Block until the transaction has fully executed.
+    pub fn wait(self) -> SchedResult<()> {
+        self.rx.recv().map_err(|_| SchedError::ChannelClosed {
+            endpoint: "scheduler thread",
+        })?
+    }
+
+    /// The raw completion channel, for callers (like the unified `Session`
+    /// façade) that multiplex many tickets.
+    pub fn into_receiver(self) -> Receiver<SchedResult<()>> {
+        self.rx
+    }
 }
 
 /// Handle held by one connected client; cheap to clone per client worker.
@@ -45,78 +77,78 @@ pub struct ClientHandle {
 }
 
 impl ClientHandle {
-    /// Submit a statement and wait until the middleware has scheduled and
-    /// executed it on the server.
-    pub fn execute(&self, statement: Statement) -> SchedResult<()> {
-        self.execute_with_sla(statement, None)
-    }
-
-    /// Submit a statement carrying SLA metadata.
-    pub fn execute_with_sla(
-        &self,
-        statement: Statement,
-        sla: Option<crate::request::SlaMeta>,
-    ) -> SchedResult<()> {
+    /// Submit a whole transaction — one or more requests in intra order,
+    /// SLA metadata intact — without blocking.  The returned [`TxnTicket`]
+    /// resolves once every request has been scheduled and executed, so a
+    /// client can pipeline many transactions before waiting on any of them.
+    pub fn submit_transaction(&self, requests: Vec<Request>) -> SchedResult<TxnTicket> {
         let (reply_tx, reply_rx) = bounded(1);
         self.sender
-            .send(ControlMessage::Request(ClientMessage {
-                statement,
-                sla,
+            .send(ControlMessage::Txn(TxnMessage {
+                requests,
                 reply: reply_tx,
             }))
             .map_err(|_| SchedError::ChannelClosed {
                 endpoint: "scheduler thread",
             })?;
-        reply_rx.recv().map_err(|_| SchedError::ChannelClosed {
-            endpoint: "scheduler thread",
-        })?
+        Ok(TxnTicket { rx: reply_rx })
+    }
+
+    /// Submit a statement and wait until the middleware has scheduled and
+    /// executed it on the server.
+    #[deprecated(note = "use `session::Session::submit` (or `submit_transaction`) instead")]
+    pub fn execute(&self, statement: Statement) -> SchedResult<()> {
+        self.submit_transaction(vec![Request::from_statement(0, &statement)])?
+            .wait()
+    }
+
+    /// Submit a statement carrying SLA metadata.
+    #[deprecated(note = "use `session::Txn::with_sla` through `session::Session` instead")]
+    pub fn execute_with_sla(
+        &self,
+        statement: Statement,
+        sla: Option<crate::request::SlaMeta>,
+    ) -> SchedResult<()> {
+        let mut request = Request::from_statement(0, &statement);
+        if let Some(sla) = sla {
+            request = request.with_sla(sla);
+        }
+        self.submit_transaction(vec![request])?.wait()
     }
 
     /// Submit a whole transaction at once and wait until every statement has
-    /// been scheduled and executed.  Submitting at transaction granularity
-    /// lets the scheduler batch the statements into one round where the rule
-    /// admits them (`enforce_intra_order` keeps the in-transaction order
-    /// correct), and is the submission model the sharded middleware requires
-    /// — the router must see a transaction's full object footprint up front
-    /// to decide between the single-shard fast path and escalation.
+    /// been scheduled and executed.
+    ///
+    /// [`txnstore::Statement`]s carry no SLA metadata, so this entry point
+    /// cannot either — build [`Request`]s (or a `session::Txn`) and use
+    /// [`ClientHandle::submit_transaction`] to carry SLA end-to-end.
+    #[deprecated(note = "use `session::Session::submit` (or `submit_transaction`) instead")]
     pub fn execute_transaction(&self, statements: Vec<Statement>) -> SchedResult<()> {
-        let mut pending_replies = Vec::with_capacity(statements.len());
-        for statement in statements {
-            let (reply_tx, reply_rx) = bounded(1);
-            self.sender
-                .send(ControlMessage::Request(ClientMessage {
-                    statement,
-                    sla: None,
-                    reply: reply_tx,
-                }))
-                .map_err(|_| SchedError::ChannelClosed {
-                    endpoint: "scheduler thread",
-                })?;
-            pending_replies.push(reply_rx);
-        }
-        for reply_rx in pending_replies {
-            reply_rx.recv().map_err(|_| SchedError::ChannelClosed {
-                endpoint: "scheduler thread",
-            })??;
-        }
-        Ok(())
+        let requests = statements
+            .iter()
+            .map(|statement| Request::from_statement(0, statement))
+            .collect();
+        self.submit_transaction(requests)?.wait()
     }
 }
 
 /// Summary returned when the middleware shuts down.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MiddlewareReport {
-    /// Scheduling rounds executed.
-    pub rounds: u64,
-    /// Requests scheduled and executed.
-    pub requests_scheduled: u64,
-    /// Data requests executed on the server.
-    pub executed: u64,
-    /// Transactions committed on the server.
-    pub commits: u64,
-    /// Full scheduler-side metrics (what `rounds`/`requests_scheduled`
-    /// summarise), so sharded deployments can merge per-shard reports.
-    pub scheduler: crate::metrics::SchedulerMetrics,
+    /// Full scheduler-side metrics (rounds, requests scheduled, rule
+    /// timings), mergeable across sharded deployments.
+    pub scheduler: SchedulerMetrics,
+    /// The dispatcher's totals (reads/writes/commits/aborts executed).
+    pub dispatch: DispatchReport,
+    /// Every request executed on the server, in execution order — the
+    /// basis for cross-backend admission-order comparisons.
+    pub executed_log: Vec<Request>,
+    /// Final value of every benchmark-table row (index = row key), so
+    /// final-state equivalence can be checked without reaching into the
+    /// scheduler thread's engine.
+    pub final_rows: Vec<i64>,
+    /// Wall-clock duration from start to shutdown.
+    pub wall: Duration,
 }
 
 /// The control instance: owns the scheduler thread.
@@ -134,13 +166,29 @@ impl Middleware {
         table: impl Into<String>,
         rows: usize,
     ) -> SchedResult<Self> {
+        Self::start_with_aux(policy, config, table, rows, Vec::new())
+    }
+
+    /// Like [`Middleware::start`], additionally registering auxiliary
+    /// relations (e.g. `object_class` for consistency rationing) with the
+    /// scheduler so aux-joining protocols work through the middleware.
+    pub fn start_with_aux(
+        policy: impl Into<SchedulingPolicy>,
+        config: SchedulerConfig,
+        table: impl Into<String>,
+        rows: usize,
+        aux_relations: Vec<relalg::Table>,
+    ) -> SchedResult<Self> {
         let table = table.into();
         let dispatcher = Dispatcher::new(table.clone(), rows)?;
-        let scheduler = DeclarativeScheduler::new(policy, config);
+        let mut scheduler = DeclarativeScheduler::new(policy, config);
+        for aux in aux_relations {
+            scheduler.register_aux_relation(aux);
+        }
         let (sender, receiver) = unbounded::<ControlMessage>();
         let handle = std::thread::Builder::new()
             .name("declsched-scheduler".to_string())
-            .spawn(move || scheduler_loop(scheduler, dispatcher, receiver))
+            .spawn(move || scheduler_loop(scheduler, dispatcher, receiver, rows))
             .expect("spawning the scheduler thread cannot fail");
         Ok(Middleware { sender, handle })
     }
@@ -151,6 +199,11 @@ impl Middleware {
         ClientHandle {
             sender: self.sender.clone(),
         }
+    }
+
+    /// Submit a transaction without connecting a dedicated client handle.
+    pub fn submit_transaction(&self, requests: Vec<Request>) -> SchedResult<TxnTicket> {
+        self.connect().submit_transaction(requests)
     }
 
     /// Shut down: tell the scheduler thread to drain what is pending, wait
@@ -165,16 +218,133 @@ impl Middleware {
     }
 }
 
+/// A client transaction waiting for its requests to execute.
+struct Ticket {
+    /// Request keys of this transaction still registered in `waiting`.
+    remaining: usize,
+    /// Taken by the first terminal outcome (all-executed or first failure).
+    reply: Option<Sender<SchedResult<()>>>,
+}
+
+/// Ticket table of the scheduler thread: transactions in flight, keyed by
+/// the request keys still owed to them.  Vacated slots are recycled
+/// through a free list, so memory stays bounded by in-flight transactions
+/// rather than growing with the middleware's lifetime.
+#[derive(Default)]
+struct Tickets {
+    slots: Vec<Option<Ticket>>,
+    free: Vec<usize>,
+    waiting: HashMap<RequestKey, usize>,
+}
+
+impl Tickets {
+    /// Accept a transaction: validate duplicate keys, then register every
+    /// request against a fresh ticket.  Returns the requests on success, or
+    /// replies with the failure and returns `None`.
+    fn accept(
+        &mut self,
+        requests: Vec<Request>,
+        reply: Sender<SchedResult<()>>,
+    ) -> Option<Vec<Request>> {
+        if requests.is_empty() {
+            let _ = reply.send(Ok(()));
+            return None;
+        }
+        // Validate the whole batch before touching any state: a duplicate
+        // (ta, intra) — within the batch or against an in-flight ticket —
+        // would make both submissions unaccountable.
+        let mut batch_keys = HashSet::with_capacity(requests.len());
+        for request in &requests {
+            let key = request.key();
+            if self.waiting.contains_key(&key) || !batch_keys.insert(key) {
+                let _ = reply.send(Err(SchedError::Dispatch {
+                    message: format!(
+                        "duplicate request key T{}[{}] submitted to the scheduler",
+                        key.ta, key.intra
+                    ),
+                }));
+                return None;
+            }
+        }
+        let ticket = Ticket {
+            remaining: requests.len(),
+            reply: Some(reply),
+        };
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.slots[index] = Some(ticket);
+                index
+            }
+            None => {
+                self.slots.push(Some(ticket));
+                self.slots.len() - 1
+            }
+        };
+        for request in &requests {
+            self.waiting.insert(request.key(), index);
+        }
+        Some(requests)
+    }
+
+    /// Resolve one executed (or failed) request against its ticket.  The
+    /// slot is vacated only once *every* key of the transaction has
+    /// resolved, so later keys of an already-failed transaction can never
+    /// hit a recycled slot.
+    fn resolve(&mut self, key: RequestKey, result: SchedResult<()>) {
+        let Some(index) = self.waiting.remove(&key) else {
+            return;
+        };
+        let Some(ticket) = self.slots[index].as_mut() else {
+            return;
+        };
+        ticket.remaining -= 1;
+        match result {
+            Ok(()) => {
+                if ticket.remaining == 0 {
+                    if let Some(reply) = ticket.reply.take() {
+                        let _ = reply.send(Ok(()));
+                    }
+                }
+            }
+            Err(e) => {
+                if let Some(reply) = ticket.reply.take() {
+                    let _ = reply.send(Err(e));
+                }
+            }
+        }
+        if ticket.remaining == 0 {
+            self.slots[index] = None;
+            self.free.push(index);
+        }
+    }
+
+    /// Fail every transaction still waiting (shutdown fixpoint or rule
+    /// failure).
+    fn fail_all(&mut self, err: impl Fn(RequestKey) -> SchedError) {
+        let waiting: Vec<(RequestKey, usize)> = self.waiting.drain().collect();
+        for (key, index) in waiting {
+            if let Some(ticket) = self.slots[index].as_mut() {
+                if let Some(reply) = ticket.reply.take() {
+                    let _ = reply.send(Err(err(key)));
+                }
+            }
+        }
+        // Nothing is waiting any more: every slot is vacant.
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
 /// The scheduler thread body.
 fn scheduler_loop(
     mut scheduler: DeclarativeScheduler,
     mut dispatcher: Dispatcher,
     receiver: Receiver<ControlMessage>,
+    rows: usize,
 ) -> MiddlewareReport {
     let started = Instant::now();
-    // Replies waiting for their request (keyed by (ta, intra)) to execute.
-    let mut waiting_replies: Vec<(crate::request::RequestKey, Sender<SchedResult<()>>)> =
-        Vec::new();
+    let mut tickets = Tickets::default();
+    let mut executed_log: Vec<Request> = Vec::new();
     let mut disconnected = false;
 
     loop {
@@ -184,8 +354,12 @@ fn scheduler_loop(
             Ok(first) => {
                 let now_ms = started.elapsed().as_millis() as u64;
                 let mut handle = |msg: ControlMessage, disconnected: &mut bool| match msg {
-                    ControlMessage::Request(msg) => {
-                        enqueue(&mut scheduler, msg, &mut waiting_replies, now_ms)
+                    ControlMessage::Txn(msg) => {
+                        if let Some(requests) = tickets.accept(msg.requests, msg.reply) {
+                            for request in requests {
+                                scheduler.submit(request, now_ms);
+                            }
+                        }
                     }
                     ControlMessage::Shutdown => *disconnected = true,
                 };
@@ -221,21 +395,24 @@ fn scheduler_loop(
                         // the rule admits nothing more (e.g. a client went
                         // away without committing).  Fail the stragglers
                         // instead of spinning forever.
-                        for (key, reply) in waiting_replies.drain(..) {
-                            let _ = reply.send(Err(SchedError::TransactionFinished { ta: key.ta }));
-                        }
+                        tickets.fail_all(|key| SchedError::TransactionFinished { ta: key.ta });
                         break;
                     }
                     for request in &batch.requests {
                         let result = dispatcher.execute_request(request);
-                        reply_to(&mut waiting_replies, request, result);
+                        executed_log.push(request.clone());
+                        tickets.resolve(request.key(), result);
                     }
                 }
                 Err(e) => {
                     // A rule failure fails every waiting client rather than
                     // hanging them.
-                    for (_, reply) in waiting_replies.drain(..) {
-                        let _ = reply.send(Err(e.clone()));
+                    let err = e.clone();
+                    tickets.fail_all(|_| err.clone());
+                    if disconnected {
+                        // The drain loop cannot make progress if the rule
+                        // keeps erroring, so stop instead of spinning.
+                        break;
                     }
                 }
             }
@@ -246,40 +423,12 @@ fn scheduler_loop(
         }
     }
 
-    let metrics = scheduler.metrics();
-    let totals = dispatcher.totals();
     MiddlewareReport {
-        rounds: metrics.rounds,
-        requests_scheduled: metrics.requests_scheduled,
-        executed: totals.executed,
-        commits: totals.commits,
-        scheduler: metrics,
-    }
-}
-
-fn enqueue(
-    scheduler: &mut DeclarativeScheduler,
-    msg: ClientMessage,
-    waiting: &mut Vec<(crate::request::RequestKey, Sender<SchedResult<()>>)>,
-    now_ms: u64,
-) {
-    let mut request = Request::from_statement(0, &msg.statement);
-    if let Some(sla) = msg.sla {
-        request = request.with_sla(sla);
-    }
-    let key = request.key();
-    scheduler.submit(request, now_ms);
-    waiting.push((key, msg.reply));
-}
-
-fn reply_to(
-    waiting: &mut Vec<(crate::request::RequestKey, Sender<SchedResult<()>>)>,
-    request: &Request,
-    result: SchedResult<()>,
-) {
-    if let Some(pos) = waiting.iter().position(|(key, _)| *key == request.key()) {
-        let (_, reply) = waiting.swap_remove(pos);
-        let _ = reply.send(result);
+        scheduler: scheduler.metrics(),
+        dispatch: dispatcher.totals(),
+        executed_log,
+        final_rows: dispatcher.final_rows(rows),
+        wall: started.elapsed(),
     }
 }
 
@@ -287,6 +436,7 @@ fn reply_to(
 mod tests {
     use super::*;
     use crate::protocol::{Protocol, ProtocolKind};
+    use crate::request::SlaMeta;
     use crate::trigger::TriggerPolicy;
     use txnstore::TxnId;
 
@@ -311,19 +461,30 @@ mod tests {
         .unwrap();
         let client = mw.connect();
         client
-            .execute(Statement::select(TxnId(1), 0, "bench", 5))
+            .submit_transaction(vec![Request::read(0, 1, 0, 5)])
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut write = Request::write(0, 1, 1, 5);
+        write.write_value = Some(relalg::Value::Int(42));
+        client
+            .submit_transaction(vec![write])
+            .unwrap()
+            .wait()
             .unwrap();
         client
-            .execute(Statement::update(TxnId(1), 1, "bench", 5, 42))
-            .unwrap();
-        client
-            .execute(Statement::commit(TxnId(1), 2, "bench"))
+            .submit_transaction(vec![Request::commit(0, 1, 2)])
+            .unwrap()
+            .wait()
             .unwrap();
         let report = mw.shutdown();
-        assert_eq!(report.executed, 2);
-        assert_eq!(report.commits, 1);
-        assert!(report.rounds >= 1);
-        assert_eq!(report.requests_scheduled, 3);
+        assert_eq!(report.dispatch.executed, 2);
+        assert_eq!(report.dispatch.commits, 1);
+        assert!(report.scheduler.rounds >= 1);
+        assert_eq!(report.scheduler.requests_scheduled, 3);
+        assert_eq!(report.executed_log.len(), 3);
+        assert_eq!(report.final_rows.len(), 100);
+        assert_eq!(report.final_rows[5], 42);
     }
 
     #[test]
@@ -342,10 +503,12 @@ mod tests {
                 // Every client touches the same row 3, forcing the
                 // declarative rule to serialise them.
                 client
-                    .execute(Statement::update(TxnId(ta), 0, "bench", 3, ta as i64))
-                    .unwrap();
-                client
-                    .execute(Statement::commit(TxnId(ta), 1, "bench"))
+                    .submit_transaction(vec![
+                        Request::write(0, ta, 0, 3),
+                        Request::commit(0, ta, 1),
+                    ])
+                    .unwrap()
+                    .wait()
                     .unwrap();
             }));
         }
@@ -353,12 +516,146 @@ mod tests {
             j.join().unwrap();
         }
         let report = mw.shutdown();
-        assert_eq!(report.executed, 4);
-        assert_eq!(report.commits, 4);
+        assert_eq!(report.dispatch.executed, 4);
+        assert_eq!(report.dispatch.commits, 4);
     }
 
     #[test]
-    fn transaction_granularity_submission_round_trips() {
+    fn pipelined_submission_keeps_many_transactions_in_flight() {
+        let mw = Middleware::start(
+            Protocol::algebra(ProtocolKind::Ss2pl),
+            config(),
+            "bench",
+            100,
+        )
+        .unwrap();
+        let client = mw.connect();
+        // 32 transactions in flight from one thread before any wait.
+        let tickets: Vec<TxnTicket> = (1..=32u64)
+            .map(|ta| {
+                client
+                    .submit_transaction(vec![
+                        Request::write(0, ta, 0, ta as i64),
+                        Request::commit(0, ta, 1),
+                    ])
+                    .unwrap()
+            })
+            .collect();
+        // Wait out of submission order: reverse.
+        for ticket in tickets.into_iter().rev() {
+            ticket.wait().unwrap();
+        }
+        let report = mw.shutdown();
+        assert_eq!(report.dispatch.commits, 32);
+        assert_eq!(report.dispatch.executed, 32);
+    }
+
+    #[test]
+    fn sla_metadata_travels_with_transaction_submissions() {
+        // Regression for the old `execute_transaction` silently dropping SLA
+        // metadata: with the SLA-priority protocol, a premium transaction
+        // submitted *after* a free one must be dispatched first when both
+        // land in the same round — which can only happen if the scheduler's
+        // `sla` relation actually saw the metadata.
+        let mw = Middleware::start(
+            Protocol::algebra(ProtocolKind::SlaPriority),
+            SchedulerConfig {
+                trigger: TriggerPolicy::Hybrid {
+                    interval_ms: 40,
+                    threshold: 64,
+                },
+                ..SchedulerConfig::default()
+            },
+            "bench",
+            100,
+        )
+        .unwrap();
+        let client = mw.connect();
+        let free = Request::read(0, 1, 0, 1).with_sla(SlaMeta {
+            priority: 1,
+            class: "free",
+            arrival_ms: 0,
+            deadline_ms: 1_000,
+        });
+        let premium = Request::read(0, 2, 0, 2).with_sla(SlaMeta {
+            priority: 3,
+            class: "premium",
+            arrival_ms: 0,
+            deadline_ms: 50,
+        });
+        let t_free = client.submit_transaction(vec![free]).unwrap();
+        let t_premium = client.submit_transaction(vec![premium]).unwrap();
+        t_free.wait().unwrap();
+        t_premium.wait().unwrap();
+        let report = mw.shutdown();
+        let order: Vec<u64> = report.executed_log.iter().map(|r| r.ta).collect();
+        assert_eq!(
+            order,
+            vec![2, 1],
+            "premium (T2) must be dispatched before free (T1)"
+        );
+    }
+
+    #[test]
+    fn duplicate_request_keys_are_rejected() {
+        let mw = Middleware::start(
+            Protocol::algebra(ProtocolKind::Ss2pl),
+            SchedulerConfig {
+                trigger: TriggerPolicy::FillLevel { threshold: 1_000 },
+                ..SchedulerConfig::default()
+            },
+            "bench",
+            100,
+        )
+        .unwrap();
+        let client = mw.connect();
+        let err = client
+            .submit_transaction(vec![Request::write(0, 1, 0, 3), Request::write(0, 1, 0, 3)])
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate request key"));
+        // Against an in-flight (still queued) ticket.
+        let held = client
+            .submit_transaction(vec![Request::write(0, 2, 0, 4), Request::commit(0, 2, 1)])
+            .unwrap();
+        let err = client
+            .submit_transaction(vec![Request::write(0, 2, 0, 4)])
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate request key"));
+        let report = mw.shutdown();
+        held.wait().unwrap();
+        assert_eq!(report.dispatch.commits, 1);
+    }
+
+    #[test]
+    fn dropping_tickets_does_not_wedge_the_scheduler() {
+        let mw = Middleware::start(
+            Protocol::algebra(ProtocolKind::Ss2pl),
+            config(),
+            "bench",
+            100,
+        )
+        .unwrap();
+        let client = mw.connect();
+        for ta in 1..=8u64 {
+            // Submit and immediately drop the ticket.
+            let _ = client
+                .submit_transaction(vec![
+                    Request::write(0, ta, 0, ta as i64),
+                    Request::commit(0, ta, 1),
+                ])
+                .unwrap();
+        }
+        let report = mw.shutdown();
+        assert_eq!(report.dispatch.commits, 8);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_execute_shims_still_round_trip() {
         let mw = Middleware::start(
             Protocol::algebra(ProtocolKind::Ss2pl),
             config(),
@@ -368,15 +665,17 @@ mod tests {
         .unwrap();
         let client = mw.connect();
         client
+            .execute(Statement::select(TxnId(1), 0, "bench", 5))
+            .unwrap();
+        client
             .execute_transaction(vec![
-                Statement::select(TxnId(1), 0, "bench", 5),
                 Statement::update(TxnId(1), 1, "bench", 5, 42),
                 Statement::commit(TxnId(1), 2, "bench"),
             ])
             .unwrap();
         let report = mw.shutdown();
-        assert_eq!(report.executed, 2);
-        assert_eq!(report.commits, 1);
+        assert_eq!(report.dispatch.executed, 2);
+        assert_eq!(report.dispatch.commits, 1);
         assert_eq!(report.scheduler.requests_scheduled, 3);
         assert_eq!(report.scheduler.requests_submitted, 3);
     }
@@ -386,7 +685,8 @@ mod tests {
         let mw = Middleware::start(Protocol::datalog(ProtocolKind::Fcfs), config(), "bench", 10)
             .unwrap();
         let report = mw.shutdown();
-        assert_eq!(report.executed, 0);
-        assert_eq!(report.rounds, 0);
+        assert_eq!(report.dispatch.executed, 0);
+        assert_eq!(report.scheduler.rounds, 0);
+        assert!(report.executed_log.is_empty());
     }
 }

@@ -1,0 +1,61 @@
+//! The [`Backend`] trait: what a deployment must provide to serve
+//! [`crate::Session`]s.
+
+use crate::report::Report;
+use crossbeam::channel::Receiver;
+use declsched::{Request, SchedResult};
+use std::fmt;
+
+/// Which deployment a [`crate::Scheduler`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The paper's single-scheduler middleware (one declarative rule over
+    /// one global pending/history relation pair).
+    Unsharded,
+    /// The shard router fleet: N schedulers over hash-partitioned
+    /// relations, with a serialized escalation lane for spanning
+    /// transactions.
+    Sharded,
+    /// Non-scheduling passthrough: requests forwarded to a server with its
+    /// native lock-based scheduler enabled (the paper's overhead baseline).
+    Passthrough,
+}
+
+impl BackendKind {
+    /// Stable label used in reports and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Unsharded => "unsharded",
+            BackendKind::Sharded => "sharded",
+            BackendKind::Passthrough => "passthrough",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A running scheduler deployment that [`crate::Session`]s submit to.
+///
+/// All three shipped deployments (unsharded middleware, shard router fleet,
+/// passthrough) implement this; custom backends only need the same two
+/// operations.  `submit` must not block on transaction *execution* — it
+/// returns a completion channel that fires exactly once, which is what
+/// makes pipelined submission possible.
+pub trait Backend: Send + Sync {
+    /// Which deployment this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Accept one whole transaction (requests in intra order, SLA metadata
+    /// intact) and return its completion channel.  The channel receives
+    /// exactly one message once every request has executed (or failed).
+    fn submit(&self, requests: Vec<Request>) -> SchedResult<Receiver<SchedResult<()>>>;
+
+    /// Drain outstanding work, stop the deployment and return the unified
+    /// report.  The first call wins; later calls (and later submissions)
+    /// fail with [`declsched::SchedError::BackendShutdown`].
+    fn shutdown(&self) -> SchedResult<Report>;
+}

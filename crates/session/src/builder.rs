@@ -1,0 +1,280 @@
+//! The deployment entry point: [`Scheduler::builder`].
+
+use crate::backend::{Backend, BackendKind};
+use crate::passthrough::PassthroughBackend;
+use crate::report::Report;
+use crate::sess::Session;
+use crate::sharded::ShardedBackend;
+use crate::unsharded::UnshardedBackend;
+use declsched::protocol::SchedulingPolicy;
+use declsched::{Middleware, Protocol, ProtocolKind, SchedResult, SchedulerConfig};
+use relalg::Table;
+use shard::{ShardConfig, ShardedMiddleware};
+use std::sync::Arc;
+
+/// Which deployment the builder will start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Topology {
+    Unsharded,
+    Sharded(usize),
+    Passthrough,
+}
+
+/// Configures and starts a scheduler deployment.
+///
+/// Defaults: the paper's SS2PL protocol on the relational-algebra back-end,
+/// default [`SchedulerConfig`], a 10 000-row `bench` table, unsharded.
+pub struct SchedulerBuilder {
+    policy: SchedulingPolicy,
+    config: SchedulerConfig,
+    table: String,
+    rows: usize,
+    topology: Topology,
+    aux_relations: Vec<Table>,
+}
+
+impl SchedulerBuilder {
+    fn new() -> Self {
+        SchedulerBuilder {
+            policy: Protocol::algebra(ProtocolKind::Ss2pl).into(),
+            config: SchedulerConfig::default(),
+            table: "bench".to_string(),
+            rows: 10_000,
+            topology: Topology::Unsharded,
+            aux_relations: Vec::new(),
+        }
+    }
+
+    /// The declarative scheduling policy (a [`declsched::Protocol`], an
+    /// [`declsched::AdaptiveProtocol`], or anything convertible).  Ignored
+    /// in passthrough mode, where the server's native scheduler decides.
+    pub fn policy(mut self, policy: impl Into<SchedulingPolicy>) -> Self {
+        self.policy = policy.into();
+        self
+    }
+
+    /// The scheduler configuration (trigger, history pruning, intra-order
+    /// enforcement), applied to every scheduler the deployment runs.
+    pub fn scheduler_config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Name and size of the benchmark table the server(s) serve.
+    pub fn table(mut self, table: impl Into<String>, rows: usize) -> Self {
+        self.table = table.into();
+        self.rows = rows;
+        self
+    }
+
+    /// Deploy the paper's single-scheduler middleware (the default).
+    pub fn unsharded(mut self) -> Self {
+        self.topology = Topology::Unsharded;
+        self
+    }
+
+    /// Deploy the shard router fleet with `shards` worker shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.topology = Topology::Sharded(shards.max(1));
+        self
+    }
+
+    /// Deploy the non-scheduling passthrough (native server locking) — the
+    /// paper's overhead baseline.
+    pub fn passthrough(mut self) -> Self {
+        self.topology = Topology::Passthrough;
+        self
+    }
+
+    /// Register an auxiliary relation (e.g. `object_class` for consistency
+    /// rationing) with every scheduler of the deployment.
+    pub fn aux_relation(mut self, table: Table) -> Self {
+        self.aux_relations.push(table);
+        self
+    }
+
+    /// Start the deployment.
+    pub fn build(self) -> SchedResult<Scheduler> {
+        let backend: Arc<dyn Backend> = match self.topology {
+            Topology::Unsharded => Arc::new(UnshardedBackend::new(Middleware::start_with_aux(
+                self.policy,
+                self.config,
+                self.table,
+                self.rows,
+                self.aux_relations,
+            )?)),
+            Topology::Sharded(shards) => {
+                let mut config = ShardConfig::new(shards, self.policy)
+                    .with_scheduler(self.config)
+                    .with_table(self.table, self.rows);
+                for aux in self.aux_relations {
+                    config = config.with_aux_relation(aux);
+                }
+                Arc::new(ShardedBackend::new(ShardedMiddleware::with_config(config)?))
+            }
+            Topology::Passthrough => Arc::new(PassthroughBackend::start(self.table, self.rows)?),
+        };
+        Ok(Scheduler { backend })
+    }
+}
+
+/// A running scheduler deployment — the unified control instance clients
+/// connect to, whatever topology sits behind it.
+pub struct Scheduler {
+    backend: Arc<dyn Backend>,
+}
+
+impl Scheduler {
+    /// Start configuring a deployment.
+    pub fn builder() -> SchedulerBuilder {
+        SchedulerBuilder::new()
+    }
+
+    /// Wrap a custom [`Backend`] (the three shipped deployments come from
+    /// [`Scheduler::builder`]).
+    pub fn from_backend(backend: Arc<dyn Backend>) -> Self {
+        Scheduler { backend }
+    }
+
+    /// Which deployment this is.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Connect a new client session (the control instance "creates a
+    /// separate client worker for each connected client").
+    pub fn connect(&self) -> Session {
+        Session::new(Arc::clone(&self.backend))
+    }
+
+    /// Drain outstanding work, stop the deployment and return the unified
+    /// [`Report`].  Transactions submitted through still-alive sessions
+    /// after this call fail with a channel error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend was already shut down — only reachable when
+    /// the same backend `Arc` was wrapped into several schedulers via
+    /// [`Scheduler::from_backend`]; use [`Scheduler::try_shutdown`] there.
+    pub fn shutdown(self) -> Report {
+        self.try_shutdown()
+            .expect("backend already shut down through another handle — use try_shutdown when sharing a backend")
+    }
+
+    /// Like [`Scheduler::shutdown`], but surfaces
+    /// [`declsched::SchedError::BackendShutdown`] instead of panicking when
+    /// another handle over the same backend shut it down first.
+    pub fn try_shutdown(self) -> SchedResult<Report> {
+        self.backend.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::Txn;
+    use declsched::{SchedError, TriggerPolicy};
+
+    fn builder() -> SchedulerBuilder {
+        Scheduler::builder()
+            .table("bench", 256)
+            .scheduler_config(SchedulerConfig {
+                trigger: TriggerPolicy::Hybrid {
+                    interval_ms: 1,
+                    threshold: 8,
+                },
+                ..SchedulerConfig::default()
+            })
+    }
+
+    fn drive(scheduler: Scheduler) -> Report {
+        let mut session = scheduler.connect();
+        let tickets: Vec<_> = (1..=6u64)
+            .map(|ta| {
+                session
+                    .submit(Txn::new(ta).write(ta as i64, ta as i64 * 10).commit())
+                    .unwrap()
+            })
+            .collect();
+        // Out-of-order wait on half; drain settles the rest.
+        for ticket in tickets.into_iter().rev().take(3) {
+            let receipt = ticket.wait().unwrap();
+            assert_eq!(receipt.statements, 2);
+        }
+        assert!(session.in_flight() <= 3);
+        session.drain().unwrap();
+        assert_eq!(session.in_flight(), 0);
+        scheduler.shutdown()
+    }
+
+    #[test]
+    fn unsharded_backend_round_trips() {
+        let report = drive(builder().build().unwrap());
+        assert_eq!(report.backend, BackendKind::Unsharded);
+        assert_eq!(report.transactions, 6);
+        assert_eq!(report.dispatch.commits, 6);
+        assert_eq!(report.dispatch.writes, 6);
+        assert!(report.rounds >= 1);
+        assert_eq!(report.final_rows[3], 30);
+        assert!(report.sharded.is_none() && report.server.is_none());
+    }
+
+    #[test]
+    fn sharded_backend_round_trips() {
+        let report = drive(builder().shards(3).build().unwrap());
+        assert_eq!(report.backend, BackendKind::Sharded);
+        assert_eq!(report.transactions, 6);
+        assert_eq!(report.dispatch.commits, 6);
+        let detail = report.sharded.as_ref().expect("sharded detail");
+        assert_eq!(detail.shards, 3);
+        assert_eq!(detail.cross_shard_transactions, 0);
+        assert_eq!(report.final_rows[3], 30);
+    }
+
+    #[test]
+    fn passthrough_backend_round_trips() {
+        let report = drive(builder().passthrough().build().unwrap());
+        assert_eq!(report.backend, BackendKind::Passthrough);
+        assert_eq!(report.transactions, 6);
+        assert_eq!(report.dispatch.commits, 6);
+        assert_eq!(report.rounds, 0, "passthrough never runs a rule round");
+        let server = report.server.expect("native engine metrics");
+        assert_eq!(server.commits, 6);
+        assert_eq!(report.final_rows[3], 30);
+    }
+
+    #[test]
+    fn passthrough_blocks_and_retries_conflicting_pipelined_transactions() {
+        // T1 takes a native write lock and commits only via a later
+        // submission; T2 (pipelined behind it) must block on the server and
+        // still complete once T1's terminal arrives.
+        let scheduler = builder().passthrough().build().unwrap();
+        let mut session = scheduler.connect();
+        let hold = session.submit(Txn::new(1).write(7, 1)).unwrap();
+        let blocked = session.submit(Txn::new(2).write(7, 2).commit()).unwrap();
+        hold.wait().unwrap();
+        let commit = session.submit(Txn::resume(1, 1).commit()).unwrap();
+        commit.wait().unwrap();
+        blocked.wait().unwrap();
+        let report = scheduler.shutdown();
+        assert_eq!(report.dispatch.commits, 2);
+        let server = report.server.expect("native engine metrics");
+        assert!(server.lock_waits >= 1, "the server must have blocked T2");
+        assert_eq!(report.final_rows[7], 2);
+        // Admission order on the contested object: T1's write before T2's.
+        let order: Vec<u64> = report.object_order(7).iter().map(|o| o.0).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn double_shutdown_is_rejected_at_the_backend() {
+        let scheduler = builder().build().unwrap();
+        let backend = Arc::clone(&scheduler.backend);
+        let _ = scheduler.shutdown();
+        let err = backend.shutdown().unwrap_err();
+        assert!(matches!(err, SchedError::BackendShutdown { .. }));
+        // Submissions after shutdown fail instead of hanging.
+        let err = backend.submit(vec![]).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SchedError::ChannelClosed { .. }));
+    }
+}

@@ -1,0 +1,151 @@
+//! The unified run report, replacing the per-deployment
+//! `MiddlewareReport` / `ShardedReport` pair at the client surface.
+
+use crate::backend::BackendKind;
+use declsched::{shard_of, DispatchReport, MiddlewareReport, Request, SchedulerMetrics};
+use shard::{EscalationStats, ShardReport, ShardedReport};
+use std::time::Duration;
+use txnstore::EngineMetrics;
+
+/// Sharded-deployment detail embedded in a [`Report`].
+#[derive(Debug, Clone)]
+pub struct ShardedDetail {
+    /// Number of shards.
+    pub shards: usize,
+    /// Transactions that took the serialized escalation lane.
+    pub cross_shard_transactions: u64,
+    /// Escalation-lane counters.
+    pub escalation: EscalationStats,
+    /// Peak pending-relation size over all shards.
+    pub peak_pending: usize,
+    /// The raw per-shard reports (index = shard id).
+    pub reports: Vec<ShardReport>,
+}
+
+/// Summary of a whole run, identical in shape for every backend so
+/// deployments can be compared apples-to-apples from one scenario
+/// definition.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Which deployment produced this report.
+    pub backend: BackendKind,
+    /// Transactions submitted through sessions.
+    pub transactions: u64,
+    /// Scheduling rounds executed (0 in passthrough mode).
+    pub rounds: u64,
+    /// Merged scheduler-side metrics (zeroed in passthrough mode).
+    pub scheduler: SchedulerMetrics,
+    /// Server-side execution totals.  Note that a sharded deployment
+    /// commits a spanning transaction once on *every* touched engine.
+    pub dispatch: DispatchReport,
+    /// Every request executed, in execution order (per shard concatenated
+    /// for sharded runs — an object lives on exactly one shard, so
+    /// per-object order is total).
+    pub executed_log: Vec<Request>,
+    /// Final value of every benchmark-table row (index = row key; merged
+    /// by home shard for sharded runs).
+    pub final_rows: Vec<i64>,
+    /// Sharded-deployment detail, when the backend is sharded.
+    pub sharded: Option<ShardedDetail>,
+    /// The server's native scheduler metrics (lock waits, deadlocks), when
+    /// the backend is passthrough.
+    pub server: Option<EngineMetrics>,
+    /// Wall-clock duration from backend start to shutdown.
+    pub wall: Duration,
+}
+
+impl Report {
+    /// Committed transactions per wall-clock second.
+    pub fn commits_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.dispatch.commits as f64 / secs
+        }
+    }
+
+    /// Executed requests (data statements + terminals) per wall-clock
+    /// second.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.executed_log.len() as f64 / secs
+        }
+    }
+
+    /// The per-object execution order of data operations:
+    /// `(ta, intra, is_write)` triples for `object`, in execution order.
+    /// This is the admission-order view cross-backend equivalence tests
+    /// compare.
+    pub fn object_order(&self, object: i64) -> Vec<(u64, u32, bool)> {
+        self.executed_log
+            .iter()
+            .filter(|r| r.op.is_data() && r.object == object)
+            .map(|r| (r.ta, r.intra, r.op == declsched::Operation::Write))
+            .collect()
+    }
+
+    pub(crate) fn from_unsharded(report: MiddlewareReport, transactions: u64) -> Self {
+        Report {
+            backend: BackendKind::Unsharded,
+            transactions,
+            rounds: report.scheduler.rounds,
+            scheduler: report.scheduler,
+            dispatch: report.dispatch,
+            executed_log: report.executed_log,
+            final_rows: report.final_rows,
+            sharded: None,
+            server: None,
+            wall: report.wall,
+        }
+    }
+
+    pub(crate) fn from_sharded(report: ShardedReport) -> Self {
+        let metrics = &report.metrics;
+        let shards = metrics.shards.max(1);
+        // Merge final rows by home shard: the router guarantees an object
+        // is only ever written through its home shard's engine.
+        let rows = report
+            .shards
+            .iter()
+            .map(|s| s.final_rows.len())
+            .max()
+            .unwrap_or(0);
+        let final_rows: Vec<i64> = (0..rows)
+            .map(|row| {
+                let home = shard_of(row as i64, shards);
+                report
+                    .shards
+                    .get(home)
+                    .and_then(|s| s.final_rows.get(row).copied())
+                    .unwrap_or(0)
+            })
+            .collect();
+        let executed_log: Vec<Request> = report
+            .shards
+            .iter()
+            .flat_map(|s| s.executed_log.iter().cloned())
+            .collect();
+        Report {
+            backend: BackendKind::Sharded,
+            transactions: metrics.transactions,
+            rounds: metrics.merged.rounds,
+            scheduler: metrics.merged,
+            dispatch: metrics.dispatch,
+            executed_log,
+            final_rows,
+            sharded: Some(ShardedDetail {
+                shards,
+                cross_shard_transactions: metrics.cross_shard_transactions,
+                escalation: metrics.escalation,
+                peak_pending: metrics.peak_pending,
+                reports: report.shards,
+            }),
+            server: None,
+            wall: metrics.wall,
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The per-client session: pipelined transaction submission.
+
+use crate::backend::Backend;
+use crate::ticket::{Ticket, TicketCell, TxnReceipt};
+use crate::txn::Txn;
+use declsched::{Request, SchedResult};
+use std::sync::Arc;
+
+/// One connected client's view of a scheduler deployment.
+///
+/// Sessions are cheap; connect one per client thread.  Submission is
+/// nonblocking — [`Session::submit`] returns a [`Ticket`] immediately, so
+/// a single session can keep dozens of transactions in flight and await
+/// them in any order (or not at all: [`Session::drain`] settles whatever
+/// is still outstanding).
+pub struct Session {
+    backend: Arc<dyn Backend>,
+    inflight: Vec<Arc<TicketCell>>,
+}
+
+impl Session {
+    pub(crate) fn new(backend: Arc<dyn Backend>) -> Self {
+        Session {
+            backend,
+            inflight: Vec::new(),
+        }
+    }
+
+    /// Submit a transaction without waiting for it to execute.
+    pub fn submit(&mut self, txn: Txn) -> SchedResult<Ticket> {
+        let ta = txn.ta();
+        self.submit_raw(ta, txn.into_requests())
+    }
+
+    /// Submit pre-built requests (one transaction, intra order) without
+    /// waiting — the escape hatch for generated workloads that already
+    /// carry request rows.
+    pub fn submit_requests(&mut self, requests: Vec<Request>) -> SchedResult<Ticket> {
+        let ta = requests.first().map(|r| r.ta).unwrap_or(0);
+        self.submit_raw(ta, requests)
+    }
+
+    fn submit_raw(&mut self, ta: u64, requests: Vec<Request>) -> SchedResult<Ticket> {
+        let statements = requests.len();
+        let rx = self.backend.submit(requests)?;
+        let cell = TicketCell::new(ta, statements, rx);
+        self.inflight.push(Arc::clone(&cell));
+        Ok(Ticket::new(cell))
+    }
+
+    /// Submit a transaction and block until it has fully executed — the
+    /// one-at-a-time convenience path.
+    pub fn execute(&mut self, txn: Txn) -> SchedResult<TxnReceipt> {
+        self.submit(txn)?.wait()
+    }
+
+    /// Block until every transaction this session still has in flight has
+    /// executed.  Returns the first failure (after settling the rest), so
+    /// a dropped [`Ticket`] can never hide an error.
+    pub fn drain(&mut self) -> SchedResult<()> {
+        let mut first_error = None;
+        for cell in self.inflight.drain(..) {
+            if let Err(e) = cell.wait() {
+                first_error.get_or_insert(e);
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Number of transactions submitted through this session whose result
+    /// has not been observed yet (by [`Ticket::wait`] or
+    /// [`Session::drain`]).
+    pub fn in_flight(&mut self) -> usize {
+        self.inflight.retain(|cell| !cell.resolved());
+        self.inflight.len()
+    }
+}

@@ -1,0 +1,44 @@
+//! [`Backend`] over the shard router fleet.
+
+use crate::backend::{Backend, BackendKind};
+use crate::report::Report;
+use crossbeam::channel::Receiver;
+use declsched::{Request, SchedError, SchedResult};
+use shard::{ShardedClientHandle, ShardedMiddleware};
+use std::sync::Mutex;
+
+pub(crate) struct ShardedBackend {
+    /// Submission side: routes directly through the shared router core.
+    handle: ShardedClientHandle,
+    /// Ownership side: consumed by the first shutdown.
+    middleware: Mutex<Option<ShardedMiddleware>>,
+}
+
+impl ShardedBackend {
+    pub(crate) fn new(middleware: ShardedMiddleware) -> Self {
+        ShardedBackend {
+            handle: middleware.connect(),
+            middleware: Mutex::new(Some(middleware)),
+        }
+    }
+}
+
+impl Backend for ShardedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sharded
+    }
+
+    fn submit(&self, requests: Vec<Request>) -> SchedResult<Receiver<SchedResult<()>>> {
+        Ok(self.handle.submit_transaction(requests)?.into_receiver())
+    }
+
+    fn shutdown(&self) -> SchedResult<Report> {
+        let middleware = self
+            .middleware
+            .lock()
+            .expect("sharded backend lock poisoned")
+            .take()
+            .ok_or(SchedError::BackendShutdown { backend: "sharded" })?;
+        Ok(Report::from_sharded(middleware.shutdown()))
+    }
+}

@@ -1,0 +1,103 @@
+//! In-flight transaction handles.
+
+use crossbeam::channel::Receiver;
+use declsched::{SchedError, SchedResult};
+use std::sync::{Arc, Mutex};
+
+/// What [`Ticket::wait`] returns once a transaction has fully executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnReceipt {
+    /// The transaction id.
+    pub ta: u64,
+    /// Number of statements the transaction carried.
+    pub statements: usize,
+}
+
+/// Shared completion state of one submitted transaction.
+///
+/// Both the [`Ticket`] handed to the caller and the owning
+/// [`crate::Session`] (for [`crate::Session::drain`]) point at the same
+/// cell, so the result can be observed from either side exactly once and
+/// re-read thereafter.
+pub(crate) struct TicketCell {
+    pub(crate) ta: u64,
+    pub(crate) statements: usize,
+    state: Mutex<CellState>,
+}
+
+struct CellState {
+    rx: Option<Receiver<SchedResult<()>>>,
+    done: Option<SchedResult<()>>,
+}
+
+impl TicketCell {
+    pub(crate) fn new(ta: u64, statements: usize, rx: Receiver<SchedResult<()>>) -> Arc<Self> {
+        Arc::new(TicketCell {
+            ta,
+            statements,
+            state: Mutex::new(CellState {
+                rx: Some(rx),
+                done: None,
+            }),
+        })
+    }
+
+    /// Block until the transaction's result is known and return it.  Safe
+    /// to call from several holders: the first caller consumes the channel
+    /// (any concurrent caller blocks on the cell lock meanwhile), later
+    /// callers get the cached result.
+    pub(crate) fn wait(&self) -> SchedResult<()> {
+        let mut state = self.state.lock().expect("ticket cell lock poisoned");
+        if let Some(result) = &state.done {
+            return result.clone();
+        }
+        let rx = state.rx.take().expect("channel present until first wait");
+        let result = match rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(SchedError::ChannelClosed {
+                endpoint: "backend",
+            }),
+        };
+        state.done = Some(result.clone());
+        result
+    }
+
+    /// Whether the result has already been observed.
+    pub(crate) fn resolved(&self) -> bool {
+        self.state
+            .lock()
+            .expect("ticket cell lock poisoned")
+            .done
+            .is_some()
+    }
+}
+
+/// A claim on one in-flight transaction, returned by
+/// [`crate::Session::submit`].
+///
+/// Tickets may be awaited in any order.  Dropping a ticket without waiting
+/// is safe: the transaction still executes, and the owning session's
+/// [`crate::Session::drain`] can still observe its completion.
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    pub(crate) fn new(cell: Arc<TicketCell>) -> Self {
+        Ticket { cell }
+    }
+
+    /// The transaction id this ticket tracks.
+    pub fn ta(&self) -> u64 {
+        self.cell.ta
+    }
+
+    /// Block until the transaction has fully executed (every statement
+    /// scheduled and run on the server) and return its receipt.
+    pub fn wait(self) -> SchedResult<TxnReceipt> {
+        self.cell.wait().map(|()| TxnReceipt {
+            ta: self.cell.ta,
+            statements: self.cell.statements,
+        })
+    }
+}

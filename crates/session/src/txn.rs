@@ -1,0 +1,237 @@
+//! The typed transaction builder.
+
+use declsched::{Request, SlaMeta};
+use relalg::Value;
+use txnstore::Statement;
+
+/// A transaction under construction: statements in intra order, optional
+/// SLA/priority metadata, and an incrementally precomputed object
+/// footprint.
+///
+/// ```
+/// use session::Txn;
+///
+/// let txn = Txn::new(7).read(3).write(9, 42).commit();
+/// assert_eq!(txn.footprint(), &[3, 9]);
+/// assert_eq!(txn.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Txn {
+    ta: u64,
+    requests: Vec<Request>,
+    footprint: Vec<i64>,
+    sla: Option<SlaMeta>,
+    next_intra: u32,
+    terminated: bool,
+}
+
+impl Txn {
+    /// Start building transaction `ta`.  Transaction ids must be unique per
+    /// scheduler deployment — reusing a live one is rejected at submission.
+    pub fn new(ta: u64) -> Self {
+        Txn {
+            ta,
+            requests: Vec::new(),
+            footprint: Vec::new(),
+            sla: None,
+            next_intra: 0,
+            terminated: false,
+        }
+    }
+
+    /// Continue transaction `ta` from statement number `next_intra` — for
+    /// incremental submission, where earlier statements of the same
+    /// transaction were already submitted (and possibly executed) through
+    /// an earlier `Txn`.
+    ///
+    /// ```
+    /// use session::Txn;
+    ///
+    /// let opening = Txn::new(9).write(4, 1);          // intra 0, no terminal
+    /// let closing = Txn::resume(9, opening.len() as u32).commit(); // intra 1
+    /// assert_eq!(closing.requests()[0].intra, 1);
+    /// ```
+    pub fn resume(ta: u64, next_intra: u32) -> Self {
+        Txn {
+            next_intra,
+            ..Txn::new(ta)
+        }
+    }
+
+    /// Build a transaction from pre-generated workload statements,
+    /// preserving their transaction id and intra order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `statements` is empty or spans multiple transaction ids.
+    pub fn from_statements(statements: &[Statement]) -> Self {
+        let ta = statements
+            .first()
+            .expect("a transaction needs at least one statement")
+            .txn
+            .0;
+        assert!(
+            statements.iter().all(|s| s.txn.0 == ta),
+            "statements of one Txn must share a transaction id"
+        );
+        let mut txn = Txn::new(ta);
+        for statement in statements {
+            let request = Request::from_statement(0, statement);
+            txn.push(request);
+        }
+        txn
+    }
+
+    fn push(&mut self, request: Request) {
+        assert!(
+            !self.terminated,
+            "cannot append to a transaction after commit()/abort()"
+        );
+        if request.op.is_terminal() {
+            self.terminated = true;
+        } else if let Err(pos) = self.footprint.binary_search(&request.object) {
+            self.footprint.insert(pos, request.object);
+        }
+        self.next_intra = self.next_intra.max(request.intra + 1);
+        self.requests.push(request);
+    }
+
+    /// Append a read of `object`.
+    pub fn read(mut self, object: i64) -> Self {
+        let request = Request::read(0, self.ta, self.next_intra, object);
+        self.push(request);
+        self
+    }
+
+    /// Append a write of `value` to `object`.
+    pub fn write(mut self, object: i64, value: i64) -> Self {
+        let mut request = Request::write(0, self.ta, self.next_intra, object);
+        request.write_value = Some(Value::Int(value));
+        self.push(request);
+        self
+    }
+
+    /// Terminate with a commit.
+    pub fn commit(mut self) -> Self {
+        let request = Request::commit(0, self.ta, self.next_intra);
+        self.push(request);
+        self
+    }
+
+    /// Terminate with an abort.
+    pub fn abort(mut self) -> Self {
+        let request = Request::abort(0, self.ta, self.next_intra);
+        self.push(request);
+        self
+    }
+
+    /// Attach SLA/priority metadata; carried on every request so the
+    /// scheduling rounds' `sla` relation sees it end-to-end.
+    pub fn with_sla(mut self, sla: SlaMeta) -> Self {
+        self.sla = Some(sla);
+        self
+    }
+
+    /// The transaction id.
+    pub fn ta(&self) -> u64 {
+        self.ta
+    }
+
+    /// The precomputed object footprint: distinct objects the data
+    /// statements touch, ascending.  This is what a shard router partitions
+    /// on.
+    pub fn footprint(&self) -> &[i64] {
+        &self.footprint
+    }
+
+    /// The requests built so far, in intra order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether no statement has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Whether the transaction ends in a commit/abort.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// The SLA metadata, if any.
+    pub fn sla(&self) -> Option<SlaMeta> {
+        self.sla
+    }
+
+    /// Finish building: the requests to hand to a backend, SLA metadata
+    /// applied to every one.
+    pub(crate) fn into_requests(self) -> Vec<Request> {
+        let Txn { requests, sla, .. } = self;
+        match sla {
+            None => requests,
+            Some(sla) => requests.into_iter().map(|r| r.with_sla(sla)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use declsched::{footprint, Operation};
+    use txnstore::{StatementKind, TxnId};
+
+    #[test]
+    fn builder_numbers_intra_and_precomputes_footprint() {
+        let txn = Txn::new(5).read(9).write(3, 1).write(9, 2).commit();
+        assert_eq!(txn.ta(), 5);
+        assert_eq!(txn.len(), 4);
+        assert!(txn.is_terminated());
+        assert_eq!(txn.footprint(), &[3, 9]);
+        let intras: Vec<u32> = txn.requests().iter().map(|r| r.intra).collect();
+        assert_eq!(intras, vec![0, 1, 2, 3]);
+        assert_eq!(txn.requests()[3].op, Operation::Commit);
+        // The precomputed footprint agrees with the canonical function.
+        assert_eq!(txn.footprint(), footprint(txn.requests()).as_slice());
+    }
+
+    #[test]
+    fn sla_is_applied_to_every_request() {
+        let sla = SlaMeta {
+            priority: 3,
+            class: "premium",
+            arrival_ms: 1,
+            deadline_ms: 50,
+        };
+        let requests = Txn::new(2).read(1).commit().with_sla(sla).into_requests();
+        assert!(requests.iter().all(|r| r.sla == Some(sla)));
+    }
+
+    #[test]
+    fn from_statements_preserves_ids_and_order() {
+        let statements = vec![
+            Statement::select(TxnId(4), 0, "bench", 7),
+            Statement::update(TxnId(4), 1, "bench", 8, 99),
+            Statement::commit(TxnId(4), 2, "bench"),
+        ];
+        let txn = Txn::from_statements(&statements);
+        assert_eq!(txn.ta(), 4);
+        assert_eq!(txn.footprint(), &[7, 8]);
+        assert!(txn.is_terminated());
+        assert!(matches!(
+            statements[1].kind,
+            StatementKind::Update { key: 8, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "after commit")]
+    fn appending_after_terminal_panics() {
+        let _ = Txn::new(1).commit().read(3);
+    }
+}

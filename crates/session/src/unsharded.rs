@@ -1,0 +1,53 @@
+//! [`Backend`] over the paper's unsharded middleware.
+
+use crate::backend::{Backend, BackendKind};
+use crate::report::Report;
+use crossbeam::channel::Receiver;
+use declsched::{ClientHandle, Middleware, Request, SchedError, SchedResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub(crate) struct UnshardedBackend {
+    /// Submission side: a cheap clone of the control channel, usable
+    /// without touching the shutdown lock.
+    handle: ClientHandle,
+    /// Ownership side: consumed by the first shutdown.
+    middleware: Mutex<Option<Middleware>>,
+    transactions: AtomicU64,
+}
+
+impl UnshardedBackend {
+    pub(crate) fn new(middleware: Middleware) -> Self {
+        UnshardedBackend {
+            handle: middleware.connect(),
+            middleware: Mutex::new(Some(middleware)),
+            transactions: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Backend for UnshardedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Unsharded
+    }
+
+    fn submit(&self, requests: Vec<Request>) -> SchedResult<Receiver<SchedResult<()>>> {
+        self.transactions.fetch_add(1, Ordering::Relaxed);
+        Ok(self.handle.submit_transaction(requests)?.into_receiver())
+    }
+
+    fn shutdown(&self) -> SchedResult<Report> {
+        let middleware = self
+            .middleware
+            .lock()
+            .expect("unsharded backend lock poisoned")
+            .take()
+            .ok_or(SchedError::BackendShutdown {
+                backend: "unsharded",
+            })?;
+        Ok(Report::from_unsharded(
+            middleware.shutdown(),
+            self.transactions.load(Ordering::Relaxed),
+        ))
+    }
+}

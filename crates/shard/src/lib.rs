@@ -88,6 +88,10 @@ mod tests {
             .expect("every shard owns some object")
     }
 
+    fn exec(router: &ShardRouter, requests: Vec<Request>) -> declsched::SchedResult<()> {
+        router.submit_transaction(requests)?.wait()
+    }
+
     fn txn(ta: u64, objects: &[i64], commit: bool) -> Vec<Request> {
         let mut requests: Vec<Request> = objects
             .iter()
@@ -106,9 +110,7 @@ mod tests {
         let shards = router.shards();
         for ta in 0..8u64 {
             let object = object_on_shard((ta % 4) as usize, shards);
-            router
-                .execute_transaction(txn(ta + 1, &[object], true))
-                .unwrap();
+            exec(&router, txn(ta + 1, &[object], true)).unwrap();
         }
         let report = router.shutdown();
         assert_eq!(report.metrics.transactions, 8);
@@ -127,7 +129,7 @@ mod tests {
         let shards = router.shards();
         let a = object_on_shard(0, shards);
         let b = object_on_shard(1, shards);
-        router.execute_transaction(txn(7, &[a, b], true)).unwrap();
+        exec(&router, txn(7, &[a, b], true)).unwrap();
         let report = router.shutdown();
         assert_eq!(report.metrics.cross_shard_transactions, 1);
         assert_eq!(report.metrics.escalation.escalations, 1);
@@ -148,15 +150,13 @@ mod tests {
         let a = object_on_shard(0, shards);
         let b = object_on_shard(1, shards);
         // T1 takes a write lock on `a` and holds it (no terminal yet).
-        router.execute_transaction(txn(1, &[a], false)).unwrap();
+        exec(&router, txn(1, &[a], false)).unwrap();
         // T2 spans both shards and conflicts with T1's lock; let the lane
         // spin on it while the main thread later commits T1.
         let ticket = router.submit_transaction(txn(2, &[a, b], true)).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(20));
         // Commit T1 (terminal-only submission routes to T1's home shard).
-        router
-            .execute_transaction(vec![Request::commit(0, 1, 5)])
-            .unwrap();
+        exec(&router, vec![Request::commit(0, 1, 5)]).unwrap();
         ticket.wait().unwrap();
         let report = router.shutdown();
         assert_eq!(report.metrics.escalation.escalations, 1);
@@ -183,17 +183,13 @@ mod tests {
         let a = object_on_shard(0, shards);
         let b = object_on_shard(1, shards);
         // T1 starts on shard 0 …
-        router.execute_transaction(txn(1, &[a], false)).unwrap();
+        exec(&router, txn(1, &[a], false)).unwrap();
         // … then grows a footprint on shard 1: the router must escalate and
         // freeze shard 0 too (T1's own lock there must not block it).
-        router
-            .execute_transaction(vec![Request::write(0, 1, 5, b)])
-            .unwrap();
+        exec(&router, vec![Request::write(0, 1, 5, b)]).unwrap();
         // Terminal-only submission for a multi-home transaction commits on
         // every touched engine through the lane.
-        router
-            .execute_transaction(vec![Request::commit(0, 1, 9)])
-            .unwrap();
+        exec(&router, vec![Request::commit(0, 1, 9)]).unwrap();
         let report = router.shutdown();
         assert_eq!(report.metrics.cross_shard_transactions, 2);
         assert_eq!(report.metrics.escalation.failed, 0);
@@ -250,21 +246,21 @@ mod tests {
         let a = object_on_shard(0, shards);
         let b = object_on_shard(1, shards);
         // Duplicate (ta, intra) within one batch.
-        let err = router
-            .execute_transaction(vec![
+        let err = exec(
+            &router,
+            vec![
                 Request::write(0, 1, 0, a),
                 Request::write(0, 1, 0, a),
                 Request::commit(0, 1, 1),
-            ])
-            .unwrap_err();
+            ],
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("duplicate request key"));
         // Duplicate against an in-flight (still queued) ticket.
         let held = router
             .submit_transaction(vec![Request::write(0, 2, 0, a), Request::commit(0, 2, 1)])
             .unwrap();
-        let err = router
-            .execute_transaction(vec![Request::write(0, 2, 0, a)])
-            .unwrap_err();
+        let err = exec(&router, vec![Request::write(0, 2, 0, a)]).unwrap_err();
         assert!(err.to_string().contains("duplicate request key"));
         // The worker is still healthy: another transaction is accepted and
         // the shutdown drain executes both (a poisoned ticket table would
@@ -297,13 +293,14 @@ mod tests {
         for ta in 1..=8u64 {
             let client = mw.connect();
             joins.push(std::thread::spawn(move || {
-                use txnstore::{Statement, TxnId};
                 let object = object_on_shard((ta % 4) as usize, 4);
                 client
-                    .execute_transaction(vec![
-                        Statement::update(TxnId(ta), 0, "bench", object, ta as i64),
-                        Statement::commit(TxnId(ta), 1, "bench"),
+                    .submit_transaction(vec![
+                        Request::write(0, ta, 0, object),
+                        Request::commit(0, ta, 1),
                     ])
+                    .unwrap()
+                    .wait()
                     .unwrap();
             }));
         }
@@ -320,9 +317,7 @@ mod tests {
     #[test]
     fn one_shard_degenerates_to_the_global_scheduler() {
         let router = ShardRouter::start(config(1)).unwrap();
-        router
-            .execute_transaction(txn(1, &[3, 900, 42], true))
-            .unwrap();
+        exec(&router, txn(1, &[3, 900, 42], true)).unwrap();
         let report = router.shutdown();
         // Everything is one shard, so nothing can cross shards.
         assert_eq!(report.metrics.cross_shard_transactions, 0);

@@ -17,6 +17,11 @@ pub struct ShardReport {
     /// Largest pending-relation size seen at any round start — the shard's
     /// peak queue depth.
     pub peak_pending: usize,
+    /// Final value of every benchmark-table row on this shard's engine
+    /// (index = row key).  Only rows whose home shard is this one were ever
+    /// written here; the unified `Report` merges per-shard snapshots by home
+    /// shard.
+    pub final_rows: Vec<i64>,
     /// Every request this shard executed, in execution order.  Because each
     /// object has exactly one home shard, concatenating nothing — just
     /// filtering this log per object — yields the total per-object execution
@@ -145,6 +150,7 @@ mod tests {
                 ..DispatchReport::default()
             },
             peak_pending: peak,
+            final_rows: Vec::new(),
             executed_log: Vec::new(),
         }
     }

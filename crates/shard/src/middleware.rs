@@ -22,9 +22,18 @@ pub struct ShardedClientHandle {
 }
 
 impl ShardedClientHandle {
+    /// Submit a whole transaction — pre-built requests in intra order —
+    /// without blocking.  The returned ticket resolves once every request
+    /// has executed on its home shard (or through the escalation lane when
+    /// the footprint spans shards), so a client can pipeline many
+    /// transactions before waiting on any of them.
+    pub fn submit_transaction(&self, requests: Vec<Request>) -> SchedResult<crate::TxnTicket> {
+        self.core.submit(requests)
+    }
+
     /// Submit a whole transaction and wait until every statement has been
-    /// scheduled and executed on its home shard (or through the escalation
-    /// lane when the footprint spans shards).
+    /// scheduled and executed.
+    #[deprecated(note = "use `session::Session::submit` (or `submit_transaction`) instead")]
     pub fn execute_transaction(&self, statements: Vec<Statement>) -> SchedResult<()> {
         let requests: Vec<Request> = statements
             .iter()
@@ -34,6 +43,7 @@ impl ShardedClientHandle {
     }
 
     /// Submit pre-built requests (one transaction) and wait.
+    #[deprecated(note = "use `session::Session::submit` (or `submit_transaction`) instead")]
     pub fn execute_requests(&self, requests: Vec<Request>) -> SchedResult<()> {
         self.core.submit(requests)?.wait()
     }

@@ -27,6 +27,12 @@ impl TxnTicket {
             endpoint: "shard worker",
         })?
     }
+
+    /// The raw completion channel, for callers (like the unified `Session`
+    /// façade) that multiplex many tickets.
+    pub fn into_receiver(self) -> Receiver<SchedResult<()>> {
+        self.rx
+    }
 }
 
 struct Counters {
@@ -152,10 +158,11 @@ impl ShardRouter {
                 scheduler.register_aux_relation(aux.clone());
             }
             let dispatcher = Dispatcher::new(config.table.clone(), config.rows)?;
+            let rows = config.rows;
             let (tx, rx) = unbounded::<ShardMessage>();
             let handle = std::thread::Builder::new()
                 .name(format!("declsched-shard-{shard}"))
-                .spawn(move || run_worker(shard, scheduler, dispatcher, rx))
+                .spawn(move || run_worker(shard, scheduler, dispatcher, rows, rx))
                 .expect("spawning a shard worker cannot fail");
             workers.push(tx);
             worker_handles.push(handle);
@@ -213,6 +220,7 @@ impl ShardRouter {
     }
 
     /// Submit a transaction and wait for it to execute.
+    #[deprecated(note = "use `submit_transaction(...)?.wait()` or the `session::Session` façade")]
     pub fn execute_transaction(&self, requests: Vec<Request>) -> SchedResult<()> {
         self.submit_transaction(requests)?.wait()
     }

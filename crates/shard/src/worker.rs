@@ -61,8 +61,10 @@ pub(crate) enum ShardMessage {
 
 /// A client transaction waiting for its requests to execute.
 struct Ticket {
+    /// Request keys of this transaction still registered in `waiting`.
     remaining: usize,
-    reply: Sender<SchedResult<()>>,
+    /// Taken by the first terminal outcome (all-executed or first failure).
+    reply: Option<Sender<SchedResult<()>>>,
 }
 
 struct WorkerState {
@@ -70,7 +72,11 @@ struct WorkerState {
     scheduler: DeclarativeScheduler,
     dispatcher: Dispatcher,
     started: Instant,
+    /// Ticket slots; vacated entries are recycled through `free_tickets`,
+    /// so memory stays bounded by in-flight transactions rather than
+    /// growing with the worker's lifetime.
     tickets: Vec<Option<Ticket>>,
+    free_tickets: Vec<usize>,
     waiting: HashMap<RequestKey, usize>,
     executed_log: Vec<Request>,
     peak_pending: usize,
@@ -106,18 +112,32 @@ impl WorkerState {
                 return;
             }
         }
-        let ticket_index = self.tickets.len();
+        let ticket = Ticket {
+            remaining: requests.len(),
+            reply: Some(reply),
+        };
+        let ticket_index = match self.free_tickets.pop() {
+            Some(index) => {
+                self.tickets[index] = Some(ticket);
+                index
+            }
+            None => {
+                self.tickets.push(Some(ticket));
+                self.tickets.len() - 1
+            }
+        };
         let now_ms = self.now_ms();
-        let remaining = requests.len();
         for request in requests {
             let key = request.key();
             self.scheduler.submit(request, now_ms);
             self.waiting.insert(key, ticket_index);
         }
-        self.tickets.push(Some(Ticket { remaining, reply }));
     }
 
-    /// Resolve one executed (or failed) request against its ticket.
+    /// Resolve one executed (or failed) request against its ticket.  The
+    /// slot is vacated only once *every* key of the transaction has
+    /// resolved, so later keys of an already-failed transaction can never
+    /// hit a recycled slot.
     fn resolve(&mut self, key: RequestKey, result: SchedResult<()>) {
         let Some(index) = self.waiting.remove(&key) else {
             return;
@@ -125,18 +145,24 @@ impl WorkerState {
         let Some(ticket) = self.tickets[index].as_mut() else {
             return;
         };
+        ticket.remaining -= 1;
         match result {
             Ok(()) => {
-                ticket.remaining -= 1;
                 if ticket.remaining == 0 {
-                    let ticket = self.tickets[index].take().expect("ticket present");
-                    let _ = ticket.reply.send(Ok(()));
+                    if let Some(reply) = ticket.reply.take() {
+                        let _ = reply.send(Ok(()));
+                    }
                 }
             }
             Err(e) => {
-                let ticket = self.tickets[index].take().expect("ticket present");
-                let _ = ticket.reply.send(Err(e));
+                if let Some(reply) = ticket.reply.take() {
+                    let _ = reply.send(Err(e));
+                }
             }
+        }
+        if ticket.remaining == 0 {
+            self.tickets[index] = None;
+            self.free_tickets.push(index);
         }
     }
 
@@ -145,10 +171,15 @@ impl WorkerState {
     fn fail_all_waiting(&mut self, err: impl Fn(RequestKey) -> SchedError) {
         let waiting: Vec<(RequestKey, usize)> = self.waiting.drain().collect();
         for (key, index) in waiting {
-            if let Some(ticket) = self.tickets[index].take() {
-                let _ = ticket.reply.send(Err(err(key)));
+            if let Some(ticket) = self.tickets[index].as_mut() {
+                if let Some(reply) = ticket.reply.take() {
+                    let _ = reply.send(Err(err(key)));
+                }
             }
         }
+        // Nothing is waiting any more: every slot is vacant.
+        self.tickets.clear();
+        self.free_tickets.clear();
     }
 
     /// The barrier snapshot: history plus everything accepted but not yet
@@ -232,6 +263,7 @@ pub(crate) fn run_worker(
     shard: usize,
     scheduler: DeclarativeScheduler,
     dispatcher: Dispatcher,
+    rows: usize,
     receiver: Receiver<ShardMessage>,
 ) -> ShardReport {
     let mut state = WorkerState {
@@ -240,6 +272,7 @@ pub(crate) fn run_worker(
         dispatcher,
         started: Instant::now(),
         tickets: Vec::new(),
+        free_tickets: Vec::new(),
         waiting: HashMap::new(),
         executed_log: Vec::new(),
         peak_pending: 0,
@@ -321,6 +354,7 @@ pub(crate) fn run_worker(
         scheduler: state.scheduler.metrics(),
         dispatch: state.dispatcher.totals(),
         peak_pending: state.peak_pending,
+        final_rows: state.dispatcher.final_rows(rows),
         executed_log: state.executed_log,
     }
 }

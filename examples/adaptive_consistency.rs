@@ -1,16 +1,19 @@
 //! Adaptive consistency under load — the paper's cloud-scheduling goal:
 //! "reduced consistency criteria may be used during times of high load."
 //!
-//! Run with: `cargo run -p examples --bin adaptive_consistency`
+//! Run with: `cargo run --example adaptive_consistency`
 //!
-//! The scheduler is configured with an adaptive policy: SS2PL while the
-//! pending load stays below a threshold, relaxed reads above it.  The example
-//! drives a low-load phase and a bursty phase against the same hot rows and
-//! shows the protocol switching (and admission improving) automatically.
+//! The deployment is built with an adaptive policy: SS2PL while the pending
+//! load stays below a threshold, relaxed reads above it.  A long-running
+//! writer holds locks on the hot rows; light read traffic is deferred by
+//! the strict rule, then a burst pushes the scheduler into overload mode
+//! and the relaxed rule admits the readers despite the write locks — all
+//! driven through the same pipelined `Session` surface.
 
-use declsched::prelude::*;
 use declsched::protocol::Backend;
-use declsched::AdaptiveProtocol;
+use declsched::{AdaptiveProtocol, SchedResult, SchedulerConfig, TriggerPolicy};
+use session::{Scheduler, Txn};
+use std::time::Duration;
 
 fn main() -> SchedResult<()> {
     let adaptive = AdaptiveProtocol::ss2pl_with_relaxed_overflow(Backend::Algebra, 16);
@@ -21,71 +24,57 @@ fn main() -> SchedResult<()> {
         adaptive.overload.name()
     );
 
-    let mut scheduler = DeclarativeScheduler::new(
-        adaptive,
-        SchedulerConfig {
-            trigger: TriggerPolicy::Always,
+    let scheduler = Scheduler::builder()
+        .policy(adaptive)
+        .scheduler_config(SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 2,
+                threshold: 64,
+            },
             ..SchedulerConfig::default()
-        },
-    );
-    let mut dispatcher = Dispatcher::new("hot", 64)?;
-    let mut next_ta = 0u64;
+        })
+        .table("hot", 64)
+        .build()?;
+    let mut session = scheduler.connect();
 
-    // A long-running writer holds locks on the 8 hot rows throughout.
-    next_ta += 1;
-    let writer = next_ta;
+    // A long-running writer takes locks on the 8 hot rows and holds them
+    // (no terminal yet).
+    let mut writer = Txn::new(1);
     for object in 0..8 {
-        scheduler.submit(Request::write(0, writer, object as u32, object), 0);
+        writer = writer.write(object, object);
     }
-    dispatcher.execute_batch(&scheduler.run_round(0)?)?;
+    session.submit(writer)?.wait()?;
+    println!("writer T1 holds write locks on the 8 hot rows");
 
-    // Phase 1: light read traffic on the locked rows — strict mode defers it.
-    for i in 0..6 {
-        next_ta += 1;
-        scheduler.submit(Request::read(0, next_ta, 0, i % 8), 1);
+    // Phase 1: light read traffic on the locked rows — strict mode defers
+    // it, so the tickets stay unresolved.
+    for i in 0..6i64 {
+        session.submit(Txn::new(2 + i as u64).read(i % 8))?;
     }
-    let light = scheduler.run_round(1)?;
+    std::thread::sleep(Duration::from_millis(20));
     println!(
-        "light load : protocol={:<13} pending={:<3} admitted={}",
-        light.protocol,
-        light.pending_before,
-        light.len()
+        "light load : {} readers still in flight (ss2pl defers reads on locked rows)",
+        session.in_flight()
     );
-    dispatcher.execute_batch(&light)?;
 
-    // Phase 2: a burst of 40 readers arrives — the policy switches to relaxed
-    // reads and admits them despite the write locks.
-    for i in 0..40 {
-        next_ta += 1;
-        scheduler.submit(Request::read(0, next_ta, 0, i % 8), 2);
+    // Phase 2: a burst of 40 readers arrives — pending load crosses the
+    // threshold, the policy switches to relaxed reads and admits everyone
+    // despite the write locks.
+    for i in 0..40i64 {
+        session.submit(Txn::new(100 + i as u64).read(i % 8))?;
     }
-    let burst = scheduler.run_round(2)?;
-    println!(
-        "burst load : protocol={:<13} pending={:<3} admitted={}",
-        burst.protocol,
-        burst.pending_before,
-        burst.len()
-    );
-    dispatcher.execute_batch(&burst)?;
+    session.drain()?;
+    println!("burst load : all 46 readers completed under the relaxed rule");
 
-    // Phase 3: the burst is over; the writer commits and strict mode resumes.
-    scheduler.submit(Request::commit(0, writer, 8), 3);
-    let calm = scheduler.run_round(3)?;
-    println!(
-        "calm       : protocol={:<13} pending={:<3} admitted={}",
-        calm.protocol,
-        calm.pending_before,
-        calm.len()
-    );
-    dispatcher.execute_batch(&calm)?;
-    let tail = scheduler.run_round(4)?;
-    dispatcher.execute_batch(&tail)?;
+    // Phase 3: the burst is over; the writer commits and strict mode
+    // resumes for whatever comes next.
+    session.submit(Txn::resume(1, 8).commit())?.wait()?;
+    println!("calm       : writer committed, locks released");
 
-    let metrics = scheduler.metrics();
+    let report = scheduler.shutdown();
     println!(
-        "\n{} rounds, {} of them in overload mode; {} requests scheduled in total",
-        metrics.rounds, metrics.overload_rounds, metrics.requests_scheduled
+        "\n{} rounds, {} of them in overload mode; {} requests scheduled in total on the {} backend",
+        report.rounds, report.scheduler.overload_rounds, report.scheduler.requests_scheduled, report.backend
     );
-    println!("policy label: {}", scheduler.policy_label());
     Ok(())
 }

@@ -1,16 +1,18 @@
 //! Defining a brand-new, application-specific consistency protocol in
-//! SchedLang — without touching any scheduler code.
+//! SchedLang — without touching any scheduler code — and deploying it
+//! through the unified Session API.
 //!
-//! Run with: `cargo run -p examples --bin custom_protocol`
+//! Run with: `cargo run --example custom_protocol`
 //!
 //! The scenario is the paper's hotel-reservation example: reads of room
 //! availability may be slightly stale (they never wait), but bookings
-//! (writes to room objects, ids 0–99) must stay serialisable, and during a
-//! flash sale everything touching the promotional object 999 is admitted
+//! (writes to room objects) must stay serialisable, and during a flash sale
+//! everything touching the promotional object 999 is admitted
 //! unconditionally.
 
-use declsched::prelude::*;
+use declsched::{SchedResult, SchedulerConfig, TriggerPolicy};
 use schedlang::compile_protocol;
+use session::{Scheduler, Txn};
 
 const HOTEL_PROTOCOL: &str = r#"
 protocol hotel_reservations {
@@ -50,50 +52,53 @@ fn main() -> SchedResult<()> {
         protocol.rules.backend.label()
     );
 
-    let mut scheduler = DeclarativeScheduler::new(
-        protocol,
-        SchedulerConfig {
-            trigger: TriggerPolicy::Always,
+    // The compiled protocol deploys like any shipped one.
+    let scheduler = Scheduler::builder()
+        .policy(protocol)
+        .scheduler_config(SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 1,
+                threshold: 8,
+            },
             ..SchedulerConfig::default()
-        },
-    );
-    let mut dispatcher = Dispatcher::new("rooms", 1_000)?;
+        })
+        .table("rooms", 1_000)
+        .build()?;
+    let mut session = scheduler.connect();
 
     // Booking in flight: T1 wrote room 7 and has not committed yet.
-    scheduler.submit(Request::write(0, 1, 0, 7), 0);
-    dispatcher.execute_batch(&scheduler.run_round(0)?)?;
+    session.submit(Txn::new(1).write(7, 1))?.wait()?;
+    println!("T1 booked room 7 (uncommitted — write lock held)\n");
 
-    // Now a burst of traffic arrives.
-    scheduler.submit(Request::read(0, 2, 0, 7), 1); //   availability read of room 7
-    scheduler.submit(Request::write(0, 3, 0, 7), 1); //  competing booking of room 7
-    scheduler.submit(Request::write(0, 4, 0, 999), 1); // flash-sale counter update
-    scheduler.submit(Request::write(0, 5, 0, 12), 1); //  booking of a free room
+    // Now a burst of traffic arrives, pipelined in one go.
+    let availability = session.submit(Txn::new(2).read(7))?; //      stale read of room 7
+    let competing = session.submit(Txn::new(3).write(7, 3).commit())?; // competing booking
+    let flash_sale = session.submit(Txn::new(4).write(999, 4).commit())?; // flash-sale counter
+    let free_room = session.submit(Txn::new(5).write(12, 5).commit())?; // booking of a free room
 
-    let batch = scheduler.run_round(1)?;
-    println!("qualified this round ({} of 4):", batch.len());
-    for request in &batch.requests {
+    // Three of the four complete immediately under the custom rule …
+    availability.wait()?;
+    flash_sale.wait()?;
+    free_room.wait()?;
+    println!("admitted immediately: T2 (stale read), T4 (flash sale), T5 (free room)");
+    println!(
+        "still in flight: {} (the competing booking of room 7 waits for T1)",
+        session.in_flight()
+    );
+
+    // … and the competing booking goes through once T1 commits.
+    session.submit(Txn::resume(1, 1).commit())?.wait()?;
+    competing.wait()?;
+    println!("after T1 committed, the deferred booking T3 was scheduled\n");
+
+    let report = scheduler.shutdown();
+    println!("execution order:");
+    for request in &report.executed_log {
         println!("  {request}");
     }
     println!(
-        "deferred: {} (the competing booking of room 7 waits for T1)",
-        batch.pending_after
-    );
-    dispatcher.execute_batch(&batch)?;
-
-    // T1 commits; the deferred booking goes through on the next round.
-    scheduler.submit(Request::commit(0, 1, 1), 2);
-    let batch = scheduler.run_round(2)?;
-    dispatcher.execute_batch(&batch)?;
-    let batch = scheduler.run_round(3)?;
-    dispatcher.execute_batch(&batch)?;
-    println!(
-        "\nafter T1 committed, the deferred booking was scheduled: pending = {}",
-        scheduler.pending()
-    );
-    println!(
         "server totals: {} data statements, {} commits",
-        dispatcher.totals().executed,
-        dispatcher.totals().commits
+        report.dispatch.executed, report.dispatch.commits
     );
     Ok(())
 }

@@ -1,88 +1,68 @@
-//! Quickstart: schedule a handful of conflicting transactions declaratively.
+//! Quickstart: the unified Session API over the declarative scheduler.
 //!
-//! Run with: `cargo run -p examples --bin quickstart`
+//! Run with: `cargo run --example quickstart`
 //!
-//! Two clients race for the same row.  The SS2PL protocol — defined as a
-//! declarative rule, not as scheduler code — lets the first writer through,
-//! defers the second transaction until the first commits, and the dispatcher
-//! executes every scheduled batch on a server whose own locking is disabled.
+//! Two transactions race for the same row.  The SS2PL protocol — defined as
+//! a declarative rule, not as scheduler code — lets the first writer
+//! through, defers the second transaction until the first commits, and the
+//! middleware executes every scheduled batch on a server whose own locking
+//! is disabled.
+//!
+//! Everything goes through one surface: `Scheduler::builder()` picks the
+//! deployment, `Session::submit` pipelines transactions, `Ticket::wait`
+//! collects completions, `Scheduler::shutdown()` returns one unified
+//! `Report`.  Swap `.shards(4)` or `.passthrough()` into the builder and
+//! the same driver code runs against a sharded fleet or the native-locking
+//! baseline.
 
-use declsched::prelude::*;
-use declsched::protocol::Backend;
+use declsched::{Protocol, ProtocolKind, SchedResult, SchedulerConfig, TriggerPolicy};
+use session::{Scheduler, Txn};
 
 fn main() -> SchedResult<()> {
-    // 1. A declarative scheduler running the paper's SS2PL rule (Listing 1).
-    let mut scheduler = DeclarativeScheduler::new(
-        Protocol::new(ProtocolKind::Ss2pl, Backend::Algebra),
-        SchedulerConfig {
-            trigger: TriggerPolicy::Always,
+    // 1. One entry point for every deployment.  The default is the paper's
+    //    unsharded middleware; try `.shards(4)` or `.passthrough()` here.
+    let scheduler = Scheduler::builder()
+        .policy(Protocol::algebra(ProtocolKind::Ss2pl))
+        .scheduler_config(SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 1,
+                threshold: 4,
+            },
             ..SchedulerConfig::default()
-        },
-    );
-    // 2. A server with its native scheduler disabled: the middleware is in
-    //    charge of correctness now.
-    let mut dispatcher = Dispatcher::new("accounts", 100)?;
+        })
+        .table("accounts", 100)
+        .build()?;
 
-    // 3. Two clients, both touching account 42.
-    println!("submitting: T1 and T2 both update account 42\n");
-    scheduler.submit(Request::write(0, 1, 0, 42), 0);
-    scheduler.submit(Request::write(0, 2, 0, 42), 0);
+    // 2. One session per client; submission is pipelined — both
+    //    transactions are in flight before either is awaited.
+    let mut session = scheduler.connect();
+    println!("submitting: T1 and T2 both update account 42 (pipelined)\n");
+    let t1 = session.submit(Txn::new(1).write(42, 100).commit())?;
+    let t2 = session.submit(Txn::new(2).write(42, 200).commit())?;
 
-    let mut now_ms = 0;
-    let mut t1_committed = false;
-    while scheduler.pending() > 0 || scheduler.queued() > 0 || !t1_committed {
-        let batch = scheduler.run_round(now_ms)?;
-        println!(
-            "round {:>2}: protocol={} qualified={} deferred={} ({} µs rule evaluation)",
-            batch.round,
-            batch.protocol,
-            batch.len(),
-            batch.pending_after,
-            batch.rule_eval_micros
-        );
-        for request in &batch.requests {
-            println!("   -> dispatch {request}");
-        }
-        dispatcher.execute_batch(&batch)?;
+    // 3. Tickets resolve in execution order and may be awaited in any
+    //    order; the rule serialised the conflicting writes for us.
+    let r2 = t2.wait()?;
+    let r1 = t1.wait()?;
+    println!("T{} completed ({} statements)", r1.ta, r1.statements);
+    println!("T{} completed ({} statements)", r2.ta, r2.statements);
 
-        // Once T1's write is through, its client sends the commit, which
-        // releases the declarative write lock and unblocks T2.
-        if !t1_committed && batch.requests.iter().any(|r| r.ta == 1) {
-            scheduler.submit(Request::commit(0, 1, 1), now_ms + 1);
-            t1_committed = true;
-        }
-        now_ms += 1;
-        if batch.is_empty() && scheduler.queued() == 0 && scheduler.pending() == 0 {
-            break;
-        }
+    // 4. One unified report, whatever the backend.
+    let report = scheduler.shutdown();
+    println!("\nexecution order on the server:");
+    for request in &report.executed_log {
+        println!("   -> {request}");
     }
-    // Flush the remaining rounds (T2's deferred write).
-    while scheduler.pending() > 0 || scheduler.queued() > 0 {
-        let batch = scheduler.run_round(now_ms)?;
-        for request in &batch.requests {
-            println!("   -> dispatch {request}");
-        }
-        dispatcher.execute_batch(&batch)?;
-        now_ms += 1;
-    }
-
-    let metrics = scheduler.metrics();
     println!(
-        "\nscheduled {} requests in {} rounds (avg batch {:.1})",
-        metrics.requests_scheduled,
-        metrics.rounds,
-        metrics.avg_batch_size()
+        "\nbackend={} rounds={} scheduled={} (avg batch {:.1})",
+        report.backend,
+        report.rounds,
+        report.scheduler.requests_scheduled,
+        report.scheduler.avg_batch_size()
     );
     println!(
         "server executed {} data statements, {} commits — final value of account 42: {}",
-        dispatcher.totals().executed,
-        dispatcher.totals().commits,
-        dispatcher
-            .engine()
-            .store()
-            .read("accounts", 42)
-            .expect("row exists")
-            .values[0]
+        report.dispatch.executed, report.dispatch.commits, report.final_rows[42]
     );
     Ok(())
 }

@@ -1,49 +1,55 @@
 //! Sharded scheduling demo: the same declarative SS2PL rule, now running on
-//! four shards behind a footprint-hash router, with a cross-shard
+//! four shards behind a footprint-hash router — driven through exactly the
+//! same `Session` surface as the unsharded quickstart, with a cross-shard
 //! transaction taking the serialized escalation lane.
 //!
 //! Run with: `cargo run --release --example sharded_demo`
 //!
 //! Three phases:
-//!  1. a burst of single-shard transactions fans out over the fleet (no
-//!     shard ever talks to another),
+//!  1. a burst of single-shard transactions fans out over the fleet,
+//!     pipelined from one session (no shard ever talks to another),
 //!  2. one spanning transaction gets escalated: the lane freezes its two
 //!     home shards, proves conflict-freedom with the same declarative rule
 //!     over the union of their history relations, and executes inside the
 //!     epoch,
-//!  3. the merged fleet metrics show where the time went.
+//!  3. the unified report shows where the time went.
 
-use declsched::{shard_of, Protocol, ProtocolKind, Request, SchedulerConfig, TriggerPolicy};
-use shard::{ShardConfig, ShardRouter};
+use declsched::{shard_of, Protocol, ProtocolKind, SchedulerConfig, TriggerPolicy};
+use session::{Scheduler, Txn};
 
 fn main() {
     const SHARDS: usize = 4;
     const ROWS: usize = 10_000;
 
-    let config = ShardConfig::new(SHARDS, Protocol::algebra(ProtocolKind::Ss2pl))
-        .with_scheduler(SchedulerConfig {
+    // Only this builder differs from the unsharded quickstart.
+    let scheduler = Scheduler::builder()
+        .policy(Protocol::algebra(ProtocolKind::Ss2pl))
+        .scheduler_config(SchedulerConfig {
             trigger: TriggerPolicy::Hybrid {
                 interval_ms: 1,
                 threshold: 16,
             },
             ..SchedulerConfig::default()
         })
-        .with_table("accounts", ROWS);
-    let router = ShardRouter::start(config).expect("fleet starts");
+        .table("accounts", ROWS)
+        .shards(SHARDS)
+        .build()
+        .expect("fleet starts");
+    let mut session = scheduler.connect();
 
-    // Phase 1: 64 single-object transactions, uniformly spread.  Each routes
-    // to its object's home shard and runs there without any cross-shard
-    // synchronization.
-    println!("phase 1: 64 single-shard transactions across {SHARDS} shards");
+    // Phase 1: 64 single-object transactions, uniformly spread and fully
+    // pipelined.  Each routes to its object's home shard and runs there
+    // without any cross-shard synchronization.
+    println!("phase 1: 64 single-shard transactions across {SHARDS} shards (pipelined)");
     let mut tickets = Vec::new();
     for ta in 1..=64u64 {
         let object = (ta * 151) as i64 % ROWS as i64;
-        let txn = vec![Request::write(0, ta, 0, object), Request::commit(0, ta, 1)];
+        let txn = Txn::new(ta).write(object, ta as i64).commit();
         println!(
             "   T{ta:<3} updates object {object:<5} -> shard {}",
             shard_of(object, SHARDS)
         );
-        tickets.push(router.submit_transaction(txn).expect("fleet is up"));
+        tickets.push(session.submit(txn).expect("fleet is up"));
     }
     for ticket in tickets {
         ticket.wait().expect("single-shard transactions commit");
@@ -58,39 +64,39 @@ fn main() {
     let b: i64 = (0..ROWS as i64)
         .find(|&o| shard_of(o, SHARDS) == 1)
         .expect("shard 1 owns objects");
-    println!("\nphase 2: T100 moves value between object {a} (shard 0) and object {b} (shard 1)");
-    router
-        .execute_transaction(vec![
-            Request::write(0, 100, 0, a),
-            Request::write(0, 100, 1, b),
-            Request::commit(0, 100, 2),
-        ])
+    let spanning = Txn::new(100).write(a, -1).write(b, 1).commit();
+    println!(
+        "\nphase 2: T100 moves value between object {a} (shard 0) and object {b} (shard 1), footprint {:?}",
+        spanning.footprint()
+    );
+    session
+        .execute(spanning)
         .expect("the spanning transaction commits through the escalation lane");
     println!("   escalated, barrier-executed and committed on both shards");
 
-    // Phase 3: the merged fleet metrics.
-    let report = router.shutdown();
-    let m = &report.metrics;
-    println!("\nphase 3: fleet report");
+    // Phase 3: the unified report (with its sharded detail).
+    let report = scheduler.shutdown();
+    let detail = report.sharded.as_ref().expect("sharded deployment");
+    println!("\nphase 3: fleet report (backend={})", report.backend);
     println!(
-        "   transactions routed      : {} ({} cross-shard, rate {:.1}%)",
-        m.transactions,
-        m.cross_shard_transactions,
-        m.cross_shard_rate() * 100.0
+        "   transactions routed      : {} ({} cross-shard)",
+        report.transactions, detail.cross_shard_transactions
     );
     println!(
         "   escalation lane          : {} escalations, {} retries, {} requests",
-        m.escalation.escalations, m.escalation.retries, m.escalation.escalated_requests
+        detail.escalation.escalations,
+        detail.escalation.retries,
+        detail.escalation.escalated_requests
     );
     println!(
         "   executed on the fleet    : {} data statements, {} commits",
-        m.dispatch.executed, m.dispatch.commits
+        report.dispatch.executed, report.dispatch.commits
     );
     println!(
         "   scheduling rounds        : {} across all shards (max batch {}, peak pending {})",
-        m.merged.rounds, m.merged.max_batch, m.peak_pending
+        report.rounds, report.scheduler.max_batch, detail.peak_pending
     );
-    for shard in &report.shards {
+    for shard in &detail.reports {
         println!(
             "   shard {}: {} rounds, {} scheduled, {} writes, {} commits",
             shard.shard,
@@ -102,7 +108,7 @@ fn main() {
     }
     println!(
         "\n{} requests/s across the fleet ({:.1} ms wall clock)",
-        m.throughput_rps() as u64,
-        m.wall.as_secs_f64() * 1e3
+        report.requests_per_sec() as u64,
+        report.wall.as_secs_f64() * 1e3
     );
 }

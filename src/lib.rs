@@ -2,6 +2,8 @@
 //!
 //! The actual functionality lives in the workspace crates:
 //!
+//! * [`session`] — the **unified client API**: `Scheduler::builder()` /
+//!   `Session` / `Txn` over every deployment (start here).
 //! * [`declsched`] — the declarative middleware scheduler (paper core).
 //! * [`shard`] — the sharded scheduling subsystem (router + per-shard
 //!   schedulers + cross-shard escalation lane).
@@ -15,6 +17,7 @@
 pub use declsched;
 pub use relalg;
 pub use schedlang;
+pub use session;
 pub use shard;
 pub use txnstore;
 pub use workload;

@@ -2,11 +2,9 @@
 //! declaratively scheduled vs non-scheduling passthrough, the threaded
 //! middleware, trigger behaviour and history pruning.
 
-use declsched::middleware::Middleware;
 use declsched::passthrough::{PassthroughOutcome, PassthroughScheduler};
 use declsched::prelude::*;
 use declsched::protocol::Backend;
-use txnstore::{Statement, TxnId};
 
 /// In declaratively scheduled mode the server never blocks or deadlocks —
 /// the middleware's rule already serialised the conflicting requests — while
@@ -72,12 +70,13 @@ fn scheduled_mode_keeps_the_server_free_of_lock_activity() {
 }
 
 /// The threaded middleware delivers SLA metadata through to the scheduling
-/// rounds: premium requests overtake earlier free-tier requests.
+/// rounds: premium requests overtake earlier free-tier requests.  Each
+/// client drives its own `Session` against the same deployment.
 #[test]
 fn middleware_orders_premium_traffic_first() {
-    let middleware = Middleware::start(
-        Protocol::new(ProtocolKind::SlaPriority, Backend::Algebra),
-        SchedulerConfig {
+    let scheduler = session::Scheduler::builder()
+        .policy(Protocol::new(ProtocolKind::SlaPriority, Backend::Algebra))
+        .scheduler_config(SchedulerConfig {
             // Large fill threshold + short interval: both requests of the
             // test are normally batched into the same round.
             trigger: TriggerPolicy::Hybrid {
@@ -85,40 +84,33 @@ fn middleware_orders_premium_traffic_first() {
                 threshold: 64,
             },
             ..SchedulerConfig::default()
-        },
-        "bench",
-        100,
-    )
-    .unwrap();
+        })
+        .table("bench", 100)
+        .build()
+        .unwrap();
 
-    let free = middleware.connect();
-    let premium = middleware.connect();
+    let mut free = scheduler.connect();
+    let mut premium = scheduler.connect();
     let free_thread = std::thread::spawn(move || {
-        free.execute_with_sla(
-            Statement::select(TxnId(1), 0, "bench", 1),
-            Some(SlaMeta {
-                priority: 1,
-                class: "free",
-                arrival_ms: 0,
-                deadline_ms: 1_000,
-            }),
-        )
+        free.execute(session::Txn::new(1).read(1).with_sla(SlaMeta {
+            priority: 1,
+            class: "free",
+            arrival_ms: 0,
+            deadline_ms: 1_000,
+        }))
     });
     let premium_thread = std::thread::spawn(move || {
-        premium.execute_with_sla(
-            Statement::select(TxnId(2), 0, "bench", 2),
-            Some(SlaMeta {
-                priority: 3,
-                class: "premium",
-                arrival_ms: 0,
-                deadline_ms: 50,
-            }),
-        )
+        premium.execute(session::Txn::new(2).read(2).with_sla(SlaMeta {
+            priority: 3,
+            class: "premium",
+            arrival_ms: 0,
+            deadline_ms: 50,
+        }))
     });
     free_thread.join().unwrap().unwrap();
     premium_thread.join().unwrap().unwrap();
-    let report = middleware.shutdown();
-    assert_eq!(report.executed, 2);
+    let report = scheduler.shutdown();
+    assert_eq!(report.dispatch.executed, 2);
     assert!(report.rounds >= 1);
 }
 

@@ -1,0 +1,277 @@
+//! Integration tests for the unified Session API: one scenario definition
+//! driven unmodified against every backend, pipelined submission, and the
+//! SLA end-to-end path.
+
+use declsched::{
+    shard_of, Protocol, ProtocolKind, RequestKey, SchedulerConfig, SlaMeta, TriggerPolicy,
+};
+use session::{BackendKind, Report, Scheduler, SchedulerBuilder, Ticket, Txn};
+use std::collections::{BTreeMap, BTreeSet};
+use workload::ShardedSpec;
+
+const TABLE_ROWS: usize = 512;
+
+fn builder() -> SchedulerBuilder {
+    Scheduler::builder()
+        .policy(Protocol::algebra(ProtocolKind::Ss2pl))
+        .scheduler_config(SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 1,
+                threshold: 8,
+            },
+            ..SchedulerConfig::default()
+        })
+        .table("bench", TABLE_ROWS)
+}
+
+/// The scenario of the equivalence test: a uniform OLTP workload at
+/// transaction granularity, identical for every backend.
+fn scenario(shards: usize) -> Vec<workload::TransactionSpec> {
+    let spec = ShardedSpec {
+        shards,
+        cross_shard_fraction: 0.0,
+        transactions: 32,
+        statements_per_txn: 2,
+        update_fraction: 1.0,
+        table_rows: TABLE_ROWS,
+        table: "bench".to_string(),
+        seed: 7,
+    };
+    spec.generate(|object| shard_of(object, shards))
+}
+
+/// Drive the scenario through one pipelined session and return the report.
+fn drive(scheduler: Scheduler, transactions: &[workload::TransactionSpec]) -> Report {
+    let mut session = scheduler.connect();
+    let tickets: Vec<Ticket> = transactions
+        .iter()
+        .map(|txn| {
+            session
+                .submit(Txn::from_statements(&txn.statements))
+                .expect("submission succeeds")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("every workload transaction commits");
+    }
+    scheduler.shutdown()
+}
+
+fn executed_data_keys(report: &Report) -> BTreeSet<RequestKey> {
+    report
+        .executed_log
+        .iter()
+        .filter(|r| r.op.is_data())
+        .map(|r| r.key())
+        .collect()
+}
+
+/// Per-object write order `(object -> [ta...])` — the admission-order
+/// invariant every backend must agree on for a submission-ordered uniform
+/// workload.
+fn per_object_write_order(report: &Report) -> BTreeMap<i64, Vec<u64>> {
+    let mut orders: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+    for request in &report.executed_log {
+        if request.op == declsched::Operation::Write {
+            orders.entry(request.object).or_default().push(request.ta);
+        }
+    }
+    orders
+}
+
+/// Satellite: the same OLTP scenario driven through `Session` against
+/// passthrough, unsharded, and N-shard backends yields consistent commit
+/// counts, identical executed request sets, identical per-object admission
+/// order and identical final database state.
+#[test]
+fn backends_are_equivalent_on_the_same_scenario() {
+    let shards = 3usize;
+    let transactions = scenario(shards);
+
+    let passthrough = drive(builder().passthrough().build().unwrap(), &transactions);
+    let unsharded = drive(builder().build().unwrap(), &transactions);
+    let sharded = drive(builder().shards(shards).build().unwrap(), &transactions);
+
+    assert_eq!(passthrough.backend, BackendKind::Passthrough);
+    assert_eq!(unsharded.backend, BackendKind::Unsharded);
+    assert_eq!(sharded.backend, BackendKind::Sharded);
+
+    // Consistent commit counts: every transaction commits exactly once on
+    // every backend (no cross-shard traffic, so the sharded fleet commits
+    // once per transaction too).
+    for report in [&passthrough, &unsharded, &sharded] {
+        assert_eq!(report.transactions, 32, "{}", report.backend);
+        assert_eq!(report.dispatch.commits, 32, "{}", report.backend);
+    }
+    assert_eq!(
+        sharded.sharded.as_ref().unwrap().cross_shard_transactions,
+        0
+    );
+
+    // The same request set executed …
+    let keys = executed_data_keys(&unsharded);
+    assert_eq!(keys, executed_data_keys(&passthrough));
+    assert_eq!(keys, executed_data_keys(&sharded));
+    assert_eq!(
+        unsharded.dispatch.executed, passthrough.dispatch.executed,
+        "data statement counts must agree"
+    );
+    assert_eq!(unsharded.dispatch.executed, sharded.dispatch.executed);
+
+    // … in the same per-object admission order …
+    let order = per_object_write_order(&unsharded);
+    assert_eq!(order, per_object_write_order(&passthrough));
+    assert_eq!(order, per_object_write_order(&sharded));
+    // (submission order is transaction-id order under the SS2PL tie-break)
+    for tas in order.values() {
+        let mut sorted = tas.clone();
+        sorted.sort_unstable();
+        assert_eq!(tas, &sorted, "write-order inversion");
+    }
+
+    // … leaving identical final database state.
+    assert_eq!(unsharded.final_rows, passthrough.final_rows);
+    assert_eq!(unsharded.final_rows, sharded.final_rows);
+}
+
+/// Satellite: one session with K in-flight tickets completes all
+/// transactions — against the unsharded middleware and the sharded fleet.
+#[test]
+fn one_session_sustains_many_in_flight_transactions() {
+    for scheduler in [
+        builder().build().unwrap(),
+        builder().shards(2).build().unwrap(),
+    ] {
+        let kind = scheduler.backend_kind();
+        let mut session = scheduler.connect();
+        const K: usize = 24;
+        let tickets: Vec<Ticket> = (1..=K as u64)
+            .map(|ta| {
+                session
+                    .submit(Txn::new(ta).write(ta as i64, ta as i64).commit())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(session.in_flight(), K, "{kind}");
+        for ticket in tickets {
+            let receipt = ticket.wait().unwrap();
+            assert_eq!(receipt.statements, 2, "{kind}");
+        }
+        let report = scheduler.shutdown();
+        assert_eq!(report.dispatch.commits, K as u64, "{kind}");
+    }
+}
+
+/// Satellite: out-of-order `wait()` is safe, including on transactions
+/// that conflict (a later-submitted ticket awaited first).
+#[test]
+fn out_of_order_wait_is_safe() {
+    let scheduler = builder().build().unwrap();
+    let mut session = scheduler.connect();
+    // All transactions contend on object 3, so completion order is forced
+    // to submission order — the opposite of our wait order.
+    let tickets: Vec<Ticket> = (1..=8u64)
+        .map(|ta| {
+            session
+                .submit(Txn::new(ta).write(3, ta as i64).commit())
+                .unwrap()
+        })
+        .collect();
+    for ticket in tickets.into_iter().rev() {
+        ticket.wait().unwrap();
+    }
+    let report = scheduler.shutdown();
+    assert_eq!(report.dispatch.commits, 8);
+    let order: Vec<u64> = report.object_order(3).iter().map(|o| o.0).collect();
+    assert_eq!(order, (1..=8).collect::<Vec<_>>());
+}
+
+/// Satellite: dropping a `Ticket` without waiting neither loses the
+/// transaction nor wedges the scheduler thread; `drain` still settles and
+/// shutdown completes.
+#[test]
+fn dropped_tickets_do_not_wedge_the_scheduler() {
+    for scheduler in [
+        builder().build().unwrap(),
+        builder().shards(2).build().unwrap(),
+        builder().passthrough().build().unwrap(),
+    ] {
+        let kind = scheduler.backend_kind();
+        let mut session = scheduler.connect();
+        for ta in 1..=16u64 {
+            // Ticket dropped on the spot.
+            drop(
+                session
+                    .submit(Txn::new(ta).write(ta as i64, 1).commit())
+                    .unwrap(),
+            );
+        }
+        session.drain().unwrap();
+        let report = scheduler.shutdown();
+        assert_eq!(report.dispatch.commits, 16, "{kind}");
+    }
+}
+
+/// Satellite (SLA regression): the old `execute_transaction` entry point
+/// silently dropped SLA metadata.  Through the unified API the metadata
+/// reaches the scheduling rounds: under the SLA-priority protocol a
+/// premium transaction submitted *after* a free one is dispatched first —
+/// impossible unless the rule's `sla` relation saw it.
+#[test]
+fn sla_metadata_reaches_the_protocol_end_to_end() {
+    let scheduler = Scheduler::builder()
+        .policy(Protocol::algebra(ProtocolKind::SlaPriority))
+        .scheduler_config(SchedulerConfig {
+            // A wide window batches both submissions into one round that
+            // has to arbitrate between the classes.
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 40,
+                threshold: 64,
+            },
+            ..SchedulerConfig::default()
+        })
+        .table("bench", TABLE_ROWS)
+        .build()
+        .unwrap();
+    let mut session = scheduler.connect();
+    let free = session
+        .submit(Txn::new(1).read(1).with_sla(SlaMeta {
+            priority: 1,
+            class: "free",
+            arrival_ms: 0,
+            deadline_ms: 1_000,
+        }))
+        .unwrap();
+    let premium = session
+        .submit(Txn::new(2).read(2).with_sla(SlaMeta {
+            priority: 3,
+            class: "premium",
+            arrival_ms: 0,
+            deadline_ms: 50,
+        }))
+        .unwrap();
+    free.wait().unwrap();
+    premium.wait().unwrap();
+    let report = scheduler.shutdown();
+    let order: Vec<u64> = report.executed_log.iter().map(|r| r.ta).collect();
+    assert_eq!(
+        order,
+        vec![2, 1],
+        "premium (T2) must be dispatched before free (T1)"
+    );
+    // The metadata survives the round trip into the log.
+    assert_eq!(report.executed_log[0].sla.unwrap().class, "premium");
+}
+
+/// The façade refuses work after shutdown instead of hanging.
+#[test]
+fn submissions_after_shutdown_fail_fast() {
+    let scheduler = builder().build().unwrap();
+    let mut session = scheduler.connect();
+    let _ = scheduler.shutdown();
+    let err = session
+        .submit(Txn::new(1).write(1, 1).commit())
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, declsched::SchedError::ChannelClosed { .. }));
+}

@@ -201,28 +201,24 @@ fn cross_shard_workload_escalates_and_commits_everything() {
     }
 }
 
-/// The sharded middleware under concurrent clients mixing local and
-/// spanning transactions.
+/// The sharded deployment under concurrent clients mixing local and
+/// spanning transactions, each driving its own `Session`.
 #[test]
 fn sharded_middleware_with_concurrent_cross_shard_clients() {
-    use shard::ShardedMiddleware;
-    use txnstore::{Statement, TxnId};
-
     let shards = 2usize;
-    let mw = ShardedMiddleware::start(
-        Protocol::algebra(ProtocolKind::Ss2pl),
-        SchedulerConfig {
+    let scheduler = session::Scheduler::builder()
+        .policy(Protocol::algebra(ProtocolKind::Ss2pl))
+        .scheduler_config(SchedulerConfig {
             trigger: TriggerPolicy::Hybrid {
                 interval_ms: 1,
                 threshold: 4,
             },
             ..SchedulerConfig::default()
-        },
-        "bench",
-        TABLE_ROWS,
-        shards,
-    )
-    .unwrap();
+        })
+        .table("bench", TABLE_ROWS)
+        .shards(shards)
+        .build()
+        .unwrap();
 
     let object_on = |shard: usize| -> i64 {
         (0..TABLE_ROWS as i64)
@@ -233,7 +229,7 @@ fn sharded_middleware_with_concurrent_cross_shard_clients() {
 
     let mut joins = Vec::new();
     for ta in 1..=6u64 {
-        let client = mw.connect();
+        let mut client = scheduler.connect();
         joins.push(std::thread::spawn(move || {
             let objects: Vec<i64> = if ta % 3 == 0 {
                 vec![a, b] // spanning
@@ -242,21 +238,20 @@ fn sharded_middleware_with_concurrent_cross_shard_clients() {
             } else {
                 vec![b]
             };
-            let mut statements: Vec<Statement> = objects
-                .iter()
-                .enumerate()
-                .map(|(i, &o)| Statement::update(TxnId(ta), i as u32, "bench", o, ta as i64))
-                .collect();
-            statements.push(Statement::commit(TxnId(ta), objects.len() as u32, "bench"));
-            client.execute_transaction(statements).unwrap();
+            let mut txn = session::Txn::new(ta);
+            for &object in &objects {
+                txn = txn.write(object, ta as i64);
+            }
+            client.execute(txn.commit()).unwrap();
         }));
     }
     for join in joins {
         join.join().unwrap();
     }
-    let report = mw.shutdown();
-    assert_eq!(report.metrics.transactions, 6);
-    assert_eq!(report.metrics.cross_shard_transactions, 2);
-    assert_eq!(report.metrics.escalation.failed, 0);
-    assert_eq!(report.metrics.dispatch.writes, 4 + 2 * 2);
+    let report = scheduler.shutdown();
+    let detail = report.sharded.as_ref().expect("sharded detail");
+    assert_eq!(report.transactions, 6);
+    assert_eq!(detail.cross_shard_transactions, 2);
+    assert_eq!(detail.escalation.failed, 0);
+    assert_eq!(report.dispatch.writes, 4 + 2 * 2);
 }
