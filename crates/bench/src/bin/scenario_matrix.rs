@@ -1,0 +1,123 @@
+//! The scenario matrix: every registered workload scenario
+//! (`workload::scenario::registry`) driven through the unified `session`
+//! façade against all three deployments (passthrough, unsharded middleware,
+//! 4-shard router fleet), plus an open-loop saturation sweep that shows
+//! offered load decoupling from completion.
+//!
+//! Emits a human-readable CSV on stdout and writes the machine-readable
+//! `BENCH_scenario_matrix.json` into the current directory.  Exits
+//! non-zero if the emitted document does not cover every registered
+//! scenario on every backend — CI runs this at `--smoke` scale, so a
+//! scenario added to the registry but broken on some deployment fails the
+//! build instead of silently vanishing from the results.
+//!
+//! Usage: `cargo run --release -p bench --bin scenario_matrix [--paper|--smoke]`
+
+use bench::{
+    saturation_series, scenario_matrix_json, scenario_matrix_sweep, scenario_params, MatrixBackend,
+    Scale,
+};
+use workload::scenario::registry;
+
+const SHARDS: usize = 4;
+const LOAD_FACTORS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+/// The open-loop scenario swept across load factors for the saturation
+/// series (any open-loop registry entry works; `bursty` is the designated
+/// queueing-collapse probe).
+const SATURATION_SCENARIO: &str = "bursty";
+
+fn main() {
+    let scale = Scale::from_args();
+    let scale_label = Scale::label_from_args();
+    let params = scenario_params(scale);
+    let backends = [
+        MatrixBackend::Passthrough,
+        MatrixBackend::Unsharded,
+        MatrixBackend::Sharded(SHARDS),
+    ];
+
+    println!(
+        "# scenario matrix — {} scenarios x {} backends, {} transactions over {} rows each",
+        registry().len(),
+        backends.len(),
+        params.transactions,
+        params.table_rows
+    );
+    println!("{}", bench::ScenarioMatrixRow::csv_header());
+    let rows = scenario_matrix_sweep(&backends, scale);
+    for row in &rows {
+        println!("{}", row.to_csv());
+    }
+
+    // The open-loop saturation sweep: offered load at multiples of each
+    // backend's measured capacity.
+    let probe = workload::scenario::by_name(SATURATION_SCENARIO)
+        .expect("saturation probe scenario is registered");
+    let mut saturation = Vec::new();
+    println!("# saturation sweep — {SATURATION_SCENARIO}, offered load vs achieved:");
+    println!("scenario,backend,load_factor,offered_tps,achieved_tps,p99_ms,peak_in_flight");
+    for &backend in &backends {
+        let points = saturation_series(probe.as_ref(), backend, scale, &LOAD_FACTORS, None);
+        for p in &points {
+            println!(
+                "{},{},{:.2},{:.0},{:.0},{:.3},{}",
+                p.scenario,
+                p.backend,
+                p.load_factor,
+                p.offered_tps,
+                p.achieved_tps,
+                p.p99_ms,
+                p.peak_in_flight
+            );
+        }
+        saturation.extend(points);
+    }
+
+    // Headline: where does each backend saturate?
+    for &backend in &backends {
+        let label = backend.label();
+        let knee = saturation
+            .iter()
+            .filter(|p| p.backend == label)
+            .find(|p| p.achieved_tps < p.offered_tps * 0.9);
+        match knee {
+            Some(p) => println!(
+                "# {label}: saturates by {:.1}x capacity (offered {:.0} tps, achieved {:.0} tps)",
+                p.load_factor, p.offered_tps, p.achieved_tps
+            ),
+            None => println!(
+                "# {label}: no saturation up to {:.1}x capacity",
+                LOAD_FACTORS.last().copied().unwrap_or_default()
+            ),
+        }
+    }
+
+    let json = scenario_matrix_json(&rows, &saturation, scale_label);
+    let path = "BENCH_scenario_matrix.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("# could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {path}");
+
+    // Self-check: the emitted document must contain one series row per
+    // (registered scenario, backend) pair.  A registry entry that broke on
+    // some deployment — or was silently skipped — fails the run.
+    let mut missing = Vec::new();
+    for scenario in registry() {
+        for &backend in &backends {
+            let cell = format!(
+                "\"scenario\":\"{}\",\"backend\":\"{}\"",
+                scenario.name(),
+                backend.label()
+            );
+            if !json.contains(&cell) {
+                missing.push(format!("{}/{}", scenario.name(), backend.label()));
+            }
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("# ERROR: {path} is missing scenario cells: {missing:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,255 @@
+//! A small fixed-bucket latency histogram.
+//!
+//! Latency distributions under saturation are heavy-tailed, so benches must
+//! report percentiles — averages hide collapse entirely.  This histogram
+//! uses geometrically spaced buckets (constant *relative* resolution of
+//! ~15 % from 1 µs to 100 s), needs no allocation per sample and merges
+//! cheaply, which is all the scenario matrix requires.  Exact minimum,
+//! maximum and mean are tracked on the side.
+
+/// Geometric growth factor between adjacent bucket bounds.
+const GROWTH: f64 = 1.15;
+/// Lower bound of the first bucket, microseconds.
+const MIN_US: f64 = 1.0;
+/// Everything at or above this lands in the overflow bucket, microseconds.
+const MAX_US: f64 = 1e8;
+
+/// A latency histogram over fixed, geometrically spaced buckets.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Bucket upper bounds in microseconds, ascending; the last entry is
+    /// the overflow bucket's bound (`MAX_US`).
+    bounds_us: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u128,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let mut bounds_us = Vec::new();
+        let mut bound = MIN_US;
+        while bound < MAX_US {
+            bounds_us.push(bound.round() as u64);
+            bound *= GROWTH;
+        }
+        bounds_us.push(MAX_US as u64);
+        let buckets = bounds_us.len();
+        LatencyHistogram {
+            bounds_us,
+            counts: vec![0; buckets],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Record one latency sample, in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let index = match self.bounds_us.binary_search(&us) {
+            Ok(i) | Err(i) => i.min(self.bounds_us.len() - 1),
+        };
+        self.counts[index] += 1;
+        self.count += 1;
+        self.sum_us += us as u128;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Record a [`std::time::Duration`] sample.
+    pub fn record(&mut self, latency: std::time::Duration) {
+        self.record_us(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        debug_assert_eq!(self.bounds_us, other.bounds_us);
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the recorded samples, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64 / 1e3
+        }
+    }
+
+    /// Exact maximum, in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_us as f64 / 1e3
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds: the upper bound of
+    /// the bucket holding the target sample, clamped to the exact observed
+    /// extremes so single-bucket distributions report exactly.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                if index == self.counts.len() - 1 {
+                    // Overflow bucket: its nominal bound says nothing, the
+                    // observed maximum does.
+                    return self.max_us;
+                }
+                return self.bounds_us[index].clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Median latency in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile_us(0.50) as f64 / 1e3
+    }
+
+    /// 99th-percentile latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile_us(0.99) as f64 / 1e3
+    }
+
+    /// 99.9th-percentile latency in milliseconds.
+    pub fn p999_ms(&self) -> f64 {
+        self.quantile_us(0.999) as f64 / 1e3
+    }
+
+    /// The non-empty buckets as `(upper_bound_us, count)` pairs — the
+    /// machine-readable form for benchmark JSON.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.bounds_us
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &count)| count > 0)
+            .map(|(&bound, &count)| (bound, count))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.p50_ms(), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_ramp_within_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=100_000u64 {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 100_000);
+        for (q, exact) in [(0.50, 50_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
+            let estimate = h.quantile_us(q) as f64;
+            let error = (estimate - exact).abs() / exact;
+            assert!(
+                error < GROWTH - 1.0 + 0.01,
+                "q={q}: estimate {estimate} vs exact {exact} (error {error})"
+            );
+        }
+        // Exact side stats.
+        assert!((h.mean_ms() - 50.0005).abs() < 1e-6);
+        assert!((h.max_ms() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_value_distributions_report_exactly() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1_000 {
+            h.record_us(777);
+        }
+        // The clamp to observed extremes pins every quantile to the value.
+        assert_eq!(h.quantile_us(0.5), 777);
+        assert_eq!(h.quantile_us(0.999), 777);
+        assert_eq!(h.quantile_us(1.0), 777);
+    }
+
+    #[test]
+    fn overflow_and_underflow_land_in_the_edge_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record_us(0);
+        h.record(Duration::from_secs(10_000)); // 1e10 us, beyond MAX_US
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(0.0), 1); // the first bucket's bound
+        assert_eq!(h.quantile_us(1.0), 10_000_000_000); // clamped to observed max
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].0, MIN_US as u64);
+        assert_eq!(buckets[1].0, MAX_US as u64);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for us in (1..5_000u64).step_by(7) {
+            a.record_us(us);
+            whole.record_us(us);
+        }
+        for us in (1..9_000u64).step_by(11) {
+            b.record_us(us);
+            whole.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile_us(q), whole.quantile_us(q), "q={q}");
+        }
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+        assert!((a.mean_ms() - whole.mean_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_helpers_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            for _ in 0..100 {
+                h.record_us(us);
+            }
+        }
+        assert!(h.p50_ms() <= h.p99_ms());
+        assert!(h.p99_ms() <= h.p999_ms());
+        assert!(h.p999_ms() <= h.max_ms());
+    }
+}

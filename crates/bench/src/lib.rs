@@ -9,6 +9,14 @@
 //! * Section 4.4 (crossover discussion) → [`crossover_table`]
 //! * Table 1 (related approaches) / Table 2 (request schema) →
 //!   [`table1_related`], [`table1_protocols`], [`table2_schema`]
+//!
+//! Beyond the paper, the scaling and scenario experiments:
+//!
+//! * shard scaling → [`shard_scaling_sweep`] (`BENCH_shard_scaling.json`)
+//! * backend matrix → [`backend_matrix_sweep`] (`BENCH_backend_matrix.json`)
+//! * workload scenarios → [`scenario_matrix_sweep`], [`saturation_series`]
+//!   (`BENCH_scenario_matrix.json`), with latencies binned by
+//!   [`hist::LatencyHistogram`]
 
 #![warn(missing_docs)]
 
@@ -19,7 +27,15 @@ use simkit::{fig2_point, CostModel, Fig2Point, MultiUserConfig};
 use std::time::Instant;
 use workload::OltpSpec;
 
+pub mod hist;
+pub mod scenario;
+
 pub use declsched::protocol::Backend;
+pub use hist::LatencyHistogram;
+pub use scenario::{
+    saturation_series, scenario_matrix_json, scenario_matrix_run, scenario_matrix_sweep,
+    scenario_params, SaturationPoint, ScenarioMatrixRow,
+};
 
 /// Scaled-down workload dimensions used by default so the full sweep runs in
 /// seconds; pass `--paper` to the binaries for the full-size workload.

@@ -96,6 +96,27 @@ impl ClientHandle {
 
     /// Submit a statement and wait until the middleware has scheduled and
     /// executed it on the server.
+    ///
+    /// Deprecated: one blocking round trip per *statement* cannot pipeline
+    /// and carries no transaction context.  The exact replacement is
+    /// `session::Session::execute` with a single-statement `session::Txn`
+    /// (`session::Session::submit` keeps it non-blocking).
+    ///
+    /// # Migration
+    ///
+    /// ```ignore
+    /// // Before (deprecated, statement-at-a-time):
+    /// handle.execute(Statement::update(TxnId(1), 0, "bench", 7, 7))?;
+    ///
+    /// // After — the statement becomes a typed one-request transaction:
+    /// let scheduler = session::Scheduler::builder().table("bench", 100).build()?;
+    /// let mut session = scheduler.connect();
+    /// session.execute(session::Txn::new(1).write(7, 7))?;
+    /// ```
+    ///
+    /// (The example is `ignore`d because `session` sits above this crate in
+    /// the dependency graph; it compiles verbatim from any crate that
+    /// depends on `session`.)
     #[deprecated(note = "use `session::Session::submit` (or `submit_transaction`) instead")]
     pub fn execute(&self, statement: Statement) -> SchedResult<()> {
         self.submit_transaction(vec![Request::from_statement(0, &statement)])?
@@ -103,6 +124,21 @@ impl ClientHandle {
     }
 
     /// Submit a statement carrying SLA metadata.
+    ///
+    /// Deprecated: the exact replacement is `session::Txn::with_sla`, which
+    /// stamps the metadata on *every* request of the transaction so the SLA
+    /// relation sees it end-to-end (this shim tagged one statement at a
+    /// time, which is how SLA metadata used to get lost mid-transaction).
+    ///
+    /// # Migration
+    ///
+    /// ```ignore
+    /// // Before (deprecated):
+    /// handle.execute_with_sla(statement, Some(sla))?;
+    ///
+    /// // After — SLA attached once, carried by every request:
+    /// session.execute(session::Txn::new(1).write(7, 7).commit().with_sla(sla))?;
+    /// ```
     #[deprecated(note = "use `session::Txn::with_sla` through `session::Session` instead")]
     pub fn execute_with_sla(
         &self,
@@ -120,8 +156,21 @@ impl ClientHandle {
     /// been scheduled and executed.
     ///
     /// [`txnstore::Statement`]s carry no SLA metadata, so this entry point
-    /// cannot either — build [`Request`]s (or a `session::Txn`) and use
-    /// [`ClientHandle::submit_transaction`] to carry SLA end-to-end.
+    /// cannot either.  The exact replacement is `session::Session::submit`
+    /// with `session::Txn::from_statements` — it preserves the statements'
+    /// transaction id and intra order, returns an awaitable ticket instead
+    /// of blocking, and `session::Txn::with_sla` restores SLA end-to-end.
+    ///
+    /// # Migration
+    ///
+    /// ```ignore
+    /// // Before (deprecated, blocks until the whole transaction ran):
+    /// handle.execute_transaction(statements)?;
+    ///
+    /// // After — same statements, non-blocking ticket, SLA optional:
+    /// let ticket = session.submit(session::Txn::from_statements(&statements))?;
+    /// ticket.wait()?;
+    /// ```
     #[deprecated(note = "use `session::Session::submit` (or `submit_transaction`) instead")]
     pub fn execute_transaction(&self, statements: Vec<Statement>) -> SchedResult<()> {
         let requests = statements

@@ -46,6 +46,35 @@
 //! hot loop is embarrassingly parallel and shards scale near-linearly;
 //! raising the workload's `cross_shard_fraction` sends traffic through the
 //! serialized lane until it erases the win.
+//!
+//! Direct use of the fleet (client code normally goes through the
+//! `session` façade with `.shards(n)` instead):
+//!
+//! ```
+//! use declsched::{Protocol, ProtocolKind, Request, SchedulerConfig, TriggerPolicy};
+//! use shard::ShardedMiddleware;
+//!
+//! let middleware = ShardedMiddleware::start(
+//!     Protocol::algebra(ProtocolKind::Ss2pl),
+//!     SchedulerConfig {
+//!         trigger: TriggerPolicy::Hybrid { interval_ms: 1, threshold: 4 },
+//!         ..SchedulerConfig::default()
+//!     },
+//!     "bench",
+//!     1_000,
+//!     2, // shards
+//! ).unwrap();
+//!
+//! let client = middleware.connect();
+//! client
+//!     .submit_transaction(vec![Request::write(0, 1, 0, 7), Request::commit(0, 1, 1)])
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//!
+//! let report = middleware.shutdown();
+//! assert_eq!(report.metrics.dispatch.commits, 1);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -33,6 +33,26 @@ impl ShardedClientHandle {
 
     /// Submit a whole transaction and wait until every statement has been
     /// scheduled and executed.
+    ///
+    /// Deprecated: the exact replacement is `session::Session::submit` with
+    /// `session::Txn::from_statements` on a sharded deployment
+    /// (`session::Scheduler::builder().shards(n)`) — same routing and
+    /// escalation semantics, but non-blocking and backend-agnostic.
+    ///
+    /// # Migration
+    ///
+    /// ```ignore
+    /// // Before (deprecated, blocks per transaction):
+    /// middleware.connect().execute_transaction(statements)?;
+    ///
+    /// // After — one façade, any topology:
+    /// let scheduler = session::Scheduler::builder()
+    ///     .table("bench", 1_000)
+    ///     .shards(4)
+    ///     .build()?;
+    /// let mut session = scheduler.connect();
+    /// session.submit(session::Txn::from_statements(&statements))?.wait()?;
+    /// ```
     #[deprecated(note = "use `session::Session::submit` (or `submit_transaction`) instead")]
     pub fn execute_transaction(&self, statements: Vec<Statement>) -> SchedResult<()> {
         let requests: Vec<Request> = statements
@@ -43,6 +63,20 @@ impl ShardedClientHandle {
     }
 
     /// Submit pre-built requests (one transaction) and wait.
+    ///
+    /// Deprecated: the exact replacement is
+    /// `session::Session::submit_requests` on a sharded deployment, which
+    /// takes the same `Vec<Request>` but returns an awaitable ticket.
+    ///
+    /// # Migration
+    ///
+    /// ```ignore
+    /// // Before (deprecated):
+    /// middleware.connect().execute_requests(requests)?;
+    ///
+    /// // After:
+    /// session.submit_requests(requests)?.wait()?;
+    /// ```
     #[deprecated(note = "use `session::Session::submit` (or `submit_transaction`) instead")]
     pub fn execute_requests(&self, requests: Vec<Request>) -> SchedResult<()> {
         self.core.submit(requests)?.wait()

@@ -220,6 +220,26 @@ impl ShardRouter {
     }
 
     /// Submit a transaction and wait for it to execute.
+    ///
+    /// Deprecated: for direct router use the exact replacement is
+    /// [`ShardRouter::submit_transaction`] followed by `wait()`; client
+    /// code should instead go through `session::Session::submit_requests`
+    /// on a `session::Scheduler::builder().shards(n)` deployment, which
+    /// routes through this same fleet behind the unified façade.
+    ///
+    /// # Migration
+    ///
+    /// ```ignore
+    /// // Before (deprecated):
+    /// router.execute_transaction(requests)?;
+    ///
+    /// // After, same crate (non-blocking ticket):
+    /// router.submit_transaction(requests)?.wait()?;
+    ///
+    /// // After, client code (backend-agnostic):
+    /// let scheduler = session::Scheduler::builder().shards(4).build()?;
+    /// scheduler.connect().submit_requests(requests)?.wait()?;
+    /// ```
     #[deprecated(note = "use `submit_transaction(...)?.wait()` or the `session::Session` façade")]
     pub fn execute_transaction(&self, requests: Vec<Request>) -> SchedResult<()> {
         self.submit_transaction(requests)?.wait()

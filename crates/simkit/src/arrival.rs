@@ -1,0 +1,234 @@
+//! Open-loop arrival processes: Poisson and on/off burst schedules.
+//!
+//! The drivers in this crate — and the closed-loop benchmark harnesses the
+//! repository started with — couple *offered* load to *completed* load: a
+//! client submits its next transaction only after the previous one finished,
+//! so the system can never be over-run and queueing collapse is invisible.
+//! An **open-loop** workload severs that coupling: arrival times are drawn
+//! from a stochastic process fixed *before* the run, and the driver submits
+//! at those times whether or not the backend keeps up.  When the offered
+//! rate exceeds capacity, the in-flight queue grows and latency climbs —
+//! exactly the saturation behaviour a closed loop hides.
+//!
+//! [`ArrivalSchedule::generate`] turns a [`workload::ArrivalSpec`] into a
+//! deterministic (seeded) list of arrival offsets in virtual microseconds;
+//! [`OpenLoopPacer`] replays such a schedule against the wall clock.
+
+use std::time::{Duration, Instant};
+use workload::ArrivalSpec;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// A precomputed arrival schedule: non-decreasing offsets (in microseconds
+/// from run start), one per transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    offsets_us: Vec<u64>,
+}
+
+impl ArrivalSchedule {
+    /// Generate `n` arrival offsets for `spec`, deterministically from
+    /// `seed`.
+    ///
+    /// * [`ArrivalSpec::Closed`] has no arrival process — every offset is 0
+    ///   (the driver's window depth does the pacing).
+    /// * [`ArrivalSpec::Poisson`] draws exponential inter-arrival gaps with
+    ///   mean `1 / rate_tps`.
+    /// * [`ArrivalSpec::Bursty`] draws exponential gaps whose rate switches
+    ///   between `base_tps` and `burst_tps` depending on where in the
+    ///   on/off cycle the previous arrival landed.
+    pub fn generate(spec: &ArrivalSpec, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets_us = Vec::with_capacity(n);
+        match *spec {
+            ArrivalSpec::Closed { .. } => offsets_us.resize(n, 0),
+            ArrivalSpec::Poisson { rate_tps } => {
+                let mut t = 0f64;
+                for _ in 0..n {
+                    t += exp_gap_us(&mut rng, rate_tps);
+                    offsets_us.push(t as u64);
+                }
+            }
+            ArrivalSpec::Bursty {
+                base_tps,
+                burst_tps,
+                period_ms,
+                burst_ms,
+            } => {
+                let period_us = (period_ms.max(1) * 1_000) as f64;
+                let burst_us = (burst_ms.min(period_ms.max(1)) * 1_000) as f64;
+                let mut t = 0f64;
+                for _ in 0..n {
+                    let in_burst = (t % period_us) < burst_us;
+                    let rate = if in_burst { burst_tps } else { base_tps };
+                    t += exp_gap_us(&mut rng, rate);
+                    offsets_us.push(t as u64);
+                }
+            }
+        }
+        ArrivalSchedule { offsets_us }
+    }
+
+    /// The arrival offsets in microseconds, non-decreasing.
+    pub fn offsets_us(&self) -> &[u64] {
+        &self.offsets_us
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.offsets_us.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets_us.is_empty()
+    }
+
+    /// Offset of the last arrival — the length of the submission window.
+    pub fn duration_us(&self) -> u64 {
+        self.offsets_us.last().copied().unwrap_or(0)
+    }
+
+    /// The offered load this schedule realises, in transactions per second
+    /// (0 for an instantaneous schedule, e.g. a closed-loop one).
+    pub fn offered_tps(&self) -> f64 {
+        let duration = self.duration_us();
+        if duration == 0 {
+            0.0
+        } else {
+            self.offsets_us.len() as f64 / (duration as f64 / 1e6)
+        }
+    }
+}
+
+/// One exponential inter-arrival gap in microseconds for a process with the
+/// given mean rate (transactions per second).  Degenerate rates (≤ 0, NaN)
+/// collapse to zero gap — everything arrives at once.
+fn exp_gap_us<R: RngCore + ?Sized>(rng: &mut R, rate_tps: f64) -> f64 {
+    if rate_tps.is_nan() || rate_tps <= 0.0 {
+        return 0.0;
+    }
+    // Inverse-CDF sampling; 1 - u avoids ln(0).
+    let u = rng.next_f64();
+    -(1.0 - u).ln() * 1e6 / rate_tps
+}
+
+/// Replays an [`ArrivalSchedule`] against the wall clock: created at the
+/// submission loop's start, [`OpenLoopPacer::pace_until`] sleeps until each
+/// arrival offset is due — and returns immediately when the driver is
+/// already behind schedule, which is precisely the saturated regime the
+/// open loop exists to expose.
+#[derive(Debug)]
+pub struct OpenLoopPacer {
+    start: Instant,
+}
+
+impl OpenLoopPacer {
+    /// Start the clock.
+    pub fn start() -> Self {
+        OpenLoopPacer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Sleep until `offset_us` past the pacer's start; no-op if that time
+    /// has already passed.
+    pub fn pace_until(&self, offset_us: u64) {
+        let due = Duration::from_micros(offset_us);
+        let elapsed = self.start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+    }
+
+    /// Microseconds since the pacer started.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedule_is_sorted_deterministic_and_hits_its_rate() {
+        let spec = ArrivalSpec::Poisson { rate_tps: 10_000.0 };
+        let a = ArrivalSchedule::generate(&spec, 5_000, 42);
+        let b = ArrivalSchedule::generate(&spec, 5_000, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.offsets_us().windows(2).all(|w| w[0] <= w[1]));
+        // 5 000 arrivals at 10 000 tps ≈ 0.5 s; the realised rate of an
+        // exponential process stays well within ±15 % at this sample size.
+        let tps = a.offered_tps();
+        assert!(
+            (8_500.0..11_500.0).contains(&tps),
+            "offered rate {tps} far from nominal"
+        );
+        let c = ArrivalSchedule::generate(&spec, 5_000, 43);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn closed_loop_schedules_collapse_to_zero_offsets() {
+        let schedule = ArrivalSchedule::generate(&ArrivalSpec::Closed { depth: 8 }, 16, 1);
+        assert_eq!(schedule.len(), 16);
+        assert!(!schedule.is_empty());
+        assert!(schedule.offsets_us().iter().all(|&t| t == 0));
+        assert_eq!(schedule.duration_us(), 0);
+        assert_eq!(schedule.offered_tps(), 0.0);
+    }
+
+    #[test]
+    fn bursty_schedule_alternates_dense_and_sparse_phases() {
+        let spec = ArrivalSpec::Bursty {
+            base_tps: 1_000.0,
+            burst_tps: 100_000.0,
+            period_ms: 100,
+            burst_ms: 20,
+        };
+        let schedule = ArrivalSchedule::generate(&spec, 20_000, 7);
+        assert!(schedule.offsets_us().windows(2).all(|w| w[0] <= w[1]));
+        // Count arrivals inside vs outside the burst windows.
+        let period_us = 100_000u64;
+        let burst_us = 20_000u64;
+        let (mut in_burst, mut outside) = (0u64, 0u64);
+        for &t in schedule.offsets_us() {
+            if t % period_us < burst_us {
+                in_burst += 1;
+            } else {
+                outside += 1;
+            }
+        }
+        // Burst windows cover 20% of the time but must receive the vast
+        // majority of arrivals (100x rate differential).
+        assert!(
+            in_burst > outside * 5,
+            "bursts not dense enough: {in_burst} in vs {outside} out"
+        );
+    }
+
+    #[test]
+    fn degenerate_rates_collapse_to_instantaneous_arrival() {
+        for spec in [
+            ArrivalSpec::Poisson { rate_tps: 0.0 },
+            ArrivalSpec::Poisson { rate_tps: -3.0 },
+            ArrivalSpec::Poisson { rate_tps: f64::NAN },
+        ] {
+            let schedule = ArrivalSchedule::generate(&spec, 10, 3);
+            assert!(schedule.offsets_us().iter().all(|&t| t == 0), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn pacer_waits_for_future_offsets_and_skips_past_ones() {
+        let pacer = OpenLoopPacer::start();
+        pacer.pace_until(2_000); // 2 ms in the future: must sleep
+        let elapsed = pacer.elapsed_us();
+        assert!(elapsed >= 2_000, "paced only {elapsed}us");
+        let before = pacer.elapsed_us();
+        pacer.pace_until(1); // long past: must return immediately
+        assert!(pacer.elapsed_us() - before < 1_500);
+    }
+}

@@ -20,15 +20,34 @@
 //!
 //! Everything is deterministic (seeded workloads, round-robin client
 //! polling), so experiment output is reproducible bit for bit.
+//!
+//! Beyond the virtual-time simulation, [`arrival`] provides the **open-loop
+//! arrival processes** (Poisson and on/off bursts) the scenario benchmarks
+//! replay against the real backends: arrival times are fixed before the run,
+//! so offered load is decoupled from completion and saturation becomes
+//! observable.  Schedules are seeded and deterministic:
+//!
+//! ```
+//! use simkit::arrival::ArrivalSchedule;
+//! use workload::ArrivalSpec;
+//!
+//! let spec = ArrivalSpec::Poisson { rate_tps: 1_000.0 };
+//! let schedule = ArrivalSchedule::generate(&spec, 100, 42);
+//! assert_eq!(schedule.len(), 100);
+//! assert!(schedule.offsets_us().windows(2).all(|w| w[0] <= w[1]));
+//! assert_eq!(schedule, ArrivalSchedule::generate(&spec, 100, 42));
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod arrival;
 pub mod clock;
 pub mod cost;
 pub mod driver;
 pub mod results;
 
+pub use arrival::{ArrivalSchedule, OpenLoopPacer};
 pub use clock::VirtualClock;
 pub use cost::CostModel;
 pub use driver::{fig2_point, run_multi_user, run_single_user, MultiUserConfig};
@@ -36,6 +55,7 @@ pub use results::{Fig2Point, MultiUserResult, SingleUserResult};
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::arrival::{ArrivalSchedule, OpenLoopPacer};
     pub use crate::clock::VirtualClock;
     pub use crate::cost::CostModel;
     pub use crate::driver::{fig2_point, run_multi_user, run_single_user, MultiUserConfig};

@@ -52,8 +52,15 @@ impl KeyDistribution {
 /// Zipfian sampling by inverting an approximation of the generalized
 /// harmonic CDF (Gray et al.'s method, as used by YCSB).  Accurate enough
 /// for workload generation and allocation-free per sample.
+///
+/// Edge behaviour: a skew of `s <= 0` (no skew at all) degrades gracefully
+/// to the uniform distribution instead of evaluating the harmonic inverse
+/// outside its domain, and very large `s` concentrates essentially all
+/// mass on key 0 without overflowing (the `n^(1-s)` term underflows to 0).
 fn sample_zipf<R: Rng + ?Sized>(rng: &mut R, n: usize, s: f64) -> i64 {
-    debug_assert!(s > 0.0);
+    if s <= f64::EPSILON {
+        return rng.gen_range(0..n as i64);
+    }
     let n_f = n as f64;
     // zeta(n, s) approximated by the integral for large n; exact small-n
     // behaviour matters little for 100 000-row tables.
@@ -149,6 +156,83 @@ mod tests {
             (0..100).map(|_| d.sample(&mut rng, 500)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipfian_with_vanishing_skew_degrades_to_uniform() {
+        // s → 0 must not evaluate the harmonic inverse outside its domain;
+        // it degrades to the uniform distribution, so the whole key range
+        // stays reachable and no key dominates.
+        for s in [0.0, -1.0, f64::EPSILON / 2.0] {
+            let mut rng = StdRng::seed_from_u64(8);
+            let d = KeyDistribution::Zipfian { s };
+            let n = 1_000usize;
+            let samples = 20_000;
+            let mut low = 0usize;
+            let mut seen_high = false;
+            for _ in 0..samples {
+                let k = d.sample(&mut rng, n);
+                assert!((0..n as i64).contains(&k), "s={s}: {k} out of range");
+                if k < (n / 100) as i64 {
+                    low += 1;
+                }
+                if k >= (n * 9 / 10) as i64 {
+                    seen_high = true;
+                }
+            }
+            let low_fraction = low as f64 / samples as f64;
+            assert!(
+                (0.002..0.05).contains(&low_fraction),
+                "s={s}: lowest 1% of keys drew {low_fraction} of samples"
+            );
+            assert!(seen_high, "s={s}: the top decile must stay reachable");
+        }
+    }
+
+    #[test]
+    fn zipfian_with_extreme_skew_pins_the_hottest_key_without_overflow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for s in [10.0, 50.0, 1_000.0] {
+            let d = KeyDistribution::Zipfian { s };
+            let mut zero = 0usize;
+            let mut hot = 0usize;
+            let samples = 5_000;
+            for _ in 0..samples {
+                let k = d.sample(&mut rng, 1_000_000);
+                assert!((0..1_000_000).contains(&k), "s={s}: {k} out of range");
+                if k == 0 {
+                    zero += 1;
+                }
+                if k < 10 {
+                    hot += 1;
+                }
+            }
+            assert!(
+                zero as f64 / samples as f64 > 0.8,
+                "s={s}: key 0 drew only {zero}/{samples}"
+            );
+            assert!(
+                hot as f64 / samples as f64 > 0.99,
+                "s={s}: hottest 10 keys drew only {hot}/{samples}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipfian_near_one_uses_the_harmonic_branch_consistently() {
+        // The s ≈ 1 branch (logarithmic zeta) must sample the same range and
+        // stay deterministic, with no discontinuity blow-up next to it.
+        for s in [1.0 - 1e-10, 1.0, 1.0 + 1e-10] {
+            let d = KeyDistribution::Zipfian { s };
+            let mut a = StdRng::seed_from_u64(10);
+            let mut b = StdRng::seed_from_u64(10);
+            for _ in 0..500 {
+                let x = d.sample(&mut a, 10_000);
+                let y = d.sample(&mut b, 10_000);
+                assert_eq!(x, y);
+                assert!((0..10_000).contains(&x));
+            }
+        }
     }
 
     #[test]

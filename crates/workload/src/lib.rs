@@ -16,7 +16,29 @@
 //! * [`mix::MixSpec`] — read-heavy / write-heavy / BI-batch mixes,
 //! * [`trace::Trace`] — recording of executed statement sequences so the
 //!   multi-user schedule can be replayed in single-user mode, exactly as the
-//!   paper's lower-bound measurement does.
+//!   paper's lower-bound measurement does,
+//! * [`scenario`] — the **scenario library**: a [`scenario::Scenario`] trait
+//!   plus a [`scenario::registry`] of named traffic shapes (Zipfian hotspot,
+//!   read-mostly, TPC-C-lite order pipeline, bursty open-loop arrivals,
+//!   mixed SLA tiers) that every benchmark and test iterates over.
+//!
+//! Scenario generation is deterministic — the same seed always yields the
+//! identical transaction stream, whatever backend it is replayed against:
+//!
+//! ```
+//! use workload::scenario::{registry, ScenarioParams};
+//!
+//! let params = ScenarioParams::small();
+//! for scenario in registry() {
+//!     let a = scenario.generate(&params);
+//!     let b = scenario.generate(&params);
+//!     assert_eq!(a.len(), params.transactions);
+//!     let render = |stream: &[workload::scenario::ScenarioTxn]| -> Vec<String> {
+//!         stream.iter().flat_map(|t| &t.statements).map(|s| s.to_string()).collect()
+//!     };
+//!     assert_eq!(render(&a), render(&b), "{} must be deterministic", scenario.name());
+//! }
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -24,6 +46,7 @@
 pub mod dist;
 pub mod mix;
 pub mod oltp;
+pub mod scenario;
 pub mod sharded;
 pub mod sla;
 pub mod trace;
@@ -31,6 +54,7 @@ pub mod trace;
 pub use dist::KeyDistribution;
 pub use mix::{MixSpec, OperationMix};
 pub use oltp::{ClientWorkload, OltpSpec, TransactionSpec};
+pub use scenario::{ArrivalSpec, Scenario, ScenarioParams, ScenarioTxn};
 pub use sharded::ShardedSpec;
 pub use sla::{ClientClass, SlaRequestMeta, SlaSpec};
 pub use trace::Trace;
@@ -40,6 +64,7 @@ pub mod prelude {
     pub use crate::dist::KeyDistribution;
     pub use crate::mix::{MixSpec, OperationMix};
     pub use crate::oltp::{ClientWorkload, OltpSpec, TransactionSpec};
+    pub use crate::scenario::{ArrivalSpec, Scenario, ScenarioParams, ScenarioTxn};
     pub use crate::sharded::ShardedSpec;
     pub use crate::sla::{ClientClass, SlaRequestMeta, SlaSpec};
     pub use crate::trace::Trace;

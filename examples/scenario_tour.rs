@@ -1,0 +1,95 @@
+//! A tour of the scenario library: list every registered scenario, show
+//! its arrival shape, and replay one of them through the unified Session
+//! façade on two deployments.
+//!
+//! Run with: `cargo run --release --example scenario_tour`
+
+use session::{Scheduler, Txn};
+use simkit::arrival::ArrivalSchedule;
+use workload::scenario::{registry, ScenarioParams};
+use workload::ArrivalSpec;
+
+fn main() {
+    let params = ScenarioParams {
+        transactions: 128,
+        table_rows: 1_024,
+        seed: 42,
+    };
+
+    println!("registered scenarios ({}):\n", registry().len());
+    for scenario in registry() {
+        let stream = scenario.generate(&params);
+        let statements: usize = stream.iter().map(|t| t.statements.len()).sum();
+        let arrival = match scenario.arrival() {
+            ArrivalSpec::Closed { depth } => format!("closed loop, {depth} in flight"),
+            ArrivalSpec::Poisson { rate_tps } => {
+                format!("open loop, Poisson @ {rate_tps:.0} tps nominal")
+            }
+            ArrivalSpec::Bursty {
+                base_tps,
+                burst_tps,
+                period_ms,
+                burst_ms,
+            } => format!(
+                "open loop, bursts {burst_tps:.0}/{base_tps:.0} tps ({burst_ms}ms of every {period_ms}ms)"
+            ),
+        };
+        println!("  {:<15} {}", scenario.name(), scenario.description());
+        println!(
+            "  {:<15} {} txns / {statements} statements; {arrival}",
+            "",
+            stream.len()
+        );
+        if scenario.arrival().is_open_loop() {
+            let schedule =
+                ArrivalSchedule::generate(&scenario.arrival(), stream.len(), params.seed);
+            println!(
+                "  {:<15} arrival schedule spans {:.1} ms (offered {:.0} tps)",
+                "",
+                schedule.duration_us() as f64 / 1e3,
+                schedule.offered_tps()
+            );
+        }
+        println!();
+    }
+
+    // Replay one scenario on two deployments through the one façade.
+    let scenario = workload::scenario::by_name("order-pipeline").expect("registered");
+    let stream = scenario.generate(&params);
+    for shards in [0usize, 4] {
+        let builder = Scheduler::builder().table("bench", params.table_rows);
+        let scheduler = if shards == 0 {
+            builder.unsharded()
+        } else {
+            builder.shards(shards)
+        }
+        .build()
+        .expect("deployment starts");
+        let mut session = scheduler.connect();
+        let tickets: Vec<_> = stream
+            .iter()
+            .map(|t| {
+                session
+                    .submit(Txn::from_statements(&t.statements))
+                    .expect("submission succeeds")
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().expect("scheduled transactions commit");
+        }
+        let report = scheduler.shutdown();
+        println!(
+            "{} replayed {} on {:?}: {} transactions, {} scheduling rounds, {:.0} commits/s",
+            scenario.name(),
+            if shards == 0 {
+                "unsharded".to_string()
+            } else {
+                format!("{shards}-shard")
+            },
+            report.backend,
+            report.transactions,
+            report.rounds,
+            report.commits_per_sec()
+        );
+    }
+}
