@@ -42,6 +42,8 @@ fn scheduler_with_pending(
             trigger: TriggerPolicy::Always,
             prune_history: false,
             enforce_intra_order: false,
+            // The ablations time the declarative back-ends themselves.
+            incremental: false,
         },
     );
     let mut rng = SplitMix(7);

@@ -1,0 +1,93 @@
+//! The rule-scaling bench: from-scratch vs incremental qualification as the
+//! history relation grows (the paper's unbounded-history mode,
+//! `prune_history: false`).
+//!
+//! Emits a human-readable CSV on stdout and writes the machine-readable
+//! `BENCH_rule_scaling.json` into the current directory.  Exits non-zero
+//! if (a) the two modes diverge in what they scheduled — they evaluate the
+//! same declarative rule, so any divergence is a correctness bug — or
+//! (b) the incremental path is slower than from-scratch at the largest
+//! swept scale, the regression the incremental engine exists to prevent.
+//! CI runs this at `--smoke` scale.
+//!
+//! Usage: `cargo run --release -p bench --bin rule_scaling [--paper|--smoke]`
+
+use bench::{
+    rule_scaling_json, rule_scaling_speedups, rule_scaling_sweep, RuleScalingRow, RuleScalingSpec,
+    Scale,
+};
+
+fn main() {
+    let spec = RuleScalingSpec::from_args();
+    let scale_label = Scale::label_from_args();
+
+    println!(
+        "# rule scaling — ss2pl, prune_history=false, {} rounds x {} txns/round, history sizes {:?}",
+        spec.rounds, spec.txns_per_round, spec.history_sizes
+    );
+    println!("{}", RuleScalingRow::csv_header());
+    let rows = rule_scaling_sweep(&spec);
+    for row in &rows {
+        println!("{}", row.to_csv());
+    }
+
+    let speedups = rule_scaling_speedups(&rows);
+    for s in &speedups {
+        println!(
+            "# {} @ {} history rows: incremental is {:.1}x faster per round",
+            s.backend, s.history_rows, s.speedup
+        );
+    }
+
+    let json = rule_scaling_json(&rows, &speedups, &spec, scale_label);
+    let path = "BENCH_rule_scaling.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("# could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {path}");
+
+    // Gate 1 — equivalence: both modes run the identical workload through
+    // the identical rule, so they must schedule identical totals.
+    let mut broken = false;
+    for row in rows.iter().filter(|r| r.mode == "incremental") {
+        let scratch = rows
+            .iter()
+            .find(|r| {
+                r.mode == "scratch"
+                    && r.backend == row.backend
+                    && r.history_rows == row.history_rows
+            })
+            .expect("sweep emits both modes per cell");
+        if scratch.scheduled != row.scheduled
+            || scratch.final_history_rows != row.final_history_rows
+        {
+            eprintln!(
+                "# ERROR: modes diverged on {} @ {} history rows: scratch scheduled {} (history {}), incremental {} (history {})",
+                row.backend,
+                row.history_rows,
+                scratch.scheduled,
+                scratch.final_history_rows,
+                row.scheduled,
+                row.final_history_rows
+            );
+            broken = true;
+        }
+    }
+
+    // Gate 2 — the point of the exercise: at the largest swept history the
+    // incremental path must not be slower than from-scratch.
+    let largest = spec.history_sizes.iter().copied().max().unwrap_or(0);
+    for s in speedups.iter().filter(|s| s.history_rows == largest) {
+        if s.speedup < 1.0 {
+            eprintln!(
+                "# ERROR: incremental {} is {:.2}x from-scratch at {} history rows (must be >= 1.0)",
+                s.backend, s.speedup, s.history_rows
+            );
+            broken = true;
+        }
+    }
+    if broken {
+        std::process::exit(1);
+    }
+}

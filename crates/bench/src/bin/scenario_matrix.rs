@@ -60,13 +60,13 @@ fn main() {
         let points = saturation_series(probe.as_ref(), backend, scale, &LOAD_FACTORS, None);
         for p in &points {
             println!(
-                "{},{},{:.2},{:.0},{:.0},{:.3},{}",
+                "{},{},{:.2},{:.0},{:.0},{},{}",
                 p.scenario,
                 p.backend,
                 p.load_factor,
                 p.offered_tps,
                 p.achieved_tps,
-                p.p99_ms,
+                p.p99_ms.map(|ms| format!("{ms:.3}")).unwrap_or_default(),
                 p.peak_in_flight
             );
         }

@@ -109,9 +109,13 @@ impl LatencyHistogram {
     /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds: the upper bound of
     /// the bucket holding the target sample, clamped to the exact observed
     /// extremes so single-bucket distributions report exactly.
-    pub fn quantile_us(&self, q: f64) -> u64 {
+    ///
+    /// An empty histogram has no quantiles and returns `None` — fabricating
+    /// a number from bucket bounds (or the `target ≥ 1` clamp) would let a
+    /// run that completed nothing report a plausible-looking p99.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -121,27 +125,27 @@ impl LatencyHistogram {
                 if index == self.counts.len() - 1 {
                     // Overflow bucket: its nominal bound says nothing, the
                     // observed maximum does.
-                    return self.max_us;
+                    return Some(self.max_us);
                 }
-                return self.bounds_us[index].clamp(self.min_us, self.max_us);
+                return Some(self.bounds_us[index].clamp(self.min_us, self.max_us));
             }
         }
-        self.max_us
+        Some(self.max_us)
     }
 
-    /// Median latency in milliseconds.
-    pub fn p50_ms(&self) -> f64 {
-        self.quantile_us(0.50) as f64 / 1e3
+    /// Median latency in milliseconds (`None` with no samples).
+    pub fn p50_ms(&self) -> Option<f64> {
+        self.quantile_us(0.50).map(|us| us as f64 / 1e3)
     }
 
-    /// 99th-percentile latency in milliseconds.
-    pub fn p99_ms(&self) -> f64 {
-        self.quantile_us(0.99) as f64 / 1e3
+    /// 99th-percentile latency in milliseconds (`None` with no samples).
+    pub fn p99_ms(&self) -> Option<f64> {
+        self.quantile_us(0.99).map(|us| us as f64 / 1e3)
     }
 
-    /// 99.9th-percentile latency in milliseconds.
-    pub fn p999_ms(&self) -> f64 {
-        self.quantile_us(0.999) as f64 / 1e3
+    /// 99.9th-percentile latency in milliseconds (`None` with no samples).
+    pub fn p999_ms(&self) -> Option<f64> {
+        self.quantile_us(0.999).map(|us| us as f64 / 1e3)
     }
 
     /// The non-empty buckets as `(upper_bound_us, count)` pairs — the
@@ -162,11 +166,12 @@ mod tests {
     use std::time::Duration;
 
     #[test]
-    fn empty_histogram_reports_zeroes() {
+    fn empty_histogram_has_no_quantiles() {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert_eq!(h.p50_ms(), 0.0);
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.p50_ms(), None);
+        assert_eq!(h.p99_ms(), None);
         assert_eq!(h.mean_ms(), 0.0);
         assert_eq!(h.max_ms(), 0.0);
         assert!(h.nonzero_buckets().is_empty());
@@ -180,7 +185,7 @@ mod tests {
         }
         assert_eq!(h.count(), 100_000);
         for (q, exact) in [(0.50, 50_000.0), (0.99, 99_000.0), (0.999, 99_900.0)] {
-            let estimate = h.quantile_us(q) as f64;
+            let estimate = h.quantile_us(q).unwrap() as f64;
             let error = (estimate - exact).abs() / exact;
             assert!(
                 error < GROWTH - 1.0 + 0.01,
@@ -199,9 +204,9 @@ mod tests {
             h.record_us(777);
         }
         // The clamp to observed extremes pins every quantile to the value.
-        assert_eq!(h.quantile_us(0.5), 777);
-        assert_eq!(h.quantile_us(0.999), 777);
-        assert_eq!(h.quantile_us(1.0), 777);
+        assert_eq!(h.quantile_us(0.5), Some(777));
+        assert_eq!(h.quantile_us(0.999), Some(777));
+        assert_eq!(h.quantile_us(1.0), Some(777));
     }
 
     #[test]
@@ -210,8 +215,8 @@ mod tests {
         h.record_us(0);
         h.record(Duration::from_secs(10_000)); // 1e10 us, beyond MAX_US
         assert_eq!(h.count(), 2);
-        assert_eq!(h.quantile_us(0.0), 1); // the first bucket's bound
-        assert_eq!(h.quantile_us(1.0), 10_000_000_000); // clamped to observed max
+        assert_eq!(h.quantile_us(0.0), Some(1)); // the first bucket's bound
+        assert_eq!(h.quantile_us(1.0), Some(10_000_000_000)); // clamped to observed max
         let buckets = h.nonzero_buckets();
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0].0, MIN_US as u64);
@@ -250,6 +255,6 @@ mod tests {
         }
         assert!(h.p50_ms() <= h.p99_ms());
         assert!(h.p99_ms() <= h.p999_ms());
-        assert!(h.p999_ms() <= h.max_ms());
+        assert!(h.p999_ms().unwrap() <= h.max_ms());
     }
 }

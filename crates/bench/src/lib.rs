@@ -28,10 +28,15 @@ use std::time::Instant;
 use workload::OltpSpec;
 
 pub mod hist;
+pub mod rule_scaling;
 pub mod scenario;
 
 pub use declsched::protocol::Backend;
 pub use hist::LatencyHistogram;
+pub use rule_scaling::{
+    rule_scaling_cell, rule_scaling_json, rule_scaling_speedups, rule_scaling_sweep,
+    RuleScalingRow, RuleScalingSpec, RuleScalingSpeedup,
+};
 pub use scenario::{
     saturation_series, scenario_matrix_json, scenario_matrix_run, scenario_matrix_sweep,
     scenario_params, SaturationPoint, ScenarioMatrixRow,
@@ -190,6 +195,9 @@ pub fn sec43_scheduler(
             trigger: TriggerPolicy::Always,
             prune_history: false,
             enforce_intra_order: false,
+            // The paper's experiment measures the declarative evaluation
+            // itself; the incremental engine would skip exactly that work.
+            incremental: false,
         },
     );
 

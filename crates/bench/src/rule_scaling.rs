@@ -1,0 +1,349 @@
+//! The rule-scaling experiment: from-scratch vs incremental qualification
+//! as the history relation grows.
+//!
+//! The paper re-evaluates the declarative rule over `requests` ∪ `history`
+//! every round, and in its unbounded-history mode (`prune_history: false`)
+//! that makes every round O(total state).  The incremental engine claims
+//! O(delta) rounds regardless of history size.  This bench measures both
+//! claims directly: for each swept history size it preloads that many
+//! **active** (never-committed) write locks — the worst case for the
+//! Listing-1 CTEs, every row survives the `finished` anti-join — then runs
+//! a fixed per-round workload and reports the average round cost.
+//!
+//! Both rule back-ends are swept: `algebra` executes the Listing-1 plan,
+//! `datalog` the equivalent stratified program.  In `incremental` mode the
+//! scheduler answers rounds from its per-object conflict index instead, so
+//! the curve must stay flat while the from-scratch curves grow with
+//! history size.
+//!
+//! The two modes run the *identical* workload, so their scheduled counts
+//! must agree exactly — the bin exits non-zero on any divergence, which
+//! turns every CI smoke run into an end-to-end equivalence check.
+
+use declsched::{
+    DeclarativeScheduler, Protocol, ProtocolKind, Request, SchedulerConfig, TriggerPolicy,
+};
+
+/// One measured cell: a (backend, mode, history size) combination.
+#[derive(Debug, Clone)]
+pub struct RuleScalingRow {
+    /// Rule back-end (`algebra` or `datalog`).
+    pub backend: &'static str,
+    /// Evaluation mode (`scratch` or `incremental`).
+    pub mode: &'static str,
+    /// Preloaded active-lock history rows (the swept variable).
+    pub history_rows: usize,
+    /// History rows at the end of the run (preload + unpruned workload).
+    pub final_history_rows: usize,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Requests scheduled across all rounds.
+    pub scheduled: u64,
+    /// Average end-to-end round cost, microseconds.
+    pub avg_round_micros: f64,
+    /// Average rule-evaluation cost per round, microseconds.
+    pub avg_rule_eval_micros: f64,
+    /// Total catalog-assembly cost, microseconds (zero in incremental mode:
+    /// no catalog is built).
+    pub catalog_build_micros: u64,
+    /// Rounds answered incrementally.
+    pub incremental_rounds: u64,
+    /// Pending requests re-examined by the incremental engine in total.
+    pub delta_rows: u64,
+}
+
+impl RuleScalingRow {
+    /// CSV header.
+    pub fn csv_header() -> &'static str {
+        "backend,mode,history_rows,final_history_rows,rounds,scheduled,avg_round_micros,avg_rule_eval_micros,catalog_build_micros,incremental_rounds,delta_rows"
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.1},{:.1},{},{},{}",
+            self.backend,
+            self.mode,
+            self.history_rows,
+            self.final_history_rows,
+            self.rounds,
+            self.scheduled,
+            self.avg_round_micros,
+            self.avg_rule_eval_micros,
+            self.catalog_build_micros,
+            self.incremental_rounds,
+            self.delta_rows
+        )
+    }
+
+    /// One JSON object (hand-rolled; the workspace builds offline without a
+    /// serde dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"mode\":\"{}\",\"history_rows\":{},\"final_history_rows\":{},\"rounds\":{},\"scheduled\":{},\"avg_round_micros\":{:.2},\"avg_rule_eval_micros\":{:.2},\"catalog_build_micros\":{},\"incremental_rounds\":{},\"delta_rows\":{}}}",
+            self.backend,
+            self.mode,
+            self.history_rows,
+            self.final_history_rows,
+            self.rounds,
+            self.scheduled,
+            self.avg_round_micros,
+            self.avg_rule_eval_micros,
+            self.catalog_build_micros,
+            self.incremental_rounds,
+            self.delta_rows
+        )
+    }
+}
+
+/// Sweep parameters, sized per `--smoke` / default / `--paper`.
+#[derive(Debug, Clone)]
+pub struct RuleScalingSpec {
+    /// Preloaded history sizes to sweep, ascending.
+    pub history_sizes: Vec<usize>,
+    /// Scheduling rounds measured per cell.
+    pub rounds: u64,
+    /// Transactions submitted per round (each: one write + one commit).
+    pub txns_per_round: u64,
+}
+
+impl RuleScalingSpec {
+    /// CI-tiny sweep.
+    pub fn smoke() -> Self {
+        RuleScalingSpec {
+            history_sizes: vec![0, 512, 2_048],
+            rounds: 10,
+            txns_per_round: 8,
+        }
+    }
+
+    /// Default sweep: seconds, not minutes.
+    pub fn quick() -> Self {
+        RuleScalingSpec {
+            history_sizes: vec![0, 1_000, 4_000, 16_000],
+            rounds: 20,
+            txns_per_round: 16,
+        }
+    }
+
+    /// The full curve.
+    pub fn paper() -> Self {
+        RuleScalingSpec {
+            history_sizes: vec![0, 2_000, 8_000, 32_000, 64_000],
+            rounds: 25,
+            txns_per_round: 16,
+        }
+    }
+
+    /// Pick from command-line arguments, mirroring [`crate::Scale::from_args`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--paper") {
+            RuleScalingSpec::paper()
+        } else if std::env::args().any(|a| a == "--smoke") {
+            RuleScalingSpec::smoke()
+        } else {
+            RuleScalingSpec::quick()
+        }
+    }
+}
+
+/// The preloaded history: `rows` writes by distinct transactions that never
+/// finish, each locking its own private object far outside the workload's
+/// object range.  Every row survives the rule's `finished` anti-join, so
+/// from-scratch evaluation pays for all of them every round, while none of
+/// them conflicts with the workload (keeping scheduling decisions identical
+/// across scales).
+fn preload(rows: usize) -> Vec<Request> {
+    (0..rows)
+        .map(|i| Request::write(0, 1_000_000 + i as u64, 0, 1_000_000_000 + i as i64))
+        .collect()
+}
+
+/// Run one cell and measure it.
+pub fn rule_scaling_cell(
+    backend: declsched::protocol::Backend,
+    incremental: bool,
+    history_rows: usize,
+    spec: &RuleScalingSpec,
+) -> RuleScalingRow {
+    let mut scheduler = DeclarativeScheduler::new(
+        Protocol::new(ProtocolKind::Ss2pl, backend),
+        SchedulerConfig {
+            trigger: TriggerPolicy::Always,
+            // The paper's unbounded-history mode: this is exactly the regime
+            // where per-round O(total state) hurts.
+            prune_history: false,
+            enforce_intra_order: true,
+            incremental,
+        },
+    );
+    scheduler
+        .preload_history(&preload(history_rows))
+        .expect("preload rows always match the request schema");
+
+    // The per-round workload: `txns_per_round` write+commit transactions
+    // over a window half that many objects wide, so every round carries
+    // genuine write-write conflicts and a few requests defer across rounds.
+    let objects = (spec.txns_per_round / 2).max(1) as i64;
+    let mut ta = 0u64;
+    let mut scheduled = 0u64;
+    for round in 0..spec.rounds {
+        for i in 0..spec.txns_per_round {
+            ta += 1;
+            let object = ((round * spec.txns_per_round + i) as i64) % objects;
+            scheduler.submit(Request::write(0, ta, 0, object), round);
+            scheduler.submit(Request::commit(0, ta, 1), round);
+        }
+        let batch = scheduler
+            .run_round(round)
+            .expect("built-in rules cannot fail");
+        scheduled += batch.len() as u64;
+    }
+    // Drain the deferred tail so both modes account the same work.
+    let mut spins = 0;
+    while scheduler.pending() > 0 && spins < 1_000 {
+        let batch = scheduler
+            .run_round(spec.rounds + spins)
+            .expect("built-in rules cannot fail");
+        scheduled += batch.len() as u64;
+        spins += 1;
+    }
+
+    let metrics = scheduler.metrics();
+    RuleScalingRow {
+        backend: match backend {
+            declsched::protocol::Backend::Algebra => "algebra",
+            declsched::protocol::Backend::Datalog => "datalog",
+        },
+        mode: if incremental {
+            "incremental"
+        } else {
+            "scratch"
+        },
+        history_rows,
+        final_history_rows: scheduler.history_len(),
+        rounds: metrics.rounds,
+        scheduled,
+        avg_round_micros: metrics.avg_round_micros(),
+        avg_rule_eval_micros: metrics.avg_rule_eval_micros(),
+        catalog_build_micros: metrics.catalog_build_micros,
+        incremental_rounds: metrics.incremental_rounds,
+        delta_rows: metrics.delta_rows,
+    }
+}
+
+/// The full sweep: every history size × both back-ends × both modes.
+pub fn rule_scaling_sweep(spec: &RuleScalingSpec) -> Vec<RuleScalingRow> {
+    let mut rows = Vec::new();
+    for &history_rows in &spec.history_sizes {
+        for backend in [
+            declsched::protocol::Backend::Algebra,
+            declsched::protocol::Backend::Datalog,
+        ] {
+            for incremental in [false, true] {
+                rows.push(rule_scaling_cell(backend, incremental, history_rows, spec));
+            }
+        }
+    }
+    rows
+}
+
+/// Per-(backend, history size) speedup of incremental over from-scratch.
+#[derive(Debug, Clone)]
+pub struct RuleScalingSpeedup {
+    /// Rule back-end.
+    pub backend: &'static str,
+    /// Preloaded history rows.
+    pub history_rows: usize,
+    /// `scratch avg_round_micros / incremental avg_round_micros`.
+    pub speedup: f64,
+}
+
+/// Pair up the sweep rows into speedups.
+pub fn rule_scaling_speedups(rows: &[RuleScalingRow]) -> Vec<RuleScalingSpeedup> {
+    let mut out = Vec::new();
+    for row in rows.iter().filter(|r| r.mode == "incremental") {
+        if let Some(scratch) = rows.iter().find(|r| {
+            r.mode == "scratch" && r.backend == row.backend && r.history_rows == row.history_rows
+        }) {
+            out.push(RuleScalingSpeedup {
+                backend: row.backend,
+                history_rows: row.history_rows,
+                speedup: if row.avg_round_micros > 0.0 {
+                    scratch.avg_round_micros / row.avg_round_micros
+                } else {
+                    f64::INFINITY
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Render the `BENCH_rule_scaling.json` document.
+pub fn rule_scaling_json(
+    rows: &[RuleScalingRow],
+    speedups: &[RuleScalingSpeedup],
+    spec: &RuleScalingSpec,
+    scale_label: &str,
+) -> String {
+    let series: Vec<String> = rows.iter().map(RuleScalingRow::to_json).collect();
+    let pairs: Vec<String> = speedups
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"backend\":\"{}\",\"history_rows\":{},\"speedup\":{:.2}}}",
+                s.backend, s.history_rows, s.speedup
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"rule_scaling\",\n  \"scale\": \"{}\",\n  \"protocol\": \"ss2pl\",\n  \"prune_history\": false,\n  \"rounds_per_cell\": {},\n  \"txns_per_round\": {},\n  \"history_sizes\": {:?},\n  \"series\": [\n    {}\n  ],\n  \"speedups\": [\n    {}\n  ]\n}}\n",
+        scale_label,
+        spec.rounds,
+        spec.txns_per_round,
+        spec.history_sizes,
+        series.join(",\n    "),
+        pairs.join(",\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use declsched::protocol::Backend;
+
+    #[test]
+    fn modes_schedule_identically_and_incremental_skips_the_catalog() {
+        let spec = RuleScalingSpec {
+            history_sizes: vec![64],
+            rounds: 4,
+            txns_per_round: 6,
+        };
+        let scratch = rule_scaling_cell(Backend::Algebra, false, 64, &spec);
+        let incremental = rule_scaling_cell(Backend::Algebra, true, 64, &spec);
+        assert_eq!(scratch.scheduled, incremental.scheduled);
+        assert_eq!(scratch.final_history_rows, incremental.final_history_rows);
+        assert_eq!(incremental.incremental_rounds, incremental.rounds);
+        assert_eq!(incremental.catalog_build_micros, 0);
+        assert!(incremental.delta_rows > 0);
+        assert_eq!(scratch.incremental_rounds, 0);
+    }
+
+    #[test]
+    fn sweep_covers_every_cell_and_speedups_pair_up() {
+        let spec = RuleScalingSpec {
+            history_sizes: vec![0, 32],
+            rounds: 2,
+            txns_per_round: 4,
+        };
+        let rows = rule_scaling_sweep(&spec);
+        assert_eq!(rows.len(), 2 * 2 * 2);
+        let speedups = rule_scaling_speedups(&rows);
+        assert_eq!(speedups.len(), 2 * 2);
+        let json = rule_scaling_json(&rows, &speedups, &spec, "test");
+        assert!(json.contains("\"bench\": \"rule_scaling\""));
+        assert!(json.contains("\"backend\":\"datalog\""));
+        assert!(json.contains("\"prune_history\": false"));
+    }
+}

@@ -68,12 +68,13 @@ pub struct ScenarioMatrixRow {
     pub offered_tps: f64,
     /// Committed transactions per second.
     pub achieved_tps: f64,
-    /// Median transaction latency (submit → complete), milliseconds.
-    pub p50_ms: f64,
-    /// 99th-percentile latency, milliseconds.
-    pub p99_ms: f64,
-    /// 99.9th-percentile latency, milliseconds.
-    pub p999_ms: f64,
+    /// Median transaction latency (submit → complete), milliseconds;
+    /// `None` when the run completed nothing to measure.
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile latency, milliseconds (`None` with no samples).
+    pub p99_ms: Option<f64>,
+    /// 99.9th-percentile latency, milliseconds (`None` with no samples).
+    pub p999_ms: Option<f64>,
     /// Largest number of transactions simultaneously in flight — the
     /// queue-growth witness under open-loop overload.
     pub peak_in_flight: u64,
@@ -85,10 +86,10 @@ impl ScenarioMatrixRow {
         "scenario,backend,mode,transactions,aborted,wall_secs,offered_tps,achieved_tps,p50_ms,p99_ms,p999_ms,peak_in_flight"
     }
 
-    /// CSV rendering.
+    /// CSV rendering (empty cells for unmeasurable quantiles).
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.3},{:.0},{:.0},{:.3},{:.3},{:.3},{}",
+            "{},{},{},{},{},{:.3},{:.0},{:.0},{},{},{},{}",
             self.scenario,
             self.backend,
             self.mode,
@@ -97,9 +98,9 @@ impl ScenarioMatrixRow {
             self.wall_secs,
             self.offered_tps,
             self.achieved_tps,
-            self.p50_ms,
-            self.p99_ms,
-            self.p999_ms,
+            csv_ms(self.p50_ms),
+            csv_ms(self.p99_ms),
+            csv_ms(self.p999_ms),
             self.peak_in_flight
         )
     }
@@ -108,7 +109,7 @@ impl ScenarioMatrixRow {
     /// serde dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"mode\":\"{}\",\"transactions\":{},\"aborted\":{},\"wall_secs\":{:.6},\"offered_tps\":{:.1},\"achieved_tps\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\"p999_ms\":{:.4},\"peak_in_flight\":{}}}",
+            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"mode\":\"{}\",\"transactions\":{},\"aborted\":{},\"wall_secs\":{:.6},\"offered_tps\":{:.1},\"achieved_tps\":{:.1},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{},\"peak_in_flight\":{}}}",
             self.scenario,
             self.backend,
             self.mode,
@@ -117,9 +118,9 @@ impl ScenarioMatrixRow {
             self.wall_secs,
             self.offered_tps,
             self.achieved_tps,
-            self.p50_ms,
-            self.p99_ms,
-            self.p999_ms,
+            json_ms(self.p50_ms),
+            json_ms(self.p99_ms),
+            json_ms(self.p999_ms),
             self.peak_in_flight
         )
     }
@@ -139,8 +140,8 @@ pub struct SaturationPoint {
     pub offered_tps: f64,
     /// Committed transactions per second.
     pub achieved_tps: f64,
-    /// 99th-percentile latency, milliseconds.
-    pub p99_ms: f64,
+    /// 99th-percentile latency, milliseconds (`None` with no samples).
+    pub p99_ms: Option<f64>,
     /// Peak transactions in flight.
     pub peak_in_flight: u64,
 }
@@ -149,15 +150,33 @@ impl SaturationPoint {
     /// One JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"load_factor\":{:.2},\"offered_tps\":{:.1},\"achieved_tps\":{:.1},\"p99_ms\":{:.4},\"peak_in_flight\":{}}}",
+            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"load_factor\":{:.2},\"offered_tps\":{:.1},\"achieved_tps\":{:.1},\"p99_ms\":{},\"peak_in_flight\":{}}}",
             self.scenario,
             self.backend,
             self.load_factor,
             self.offered_tps,
             self.achieved_tps,
-            self.p99_ms,
+            json_ms(self.p99_ms),
             self.peak_in_flight
         )
+    }
+}
+
+/// A millisecond quantile as a JSON value: a number, or `null` when the
+/// histogram recorded nothing — an empty run must not report a fabricated
+/// p99 (the old behaviour synthesised one from bucket bounds).
+fn json_ms(ms: Option<f64>) -> String {
+    match ms {
+        Some(value) => format!("{value:.4}"),
+        None => "null".to_string(),
+    }
+}
+
+/// A millisecond quantile as a CSV cell (empty when unmeasured).
+fn csv_ms(ms: Option<f64>) -> String {
+    match ms {
+        Some(value) => format!("{value:.3}"),
+        None => String::new(),
     }
 }
 

@@ -4,11 +4,122 @@
 //! database, in which all relevant prior executed requests are stored.  From
 //! this history database, all necessary information about the current
 //! database state etc. can be obtained."
+//!
+//! Besides the relational view the declarative rules evaluate against, the
+//! store maintains a **per-object conflict index** ([`LockIndex`])
+//! incrementally on every insert: for each object, the set of unfinished
+//! transactions holding a write lock and the set holding a (non-upgraded)
+//! read lock, exactly the `WLockedObjects` / `RLockedObjects` CTEs of the
+//! paper's Listing 1.  Where the lock oracles used to re-scan the whole
+//! history relation per call, they now read the index in O(locks) — and the
+//! incremental qualification engine ([`crate::qualify`]) uses the same index
+//! to decide admission in O(changed objects) per round instead of
+//! O(pending + history).
 
 use crate::error::SchedResult;
 use crate::request::{Operation, Request};
 use relalg::Table;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+/// Per-object lock state derived incrementally from the history relation.
+///
+/// Invariant (matching Listing 1's CTEs over the current history table):
+/// `writers[o]` = transactions with a `w` row on `o` and no terminal row;
+/// `readers[o]` = transactions with an `r` row on `o`, no terminal row and
+/// no `w` row on `o` (a write *upgrades* the read lock).
+#[derive(Debug, Default)]
+pub struct LockIndex {
+    /// object -> write-holding unfinished transactions.
+    writers: HashMap<i64, HashSet<u64>>,
+    /// object -> read-holding unfinished transactions (that did not also
+    /// write the object).
+    readers: HashMap<i64, HashSet<u64>>,
+    /// transaction -> objects it holds any lock on (for O(held) release).
+    held: HashMap<u64, HashSet<i64>>,
+}
+
+impl LockIndex {
+    /// Transactions (other than `ta`) holding a write lock on `object`.
+    pub fn write_locked_by_other(&self, object: i64, ta: u64) -> bool {
+        self.writers
+            .get(&object)
+            .is_some_and(|set| set.len() > 1 || (set.len() == 1 && !set.contains(&ta)))
+    }
+
+    /// Transactions (other than `ta`) holding a read lock on `object`.
+    pub fn read_locked_by_other(&self, object: i64, ta: u64) -> bool {
+        self.readers
+            .get(&object)
+            .is_some_and(|set| set.len() > 1 || (set.len() == 1 && !set.contains(&ta)))
+    }
+
+    /// Whether `ta` holds a write lock on `object`.
+    pub fn holds_write(&self, object: i64, ta: u64) -> bool {
+        self.writers
+            .get(&object)
+            .is_some_and(|set| set.contains(&ta))
+    }
+
+    /// Objects on which `ta` currently holds any lock.
+    pub fn held_objects(&self, ta: u64) -> impl Iterator<Item = i64> + '_ {
+        self.held.get(&ta).into_iter().flatten().copied()
+    }
+
+    /// Total number of (object, transaction) lock entries.
+    pub fn len(&self) -> usize {
+        self.writers.values().map(HashSet::len).sum::<usize>()
+            + self.readers.values().map(HashSet::len).sum::<usize>()
+    }
+
+    /// Whether no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    fn add_write(&mut self, object: i64, ta: u64) {
+        self.writers.entry(object).or_default().insert(ta);
+        // A write upgrades any read lock the same transaction held.
+        if let Some(readers) = self.readers.get_mut(&object) {
+            readers.remove(&ta);
+            if readers.is_empty() {
+                self.readers.remove(&object);
+            }
+        }
+        self.held.entry(ta).or_default().insert(object);
+    }
+
+    fn add_read(&mut self, object: i64, ta: u64) {
+        if self.holds_write(object, ta) {
+            return; // already write-locked: the read does not demote it
+        }
+        self.readers.entry(object).or_default().insert(ta);
+        self.held.entry(ta).or_default().insert(object);
+    }
+
+    /// Drop every lock `ta` holds, returning the objects that were released.
+    fn release(&mut self, ta: u64) -> Vec<i64> {
+        let Some(objects) = self.held.remove(&ta) else {
+            return Vec::new();
+        };
+        let mut released: Vec<i64> = objects.into_iter().collect();
+        for &object in &released {
+            if let Some(set) = self.writers.get_mut(&object) {
+                set.remove(&ta);
+                if set.is_empty() {
+                    self.writers.remove(&object);
+                }
+            }
+            if let Some(set) = self.readers.get_mut(&object) {
+                set.remove(&ta);
+                if set.is_empty() {
+                    self.readers.remove(&object);
+                }
+            }
+        }
+        released.sort_unstable();
+        released
+    }
+}
 
 /// Stores requests that have been scheduled (and sent to the server), so that
 /// protocol rules can reason about held locks, finished transactions and
@@ -18,6 +129,9 @@ pub struct HistoryStore {
     table: Table,
     finished: HashSet<u64>,
     total_inserted: u64,
+    locks: LockIndex,
+    generation: u64,
+    prune_epoch: u64,
 }
 
 impl Default for HistoryStore {
@@ -34,28 +148,57 @@ impl HistoryStore {
             table: Table::new("history", Request::schema()),
             finished: HashSet::new(),
             total_inserted: 0,
+            locks: LockIndex::default(),
+            generation: 0,
+            prune_epoch: 0,
         }
     }
 
-    /// Record a scheduled request.
-    pub fn insert(&mut self, request: &Request) -> SchedResult<()> {
+    /// Record a scheduled request, returning the objects whose lock state
+    /// changed: the request's own object for data operations, or every
+    /// object whose locks a terminal released.
+    pub fn insert(&mut self, request: &Request) -> SchedResult<Vec<i64>> {
         self.table.push(request.to_tuple())?;
         self.total_inserted += 1;
-        if request.op.is_terminal() {
-            self.finished.insert(request.ta);
-        }
-        Ok(())
+        self.generation += 1;
+        let changed = match request.op {
+            Operation::Commit | Operation::Abort => {
+                self.finished.insert(request.ta);
+                self.locks.release(request.ta)
+            }
+            Operation::Write => {
+                if self.finished.contains(&request.ta) {
+                    Vec::new()
+                } else {
+                    self.locks.add_write(request.object, request.ta);
+                    vec![request.object]
+                }
+            }
+            Operation::Read => {
+                if self.finished.contains(&request.ta) {
+                    Vec::new()
+                } else {
+                    self.locks.add_read(request.object, request.ta);
+                    vec![request.object]
+                }
+            }
+        };
+        Ok(changed)
     }
 
-    /// Record a batch of scheduled requests.
+    /// Record a batch of scheduled requests, returning all changed objects
+    /// (deduplicated, sorted).
     pub fn insert_batch<'a>(
         &mut self,
         requests: impl IntoIterator<Item = &'a Request>,
-    ) -> SchedResult<()> {
+    ) -> SchedResult<Vec<i64>> {
+        let mut changed = Vec::new();
         for r in requests {
-            self.insert(r)?;
+            changed.extend(self.insert(r)?);
         }
-        Ok(())
+        changed.sort_unstable();
+        changed.dedup();
+        Ok(changed)
     }
 
     /// Number of history rows currently retained.
@@ -73,9 +216,29 @@ impl HistoryStore {
         self.total_inserted
     }
 
+    /// Monotonic counter bumped on every mutation (insert or prune).  The
+    /// scheduler compares generations across rounds to skip re-evaluating
+    /// an unchanged state.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Monotonic counter bumped whenever pruning removed rows.  Consumers
+    /// that maintain append-only views of the history (the persistent
+    /// Datalog evaluation) use it to detect that rows were *removed*, which
+    /// forces them to rebuild rather than extend.
+    pub fn prune_epoch(&self) -> u64 {
+        self.prune_epoch
+    }
+
     /// The relational view (`history` relation) for rule evaluation.
     pub fn table(&self) -> &Table {
         &self.table
+    }
+
+    /// The incrementally maintained per-object conflict index.
+    pub fn lock_index(&self) -> &LockIndex {
+        &self.locks
     }
 
     /// Whether a transaction has a commit or abort record in the history.
@@ -96,6 +259,9 @@ impl HistoryStore {
     /// longer influence any scheduling decision, so pruning them bounds the
     /// history size (and therefore rule-evaluation time) by the number of
     /// *active* transactions.  Returns the number of pruned rows.
+    ///
+    /// Pruning never changes the lock index: finished transactions hold no
+    /// locks by definition.
     pub fn prune_finished(&mut self) -> usize {
         if self.finished.is_empty() {
             return 0;
@@ -108,52 +274,38 @@ impl HistoryStore {
         });
         if removed > 0 {
             self.finished.clear();
+            self.generation += 1;
+            self.prune_epoch += 1;
         }
         removed
     }
 
     /// Objects write-locked by unfinished transactions, with the owning
-    /// transaction — an imperative helper mirroring what the declarative
-    /// `WLockedObjects` CTE of Listing 1 computes; used by tests as an
-    /// oracle and by imperative baseline comparisons.
+    /// transaction — the declarative `WLockedObjects` CTE of Listing 1,
+    /// answered from the incrementally maintained [`LockIndex`] instead of a
+    /// full history scan.
     pub fn write_locked_objects(&self) -> Vec<(i64, u64)> {
-        let mut out = Vec::new();
-        for row in self.table.rows() {
-            if let Some(r) = Request::from_tuple(row) {
-                if r.op == Operation::Write && !self.is_finished(r.ta) {
-                    out.push((r.object, r.ta));
-                }
-            }
-        }
+        let mut out: Vec<(i64, u64)> = self
+            .locks
+            .writers
+            .iter()
+            .flat_map(|(&object, tas)| tas.iter().map(move |&ta| (object, ta)))
+            .collect();
         out.sort_unstable();
-        out.dedup();
         out
     }
 
     /// Objects read-locked (and not yet released) by unfinished transactions
-    /// that have not also written them — the `RLockedObjects` CTE.
+    /// that have not also written them — the `RLockedObjects` CTE, answered
+    /// from the [`LockIndex`].
     pub fn read_locked_objects(&self) -> Vec<(i64, u64)> {
-        let writes: HashSet<(i64, u64)> = self
-            .table
-            .rows()
+        let mut out: Vec<(i64, u64)> = self
+            .locks
+            .readers
             .iter()
-            .filter_map(Request::from_tuple)
-            .filter(|r| r.op == Operation::Write)
-            .map(|r| (r.object, r.ta))
+            .flat_map(|(&object, tas)| tas.iter().map(move |&ta| (object, ta)))
             .collect();
-        let mut out = Vec::new();
-        for row in self.table.rows() {
-            if let Some(r) = Request::from_tuple(row) {
-                if r.op == Operation::Read
-                    && !self.is_finished(r.ta)
-                    && !writes.contains(&(r.object, r.ta))
-                {
-                    out.push((r.object, r.ta));
-                }
-            }
-        }
         out.sort_unstable();
-        out.dedup();
         out
     }
 }
@@ -173,6 +325,7 @@ mod tests {
         assert!(!h.is_finished(11));
         assert_eq!(h.finished_transactions(), vec![10]);
         assert_eq!(h.total_inserted(), 3);
+        assert!(h.generation() >= 3);
     }
 
     #[test]
@@ -194,14 +347,41 @@ mod tests {
     }
 
     #[test]
+    fn insert_reports_changed_objects_and_releases() {
+        let mut h = HistoryStore::new();
+        assert_eq!(h.insert(&Request::write(1, 10, 0, 100)).unwrap(), vec![100]);
+        assert_eq!(h.insert(&Request::read(2, 10, 1, 101)).unwrap(), vec![101]);
+        // The terminal releases both locks.
+        let mut released = h.insert(&Request::commit(3, 10, 2)).unwrap();
+        released.sort_unstable();
+        assert_eq!(released, vec![100, 101]);
+        assert!(h.lock_index().is_empty());
+        // Inserts for an already-finished transaction change no locks.
+        assert!(h.insert(&Request::write(4, 10, 3, 102)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn read_after_own_write_does_not_create_a_read_lock() {
+        let mut h = HistoryStore::new();
+        h.insert(&Request::write(1, 20, 0, 5)).unwrap();
+        h.insert(&Request::read(2, 20, 1, 5)).unwrap();
+        assert_eq!(h.write_locked_objects(), vec![(5, 20)]);
+        assert!(h.read_locked_objects().is_empty());
+    }
+
+    #[test]
     fn prune_drops_only_finished_transactions() {
         let mut h = HistoryStore::new();
         h.insert(&Request::write(1, 10, 0, 100)).unwrap();
         h.insert(&Request::commit(2, 10, 1)).unwrap();
         h.insert(&Request::write(3, 11, 0, 101)).unwrap();
+        let epoch = h.prune_epoch();
         let removed = h.prune_finished();
         assert_eq!(removed, 2);
         assert_eq!(h.len(), 1);
+        assert_eq!(h.prune_epoch(), epoch + 1);
+        // The surviving active transaction keeps its lock.
+        assert_eq!(h.write_locked_objects(), vec![(101, 11)]);
         // Pruning twice is a no-op.
         assert_eq!(h.prune_finished(), 0);
         // The monotone counter keeps the full count.
@@ -212,8 +392,24 @@ mod tests {
     fn batch_insert() {
         let mut h = HistoryStore::new();
         let batch = [Request::read(1, 1, 0, 5), Request::commit(2, 1, 1)];
-        h.insert_batch(batch.iter()).unwrap();
+        let changed = h.insert_batch(batch.iter()).unwrap();
+        assert_eq!(changed, vec![5]);
         assert_eq!(h.len(), 2);
         assert!(h.is_finished(1));
+    }
+
+    #[test]
+    fn lock_index_other_holder_queries() {
+        let mut h = HistoryStore::new();
+        h.insert(&Request::write(1, 10, 0, 7)).unwrap();
+        h.insert(&Request::read(2, 11, 0, 8)).unwrap();
+        let locks = h.lock_index();
+        assert!(locks.write_locked_by_other(7, 99));
+        assert!(!locks.write_locked_by_other(7, 10));
+        assert!(locks.read_locked_by_other(8, 99));
+        assert!(!locks.read_locked_by_other(8, 11));
+        assert!(!locks.write_locked_by_other(12345, 1));
+        assert_eq!(locks.len(), 2);
+        assert_eq!(locks.held_objects(10).collect::<Vec<_>>(), vec![7]);
     }
 }

@@ -78,6 +78,7 @@ pub mod middleware;
 pub mod passthrough;
 pub mod pending;
 pub mod protocol;
+pub mod qualify;
 pub mod queue;
 pub mod request;
 pub mod rules;
@@ -93,6 +94,7 @@ pub use pending::PendingStore;
 pub use protocol::{
     AdaptiveProtocol, Backend, Protocol, ProtocolFeatures, ProtocolKind, SchedulingPolicy,
 };
+pub use qualify::{qualify_once, IncrementalQualifier};
 pub use queue::IncomingQueue;
 pub use request::{footprint, shard_of, Operation, Request, RequestKey, SlaMeta};
 pub use rules::{OrderingSpec, RuleBackend, RuleSet};

@@ -10,15 +10,39 @@ pub struct SchedulerMetrics {
     pub requests_submitted: u64,
     /// Requests qualified and dispatched across all rounds.
     pub requests_scheduled: u64,
-    /// Requests that stayed pending at least one extra round because the
-    /// rule did not qualify them.
+    /// Distinct requests that stayed pending at least one round because the
+    /// rule did not qualify them on first evaluation.  Each request counts
+    /// **once**, however many rounds it waited; the cumulative
+    /// request-rounds of waiting are in [`deferred_request_rounds`].
+    ///
+    /// [`deferred_request_rounds`]: SchedulerMetrics::deferred_request_rounds
     pub requests_deferred: u64,
+    /// Sum over rounds of the pending count left after the round — i.e. one
+    /// request waiting N rounds contributes N.  This is what
+    /// `requests_deferred` used to (mis)report.
+    pub deferred_request_rounds: u64,
     /// Total wall-clock microseconds spent evaluating the declarative rule.
     pub rule_eval_micros: u64,
     /// Total wall-clock microseconds spent per round end to end (drain,
     /// insert, rule, delete, history insert) — the quantity the paper's
     /// Section 4.3.2 reports per scheduler run.
     pub round_micros: u64,
+    /// Total wall-clock microseconds spent assembling the rule-evaluation
+    /// catalog (snapshotting `requests`/`history`, deriving `sla`, cloning
+    /// aux relations).  Zero-copy snapshots keep this near zero; before
+    /// them it was the dominant non-engine cost.
+    pub catalog_build_micros: u64,
+    /// Rounds answered by the incremental qualification engine instead of a
+    /// from-scratch rule evaluation.
+    pub incremental_rounds: u64,
+    /// Pending requests re-examined by the incremental engine across all
+    /// rounds (its unit of work: requests on objects whose pending or lock
+    /// state changed since the previous round).
+    pub delta_rows: u64,
+    /// `tick` calls short-circuited because nothing changed since the last
+    /// round (no arrival, no history change, no aux update) — the rule
+    /// would provably re-derive the same result, so no round runs.
+    pub rounds_skipped: u64,
     /// Largest batch produced by a single round.
     pub max_batch: u64,
     /// Rounds that ran in overload (relaxed) mode under an adaptive policy.
@@ -68,8 +92,13 @@ impl SchedulerMetrics {
         self.requests_submitted += other.requests_submitted;
         self.requests_scheduled += other.requests_scheduled;
         self.requests_deferred += other.requests_deferred;
+        self.deferred_request_rounds += other.deferred_request_rounds;
         self.rule_eval_micros += other.rule_eval_micros;
         self.round_micros += other.round_micros;
+        self.catalog_build_micros += other.catalog_build_micros;
+        self.incremental_rounds += other.incremental_rounds;
+        self.delta_rows += other.delta_rows;
+        self.rounds_skipped += other.rounds_skipped;
         self.max_batch = self.max_batch.max(other.max_batch);
         self.overload_rounds += other.overload_rounds;
     }
@@ -100,8 +129,14 @@ mod tests {
         let b = SchedulerMetrics {
             rounds: 3,
             requests_scheduled: 5,
+            requests_deferred: 2,
+            deferred_request_rounds: 7,
             rule_eval_micros: 50,
             round_micros: 80,
+            catalog_build_micros: 5,
+            incremental_rounds: 2,
+            delta_rows: 11,
+            rounds_skipped: 4,
             max_batch: 9,
             overload_rounds: 1,
             ..SchedulerMetrics::default()
@@ -109,8 +144,14 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.rounds, 5);
         assert_eq!(a.requests_scheduled, 15);
+        assert_eq!(a.requests_deferred, 2);
+        assert_eq!(a.deferred_request_rounds, 7);
         assert_eq!(a.rule_eval_micros, 150);
         assert_eq!(a.round_micros, 280);
+        assert_eq!(a.catalog_build_micros, 5);
+        assert_eq!(a.incremental_rounds, 2);
+        assert_eq!(a.delta_rows, 11);
+        assert_eq!(a.rounds_skipped, 4);
         assert_eq!(a.max_batch, 9);
         assert_eq!(a.overload_rounds, 1);
     }

@@ -9,11 +9,17 @@ use std::collections::HashMap;
 /// scheduled.  Internally this is both a [`relalg::Table`] (so declarative
 /// rules can query it) and a key→request map (so the scheduler can recover
 /// full request objects — including write payloads and SLA metadata — for the
-/// requests the rule qualifies).
+/// requests the rule qualifies), plus a per-object key index so the
+/// incremental qualification engine can re-evaluate only the requests on
+/// objects whose state changed.
 #[derive(Debug)]
 pub struct PendingStore {
     table: Table,
     by_key: HashMap<RequestKey, Request>,
+    /// object -> keys of pending requests on it (terminals live under their
+    /// sentinel object `-1`, exactly as they do in the relation).
+    by_object: HashMap<i64, Vec<RequestKey>>,
+    generation: u64,
 }
 
 impl Default for PendingStore {
@@ -29,16 +35,42 @@ impl PendingStore {
         PendingStore {
             table: Table::new("requests", Request::schema()),
             by_key: HashMap::new(),
+            by_object: HashMap::new(),
+            generation: 0,
         }
     }
 
-    /// Insert a batch of requests (one incoming-queue drain).
-    pub fn insert_batch(&mut self, requests: Vec<Request>) -> SchedResult<()> {
-        for r in requests {
-            self.table.push(r.to_tuple())?;
-            self.by_key.insert(r.key(), r);
+    /// Insert a batch of requests (one incoming-queue drain), returning the
+    /// objects whose pending rows changed — each request's own object plus,
+    /// for a duplicate `(ta, intra)` key, the *superseded* request's object
+    /// (it loses a row, which can change decisions there too).  A duplicate
+    /// key replaces the earlier request, keeping the relation consistent
+    /// with the key map.
+    pub fn insert_batch(&mut self, requests: Vec<Request>) -> SchedResult<Vec<i64>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
         }
-        Ok(())
+        self.generation += 1;
+        let mut changed = Vec::with_capacity(requests.len());
+        for r in requests {
+            let key = r.key();
+            changed.push(r.object);
+            if let Some(old) = self.by_key.insert(key, r.clone()) {
+                // Duplicate key: drop the superseded row and index entry.
+                self.table.delete_where(|row| {
+                    Request::from_tuple(row).map(|p| p.key() == key) == Some(true)
+                });
+                if let Some(keys) = self.by_object.get_mut(&old.object) {
+                    keys.retain(|k| *k != key);
+                }
+                changed.push(old.object);
+            }
+            self.table.push(r.to_tuple())?;
+            self.by_object.entry(r.object).or_default().push(key);
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        Ok(changed)
     }
 
     /// Number of pending requests.
@@ -51,6 +83,12 @@ impl PendingStore {
         self.by_key.is_empty()
     }
 
+    /// Monotonic counter bumped on every mutation.  The scheduler compares
+    /// generations across rounds to skip re-evaluating an unchanged state.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// The relational view (`requests` relation) for rule evaluation.
     pub fn table(&self) -> &Table {
         &self.table
@@ -59,6 +97,25 @@ impl PendingStore {
     /// Look up the full request for a key.
     pub fn get(&self, key: RequestKey) -> Option<&Request> {
         self.by_key.get(&key)
+    }
+
+    /// All pending keys, in no particular order.
+    pub fn keys(&self) -> impl Iterator<Item = RequestKey> + '_ {
+        self.by_key.keys().copied()
+    }
+
+    /// Keys of pending requests on the given object.
+    pub fn keys_on_object(&self, object: i64) -> &[RequestKey] {
+        self.by_object
+            .get(&object)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Objects with at least one pending request (terminals appear under
+    /// their sentinel object `-1`).
+    pub fn objects(&self) -> impl Iterator<Item = i64> + '_ {
+        self.by_object.keys().copied()
     }
 
     /// All pending requests in insertion order.
@@ -78,10 +135,17 @@ impl PendingStore {
         let mut taken = Vec::with_capacity(keys.len());
         for key in keys {
             if let Some(r) = self.by_key.remove(key) {
+                if let Some(object_keys) = self.by_object.get_mut(&r.object) {
+                    object_keys.retain(|k| k != key);
+                    if object_keys.is_empty() {
+                        self.by_object.remove(&r.object);
+                    }
+                }
                 taken.push(r);
             }
         }
         if !taken.is_empty() {
+            self.generation += 1;
             let remove: std::collections::HashSet<RequestKey> = keys.iter().copied().collect();
             self.table.delete_where(|row| {
                 Request::from_tuple(row)
@@ -140,9 +204,11 @@ mod tests {
     fn take_of_unknown_keys_is_silent() {
         let mut p = PendingStore::new();
         p.insert_batch(reqs()).unwrap();
+        let generation = p.generation();
         let taken = p.take(&[RequestKey { ta: 99, intra: 0 }]);
         assert!(taken.is_empty());
         assert_eq!(p.len(), 4);
+        assert_eq!(p.generation(), generation, "no-op take must not dirty");
     }
 
     #[test]
@@ -154,5 +220,48 @@ mod tests {
         let got = p.get(RequestKey { ta: 5, intra: 0 }).unwrap();
         assert_eq!(got.write_value, Some(relalg::Value::Int(999)));
         assert_eq!(p.requests().len(), 1);
+    }
+
+    #[test]
+    fn object_index_tracks_inserts_and_takes() {
+        let mut p = PendingStore::new();
+        p.insert_batch(reqs()).unwrap();
+        assert_eq!(p.keys_on_object(100).len(), 2);
+        assert_eq!(p.keys_on_object(101).len(), 1);
+        // Terminals index under the sentinel object.
+        assert_eq!(p.keys_on_object(-1).len(), 1);
+        p.take(&[RequestKey { ta: 10, intra: 0 }]);
+        assert_eq!(p.keys_on_object(100).len(), 1);
+        assert_eq!(p.keys().count(), 3);
+    }
+
+    #[test]
+    fn duplicate_key_replaces_the_earlier_request() {
+        let mut p = PendingStore::new();
+        p.insert_batch(vec![Request::read(1, 5, 0, 7)]).unwrap();
+        p.insert_batch(vec![Request::write(2, 5, 0, 8)]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.table().len(), 1);
+        assert!(p.keys_on_object(7).is_empty());
+        assert_eq!(p.keys_on_object(8).len(), 1);
+        assert_eq!(
+            p.get(RequestKey { ta: 5, intra: 0 }).unwrap().op,
+            Operation::Write
+        );
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation() {
+        let mut p = PendingStore::new();
+        let g0 = p.generation();
+        p.insert_batch(vec![Request::read(1, 1, 0, 2)]).unwrap();
+        let g1 = p.generation();
+        assert!(g1 > g0);
+        p.take(&[RequestKey { ta: 1, intra: 0 }]);
+        assert!(p.generation() > g1);
+        // Empty insert is a no-op.
+        let g2 = p.generation();
+        p.insert_batch(Vec::new()).unwrap();
+        assert_eq!(p.generation(), g2);
     }
 }

@@ -18,7 +18,11 @@ mod sla;
 mod ss2pl;
 
 pub use adaptive::{AdaptiveProtocol, SchedulingPolicy};
-pub use rationing::{object_class_table, ObjectClass};
+pub use c2pl::C2PL_DATALOG_SOURCE;
+pub use fcfs::FCFS_DATALOG_SOURCE;
+pub use rationing::{object_class_table, ObjectClass, RATIONING_DATALOG_SOURCE};
+pub use relaxed::RELAXED_DATALOG_SOURCE;
+pub use ss2pl::SS2PL_DATALOG_SOURCE;
 
 use crate::rules::RuleSet;
 use std::fmt;

@@ -144,41 +144,50 @@ impl RuleBackend {
                     db.load_table(name, table);
                 }
                 let out_db = datalog::evaluate(program, db)?;
-                let relation = out_db.relation_or_empty(output);
-                let mut keys = Vec::with_capacity(relation.len());
-                for row in relation.rows() {
-                    if row.len() < 2 {
-                        return Err(SchedError::MalformedRuleOutput {
-                            protocol: "<datalog>".into(),
-                            detail: format!(
-                                "output predicate `{output}` has arity {} (need at least 2)",
-                                row.len()
-                            ),
-                        });
-                    }
-                    let ta = row[0]
-                        .as_int()
-                        .ok_or_else(|| SchedError::MalformedRuleOutput {
-                            protocol: "<datalog>".into(),
-                            detail: format!("non-integer ta value `{}`", row[0]),
-                        })?;
-                    let intra = row[1]
-                        .as_int()
-                        .ok_or_else(|| SchedError::MalformedRuleOutput {
-                            protocol: "<datalog>".into(),
-                            detail: format!("non-integer intrata value `{}`", row[1]),
-                        })?;
-                    keys.push(RequestKey {
-                        ta: ta as u64,
-                        intra: intra as u32,
-                    });
-                }
-                keys.sort_unstable();
-                keys.dedup();
-                Ok(keys)
+                datalog_output_keys(&out_db.relation_or_empty(output), output)
             }
         }
     }
+}
+
+/// Extract the qualified `(ta, intrata)` keys from a Datalog output
+/// relation — shared by the one-shot backend above and the scheduler's
+/// persistent-evaluation path for custom Datalog protocols.
+pub(crate) fn datalog_output_keys(
+    relation: &datalog::Relation,
+    output: &str,
+) -> SchedResult<Vec<RequestKey>> {
+    let mut keys = Vec::with_capacity(relation.len());
+    for row in relation.rows() {
+        if row.len() < 2 {
+            return Err(SchedError::MalformedRuleOutput {
+                protocol: "<datalog>".into(),
+                detail: format!(
+                    "output predicate `{output}` has arity {} (need at least 2)",
+                    row.len()
+                ),
+            });
+        }
+        let ta = row[0]
+            .as_int()
+            .ok_or_else(|| SchedError::MalformedRuleOutput {
+                protocol: "<datalog>".into(),
+                detail: format!("non-integer ta value `{}`", row[0]),
+            })?;
+        let intra = row[1]
+            .as_int()
+            .ok_or_else(|| SchedError::MalformedRuleOutput {
+                protocol: "<datalog>".into(),
+                detail: format!("non-integer intrata value `{}`", row[1]),
+            })?;
+        keys.push(RequestKey {
+            ta: ta as u64,
+            intra: intra as u32,
+        });
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    Ok(keys)
 }
 
 /// A complete declarative protocol definition: its name, its qualification

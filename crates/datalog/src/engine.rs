@@ -50,6 +50,12 @@ impl Relation {
         &self.rows
     }
 
+    /// Remove every tuple.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.index.clear();
+    }
+
     /// Iterate over tuples.
     pub fn iter(&self) -> impl Iterator<Item = &Vec<Value>> {
         self.rows.iter()
@@ -119,6 +125,13 @@ impl Database {
     /// Mutable access to a relation, creating it if absent.
     pub fn relation_mut(&mut self, predicate: &str) -> &mut Relation {
         self.relations.entry(predicate.to_string()).or_default()
+    }
+
+    /// Remove every fact of a relation, keeping it declared.
+    pub fn clear_relation(&mut self, predicate: &str) {
+        if let Some(rel) = self.relations.get_mut(predicate) {
+            rel.clear();
+        }
     }
 
     /// Names of all stored relations (unsorted).

@@ -69,7 +69,7 @@ pub fn evaluate(program: &Program, mut db: Database) -> DatalogResult<Database> 
 }
 
 /// Fixpoint of one stratum's rules.
-fn evaluate_stratum(rules: &[&Rule], db: &mut Database) -> DatalogResult<()> {
+pub(crate) fn evaluate_stratum(rules: &[&Rule], db: &mut Database) -> DatalogResult<()> {
     // Round 0: naive evaluation to seed the deltas.
     let mut delta: HashMap<String, Relation> = HashMap::new();
     for rule in rules {
@@ -83,8 +83,39 @@ fn evaluate_stratum(rules: &[&Rule], db: &mut Database) -> DatalogResult<()> {
             }
         }
     }
+    drain_deltas(rules, db, delta, None)?;
+    Ok(())
+}
 
-    // Semi-naive rounds.
+/// Resume a stratum's semi-naive iteration from externally supplied deltas —
+/// the cross-round continuation used by [`crate::IncrementalEvaluation`]:
+/// `db` already holds a fixpoint of `rules` over the *previous* facts, and
+/// `delta` holds only the facts added since.  Because semi-naive iteration
+/// is insensitive to *when* a delta arrives (every rule is re-derived with
+/// each positive atom restricted to the delta in turn), continuing from the
+/// persisted fixpoint yields exactly the fixpoint over the enlarged fact
+/// set, in time proportional to the new derivations.  Returns the facts
+/// newly derived for each head predicate (the downstream strata's delta).
+pub(crate) fn resume_stratum(
+    rules: &[&Rule],
+    db: &mut Database,
+    delta: HashMap<String, Relation>,
+) -> DatalogResult<HashMap<String, Relation>> {
+    let mut derived_total = HashMap::new();
+    drain_deltas(rules, db, delta, Some(&mut derived_total))?;
+    Ok(derived_total)
+}
+
+/// Run semi-naive rounds until no rule derives anything new.  When
+/// `derived_total` is given, every newly derived fact is also accumulated
+/// there per head predicate (the resume path needs it to seed downstream
+/// strata); the one-shot path passes `None` and skips that cost.
+fn drain_deltas(
+    rules: &[&Rule],
+    db: &mut Database,
+    mut delta: HashMap<String, Relation>,
+    mut derived_total: Option<&mut HashMap<String, Relation>>,
+) -> DatalogResult<()> {
     while !delta.is_empty() && delta.values().any(|r| !r.is_empty()) {
         let mut next_delta: HashMap<String, Relation> = HashMap::new();
         for rule in rules {
@@ -103,6 +134,12 @@ fn evaluate_stratum(rules: &[&Rule], db: &mut Database) -> DatalogResult<()> {
                 let derived = derive(rule, db, Some((pos, d)))?;
                 for row in derived {
                     if db.relation_mut(&rule.head.predicate).insert(row.clone()) {
+                        if let Some(total) = derived_total.as_deref_mut() {
+                            total
+                                .entry(rule.head.predicate.clone())
+                                .or_default()
+                                .insert(row.clone());
+                        }
                         next_delta
                             .entry(rule.head.predicate.clone())
                             .or_default()

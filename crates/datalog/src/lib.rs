@@ -41,6 +41,7 @@ pub mod ast;
 pub mod engine;
 pub mod error;
 pub mod eval;
+pub mod incremental;
 pub mod parser;
 pub mod stratify;
 
@@ -48,6 +49,7 @@ pub use ast::{Atom, BodyItem, CompareOp, Program, Rule, Term};
 pub use engine::{Database, Relation};
 pub use error::{DatalogError, DatalogResult};
 pub use eval::evaluate;
+pub use incremental::{EvaluationStats, IncrementalEvaluation};
 pub use parser::parse_program;
 
 /// Convenient glob import.

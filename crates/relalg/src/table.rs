@@ -6,6 +6,7 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A named, in-memory relation: a schema plus a vector of tuples.
 ///
@@ -14,13 +15,21 @@ use std::fmt;
 /// (ready-to-execute, the output of a scheduling round).  Tables support
 /// equality hash indexes on single columns because the SS2PL rule joins on
 /// `object` and `ta` constantly.
+///
+/// Row storage and indexes are reference-counted with copy-on-write
+/// semantics: `Table::clone` is O(1), which is what lets the scheduler
+/// snapshot its pending/history relations into a rule-evaluation catalog
+/// every round — and the shard workers snapshot their history for the
+/// escalation lane — without copying a single row.  A clone only pays for
+/// the rows if it (or the original) is mutated while the other snapshot is
+/// still alive.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Tuple>,
+    rows: Arc<Vec<Tuple>>,
     /// column index -> (value -> row positions)
-    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    indexes: Arc<HashMap<usize, HashMap<Value, Vec<usize>>>>,
 }
 
 impl Table {
@@ -29,8 +38,8 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
-            indexes: HashMap::new(),
+            rows: Arc::new(Vec::new()),
+            indexes: Arc::new(HashMap::new()),
         }
     }
 
@@ -68,9 +77,16 @@ impl Table {
         &self.rows
     }
 
-    /// Consume the table, returning its rows.
+    /// Consume the table, returning its rows (copying only if a snapshot of
+    /// this table is still alive elsewhere).
     pub fn into_rows(self) -> Vec<Tuple> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Whether this table shares its row storage with another snapshot
+    /// (diagnostic; used by tests to prove snapshots are zero-copy).
+    pub fn shares_rows_with(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
     }
 
     /// Validate a tuple against the schema (arity and types).
@@ -107,10 +123,12 @@ impl Table {
     pub fn push(&mut self, tuple: Tuple) -> RelResult<()> {
         self.validate(&tuple)?;
         let pos = self.rows.len();
-        for (&col, index) in self.indexes.iter_mut() {
-            index.entry(tuple.get(col).clone()).or_default().push(pos);
+        if !self.indexes.is_empty() {
+            for (&col, index) in Arc::make_mut(&mut self.indexes).iter_mut() {
+                index.entry(tuple.get(col).clone()).or_default().push(pos);
+            }
         }
-        self.rows.push(tuple);
+        Arc::make_mut(&mut self.rows).push(tuple);
         Ok(())
     }
 
@@ -124,8 +142,8 @@ impl Table {
 
     /// Remove all rows (indexes are cleared too).
     pub fn clear(&mut self) {
-        self.rows.clear();
-        for index in self.indexes.values_mut() {
+        Arc::make_mut(&mut self.rows).clear();
+        for index in Arc::make_mut(&mut self.indexes).values_mut() {
             index.clear();
         }
     }
@@ -137,7 +155,7 @@ impl Table {
         for (pos, row) in self.rows.iter().enumerate() {
             index.entry(row.get(col).clone()).or_default().push(pos);
         }
-        self.indexes.insert(col, index);
+        Arc::make_mut(&mut self.indexes).insert(col, index);
         Ok(())
     }
 
@@ -176,7 +194,7 @@ impl Table {
         F: FnMut(&Tuple) -> bool,
     {
         let before = self.rows.len();
-        self.rows.retain(|t| !pred(t));
+        Arc::make_mut(&mut self.rows).retain(|t| !pred(t));
         let removed = before - self.rows.len();
         if removed > 0 {
             let columns: Vec<usize> = self.indexes.keys().copied().collect();
@@ -185,7 +203,7 @@ impl Table {
                 for (pos, row) in self.rows.iter().enumerate() {
                     index.entry(row.get(col).clone()).or_default().push(pos);
                 }
-                self.indexes.insert(col, index);
+                Arc::make_mut(&mut self.indexes).insert(col, index);
             }
         }
         removed
@@ -331,6 +349,40 @@ mod tests {
         assert!(grid.contains("operation"));
         assert!(grid.contains("101"));
         assert_eq!(grid.lines().count(), 2 + t.len());
+    }
+
+    #[test]
+    fn clone_is_a_zero_copy_snapshot_with_cow_divergence() {
+        let mut t = req_table();
+        t.create_index("object").unwrap();
+        let snapshot = t.clone();
+        assert!(snapshot.shares_rows_with(&t), "clone must not copy rows");
+
+        // Mutating the original diverges it without disturbing the snapshot.
+        t.push(tuple![4, 12, "r", 100]).unwrap();
+        assert!(!snapshot.shares_rows_with(&t));
+        assert_eq!(t.len(), 4);
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(t.lookup("object", &Value::Int(100)).unwrap().len(), 3);
+        assert_eq!(
+            snapshot.lookup("object", &Value::Int(100)).unwrap().len(),
+            2
+        );
+
+        // Once the snapshot is dropped, further mutation is in-place again.
+        drop(snapshot);
+        let rows_before = std::sync::Arc::as_ptr(&t.rows);
+        t.push(tuple![5, 13, "w", 7]).unwrap();
+        assert_eq!(std::sync::Arc::as_ptr(&t.rows), rows_before);
+    }
+
+    #[test]
+    fn into_rows_of_a_shared_table_copies_once() {
+        let t = req_table();
+        let snapshot = t.clone();
+        let rows = snapshot.into_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

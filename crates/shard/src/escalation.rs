@@ -240,13 +240,46 @@ fn run_escalation(
     })
 }
 
-/// Build `requests` ∪ merged `history` (∪ empty `sla`) and run the rule.
+/// Evaluate the protocol rule over `requests` ∪ the merged history of the
+/// frozen shards (∪ empty `sla`).
+///
+/// Built-in protocols go through [`declsched::qualify_once`] — the same
+/// per-object conflict-index evaluation the shards themselves use
+/// incrementally, here run once over the union snapshot (one linear pass
+/// instead of the multi-join relational plan).  Custom protocols keep the
+/// declarative catalog path, since only they carry rules the index cannot
+/// mirror.
 fn qualify_merged(
     protocol: &declsched::Protocol,
     requests: &[Request],
     snapshots: &[(usize, FreezeAck)],
     aux_relations: &[Table],
 ) -> SchedResult<HashSet<RequestKey>> {
+    if protocol.kind != declsched::ProtocolKind::Custom {
+        let mut pending = declsched::PendingStore::new();
+        let renumbered: Vec<Request> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| {
+                let mut row = request.clone();
+                row.id = i as u64 + 1;
+                row
+            })
+            .collect();
+        pending.insert_batch(renumbered)?;
+        let mut history = declsched::HistoryStore::new();
+        for (_, ack) in snapshots {
+            for request in ack.history.rows().iter().filter_map(Request::from_tuple) {
+                history.insert(&request)?;
+            }
+        }
+        return Ok(
+            declsched::qualify_once(protocol.kind, &pending, &history, aux_relations)
+                .into_iter()
+                .collect(),
+        );
+    }
+
     let mut pending = Table::new("requests", Request::schema());
     for (i, request) in requests.iter().enumerate() {
         let mut row = request.clone();

@@ -164,7 +164,7 @@ fn history_pruning_bounds_rule_input() {
         SchedulerConfig {
             trigger: TriggerPolicy::Always,
             prune_history: true,
-            enforce_intra_order: true,
+            ..SchedulerConfig::default()
         },
     );
     let mut unpruned = DeclarativeScheduler::new(
@@ -172,7 +172,7 @@ fn history_pruning_bounds_rule_input() {
         SchedulerConfig {
             trigger: TriggerPolicy::Always,
             prune_history: false,
-            enforce_intra_order: true,
+            ..SchedulerConfig::default()
         },
     );
     // 40 short transactions, each: write then commit.
