@@ -1,0 +1,152 @@
+//! The adaptive-control-plane experiment: hot-shard rebalancing vs static
+//! hash placement on the adversarial `extreme-skew` scenario, and SLA-aware
+//! overload shedding on the `tiered-overload` scenario driven past
+//! capacity.
+//!
+//! Emits a human-readable summary on stdout and writes the
+//! machine-readable `BENCH_rebalance_overload.json` into the current
+//! directory.  Exits non-zero when the control plane fails to deliver:
+//!
+//! * the rebalanced skew run must beat the static run (and reach 1.5× at
+//!   non-smoke scales, the headline claim the committed JSON carries), with
+//!   at least one actual migration;
+//! * with shedding on at 2× capacity, premium p99 must exist, must beat
+//!   the shed-off premium p99 at the same load, and (at non-smoke scales)
+//!   must stay within 2× of its unsaturated value; the free tier must
+//!   actually be shed while premium is never shed.
+//!
+//! Usage: `cargo run --release -p bench --bin rebalance_overload [--paper|--smoke]`
+
+use bench::rebalance::REBALANCE_SHARDS;
+use bench::{overload_cell, rebalance_overload_json, rebalance_workload, skew_run, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let scale_label = Scale::label_from_args();
+    let smoke = scale_label == "smoke";
+    let (transactions, table_rows) = rebalance_workload(scale);
+    let mut failures: Vec<String> = Vec::new();
+
+    println!(
+        "# rebalance/overload — {REBALANCE_SHARDS} shards, {transactions} transactions over {table_rows} rows per cell"
+    );
+
+    // --- Skew cell: static vs rebalanced placement. -----------------------
+    let static_run = skew_run(scale, false);
+    let rebalanced_run = skew_run(scale, true);
+    let speedup = rebalanced_run.achieved_tps / static_run.achieved_tps.max(1e-9);
+    println!("mode,achieved_tps,p99_ms,migrations,busy,shard_commits");
+    for run in [&static_run, &rebalanced_run] {
+        println!(
+            "{},{:.0},{},{},{},{:?}",
+            run.mode,
+            run.achieved_tps,
+            run.p99_ms.map(|ms| format!("{ms:.3}")).unwrap_or_default(),
+            run.migrations,
+            run.busy,
+            run.shard_commits
+        );
+    }
+    println!(
+        "# skew: rebalanced {:.0} tps vs static {:.0} tps — {:.2}x ({} migrations)",
+        rebalanced_run.achieved_tps, static_run.achieved_tps, speedup, rebalanced_run.migrations
+    );
+    if rebalanced_run.migrations == 0 {
+        failures.push("rebalanced run performed no migrations".to_string());
+    }
+    if speedup <= 1.0 {
+        failures.push(format!(
+            "rebalancing failed to beat static placement: {speedup:.2}x"
+        ));
+    }
+    if !smoke && speedup < 1.5 {
+        failures.push(format!(
+            "rebalancing speedup {speedup:.2}x below the 1.5x headline at {scale_label} scale"
+        ));
+    }
+
+    // --- Overload cell: per-tier latency with shedding off/on. ------------
+    let (capacity, runs) = overload_cell(scale);
+    println!("# overload: measured closed-loop capacity {capacity:.0} tps");
+    println!("load_factor,shedding,offered_tps,achieved_tps,class,submitted,committed,shed,failed,p50_ms,p99_ms");
+    for run in &runs {
+        for tier in &run.tiers {
+            println!(
+                "{:.1},{},{:.0},{:.0},{},{},{},{},{},{},{}",
+                run.load_factor,
+                run.shedding,
+                run.offered_tps,
+                run.achieved_tps,
+                tier.class,
+                tier.submitted,
+                tier.committed,
+                tier.shed,
+                tier.failed,
+                tier.p50_ms.map(|ms| format!("{ms:.3}")).unwrap_or_default(),
+                tier.p99_ms.map(|ms| format!("{ms:.3}")).unwrap_or_default(),
+            );
+        }
+    }
+
+    let unsaturated = runs
+        .iter()
+        .find(|r| r.load_factor < 1.0 && !r.shedding)
+        .expect("unsaturated baseline present");
+    let shed_off = runs
+        .iter()
+        .find(|r| r.load_factor >= 1.0 && !r.shedding)
+        .expect("overloaded shed-off run present");
+    let shed_on = runs
+        .iter()
+        .find(|r| r.shedding)
+        .expect("overloaded shed-on run present");
+    let premium_unsat = unsaturated.tier("premium").and_then(|t| t.p99_ms);
+    let premium_off = shed_off.tier("premium").and_then(|t| t.p99_ms);
+    let premium_on = shed_on.tier("premium").and_then(|t| t.p99_ms);
+    println!(
+        "# premium p99: {:.2} ms unsaturated, {:.2} ms at 2x shed-off, {:.2} ms at 2x shed-on",
+        premium_unsat.unwrap_or(f64::NAN),
+        premium_off.unwrap_or(f64::NAN),
+        premium_on.unwrap_or(f64::NAN)
+    );
+
+    match (premium_on, premium_off) {
+        (Some(on), Some(off)) => {
+            if on > off {
+                failures.push(format!(
+                    "shedding left premium p99 unbounded: {on:.2} ms vs {off:.2} ms without shedding"
+                ));
+            }
+        }
+        _ => failures.push("premium p99 missing from an overload run".to_string()),
+    }
+    if let (Some(on), Some(unsat)) = (premium_on, premium_unsat) {
+        if !smoke && on > unsat * 2.0 {
+            failures.push(format!(
+                "premium p99 with shedding ({on:.2} ms) above 2x its unsaturated value ({unsat:.2} ms)"
+            ));
+        }
+    }
+    if shed_on.tier("premium").is_some_and(|t| t.shed > 0) {
+        failures.push("premium transactions were shed".to_string());
+    }
+    if shed_on.tier("free").is_none_or(|t| t.shed == 0) {
+        failures.push("free tier was never shed at 2x capacity".to_string());
+    }
+
+    // --- Emit the document. ----------------------------------------------
+    let json = rebalance_overload_json(&[static_run, rebalanced_run], capacity, &runs, scale_label);
+    let path = "BENCH_rebalance_overload.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("# could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {path}");
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("# ERROR: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

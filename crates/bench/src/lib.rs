@@ -17,6 +17,9 @@
 //! * workload scenarios → [`scenario_matrix_sweep`], [`saturation_series`]
 //!   (`BENCH_scenario_matrix.json`), with latencies binned by
 //!   [`hist::LatencyHistogram`]
+//! * adaptive control plane → [`skew_run`], [`overload_cell`]
+//!   (`BENCH_rebalance_overload.json`): hot-object re-homing vs static
+//!   placement, and SLA-aware shedding past saturation
 
 #![warn(missing_docs)]
 
@@ -28,11 +31,16 @@ use std::time::Instant;
 use workload::OltpSpec;
 
 pub mod hist;
+pub mod rebalance;
 pub mod rule_scaling;
 pub mod scenario;
 
 pub use declsched::protocol::Backend;
 pub use hist::LatencyHistogram;
+pub use rebalance::{
+    overload_cell, rebalance_overload_json, rebalance_workload, skew_run, OverloadRun, SkewRun,
+    TierCell,
+};
 pub use rule_scaling::{
     rule_scaling_cell, rule_scaling_json, rule_scaling_speedups, rule_scaling_sweep,
     RuleScalingRow, RuleScalingSpec, RuleScalingSpeedup,

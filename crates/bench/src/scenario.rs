@@ -165,7 +165,7 @@ impl SaturationPoint {
 /// A millisecond quantile as a JSON value: a number, or `null` when the
 /// histogram recorded nothing — an empty run must not report a fabricated
 /// p99 (the old behaviour synthesised one from bucket bounds).
-fn json_ms(ms: Option<f64>) -> String {
+pub(crate) fn json_ms(ms: Option<f64>) -> String {
     match ms {
         Some(value) => format!("{value:.4}"),
         None => "null".to_string(),
@@ -231,7 +231,7 @@ fn start_deployment(
 
 /// Turn one generated scenario transaction into a session [`session::Txn`],
 /// attaching SLA metadata when the scenario models service classes.
-fn to_session_txn(txn: &ScenarioTxn, arrival_us: u64) -> session::Txn {
+pub(crate) fn to_session_txn(txn: &ScenarioTxn, arrival_us: u64) -> session::Txn {
     let built = session::Txn::from_statements(&txn.statements);
     match txn.class {
         None => built,
@@ -387,7 +387,7 @@ fn measure_capacity(
 /// The arrival schedule for an open-loop run at `load_factor` × the
 /// measured capacity, preserving the scenario's arrival *shape* (burst
 /// ratio, duty cycle).
-fn scaled_schedule(
+pub(crate) fn scaled_schedule(
     scenario: &dyn Scenario,
     capacity_tps: f64,
     load_factor: f64,

@@ -1,0 +1,466 @@
+//! # control — the adaptive control plane
+//!
+//! The sharded scheduler partitions the object space by a fixed hash, which
+//! balances *uniform* traffic perfectly and skewed traffic terribly: a
+//! handful of hot objects that happen to hash together turn an N-shard
+//! fleet into one hot worker with N−1 idle bystanders.  This crate closes
+//! the loop: a [`ControlPlane`] thread samples per-shard load and the
+//! router's hot-object frequency sketch through [`shard::ControlHandle`],
+//! and when it finds a shard carrying disproportionate load it **re-homes**
+//! the hottest objects of that shard onto the least-loaded shards through
+//! the router's epoch-fenced placement-migration lever.
+//!
+//! ```text
+//!   ┌──────────────────────── ControlPlane (one thread) ───────────────┐
+//!   │ every `interval`:                                                │
+//!   │   depths  = handle.queue_depths()      (live per-shard gauges)   │
+//!   │   hot     = handle.drain_hot_objects() (space-saving sketch)     │
+//!   │   if max(depths) > skew_ratio · mean(depths):                    │
+//!   │       for hottest objects homed on the overloaded shard:         │
+//!   │           handle.rehome(object, least-loaded shard)              │
+//!   │             └─ fences submissions, quiesces the object,          │
+//!   │                moves its row, flips the placement overlay        │
+//!   └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Migrations are conservative by construction: the router only moves an
+//! object that is completely idle on its current home (no queued or
+//! pending request, no live lock), so a migration can never reorder or
+//! violate admitted work — a busy object simply reports
+//! [`shard::RehomeOutcome::Busy`] and is retried on a later cycle.
+//!
+//! The second overload lever — SLA-aware shedding — lives in the session
+//! layer (`session::ShedPolicy`): it needs to act on every submission
+//! before routing, not once per sampling cycle.
+//!
+//! ```no_run
+//! use control::{ControlConfig, ControlPlane};
+//! use session::Scheduler;
+//!
+//! let scheduler = Scheduler::builder().shards(4).build().unwrap();
+//! let control = ControlPlane::start(
+//!     scheduler.sharded_control().expect("sharded deployment"),
+//!     ControlConfig::default(),
+//! );
+//! // ... drive traffic ...
+//! let stats = control.stop();
+//! assert!(stats.cycles > 0 || stats.migrations == 0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use shard::{ControlHandle, RehomeOutcome};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of the [`ControlPlane`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlConfig {
+    /// Sampling interval between control cycles.
+    pub interval: Duration,
+    /// A shard is considered hot when its queue depth exceeds
+    /// `skew_ratio ×` the mean depth across shards (and `min_depth`).
+    pub skew_ratio: f64,
+    /// Ignore shards whose absolute queue depth is below this — tiny
+    /// backlogs are noise, not skew.
+    pub min_depth: u64,
+    /// Upper bound on migrations per cycle, so one cycle cannot churn the
+    /// whole placement at once.
+    pub max_moves_per_cycle: usize,
+    /// Only objects whose accumulated sketch weight reaches this are worth
+    /// migrating — a migration fences every submission, so moving
+    /// cold-tail objects is pure overhead.
+    pub min_object_weight: u64,
+    /// Cycles an object is immune from re-migration after a move, so two
+    /// comparably loaded shards cannot ping-pong a hot object between them.
+    pub cooldown_cycles: u64,
+    /// Once depth skew is detected, keep rebalancing for this many further
+    /// cycles even if the live queues drain meanwhile.  An object under
+    /// sustained load is almost never idle at the instant a migration
+    /// probes it; the lull right after a hot burst is when migrations
+    /// actually land, and the skew that triggered the window is about to
+    /// come back.
+    pub sticky_cycles: u64,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            interval: Duration::from_millis(10),
+            skew_ratio: 1.5,
+            min_depth: 8,
+            max_moves_per_cycle: 8,
+            min_object_weight: 8,
+            cooldown_cycles: 100,
+            sticky_cycles: 100,
+        }
+    }
+}
+
+/// What the control plane did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Sampling cycles executed.
+    pub cycles: u64,
+    /// Objects successfully re-homed.
+    pub migrations: u64,
+    /// Migration attempts refused because the object was busy (retried on
+    /// later cycles).
+    pub busy: u64,
+    /// Migration attempts that failed outright (fleet shutting down).
+    pub failed: u64,
+}
+
+/// The running control plane: one sampling/rebalancing thread over a shard
+/// fleet.  Stop it (or drop it) before shutting the fleet down.
+pub struct ControlPlane {
+    stop: Sender<()>,
+    handle: Option<JoinHandle<ControlStats>>,
+}
+
+impl ControlPlane {
+    /// Start the control loop over `handle` with the given tuning.
+    pub fn start(handle: ControlHandle, config: ControlConfig) -> Self {
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let thread = std::thread::Builder::new()
+            .name("declsched-control".to_string())
+            .spawn(move || {
+                let mut rebalancer = Rebalancer::new(config);
+                let mut stats = ControlStats::default();
+                loop {
+                    match stop_rx.recv_timeout(config.interval) {
+                        Ok(()) | Err(RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Timeout) => {}
+                    }
+                    stats.cycles += 1;
+                    rebalancer.cycle(&handle, &mut stats);
+                }
+                stats
+            })
+            .expect("spawning the control thread cannot fail");
+        ControlPlane {
+            stop: stop_tx,
+            handle: Some(thread),
+        }
+    }
+
+    /// Stop the control loop and return its lifetime stats.
+    pub fn stop(mut self) -> ControlStats {
+        let _ = self.stop.send(());
+        self.handle
+            .take()
+            .expect("control thread present until stop")
+            .join()
+            .expect("control thread never panics")
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The rebalancing policy, separated from the sampling thread so tests can
+/// drive cycles deterministically.
+///
+/// Hot-object observations are carried across cycles in a decaying
+/// backlog: the router's sketch resets on every drain, and a hot object
+/// that was busy when its migration was attempted must still be a
+/// candidate on the next cycle.
+pub struct Rebalancer {
+    config: ControlConfig,
+    /// Accumulated hot-object weights, decayed by half each cycle so stale
+    /// heat dies out.
+    backlog: Vec<(i64, u64)>,
+    /// Cycles executed (the cooldown clock).
+    cycle_count: u64,
+    /// object → cycle it was last migrated at.
+    moved_at: std::collections::HashMap<i64, u64>,
+    /// Keep rebalancing until this cycle (the sticky skew window).
+    hot_until: u64,
+}
+
+impl Rebalancer {
+    /// A fresh rebalancer with the given tuning.
+    pub fn new(config: ControlConfig) -> Self {
+        Rebalancer {
+            config,
+            backlog: Vec::new(),
+            cycle_count: 0,
+            moved_at: std::collections::HashMap::new(),
+            hot_until: 0,
+        }
+    }
+
+    /// One sampling/rebalancing cycle over the fleet.
+    ///
+    /// **Detection** is depth-based: a shard whose live queue exceeds
+    /// `skew_ratio ×` the mean opens (or extends) the sticky rebalancing
+    /// window.  **Action** is weight-based: within the window, the sketch
+    /// backlog is grouped by current home shard, and hot objects are moved
+    /// from the weight-heaviest shard to the weight-lightest until the
+    /// weights balance — so migrations keep landing during the lulls in
+    /// which hot objects are actually idle.
+    pub fn cycle(&mut self, handle: &ControlHandle, stats: &mut ControlStats) {
+        self.cycle_count += 1;
+        let depths = handle.queue_depths();
+        self.absorb(handle.drain_hot_objects());
+        if depths.len() < 2 || self.backlog.is_empty() {
+            return;
+        }
+
+        let config = self.config;
+        let depth_mean = depths.iter().sum::<u64>() as f64 / depths.len() as f64;
+        let depth_max = depths.iter().copied().max().unwrap_or(0);
+        if depth_max >= config.min_depth
+            && (depth_max as f64) > config.skew_ratio * depth_mean.max(1.0)
+        {
+            self.hot_until = self.cycle_count + config.sticky_cycles;
+        }
+        if self.cycle_count > self.hot_until {
+            return;
+        }
+
+        // The hot backlog grouped by current home shard.
+        let mut weights = vec![0u64; depths.len()];
+        for &(object, weight) in &self.backlog {
+            weights[handle.shard_of(object)] += weight;
+        }
+        let mut moved = 0usize;
+        let mut remaining = Vec::with_capacity(self.backlog.len());
+        for &(object, weight) in &self.backlog {
+            let weight_mean = weights.iter().sum::<u64>() as f64 / weights.len() as f64;
+            let (source, &source_weight) = weights
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &w)| w)
+                .expect("at least two shards");
+            // Stop once the hot set is spread evenly enough.
+            if (source_weight as f64) <= config.skew_ratio * weight_mean.max(1.0) {
+                remaining.push((object, weight));
+                continue;
+            }
+            let cooling = self
+                .moved_at
+                .get(&object)
+                .is_some_and(|&at| self.cycle_count.saturating_sub(at) < config.cooldown_cycles);
+            if moved >= config.max_moves_per_cycle
+                || weight < config.min_object_weight
+                || cooling
+                || handle.shard_of(object) != source
+            {
+                remaining.push((object, weight));
+                continue;
+            }
+            let (target, _) = weights
+                .iter()
+                .enumerate()
+                .filter(|(shard, _)| *shard != source)
+                .min_by_key(|(_, &w)| w)
+                .expect("at least two shards");
+            match handle.rehome(object, target) {
+                Ok(RehomeOutcome::Done) => {
+                    stats.migrations += 1;
+                    moved += 1;
+                    self.moved_at.insert(object, self.cycle_count);
+                    // The hot object's traffic follows it; it stays in the
+                    // backlog (still hot, just re-homed) so future weight
+                    // accounting sees it on its new shard.
+                    weights[target] += weight;
+                    weights[source] -= weight;
+                    remaining.push((object, weight));
+                }
+                Ok(RehomeOutcome::Busy) => {
+                    stats.busy += 1;
+                    // Keep it hot; retry next cycle.
+                    remaining.push((object, weight));
+                }
+                Ok(RehomeOutcome::NoOp) => {}
+                Err(_) => {
+                    stats.failed += 1;
+                    // The fleet is going away; stop trying this cycle.
+                    remaining.push((object, weight));
+                    break;
+                }
+            }
+        }
+        self.backlog = remaining;
+    }
+
+    /// Merge freshly drained sketch counters into the decaying backlog.
+    /// Heat halves every 16 cycles — fast enough that yesterday's hot set
+    /// ages out, slow enough that a traffic lull (exactly when migrations
+    /// land) does not erase the candidates before they can be moved.
+    fn absorb(&mut self, hot: Vec<(i64, u64)>) {
+        if self.cycle_count.is_multiple_of(16) {
+            for (_, weight) in self.backlog.iter_mut() {
+                *weight /= 2;
+            }
+            self.backlog.retain(|&(_, weight)| weight > 0);
+        }
+        for (object, weight) in hot {
+            match self.backlog.iter_mut().find(|(o, _)| *o == object) {
+                Some((_, w)) => *w += weight,
+                None => self.backlog.push((object, weight)),
+            }
+        }
+        self.backlog
+            .sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.backlog.truncate(256);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use declsched::{shard_of, Protocol, ProtocolKind, SchedulerConfig, TriggerPolicy};
+    use session::{Scheduler, Txn};
+
+    fn sharded_scheduler(shards: usize) -> Scheduler {
+        Scheduler::builder()
+            .table("bench", 1_024)
+            .scheduler_config(SchedulerConfig {
+                trigger: TriggerPolicy::Hybrid {
+                    interval_ms: 1,
+                    threshold: 8,
+                },
+                ..SchedulerConfig::default()
+            })
+            .policy(Protocol::algebra(ProtocolKind::Ss2pl))
+            .shards(shards)
+            .build()
+            .expect("fleet starts")
+    }
+
+    /// Objects that hash to the given shard at 2-way partitioning.
+    fn objects_on_shard(shard: usize, n: usize) -> Vec<i64> {
+        (0..1_024i64)
+            .filter(|&o| shard_of(o, 2) == shard)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn idle_cycle_migrates_nothing() {
+        let scheduler = sharded_scheduler(2);
+        let handle = scheduler.sharded_control().expect("sharded");
+        let mut stats = ControlStats::default();
+        Rebalancer::new(ControlConfig::default()).cycle(&handle, &mut stats);
+        assert_eq!(stats.migrations, 0);
+        assert_eq!(handle.placement_epoch(), 0);
+        let _ = scheduler.shutdown();
+    }
+
+    #[test]
+    fn skewed_traffic_is_rebalanced_onto_the_idle_shard() {
+        let scheduler = sharded_scheduler(2);
+        let handle = scheduler.sharded_control().expect("sharded");
+        let mut session = scheduler.connect();
+
+        // Heat up 4 objects homed on shard 0, sequentially so they are all
+        // idle afterwards (nothing pending, no locks held).
+        let on_zero = objects_on_shard(0, 5);
+        let (hot, cold) = (&on_zero[..4], on_zero[4]);
+        let mut ta = 0u64;
+        for round in 0..40 {
+            let object = hot[round % hot.len()];
+            ta += 1;
+            session
+                .execute(Txn::new(ta).write(object, 1).commit())
+                .expect("hot traffic commits");
+        }
+
+        // Pile a backlog onto shard 0 behind a held lock on a *different*
+        // object, so the shard reads as overloaded while the hot objects
+        // stay migratable.
+        ta += 1;
+        let blocker = ta;
+        session
+            .submit(Txn::new(blocker).write(cold, 9))
+            .expect("lock holder submits")
+            .wait()
+            .expect("lock holder executes");
+        let mut blocked = Vec::new();
+        for _ in 0..32 {
+            ta += 1;
+            blocked.push(
+                session
+                    .submit(Txn::new(ta).write(cold, 9).commit())
+                    .expect("blocked traffic submits"),
+            );
+        }
+        // Let the worker fold the backlog into its depth gauge.
+        std::thread::sleep(Duration::from_millis(10));
+
+        let mut stats = ControlStats::default();
+        let mut rebalancer = Rebalancer::new(ControlConfig {
+            min_depth: 1,
+            skew_ratio: 1.0,
+            max_moves_per_cycle: 4,
+            min_object_weight: 1,
+            ..ControlConfig::default()
+        });
+        for _ in 0..100 {
+            rebalancer.cycle(&handle, &mut stats);
+            if stats.migrations >= 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            stats.migrations >= 1,
+            "skewed traffic must trigger at least one migration: {stats:?}"
+        );
+        assert!(handle.placement_epoch() >= 1);
+        // Migrated objects now live away from their hash home (on the only
+        // other shard).
+        assert_eq!(handle.rehomed_objects() as u64, stats.migrations);
+
+        // Release the backlog and finish the run cleanly.
+        ta += 1;
+        session
+            .submit(Txn::resume(blocker, 1).commit())
+            .expect("lock holder commits")
+            .wait()
+            .expect("commit executes");
+        let _ = ta;
+        for ticket in blocked {
+            ticket.wait().expect("blocked traffic drains");
+        }
+        session.drain().expect("session drains");
+
+        let report = scheduler.shutdown();
+        let detail = report.sharded.expect("sharded detail");
+        assert_eq!(detail.placement.len() as u64, stats.migrations);
+        assert_eq!(detail.unreclaimed_homes, 0);
+        // Final state is correct despite the migrations: hot rows hold 1,
+        // the contested cold row holds its last committed write.
+        for &object in hot {
+            assert_eq!(report.final_rows[object as usize], 1, "object {object}");
+        }
+        assert_eq!(report.final_rows[cold as usize], 9);
+    }
+
+    #[test]
+    fn control_plane_thread_starts_and_stops_cleanly() {
+        let scheduler = sharded_scheduler(2);
+        let control = ControlPlane::start(
+            scheduler.sharded_control().expect("sharded"),
+            ControlConfig {
+                interval: Duration::from_millis(1),
+                ..ControlConfig::default()
+            },
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        let stats = control.stop();
+        assert!(stats.cycles >= 1, "the loop must have sampled: {stats:?}");
+        assert_eq!(stats.migrations, 0);
+        let _ = scheduler.shutdown();
+    }
+}

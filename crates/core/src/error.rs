@@ -43,6 +43,31 @@ pub enum SchedError {
         /// Which backend refused the operation.
         backend: &'static str,
     },
+    /// A shared lock was poisoned by a panicking holder.  Surfaced as an
+    /// error instead of propagating the panic, so one crashed client thread
+    /// cannot cascade panics through every other session sharing the
+    /// deployment.
+    Poisoned {
+        /// Which shared structure was poisoned.
+        what: &'static str,
+    },
+    /// The submission was shed by the overload-protection policy before it
+    /// reached the scheduler: the deployment is past its queue-depth
+    /// watermark and the transaction's SLA tier is below the protected
+    /// priority.  The transaction was never admitted — no locks were taken
+    /// and nothing executed — so the client may retry later.
+    Shed {
+        /// SLA class of the shed transaction.
+        class: &'static str,
+    },
+}
+
+impl SchedError {
+    /// Whether this error is the typed [`SchedError::Shed`] outcome of the
+    /// overload-protection policy (a deliberate rejection, not a failure).
+    pub fn is_shed(&self) -> bool {
+        matches!(self, SchedError::Shed { .. })
+    }
 }
 
 impl fmt::Display for SchedError {
@@ -69,6 +94,12 @@ impl fmt::Display for SchedError {
             }
             SchedError::BackendShutdown { backend } => {
                 write!(f, "the {backend} backend was already shut down")
+            }
+            SchedError::Poisoned { what } => {
+                write!(f, "shared lock poisoned: {what}")
+            }
+            SchedError::Shed { class } => {
+                write!(f, "transaction shed under overload (class `{class}`)")
             }
         }
     }
@@ -133,5 +164,11 @@ mod tests {
             endpoint: "client worker",
         };
         assert!(e.to_string().contains("client worker"));
+        let e = SchedError::Poisoned { what: "homes map" };
+        assert!(e.to_string().contains("homes map"));
+        assert!(!e.is_shed());
+        let e = SchedError::Shed { class: "free" };
+        assert!(e.is_shed());
+        assert!(e.to_string().contains("free"));
     }
 }

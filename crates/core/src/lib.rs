@@ -77,6 +77,7 @@ pub mod metrics;
 pub mod middleware;
 pub mod passthrough;
 pub mod pending;
+pub mod placement;
 pub mod protocol;
 pub mod qualify;
 pub mod queue;
@@ -91,6 +92,7 @@ pub use history::HistoryStore;
 pub use metrics::SchedulerMetrics;
 pub use middleware::{ClientHandle, Middleware, MiddlewareReport, TxnTicket};
 pub use pending::PendingStore;
+pub use placement::{FreqSketch, Placement};
 pub use protocol::{
     AdaptiveProtocol, Backend, Protocol, ProtocolFeatures, ProtocolKind, SchedulingPolicy,
 };

@@ -28,6 +28,8 @@ use crate::request::{Request, RequestKey};
 use crate::scheduler::{DeclarativeScheduler, SchedulerConfig};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use txnstore::Statement;
@@ -204,6 +206,7 @@ pub struct MiddlewareReport {
 pub struct Middleware {
     sender: Sender<ControlMessage>,
     handle: JoinHandle<MiddlewareReport>,
+    depth: Arc<AtomicU64>,
 }
 
 impl Middleware {
@@ -235,11 +238,25 @@ impl Middleware {
             scheduler.register_aux_relation(aux);
         }
         let (sender, receiver) = unbounded::<ControlMessage>();
+        let depth = Arc::new(AtomicU64::new(0));
+        let gauge = Arc::clone(&depth);
         let handle = std::thread::Builder::new()
             .name("declsched-scheduler".to_string())
-            .spawn(move || scheduler_loop(scheduler, dispatcher, receiver, rows))
+            .spawn(move || scheduler_loop(scheduler, dispatcher, receiver, rows, gauge))
             .expect("spawning the scheduler thread cannot fail");
-        Ok(Middleware { sender, handle })
+        Ok(Middleware {
+            sender,
+            handle,
+            depth,
+        })
+    }
+
+    /// A cheap clone of the scheduler's live queue-depth gauge (incoming
+    /// queue + pending relation, updated by the scheduler thread once per
+    /// loop iteration) that outlives the middleware handle.  The session
+    /// layer's overload-shedding policy samples this watermark.
+    pub fn depth_gauge(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.depth)
     }
 
     /// Connect a new client (the control instance "creates a separate client
@@ -390,16 +407,27 @@ fn scheduler_loop(
     mut dispatcher: Dispatcher,
     receiver: Receiver<ControlMessage>,
     rows: usize,
+    depth: Arc<AtomicU64>,
 ) -> MiddlewareReport {
     let started = Instant::now();
     let mut tickets = Tickets::default();
     let mut executed_log: Vec<Request> = Vec::new();
     let mut disconnected = false;
 
+    // Whether the previous round executed anything: a productive round can
+    // release locks that unblock still-pending requests, so the next round
+    // runs immediately instead of first blocking on the channel (which
+    // would add a hard 1 ms stall to every lock handoff under light load).
+    let mut made_progress = false;
     loop {
         // Collect what has arrived; block briefly so an idle middleware does
         // not spin.
-        match receiver.recv_timeout(Duration::from_millis(1)) {
+        let timeout = if made_progress {
+            Duration::ZERO
+        } else {
+            Duration::from_millis(1)
+        };
+        match receiver.recv_timeout(timeout) {
             Ok(first) => {
                 let now_ms = started.elapsed().as_millis() as u64;
                 let mut handle = |msg: ControlMessage, disconnected: &mut bool| match msg {
@@ -424,6 +452,12 @@ fn scheduler_loop(
             }
         }
 
+        depth.store(
+            (scheduler.queued() + scheduler.pending()) as u64,
+            Ordering::Relaxed,
+        );
+        made_progress = false;
+
         let now_ms = started.elapsed().as_millis() as u64;
         // When shutting down, keep scheduling until everything drained.
         let batch = if disconnected && (scheduler.queued() > 0 || scheduler.pending() > 0) {
@@ -447,6 +481,7 @@ fn scheduler_loop(
                         tickets.fail_all(|key| SchedError::TransactionFinished { ta: key.ta });
                         break;
                     }
+                    made_progress = !batch.is_empty();
                     for request in &batch.requests {
                         let result = dispatcher.execute_request(request);
                         executed_log.push(request.clone());
@@ -471,6 +506,13 @@ fn scheduler_loop(
             break;
         }
     }
+
+    // Publish the true final depth (0 on a clean drain) — the loop's last
+    // sample predates the final round.
+    depth.store(
+        (scheduler.queued() + scheduler.pending()) as u64,
+        Ordering::Relaxed,
+    );
 
     MiddlewareReport {
         scheduler: scheduler.metrics(),

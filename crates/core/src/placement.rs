@@ -1,0 +1,262 @@
+//! The placement layer: where an object lives in a sharded deployment.
+//!
+//! The shard router originally partitioned purely by [`crate::shard_of`] —
+//! a fixed multiplicative hash.  That is perfect for uniform traffic and
+//! terrible for skew: a handful of hot objects that happen to hash to the
+//! same shard turn an N-shard fleet into a single hot worker.  [`Placement`]
+//! keeps the hash as the *default* and layers a small **overlay map** of
+//! re-homed objects on top, so a control plane can migrate hot objects onto
+//! underloaded shards without touching the placement of the other millions.
+//!
+//! Every placement change bumps an **epoch**.  Epochs fence migrations
+//! against routing: the router resolves an object's home and records it for
+//! the transaction's lifetime under the same lock the control plane holds
+//! while it flips an overlay entry, so an in-flight transaction keeps the
+//! homes it was routed with and a transaction routed after the flip sees
+//! the new home — there is no window in which the two interleave.
+//!
+//! [`FreqSketch`] is the companion detector: a space-saving top-k sketch of
+//! object access frequencies the router feeds on every submission, cheap
+//! enough for the hot path and precise enough to name the objects worth
+//! migrating.
+
+use crate::request::shard_of;
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Object-to-shard placement: hash default plus an overlay of re-homed
+/// objects, guarded by an epoch counter.
+#[derive(Debug)]
+pub struct Placement {
+    shards: usize,
+    state: RwLock<Overlay>,
+}
+
+#[derive(Debug, Default)]
+struct Overlay {
+    map: HashMap<i64, usize>,
+    epoch: u64,
+}
+
+impl Placement {
+    /// A fresh placement: every object at its hash home, epoch 0.
+    pub fn new(shards: usize) -> Self {
+        Placement {
+            shards: shards.max(1),
+            state: RwLock::new(Overlay::default()),
+        }
+    }
+
+    /// Number of shards placed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The home shard of `object`: the overlay entry if one exists, the
+    /// [`shard_of`] hash otherwise.
+    pub fn shard_of(&self, object: i64) -> usize {
+        self.read()
+            .map
+            .get(&object)
+            .copied()
+            .unwrap_or_else(|| shard_of(object, self.shards))
+    }
+
+    /// The current placement epoch (bumped by every effective change).
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch
+    }
+
+    /// Number of objects currently living away from their hash home.
+    pub fn rehomed(&self) -> usize {
+        self.read().map.len()
+    }
+
+    /// Snapshot of the overlay: every `(object, shard)` pair placed away
+    /// from its hash home, in ascending object order.
+    pub fn overlay(&self) -> Vec<(i64, usize)> {
+        let mut pairs: Vec<(i64, usize)> = self.read().map.iter().map(|(&o, &s)| (o, s)).collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Move `object` to `shard`, returning the new epoch.  Moving an object
+    /// back to its hash home drops the overlay entry.  The *caller* is
+    /// responsible for the migration fence (quiescing the object and
+    /// copying its row) — this only flips the routing entry.
+    pub fn rehome(&self, object: i64, shard: usize) -> u64 {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let mut state = self
+            .state
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if shard == shard_of(object, self.shards) {
+            state.map.remove(&object);
+        } else {
+            state.map.insert(object, shard);
+        }
+        state.epoch += 1;
+        state.epoch
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Overlay> {
+        // An overlay write is a single map entry plus an epoch bump; a
+        // panicking writer cannot leave the map half-updated, so reading
+        // through poison is sound and keeps the hot routing path infallible.
+        self.state
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A space-saving top-k frequency sketch over object ids.
+///
+/// Bounded memory (`capacity` counters): an unseen object arriving at a
+/// full sketch evicts the minimum counter and inherits its count plus one —
+/// the classical space-saving guarantee that any object with true frequency
+/// above `total / capacity` is present.  The router feeds it on every
+/// routed submission; the control plane drains it once per sampling cycle.
+#[derive(Debug)]
+pub struct FreqSketch {
+    capacity: usize,
+    counts: HashMap<i64, u64>,
+    /// Misses since the last eviction (the eviction-sampling clock).
+    misses: u64,
+}
+
+/// Evict (an O(capacity) min-scan) only on every Nth miss at a full
+/// sketch.  Tracked objects always count in O(1), so heavy hitters are
+/// unaffected; a long uniform cold tail — where every observation is a
+/// miss and there is nothing worth tracking anyway — costs a scan only
+/// once per `EVICT_SAMPLE` submissions instead of on each one.  The price
+/// is that a *newly* hot object entering a full sketch needs up to
+/// `EVICT_SAMPLE` extra observations to be admitted, which is noise at
+/// the control plane's sampling timescale.
+const EVICT_SAMPLE: u64 = 4;
+
+impl FreqSketch {
+    /// An empty sketch holding at most `capacity` counters.
+    pub fn new(capacity: usize) -> Self {
+        FreqSketch {
+            capacity: capacity.max(1),
+            counts: HashMap::with_capacity(capacity.max(1)),
+            misses: 0,
+        }
+    }
+
+    /// Record one access to `object`.
+    pub fn observe(&mut self, object: i64) {
+        if let Some(count) = self.counts.get_mut(&object) {
+            *count += 1;
+            return;
+        }
+        if self.counts.len() < self.capacity {
+            self.counts.insert(object, 1);
+            return;
+        }
+        self.misses += 1;
+        if !self.misses.is_multiple_of(EVICT_SAMPLE) {
+            return;
+        }
+        // Space-saving eviction: replace the minimum counter.
+        let (&victim, &floor) = self
+            .counts
+            .iter()
+            .min_by_key(|(_, &count)| count)
+            .expect("a full sketch is non-empty");
+        self.counts.remove(&victim);
+        self.counts.insert(object, floor + 1);
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing has been observed since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Take the current counters, hottest first, and reset the sketch.
+    pub fn drain_top(&mut self) -> Vec<(i64, u64)> {
+        let mut top: Vec<(i64, u64)> = self.counts.drain().collect();
+        top.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_defaults_to_the_hash_and_overlay_wins() {
+        let p = Placement::new(4);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.epoch(), 0);
+        for object in 0..100 {
+            assert_eq!(p.shard_of(object), shard_of(object, 4));
+        }
+        let home = p.shard_of(7);
+        let target = (home + 1) % 4;
+        let epoch = p.rehome(7, target);
+        assert_eq!(epoch, 1);
+        assert_eq!(p.shard_of(7), target);
+        assert_eq!(p.rehomed(), 1);
+        assert_eq!(p.overlay(), vec![(7, target)]);
+        // Everything else is untouched.
+        assert_eq!(p.shard_of(8), shard_of(8, 4));
+    }
+
+    #[test]
+    fn rehoming_back_to_the_hash_home_drops_the_entry() {
+        let p = Placement::new(2);
+        let home = p.shard_of(42);
+        p.rehome(42, 1 - home);
+        assert_eq!(p.rehomed(), 1);
+        let epoch = p.rehome(42, home);
+        assert_eq!(p.rehomed(), 0);
+        assert_eq!(epoch, 2, "moving home still bumps the epoch");
+        assert_eq!(p.shard_of(42), home);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rehoming_to_a_nonexistent_shard_panics() {
+        Placement::new(2).rehome(1, 5);
+    }
+
+    #[test]
+    fn sketch_tracks_the_heaviest_objects_in_bounded_space() {
+        let mut sketch = FreqSketch::new(4);
+        for _ in 0..50 {
+            sketch.observe(1);
+        }
+        for _ in 0..30 {
+            sketch.observe(2);
+        }
+        // A long tail of singletons churns the low counters but cannot
+        // displace the heavy hitters.
+        for object in 100..160 {
+            sketch.observe(object);
+        }
+        assert!(sketch.len() <= 4);
+        let top = sketch.drain_top();
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+        assert!(top[0].1 >= 50);
+        // Draining resets.
+        assert!(sketch.is_empty());
+        assert!(sketch.drain_top().is_empty());
+    }
+
+    #[test]
+    fn sketch_orders_ties_deterministically() {
+        let mut sketch = FreqSketch::new(8);
+        for object in [5, 3, 9] {
+            sketch.observe(object);
+        }
+        assert_eq!(sketch.drain_top(), vec![(3, 1), (5, 1), (9, 1)]);
+    }
+}

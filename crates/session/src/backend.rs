@@ -58,4 +58,26 @@ pub trait Backend: Send + Sync {
     /// report.  The first call wins; later calls (and later submissions)
     /// fail with [`declsched::SchedError::BackendShutdown`].
     fn shutdown(&self) -> SchedResult<Report>;
+
+    /// The deployment's live scheduling backlog — for sharded deployments
+    /// the *deepest* shard queue, for the unsharded middleware its
+    /// incoming-plus-pending count.  The session layer's overload-shedding
+    /// policy compares this against its watermark before admitting
+    /// low-tier submissions.  Backends with no observable backlog report 0
+    /// (and are therefore never shed against).
+    fn queue_depth(&self) -> usize {
+        0
+    }
+
+    /// Release any routing state recorded for transaction `ta` — called
+    /// when a client abandons a transaction mid-flight (its `Session` is
+    /// dropped before a terminal was submitted), so per-transaction routing
+    /// entries cannot leak.  Default: nothing to release.
+    fn abandon(&self, _ta: u64) {}
+
+    /// The sharded control-plane handle, when this deployment is a shard
+    /// fleet (load sampling, hot-object sketch, placement migration).
+    fn sharded_control(&self) -> Option<shard::ControlHandle> {
+        None
+    }
 }

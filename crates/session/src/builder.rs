@@ -5,12 +5,46 @@ use crate::passthrough::PassthroughBackend;
 use crate::report::Report;
 use crate::sess::Session;
 use crate::sharded::ShardedBackend;
+use crate::tier::TierRegistry;
 use crate::unsharded::UnshardedBackend;
 use declsched::protocol::SchedulingPolicy;
 use declsched::{Middleware, Protocol, ProtocolKind, SchedResult, SchedulerConfig};
 use relalg::Table;
 use shard::{ShardConfig, ShardedMiddleware};
 use std::sync::Arc;
+
+/// The session layer's SLA-aware overload-shedding policy.
+///
+/// While the backend's live queue depth ([`crate::Backend::queue_depth`])
+/// is at or past `queue_watermark`, *opening* submissions whose SLA
+/// priority is below `protect_priority` are rejected up front: their
+/// [`crate::Ticket`] resolves immediately with the typed
+/// [`declsched::SchedError::Shed`] outcome and nothing reaches the
+/// scheduler.  Transactions at or above the protected priority — and
+/// continuations of transactions already admitted — always pass, which is
+/// what keeps the premium tier's tail latency bounded while the deployment
+/// is driven past capacity.
+///
+/// Submissions without SLA metadata are never shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Queue depth at which shedding engages (sustained backlog, not a
+    /// transient round's worth of requests).
+    pub queue_watermark: usize,
+    /// Minimum SLA priority that is never shed.
+    pub protect_priority: i64,
+}
+
+impl ShedPolicy {
+    /// A policy shedding everything below `protect_priority` once the
+    /// backlog reaches `queue_watermark`.
+    pub fn new(queue_watermark: usize, protect_priority: i64) -> Self {
+        ShedPolicy {
+            queue_watermark,
+            protect_priority,
+        }
+    }
+}
 
 /// Which deployment the builder will start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +65,7 @@ pub struct SchedulerBuilder {
     rows: usize,
     topology: Topology,
     aux_relations: Vec<Table>,
+    shed: Option<ShedPolicy>,
 }
 
 impl SchedulerBuilder {
@@ -42,6 +77,7 @@ impl SchedulerBuilder {
             rows: 10_000,
             topology: Topology::Unsharded,
             aux_relations: Vec::new(),
+            shed: None,
         }
     }
 
@@ -93,6 +129,13 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Enable SLA-aware overload shedding (off by default; see
+    /// [`ShedPolicy`]).
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.shed = Some(policy);
+        self
+    }
+
     /// Start the deployment.
     pub fn build(self) -> SchedResult<Scheduler> {
         let backend: Arc<dyn Backend> = match self.topology {
@@ -114,7 +157,11 @@ impl SchedulerBuilder {
             }
             Topology::Passthrough => Arc::new(PassthroughBackend::start(self.table, self.rows)?),
         };
-        Ok(Scheduler { backend })
+        Ok(Scheduler {
+            backend,
+            tiers: Arc::new(TierRegistry::default()),
+            shed: self.shed,
+        })
     }
 }
 
@@ -122,6 +169,9 @@ impl SchedulerBuilder {
 /// connect to, whatever topology sits behind it.
 pub struct Scheduler {
     backend: Arc<dyn Backend>,
+    /// Per-SLA-tier admission/latency counters shared by every session.
+    tiers: Arc<TierRegistry>,
+    shed: Option<ShedPolicy>,
 }
 
 impl Scheduler {
@@ -133,7 +183,11 @@ impl Scheduler {
     /// Wrap a custom [`Backend`] (the three shipped deployments come from
     /// [`Scheduler::builder`]).
     pub fn from_backend(backend: Arc<dyn Backend>) -> Self {
-        Scheduler { backend }
+        Scheduler {
+            backend,
+            tiers: Arc::new(TierRegistry::default()),
+            shed: None,
+        }
     }
 
     /// Which deployment this is.
@@ -144,7 +198,24 @@ impl Scheduler {
     /// Connect a new client session (the control instance "creates a
     /// separate client worker for each connected client").
     pub fn connect(&self) -> Session {
-        Session::new(Arc::clone(&self.backend))
+        Session::new(
+            Arc::clone(&self.backend),
+            Arc::clone(&self.tiers),
+            self.shed,
+        )
+    }
+
+    /// The deployment's live scheduling backlog (see
+    /// [`Backend::queue_depth`]).
+    pub fn queue_depth(&self) -> usize {
+        self.backend.queue_depth()
+    }
+
+    /// The sharded control-plane handle (load sampling, hot-object sketch,
+    /// placement migration) — `Some` only for `.shards(n)` deployments.
+    /// The `control` crate's `ControlPlane` drives this.
+    pub fn sharded_control(&self) -> Option<shard::ControlHandle> {
+        self.backend.sharded_control()
     }
 
     /// Drain outstanding work, stop the deployment and return the unified
@@ -165,7 +236,9 @@ impl Scheduler {
     /// [`declsched::SchedError::BackendShutdown`] instead of panicking when
     /// another handle over the same backend shut it down first.
     pub fn try_shutdown(self) -> SchedResult<Report> {
-        self.backend.shutdown()
+        let mut report = self.backend.shutdown()?;
+        report.tiers = self.tiers.snapshot();
+        Ok(report)
     }
 }
 

@@ -62,12 +62,14 @@ mod report;
 mod sess;
 mod sharded;
 mod ticket;
+mod tier;
 mod txn;
 mod unsharded;
 
 pub use backend::{Backend, BackendKind};
-pub use builder::{Scheduler, SchedulerBuilder};
+pub use builder::{Scheduler, SchedulerBuilder, ShedPolicy};
 pub use report::{Report, ShardedDetail};
 pub use sess::Session;
 pub use ticket::{Ticket, TxnReceipt};
+pub use tier::TierReport;
 pub use txn::Txn;

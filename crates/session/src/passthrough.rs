@@ -210,6 +210,7 @@ fn forward_loop(
         final_rows,
         sharded: None,
         server: Some(scheduler.server_metrics()),
+        tiers: Vec::new(),
         wall: started.elapsed(),
     }
 }

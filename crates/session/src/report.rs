@@ -2,8 +2,10 @@
 //! `MiddlewareReport` / `ShardedReport` pair at the client surface.
 
 use crate::backend::BackendKind;
+use crate::tier::TierReport;
 use declsched::{shard_of, DispatchReport, MiddlewareReport, Request, SchedulerMetrics};
 use shard::{EscalationStats, ShardReport, ShardedReport};
+use std::collections::HashMap;
 use std::time::Duration;
 use txnstore::EngineMetrics;
 
@@ -18,6 +20,14 @@ pub struct ShardedDetail {
     pub escalation: EscalationStats,
     /// Peak pending-relation size over all shards.
     pub peak_pending: usize,
+    /// Homes-map entries still live at shutdown (0 on a clean run — the
+    /// leak witness the router regression tests assert on).
+    pub unreclaimed_homes: u64,
+    /// Final placement overlay: objects living away from their hash home,
+    /// with the shard they were migrated to.
+    pub placement: Vec<(i64, usize)>,
+    /// Final placement epoch (number of effective placement changes).
+    pub placement_epoch: u64,
     /// The raw per-shard reports (index = shard id).
     pub reports: Vec<ShardReport>,
 }
@@ -50,6 +60,9 @@ pub struct Report {
     /// The server's native scheduler metrics (lock waits, deadlocks), when
     /// the backend is passthrough.
     pub server: Option<EngineMetrics>,
+    /// Per-SLA-tier admission/latency counters (empty when no transaction
+    /// carried SLA metadata), accumulated by the session layer.
+    pub tiers: Vec<TierReport>,
     /// Wall-clock duration from backend start to shutdown.
     pub wall: Duration,
 }
@@ -99,6 +112,7 @@ impl Report {
             final_rows: report.final_rows,
             sharded: None,
             server: None,
+            tiers: Vec::new(),
             wall: report.wall,
         }
     }
@@ -106,8 +120,12 @@ impl Report {
     pub(crate) fn from_sharded(report: ShardedReport) -> Self {
         let metrics = &report.metrics;
         let shards = metrics.shards.max(1);
-        // Merge final rows by home shard: the router guarantees an object
-        // is only ever written through its home shard's engine.
+        // Merge final rows by *final* home shard — the hash default plus
+        // the placement overlay for migrated objects.  The router
+        // guarantees an object is only ever written through its (current)
+        // home shard's engine, and a migration copies the row value to the
+        // new home, so the final home's copy is authoritative.
+        let overlay: HashMap<i64, usize> = report.placement.iter().copied().collect();
         let rows = report
             .shards
             .iter()
@@ -116,7 +134,10 @@ impl Report {
             .unwrap_or(0);
         let final_rows: Vec<i64> = (0..rows)
             .map(|row| {
-                let home = shard_of(row as i64, shards);
+                let home = overlay
+                    .get(&(row as i64))
+                    .copied()
+                    .unwrap_or_else(|| shard_of(row as i64, shards));
                 report
                     .shards
                     .get(home)
@@ -142,9 +163,13 @@ impl Report {
                 cross_shard_transactions: metrics.cross_shard_transactions,
                 escalation: metrics.escalation,
                 peak_pending: metrics.peak_pending,
+                unreclaimed_homes: metrics.unreclaimed_homes,
+                placement: report.placement,
+                placement_epoch: metrics.placement_epoch,
                 reports: report.shards,
             }),
             server: None,
+            tiers: Vec::new(),
             wall: metrics.wall,
         }
     }

@@ -1,10 +1,14 @@
 //! The per-client session: pipelined transaction submission.
 
 use crate::backend::Backend;
-use crate::ticket::{Ticket, TicketCell, TxnReceipt};
+use crate::builder::ShedPolicy;
+use crate::ticket::{Ticket, TicketCell, TierTrack, TxnReceipt};
+use crate::tier::TierRegistry;
 use crate::txn::Txn;
-use declsched::{Request, SchedResult};
+use declsched::{Request, SchedError, SchedResult};
+use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One connected client's view of a scheduler deployment.
 ///
@@ -13,16 +17,33 @@ use std::sync::Arc;
 /// a single session can keep dozens of transactions in flight and await
 /// them in any order (or not at all: [`Session::drain`] settles whatever
 /// is still outstanding).
+///
+/// A session tracks which of its transactions are still **open** (routed
+/// but no terminal submitted).  Dropping the session abandons them: the
+/// backend releases any per-transaction routing state (the shard router's
+/// homes entries), so a client that walks away mid-transaction cannot leak
+/// routing entries for the lifetime of the deployment.
 pub struct Session {
     backend: Arc<dyn Backend>,
+    tiers: Arc<TierRegistry>,
+    shed: Option<ShedPolicy>,
     inflight: Vec<Arc<TicketCell>>,
+    /// Transactions this session routed without a terminal yet.
+    open: HashSet<u64>,
 }
 
 impl Session {
-    pub(crate) fn new(backend: Arc<dyn Backend>) -> Self {
+    pub(crate) fn new(
+        backend: Arc<dyn Backend>,
+        tiers: Arc<TierRegistry>,
+        shed: Option<ShedPolicy>,
+    ) -> Self {
         Session {
             backend,
+            tiers,
+            shed,
             inflight: Vec::new(),
+            open: HashSet::new(),
         }
     }
 
@@ -42,9 +63,50 @@ impl Session {
 
     fn submit_raw(&mut self, ta: u64, requests: Vec<Request>) -> SchedResult<Ticket> {
         let statements = requests.len();
+        let sla = requests.first().and_then(|r| r.sla);
+        let has_terminal = requests.iter().any(|r| r.op.is_terminal());
+        let opening = !requests.is_empty() && !self.open.contains(&ta);
+
+        // Overload protection: while the backend is past its queue-depth
+        // watermark, *opening* submissions below the protected priority are
+        // rejected up front with the typed `Shed` outcome — they never
+        // reach the scheduler, take no locks and execute nothing.
+        // Continuations of already-admitted transactions always pass, so a
+        // shed can never strand held locks.
+        if let (Some(policy), Some(sla)) = (self.shed, sla) {
+            if opening
+                && sla.priority < policy.protect_priority
+                && self.backend.queue_depth() >= policy.queue_watermark
+            {
+                self.tiers.record_shed(sla.class);
+                // Born resolved; not registered in-flight (there is nothing
+                // to drain and `drain` reports failures, not rejections).
+                return Ok(Ticket::new(TicketCell::resolved_with(
+                    ta,
+                    statements,
+                    Err(SchedError::Shed { class: sla.class }),
+                )));
+            }
+        }
+
         let rx = self.backend.submit(requests)?;
-        let cell = TicketCell::new(ta, statements, rx);
+        let tier = sla.map(|s| {
+            self.tiers.record_submitted(s.class);
+            TierTrack {
+                registry: Arc::clone(&self.tiers),
+                class: s.class,
+                submitted: Instant::now(),
+            }
+        });
+        let cell = TicketCell::new(ta, statements, rx, tier);
         self.inflight.push(Arc::clone(&cell));
+        if statements > 0 {
+            if has_terminal {
+                self.open.remove(&ta);
+            } else {
+                self.open.insert(ta);
+            }
+        }
         Ok(Ticket::new(cell))
     }
 
@@ -76,5 +138,21 @@ impl Session {
     pub fn in_flight(&mut self) -> usize {
         self.inflight.retain(|cell| !cell.resolved());
         self.inflight.len()
+    }
+
+    /// Transactions this session routed without submitting a terminal yet.
+    pub fn open_transactions(&self) -> usize {
+        self.open.len()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Abandon what was never terminated: the backend reclaims any
+        // per-transaction routing state (the shard router's homes map
+        // entries would otherwise live until shutdown).
+        for &ta in &self.open {
+            self.backend.abandon(ta);
+        }
     }
 }

@@ -10,6 +10,9 @@ use std::sync::Mutex;
 pub(crate) struct ShardedBackend {
     /// Submission side: routes directly through the shared router core.
     handle: ShardedClientHandle,
+    /// Control-plane side: cheap clone of the router's control handle,
+    /// usable without touching the shutdown lock.
+    control: shard::ControlHandle,
     /// Ownership side: consumed by the first shutdown.
     middleware: Mutex<Option<ShardedMiddleware>>,
 }
@@ -18,6 +21,7 @@ impl ShardedBackend {
     pub(crate) fn new(middleware: ShardedMiddleware) -> Self {
         ShardedBackend {
             handle: middleware.connect(),
+            control: middleware.control(),
             middleware: Mutex::new(Some(middleware)),
         }
     }
@@ -36,9 +40,23 @@ impl Backend for ShardedBackend {
         let middleware = self
             .middleware
             .lock()
-            .expect("sharded backend lock poisoned")
+            .map_err(|_| SchedError::Poisoned {
+                what: "sharded backend shutdown lock",
+            })?
             .take()
             .ok_or(SchedError::BackendShutdown { backend: "sharded" })?;
         Ok(Report::from_sharded(middleware.shutdown()))
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.handle.max_queue_depth()
+    }
+
+    fn abandon(&self, ta: u64) {
+        self.handle.abandon_transaction(ta);
+    }
+
+    fn sharded_control(&self) -> Option<shard::ControlHandle> {
+        Some(self.control.clone())
     }
 }

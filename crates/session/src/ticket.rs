@@ -1,8 +1,10 @@
 //! In-flight transaction handles.
 
+use crate::tier::TierRegistry;
 use crossbeam::channel::Receiver;
 use declsched::{SchedError, SchedResult};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// What [`Ticket::wait`] returns once a transaction has fully executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -11,6 +13,15 @@ pub struct TxnReceipt {
     pub ta: u64,
     /// Number of statements the transaction carried.
     pub statements: usize,
+}
+
+/// Per-tier accounting attached to a ticket of an SLA-tagged transaction:
+/// its completion (and submit-to-completion latency) is recorded against
+/// its service class when the result is first observed.
+pub(crate) struct TierTrack {
+    pub(crate) registry: Arc<TierRegistry>,
+    pub(crate) class: &'static str,
+    pub(crate) submitted: Instant,
 }
 
 /// Shared completion state of one submitted transaction.
@@ -22,6 +33,7 @@ pub struct TxnReceipt {
 pub(crate) struct TicketCell {
     pub(crate) ta: u64,
     pub(crate) statements: usize,
+    tier: Option<TierTrack>,
     state: Mutex<CellState>,
 }
 
@@ -31,13 +43,33 @@ struct CellState {
 }
 
 impl TicketCell {
-    pub(crate) fn new(ta: u64, statements: usize, rx: Receiver<SchedResult<()>>) -> Arc<Self> {
+    pub(crate) fn new(
+        ta: u64,
+        statements: usize,
+        rx: Receiver<SchedResult<()>>,
+        tier: Option<TierTrack>,
+    ) -> Arc<Self> {
         Arc::new(TicketCell {
             ta,
             statements,
+            tier,
             state: Mutex::new(CellState {
                 rx: Some(rx),
                 done: None,
+            }),
+        })
+    }
+
+    /// A cell born resolved — the shedding path: the transaction was never
+    /// admitted and its result is already known.
+    pub(crate) fn resolved_with(ta: u64, statements: usize, result: SchedResult<()>) -> Arc<Self> {
+        Arc::new(TicketCell {
+            ta,
+            statements,
+            tier: None,
+            state: Mutex::new(CellState {
+                rx: None,
+                done: Some(result),
             }),
         })
     }
@@ -47,7 +79,9 @@ impl TicketCell {
     /// (any concurrent caller blocks on the cell lock meanwhile), later
     /// callers get the cached result.
     pub(crate) fn wait(&self) -> SchedResult<()> {
-        let mut state = self.state.lock().expect("ticket cell lock poisoned");
+        let mut state = self.state.lock().map_err(|_| SchedError::Poisoned {
+            what: "ticket cell",
+        })?;
         if let Some(result) = &state.done {
             return result.clone();
         }
@@ -58,17 +92,25 @@ impl TicketCell {
                 endpoint: "backend",
             }),
         };
+        if let Some(tier) = &self.tier {
+            tier.registry.record_outcome(
+                tier.class,
+                tier.submitted.elapsed().as_micros() as u64,
+                result.is_ok(),
+            );
+        }
         state.done = Some(result.clone());
         result
     }
 
-    /// Whether the result has already been observed.
+    /// Whether the result has already been observed.  A poisoned cell
+    /// counts as resolved: its panicked observer already consumed the
+    /// result.
     pub(crate) fn resolved(&self) -> bool {
         self.state
             .lock()
-            .expect("ticket cell lock poisoned")
-            .done
-            .is_some()
+            .map(|state| state.done.is_some())
+            .unwrap_or(true)
     }
 }
 
@@ -78,6 +120,12 @@ impl TicketCell {
 /// Tickets may be awaited in any order.  Dropping a ticket without waiting
 /// is safe: the transaction still executes, and the owning session's
 /// [`crate::Session::drain`] can still observe its completion.
+///
+/// Under an overload-shedding policy ([`crate::ShedPolicy`]) a low-tier
+/// submission past the watermark resolves immediately with the typed
+/// [`declsched::SchedError::Shed`] outcome — check
+/// [`declsched::SchedError::is_shed`] to distinguish a deliberate rejection
+/// from a failure.
 pub struct Ticket {
     cell: Arc<TicketCell>,
 }

@@ -1,0 +1,141 @@
+//! Per-SLA-tier admission and latency counters.
+//!
+//! Every transaction submitted with SLA metadata is accounted against its
+//! service class: how many were admitted, how many the overload-protection
+//! policy shed, how many completed or failed, and the observed
+//! submit-to-completion latency.  The counters ride on the shared
+//! [`TierRegistry`] owned by the `Scheduler`, so every `Session` of a
+//! deployment accumulates into one per-tier view, reported as
+//! [`crate::Report::tiers`] at shutdown.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Admission and latency counters for one SLA service class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierReport {
+    /// Service class name (e.g. `premium`, `standard`, `free`).
+    pub class: &'static str,
+    /// Transactions submitted with this class (admitted + shed).
+    pub submitted: u64,
+    /// Transactions that completed successfully.
+    pub completed: u64,
+    /// Transactions rejected by the overload-shedding policy (resolved
+    /// with [`declsched::SchedError::Shed`]; never admitted).
+    pub shed: u64,
+    /// Transactions that failed for any other reason.
+    pub failed: u64,
+    /// Sum of observed submit-to-completion latencies, microseconds
+    /// (completed transactions only).
+    pub total_latency_us: u64,
+    /// Largest observed submit-to-completion latency, microseconds.
+    pub max_latency_us: u64,
+}
+
+impl TierReport {
+    /// Mean completion latency in milliseconds (`None` before the first
+    /// completion).
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        if self.completed == 0 {
+            None
+        } else {
+            Some(self.total_latency_us as f64 / self.completed as f64 / 1e3)
+        }
+    }
+
+    /// Fraction of submissions shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+}
+
+/// The deployment-wide per-tier accumulator.
+#[derive(Debug, Default)]
+pub(crate) struct TierRegistry {
+    inner: Mutex<HashMap<&'static str, TierReport>>,
+}
+
+impl TierRegistry {
+    fn with_entry(&self, class: &'static str, update: impl FnOnce(&mut TierReport)) {
+        let mut inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            // Metrics are best-effort: a poisoned registry keeps counting.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let entry = inner.entry(class).or_insert_with(|| TierReport {
+            class,
+            ..TierReport::default()
+        });
+        update(entry);
+    }
+
+    /// Count one admitted submission of `class`.
+    pub(crate) fn record_submitted(&self, class: &'static str) {
+        self.with_entry(class, |t| t.submitted += 1);
+    }
+
+    /// Count one shed submission of `class` (also counts as submitted).
+    pub(crate) fn record_shed(&self, class: &'static str) {
+        self.with_entry(class, |t| {
+            t.submitted += 1;
+            t.shed += 1;
+        });
+    }
+
+    /// Count one observed completion (or failure) of `class`.
+    pub(crate) fn record_outcome(&self, class: &'static str, latency_us: u64, ok: bool) {
+        self.with_entry(class, |t| {
+            if ok {
+                t.completed += 1;
+                t.total_latency_us += latency_us;
+                t.max_latency_us = t.max_latency_us.max(latency_us);
+            } else {
+                t.failed += 1;
+            }
+        });
+    }
+
+    /// Snapshot every tier, sorted by class name for stable output.
+    pub(crate) fn snapshot(&self) -> Vec<TierReport> {
+        let inner = match self.inner.lock() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut tiers: Vec<TierReport> = inner.values().cloned().collect();
+        tiers.sort_by_key(|t| t.class);
+        tiers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_accumulates_per_class() {
+        let registry = TierRegistry::default();
+        registry.record_submitted("premium");
+        registry.record_outcome("premium", 1_500, true);
+        registry.record_submitted("free");
+        registry.record_outcome("free", 9_000, false);
+        registry.record_shed("free");
+        let tiers = registry.snapshot();
+        assert_eq!(tiers.len(), 2);
+        let free = &tiers[0];
+        assert_eq!(free.class, "free");
+        assert_eq!(free.submitted, 2);
+        assert_eq!(free.shed, 1);
+        assert_eq!(free.failed, 1);
+        assert_eq!(free.completed, 0);
+        assert_eq!(free.mean_latency_ms(), None);
+        assert!((free.shed_rate() - 0.5).abs() < f64::EPSILON);
+        let premium = &tiers[1];
+        assert_eq!(premium.completed, 1);
+        assert_eq!(premium.max_latency_us, 1_500);
+        assert_eq!(premium.mean_latency_ms(), Some(1.5));
+    }
+}

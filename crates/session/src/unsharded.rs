@@ -11,6 +11,8 @@ pub(crate) struct UnshardedBackend {
     /// Submission side: a cheap clone of the control channel, usable
     /// without touching the shutdown lock.
     handle: ClientHandle,
+    /// Live scheduler queue depth, shared with the scheduler thread.
+    depth: std::sync::Arc<AtomicU64>,
     /// Ownership side: consumed by the first shutdown.
     middleware: Mutex<Option<Middleware>>,
     transactions: AtomicU64,
@@ -20,6 +22,7 @@ impl UnshardedBackend {
     pub(crate) fn new(middleware: Middleware) -> Self {
         UnshardedBackend {
             handle: middleware.connect(),
+            depth: middleware.depth_gauge(),
             middleware: Mutex::new(Some(middleware)),
             transactions: AtomicU64::new(0),
         }
@@ -40,7 +43,9 @@ impl Backend for UnshardedBackend {
         let middleware = self
             .middleware
             .lock()
-            .expect("unsharded backend lock poisoned")
+            .map_err(|_| SchedError::Poisoned {
+                what: "unsharded backend shutdown lock",
+            })?
             .take()
             .ok_or(SchedError::BackendShutdown {
                 backend: "unsharded",
@@ -49,5 +54,9 @@ impl Backend for UnshardedBackend {
             middleware.shutdown(),
             self.transactions.load(Ordering::Relaxed),
         ))
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed) as usize
     }
 }

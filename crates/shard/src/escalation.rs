@@ -29,18 +29,28 @@
 //! always holds.
 
 use crate::metrics::EscalationStats;
+use crate::router::RehomeOutcome;
 use crate::worker::{FreezeAck, ShardMessage};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use declsched::protocol::SchedulingPolicy;
-use declsched::{shard_of, Operation, Request, RequestKey, SchedError, SchedResult};
+use declsched::{Operation, Placement, Request, RequestKey, SchedError, SchedResult};
 use relalg::{Catalog, Table};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A cross-shard transaction queued for the lane.
 pub(crate) struct EscalationJob {
     /// The transaction's requests, in intra order.
     pub requests: Vec<Request>,
+    /// The home shard of each request (index-parallel to `requests`),
+    /// captured under the placement fence at routing time; `None` for
+    /// terminals, which replicate to every touched shard.  The lane
+    /// executes with exactly this assignment so a placement flip between
+    /// routing and execution cannot send a request to a shard the barrier
+    /// never froze.
+    pub assigned: Vec<Option<usize>>,
     /// Touched shard ids, ascending and distinct (includes shards holding
     /// locks from the transaction's earlier submissions).
     pub touched: Vec<usize>,
@@ -52,6 +62,17 @@ pub(crate) struct EscalationJob {
 pub(crate) enum EscalationMessage {
     /// Run one escalation.
     Job(EscalationJob),
+    /// Migrate an object between shard engines and flip its placement
+    /// entry.  Serialized behind every job already queued, so jobs routed
+    /// under the old placement execute before the flip.
+    Rehome {
+        /// The object to migrate.
+        object: i64,
+        /// Its new home shard.
+        to: usize,
+        /// Signalled once with the outcome.
+        reply: Sender<SchedResult<RehomeOutcome>>,
+    },
     /// Finish queued jobs received before this marker, then stop.
     Shutdown,
 }
@@ -63,26 +84,98 @@ pub(crate) fn run_coordinator(
     receiver: Receiver<EscalationMessage>,
     max_attempts: u32,
     aux_relations: Vec<Table>,
+    placement: Arc<Placement>,
+    lane_active: Arc<AtomicU64>,
 ) -> EscalationStats {
     let mut stats = EscalationStats::default();
-    while let Ok(EscalationMessage::Job(job)) = receiver.recv() {
-        stats.escalations += 1;
-        let result = run_escalation(
-            &policy,
-            &workers,
-            &job,
-            max_attempts,
-            &aux_relations,
-            &mut stats,
-        );
-        if result.is_err() {
-            stats.failed += 1;
-        } else {
-            stats.escalated_requests += job.requests.len() as u64;
+    while let Ok(message) = receiver.recv() {
+        match message {
+            EscalationMessage::Job(job) => {
+                stats.escalations += 1;
+                let result = run_escalation(
+                    &policy,
+                    &workers,
+                    &job,
+                    max_attempts,
+                    &aux_relations,
+                    &mut stats,
+                );
+                if result.is_err() {
+                    // The job failed, but the transaction may still hold
+                    // locks from earlier submissions on its recorded home
+                    // shards — the homes entry must survive so a follow-up
+                    // abort routes there.  Reclaim happens when the client
+                    // terminates or abandons the transaction.
+                    stats.failed += 1;
+                } else {
+                    stats.escalated_requests += job.requests.len() as u64;
+                }
+                let _ = job.reply.send(result);
+                // Counted up by the router when the job was enqueued (under
+                // the placement fence); down only once the job has fully
+                // finished, so a fence holder never sees the lane as idle
+                // while a job is queued *or* executing.
+                lane_active.fetch_sub(1, Ordering::Release);
+            }
+            EscalationMessage::Rehome { object, to, reply } => {
+                let outcome = run_rehome(&workers, &placement, object, to);
+                match outcome {
+                    Ok(RehomeOutcome::Done) => stats.rehomes += 1,
+                    Ok(RehomeOutcome::Busy) => stats.rehomes_busy += 1,
+                    _ => {}
+                }
+                let _ = reply.send(outcome);
+            }
+            EscalationMessage::Shutdown => break,
         }
-        let _ = job.reply.send(result);
     }
     stats
+}
+
+/// Move one object's row from its current home engine to `to` and flip the
+/// placement overlay.  The caller holds the router's placement fence
+/// exclusively, so no submission can be routed (and no message for the
+/// object can be in flight behind this one) while the migration runs.
+fn run_rehome(
+    workers: &[Sender<ShardMessage>],
+    placement: &Placement,
+    object: i64,
+    to: usize,
+) -> SchedResult<RehomeOutcome> {
+    let from = placement.shard_of(object);
+    if from == to {
+        return Ok(RehomeOutcome::NoOp);
+    }
+    let (reply_tx, reply_rx) = bounded(1);
+    workers[from]
+        .send(ShardMessage::Export {
+            object,
+            reply: reply_tx,
+        })
+        .map_err(|_| SchedError::ChannelClosed {
+            endpoint: "shard worker (export)",
+        })?;
+    let value = reply_rx.recv().map_err(|_| SchedError::ChannelClosed {
+        endpoint: "shard worker (export ack)",
+    })?;
+    let Some(value) = value else {
+        return Ok(RehomeOutcome::Busy);
+    };
+    let (done_tx, done_rx) = bounded(1);
+    workers[to]
+        .send(ShardMessage::Install {
+            object,
+            value,
+            done: done_tx,
+        })
+        .map_err(|_| SchedError::ChannelClosed {
+            endpoint: "shard worker (install)",
+        })?;
+    done_rx.recv().map_err(|_| SchedError::ChannelClosed {
+        endpoint: "shard worker (install ack)",
+    })??;
+    placement.rehome(object, to);
+    Ok(RehomeOutcome::Done)
 }
 
 /// Freeze → evaluate → execute → release, retrying while the rule defers.
@@ -175,24 +268,25 @@ fn run_escalation(
             continue;
         }
 
-        // Execute each request on its owning shard; terminals are replicated
-        // to every touched shard so each participating engine finishes the
+        // Execute each request on its owning shard — the placement captured
+        // at routing time (`job.assigned`) — terminals replicated to every
+        // touched shard so each participating engine finishes the
         // transaction.
-        let shards = workers.len();
         let mut result = Ok(());
         let mut dones = Vec::with_capacity(frozen.len());
         for &shard in &frozen {
             let sub_batch: Vec<Request> = job
                 .requests
                 .iter()
-                .filter(|r| {
+                .zip(&job.assigned)
+                .filter(|(r, assigned)| {
                     if r.op.is_data() {
-                        shard_of(r.object, shards) == shard
+                        **assigned == Some(shard)
                     } else {
                         matches!(r.op, Operation::Commit | Operation::Abort)
                     }
                 })
-                .cloned()
+                .map(|(r, _)| r.clone())
                 .collect();
             if sub_batch.is_empty() {
                 continue;

@@ -87,9 +87,9 @@ mod router;
 mod worker;
 
 pub use config::ShardConfig;
-pub use metrics::{EscalationStats, ShardReport, ShardedMetrics};
+pub use metrics::{EscalationStats, RouterSnapshot, ShardReport, ShardedMetrics};
 pub use middleware::{ShardedClientHandle, ShardedMiddleware};
-pub use router::{ShardRouter, ShardedReport, TxnTicket};
+pub use router::{ControlHandle, RehomeOutcome, ShardRouter, ShardedReport, TxnTicket};
 
 #[cfg(test)]
 mod tests {

@@ -42,6 +42,34 @@ pub struct EscalationStats {
     pub retries: u64,
     /// Requests executed through the lane.
     pub escalated_requests: u64,
+    /// Placement migrations completed through the lane (hot objects moved
+    /// to a new home shard).
+    pub rehomes: u64,
+    /// Placement migrations refused because the object was not idle on its
+    /// current home (the control plane retries these).
+    pub rehomes_busy: u64,
+}
+
+/// What the router itself contributes to the aggregated metrics at
+/// shutdown: routing counters plus the live control-plane gauges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterSnapshot {
+    /// Transactions routed (fast path + escalated).  Counted only after a
+    /// submission actually reached a worker or the escalation lane, so
+    /// shutdown races cannot inflate it.
+    pub transactions: u64,
+    /// Transactions that took the escalation lane.
+    pub cross_shard_transactions: u64,
+    /// Final per-shard queue depth sample (index = shard id).
+    pub queue_depths: Vec<u64>,
+    /// Homes-map entries still live at shutdown: transactions that were
+    /// routed but neither terminated nor reclaimed (a leak witness — 0 on a
+    /// clean run).
+    pub unreclaimed_homes: u64,
+    /// Objects living away from their hash home when the fleet stopped.
+    pub rehomed_objects: u64,
+    /// Final placement epoch (number of effective placement changes).
+    pub placement_epoch: u64,
 }
 
 /// Aggregated view over a whole sharded run, built by
@@ -63,6 +91,14 @@ pub struct ShardedMetrics {
     pub transactions: u64,
     /// Transactions that took the escalation lane.
     pub cross_shard_transactions: u64,
+    /// Final per-shard queue depth sample (index = shard id).
+    pub queue_depths: Vec<u64>,
+    /// Homes-map entries still live at shutdown (0 on a clean run).
+    pub unreclaimed_homes: u64,
+    /// Objects living away from their hash home at shutdown.
+    pub rehomed_objects: u64,
+    /// Final placement epoch.
+    pub placement_epoch: u64,
     /// Escalation-lane counters.
     pub escalation: EscalationStats,
     /// Wall-clock duration of the run (start to shutdown).
@@ -73,8 +109,7 @@ impl ShardedMetrics {
     /// Merge shard reports and router counters into the fleet-wide view.
     pub fn aggregate(
         reports: &[ShardReport],
-        transactions: u64,
-        cross_shard_transactions: u64,
+        router: RouterSnapshot,
         escalation: EscalationStats,
         wall: Duration,
     ) -> Self {
@@ -94,8 +129,12 @@ impl ShardedMetrics {
             merged,
             dispatch,
             peak_pending,
-            transactions,
-            cross_shard_transactions,
+            transactions: router.transactions,
+            cross_shard_transactions: router.cross_shard_transactions,
+            queue_depths: router.queue_depths,
+            unreclaimed_homes: router.unreclaimed_homes,
+            rehomed_objects: router.rehomed_objects,
+            placement_epoch: router.placement_epoch,
             escalation,
             wall,
         }
@@ -160,13 +199,21 @@ mod tests {
         let reports = vec![report(0, 3, 30, 7), report(1, 5, 10, 12)];
         let m = ShardedMetrics::aggregate(
             &reports,
-            20,
-            5,
+            RouterSnapshot {
+                transactions: 20,
+                cross_shard_transactions: 5,
+                queue_depths: vec![3, 9],
+                unreclaimed_homes: 0,
+                rehomed_objects: 2,
+                placement_epoch: 2,
+            },
             EscalationStats {
                 escalations: 5,
                 escalated_requests: 15,
                 retries: 2,
                 failed: 0,
+                rehomes: 2,
+                rehomes_busy: 1,
             },
             Duration::from_secs(2),
         );
@@ -177,6 +224,11 @@ mod tests {
         assert_eq!(m.dispatch.executed, 40);
         assert_eq!(m.dispatch.commits, 2);
         assert_eq!(m.peak_pending, 12);
+        assert_eq!(m.queue_depths, vec![3, 9]);
+        assert_eq!(m.unreclaimed_homes, 0);
+        assert_eq!(m.rehomed_objects, 2);
+        assert_eq!(m.placement_epoch, 2);
+        assert_eq!(m.escalation.rehomes, 2);
         assert_eq!(m.cross_shard_rate(), 0.25);
         assert_eq!(m.throughput_rps(), 20.0);
         assert_eq!(m.commit_throughput(), 1.0);
@@ -184,7 +236,12 @@ mod tests {
 
     #[test]
     fn empty_run_has_zero_rates() {
-        let m = ShardedMetrics::aggregate(&[], 0, 0, EscalationStats::default(), Duration::ZERO);
+        let m = ShardedMetrics::aggregate(
+            &[],
+            RouterSnapshot::default(),
+            EscalationStats::default(),
+            Duration::ZERO,
+        );
         assert_eq!(m.cross_shard_rate(), 0.0);
         assert_eq!(m.throughput_rps(), 0.0);
     }

@@ -81,6 +81,20 @@ impl ShardedClientHandle {
     pub fn execute_requests(&self, requests: Vec<Request>) -> SchedResult<()> {
         self.core.submit(requests)?.wait()
     }
+
+    /// Reclaim the router's homes entry for `ta` — a transaction this
+    /// client abandoned mid-flight (no terminal will ever be submitted).
+    /// Without this, an abandoned transaction's entry would live until
+    /// shutdown.  The session façade calls it from `Session::drop`.
+    pub fn abandon_transaction(&self, ta: u64) {
+        self.core.abandon(ta);
+    }
+
+    /// The largest live per-shard queue depth — the watermark the session
+    /// layer's overload-shedding policy samples.
+    pub fn max_queue_depth(&self) -> usize {
+        self.core.max_queue_depth()
+    }
 }
 
 /// The sharded middleware control instance.
@@ -123,6 +137,12 @@ impl ShardedMiddleware {
     /// Access the underlying router (e.g. to submit without a handle).
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// The control plane's handle onto this fleet (load sampling,
+    /// hot-object sketch, placement migration).
+    pub fn control(&self) -> crate::ControlHandle {
+        self.router.control()
     }
 
     /// Shut down the fleet and return the merged report.

@@ -1,19 +1,31 @@
 //! The shard router: partitions client transactions by object footprint and
 //! owns the shard worker fleet plus the escalation coordinator.
+//!
+//! Routing consults the [`Placement`] layer — hash default plus an overlay
+//! of re-homed hot objects — rather than the raw `shard_of` hash, so an
+//! adaptive control plane can migrate hot objects between shards at runtime
+//! (see [`ControlHandle`]).  Placement changes are **epoch-fenced**: a
+//! migration holds the router's submission fence exclusively, so every
+//! transaction is routed entirely under one placement epoch and in-flight
+//! transactions keep the homes they were routed with.
 
 use crate::config::ShardConfig;
 use crate::escalation::{run_coordinator, EscalationJob, EscalationMessage};
-use crate::metrics::{EscalationStats, ShardReport, ShardedMetrics};
+use crate::metrics::{EscalationStats, RouterSnapshot, ShardReport, ShardedMetrics};
 use crate::worker::{run_worker, ShardMessage};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use declsched::{
-    footprint, shard_of, DeclarativeScheduler, Dispatcher, Request, SchedError, SchedResult,
+    footprint, DeclarativeScheduler, Dispatcher, FreqSketch, Placement, Request, SchedError,
+    SchedResult,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Capacity of the router's hot-object frequency sketch.
+const SKETCH_CAPACITY: usize = 128;
 
 /// A pending reply for one submitted transaction.
 pub struct TxnTicket {
@@ -35,45 +47,145 @@ impl TxnTicket {
     }
 }
 
+/// Outcome of a placement migration request ([`ControlHandle::rehome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RehomeOutcome {
+    /// The object's row was moved and the placement overlay updated.
+    Done,
+    /// The object was not idle (pending requests or live locks on its
+    /// current home shard); nothing changed.  Retry after the traffic
+    /// drains.
+    Busy,
+    /// The object already lives on the requested shard; nothing to do.
+    NoOp,
+}
+
 struct Counters {
     transactions: AtomicU64,
     cross_shard: AtomicU64,
 }
 
+/// The per-transaction homes map — `ta` → shards currently holding state
+/// for that transaction — shared between the router (which records homes as
+/// it routes), the shard workers and the escalation coordinator (which
+/// reclaim entries when they fail a transaction), and the session façade
+/// (which reclaims when a client abandons a transaction mid-flight).
+///
+/// Every reclaim path goes through [`TxnHomes::remove`]/
+/// [`TxnHomes::remove_many`] so entries cannot outlive their transaction:
+/// the router removes on terminal routing and on failed sends, workers
+/// remove every transaction they fail, the coordinator removes on
+/// escalation failure, and `Session::drop` removes transactions abandoned
+/// without a terminal.
+pub(crate) struct TxnHomes {
+    map: Mutex<HashMap<u64, BTreeSet<usize>>>,
+}
+
+impl TxnHomes {
+    fn new() -> Self {
+        TxnHomes {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> SchedResult<MutexGuard<'_, HashMap<u64, BTreeSet<usize>>>> {
+        self.map.lock().map_err(|_| SchedError::Poisoned {
+            what: "router homes map",
+        })
+    }
+
+    /// Drop the entry for `ta` (no-op if absent).  Poison-tolerant: reclaim
+    /// must never panic a failure path.
+    pub(crate) fn remove(&self, ta: u64) {
+        let mut map = match self.map.lock() {
+            Ok(map) => map,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        map.remove(&ta);
+    }
+
+    /// Drop the entries for every given transaction.
+    pub(crate) fn remove_many(&self, tas: impl IntoIterator<Item = u64>) {
+        let mut map = match self.map.lock() {
+            Ok(map) => map,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for ta in tas {
+            map.remove(&ta);
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self.map.lock() {
+            Ok(map) => map.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+}
+
 /// Routing state shared between the router and its client handles.
 ///
-/// Routing is a pure function of the object footprint plus the `homes` map
-/// (which shards already hold locks for a transaction submitted
-/// incrementally), so client handles route directly without a central
-/// router thread hop.
+/// Routing is a pure function of the object footprint plus the placement
+/// overlay and the `homes` map (which shards already hold locks for a
+/// transaction submitted incrementally), so client handles route directly
+/// without a central router thread hop.
 pub(crate) struct RouterCore {
     workers: Vec<Sender<ShardMessage>>,
     escalation: Sender<EscalationMessage>,
     shards: usize,
     counters: Counters,
-    /// ta → shards currently holding state for that transaction.  The map is
-    /// also the per-transaction submission lock: holding it across the
-    /// route-and-send keeps per-transaction ordering stable.
-    homes: Mutex<HashMap<u64, BTreeSet<usize>>>,
+    /// Object placement consulted for every routed request.
+    placement: Arc<Placement>,
+    /// The placement fence: submissions route under a shared guard, a
+    /// migration flips the overlay under an exclusive guard — so every
+    /// transaction observes exactly one placement epoch end to end.
+    fence: RwLock<()>,
+    /// Per-transaction homes (also the per-transaction submission lock:
+    /// holding it across the route-and-send keeps per-transaction ordering
+    /// stable).
+    homes: Arc<TxnHomes>,
+    /// Hot-object detector fed on every submission, drained by the control
+    /// plane.
+    sketch: Mutex<FreqSketch>,
+    /// Live per-shard queue depth (incoming + pending), written by each
+    /// worker once per loop iteration.
+    depths: Vec<Arc<AtomicU64>>,
+    /// Escalation jobs enqueued (under the fence) and not yet fully
+    /// executed.  A migration may only be enqueued when the lane is
+    /// completely idle: a queued or in-flight job can be deferring on a
+    /// lock whose releasing commit the held placement fence would block —
+    /// waiting behind it would deadlock the fleet until the job's retry
+    /// budget runs out.  Incremented by `submit` at enqueue time (so a
+    /// fence holder can never miss a job the coordinator has dequeued but
+    /// not finished), decremented by the coordinator on completion.
+    lane_active: Arc<AtomicU64>,
 }
 
 impl RouterCore {
     /// Route one transaction: single-shard footprints go straight to their
     /// shard, spanning footprints to the escalation lane.
     pub(crate) fn submit(&self, requests: Vec<Request>) -> SchedResult<TxnTicket> {
+        let _fence = self.fence.read().map_err(|_| SchedError::Poisoned {
+            what: "router placement fence",
+        })?;
         let objects = footprint(&requests);
         let own: BTreeSet<usize> = objects
             .iter()
-            .map(|&object| shard_of(object, self.shards))
+            .map(|&object| self.placement.shard_of(object))
             .collect();
         let ta = requests.first().map(|r| r.ta);
         let has_terminal = requests.iter().any(|r| r.op.is_terminal());
 
+        if let Ok(mut sketch) = self.sketch.lock() {
+            for &object in &objects {
+                sketch.observe(object);
+            }
+        }
+
         let (reply_tx, reply_rx) = bounded(1);
         let ticket = TxnTicket { rx: reply_rx };
-        self.counters.transactions.fetch_add(1, Ordering::Relaxed);
 
-        let mut homes = self.homes.lock().expect("router homes lock poisoned");
+        let mut homes = self.homes.lock()?;
         // Union with the shards already touched by earlier submissions of
         // the same transaction: a lock acquired there must be part of any
         // barrier this submission takes.
@@ -84,7 +196,8 @@ impl RouterCore {
             }
         }
 
-        if touched.len() <= 1 {
+        let cross_shard = touched.len() > 1;
+        let sent = if !cross_shard {
             // Fast path: the whole transaction lives on one shard (terminal-
             // only transactions with no recorded home default to shard 0).
             let target = touched.first().copied().unwrap_or(0);
@@ -95,32 +208,184 @@ impl RouterCore {
                 })
                 .map_err(|_| SchedError::ChannelClosed {
                     endpoint: "shard worker",
-                })?;
+                })
         } else {
-            self.counters.cross_shard.fetch_add(1, Ordering::Relaxed);
+            // Capture each data request's home under the fence: the
+            // escalation lane executes with exactly this assignment, so a
+            // later placement flip cannot re-route a queued job onto a
+            // shard its barrier never froze.
+            let assigned: Vec<Option<usize>> = requests
+                .iter()
+                .map(|r| r.op.is_data().then(|| self.placement.shard_of(r.object)))
+                .collect();
             self.escalation
                 .send(EscalationMessage::Job(EscalationJob {
                     requests,
+                    assigned,
                     touched: touched.iter().copied().collect(),
                     reply: reply_tx,
                 }))
                 .map_err(|_| SchedError::ChannelClosed {
                     endpoint: "escalation coordinator",
-                })?;
-        }
-        // Record homes only once the submission is actually in flight, so a
-        // failed send neither leaks an entry nor drops a live one.  Entries
-        // are removed when the transaction's terminal is submitted; a client
-        // that abandons a transaction without ever submitting one leaves its
-        // entry behind (bounded by abandoned transactions, not by traffic).
-        if let Some(ta) = ta {
-            if has_terminal {
-                homes.remove(&ta);
-            } else if !touched.is_empty() {
-                homes.insert(ta, touched);
+                })
+        };
+
+        match sent {
+            Ok(()) => {
+                // Count and record homes only once the submission is
+                // actually in flight: a failed send must neither inflate
+                // the routed-transaction counters nor leak a homes entry.
+                self.counters.transactions.fetch_add(1, Ordering::Relaxed);
+                if cross_shard {
+                    self.counters.cross_shard.fetch_add(1, Ordering::Relaxed);
+                    self.lane_active.fetch_add(1, Ordering::Release);
+                }
+                if let Some(ta) = ta {
+                    if has_terminal {
+                        homes.remove(&ta);
+                    } else if !touched.is_empty() {
+                        homes.insert(ta, touched);
+                    }
+                }
+                Ok(ticket)
+            }
+            Err(e) => {
+                // A dead channel means the fleet is shutting down; the
+                // transaction cannot make progress, so reclaim any homes
+                // entry its earlier submissions recorded.
+                if let Some(ta) = ta {
+                    homes.remove(&ta);
+                }
+                Err(e)
             }
         }
-        Ok(ticket)
+    }
+
+    /// Migrate `object` to shard `to` behind the exclusive placement fence.
+    /// Serialized through the escalation coordinator so every queued
+    /// cross-shard job routed under the old placement executes before the
+    /// flip.
+    pub(crate) fn rehome(&self, object: i64, to: usize) -> SchedResult<RehomeOutcome> {
+        if to >= self.shards {
+            return Err(SchedError::Dispatch {
+                message: format!("cannot re-home object {object}: shard {to} does not exist"),
+            });
+        }
+        let _fence = self.fence.write().map_err(|_| SchedError::Poisoned {
+            what: "router placement fence",
+        })?;
+        if self.placement.shard_of(object) == to {
+            return Ok(RehomeOutcome::NoOp);
+        }
+        // Only migrate through an *idle* escalation lane.  A queued or
+        // executing job may be waiting for shard-local locks to drain, and
+        // the commit that would drain them cannot be submitted while this
+        // fence is held — enqueueing behind such a job would stall every
+        // submission until the job's retry budget expires.  Jobs are
+        // counted at enqueue time under the fence, so no job can slip past
+        // this check unobserved.
+        if self.lane_active.load(Ordering::Acquire) > 0 {
+            return Ok(RehomeOutcome::Busy);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        self.escalation
+            .send(EscalationMessage::Rehome {
+                object,
+                to,
+                reply: reply_tx,
+            })
+            .map_err(|_| SchedError::ChannelClosed {
+                endpoint: "escalation coordinator",
+            })?;
+        reply_rx.recv().map_err(|_| SchedError::ChannelClosed {
+            endpoint: "escalation coordinator (rehome ack)",
+        })?
+    }
+
+    /// Per-shard backlog: the worker's own gauge (incoming + pending,
+    /// updated once per loop) plus its channel's live message count — the
+    /// channel term keeps the signal fresh while a worker is inside a long
+    /// round and its gauge is stale.
+    fn queue_depths(&self) -> Vec<u64> {
+        self.depths
+            .iter()
+            .zip(&self.workers)
+            .map(|(gauge, worker)| gauge.load(Ordering::Relaxed) + worker.len() as u64)
+            .collect()
+    }
+
+    pub(crate) fn abandon(&self, ta: u64) {
+        self.homes.remove(ta);
+    }
+
+    /// The deepest backlog anywhere in the fleet: the worst shard queue or
+    /// the serialized escalation lane's mailbox, whichever is larger —
+    /// cross-shard overload piles up in the lane, not on any worker.
+    pub(crate) fn max_queue_depth(&self) -> usize {
+        let worker = self.queue_depths().into_iter().max().unwrap_or(0) as usize;
+        worker.max(self.escalation.len())
+    }
+}
+
+/// The control plane's window into a running router: per-shard load, the
+/// hot-object sketch, and the placement-migration lever.  Cheap to clone;
+/// usable from any thread while the fleet is up.
+#[derive(Clone)]
+pub struct ControlHandle {
+    core: Arc<RouterCore>,
+}
+
+impl ControlHandle {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.core.shards
+    }
+
+    /// Live per-shard queue depth (incoming + pending requests), index =
+    /// shard id.  Each gauge is written by its worker once per loop
+    /// iteration.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.core.queue_depths()
+    }
+
+    /// The current home shard of `object` under the live placement.
+    pub fn shard_of(&self, object: i64) -> usize {
+        self.core.placement.shard_of(object)
+    }
+
+    /// The current placement epoch.
+    pub fn placement_epoch(&self) -> u64 {
+        self.core.placement.epoch()
+    }
+
+    /// Number of objects living away from their hash home.
+    pub fn rehomed_objects(&self) -> usize {
+        self.core.placement.rehomed()
+    }
+
+    /// Take the hot-object counters accumulated since the last drain,
+    /// hottest first.
+    pub fn drain_hot_objects(&self) -> Vec<(i64, u64)> {
+        match self.core.sketch.lock() {
+            Ok(mut sketch) => sketch.drain_top(),
+            Err(poisoned) => poisoned.into_inner().drain_top(),
+        }
+    }
+
+    /// Transactions with a recorded home and no terminal routed yet — the
+    /// homes-map population (diagnostic; also what the leak regression
+    /// tests assert on).
+    pub fn open_transactions(&self) -> usize {
+        self.core.homes.len()
+    }
+
+    /// Migrate `object` to shard `to`.  Blocks new submissions for the
+    /// duration (the epoch fence), quiesces the object on its current home
+    /// (failing with [`RehomeOutcome::Busy`] if it has pending requests or
+    /// live locks), moves its row between the shard engines and flips the
+    /// placement overlay.
+    pub fn rehome(&self, object: i64, to: usize) -> SchedResult<RehomeOutcome> {
+        self.core.rehome(object, to)
     }
 }
 
@@ -131,11 +396,16 @@ pub struct ShardedReport {
     pub shards: Vec<ShardReport>,
     /// The aggregated fleet-wide metrics.
     pub metrics: ShardedMetrics,
+    /// The final placement overlay: every `(object, shard)` living away
+    /// from its hash home when the fleet stopped.  Consumers merging
+    /// per-shard state (e.g. final row values) must consult this instead of
+    /// the raw hash.
+    pub placement: Vec<(i64, usize)>,
 }
 
 /// The sharded scheduling subsystem: N shard workers, each running the
 /// paper's declarative scheduling loop over its slice of the object space,
-/// behind a footprint-hash router with a serialized escalation lane for
+/// behind a placement-aware router with a serialized escalation lane for
 /// spanning transactions.
 pub struct ShardRouter {
     core: Arc<RouterCore>,
@@ -149,8 +419,11 @@ impl ShardRouter {
     /// scheduler and dispatcher) plus the escalation coordinator.
     pub fn start(config: ShardConfig) -> SchedResult<Self> {
         let shards = config.shards.max(1);
+        let placement = Arc::new(Placement::new(shards));
+        let homes = Arc::new(TxnHomes::new());
         let mut workers = Vec::with_capacity(shards);
         let mut worker_handles = Vec::with_capacity(shards);
+        let mut depths = Vec::with_capacity(shards);
         for shard in 0..shards {
             let mut scheduler =
                 DeclarativeScheduler::new(config.policy.clone(), config.scheduler.clone());
@@ -160,19 +433,28 @@ impl ShardRouter {
             let dispatcher = Dispatcher::new(config.table.clone(), config.rows)?;
             let rows = config.rows;
             let (tx, rx) = unbounded::<ShardMessage>();
+            let depth = Arc::new(AtomicU64::new(0));
+            let gauge = Arc::clone(&depth);
+            let worker_homes = Arc::clone(&homes);
             let handle = std::thread::Builder::new()
                 .name(format!("declsched-shard-{shard}"))
-                .spawn(move || run_worker(shard, scheduler, dispatcher, rows, rx))
+                .spawn(move || {
+                    run_worker(shard, scheduler, dispatcher, rows, rx, gauge, worker_homes)
+                })
                 .expect("spawning a shard worker cannot fail");
             workers.push(tx);
             worker_handles.push(handle);
+            depths.push(depth);
         }
 
         let (escalation_tx, escalation_rx) = unbounded::<EscalationMessage>();
+        let lane_active = Arc::new(AtomicU64::new(0));
         let coordinator_workers = workers.clone();
         let policy = config.policy.clone();
         let max_attempts = config.max_escalation_attempts;
         let aux_relations = config.aux_relations.clone();
+        let coordinator_placement = Arc::clone(&placement);
+        let coordinator_lane_active = Arc::clone(&lane_active);
         let escalation_handle = std::thread::Builder::new()
             .name("declsched-escalation".to_string())
             .spawn(move || {
@@ -182,6 +464,8 @@ impl ShardRouter {
                     escalation_rx,
                     max_attempts,
                     aux_relations,
+                    coordinator_placement,
+                    coordinator_lane_active,
                 )
             })
             .expect("spawning the escalation coordinator cannot fail");
@@ -195,7 +479,12 @@ impl ShardRouter {
                     transactions: AtomicU64::new(0),
                     cross_shard: AtomicU64::new(0),
                 },
-                homes: Mutex::new(HashMap::new()),
+                placement,
+                fence: RwLock::new(()),
+                homes,
+                sketch: Mutex::new(FreqSketch::new(SKETCH_CAPACITY)),
+                depths,
+                lane_active,
             }),
             worker_handles,
             escalation_handle,
@@ -211,6 +500,14 @@ impl ShardRouter {
     /// Shared routing state for client handles.
     pub(crate) fn core(&self) -> Arc<RouterCore> {
         Arc::clone(&self.core)
+    }
+
+    /// The control plane's handle onto this fleet (load sampling, hot-object
+    /// sketch, placement migration).
+    pub fn control(&self) -> ControlHandle {
+        ControlHandle {
+            core: Arc::clone(&self.core),
+        }
     }
 
     /// Submit a transaction asynchronously; the ticket resolves when every
@@ -272,16 +569,20 @@ impl ShardRouter {
             .collect();
         reports.sort_by_key(|r| r.shard);
 
-        let metrics = ShardedMetrics::aggregate(
-            &reports,
-            self.core.counters.transactions.load(Ordering::Relaxed),
-            self.core.counters.cross_shard.load(Ordering::Relaxed),
-            escalation,
-            self.started.elapsed(),
-        );
+        let router = RouterSnapshot {
+            transactions: self.core.counters.transactions.load(Ordering::Relaxed),
+            cross_shard_transactions: self.core.counters.cross_shard.load(Ordering::Relaxed),
+            queue_depths: self.core.queue_depths(),
+            unreclaimed_homes: self.core.homes.len() as u64,
+            rehomed_objects: self.core.placement.rehomed() as u64,
+            placement_epoch: self.core.placement.epoch(),
+        };
+        let metrics =
+            ShardedMetrics::aggregate(&reports, router, escalation, self.started.elapsed());
         ShardedReport {
             shards: reports,
             metrics,
+            placement: self.core.placement.overlay(),
         }
     }
 }

@@ -11,10 +11,13 @@
 //! is never interrupted mid-rule.
 
 use crate::metrics::ShardReport;
+use crate::router::TxnHomes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use declsched::{DeclarativeScheduler, Dispatcher, Request, RequestKey, SchedError, SchedResult};
 use relalg::Table;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Coordinator's view of a frozen shard: the snapshot it needs to evaluate
@@ -55,6 +58,28 @@ pub(crate) enum ShardMessage {
     },
     /// Escalation lane: end the freeze epoch and resume rounds.
     Release,
+    /// Placement migration, step 1: if `object` is completely idle here (no
+    /// queued or pending request targets it, no live lock), reply with its
+    /// current row value; reply `None` (busy) otherwise.  Sent only while
+    /// the router's placement fence is held exclusively, so no new traffic
+    /// for the object can be racing up the channel.
+    Export {
+        /// The object being migrated away.
+        object: i64,
+        /// Receives `Some(value)` when idle, `None` when busy.
+        reply: Sender<Option<i64>>,
+    },
+    /// Placement migration, step 2: install `value` as `object`'s row on
+    /// this shard's engine (this shard is about to become the object's
+    /// home).
+    Install {
+        /// The object being migrated here.
+        object: i64,
+        /// Row value exported from the old home shard.
+        value: i64,
+        /// Signalled once with the install outcome.
+        done: Sender<SchedResult<()>>,
+    },
     /// Orderly shutdown: drain what is pending, then stop.
     Shutdown,
 }
@@ -81,6 +106,11 @@ struct WorkerState {
     executed_log: Vec<Request>,
     peak_pending: usize,
     disconnected: bool,
+    /// Live queue-depth gauge sampled by the control plane.
+    depth: Arc<AtomicU64>,
+    /// The router's homes map, for reclaiming entries of transactions this
+    /// worker fails.
+    homes: Arc<TxnHomes>,
 }
 
 impl WorkerState {
@@ -167,9 +197,22 @@ impl WorkerState {
     }
 
     /// Fail every transaction still waiting (shutdown fixpoint or rule
-    /// failure).
+    /// failure).  During the shutdown drain the failed transactions are
+    /// dead — no later submission of theirs can route anywhere — so their
+    /// router homes entries are reclaimed here, which is what keeps the
+    /// homes map from leaking entries for transactions that error out
+    /// mid-flight.  On a mid-run rule failure the entries are *kept*: the
+    /// transaction may still hold locks from earlier submissions on other
+    /// shards, and the entry is what routes its follow-up abort there
+    /// (reclaim then happens when the client terminates or abandons it).
     fn fail_all_waiting(&mut self, err: impl Fn(RequestKey) -> SchedError) {
         let waiting: Vec<(RequestKey, usize)> = self.waiting.drain().collect();
+        if self.disconnected {
+            let mut dead: Vec<u64> = waiting.iter().map(|(key, _)| key.ta).collect();
+            dead.sort_unstable();
+            dead.dedup();
+            self.homes.remove_many(dead);
+        }
         for (key, index) in waiting {
             if let Some(ticket) = self.tickets[index].as_mut() {
                 if let Some(reply) = ticket.reply.take() {
@@ -210,6 +253,18 @@ impl WorkerState {
         Ok(())
     }
 
+    /// Export one object's row for migration if it is idle here.  Safe at
+    /// any message boundary: the channel is FIFO, so every transaction
+    /// routed to this shard before the migration fence closed has already
+    /// been folded into the scheduler state the idle check reads.
+    fn export(&mut self, object: i64, reply: &Sender<Option<i64>>) {
+        let value = self
+            .scheduler
+            .object_idle(object)
+            .then(|| self.dispatcher.read_row(object));
+        let _ = reply.send(value);
+    }
+
     /// Handle one message.  `Freeze` blocks inside this call until the
     /// matching `Release` arrives, processing only escalation traffic (and
     /// buffering client transactions) in between.
@@ -225,6 +280,14 @@ impl WorkerState {
                 }));
             }
             ShardMessage::Release => {}
+            ShardMessage::Export { object, reply } => self.export(object, &reply),
+            ShardMessage::Install {
+                object,
+                value,
+                done,
+            } => {
+                let _ = done.send(self.dispatcher.install_row(object, value));
+            }
             ShardMessage::Freeze { ack } => {
                 if ack.send(self.freeze_snapshot()).is_err() {
                     // Coordinator went away mid-freeze; do not wait for a
@@ -242,6 +305,14 @@ impl WorkerState {
                             self.submit_transaction(requests, reply)
                         }
                         Ok(ShardMessage::Shutdown) => self.disconnected = true,
+                        Ok(ShardMessage::Export { object, reply }) => self.export(object, &reply),
+                        Ok(ShardMessage::Install {
+                            object,
+                            value,
+                            done,
+                        }) => {
+                            let _ = done.send(self.dispatcher.install_row(object, value));
+                        }
                         Ok(ShardMessage::Freeze { ack }) => {
                             // The lane is serialized, so a nested freeze can
                             // only be a re-sent barrier; ack idempotently.
@@ -265,6 +336,8 @@ pub(crate) fn run_worker(
     dispatcher: Dispatcher,
     rows: usize,
     receiver: Receiver<ShardMessage>,
+    depth: Arc<AtomicU64>,
+    homes: Arc<TxnHomes>,
 ) -> ShardReport {
     let mut state = WorkerState {
         shard,
@@ -277,12 +350,25 @@ pub(crate) fn run_worker(
         executed_log: Vec::new(),
         peak_pending: 0,
         disconnected: false,
+        depth,
+        homes,
     };
 
+    // Whether the previous round executed anything.  A productive round
+    // can release locks that unblock still-pending requests, so the next
+    // round must run immediately — blocking on the channel first would put
+    // a hard 1 ms stall into every lock handoff on a lightly loaded shard.
+    let mut made_progress = false;
     loop {
         // Collect what has arrived; block briefly so an idle shard does not
-        // spin.
-        match receiver.recv_timeout(Duration::from_millis(1)) {
+        // spin (an unproductive round cannot unblock anything by itself, so
+        // waiting for traffic is safe then).
+        let timeout = if made_progress {
+            Duration::ZERO
+        } else {
+            Duration::from_millis(1)
+        };
+        match receiver.recv_timeout(timeout) {
             Ok(first) => {
                 state.handle(first, &receiver);
                 while let Ok(message) = receiver.try_recv() {
@@ -292,10 +378,11 @@ pub(crate) fn run_worker(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => state.disconnected = true,
         }
+        made_progress = false;
 
-        state.peak_pending = state
-            .peak_pending
-            .max(state.scheduler.queued() + state.scheduler.pending());
+        let queue_depth = state.scheduler.queued() + state.scheduler.pending();
+        state.peak_pending = state.peak_pending.max(queue_depth);
+        state.depth.store(queue_depth as u64, Ordering::Relaxed);
 
         let now_ms = state.now_ms();
         // When shutting down, keep scheduling until everything drained.
@@ -323,6 +410,7 @@ pub(crate) fn run_worker(
                             .fail_all_waiting(|key| SchedError::TransactionFinished { ta: key.ta });
                         break;
                     }
+                    made_progress = !batch.is_empty();
                     for request in &batch.requests {
                         let result = state.dispatcher.execute_request(request);
                         state.executed_log.push(request.clone());
@@ -348,6 +436,14 @@ pub(crate) fn run_worker(
             break;
         }
     }
+
+    // Publish the true final depth (0 on a clean drain; the stranded
+    // backlog if the drain bailed on a rule failure) — the loop's last
+    // sample predates the final round.
+    state.depth.store(
+        (state.scheduler.queued() + state.scheduler.pending()) as u64,
+        Ordering::Relaxed,
+    );
 
     ShardReport {
         shard: state.shard,

@@ -16,15 +16,17 @@
 //! * optional per-transaction service classes ([`ClientClass`]) for the
 //!   SLA/priority protocols.
 //!
-//! The five registered scenarios:
+//! The seven registered scenarios:
 //!
-//! | name             | shape                                             | arrivals |
-//! |------------------|---------------------------------------------------|----------|
-//! | `zipf-hotspot`   | short 2r+2w transactions, Zipfian s = 1.1 keys    | closed   |
-//! | `read-mostly`    | YCSB-B-style 95 % reads, Zipfian s = 0.8          | closed   |
-//! | `order-pipeline` | TPC-C-lite multi-step orders over key regions     | closed   |
-//! | `bursty`         | single-update transactions, on/off burst arrivals | open     |
-//! | `sla-tiers`      | premium/standard/free classes, Poisson arrivals   | open     |
+//! | name               | shape                                              | arrivals |
+//! |--------------------|----------------------------------------------------|----------|
+//! | `zipf-hotspot`     | short 2r+2w transactions, Zipfian s = 1.1 keys     | closed   |
+//! | `read-mostly`      | YCSB-B-style 95 % reads, Zipfian s = 0.8           | closed   |
+//! | `order-pipeline`   | TPC-C-lite multi-step orders over key regions      | closed   |
+//! | `bursty`           | single-update transactions, on/off burst arrivals  | open     |
+//! | `sla-tiers`        | premium/standard/free classes, Poisson arrivals    | open     |
+//! | `extreme-skew`     | 95 % of writes on 16 keys co-located by the router | closed   |
+//! | `tiered-overload`  | mostly-sheddable tiers for the overload experiment | open     |
 //!
 //! Writes always store the row key as the value, so the *final database
 //! state* of a committed scenario run is independent of admission order —
@@ -551,6 +553,130 @@ impl Scenario for SlaTiers {
 }
 
 // ---------------------------------------------------------------------------
+// 6. extreme-skew
+// ---------------------------------------------------------------------------
+
+/// Shard count the skewed hot set is co-located against.  The scenario is
+/// adversarial *by construction*: its hot keys all hash to the same shard
+/// of a [`EXTREME_SKEW_REFERENCE_SHARDS`]-way fleet, so a static
+/// footprint-hash router serves ~all of the traffic from one worker.  This
+/// is the workload the control plane's hot-object re-homing exists for.
+pub const EXTREME_SKEW_REFERENCE_SHARDS: usize = 4;
+
+/// Number of hot keys in the co-located hot set.
+pub const EXTREME_SKEW_HOT_KEYS: usize = 16;
+
+/// Fraction of transactions that target the hot set.
+pub const EXTREME_SKEW_HOT_FRACTION: f64 = 0.95;
+
+/// Single-write transactions with 95 % of the traffic on a small hot set
+/// whose keys all share one home shard under the router's hash at
+/// [`EXTREME_SKEW_REFERENCE_SHARDS`]-way partitioning — hash-balancing
+/// cannot help, only placement migration can.
+pub struct ExtremeSkew;
+
+impl ExtremeSkew {
+    /// The co-located hot set within `table_rows`: the first
+    /// [`EXTREME_SKEW_HOT_KEYS`] keys whose hash home is shard 0 of the
+    /// reference fleet.
+    pub fn hot_keys(table_rows: usize) -> Vec<i64> {
+        (0..table_rows as i64)
+            .filter(|&key| declsched::shard_of(key, EXTREME_SKEW_REFERENCE_SHARDS) == 0)
+            .take(EXTREME_SKEW_HOT_KEYS)
+            .collect()
+    }
+}
+
+impl Scenario for ExtremeSkew {
+    fn name(&self) -> &'static str {
+        "extreme-skew"
+    }
+
+    fn description(&self) -> &'static str {
+        "95% single-key writes on 16 hot keys co-located on one shard by the router hash"
+    }
+
+    fn arrival(&self) -> ArrivalSpec {
+        ArrivalSpec::Closed { depth: 32 }
+    }
+
+    fn generate(&self, params: &ScenarioParams) -> Vec<ScenarioTxn> {
+        let hot = Self::hot_keys(params.table_rows);
+        assert!(
+            !hot.is_empty(),
+            "extreme-skew needs a table large enough to contain its hot set"
+        );
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        (0..params.transactions)
+            .map(|index| {
+                let txn = TxnId(index as u64 + 1);
+                let key = if rng.gen_bool(EXTREME_SKEW_HOT_FRACTION) {
+                    hot[rng.gen_range(0..hot.len())]
+                } else {
+                    rng.gen_range(0..params.table_rows as i64)
+                };
+                ScenarioTxn::plain(vec![write(txn, 0, key), commit(txn, 1)])
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 7. tiered-overload
+// ---------------------------------------------------------------------------
+
+/// The overload-shedding experiment's traffic: open-loop Poisson arrivals
+/// where only a small premium slice (15 %) is protected and the bulk of the
+/// load (25 % standard, 60 % free) is sheddable.  Driven past capacity,
+/// an SLA-aware deployment keeps premium latency bounded by rejecting the
+/// sheddable tiers; without shedding every tier queues together.
+pub struct TieredOverload;
+
+impl Scenario for TieredOverload {
+    fn name(&self) -> &'static str {
+        "tiered-overload"
+    }
+
+    fn description(&self) -> &'static str {
+        "15% premium / 25% standard / 60% free under Poisson arrivals — the shedding probe"
+    }
+
+    fn arrival(&self) -> ArrivalSpec {
+        ArrivalSpec::Poisson { rate_tps: 5_000.0 }
+    }
+
+    fn sla_aware(&self) -> bool {
+        true
+    }
+
+    fn generate(&self, params: &ScenarioParams) -> Vec<ScenarioTxn> {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        (0..params.transactions)
+            .map(|index| {
+                let txn = TxnId(index as u64 + 1);
+                // Deterministic 3/5/12 class cycle out of every 20
+                // transactions, so every class is present from the start.
+                let class = match index % 20 {
+                    0..=2 => ClientClass::Premium,
+                    3..=7 => ClientClass::Standard,
+                    _ => ClientClass::Free,
+                };
+                // Single-object read-modify-write: the read lock upgrades
+                // to the write, and a single-object footprint keeps the
+                // transaction on one shard — overload then lands on worker
+                // queues, which is the backlog the shedding watermark (and
+                // the rebalancer) observe.
+                let key = rng.gen_range(0..params.table_rows as i64);
+                ScenarioTxn {
+                    statements: vec![read(txn, 0, key), write(txn, 1, key), commit(txn, 2)],
+                    class: Some(class),
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -563,6 +689,8 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(OrderPipeline),
         Box::new(BurstyArrivals),
         Box::new(SlaTiers),
+        Box::new(ExtremeSkew),
+        Box::new(TieredOverload),
     ]
 }
 
@@ -737,6 +865,66 @@ mod tests {
             .count();
         let expected = (0..stream.len()).filter(|i| i % 10 < 2).count();
         assert_eq!(premium, expected, "2-in-10 premium cycle");
+    }
+
+    #[test]
+    fn extreme_skew_co_locates_its_hot_set_on_one_reference_shard() {
+        let params = ScenarioParams {
+            transactions: 400,
+            table_rows: 2_048,
+            seed: 9,
+        };
+        let hot = ExtremeSkew::hot_keys(params.table_rows);
+        assert_eq!(hot.len(), EXTREME_SKEW_HOT_KEYS);
+        for &key in &hot {
+            assert_eq!(
+                declsched::shard_of(key, EXTREME_SKEW_REFERENCE_SHARDS),
+                0,
+                "hot key {key} must hash to the reference shard"
+            );
+        }
+        let stream = ExtremeSkew.generate(&params);
+        let hot_writes = stream
+            .iter()
+            .flat_map(|t| t.statements.iter())
+            .filter(|s| s.object().is_some_and(|o| hot.contains(&o.0)))
+            .count();
+        let data = stream
+            .iter()
+            .flat_map(|t| t.statements.iter())
+            .filter(|s| s.object().is_some())
+            .count();
+        let fraction = hot_writes as f64 / data as f64;
+        assert!(
+            fraction > 0.85,
+            "hot set must dominate the traffic: {fraction:.2}"
+        );
+    }
+
+    #[test]
+    fn tiered_overload_is_mostly_sheddable() {
+        let scenario = TieredOverload;
+        assert!(scenario.sla_aware());
+        assert!(scenario.arrival().is_open_loop());
+        let stream = scenario.generate(&ScenarioParams::small());
+        let premium = stream
+            .iter()
+            .filter(|t| t.class == Some(ClientClass::Premium))
+            .count();
+        let sheddable = stream
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t.class,
+                    Some(ClientClass::Standard) | Some(ClientClass::Free)
+                )
+            })
+            .count();
+        assert_eq!(premium + sheddable, stream.len(), "every txn is classed");
+        assert!(
+            sheddable as f64 / stream.len() as f64 > 0.7,
+            "the bulk of the load must be sheddable"
+        );
     }
 
     #[test]

@@ -99,6 +99,21 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Number of messages currently buffered in the channel.
+        pub fn len(&self) -> usize {
+            self.inner
+                .state
+                .lock()
+                .expect("channel lock poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the channel buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Send a message, blocking while a bounded channel is full.  Fails
         /// (returning the message) once every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
