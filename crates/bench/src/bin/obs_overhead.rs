@@ -1,0 +1,119 @@
+//! The observability-overhead bench: the pipelined closed-loop workload of
+//! `backend_matrix` through the unsharded middleware and the 4-shard fleet
+//! with the flight recorder off, sampled (1-in-16) and full.  Repetitions
+//! are interleaved across the trace modes and each traced run is compared
+//! to the same round's off run (so host-throughput drift cancels out of
+//! the ratio); the gate runs on the median of those per-round losses.
+//!
+//! Emits a CSV on stdout and writes `BENCH_obs_overhead.json` into the
+//! current directory.  Exits non-zero when a grid cell is missing from the
+//! document, when full tracing costs more than the 5 % gate on any
+//! measured backend, or when the traces themselves are implausible (a
+//! `full` cell recording nothing, an `off` cell recording anything).
+//!
+//! Usage: `cargo run --release -p bench --bin obs_overhead [--paper|--smoke]`
+
+use bench::obs_overhead::gate_for_scale;
+use bench::{
+    obs_overhead_json, obs_overhead_sweep, MatrixBackend, ObsOverheadRow, Scale, TraceMode,
+};
+
+const DEPTH: usize = 32;
+const SHARDS: usize = 4;
+
+fn main() {
+    let scale = Scale::from_args();
+    let scale_label = Scale::label_from_args();
+
+    println!(
+        "# observability overhead — depth {DEPTH}, {{unsharded, sharded{SHARDS}}} x {{off, sampled, full}}, {} interleaved rounds, gate on median paired loss",
+        bench::obs_overhead::RUNS_PER_CELL
+    );
+    println!("{}", ObsOverheadRow::csv_header());
+    let report = obs_overhead_sweep(DEPTH, SHARDS, scale);
+    for row in &report.rows {
+        println!("{}", row.to_csv());
+    }
+
+    for estimate in &report.losses {
+        println!(
+            "# {}: {} tracing costs {:+.2}% throughput (median paired loss)",
+            estimate.backend,
+            estimate.trace,
+            estimate.loss * 100.0
+        );
+    }
+
+    let json = obs_overhead_json(&report, scale_label);
+    let path = "BENCH_obs_overhead.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("# could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {path}");
+
+    // Self-check 1: every grid cell must be present in the document.
+    let backends = [
+        MatrixBackend::Unsharded.label(),
+        MatrixBackend::Sharded(SHARDS).label(),
+    ];
+    let mut missing = Vec::new();
+    for backend in &backends {
+        for mode in [TraceMode::Off, TraceMode::Sampled, TraceMode::Full] {
+            let cell = format!("\"backend\":\"{}\",\"trace\":\"{}\"", backend, mode.label());
+            if !json.contains(&cell) {
+                missing.push(format!("{backend}/{}", mode.label()));
+            }
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("# ERROR: {path} is missing cells: {missing:?}");
+        std::process::exit(1);
+    }
+
+    // Self-check 2: the traces must be plausible — a full cell that
+    // recorded nothing (or an off cell that recorded anything) means the
+    // recorder is not wired through the deployment under test.
+    for row in &report.rows {
+        let sane = match row.trace {
+            "off" => row.trace_events == 0,
+            _ => row.trace_events > 0,
+        };
+        if !sane {
+            eprintln!(
+                "# ERROR: implausible trace in {}/{}: {} events",
+                row.backend, row.trace, row.trace_events
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // The gate: full tracing must stay within the scale's gate of the
+    // tracing-off throughput on every measured backend (5 % at quick/paper
+    // scale; looser at --smoke, whose millisecond cells only catch a
+    // catastrophic slowdown).
+    let gate = gate_for_scale(scale_label);
+    let mut breached = false;
+    for backend in &backends {
+        let estimate = report
+            .losses
+            .iter()
+            .find(|estimate| estimate.backend == *backend && estimate.trace == "full")
+            .expect("every backend gets a full-tracing estimate");
+        if estimate.loss > gate {
+            eprintln!(
+                "# ERROR: full tracing costs {:.2}% on {backend} (gate: {:.0}%)",
+                estimate.loss * 100.0,
+                gate * 100.0
+            );
+            breached = true;
+        }
+    }
+    if breached {
+        std::process::exit(1);
+    }
+    println!(
+        "# gate: full tracing within {:.0}% on every backend",
+        gate * 100.0
+    );
+}

@@ -45,8 +45,21 @@ fn main() {
     );
     println!("{}", bench::ScenarioMatrixRow::csv_header());
     let rows = scenario_matrix_sweep(&backends, scale);
+    let mut leaked = Vec::new();
     for row in &rows {
         println!("{}", row.to_csv());
+        // Every cell shuts its deployment down cleanly, so any homes-map
+        // entry still live at that point is a router leak.
+        if row.unreclaimed_homes != 0 {
+            leaked.push(format!(
+                "{}/{}: {} unreclaimed homes",
+                row.scenario, row.backend, row.unreclaimed_homes
+            ));
+        }
+    }
+    if !leaked.is_empty() {
+        eprintln!("# ERROR: router leaked transaction homes: {leaked:?}");
+        std::process::exit(1);
     }
 
     // The open-loop saturation sweep: offered load at multiples of each

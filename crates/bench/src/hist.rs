@@ -25,6 +25,10 @@ pub struct LatencyHistogram {
     sum_us: u128,
     min_us: u64,
     max_us: u64,
+    /// Samples at or beyond [`MAX_US`]: they land in the last bucket, where
+    /// the bound no longer describes them.  Kept as an explicit count so
+    /// saturation is visible instead of silently flattening the tail.
+    overflow: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -51,6 +55,7 @@ impl LatencyHistogram {
             sum_us: 0,
             min_us: u64::MAX,
             max_us: 0,
+            overflow: 0,
         }
     }
 
@@ -64,6 +69,9 @@ impl LatencyHistogram {
         self.sum_us += us as u128;
         self.min_us = self.min_us.min(us);
         self.max_us = self.max_us.max(us);
+        if us >= MAX_US as u64 {
+            self.overflow += 1;
+        }
     }
 
     /// Record a [`std::time::Duration`] sample.
@@ -81,11 +89,20 @@ impl LatencyHistogram {
         self.sum_us += other.sum_us;
         self.min_us = self.min_us.min(other.min_us);
         self.max_us = self.max_us.max(other.max_us);
+        self.overflow += other.overflow;
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Samples that saturated the histogram's range (≥ 100 s): they sit in
+    /// the last bucket with only [`LatencyHistogram::max_ms`] describing
+    /// them, so any nonzero value here means the bucketed quantiles
+    /// understate the tail.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// Exact mean of the recorded samples, in milliseconds.
@@ -221,6 +238,14 @@ mod tests {
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0].0, MIN_US as u64);
         assert_eq!(buckets[1].0, MAX_US as u64);
+        // Saturation is counted, not silent: one sample hit the overflow
+        // bucket, the in-range one did not.
+        assert_eq!(h.overflow(), 1);
+        h.record_us(MAX_US as u64); // the boundary itself saturates
+        assert_eq!(h.overflow(), 2);
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&h);
+        assert_eq!(merged.overflow(), 2, "merge must carry the overflow count");
     }
 
     #[test]

@@ -31,12 +31,17 @@ use std::time::Instant;
 use workload::OltpSpec;
 
 pub mod hist;
+pub mod obs_overhead;
 pub mod rebalance;
 pub mod rule_scaling;
 pub mod scenario;
 
 pub use declsched::protocol::Backend;
 pub use hist::LatencyHistogram;
+pub use obs_overhead::{
+    obs_overhead_json, obs_overhead_run, obs_overhead_sweep, overhead_loss, paired_median_loss,
+    LossEstimate, ObsOverheadReport, ObsOverheadRow, TraceMode, OVERHEAD_GATE,
+};
 pub use rebalance::{
     overload_cell, rebalance_overload_json, rebalance_workload, skew_run, OverloadRun, SkewRun,
     TierCell,
@@ -582,7 +587,7 @@ impl BackendMatrixRow {
     }
 }
 
-fn percentile_ms(sorted: &[std::time::Duration], q: f64) -> f64 {
+pub(crate) fn percentile_ms(sorted: &[std::time::Duration], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

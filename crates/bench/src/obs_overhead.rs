@@ -1,0 +1,467 @@
+//! The observability-overhead bench: what does the flight recorder cost?
+//!
+//! Low overhead is the design constraint the `obs` crate is built around —
+//! per-worker ring buffers, no locks on the hot path, sampling by
+//! transaction id.  This bench puts a number on it: the pipelined
+//! closed-loop workload of `backend_matrix` driven through the unsharded
+//! middleware and the 4-shard fleet with tracing **off**, **sampled**
+//! (1-in-16 transactions) and **full** (every transaction), at identical
+//! depth and scale.  Each cell is measured several times and the best run
+//! kept, so the comparison is between the configurations' ceilings rather
+//! than their scheduler-noise floors.
+//!
+//! The headline gate: full tracing must cost at most
+//! [`OVERHEAD_GATE`] (5 %) of the tracing-off throughput.
+
+use crate::{percentile_ms, shard_scaling_workload, MatrixBackend, Scale};
+use declsched::{Protocol, ProtocolKind, SchedulerConfig, TriggerPolicy};
+use std::time::Instant;
+
+/// Maximum tolerated relative throughput loss of full tracing vs. off.
+pub const OVERHEAD_GATE: f64 = 0.05;
+
+/// The gate applied at `--smoke` scale, where each cell lasts only a few
+/// milliseconds and run-to-run noise dwarfs any real recorder cost: smoke
+/// runs verify the wiring (cells present, traces plausible) and only catch
+/// a *catastrophic* slowdown; the real 5 % gate needs the longer
+/// quick/paper cells to discriminate.
+pub const SMOKE_OVERHEAD_GATE: f64 = 0.50;
+
+/// Runs per cell; the best (highest-throughput) one is reported.
+pub const RUNS_PER_CELL: usize = 5;
+
+/// Sampling divisor of the `sampled` trace mode (1-in-N transactions).
+pub const SAMPLE_ONE_IN: u64 = 16;
+
+/// Workload multiplier over [`shard_scaling_workload`] at quick/paper
+/// scale: a 5 % gate needs cells lasting hundreds of milliseconds, not the
+/// ~10 ms the base stream gives, or scheduler noise swamps the recorder's
+/// actual cost.  Smoke keeps the base stream (wiring check only).
+const WORKLOAD_MULTIPLIER: usize = 16;
+
+/// The transaction stream length measured at `scale`.
+fn workload_size(scale: Scale) -> (usize, usize) {
+    let (transactions, table_rows) = shard_scaling_workload(scale);
+    let multiplier = if scale.transactions_per_client <= Scale::smoke().transactions_per_client {
+        1
+    } else {
+        WORKLOAD_MULTIPLIER
+    };
+    (transactions * multiplier, table_rows)
+}
+
+/// Flight-recorder configuration of one measured cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Recorder disabled — the baseline.
+    Off,
+    /// 1-in-[`SAMPLE_ONE_IN`] transactions recorded.
+    Sampled,
+    /// Every transaction recorded.
+    Full,
+}
+
+impl TraceMode {
+    /// Stable label for output documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Sampled => "sampled",
+            TraceMode::Full => "full",
+        }
+    }
+
+    /// The [`obs::TraceConfig`] this mode deploys with.
+    pub fn config(self) -> obs::TraceConfig {
+        match self {
+            TraceMode::Off => obs::TraceConfig::off(),
+            TraceMode::Sampled => {
+                obs::TraceConfig::sampled(SAMPLE_ONE_IN, obs::TraceConfig::DEFAULT_CAPACITY)
+            }
+            TraceMode::Full => obs::TraceConfig::full(obs::TraceConfig::DEFAULT_CAPACITY),
+        }
+    }
+}
+
+/// One measured (backend, trace mode) cell.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadRow {
+    /// Deployment label (`unsharded`, `sharded4`).
+    pub backend: String,
+    /// Trace mode label (`off`, `sampled`, `full`).
+    pub trace: &'static str,
+    /// Pipeline depth of the closed-loop driver.
+    pub depth: usize,
+    /// Transactions executed.
+    pub transactions: u64,
+    /// Wall-clock seconds of the best run.
+    pub wall_secs: f64,
+    /// Committed transactions per second (best of [`RUNS_PER_CELL`]).
+    pub throughput_tps: f64,
+    /// Median per-transaction latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-transaction latency, milliseconds.
+    pub p99_ms: f64,
+    /// Lifecycle events in the merged trace of the best run.
+    pub trace_events: u64,
+    /// Events lost to ring-buffer wraparound in the best run.
+    pub trace_dropped: u64,
+}
+
+impl ObsOverheadRow {
+    /// CSV header.
+    pub fn csv_header() -> &'static str {
+        "backend,trace,depth,transactions,wall_secs,throughput_tps,p50_ms,p99_ms,trace_events,trace_dropped"
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{:.3},{:.0},{:.3},{:.3},{},{}",
+            self.backend,
+            self.trace,
+            self.depth,
+            self.transactions,
+            self.wall_secs,
+            self.throughput_tps,
+            self.p50_ms,
+            self.p99_ms,
+            self.trace_events,
+            self.trace_dropped
+        )
+    }
+
+    /// One JSON object (hand-rolled; the workspace builds offline without a
+    /// serde dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"trace\":\"{}\",\"depth\":{},\"transactions\":{},\"wall_secs\":{:.6},\"throughput_tps\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\"trace_events\":{},\"trace_dropped\":{}}}",
+            self.backend,
+            self.trace,
+            self.depth,
+            self.transactions,
+            self.wall_secs,
+            self.throughput_tps,
+            self.p50_ms,
+            self.p99_ms,
+            self.trace_events,
+            self.trace_dropped
+        )
+    }
+}
+
+/// One measurement pass: the `backend_matrix` pipelined closed-loop
+/// workload with the flight recorder in `mode`.
+fn measure_once(
+    backend: MatrixBackend,
+    depth: usize,
+    scale: Scale,
+    mode: TraceMode,
+) -> ObsOverheadRow {
+    use std::collections::VecDeque;
+    use workload::ShardedSpec;
+
+    let depth = depth.max(1);
+    let (transactions, table_rows) = workload_size(scale);
+    // Same stream for every cell (see `backend_matrix_run`): a fixed
+    // single-shard layout generates identically whatever is measured.
+    let spec = ShardedSpec::single_object(1, transactions, table_rows);
+    let generated = spec.generate(|object| declsched::shard_of(object, 1));
+
+    let builder = session::Scheduler::builder()
+        .policy(Protocol::algebra(ProtocolKind::Ss2pl))
+        .scheduler_config(SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 1,
+                threshold: 64,
+            },
+            ..SchedulerConfig::default()
+        })
+        .table("bench", table_rows)
+        .trace(mode.config());
+    let scheduler = match backend {
+        MatrixBackend::Passthrough => builder.passthrough(),
+        MatrixBackend::Unsharded => builder.unsharded(),
+        MatrixBackend::Sharded(n) => builder.shards(n),
+    }
+    .build()
+    .expect("deployment start cannot fail");
+    let mut client = scheduler.connect();
+
+    let started = Instant::now();
+    let mut window: VecDeque<(session::Ticket, Instant)> = VecDeque::with_capacity(depth);
+    let mut latencies = Vec::with_capacity(generated.len());
+    for txn in &generated {
+        if window.len() >= depth {
+            let (ticket, submitted) = window.pop_front().expect("window non-empty");
+            ticket.wait().expect("workload transactions always commit");
+            latencies.push(submitted.elapsed());
+        }
+        window.push_back((
+            client
+                .submit(session::Txn::from_statements(&txn.statements))
+                .expect("submission cannot fail while the deployment is up"),
+            Instant::now(),
+        ));
+    }
+    while let Some((ticket, submitted)) = window.pop_front() {
+        ticket.wait().expect("workload transactions always commit");
+        latencies.push(submitted.elapsed());
+    }
+    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    let report = scheduler.shutdown();
+
+    latencies.sort_unstable();
+    ObsOverheadRow {
+        backend: backend.label(),
+        trace: mode.label(),
+        depth,
+        transactions: report.transactions,
+        wall_secs,
+        throughput_tps: report.dispatch.commits as f64 / wall_secs,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        trace_events: report.trace.len() as u64,
+        trace_dropped: report.trace.dropped(),
+    }
+}
+
+/// Measure one cell [`RUNS_PER_CELL`] times and keep the best run.
+pub fn obs_overhead_run(
+    backend: MatrixBackend,
+    depth: usize,
+    scale: Scale,
+    mode: TraceMode,
+) -> ObsOverheadRow {
+    (0..RUNS_PER_CELL)
+        .map(|_| measure_once(backend, depth, scale, mode))
+        .max_by(|a, b| {
+            a.throughput_tps
+                .partial_cmp(&b.throughput_tps)
+                .expect("throughput is never NaN")
+        })
+        .expect("RUNS_PER_CELL >= 1")
+}
+
+/// A drift-robust overhead estimate for one (backend, trace mode) pair:
+/// the median over interleaved rounds of that round's traced-vs-off
+/// throughput ratio.
+#[derive(Debug, Clone)]
+pub struct LossEstimate {
+    /// Deployment label (`unsharded`, `sharded4`).
+    pub backend: String,
+    /// Trace mode label (`sampled`, `full`).
+    pub trace: &'static str,
+    /// Median per-round relative throughput loss vs. the off baseline.
+    /// Negative values mean the traced runs measured *faster* — noise.
+    pub loss: f64,
+}
+
+/// A full sweep: the best run per grid cell plus the paired loss
+/// estimates the gate is applied to.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadReport {
+    /// Best run per (backend, trace mode) cell.
+    pub rows: Vec<ObsOverheadRow>,
+    /// Drift-robust per-backend loss estimates (see [`paired_median_loss`]).
+    pub losses: Vec<LossEstimate>,
+}
+
+/// The full grid: {unsharded, sharded-`shards`} × {off, sampled, full} at
+/// pipeline depth `depth`.
+///
+/// Measurements are **interleaved**: each round visits every trace mode
+/// once (off, sampled, full, off, sampled, full, …) rather than running
+/// one cell's repetitions back to back.  Machine throughput on a shared
+/// host drifts on a timescale of seconds — comparable to a whole
+/// best-of-N block — so consecutive blocks would confound that drift with
+/// the mode under test.  The gate therefore compares each traced run to
+/// the *same round's* off run (drift hits both sides of the ratio) and
+/// takes the median across rounds; the per-cell best runs are kept for
+/// the report's absolute numbers.  A discarded warmup run per backend
+/// absorbs one-time costs (page faults, allocator growth) that would
+/// otherwise be charged to whichever mode happened to go first.
+pub fn obs_overhead_sweep(depth: usize, shards: usize, scale: Scale) -> ObsOverheadReport {
+    let backends = [MatrixBackend::Unsharded, MatrixBackend::Sharded(shards)];
+    let modes = [TraceMode::Off, TraceMode::Sampled, TraceMode::Full];
+    let mut rows = Vec::with_capacity(backends.len() * modes.len());
+    let mut losses = Vec::new();
+    for &backend in &backends {
+        let _warmup = measure_once(backend, depth, scale, TraceMode::Off);
+        let mut best: Vec<Option<ObsOverheadRow>> = vec![None; modes.len()];
+        let mut tps: Vec<Vec<f64>> = vec![Vec::with_capacity(RUNS_PER_CELL); modes.len()];
+        for _round in 0..RUNS_PER_CELL {
+            for (slot, &mode) in modes.iter().enumerate() {
+                let row = measure_once(backend, depth, scale, mode);
+                tps[slot].push(row.throughput_tps);
+                if best[slot]
+                    .as_ref()
+                    .is_none_or(|b| row.throughput_tps > b.throughput_tps)
+                {
+                    best[slot] = Some(row);
+                }
+            }
+        }
+        for (slot, &mode) in modes.iter().enumerate().skip(1) {
+            if let Some(loss) = paired_median_loss(&tps[0], &tps[slot]) {
+                losses.push(LossEstimate {
+                    backend: backend.label(),
+                    trace: mode.label(),
+                    loss,
+                });
+            }
+        }
+        rows.extend(best.into_iter().map(|r| r.expect("RUNS_PER_CELL >= 1")));
+    }
+    ObsOverheadReport { rows, losses }
+}
+
+/// The median of per-round relative losses `1 - traced[i] / off[i]`, the
+/// estimator the overhead gate runs on.  Pairing a traced run with the
+/// off run measured moments earlier cancels machine drift (both sides of
+/// the ratio see the same machine), and the median discards the odd run
+/// that caught a scheduling hiccup.  Returns `None` when the slices are
+/// empty, differ in length, or contain a non-positive baseline.
+pub fn paired_median_loss(off: &[f64], traced: &[f64]) -> Option<f64> {
+    if off.is_empty() || off.len() != traced.len() || off.iter().any(|&tps| tps <= 0.0) {
+        return None;
+    }
+    let mut ratios: Vec<f64> = off
+        .iter()
+        .zip(traced)
+        .map(|(&off_tps, &traced_tps)| 1.0 - traced_tps / off_tps)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("throughput ratios are never NaN"));
+    let mid = ratios.len() / 2;
+    Some(if ratios.len() % 2 == 1 {
+        ratios[mid]
+    } else {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    })
+}
+
+/// Relative throughput loss of `trace` mode vs. the `off` baseline for one
+/// backend (`None` when either cell is missing or the baseline is zero).
+/// Negative values mean the traced run measured *faster* — noise.
+pub fn overhead_loss(rows: &[ObsOverheadRow], backend: &str, trace: &str) -> Option<f64> {
+    let tps = |mode: &str| {
+        rows.iter()
+            .find(|r| r.backend == backend && r.trace == mode)
+            .map(|r| r.throughput_tps)
+    };
+    let off = tps("off")?;
+    let traced = tps(trace)?;
+    (off > 0.0).then(|| (off - traced) / off)
+}
+
+/// The overhead gate in force at a given scale (see
+/// [`SMOKE_OVERHEAD_GATE`] for why smoke is special).
+pub fn gate_for_scale(scale_label: &str) -> f64 {
+    if scale_label == "smoke" {
+        SMOKE_OVERHEAD_GATE
+    } else {
+        OVERHEAD_GATE
+    }
+}
+
+/// Render a sweep as the `BENCH_obs_overhead.json` document, including the
+/// per-backend full-tracing loss (the paired-median estimate) and the gate
+/// verdict (against the gate in force at `scale_label`).
+pub fn obs_overhead_json(report: &ObsOverheadReport, scale_label: &str) -> String {
+    let gate = gate_for_scale(scale_label);
+    let series: Vec<String> = report.rows.iter().map(ObsOverheadRow::to_json).collect();
+    let losses: Vec<String> = report
+        .losses
+        .iter()
+        .filter(|estimate| estimate.trace == "full")
+        .map(|estimate| {
+            format!(
+                "{{\"backend\":\"{}\",\"full_loss\":{:.4},\"pass\":{}}}",
+                estimate.backend,
+                estimate.loss,
+                estimate.loss <= gate
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"scale\": \"{}\",\n  \"gate\": {:.2},\n  \"series\": [\n    {}\n  ],\n  \"full_tracing\": [\n    {}\n  ]\n}}\n",
+        scale_label,
+        gate,
+        series.join(",\n    "),
+        losses.join(",\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_modes_map_to_the_expected_configs() {
+        assert!(!TraceMode::Off.config().enabled());
+        assert_eq!(TraceMode::Sampled.config().sample_one_in, SAMPLE_ONE_IN);
+        assert_eq!(TraceMode::Full.config().sample_one_in, 1);
+    }
+
+    #[test]
+    fn full_tracing_records_events_and_off_records_none() {
+        let off = measure_once(MatrixBackend::Unsharded, 8, Scale::smoke(), TraceMode::Off);
+        assert_eq!(off.trace_events, 0, "tracing off must record nothing");
+        let full = measure_once(MatrixBackend::Unsharded, 8, Scale::smoke(), TraceMode::Full);
+        assert!(full.trace_events > 0, "full tracing must record the run");
+        assert_eq!(full.transactions, off.transactions);
+    }
+
+    #[test]
+    fn overhead_loss_compares_against_the_off_baseline() {
+        let row = |trace: &'static str, tps: f64| ObsOverheadRow {
+            backend: "unsharded".to_string(),
+            trace,
+            depth: 32,
+            transactions: 100,
+            wall_secs: 1.0,
+            throughput_tps: tps,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            trace_events: 0,
+            trace_dropped: 0,
+        };
+        let rows = vec![row("off", 1000.0), row("full", 960.0)];
+        let loss = overhead_loss(&rows, "unsharded", "full").unwrap();
+        assert!((loss - 0.04).abs() < 1e-12);
+        assert!(loss <= OVERHEAD_GATE);
+        assert_eq!(overhead_loss(&rows, "sharded4", "full"), None);
+        let report = ObsOverheadReport {
+            rows,
+            losses: vec![LossEstimate {
+                backend: "unsharded".to_string(),
+                trace: "full",
+                loss: 0.04,
+            }],
+        };
+        let json = obs_overhead_json(&report, "smoke");
+        assert!(json.contains("\"full_loss\":0.0400"));
+        assert!(json.contains("\"pass\":true"));
+    }
+
+    #[test]
+    fn paired_median_loss_cancels_drift_and_discards_hiccups() {
+        // A machine that slows down 2x mid-sweep: absolute numbers swing
+        // wildly, the per-round ratio stays a steady 4 % loss.
+        let off = [1000.0, 900.0, 500.0, 480.0, 950.0];
+        let full = [960.0, 864.0, 480.0, 460.8, 912.0];
+        let loss = paired_median_loss(&off, &full).unwrap();
+        assert!((loss - 0.04).abs() < 1e-12);
+
+        // One hiccup round (off run caught a stall, ratio went negative):
+        // the median ignores it where a mean would not.
+        let off = [1000.0, 600.0, 1000.0];
+        let full = [960.0, 900.0, 960.0];
+        let loss = paired_median_loss(&off, &full).unwrap();
+        assert!((loss - 0.04).abs() < 1e-12);
+
+        assert_eq!(paired_median_loss(&[], &[]), None);
+        assert_eq!(paired_median_loss(&[1.0], &[]), None);
+        assert_eq!(paired_median_loss(&[0.0], &[1.0]), None);
+    }
+}

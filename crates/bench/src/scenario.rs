@@ -78,18 +78,25 @@ pub struct ScenarioMatrixRow {
     /// Largest number of transactions simultaneously in flight — the
     /// queue-growth witness under open-loop overload.
     pub peak_in_flight: u64,
+    /// Latency samples that saturated the histogram range (≥ 100 s): any
+    /// nonzero value means the reported quantiles understate the tail (see
+    /// [`LatencyHistogram::overflow`]).
+    pub latency_overflow: u64,
+    /// Router homes-map entries still live at shutdown (sharded backends
+    /// only; always 0 on a clean run — the bin fails otherwise).
+    pub unreclaimed_homes: u64,
 }
 
 impl ScenarioMatrixRow {
     /// CSV header.
     pub fn csv_header() -> &'static str {
-        "scenario,backend,mode,transactions,aborted,wall_secs,offered_tps,achieved_tps,p50_ms,p99_ms,p999_ms,peak_in_flight"
+        "scenario,backend,mode,transactions,aborted,wall_secs,offered_tps,achieved_tps,p50_ms,p99_ms,p999_ms,peak_in_flight,latency_overflow,unreclaimed_homes"
     }
 
     /// CSV rendering (empty cells for unmeasurable quantiles).
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.3},{:.0},{:.0},{},{},{},{}",
+            "{},{},{},{},{},{:.3},{:.0},{:.0},{},{},{},{},{},{}",
             self.scenario,
             self.backend,
             self.mode,
@@ -101,7 +108,9 @@ impl ScenarioMatrixRow {
             csv_ms(self.p50_ms),
             csv_ms(self.p99_ms),
             csv_ms(self.p999_ms),
-            self.peak_in_flight
+            self.peak_in_flight,
+            self.latency_overflow,
+            self.unreclaimed_homes
         )
     }
 
@@ -109,7 +118,7 @@ impl ScenarioMatrixRow {
     /// serde dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"mode\":\"{}\",\"transactions\":{},\"aborted\":{},\"wall_secs\":{:.6},\"offered_tps\":{:.1},\"achieved_tps\":{:.1},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{},\"peak_in_flight\":{}}}",
+            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"mode\":\"{}\",\"transactions\":{},\"aborted\":{},\"wall_secs\":{:.6},\"offered_tps\":{:.1},\"achieved_tps\":{:.1},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{},\"peak_in_flight\":{},\"latency_overflow\":{},\"unreclaimed_homes\":{}}}",
             self.scenario,
             self.backend,
             self.mode,
@@ -121,7 +130,9 @@ impl ScenarioMatrixRow {
             json_ms(self.p50_ms),
             json_ms(self.p99_ms),
             json_ms(self.p999_ms),
-            self.peak_in_flight
+            self.peak_in_flight,
+            self.latency_overflow,
+            self.unreclaimed_homes
         )
     }
 }
@@ -187,6 +198,9 @@ struct RunStats {
     aborted: u64,
     latency: LatencyHistogram,
     peak_in_flight: u64,
+    /// Router homes-map entries still live at shutdown (0 for non-sharded
+    /// backends and on every clean run).
+    unreclaimed_homes: u64,
 }
 
 impl RunStats {
@@ -292,7 +306,7 @@ fn run_closed_loop(
         latency.record(submitted.elapsed());
     }
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
-    let _ = scheduler.shutdown();
+    let report = scheduler.shutdown();
 
     RunStats {
         wall_secs,
@@ -300,7 +314,18 @@ fn run_closed_loop(
         aborted,
         latency,
         peak_in_flight: depth.min(stream.len()) as u64,
+        unreclaimed_homes: unreclaimed_homes(&report),
     }
+}
+
+/// Homes-map entries the router failed to reclaim (0 for non-sharded
+/// backends) — the leak witness every matrix cell asserts on.
+fn unreclaimed_homes(report: &session::Report) -> u64 {
+    report
+        .sharded
+        .as_ref()
+        .map(|detail| detail.unreclaimed_homes)
+        .unwrap_or(0)
 }
 
 /// Open-loop driver: submissions paced by `schedule` regardless of
@@ -362,7 +387,7 @@ fn run_open_loop(
     drop(ticket_tx);
     let (latency, committed, aborted) = collector.join().expect("collector thread never panics");
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
-    let _ = scheduler.shutdown();
+    let report = scheduler.shutdown();
 
     RunStats {
         wall_secs,
@@ -370,6 +395,7 @@ fn run_open_loop(
         aborted,
         latency,
         peak_in_flight,
+        unreclaimed_homes: unreclaimed_homes(&report),
     }
 }
 
@@ -441,6 +467,8 @@ pub fn scenario_matrix_run(
         p99_ms: stats.latency.p99_ms(),
         p999_ms: stats.latency.p999_ms(),
         peak_in_flight: stats.peak_in_flight,
+        latency_overflow: stats.latency.overflow(),
+        unreclaimed_homes: stats.unreclaimed_homes,
     }
 }
 
@@ -550,6 +578,8 @@ mod tests {
         assert_eq!(row.aborted, 0);
         assert_eq!(row.transactions, 256);
         assert!(row.achieved_tps > 0.0);
+        assert_eq!(row.unreclaimed_homes, 0, "router must reclaim every home");
+        assert_eq!(row.latency_overflow, 0, "no smoke run takes 100 s");
     }
 
     #[test]

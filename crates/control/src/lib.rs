@@ -123,19 +123,64 @@ pub struct ControlPlane {
 impl ControlPlane {
     /// Start the control loop over `handle` with the given tuning.
     pub fn start(handle: ControlHandle, config: ControlConfig) -> Self {
+        Self::start_inner(handle, config, None)
+    }
+
+    /// Like [`ControlPlane::start`], mirroring the control loop's state
+    /// into `registry` once per cycle: the `control.*` counters (cycles,
+    /// migrations, busy, failed), per-shard `control.shard.<i>.queue_depth`
+    /// gauges, and the `control.hot_backlog_weight` gauge (the decaying
+    /// hot-object weight the rebalancer is tracking).
+    pub fn start_observed(
+        handle: ControlHandle,
+        config: ControlConfig,
+        registry: std::sync::Arc<obs::Registry>,
+    ) -> Self {
+        Self::start_inner(handle, config, Some(registry))
+    }
+
+    fn start_inner(
+        handle: ControlHandle,
+        config: ControlConfig,
+        registry: Option<std::sync::Arc<obs::Registry>>,
+    ) -> Self {
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let thread = std::thread::Builder::new()
             .name("declsched-control".to_string())
             .spawn(move || {
                 let mut rebalancer = Rebalancer::new(config);
                 let mut stats = ControlStats::default();
+                let metrics = registry.map(|registry| {
+                    let depth_gauges: Vec<obs::Gauge> = (0..handle.shards())
+                        .map(|shard| registry.gauge(&format!("control.shard.{shard}.queue_depth")))
+                        .collect();
+                    (
+                        registry.counter("control.cycles"),
+                        registry.counter("control.migrations"),
+                        registry.counter("control.busy"),
+                        registry.counter("control.failed"),
+                        registry.gauge("control.hot_backlog_weight"),
+                        depth_gauges,
+                    )
+                });
                 loop {
                     match stop_rx.recv_timeout(config.interval) {
                         Ok(()) | Err(RecvTimeoutError::Disconnected) => break,
                         Err(RecvTimeoutError::Timeout) => {}
                     }
                     stats.cycles += 1;
+                    let before = stats;
                     rebalancer.cycle(&handle, &mut stats);
+                    if let Some((cycles, migrations, busy, failed, backlog, depths)) = &metrics {
+                        cycles.inc();
+                        migrations.add(stats.migrations - before.migrations);
+                        busy.add(stats.busy - before.busy);
+                        failed.add(stats.failed - before.failed);
+                        backlog.set(rebalancer.backlog_weight());
+                        for (gauge, depth) in depths.iter().zip(handle.queue_depths()) {
+                            gauge.set(depth);
+                        }
+                    }
                 }
                 stats
             })
@@ -291,6 +336,13 @@ impl Rebalancer {
             }
         }
         self.backlog = remaining;
+    }
+
+    /// Total weight of the decaying hot-object backlog — how much heat the
+    /// rebalancer is currently tracking (exported as the
+    /// `control.hot_backlog_weight` gauge).
+    pub fn backlog_weight(&self) -> u64 {
+        self.backlog.iter().map(|&(_, weight)| weight).sum()
     }
 
     /// Merge freshly drained sketch counters into the decaying backlog.

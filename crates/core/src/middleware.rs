@@ -231,6 +231,33 @@ impl Middleware {
         rows: usize,
         aux_relations: Vec<relalg::Table>,
     ) -> SchedResult<Self> {
+        Self::start_observed(
+            policy,
+            config,
+            table,
+            rows,
+            aux_relations,
+            obs::TraceSink::disabled(),
+            Arc::new(obs::Registry::new()),
+        )
+    }
+
+    /// Like [`Middleware::start_with_aux`], with the scheduler thread
+    /// wired into an observability sink and metrics registry: the thread
+    /// records per-request lifecycle events (`RoundDeferred → Qualified →
+    /// Dispatched → Executed`) into a flight recorder obtained from
+    /// `sink`, and registers the `core.*` counters (rounds, requests
+    /// executed, rule failures, batch-size histogram, live queue-depth
+    /// gauge) into `registry`.
+    pub fn start_observed(
+        policy: impl Into<SchedulingPolicy>,
+        config: SchedulerConfig,
+        table: impl Into<String>,
+        rows: usize,
+        aux_relations: Vec<relalg::Table>,
+        sink: obs::TraceSink,
+        registry: Arc<obs::Registry>,
+    ) -> SchedResult<Self> {
         let table = table.into();
         let dispatcher = Dispatcher::new(table.clone(), rows)?;
         let mut scheduler = DeclarativeScheduler::new(policy, config);
@@ -240,9 +267,12 @@ impl Middleware {
         let (sender, receiver) = unbounded::<ControlMessage>();
         let depth = Arc::new(AtomicU64::new(0));
         let gauge = Arc::clone(&depth);
+        registry.adopt_gauge("core.queue_depth", Arc::clone(&depth));
         let handle = std::thread::Builder::new()
             .name("declsched-scheduler".to_string())
-            .spawn(move || scheduler_loop(scheduler, dispatcher, receiver, rows, gauge))
+            .spawn(move || {
+                scheduler_loop(scheduler, dispatcher, receiver, rows, gauge, sink, registry)
+            })
             .expect("spawning the scheduler thread cannot fail");
         Ok(Middleware {
             sender,
@@ -401,6 +431,11 @@ impl Tickets {
     }
 }
 
+/// The flight recorder's submission-round map, on the emission hot path
+/// twice per sampled request — hence [`obs::FastIdBuildHasher`] rather
+/// than SipHash.
+type SubmitRoundMap = HashMap<RequestKey, u64, obs::FastIdBuildHasher>;
+
 /// The scheduler thread body.
 fn scheduler_loop(
     mut scheduler: DeclarativeScheduler,
@@ -408,11 +443,26 @@ fn scheduler_loop(
     receiver: Receiver<ControlMessage>,
     rows: usize,
     depth: Arc<AtomicU64>,
+    sink: obs::TraceSink,
+    registry: Arc<obs::Registry>,
 ) -> MiddlewareReport {
     let started = Instant::now();
     let mut tickets = Tickets::default();
     let mut executed_log: Vec<Request> = Vec::new();
     let mut disconnected = false;
+
+    // Flight recorder + live metrics.  The recorder is thread-owned (no
+    // locking on emit) and flushes into the sink when this function
+    // returns; `submit_round` remembers, for sampled transactions only,
+    // the round number at submission so qualification can report how many
+    // rounds the request sat pending.
+    let mut recorder = sink.recorder();
+    let mut submit_round: SubmitRoundMap = SubmitRoundMap::default();
+    let mut round_no: u64 = 0;
+    let rounds_ctr = registry.counter("core.rounds");
+    let executed_ctr = registry.counter("core.requests_executed");
+    let rule_failures_ctr = registry.counter("core.rule_failures");
+    let batch_hist = registry.histogram("core.batch_size");
 
     // Whether the previous round executed anything: a productive round can
     // release locks that unblock still-pending requests, so the next round
@@ -434,6 +484,9 @@ fn scheduler_loop(
                     ControlMessage::Txn(msg) => {
                         if let Some(requests) = tickets.accept(msg.requests, msg.reply) {
                             for request in requests {
+                                if recorder.samples(request.ta) {
+                                    submit_round.insert(request.key(), round_no);
+                                }
                                 scheduler.submit(request, now_ms);
                             }
                         }
@@ -479,20 +532,76 @@ fn scheduler_loop(
                         // away without committing).  Fail the stragglers
                         // instead of spinning forever.
                         tickets.fail_all(|key| SchedError::TransactionFinished { ta: key.ta });
+                        submit_round.clear();
                         break;
                     }
                     made_progress = !batch.is_empty();
+                    rounds_ctr.inc();
+                    batch_hist.observe(batch.requests.len() as u64);
+                    let qualified_at = if recorder.enabled() && !batch.is_empty() {
+                        recorder.now_us()
+                    } else {
+                        0
+                    };
+                    // Batch execution is sequential, so a request's
+                    // `Executed` stamp is exactly the next request's
+                    // `Dispatched` moment — chaining `last_us` halves the
+                    // hot-path clock reads.  The stamp goes stale only when
+                    // an unsampled request executes in between (sampled
+                    // tracing), in which case the next dispatch re-reads.
+                    let mut last_us = qualified_at;
+                    let mut last_fresh = true;
                     for request in &batch.requests {
+                        let key = request.key();
+                        let sampled = recorder.samples(request.ta);
+                        if sampled {
+                            let waited = round_no
+                                .saturating_sub(submit_round.remove(&key).unwrap_or(round_no));
+                            if waited > 0 {
+                                recorder.emit_at(
+                                    key.ta,
+                                    key.intra,
+                                    qualified_at,
+                                    obs::EventKind::RoundDeferred { rounds: waited },
+                                );
+                            }
+                            recorder.emit_at(
+                                key.ta,
+                                key.intra,
+                                qualified_at,
+                                obs::EventKind::Qualified,
+                            );
+                            if !last_fresh {
+                                last_us = recorder.now_us();
+                            }
+                            recorder.emit_at(
+                                key.ta,
+                                key.intra,
+                                last_us,
+                                obs::EventKind::Dispatched,
+                            );
+                        }
                         let result = dispatcher.execute_request(request);
+                        executed_ctr.inc();
+                        if sampled {
+                            last_us = recorder.now_us();
+                            recorder.emit_at(key.ta, key.intra, last_us, obs::EventKind::Executed);
+                        }
+                        last_fresh = sampled;
                         executed_log.push(request.clone());
-                        tickets.resolve(request.key(), result);
+                        tickets.resolve(key, result);
                     }
+                    round_no += 1;
                 }
                 Err(e) => {
                     // A rule failure fails every waiting client rather than
-                    // hanging them.
+                    // hanging them.  The recorder freezes its window so the
+                    // events leading up to the failure survive post-mortem.
+                    rule_failures_ctr.inc();
+                    recorder.freeze_anomaly(&format!("rule failure: {e}"));
                     let err = e.clone();
                     tickets.fail_all(|_| err.clone());
+                    submit_round.clear();
                     if disconnected {
                         // The drain loop cannot make progress if the rule
                         // keeps erroring, so stop instead of spinning.

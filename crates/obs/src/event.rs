@@ -1,0 +1,175 @@
+//! The flight recorder's event vocabulary: what can happen to a request,
+//! stamped when, identified how.
+
+/// Identity of one request inside a run: the transaction id plus the
+/// intra-transaction sequence number, matching
+/// `declsched::Request::{ta, intra}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId {
+    /// Transaction id.
+    pub ta: u64,
+    /// Intra-transaction sequence number.
+    pub intra: u32,
+}
+
+impl ReqId {
+    /// Build a request id.
+    pub fn new(ta: u64, intra: u32) -> Self {
+        ReqId { ta, intra }
+    }
+}
+
+impl std::fmt::Display for ReqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}#{}", self.ta, self.intra)
+    }
+}
+
+/// One lifecycle step of a request.
+///
+/// The nominal order is `Submitted → Routed → (Escalated) →
+/// (RoundDeferred) → Qualified → Dispatched → Executed →
+/// Committed | Aborted | Shed`; unsharded deployments skip `Routed`,
+/// single-shard transactions skip `Escalated`, requests qualified on their
+/// first round skip `RoundDeferred`, and passthrough deployments record
+/// only the session-level events (`Submitted` plus a terminal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The session accepted the request from the client.
+    Submitted,
+    /// The router picked a home shard for the transaction's fast path.
+    Routed {
+        /// Target shard index.
+        shard: usize,
+    },
+    /// The transaction's footprint spans shards; it took the escalation
+    /// lane over the listed shards.
+    Escalated {
+        /// Every shard frozen for the escalation, ascending.
+        shards: Vec<usize>,
+    },
+    /// The request sat in the pending relation for `rounds` scheduling
+    /// rounds before qualifying (emitted only when `rounds > 0`).
+    RoundDeferred {
+        /// Rounds spent pending before qualification.
+        rounds: u64,
+    },
+    /// The declarative rule qualified the request.
+    Qualified,
+    /// The dispatcher picked the request up for execution.
+    Dispatched,
+    /// The storage engine finished executing the request.  Escalated
+    /// terminals are replicated to every frozen shard, so one request may
+    /// carry several `Executed` events.
+    Executed,
+    /// Terminal: the transaction committed and the client was notified.
+    Committed,
+    /// Terminal: the transaction aborted (rule failure, deadlock victim,
+    /// shutdown straggler).
+    Aborted,
+    /// Terminal: the session's overload policy rejected the transaction
+    /// before it reached a backend.
+    Shed,
+}
+
+impl EventKind {
+    /// Whether this event ends a request's lifecycle.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Committed | EventKind::Aborted | EventKind::Shed
+        )
+    }
+
+    /// Stable label used in timelines and exposition dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Submitted => "submitted",
+            EventKind::Routed { .. } => "routed",
+            EventKind::Escalated { .. } => "escalated",
+            EventKind::RoundDeferred { .. } => "round_deferred",
+            EventKind::Qualified => "qualified",
+            EventKind::Dispatched => "dispatched",
+            EventKind::Executed => "executed",
+            EventKind::Committed => "committed",
+            EventKind::Aborted => "aborted",
+            EventKind::Shed => "shed",
+        }
+    }
+
+    /// Lifecycle rank used to break timestamp ties when merging per-worker
+    /// rings: with microsecond resolution, a request can qualify, dispatch
+    /// and execute inside one tick, and the rank keeps the merged timeline
+    /// in causal order.
+    pub fn rank(&self) -> u8 {
+        match self {
+            EventKind::Submitted => 0,
+            EventKind::Routed { .. } => 1,
+            EventKind::Escalated { .. } => 2,
+            EventKind::RoundDeferred { .. } => 3,
+            EventKind::Qualified => 4,
+            EventKind::Dispatched => 5,
+            EventKind::Executed => 6,
+            EventKind::Committed | EventKind::Aborted | EventKind::Shed => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::Routed { shard } => write!(f, "routed(shard {shard})"),
+            EventKind::Escalated { shards } => write!(f, "escalated{shards:?}"),
+            EventKind::RoundDeferred { rounds } => write!(f, "round_deferred({rounds})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// One timestamped lifecycle event of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Which request.
+    pub req: ReqId,
+    /// Microseconds since the trace sink's epoch (shared across all
+    /// workers, so cross-thread ordering is meaningful).
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_exactly_the_rank_7_events() {
+        let kinds = [
+            EventKind::Submitted,
+            EventKind::Routed { shard: 3 },
+            EventKind::Escalated { shards: vec![0, 2] },
+            EventKind::RoundDeferred { rounds: 4 },
+            EventKind::Qualified,
+            EventKind::Dispatched,
+            EventKind::Executed,
+            EventKind::Committed,
+            EventKind::Aborted,
+            EventKind::Shed,
+        ];
+        for kind in &kinds {
+            assert_eq!(kind.is_terminal(), kind.rank() == 7, "{kind}");
+        }
+        // Ranks are monotone in the nominal lifecycle order.
+        let ranks: Vec<u8> = kinds.iter().map(EventKind::rank).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted);
+    }
+
+    #[test]
+    fn req_id_orders_by_ta_then_intra() {
+        assert!(ReqId::new(1, 9) < ReqId::new(2, 0));
+        assert!(ReqId::new(2, 0) < ReqId::new(2, 1));
+        assert_eq!(ReqId::new(7, 3).to_string(), "T7#3");
+    }
+}

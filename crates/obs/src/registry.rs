@@ -1,0 +1,305 @@
+//! The live metrics registry: named atomic counters, gauges and
+//! histograms every layer registers into, snapshot-able mid-run and
+//! renderable as Prometheus-style exposition text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotonically increasing counter handle.  Cheap to clone; all clones
+/// and registry snapshots observe the same atomic.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the gauge's value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A concurrent power-of-two histogram: bucket 0 counts zero-valued
+/// observations, bucket `i ≥ 1` counts values in `[2^(i-1), 2^i)`.
+#[derive(Debug, Default)]
+pub struct MetricHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl MetricHistogram {
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let index = (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Bucket counts (`buckets()[i]` = observations with
+    /// `64 - leading_zeros(v) == i`, clamped into the last bucket).
+    pub fn buckets(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return if index == 0 { 0 } else { 1u64 << index };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram `(count, sum)` by name.
+    pub histograms: BTreeMap<String, (u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, defaulting to 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, defaulting to 0 when absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// The registry: get-or-create named metrics, adopt pre-existing atomics
+/// (so live counters owned by other subsystems surface without double
+/// counting), snapshot, and render.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<MetricHistogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = lock_or_recover(&self.counters);
+        let cell = counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = lock_or_recover(&self.gauges);
+        let cell = gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge(Arc::clone(cell))
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<MetricHistogram> {
+        let mut histograms = lock_or_recover(&self.histograms);
+        let cell = histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(MetricHistogram::default()));
+        Arc::clone(cell)
+    }
+
+    /// Register an atomic another subsystem already owns and updates as
+    /// the counter `name` — snapshots read it live, nothing is copied.
+    pub fn adopt_counter(&self, name: &str, cell: Arc<AtomicU64>) {
+        lock_or_recover(&self.counters).insert(name.to_string(), cell);
+    }
+
+    /// Register an externally owned atomic as the gauge `name`.
+    pub fn adopt_gauge(&self, name: &str, cell: Arc<AtomicU64>) {
+        lock_or_recover(&self.gauges).insert(name.to_string(), cell);
+    }
+
+    /// A point-in-time copy of every metric — safe to call mid-run from
+    /// any thread.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock_or_recover(&self.counters)
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: lock_or_recover(&self.gauges)
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: lock_or_recover(&self.histograms)
+                .iter()
+                .map(|(name, h)| (name.clone(), (h.count(), h.sum())))
+                .collect(),
+        }
+    }
+
+    /// Render every metric as Prometheus-style exposition text: names are
+    /// prefixed `declsched_` with `.`/`-` mapped to `_`, counters get a
+    /// `_total` suffix, histograms emit cumulative `_bucket{le="..."}`
+    /// lines plus `_sum`/`_count`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, cell) in lock_or_recover(&self.counters).iter() {
+            let metric = format!("declsched_{}_total", sanitize(name));
+            out.push_str(&format!("# TYPE {metric} counter\n"));
+            out.push_str(&format!("{metric} {}\n", cell.load(Ordering::Relaxed)));
+        }
+        for (name, cell) in lock_or_recover(&self.gauges).iter() {
+            let metric = format!("declsched_{}", sanitize(name));
+            out.push_str(&format!("# TYPE {metric} gauge\n"));
+            out.push_str(&format!("{metric} {}\n", cell.load(Ordering::Relaxed)));
+        }
+        for (name, histogram) in lock_or_recover(&self.histograms).iter() {
+            let metric = format!("declsched_{}", sanitize(name));
+            out.push_str(&format!("# TYPE {metric} histogram\n"));
+            let mut cumulative = 0;
+            for (index, count) in histogram.buckets().into_iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                let le = if index == 0 { 0 } else { 1u64 << index };
+                out.push_str(&format!("{metric}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{metric}_bucket{{le=\"+Inf\"}} {}\n",
+                histogram.count()
+            ));
+            out.push_str(&format!("{metric}_sum {}\n", histogram.sum()));
+            out.push_str(&format!("{metric}_count {}\n", histogram.count()));
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_the_atomic() {
+        let registry = Registry::new();
+        let a = registry.counter("core.rounds");
+        let b = registry.counter("core.rounds");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(registry.snapshot().counter("core.rounds"), 5);
+        assert_eq!(registry.snapshot().counter("missing"), 0);
+    }
+
+    #[test]
+    fn adopted_atomics_are_read_live() {
+        let registry = Registry::new();
+        let live = Arc::new(AtomicU64::new(0));
+        registry.adopt_gauge("shard.0.queue_depth", Arc::clone(&live));
+        live.store(17, Ordering::Relaxed);
+        assert_eq!(registry.snapshot().gauge("shard.0.queue_depth"), 17);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let registry = Registry::new();
+        let h = registry.histogram("core.batch_size");
+        h.observe(0);
+        h.observe(1);
+        h.observe(3);
+        h.observe(100);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 104);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 128);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["core.batch_size"], (4, 104));
+    }
+
+    #[test]
+    fn exposition_text_is_prometheus_shaped() {
+        let registry = Registry::new();
+        registry.counter("router.cross-shard").add(2);
+        registry.gauge("control.shard.1.queue_depth").set(9);
+        registry.histogram("core.batch_size").observe(5);
+        let text = registry.render_text();
+        assert!(text.contains("# TYPE declsched_router_cross_shard_total counter"));
+        assert!(text.contains("declsched_router_cross_shard_total 2"));
+        assert!(text.contains("declsched_control_shard_1_queue_depth 9"));
+        assert!(text.contains("declsched_core_batch_size_bucket{le=\"8\"} 1"));
+        assert!(text.contains("declsched_core_batch_size_count 1"));
+    }
+}

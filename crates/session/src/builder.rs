@@ -1,6 +1,7 @@
 //! The deployment entry point: [`Scheduler::builder`].
 
 use crate::backend::{Backend, BackendKind};
+use crate::observe::SessionObs;
 use crate::passthrough::PassthroughBackend;
 use crate::report::Report;
 use crate::sess::Session;
@@ -66,6 +67,7 @@ pub struct SchedulerBuilder {
     topology: Topology,
     aux_relations: Vec<Table>,
     shed: Option<ShedPolicy>,
+    trace: obs::TraceConfig,
 }
 
 impl SchedulerBuilder {
@@ -78,6 +80,7 @@ impl SchedulerBuilder {
             topology: Topology::Unsharded,
             aux_relations: Vec::new(),
             shed: None,
+            trace: obs::TraceConfig::off(),
         }
     }
 
@@ -136,15 +139,30 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Enable the request flight recorder (off by default; see
+    /// [`obs::TraceConfig`]).  With tracing on, every sampled transaction's
+    /// lifecycle events land in per-worker ring buffers and come back
+    /// merged as [`Report::trace`] at shutdown.  Metrics
+    /// ([`Scheduler::registry`]) are always on — this knob only governs
+    /// event recording.
+    pub fn trace(mut self, config: obs::TraceConfig) -> Self {
+        self.trace = config;
+        self
+    }
+
     /// Start the deployment.
     pub fn build(self) -> SchedResult<Scheduler> {
+        let sink = obs::TraceSink::new(self.trace);
+        let registry = Arc::new(obs::Registry::new());
         let backend: Arc<dyn Backend> = match self.topology {
-            Topology::Unsharded => Arc::new(UnshardedBackend::new(Middleware::start_with_aux(
+            Topology::Unsharded => Arc::new(UnshardedBackend::new(Middleware::start_observed(
                 self.policy,
                 self.config,
                 self.table,
                 self.rows,
                 self.aux_relations,
+                sink.clone(),
+                Arc::clone(&registry),
             )?)),
             Topology::Sharded(shards) => {
                 let mut config = ShardConfig::new(shards, self.policy)
@@ -153,14 +171,24 @@ impl SchedulerBuilder {
                 for aux in self.aux_relations {
                     config = config.with_aux_relation(aux);
                 }
-                Arc::new(ShardedBackend::new(ShardedMiddleware::with_config(config)?))
+                Arc::new(ShardedBackend::new(
+                    ShardedMiddleware::with_config_observed(
+                        config,
+                        sink.clone(),
+                        Arc::clone(&registry),
+                    )?,
+                ))
             }
             Topology::Passthrough => Arc::new(PassthroughBackend::start(self.table, self.rows)?),
         };
+        let observe = Arc::new(SessionObs::new(&sink, &registry));
         Ok(Scheduler {
             backend,
             tiers: Arc::new(TierRegistry::default()),
             shed: self.shed,
+            sink,
+            registry,
+            observe,
         })
     }
 }
@@ -172,6 +200,12 @@ pub struct Scheduler {
     /// Per-SLA-tier admission/latency counters shared by every session.
     tiers: Arc<TierRegistry>,
     shed: Option<ShedPolicy>,
+    /// Flight-recorder sink every layer of the deployment records into.
+    sink: obs::TraceSink,
+    /// Live metrics registry every layer of the deployment registers into.
+    registry: Arc<obs::Registry>,
+    /// Session-side counters/events, shared by every connected session.
+    observe: Arc<SessionObs>,
 }
 
 impl Scheduler {
@@ -181,12 +215,20 @@ impl Scheduler {
     }
 
     /// Wrap a custom [`Backend`] (the three shipped deployments come from
-    /// [`Scheduler::builder`]).
+    /// [`Scheduler::builder`]).  Custom backends are not threaded into the
+    /// flight recorder: the trace stays empty and only session-level
+    /// metrics are recorded.
     pub fn from_backend(backend: Arc<dyn Backend>) -> Self {
+        let sink = obs::TraceSink::disabled();
+        let registry = Arc::new(obs::Registry::new());
+        let observe = Arc::new(SessionObs::new(&sink, &registry));
         Scheduler {
             backend,
             tiers: Arc::new(TierRegistry::default()),
             shed: None,
+            sink,
+            registry,
+            observe,
         }
     }
 
@@ -202,7 +244,18 @@ impl Scheduler {
             Arc::clone(&self.backend),
             Arc::clone(&self.tiers),
             self.shed,
+            Arc::clone(&self.observe),
         )
+    }
+
+    /// The deployment's live metrics registry — snapshot it mid-run
+    /// ([`obs::Registry::snapshot`]) or dump it in Prometheus text
+    /// exposition format ([`obs::Registry::render_text`]).  Every layer
+    /// (scheduler core, shard workers, router, escalation lane, session
+    /// shedding) publishes here; the control plane joins via
+    /// `ControlPlane::start_observed`.
+    pub fn registry(&self) -> Arc<obs::Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// The deployment's live scheduling backlog (see
@@ -236,8 +289,13 @@ impl Scheduler {
     /// [`declsched::SchedError::BackendShutdown`] instead of panicking when
     /// another handle over the same backend shut it down first.
     pub fn try_shutdown(self) -> SchedResult<Report> {
+        // Backend shutdown joins every worker thread, so by the time it
+        // returns all thread-owned recorders have flushed into the sink
+        // and the merged trace is complete.
         let mut report = self.backend.shutdown()?;
         report.tiers = self.tiers.snapshot();
+        report.trace = self.sink.merged_trace();
+        report.anomalies = self.sink.take_anomalies();
         Ok(report)
     }
 }

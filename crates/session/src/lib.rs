@@ -57,6 +57,7 @@
 
 mod backend;
 mod builder;
+mod observe;
 mod passthrough;
 mod report;
 mod sess;
@@ -65,6 +66,11 @@ mod ticket;
 mod tier;
 mod txn;
 mod unsharded;
+
+/// The observability crate, re-exported so deployments can name its types
+/// ([`obs::TraceConfig`], [`obs::Registry`], [`obs::Trace`]) without a
+/// direct dependency.
+pub use obs;
 
 pub use backend::{Backend, BackendKind};
 pub use builder::{Scheduler, SchedulerBuilder, ShedPolicy};

@@ -1,0 +1,105 @@
+//! Session-side observability: the submission/outcome counters, the
+//! `Submitted`/`Shed` and terminal lifecycle events, and the shed-burst
+//! anomaly hook.
+//!
+//! The session layer is where a transaction's lifecycle begins (admission)
+//! and ends (the client observes the result), so it owns the bracketing
+//! events of every flight-recorder timeline; everything in between is
+//! emitted by the backend the deployment runs.
+
+use declsched::{SchedError, SchedResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Consecutive shed submissions that freeze an anomaly window — one window
+/// per burst, frozen the moment the streak reaches the threshold.
+pub(crate) const SHED_BURST: u64 = 32;
+
+/// Shared observability state of one deployment, cloned into every
+/// [`crate::Session`] and attached to every ticket cell.
+pub(crate) struct SessionObs {
+    /// Event emission (terminals come from whichever thread first awaits a
+    /// ticket, so the recorder must be the shared flavour).
+    pub(crate) recorder: obs::SharedRecorder,
+    submitted: obs::Counter,
+    committed: obs::Counter,
+    aborted: obs::Counter,
+    shed: obs::Counter,
+    /// Consecutive shed submissions; reset by any admitted one.
+    shed_streak: AtomicU64,
+}
+
+impl SessionObs {
+    pub(crate) fn new(sink: &obs::TraceSink, registry: &obs::Registry) -> Self {
+        SessionObs {
+            recorder: sink.shared_recorder(),
+            submitted: registry.counter("session.submitted"),
+            committed: registry.counter("session.committed"),
+            aborted: registry.counter("session.aborted"),
+            shed: registry.counter("session.shed"),
+            shed_streak: AtomicU64::new(0),
+        }
+    }
+
+    /// An admitted submission: count it, break any shed streak, and emit
+    /// `Submitted` for each request when the transaction is sampled.
+    pub(crate) fn record_submitted(&self, ta: u64, sampled_intras: Option<&[u32]>) {
+        self.submitted.inc();
+        self.shed_streak.store(0, Ordering::Relaxed);
+        if let Some(intras) = sampled_intras {
+            let at_us = self.recorder.now_us();
+            self.recorder
+                .emit_group_at(ta, intras, at_us, obs::EventKind::Submitted);
+        }
+    }
+
+    /// A submission rejected by the overload-shedding policy.  The request
+    /// never reaches the scheduler, so its timeline is the two-event
+    /// `Submitted → Shed` bracket.  A burst of [`SHED_BURST`] consecutive
+    /// rejections freezes an anomaly window (once per burst).
+    pub(crate) fn record_shed(&self, ta: u64, sampled_intras: Option<&[u32]>) {
+        self.shed.inc();
+        if let Some(intras) = sampled_intras {
+            let at_us = self.recorder.now_us();
+            self.recorder
+                .emit_group_at(ta, intras, at_us, obs::EventKind::Submitted);
+            self.recorder
+                .emit_group_at(ta, intras, at_us, obs::EventKind::Shed);
+        }
+        let streak = self.shed_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak == SHED_BURST {
+            self.recorder.freeze_anomaly(&format!(
+                "shed burst: {SHED_BURST} consecutive submissions rejected (last: T{ta})"
+            ));
+        }
+    }
+
+    /// The result of an admitted transaction, observed exactly once per
+    /// ticket (the cell caches it): outcome counters, the terminal
+    /// lifecycle event for each sampled request, and an anomaly window when
+    /// the failure is a poisoned component or a native deadlock victim.
+    pub(crate) fn record_outcome(
+        &self,
+        ta: u64,
+        sampled_intras: Option<&[u32]>,
+        result: &SchedResult<()>,
+    ) {
+        let kind = match result {
+            Ok(()) => {
+                self.committed.inc();
+                obs::EventKind::Committed
+            }
+            Err(error) => {
+                self.aborted.inc();
+                let message = error.to_string();
+                if matches!(error, SchedError::Poisoned { .. }) || message.contains("deadlock") {
+                    self.recorder.freeze_anomaly(&format!("T{ta}: {message}"));
+                }
+                obs::EventKind::Aborted
+            }
+        };
+        if let Some(intras) = sampled_intras {
+            let at_us = self.recorder.now_us();
+            self.recorder.emit_group_at(ta, intras, at_us, kind);
+        }
+    }
+}

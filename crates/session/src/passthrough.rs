@@ -211,6 +211,8 @@ fn forward_loop(
         sharded: None,
         server: Some(scheduler.server_metrics()),
         tiers: Vec::new(),
+        trace: obs::Trace::default(),
+        anomalies: Vec::new(),
         wall: started.elapsed(),
     }
 }

@@ -63,6 +63,14 @@ pub struct Report {
     /// Per-SLA-tier admission/latency counters (empty when no transaction
     /// carried SLA metadata), accumulated by the session layer.
     pub tiers: Vec<TierReport>,
+    /// The merged flight-recorder trace (empty unless the deployment was
+    /// built with [`crate::SchedulerBuilder::trace`]): every sampled
+    /// request's lifecycle events, time-ordered across all workers.  Query
+    /// with [`obs::Trace::timeline`] / [`obs::Trace::phase_histograms`].
+    pub trace: obs::Trace,
+    /// Frozen anomaly windows (rule failures, deadlock victims, shed
+    /// bursts, rehomes): the events that led up to each incident.
+    pub anomalies: Vec<obs::AnomalyWindow>,
     /// Wall-clock duration from backend start to shutdown.
     pub wall: Duration,
 }
@@ -113,6 +121,8 @@ impl Report {
             sharded: None,
             server: None,
             tiers: Vec::new(),
+            trace: obs::Trace::default(),
+            anomalies: Vec::new(),
             wall: report.wall,
         }
     }
@@ -170,6 +180,8 @@ impl Report {
             }),
             server: None,
             tiers: Vec::new(),
+            trace: obs::Trace::default(),
+            anomalies: Vec::new(),
             wall: metrics.wall,
         }
     }

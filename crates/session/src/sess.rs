@@ -2,6 +2,7 @@
 
 use crate::backend::Backend;
 use crate::builder::ShedPolicy;
+use crate::observe::SessionObs;
 use crate::ticket::{Ticket, TicketCell, TierTrack, TxnReceipt};
 use crate::tier::TierRegistry;
 use crate::txn::Txn;
@@ -27,6 +28,7 @@ pub struct Session {
     backend: Arc<dyn Backend>,
     tiers: Arc<TierRegistry>,
     shed: Option<ShedPolicy>,
+    observe: Arc<SessionObs>,
     inflight: Vec<Arc<TicketCell>>,
     /// Transactions this session routed without a terminal yet.
     open: HashSet<u64>,
@@ -37,11 +39,13 @@ impl Session {
         backend: Arc<dyn Backend>,
         tiers: Arc<TierRegistry>,
         shed: Option<ShedPolicy>,
+        observe: Arc<SessionObs>,
     ) -> Self {
         Session {
             backend,
             tiers,
             shed,
+            observe,
             inflight: Vec::new(),
             open: HashSet::new(),
         }
@@ -66,6 +70,11 @@ impl Session {
         let sla = requests.first().and_then(|r| r.sla);
         let has_terminal = requests.iter().any(|r| r.op.is_terminal());
         let opening = !requests.is_empty() && !self.open.contains(&ta);
+        // Flight recorder: capture the sampled requests' intra ids before
+        // the request vector moves into the backend.
+        let sampled_intras: Option<Vec<u32>> = (!requests.is_empty()
+            && self.observe.recorder.samples(ta))
+        .then(|| requests.iter().map(|r| r.intra).collect());
 
         // Overload protection: while the backend is past its queue-depth
         // watermark, *opening* submissions below the protected priority are
@@ -79,6 +88,7 @@ impl Session {
                 && self.backend.queue_depth() >= policy.queue_watermark
             {
                 self.tiers.record_shed(sla.class);
+                self.observe.record_shed(ta, sampled_intras.as_deref());
                 // Born resolved; not registered in-flight (there is nothing
                 // to drain and `drain` reports failures, not rejections).
                 return Ok(Ticket::new(TicketCell::resolved_with(
@@ -89,6 +99,9 @@ impl Session {
             }
         }
 
+        // Recorded before the backend sees the requests so the `Submitted`
+        // timestamp precedes the router's `Routed`/`Escalated` one.
+        self.observe.record_submitted(ta, sampled_intras.as_deref());
         let rx = self.backend.submit(requests)?;
         let tier = sla.map(|s| {
             self.tiers.record_submitted(s.class);
@@ -98,7 +111,14 @@ impl Session {
                 submitted: Instant::now(),
             }
         });
-        let cell = TicketCell::new(ta, statements, rx, tier);
+        let cell = TicketCell::new(
+            ta,
+            statements,
+            rx,
+            tier,
+            Arc::clone(&self.observe),
+            sampled_intras,
+        );
         self.inflight.push(Arc::clone(&cell));
         if statements > 0 {
             if has_terminal {

@@ -1,5 +1,6 @@
 //! In-flight transaction handles.
 
+use crate::observe::SessionObs;
 use crate::tier::TierRegistry;
 use crossbeam::channel::Receiver;
 use declsched::{SchedError, SchedResult};
@@ -34,6 +35,10 @@ pub(crate) struct TicketCell {
     pub(crate) ta: u64,
     pub(crate) statements: usize,
     tier: Option<TierTrack>,
+    /// Outcome accounting and terminal lifecycle events, recorded when the
+    /// result is first observed.  `None` for born-resolved (shed) cells,
+    /// whose outcome was already recorded at submission.
+    observe: Option<(Arc<SessionObs>, Option<Vec<u32>>)>,
     state: Mutex<CellState>,
 }
 
@@ -48,11 +53,14 @@ impl TicketCell {
         statements: usize,
         rx: Receiver<SchedResult<()>>,
         tier: Option<TierTrack>,
+        observe: Arc<SessionObs>,
+        sampled_intras: Option<Vec<u32>>,
     ) -> Arc<Self> {
         Arc::new(TicketCell {
             ta,
             statements,
             tier,
+            observe: Some((observe, sampled_intras)),
             state: Mutex::new(CellState {
                 rx: Some(rx),
                 done: None,
@@ -67,6 +75,7 @@ impl TicketCell {
             ta,
             statements,
             tier: None,
+            observe: None,
             state: Mutex::new(CellState {
                 rx: None,
                 done: Some(result),
@@ -98,6 +107,11 @@ impl TicketCell {
                 tier.submitted.elapsed().as_micros() as u64,
                 result.is_ok(),
             );
+        }
+        // Still under the cell lock, so the terminal lifecycle event is
+        // emitted exactly once however many holders race to wait.
+        if let Some((observe, sampled_intras)) = &self.observe {
+            observe.record_outcome(self.ta, sampled_intras.as_deref(), &result);
         }
         state.done = Some(result.clone());
         result

@@ -78,6 +78,7 @@ pub(crate) enum EscalationMessage {
 }
 
 /// The escalation coordinator thread body.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_coordinator(
     policy: SchedulingPolicy,
     workers: Vec<Sender<ShardMessage>>,
@@ -86,9 +87,21 @@ pub(crate) fn run_coordinator(
     aux_relations: Vec<Table>,
     placement: Arc<Placement>,
     lane_active: Arc<AtomicU64>,
+    sink: obs::TraceSink,
+    registry: Arc<obs::Registry>,
 ) -> EscalationStats {
     let mut stats = EscalationStats::default();
+    let mut recorder = sink.recorder();
+    // Live mirrors of the `EscalationStats` fields: the struct stays the
+    // shutdown report's source of truth, the counters expose it mid-run.
+    let escalations_ctr = registry.counter("lane.escalations");
+    let retries_ctr = registry.counter("lane.retries");
+    let failed_ctr = registry.counter("lane.failed");
+    let requests_ctr = registry.counter("lane.escalated_requests");
+    let rehomes_ctr = registry.counter("lane.rehomes");
+    let rehomes_busy_ctr = registry.counter("lane.rehomes_busy");
     while let Ok(message) = receiver.recv() {
+        let before = stats;
         match message {
             EscalationMessage::Job(job) => {
                 stats.escalations += 1;
@@ -99,6 +112,7 @@ pub(crate) fn run_coordinator(
                     max_attempts,
                     &aux_relations,
                     &mut stats,
+                    &mut recorder,
                 );
                 if result.is_err() {
                     // The job failed, but the transaction may still hold
@@ -120,7 +134,12 @@ pub(crate) fn run_coordinator(
             EscalationMessage::Rehome { object, to, reply } => {
                 let outcome = run_rehome(&workers, &placement, object, to);
                 match outcome {
-                    Ok(RehomeOutcome::Done) => stats.rehomes += 1,
+                    Ok(RehomeOutcome::Done) => {
+                        stats.rehomes += 1;
+                        // A placement flip is rare enough to be worth a
+                        // post-mortem window around it.
+                        recorder.freeze_anomaly(&format!("rehome: object {object} -> shard {to}"));
+                    }
                     Ok(RehomeOutcome::Busy) => stats.rehomes_busy += 1,
                     _ => {}
                 }
@@ -128,6 +147,12 @@ pub(crate) fn run_coordinator(
             }
             EscalationMessage::Shutdown => break,
         }
+        escalations_ctr.add(stats.escalations - before.escalations);
+        retries_ctr.add(stats.retries - before.retries);
+        failed_ctr.add(stats.failed - before.failed);
+        requests_ctr.add(stats.escalated_requests - before.escalated_requests);
+        rehomes_ctr.add(stats.rehomes - before.rehomes);
+        rehomes_busy_ctr.add(stats.rehomes_busy - before.rehomes_busy);
     }
     stats
 }
@@ -186,6 +211,7 @@ fn run_escalation(
     max_attempts: u32,
     aux_relations: &[Table],
     stats: &mut EscalationStats,
+    recorder: &mut obs::Recorder,
 ) -> SchedResult<()> {
     let protocol = policy.select(job.requests.len()).clone();
     for attempt in 0..max_attempts.max(1) {
@@ -266,6 +292,18 @@ fn run_escalation(
             // A shard-local lock conflicts; release so it can drain.
             release(workers, &frozen);
             continue;
+        }
+
+        // The merged rule admitted the whole transaction: this is the
+        // lane's qualification point.  (Dispatched/Executed are recorded
+        // by the owning shards as they run the sub-batches.)
+        if let Some(ta) = ta {
+            if recorder.samples(ta) {
+                let qualified_at = recorder.now_us();
+                for request in &job.requests {
+                    recorder.emit_at(ta, request.intra, qualified_at, obs::EventKind::Qualified);
+                }
+            }
         }
 
         // Execute each request on its owning shard — the placement captured

@@ -127,6 +127,19 @@ impl ShardedMiddleware {
         })
     }
 
+    /// Start from a full [`ShardConfig`] with the fleet wired into an
+    /// observability sink and metrics registry (see
+    /// [`ShardRouter::start_observed`]).
+    pub fn with_config_observed(
+        config: ShardConfig,
+        sink: obs::TraceSink,
+        registry: std::sync::Arc<obs::Registry>,
+    ) -> SchedResult<Self> {
+        Ok(ShardedMiddleware {
+            router: ShardRouter::start_observed(config, sink, registry)?,
+        })
+    }
+
     /// Connect a new client.
     pub fn connect(&self) -> ShardedClientHandle {
         ShardedClientHandle {

@@ -12,7 +12,7 @@
 use crate::config::ShardConfig;
 use crate::escalation::{run_coordinator, EscalationJob, EscalationMessage};
 use crate::metrics::{EscalationStats, RouterSnapshot, ShardReport, ShardedMetrics};
-use crate::worker::{run_worker, ShardMessage};
+use crate::worker::{run_worker, ShardMessage, WorkerSetup};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use declsched::{
     footprint, DeclarativeScheduler, Dispatcher, FreqSketch, Placement, Request, SchedError,
@@ -60,9 +60,11 @@ pub enum RehomeOutcome {
     NoOp,
 }
 
+/// Routing counters, `Arc`-backed so the metrics registry can adopt the
+/// very atomics the router updates (live snapshots, no double counting).
 struct Counters {
-    transactions: AtomicU64,
-    cross_shard: AtomicU64,
+    transactions: Arc<AtomicU64>,
+    cross_shard: Arc<AtomicU64>,
 }
 
 /// The per-transaction homes map — `ta` → shards currently holding state
@@ -159,6 +161,8 @@ pub(crate) struct RouterCore {
     /// fence holder can never miss a job the coordinator has dequeued but
     /// not finished), decremented by the coordinator on completion.
     lane_active: Arc<AtomicU64>,
+    /// Flight recorder for routing decisions (`Routed`/`Escalated` events).
+    recorder: obs::SharedRecorder,
 }
 
 impl RouterCore {
@@ -197,10 +201,15 @@ impl RouterCore {
         }
 
         let cross_shard = touched.len() > 1;
+        // Capture the routing decision for sampled transactions before the
+        // requests move into the message.
+        let sampled: Option<Vec<u32>> = ta
+            .filter(|&ta| self.recorder.samples(ta))
+            .map(|_| requests.iter().map(|r| r.intra).collect());
+        let target = touched.first().copied().unwrap_or(0);
         let sent = if !cross_shard {
             // Fast path: the whole transaction lives on one shard (terminal-
             // only transactions with no recorded home default to shard 0).
-            let target = touched.first().copied().unwrap_or(0);
             self.workers[target]
                 .send(ShardMessage::Transaction {
                     requests,
@@ -239,6 +248,25 @@ impl RouterCore {
                 if cross_shard {
                     self.counters.cross_shard.fetch_add(1, Ordering::Relaxed);
                     self.lane_active.fetch_add(1, Ordering::Release);
+                }
+                if let (Some(ta), Some(intras)) = (ta, &sampled) {
+                    if cross_shard {
+                        let shards: Vec<usize> = touched.iter().copied().collect();
+                        for &intra in intras {
+                            self.recorder.emit(
+                                ta,
+                                intra,
+                                obs::EventKind::Escalated {
+                                    shards: shards.clone(),
+                                },
+                            );
+                        }
+                    } else {
+                        for &intra in intras {
+                            self.recorder
+                                .emit(ta, intra, obs::EventKind::Routed { shard: target });
+                        }
+                    }
                 }
                 if let Some(ta) = ta {
                     if has_terminal {
@@ -418,6 +446,25 @@ impl ShardRouter {
     /// Start the fleet: one worker thread per shard (each with a private
     /// scheduler and dispatcher) plus the escalation coordinator.
     pub fn start(config: ShardConfig) -> SchedResult<Self> {
+        Self::start_observed(
+            config,
+            obs::TraceSink::disabled(),
+            Arc::new(obs::Registry::new()),
+        )
+    }
+
+    /// Like [`ShardRouter::start`], threading an observability sink and
+    /// metrics registry through the fleet: every worker records request
+    /// lifecycle events into `sink`, the router emits `Routed`/`Escalated`
+    /// events, and the `shard.*`/`router.*`/`lane.*` counters and gauges
+    /// register into `registry` (the per-shard queue-depth gauges and the
+    /// router's routing counters are adopted live — the registry reads the
+    /// very atomics the fleet updates).
+    pub fn start_observed(
+        config: ShardConfig,
+        sink: obs::TraceSink,
+        registry: Arc<obs::Registry>,
+    ) -> SchedResult<Self> {
         let shards = config.shards.max(1);
         let placement = Arc::new(Placement::new(shards));
         let homes = Arc::new(TxnHomes::new());
@@ -435,11 +482,24 @@ impl ShardRouter {
             let (tx, rx) = unbounded::<ShardMessage>();
             let depth = Arc::new(AtomicU64::new(0));
             let gauge = Arc::clone(&depth);
+            registry.adopt_gauge(&format!("shard.{shard}.queue_depth"), Arc::clone(&depth));
             let worker_homes = Arc::clone(&homes);
+            let worker_sink = sink.clone();
+            let worker_registry = Arc::clone(&registry);
             let handle = std::thread::Builder::new()
                 .name(format!("declsched-shard-{shard}"))
                 .spawn(move || {
-                    run_worker(shard, scheduler, dispatcher, rows, rx, gauge, worker_homes)
+                    run_worker(WorkerSetup {
+                        shard,
+                        scheduler,
+                        dispatcher,
+                        rows,
+                        receiver: rx,
+                        depth: gauge,
+                        homes: worker_homes,
+                        sink: worker_sink,
+                        registry: worker_registry,
+                    })
                 })
                 .expect("spawning a shard worker cannot fail");
             workers.push(tx);
@@ -455,6 +515,8 @@ impl ShardRouter {
         let aux_relations = config.aux_relations.clone();
         let coordinator_placement = Arc::clone(&placement);
         let coordinator_lane_active = Arc::clone(&lane_active);
+        let coordinator_sink = sink.clone();
+        let coordinator_registry = Arc::clone(&registry);
         let escalation_handle = std::thread::Builder::new()
             .name("declsched-escalation".to_string())
             .spawn(move || {
@@ -466,9 +528,16 @@ impl ShardRouter {
                     aux_relations,
                     coordinator_placement,
                     coordinator_lane_active,
+                    coordinator_sink,
+                    coordinator_registry,
                 )
             })
             .expect("spawning the escalation coordinator cannot fail");
+
+        let transactions = Arc::new(AtomicU64::new(0));
+        let cross_shard = Arc::new(AtomicU64::new(0));
+        registry.adopt_counter("router.transactions", Arc::clone(&transactions));
+        registry.adopt_counter("router.cross_shard", Arc::clone(&cross_shard));
 
         Ok(ShardRouter {
             core: Arc::new(RouterCore {
@@ -476,8 +545,8 @@ impl ShardRouter {
                 escalation: escalation_tx,
                 shards,
                 counters: Counters {
-                    transactions: AtomicU64::new(0),
-                    cross_shard: AtomicU64::new(0),
+                    transactions,
+                    cross_shard,
                 },
                 placement,
                 fence: RwLock::new(()),
@@ -485,6 +554,7 @@ impl ShardRouter {
                 sketch: Mutex::new(FreqSketch::new(SKETCH_CAPACITY)),
                 depths,
                 lane_active,
+                recorder: sink.shared_recorder(),
             }),
             worker_handles,
             escalation_handle,

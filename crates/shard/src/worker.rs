@@ -111,6 +111,19 @@ struct WorkerState {
     /// The router's homes map, for reclaiming entries of transactions this
     /// worker fails.
     homes: Arc<TxnHomes>,
+    /// Thread-owned flight recorder (flushes into the run's trace sink
+    /// when the worker joins).
+    recorder: obs::Recorder,
+    /// For sampled transactions: the round number at submission, so
+    /// qualification can report how many rounds the request sat pending.
+    /// On the emission hot path twice per sampled request — hence the
+    /// cheap id hasher.
+    submit_round: HashMap<RequestKey, u64, obs::FastIdBuildHasher>,
+    /// Scheduling rounds this worker has produced.
+    round_no: u64,
+    /// Live counter of requests this shard executed through the
+    /// escalation lane.
+    escalated_ctr: obs::Counter,
 }
 
 impl WorkerState {
@@ -159,6 +172,9 @@ impl WorkerState {
         let now_ms = self.now_ms();
         for request in requests {
             let key = request.key();
+            if self.recorder.samples(key.ta) {
+                self.submit_round.insert(key, self.round_no);
+            }
             self.scheduler.submit(request, now_ms);
             self.waiting.insert(key, ticket_index);
         }
@@ -223,6 +239,7 @@ impl WorkerState {
         // Nothing is waiting any more: every slot is vacant.
         self.tickets.clear();
         self.free_tickets.clear();
+        self.submit_round.clear();
     }
 
     /// The barrier snapshot: history plus everything accepted but not yet
@@ -245,8 +262,19 @@ impl WorkerState {
     /// (an escalated transaction submitted without its terminal keeps its
     /// write locks until the client commits it, exactly like a local one).
     fn execute_escalated(&mut self, requests: &[Request]) -> SchedResult<()> {
+        self.escalated_ctr.add(requests.len() as u64);
         for request in requests {
+            let key = request.key();
+            let sampled = self.recorder.samples(key.ta);
+            if sampled {
+                self.recorder
+                    .emit(key.ta, key.intra, obs::EventKind::Dispatched);
+            }
             self.dispatcher.execute_request(request)?;
+            if sampled {
+                self.recorder
+                    .emit(key.ta, key.intra, obs::EventKind::Executed);
+            }
             self.executed_log.push(request.clone());
         }
         self.scheduler.preload_history(requests)?;
@@ -329,16 +357,35 @@ impl WorkerState {
     }
 }
 
+/// Everything a shard worker thread is born with.
+pub(crate) struct WorkerSetup {
+    pub shard: usize,
+    pub scheduler: DeclarativeScheduler,
+    pub dispatcher: Dispatcher,
+    pub rows: usize,
+    pub receiver: Receiver<ShardMessage>,
+    pub depth: Arc<AtomicU64>,
+    pub homes: Arc<TxnHomes>,
+    pub sink: obs::TraceSink,
+    pub registry: Arc<obs::Registry>,
+}
+
 /// The shard worker thread body.
-pub(crate) fn run_worker(
-    shard: usize,
-    scheduler: DeclarativeScheduler,
-    dispatcher: Dispatcher,
-    rows: usize,
-    receiver: Receiver<ShardMessage>,
-    depth: Arc<AtomicU64>,
-    homes: Arc<TxnHomes>,
-) -> ShardReport {
+pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
+    let WorkerSetup {
+        shard,
+        scheduler,
+        dispatcher,
+        rows,
+        receiver,
+        depth,
+        homes,
+        sink,
+        registry,
+    } = setup;
+    let rounds_ctr = registry.counter(&format!("shard.{shard}.rounds"));
+    let executed_ctr = registry.counter(&format!("shard.{shard}.requests_executed"));
+    let rule_failures_ctr = registry.counter(&format!("shard.{shard}.rule_failures"));
     let mut state = WorkerState {
         shard,
         scheduler,
@@ -352,6 +399,10 @@ pub(crate) fn run_worker(
         disconnected: false,
         depth,
         homes,
+        recorder: sink.recorder(),
+        submit_round: HashMap::default(),
+        round_no: 0,
+        escalated_ctr: registry.counter(&format!("shard.{shard}.escalated_requests")),
     };
 
     // Whether the previous round executed anything.  A productive round
@@ -411,15 +462,73 @@ pub(crate) fn run_worker(
                         break;
                     }
                     made_progress = !batch.is_empty();
+                    rounds_ctr.inc();
+                    let qualified_at = if state.recorder.enabled() && !batch.is_empty() {
+                        state.recorder.now_us()
+                    } else {
+                        0
+                    };
+                    // Chained stamps, as in the core loop: sequential batch
+                    // execution makes a request's `Executed` moment the
+                    // next one's `Dispatched` moment, halving clock reads.
+                    let mut last_us = qualified_at;
+                    let mut last_fresh = true;
                     for request in &batch.requests {
+                        let key = request.key();
+                        let sampled = state.recorder.samples(key.ta);
+                        if sampled {
+                            let waited = state.round_no.saturating_sub(
+                                state.submit_round.remove(&key).unwrap_or(state.round_no),
+                            );
+                            if waited > 0 {
+                                state.recorder.emit_at(
+                                    key.ta,
+                                    key.intra,
+                                    qualified_at,
+                                    obs::EventKind::RoundDeferred { rounds: waited },
+                                );
+                            }
+                            state.recorder.emit_at(
+                                key.ta,
+                                key.intra,
+                                qualified_at,
+                                obs::EventKind::Qualified,
+                            );
+                            if !last_fresh {
+                                last_us = state.recorder.now_us();
+                            }
+                            state.recorder.emit_at(
+                                key.ta,
+                                key.intra,
+                                last_us,
+                                obs::EventKind::Dispatched,
+                            );
+                        }
                         let result = state.dispatcher.execute_request(request);
+                        executed_ctr.inc();
+                        if sampled {
+                            last_us = state.recorder.now_us();
+                            state.recorder.emit_at(
+                                key.ta,
+                                key.intra,
+                                last_us,
+                                obs::EventKind::Executed,
+                            );
+                        }
+                        last_fresh = sampled;
                         state.executed_log.push(request.clone());
-                        state.resolve(request.key(), result);
+                        state.resolve(key, result);
                     }
+                    state.round_no += 1;
                 }
                 Err(e) => {
                     // A rule failure fails every waiting client rather than
-                    // hanging them.
+                    // hanging them.  The recorder freezes its window so the
+                    // events leading up to the failure survive post-mortem.
+                    rule_failures_ctr.inc();
+                    state
+                        .recorder
+                        .freeze_anomaly(&format!("shard {}: rule failure: {e}", state.shard));
                     let err = e.clone();
                     state.fail_all_waiting(|_| err.clone());
                     if state.disconnected {
