@@ -1,0 +1,98 @@
+//! The chaos matrix: the four adversarial scenarios (drifting hotspot,
+//! deadlock storm, OLTP/analytical mix, tenant quota) against all three
+//! deployments, each fault-free and under a seeded fault plan, with the
+//! cross-backend invariant oracle checking every cell.
+//!
+//! Emits a human-readable CSV on stdout and writes the machine-readable
+//! `BENCH_chaos_matrix.json` into the current directory.  Exits non-zero
+//! when any oracle violation is found or when the emitted document is
+//! missing a cell — and prints the failing cell's seed so the exact fault
+//! schedule reproduces with `CHAOS_SEED=<seed>`.
+//!
+//! Usage: `CHAOS_SEED=<n> cargo run --release -p bench --bin chaos_matrix
+//! [--paper|--smoke]`
+
+use bench::{chaos_matrix_json, chaos_matrix_sweep, MatrixBackend, Scale, CHAOS_SCENARIOS};
+
+const SHARDS: usize = 4;
+
+fn main() {
+    let scale = Scale::from_args();
+    let scale_label = Scale::label_from_args();
+    let base_seed = chaos::seed_from_env(42);
+    chaos::announce_seed_on_panic(base_seed);
+
+    println!(
+        "# chaos matrix — {} scenarios x 3 backends x {{baseline, faulted}}, base seed {}",
+        CHAOS_SCENARIOS.len(),
+        base_seed
+    );
+    println!("{}", bench::ChaosCellReport::csv_header());
+    let rows = chaos_matrix_sweep(scale, base_seed);
+    let mut broken = Vec::new();
+    for row in &rows {
+        println!("{}", row.to_csv());
+        for violation in &row.violations {
+            broken.push(format!(
+                "{}/{}{}: {} (seed {})",
+                row.scenario,
+                row.backend,
+                if row.faulted { "+faults" } else { "" },
+                violation,
+                row.seed
+            ));
+        }
+    }
+
+    let json = chaos_matrix_json(&rows, scale_label, base_seed);
+    let path = "BENCH_chaos_matrix.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("# could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {path}");
+
+    // Self-check: one cell per (scenario, backend, faulted) triple.
+    let backends = [
+        MatrixBackend::Passthrough,
+        MatrixBackend::Unsharded,
+        MatrixBackend::Sharded(SHARDS),
+    ];
+    let mut missing = Vec::new();
+    for scenario in CHAOS_SCENARIOS {
+        for &backend in &backends {
+            for faulted in [false, true] {
+                let cell = format!(
+                    "\"scenario\":\"{}\",\"backend\":\"{}\",\"faulted\":{}",
+                    scenario,
+                    backend.label(),
+                    faulted
+                );
+                if !json.contains(&cell) {
+                    missing.push(format!("{}/{}/{}", scenario, backend.label(), faulted));
+                }
+            }
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("# ERROR: {path} is missing chaos cells: {missing:?}");
+        std::process::exit(1);
+    }
+
+    if !broken.is_empty() {
+        eprintln!(
+            "# ERROR: the invariant oracle flagged {} violations:",
+            broken.len()
+        );
+        for line in &broken {
+            eprintln!("#   {line}");
+        }
+        eprintln!("# {}", chaos::repro_line(base_seed));
+        std::process::exit(1);
+    }
+    println!(
+        "# oracle green across {} cells ({})",
+        rows.len(),
+        chaos::repro_line(base_seed)
+    );
+}

@@ -25,6 +25,7 @@ fn main() {
     let scale_label = Scale::label_from_args();
     let smoke = scale_label == "smoke";
     let (transactions, table_rows) = rebalance_workload(scale);
+    chaos::announce_seed_on_panic(chaos::seed_from_env(42));
     let mut failures: Vec<String> = Vec::new();
 
     println!(

@@ -30,6 +30,7 @@ fn main() {
     let scale = Scale::from_args();
     let scale_label = Scale::label_from_args();
     let params = scenario_params(scale);
+    chaos::announce_seed_on_panic(params.seed);
     let backends = [
         MatrixBackend::Passthrough,
         MatrixBackend::Unsharded,
@@ -37,11 +38,12 @@ fn main() {
     ];
 
     println!(
-        "# scenario matrix — {} scenarios x {} backends, {} transactions over {} rows each",
+        "# scenario matrix — {} scenarios x {} backends, {} transactions over {} rows each, seed {}",
         registry().len(),
         backends.len(),
         params.transactions,
-        params.table_rows
+        params.table_rows,
+        params.seed
     );
     println!("{}", bench::ScenarioMatrixRow::csv_header());
     let rows = scenario_matrix_sweep(&backends, scale);

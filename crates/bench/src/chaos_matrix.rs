@@ -1,0 +1,607 @@
+//! The chaos matrix: adversarial scenarios under deterministic fault
+//! injection, checked by a cross-backend invariant oracle.
+//!
+//! Each cell drives one registered chaos scenario against one deployment,
+//! either fault-free or under a seeded [`chaos::FaultPlan`] (worker
+//! stalls, commit-path stalls, escalation-lane delay, router send
+//! failures, mid-run shed-policy flips).  Whatever the faults did to
+//! *performance*, the oracle then asserts the run stayed *correct*:
+//!
+//! 1. **Exactly-once resolution** — every submitted transaction resolved
+//!    to exactly one of committed / failed / shed.
+//! 2. **Replay equivalence** — the committed subset replays cleanly on a
+//!    fresh fault-free unsharded reference and both runs agree on the
+//!    final value of every row not written by a non-committed
+//!    transaction, and every committed statement appears exactly once in
+//!    the executed log.
+//! 3. **Per-object admission order** — between a committed transaction's
+//!    read of an object and its upgrading write, no other committed
+//!    transaction's write of that object was admitted (the SS2PL
+//!    serialization witness, checked on the executed log).
+//! 4. **No leaked homes** — a sharded deployment reclaims every routing
+//!    entry by shutdown even when faults failed transactions mid-flight.
+//! 5. **Well-formed timelines** — in the flight-recorder trace no request
+//!    carries more than one terminal event, and no terminal precedes its
+//!    submission.
+//!
+//! Violations are returned as strings (empty = green) so the
+//! `chaos_matrix` bin can print them next to the failing cell's seed —
+//! `CHAOS_SEED=<seed>` reproduces the exact fault schedule.
+
+use crate::scenario::to_session_txn;
+use crate::{MatrixBackend, Scale};
+use chaos::{BackendProfile, FaultPlan};
+use declsched::{Operation, Protocol, ProtocolKind, SchedulerConfig, TriggerPolicy};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use txnstore::StatementKind;
+use workload::scenario::{Scenario, ScenarioParams, ScenarioTxn};
+
+/// The four adversarial scenarios the chaos matrix exercises (all four are
+/// also in the general scenario registry, so the equivalence suite covers
+/// them fault-free).
+pub const CHAOS_SCENARIOS: [&str; 4] = [
+    "drifting-hotspot",
+    "deadlock-storm",
+    "oltp-analytical-mix",
+    "tenant-quota",
+];
+
+/// Closed-loop pipeline depth for chaos cells.  Chaos runs always drive
+/// closed-loop (arrival pacing would only add nondeterministic timing on
+/// top of the scripted faults).
+const CHAOS_DEPTH: usize = 16;
+
+/// Ring capacity for the per-cell flight recorder.
+const TRACE_CAPACITY: usize = 1 << 16;
+
+/// How one submitted transaction resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellOutcome {
+    Committed,
+    Failed,
+    Shed,
+}
+
+/// One measured (scenario, backend, fault-plan) cell of the chaos matrix.
+#[derive(Debug, Clone)]
+pub struct ChaosCellReport {
+    /// Scenario name (stable registry key).
+    pub scenario: String,
+    /// Deployment label (`passthrough`, `unsharded`, `sharded4`).
+    pub backend: String,
+    /// Whether a fault plan was injected (`false` = fault-free baseline).
+    pub faulted: bool,
+    /// The fault-plan seed (the stream seed for baseline cells).
+    pub seed: u64,
+    /// Transactions submitted.
+    pub transactions: u64,
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that failed (injected faults, native deadlock victims).
+    pub failed: u64,
+    /// Transactions rejected by the live shed policy.
+    pub shed: u64,
+    /// Scripted faults that actually fired during the run.
+    pub faults_fired: u64,
+    /// Scripted faults whose hook was never visited often enough.
+    pub faults_unfired: u64,
+    /// Wall-clock seconds from first submission to last completion.
+    pub wall_secs: f64,
+    /// Router homes-map entries still live at shutdown (sharded only).
+    pub unreclaimed_homes: u64,
+    /// Oracle violations (empty = the run was provably well-behaved).
+    pub violations: Vec<String>,
+}
+
+impl ChaosCellReport {
+    /// CSV header.
+    pub fn csv_header() -> &'static str {
+        "scenario,backend,faulted,seed,transactions,committed,failed,shed,faults_fired,faults_unfired,wall_secs,unreclaimed_homes,violations"
+    }
+
+    /// CSV rendering (violation count only; the bin prints full texts).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.3},{},{}",
+            self.scenario,
+            self.backend,
+            self.faulted,
+            self.seed,
+            self.transactions,
+            self.committed,
+            self.failed,
+            self.shed,
+            self.faults_fired,
+            self.faults_unfired,
+            self.wall_secs,
+            self.unreclaimed_homes,
+            self.violations.len()
+        )
+    }
+
+    /// One JSON object (hand-rolled; the workspace builds offline without
+    /// a serde dependency).
+    pub fn to_json(&self) -> String {
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!(
+            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"faulted\":{},\"seed\":{},\"transactions\":{},\"committed\":{},\"failed\":{},\"shed\":{},\"faults_fired\":{},\"faults_unfired\":{},\"wall_secs\":{:.6},\"unreclaimed_homes\":{},\"violations\":[{}]}}",
+            self.scenario,
+            self.backend,
+            self.faulted,
+            self.seed,
+            self.transactions,
+            self.committed,
+            self.failed,
+            self.shed,
+            self.faults_fired,
+            self.faults_unfired,
+            self.wall_secs,
+            self.unreclaimed_homes,
+            violations.join(",")
+        )
+    }
+}
+
+/// The chaos-plan backend profile matching a matrix deployment.
+pub fn backend_profile(backend: MatrixBackend) -> BackendProfile {
+    match backend {
+        MatrixBackend::Passthrough => BackendProfile::Passthrough,
+        MatrixBackend::Unsharded => BackendProfile::Unsharded,
+        MatrixBackend::Sharded(shards) => BackendProfile::Sharded { shards },
+    }
+}
+
+/// Deterministic per-cell salt so every (scenario, backend) cell draws a
+/// different fault schedule from one base seed (FNV-1a over the labels).
+pub fn cell_seed(base: u64, scenario: &str, backend: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in scenario.bytes().chain([b'/']).chain(backend.bytes()) {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    base ^ hash
+}
+
+fn protocol_for(scenario: &dyn Scenario) -> ProtocolKind {
+    if scenario.sla_aware() {
+        ProtocolKind::SlaPriority
+    } else {
+        ProtocolKind::Ss2pl
+    }
+}
+
+fn build_deployment(
+    scenario: &dyn Scenario,
+    backend: MatrixBackend,
+    table_rows: usize,
+    plan: Option<FaultPlan>,
+    trace: bool,
+) -> session::Scheduler {
+    let mut builder = session::Scheduler::builder()
+        .policy(Protocol::algebra(protocol_for(scenario)))
+        .scheduler_config(SchedulerConfig {
+            trigger: TriggerPolicy::Hybrid {
+                interval_ms: 1,
+                threshold: 64,
+            },
+            ..SchedulerConfig::default()
+        })
+        .table("bench", table_rows);
+    if trace {
+        builder = builder.trace(obs::TraceConfig::full(TRACE_CAPACITY));
+    }
+    if let Some(plan) = plan {
+        builder = builder.chaos(plan);
+    }
+    match backend {
+        MatrixBackend::Passthrough => builder.passthrough(),
+        MatrixBackend::Unsharded => builder.unsharded(),
+        MatrixBackend::Sharded(n) => builder.shards(n),
+    }
+    .build()
+    .expect("deployment start cannot fail")
+}
+
+/// Drive one chaos cell: replay the scenario stream closed-loop against
+/// the deployment (optionally under `plan`), classify every transaction's
+/// outcome, then run the full oracle over the shutdown report.
+pub fn run_chaos_cell(
+    scenario: &dyn Scenario,
+    backend: MatrixBackend,
+    params: &ScenarioParams,
+    plan: Option<FaultPlan>,
+) -> ChaosCellReport {
+    use std::collections::VecDeque;
+
+    let stream = scenario.generate(params);
+    let faulted = plan.is_some();
+    let seed = plan.as_ref().map(|p| p.seed).unwrap_or(params.seed);
+    let scheduler = build_deployment(scenario, backend, params.table_rows, plan, true);
+    let injector = scheduler.chaos_injector();
+    let mut session = scheduler.connect();
+
+    let mut outcomes: Vec<Option<CellOutcome>> = vec![None; stream.len()];
+    let mut window: VecDeque<(usize, session::Ticket)> = VecDeque::with_capacity(CHAOS_DEPTH);
+    let settle = |outcomes: &mut Vec<Option<CellOutcome>>,
+                  (index, ticket): (usize, session::Ticket)| {
+        let outcome = match ticket.wait() {
+            Ok(_) => CellOutcome::Committed,
+            Err(declsched::SchedError::Shed { .. }) => CellOutcome::Shed,
+            Err(_) => CellOutcome::Failed,
+        };
+        assert!(
+            outcomes[index].replace(outcome).is_none(),
+            "transaction resolved twice"
+        );
+    };
+    let started = Instant::now();
+    for (index, txn) in stream.iter().enumerate() {
+        if window.len() >= CHAOS_DEPTH {
+            let front = window.pop_front().expect("window non-empty");
+            settle(&mut outcomes, front);
+        }
+        match session.submit(to_session_txn(txn, 0)) {
+            Ok(ticket) => window.push_back((index, ticket)),
+            // A killed backend refuses at the channel: still exactly-once.
+            Err(_) => outcomes[index] = Some(CellOutcome::Failed),
+        }
+    }
+    while let Some(front) = window.pop_front() {
+        settle(&mut outcomes, front);
+    }
+    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    drop(session);
+    let report = scheduler.shutdown();
+
+    let mut violations = oracle_violations(scenario, params, &stream, &outcomes, &report);
+    let unreclaimed_homes = report
+        .sharded
+        .as_ref()
+        .map(|d| d.unreclaimed_homes)
+        .unwrap_or(0);
+    if unreclaimed_homes != 0 {
+        violations.push(format!(
+            "router leaked {unreclaimed_homes} transaction homes"
+        ));
+    }
+
+    let count =
+        |outcome: CellOutcome| outcomes.iter().filter(|o| **o == Some(outcome)).count() as u64;
+    ChaosCellReport {
+        scenario: scenario.name().to_string(),
+        backend: backend.label(),
+        faulted,
+        seed,
+        transactions: stream.len() as u64,
+        committed: count(CellOutcome::Committed),
+        failed: count(CellOutcome::Failed),
+        shed: count(CellOutcome::Shed),
+        faults_fired: injector.fired().len() as u64,
+        faults_unfired: injector.unfired() as u64,
+        wall_secs,
+        unreclaimed_homes,
+        violations,
+    }
+}
+
+/// The invariant oracle: checks 1, 2, 3 and 5 of the module contract
+/// (check 4, leaked homes, needs only the report and lives in
+/// [`run_chaos_cell`]).  Returns one string per violation.
+fn oracle_violations(
+    scenario: &dyn Scenario,
+    params: &ScenarioParams,
+    stream: &[ScenarioTxn],
+    outcomes: &[Option<CellOutcome>],
+    report: &session::Report,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // 1. Exactly-once resolution.
+    for (index, outcome) in outcomes.iter().enumerate() {
+        if outcome.is_none() {
+            violations.push(format!("T{} never resolved", index + 1));
+        }
+    }
+
+    let committed: HashSet<u64> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| **o == Some(CellOutcome::Committed))
+        .map(|(index, _)| index as u64 + 1)
+        .collect();
+
+    // 2a. Every committed statement executed exactly once.
+    let mut executed: HashMap<(u64, u32), usize> = HashMap::new();
+    for request in report.executed_log.iter().filter(|r| r.op.is_data()) {
+        *executed.entry((request.ta, request.intra)).or_insert(0) += 1;
+    }
+    for ((ta, intra), count) in &executed {
+        if *count > 1 && committed.contains(ta) {
+            violations.push(format!(
+                "committed statement T{ta}#{intra} executed {count} times"
+            ));
+        }
+    }
+    for (index, txn) in stream.iter().enumerate() {
+        let ta = index as u64 + 1;
+        if !committed.contains(&ta) {
+            continue;
+        }
+        for statement in &txn.statements {
+            if statement.object().is_some() && !executed.contains_key(&(ta, statement.intra)) {
+                violations.push(format!(
+                    "committed statement T{ta}#{} never executed",
+                    statement.intra
+                ));
+            }
+        }
+    }
+
+    // 2b. Replay the committed subset on a fresh fault-free unsharded
+    // reference: everything must commit, and final row state must agree
+    // outside rows written by non-committed transactions.
+    let reference = build_deployment(
+        scenario,
+        MatrixBackend::Unsharded,
+        params.table_rows,
+        None,
+        false,
+    );
+    let mut ref_session = reference.connect();
+    let mut tickets = Vec::new();
+    for (index, txn) in stream.iter().enumerate() {
+        if committed.contains(&(index as u64 + 1)) {
+            tickets.push((
+                index as u64 + 1,
+                ref_session
+                    .submit(to_session_txn(txn, 0))
+                    .expect("reference submission cannot fail"),
+            ));
+        }
+    }
+    for (ta, ticket) in tickets {
+        if ticket.wait().is_err() {
+            violations.push(format!("committed T{ta} failed on the reference replay"));
+        }
+    }
+    drop(ref_session);
+    let ref_report = reference.shutdown();
+
+    let tainted: HashSet<i64> = stream
+        .iter()
+        .enumerate()
+        .filter(|(index, _)| !committed.contains(&(*index as u64 + 1)))
+        .flat_map(|(_, txn)| txn.statements.iter())
+        .filter(|s| matches!(s.kind, StatementKind::Update { .. }))
+        .filter_map(|s| s.object())
+        .map(|o| o.0)
+        .collect();
+    if report.final_rows.len() != ref_report.final_rows.len() {
+        violations.push(format!(
+            "final row count diverged: {} vs reference {}",
+            report.final_rows.len(),
+            ref_report.final_rows.len()
+        ));
+    }
+    let mut diverged = 0usize;
+    for (key, (a, b)) in report
+        .final_rows
+        .iter()
+        .zip(ref_report.final_rows.iter())
+        .enumerate()
+    {
+        if a != b && !tainted.contains(&(key as i64)) {
+            diverged += 1;
+            if diverged <= 3 {
+                violations.push(format!("row {key} diverged from the reference: {a} vs {b}"));
+            }
+        }
+    }
+    if diverged > 3 {
+        violations.push(format!("… and {} more diverged rows", diverged - 3));
+    }
+
+    // 3. Per-object admission order: a committed transaction's read→write
+    // upgrade of an object admits no other committed writer in between.
+    let mut per_object: HashMap<i64, Vec<(u64, Operation)>> = HashMap::new();
+    for request in report.executed_log.iter().filter(|r| r.op.is_data()) {
+        if committed.contains(&request.ta) {
+            per_object
+                .entry(request.object)
+                .or_default()
+                .push((request.ta, request.op));
+        }
+    }
+    for (object, accesses) in &per_object {
+        for (position, &(ta, op)) in accesses.iter().enumerate() {
+            if op != Operation::Read {
+                continue;
+            }
+            // The upgrading write of the same transaction, if any.
+            let Some(write_pos) = accesses
+                .iter()
+                .skip(position + 1)
+                .position(|&(t, o)| t == ta && o == Operation::Write)
+                .map(|offset| position + 1 + offset)
+            else {
+                continue;
+            };
+            for &(other, other_op) in &accesses[position + 1..write_pos] {
+                if other != ta && other_op == Operation::Write {
+                    violations.push(format!(
+                        "object {object}: T{other} wrote between T{ta}'s read and its upgrade"
+                    ));
+                }
+            }
+        }
+    }
+
+    // 5. Well-formed trace timelines: at most one terminal per request,
+    // and no terminal stamped before its submission.
+    let mut lifecycle: HashMap<obs::ReqId, (Option<u64>, Vec<u64>)> = HashMap::new();
+    for event in report.trace.events() {
+        let entry = lifecycle.entry(event.req).or_default();
+        match &event.kind {
+            obs::EventKind::Submitted => {
+                entry.0 = Some(entry.0.map_or(event.at_us, |t| t.min(event.at_us)));
+            }
+            kind if kind.is_terminal() => entry.1.push(event.at_us),
+            _ => {}
+        }
+    }
+    for (req, (submitted, terminals)) in &lifecycle {
+        if terminals.len() > 1 {
+            violations.push(format!("{req}: {} terminal events", terminals.len()));
+        }
+        if let (Some(submitted), Some(&terminal)) = (submitted, terminals.first()) {
+            if terminal < *submitted {
+                violations.push(format!("{req}: terminal precedes submission"));
+            }
+        }
+    }
+
+    violations
+}
+
+/// The full chaos matrix: every chaos scenario × every deployment ×
+/// {fault-free, seeded fault plan}.  `base_seed` (usually from
+/// `CHAOS_SEED`) salts each faulted cell's plan via [`cell_seed`].
+pub fn chaos_matrix_sweep(scale: Scale, base_seed: u64) -> Vec<ChaosCellReport> {
+    let params = crate::scenario_params(scale);
+    let backends = [
+        MatrixBackend::Passthrough,
+        MatrixBackend::Unsharded,
+        MatrixBackend::Sharded(4),
+    ];
+    let mut rows = Vec::new();
+    for name in CHAOS_SCENARIOS {
+        let scenario = workload::scenario::by_name(name).expect("chaos scenario is registered");
+        for &backend in &backends {
+            for faulted in [false, true] {
+                let plan = faulted.then(|| {
+                    FaultPlan::seeded(
+                        cell_seed(base_seed, name, &backend.label()),
+                        backend_profile(backend),
+                    )
+                });
+                rows.push(run_chaos_cell(scenario.as_ref(), backend, &params, plan));
+            }
+        }
+    }
+    rows
+}
+
+/// Render the matrix as the `BENCH_chaos_matrix.json` document.
+pub fn chaos_matrix_json(rows: &[ChaosCellReport], scale_label: &str, base_seed: u64) -> String {
+    let names: Vec<String> = CHAOS_SCENARIOS
+        .iter()
+        .map(|name| format!("\"{name}\""))
+        .collect();
+    let cells: Vec<String> = rows.iter().map(ChaosCellReport::to_json).collect();
+    format!(
+        "{{\n  \"bench\": \"chaos_matrix\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"scenarios\": [{}],\n  \"cells\": [\n    {}\n  ]\n}}\n",
+        scale_label,
+        base_seed,
+        names.join(", "),
+        cells.join(",\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> ScenarioParams {
+        ScenarioParams {
+            transactions: 96,
+            table_rows: 512,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn fault_free_cell_commits_everything_with_a_green_oracle() {
+        let scenario = workload::scenario::by_name("drifting-hotspot").unwrap();
+        let cell = run_chaos_cell(
+            scenario.as_ref(),
+            MatrixBackend::Unsharded,
+            &tiny_params(),
+            None,
+        );
+        assert!(!cell.faulted);
+        assert_eq!(cell.committed, 96);
+        assert_eq!(cell.failed + cell.shed, 0);
+        assert_eq!(cell.violations, Vec::<String>::new());
+        assert!(cell
+            .to_csv()
+            .starts_with("drifting-hotspot,unsharded,false"));
+    }
+
+    #[test]
+    fn deadlock_storm_aborts_natively_on_passthrough_yet_stays_consistent() {
+        let scenario = workload::scenario::by_name("deadlock-storm").unwrap();
+        let cell = run_chaos_cell(
+            scenario.as_ref(),
+            MatrixBackend::Passthrough,
+            &tiny_params(),
+            None,
+        );
+        assert_eq!(cell.committed + cell.failed, 96, "exactly-once resolution");
+        assert_eq!(
+            cell.violations,
+            Vec::<String>::new(),
+            "native victims must not corrupt committed state"
+        );
+    }
+
+    #[test]
+    fn seeded_faults_survive_the_oracle_on_a_sharded_fleet() {
+        let scenario = workload::scenario::by_name("tenant-quota").unwrap();
+        let backend = MatrixBackend::Sharded(2);
+        let plan = FaultPlan::seeded(
+            cell_seed(7, "tenant-quota", &backend.label()),
+            backend_profile(backend),
+        );
+        let cell = run_chaos_cell(scenario.as_ref(), backend, &tiny_params(), Some(plan));
+        assert!(cell.faulted);
+        assert_eq!(
+            cell.committed + cell.failed + cell.shed,
+            96,
+            "every transaction resolves exactly once under faults"
+        );
+        assert_eq!(cell.violations, Vec::<String>::new());
+        assert_eq!(cell.unreclaimed_homes, 0);
+    }
+
+    #[test]
+    fn cell_seed_separates_cells_and_json_renders_violations() {
+        let a = cell_seed(42, "deadlock-storm", "unsharded");
+        let b = cell_seed(42, "deadlock-storm", "sharded4");
+        assert_ne!(a, b, "cells must draw distinct fault schedules");
+        assert_eq!(a, cell_seed(42, "deadlock-storm", "unsharded"));
+
+        let cell = ChaosCellReport {
+            scenario: "x".into(),
+            backend: "unsharded".into(),
+            faulted: true,
+            seed: 9,
+            transactions: 1,
+            committed: 0,
+            failed: 1,
+            shed: 0,
+            faults_fired: 2,
+            faults_unfired: 0,
+            wall_secs: 0.5,
+            unreclaimed_homes: 0,
+            violations: vec!["row 3 \"diverged\"".into()],
+        };
+        let json = cell.to_json();
+        assert!(json.contains("\"violations\":[\"row 3 \\\"diverged\\\"\"]"));
+        assert!(chaos_matrix_json(&[cell], "smoke", 42).contains("\"bench\": \"chaos_matrix\""));
+    }
+}

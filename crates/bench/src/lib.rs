@@ -20,6 +20,9 @@
 //! * adaptive control plane → [`skew_run`], [`overload_cell`]
 //!   (`BENCH_rebalance_overload.json`): hot-object re-homing vs static
 //!   placement, and SLA-aware shedding past saturation
+//! * chaos matrix → [`chaos_matrix_sweep`] (`BENCH_chaos_matrix.json`):
+//!   adversarial scenarios under seeded fault plans, every cell checked
+//!   by the cross-backend invariant oracle
 
 #![warn(missing_docs)]
 
@@ -30,12 +33,17 @@ use simkit::{fig2_point, CostModel, Fig2Point, MultiUserConfig};
 use std::time::Instant;
 use workload::OltpSpec;
 
+pub mod chaos_matrix;
 pub mod hist;
 pub mod obs_overhead;
 pub mod rebalance;
 pub mod rule_scaling;
 pub mod scenario;
 
+pub use chaos_matrix::{
+    backend_profile, cell_seed, chaos_matrix_json, chaos_matrix_sweep, run_chaos_cell,
+    ChaosCellReport, CHAOS_SCENARIOS,
+};
 pub use declsched::protocol::Backend;
 pub use hist::LatencyHistogram;
 pub use obs_overhead::{

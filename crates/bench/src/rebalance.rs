@@ -60,7 +60,7 @@ fn rebalance_params(scale: Scale) -> ScenarioParams {
     ScenarioParams {
         transactions,
         table_rows,
-        seed: 42,
+        seed: chaos::seed_from_env(42),
     }
 }
 

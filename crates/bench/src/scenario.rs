@@ -37,13 +37,14 @@ const ARRIVAL_SEED_SALT: u64 = 0xA881_55C1_0F0F_9E3D;
 
 /// The scenario parameters used at a given benchmark scale — shared by the
 /// bin, the tests and the saturation sweep so every consumer sees the
-/// identical stream.
+/// identical stream.  The workload seed honours `CHAOS_SEED` so a failing
+/// matrix run reproduces with one environment variable.
 pub fn scenario_params(scale: Scale) -> ScenarioParams {
     let (transactions, table_rows) = shard_scaling_workload(scale);
     ScenarioParams {
         transactions,
         table_rows,
-        seed: 42,
+        seed: chaos::seed_from_env(42),
     }
 }
 

@@ -258,6 +258,37 @@ impl Middleware {
         sink: obs::TraceSink,
         registry: Arc<obs::Registry>,
     ) -> SchedResult<Self> {
+        Self::start_chaos_observed(
+            policy,
+            config,
+            table,
+            rows,
+            aux_relations,
+            sink,
+            registry,
+            Arc::new(chaos::FaultInjector::disabled()),
+        )
+    }
+
+    /// Like [`Middleware::start_observed`], additionally threading a chaos
+    /// [`chaos::FaultInjector`] into the scheduler thread.  The loop fires
+    /// [`chaos::Hook::WorkerRound`] (shard 0) once per iteration — `Stall`
+    /// sleeps the loop, `Kill` turns the thread into a dead worker that
+    /// fails everything in flight, purges its un-admitted state and
+    /// refuses later submissions — and [`chaos::Hook::WorkerCommit`]
+    /// before each terminal executes (`Stall` there is a lock-hold
+    /// extension).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_chaos_observed(
+        policy: impl Into<SchedulingPolicy>,
+        config: SchedulerConfig,
+        table: impl Into<String>,
+        rows: usize,
+        aux_relations: Vec<relalg::Table>,
+        sink: obs::TraceSink,
+        registry: Arc<obs::Registry>,
+        injector: Arc<chaos::FaultInjector>,
+    ) -> SchedResult<Self> {
         let table = table.into();
         let dispatcher = Dispatcher::new(table.clone(), rows)?;
         let mut scheduler = DeclarativeScheduler::new(policy, config);
@@ -271,7 +302,9 @@ impl Middleware {
         let handle = std::thread::Builder::new()
             .name("declsched-scheduler".to_string())
             .spawn(move || {
-                scheduler_loop(scheduler, dispatcher, receiver, rows, gauge, sink, registry)
+                scheduler_loop(
+                    scheduler, dispatcher, receiver, rows, gauge, sink, registry, injector,
+                )
             })
             .expect("spawning the scheduler thread cannot fail");
         Ok(Middleware {
@@ -437,6 +470,7 @@ impl Tickets {
 type SubmitRoundMap = HashMap<RequestKey, u64, obs::FastIdBuildHasher>;
 
 /// The scheduler thread body.
+#[allow(clippy::too_many_arguments)]
 fn scheduler_loop(
     mut scheduler: DeclarativeScheduler,
     mut dispatcher: Dispatcher,
@@ -445,11 +479,15 @@ fn scheduler_loop(
     depth: Arc<AtomicU64>,
     sink: obs::TraceSink,
     registry: Arc<obs::Registry>,
+    injector: Arc<chaos::FaultInjector>,
 ) -> MiddlewareReport {
     let started = Instant::now();
     let mut tickets = Tickets::default();
     let mut executed_log: Vec<Request> = Vec::new();
     let mut disconnected = false;
+    // Chaos `Kill`: the thread keeps answering messages (with errors) so
+    // clients never hang, but schedules and executes nothing any more.
+    let mut killed = false;
 
     // Flight recorder + live metrics.  The recorder is thread-owned (no
     // locking on emit) and flushes into the sink when this function
@@ -482,6 +520,14 @@ fn scheduler_loop(
                 let now_ms = started.elapsed().as_millis() as u64;
                 let mut handle = |msg: ControlMessage, disconnected: &mut bool| match msg {
                     ControlMessage::Txn(msg) => {
+                        if killed {
+                            // A dead worker refuses instead of hanging the
+                            // client.
+                            let _ = msg.reply.send(Err(SchedError::Dispatch {
+                                message: "chaos: scheduler worker killed".to_string(),
+                            }));
+                            return;
+                        }
                         if let Some(requests) = tickets.accept(msg.requests, msg.reply) {
                             for request in requests {
                                 if recorder.samples(request.ta) {
@@ -505,6 +551,24 @@ fn scheduler_loop(
             }
         }
 
+        // Chaos hook: once per loop iteration, after the mailbox drain.
+        match injector.fire(chaos::Hook::WorkerRound { shard: 0 }) {
+            Some(chaos::Fault::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(chaos::Fault::Kill) if !killed => {
+                killed = true;
+                recorder.freeze_anomaly("chaos: scheduler worker killed");
+                tickets.fail_all(|_| SchedError::Dispatch {
+                    message: "chaos: scheduler worker killed".to_string(),
+                });
+                submit_round.clear();
+                let now_ms = started.elapsed().as_millis() as u64;
+                scheduler.purge_unscheduled(now_ms);
+            }
+            _ => {}
+        }
+
         depth.store(
             (scheduler.queued() + scheduler.pending()) as u64,
             Ordering::Relaxed,
@@ -513,7 +577,9 @@ fn scheduler_loop(
 
         let now_ms = started.elapsed().as_millis() as u64;
         // When shutting down, keep scheduling until everything drained.
-        let batch = if disconnected && (scheduler.queued() > 0 || scheduler.pending() > 0) {
+        let batch = if killed {
+            None
+        } else if disconnected && (scheduler.queued() > 0 || scheduler.pending() > 0) {
             Some(scheduler.run_round(now_ms))
         } else {
             match scheduler.tick(now_ms) {
@@ -580,6 +646,15 @@ fn scheduler_loop(
                                 last_us,
                                 obs::EventKind::Dispatched,
                             );
+                        }
+                        // Chaos hook: a `Stall` right before a terminal
+                        // executes extends every lock the transaction holds.
+                        if request.op.is_terminal() {
+                            if let Some(chaos::Fault::Stall { millis }) =
+                                injector.fire(chaos::Hook::WorkerCommit { shard: 0 })
+                            {
+                                std::thread::sleep(Duration::from_millis(millis));
+                            }
                         }
                         let result = dispatcher.execute_request(request);
                         executed_ctr.inc();

@@ -408,6 +408,26 @@ impl DeclarativeScheduler {
         })
     }
 
+    /// Discard every request that has not been scheduled yet — the queued
+    /// *and* the pending set — without executing anything.  Returns how
+    /// many requests were dropped.
+    ///
+    /// This is the state-side half of a worker kill (the chaos engine's
+    /// `Fault::Kill`): the owning loop has already failed its waiting
+    /// clients, so the un-admitted requests must never qualify later.
+    /// History is left untouched — locks held by already-admitted
+    /// transactions stay visible to post-mortem inspection, and a killed
+    /// worker schedules nothing afterwards anyway.
+    pub fn purge_unscheduled(&mut self, now_ms: u64) -> usize {
+        let drained = self.queue.drain(now_ms).len();
+        let keys: Vec<RequestKey> = self.pending.keys().collect();
+        let taken = self.pending.take(&keys);
+        self.qualifier.note_taken(&taken);
+        self.deferred_seen.clear();
+        self.noop_fingerprint = None;
+        drained + taken.len()
+    }
+
     /// Evaluate the qualification rule of `protocol` over the current
     /// state, through the cheapest applicable path: the incremental
     /// qualifier for built-in protocols, the persistent Datalog evaluation

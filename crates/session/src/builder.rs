@@ -12,6 +12,7 @@ use declsched::protocol::SchedulingPolicy;
 use declsched::{Middleware, Protocol, ProtocolKind, SchedResult, SchedulerConfig};
 use relalg::Table;
 use shard::{ShardConfig, ShardedMiddleware};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The session layer's SLA-aware overload-shedding policy.
@@ -47,6 +48,49 @@ impl ShedPolicy {
     }
 }
 
+/// The live shed policy, shared by the scheduler handle and every
+/// connected session so the policy can be swapped mid-run — by
+/// [`Scheduler::set_shed_policy`] or by a chaos `ShedFlip` fault —
+/// without reconnecting anything.
+#[derive(Debug, Default)]
+pub(crate) struct ShedState {
+    engaged: AtomicBool,
+    watermark: AtomicUsize,
+    protect: AtomicI64,
+}
+
+impl ShedState {
+    pub(crate) fn new(initial: Option<ShedPolicy>) -> Self {
+        let state = ShedState::default();
+        state.set(initial);
+        state
+    }
+
+    /// Swap the live policy (`None` disengages shedding).
+    pub(crate) fn set(&self, policy: Option<ShedPolicy>) {
+        match policy {
+            Some(policy) => {
+                // Parameters land before the engage flag so a concurrent
+                // reader never observes the flag with stale parameters.
+                self.watermark
+                    .store(policy.queue_watermark, Ordering::Relaxed);
+                self.protect
+                    .store(policy.protect_priority, Ordering::Relaxed);
+                self.engaged.store(true, Ordering::Release);
+            }
+            None => self.engaged.store(false, Ordering::Release),
+        }
+    }
+
+    /// The currently engaged policy, if any.
+    pub(crate) fn get(&self) -> Option<ShedPolicy> {
+        self.engaged.load(Ordering::Acquire).then(|| ShedPolicy {
+            queue_watermark: self.watermark.load(Ordering::Relaxed),
+            protect_priority: self.protect.load(Ordering::Relaxed),
+        })
+    }
+}
+
 /// Which deployment the builder will start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Topology {
@@ -68,6 +112,7 @@ pub struct SchedulerBuilder {
     aux_relations: Vec<Table>,
     shed: Option<ShedPolicy>,
     trace: obs::TraceConfig,
+    chaos: Option<chaos::FaultPlan>,
 }
 
 impl SchedulerBuilder {
@@ -81,6 +126,7 @@ impl SchedulerBuilder {
             aux_relations: Vec::new(),
             shed: None,
             trace: obs::TraceConfig::off(),
+            chaos: None,
         }
     }
 
@@ -150,24 +196,45 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Thread a deterministic chaos [`chaos::FaultPlan`] through the
+    /// deployment (off by default).  Every layer fires its named hook
+    /// points against the plan's injector: the scheduler/worker loops
+    /// (`WorkerRound`, `WorkerCommit`), the shard router's fast-path sends
+    /// (`RouterSend`), the escalation lane (`LaneJob`) and the session
+    /// submission path (`SessionSubmit`, where a `ShedFlip` swaps the live
+    /// [`ShedPolicy`] mid-run).  Inspect what actually fired through
+    /// [`Scheduler::chaos_injector`].
+    pub fn chaos(mut self, plan: chaos::FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Start the deployment.
     pub fn build(self) -> SchedResult<Scheduler> {
         let sink = obs::TraceSink::new(self.trace);
         let registry = Arc::new(obs::Registry::new());
+        let injector = Arc::new(match &self.chaos {
+            Some(plan) => chaos::FaultInjector::new(plan),
+            None => chaos::FaultInjector::disabled(),
+        });
         let backend: Arc<dyn Backend> = match self.topology {
-            Topology::Unsharded => Arc::new(UnshardedBackend::new(Middleware::start_observed(
-                self.policy,
-                self.config,
-                self.table,
-                self.rows,
-                self.aux_relations,
-                sink.clone(),
-                Arc::clone(&registry),
-            )?)),
+            Topology::Unsharded => {
+                Arc::new(UnshardedBackend::new(Middleware::start_chaos_observed(
+                    self.policy,
+                    self.config,
+                    self.table,
+                    self.rows,
+                    self.aux_relations,
+                    sink.clone(),
+                    Arc::clone(&registry),
+                    Arc::clone(&injector),
+                )?))
+            }
             Topology::Sharded(shards) => {
                 let mut config = ShardConfig::new(shards, self.policy)
                     .with_scheduler(self.config)
-                    .with_table(self.table, self.rows);
+                    .with_table(self.table, self.rows)
+                    .with_chaos(Arc::clone(&injector));
                 for aux in self.aux_relations {
                     config = config.with_aux_relation(aux);
                 }
@@ -179,16 +246,21 @@ impl SchedulerBuilder {
                     )?,
                 ))
             }
-            Topology::Passthrough => Arc::new(PassthroughBackend::start(self.table, self.rows)?),
+            Topology::Passthrough => Arc::new(PassthroughBackend::start_chaos(
+                self.table,
+                self.rows,
+                Arc::clone(&injector),
+            )?),
         };
         let observe = Arc::new(SessionObs::new(&sink, &registry));
         Ok(Scheduler {
             backend,
             tiers: Arc::new(TierRegistry::default()),
-            shed: self.shed,
+            shed: Arc::new(ShedState::new(self.shed)),
             sink,
             registry,
             observe,
+            injector,
         })
     }
 }
@@ -199,13 +271,17 @@ pub struct Scheduler {
     backend: Arc<dyn Backend>,
     /// Per-SLA-tier admission/latency counters shared by every session.
     tiers: Arc<TierRegistry>,
-    shed: Option<ShedPolicy>,
+    /// Live shed policy shared with every connected session.
+    shed: Arc<ShedState>,
     /// Flight-recorder sink every layer of the deployment records into.
     sink: obs::TraceSink,
     /// Live metrics registry every layer of the deployment registers into.
     registry: Arc<obs::Registry>,
     /// Session-side counters/events, shared by every connected session.
     observe: Arc<SessionObs>,
+    /// Chaos fault injector (disabled unless built with
+    /// [`SchedulerBuilder::chaos`]).
+    injector: Arc<chaos::FaultInjector>,
 }
 
 impl Scheduler {
@@ -225,10 +301,11 @@ impl Scheduler {
         Scheduler {
             backend,
             tiers: Arc::new(TierRegistry::default()),
-            shed: None,
+            shed: Arc::new(ShedState::new(None)),
             sink,
             registry,
             observe,
+            injector: Arc::new(chaos::FaultInjector::disabled()),
         }
     }
 
@@ -243,9 +320,30 @@ impl Scheduler {
         Session::new(
             Arc::clone(&self.backend),
             Arc::clone(&self.tiers),
-            self.shed,
+            Arc::clone(&self.shed),
             Arc::clone(&self.observe),
+            Arc::clone(&self.injector),
         )
+    }
+
+    /// Swap the live overload-shedding policy for every connected (and
+    /// future) session; `None` disengages shedding.  Safe mid-run — this
+    /// is also the lever a chaos `ShedFlip` fault pulls.
+    pub fn set_shed_policy(&self, policy: Option<ShedPolicy>) {
+        self.shed.set(policy);
+    }
+
+    /// The currently engaged overload-shedding policy, if any.
+    pub fn shed_policy(&self) -> Option<ShedPolicy> {
+        self.shed.get()
+    }
+
+    /// The deployment's chaos fault injector — inspect
+    /// [`chaos::FaultInjector::fired`] after a run to see which scripted
+    /// faults actually landed.  Disabled (never fires) unless the
+    /// deployment was built with [`SchedulerBuilder::chaos`].
+    pub fn chaos_injector(&self) -> Arc<chaos::FaultInjector> {
+        Arc::clone(&self.injector)
     }
 
     /// The deployment's live metrics registry — snapshot it mid-run

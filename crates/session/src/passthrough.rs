@@ -14,7 +14,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use declsched::passthrough::{PassthroughOutcome, PassthroughScheduler};
 use declsched::{DispatchReport, Operation, Request, SchedError, SchedResult, SchedulerMetrics};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -32,12 +32,18 @@ pub(crate) struct PassthroughBackend {
 }
 
 impl PassthroughBackend {
-    pub(crate) fn start(table: String, rows: usize) -> SchedResult<Self> {
+    /// Start the passthrough worker with a chaos injector threaded into
+    /// the forward loop (`WorkerRound`/`WorkerCommit` on shard 0).
+    pub(crate) fn start_chaos(
+        table: String,
+        rows: usize,
+        injector: Arc<chaos::FaultInjector>,
+    ) -> SchedResult<Self> {
         let scheduler = PassthroughScheduler::new(table.clone(), rows)?;
         let (sender, receiver) = unbounded::<PassthroughMessage>();
         let worker = std::thread::Builder::new()
             .name("declsched-passthrough".to_string())
-            .spawn(move || forward_loop(scheduler, receiver, table, rows))
+            .spawn(move || forward_loop(scheduler, receiver, table, rows, injector))
             .expect("spawning the passthrough worker cannot fail");
         Ok(PassthroughBackend {
             sender,
@@ -93,6 +99,7 @@ fn forward_loop(
     receiver: Receiver<PassthroughMessage>,
     table: String,
     rows: usize,
+    injector: Arc<chaos::FaultInjector>,
 ) -> Report {
     let started = Instant::now();
     let mut queue: VecDeque<InFlight> = VecDeque::new();
@@ -100,6 +107,9 @@ fn forward_loop(
     let mut executed_log: Vec<Request> = Vec::new();
     let mut transactions = 0u64;
     let mut disconnected = false;
+    // Chaos kill switch: once the worker is "killed" every queued and
+    // later-arriving transaction fails; only shutdown is still honoured.
+    let mut killed = false;
 
     loop {
         match receiver.recv_timeout(Duration::from_millis(1)) {
@@ -107,7 +117,11 @@ fn forward_loop(
                 let mut handle = |msg: PassthroughMessage, disconnected: &mut bool| match msg {
                     PassthroughMessage::Txn { requests, reply } => {
                         transactions += 1;
-                        if requests.is_empty() {
+                        if killed {
+                            let _ = reply.send(Err(SchedError::Dispatch {
+                                message: "chaos: passthrough worker killed".to_string(),
+                            }));
+                        } else if requests.is_empty() {
                             let _ = reply.send(Ok(()));
                         } else {
                             queue.push_back(InFlight {
@@ -128,10 +142,28 @@ fn forward_loop(
             Err(RecvTimeoutError::Disconnected) => disconnected = true,
         }
 
+        match injector.fire(chaos::Hook::WorkerRound { shard: 0 }) {
+            Some(chaos::Fault::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(chaos::Fault::Kill) if !killed => {
+                killed = true;
+                for txn in queue.drain(..) {
+                    let _ = txn.reply.send(Err(SchedError::Dispatch {
+                        message: "chaos: passthrough worker killed".to_string(),
+                    }));
+                }
+            }
+            _ => {}
+        }
+
         // Forward in arrival order until a full pass makes no progress
         // (everything left is blocked on a native lock whose holder has not
-        // submitted its terminal yet).
+        // submitted its terminal yet).  A killed worker forwards nothing.
         loop {
+            if killed {
+                break;
+            }
             let mut progressed = false;
             let mut index = 0;
             while index < queue.len() {
@@ -147,6 +179,13 @@ fn forward_loop(
                         remove = true;
                         break;
                     };
+                    if request.op.is_terminal() {
+                        if let Some(chaos::Fault::Stall { millis }) =
+                            injector.fire(chaos::Hook::WorkerCommit { shard: 0 })
+                        {
+                            std::thread::sleep(Duration::from_millis(millis));
+                        }
+                    }
                     match scheduler.forward(&request) {
                         Ok(PassthroughOutcome::Executed) => {
                             progressed = true;

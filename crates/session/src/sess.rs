@@ -1,7 +1,7 @@
 //! The per-client session: pipelined transaction submission.
 
 use crate::backend::Backend;
-use crate::builder::ShedPolicy;
+use crate::builder::{ShedPolicy, ShedState};
 use crate::observe::SessionObs;
 use crate::ticket::{Ticket, TicketCell, TierTrack, TxnReceipt};
 use crate::tier::TierRegistry;
@@ -27,8 +27,12 @@ use std::time::Instant;
 pub struct Session {
     backend: Arc<dyn Backend>,
     tiers: Arc<TierRegistry>,
-    shed: Option<ShedPolicy>,
+    /// Live shed policy, shared with the owning scheduler handle and
+    /// every sibling session (so mid-run policy swaps apply everywhere).
+    shed: Arc<ShedState>,
     observe: Arc<SessionObs>,
+    /// Chaos fault injector; `SessionSubmit` fires once per submission.
+    injector: Arc<chaos::FaultInjector>,
     inflight: Vec<Arc<TicketCell>>,
     /// Transactions this session routed without a terminal yet.
     open: HashSet<u64>,
@@ -38,14 +42,16 @@ impl Session {
     pub(crate) fn new(
         backend: Arc<dyn Backend>,
         tiers: Arc<TierRegistry>,
-        shed: Option<ShedPolicy>,
+        shed: Arc<ShedState>,
         observe: Arc<SessionObs>,
+        injector: Arc<chaos::FaultInjector>,
     ) -> Self {
         Session {
             backend,
             tiers,
             shed,
             observe,
+            injector,
             inflight: Vec::new(),
             open: HashSet::new(),
         }
@@ -70,6 +76,18 @@ impl Session {
         let sla = requests.first().and_then(|r| r.sla);
         let has_terminal = requests.iter().any(|r| r.op.is_terminal());
         let opening = !requests.is_empty() && !self.open.contains(&ta);
+        // Chaos hook: a scripted `ShedFlip` swaps the live policy *before*
+        // this submission's shed check, so the flip applies from exactly
+        // the scripted submission onwards.
+        if let Some(chaos::Fault::ShedFlip {
+            enable,
+            queue_watermark,
+            protect_priority,
+        }) = self.injector.fire(chaos::Hook::SessionSubmit)
+        {
+            self.shed
+                .set(enable.then(|| ShedPolicy::new(queue_watermark, protect_priority)));
+        }
         // Flight recorder: capture the sampled requests' intra ids before
         // the request vector moves into the backend.
         let sampled_intras: Option<Vec<u32>> = (!requests.is_empty()
@@ -82,7 +100,7 @@ impl Session {
         // reach the scheduler, take no locks and execute nothing.
         // Continuations of already-admitted transactions always pass, so a
         // shed can never strand held locks.
-        if let (Some(policy), Some(sla)) = (self.shed, sla) {
+        if let (Some(policy), Some(sla)) = (self.shed.get(), sla) {
             if opening
                 && sla.priority < policy.protect_priority
                 && self.backend.queue_depth() >= policy.queue_watermark

@@ -3,6 +3,7 @@
 use declsched::protocol::SchedulingPolicy;
 use declsched::SchedulerConfig;
 use relalg::Table;
+use std::sync::Arc;
 
 /// Configuration for a [`crate::ShardRouter`].
 #[derive(Debug, Clone)]
@@ -29,6 +30,9 @@ pub struct ShardConfig {
     /// registered with every shard's scheduler and with the escalation
     /// lane's merged catalog, so aux-joining protocols work sharded too.
     pub aux_relations: Vec<Table>,
+    /// Chaos fault injector shared by the router, every shard worker and
+    /// the escalation lane.  Disabled (never fires) by default.
+    pub injector: Arc<chaos::FaultInjector>,
 }
 
 impl ShardConfig {
@@ -43,7 +47,16 @@ impl ShardConfig {
             rows: 10_000,
             max_escalation_attempts: 100_000,
             aux_relations: Vec::new(),
+            injector: Arc::new(chaos::FaultInjector::disabled()),
         }
+    }
+
+    /// Thread a chaos fault injector through the deployment: the router's
+    /// fast-path sends, every shard worker's loop and terminal executions,
+    /// and the escalation lane all fire their hooks against it.
+    pub fn with_chaos(mut self, injector: Arc<chaos::FaultInjector>) -> Self {
+        self.injector = injector;
+        self
     }
 
     /// Register an auxiliary relation protocol rules may join against.

@@ -89,6 +89,7 @@ pub(crate) fn run_coordinator(
     lane_active: Arc<AtomicU64>,
     sink: obs::TraceSink,
     registry: Arc<obs::Registry>,
+    injector: Arc<chaos::FaultInjector>,
 ) -> EscalationStats {
     let mut stats = EscalationStats::default();
     let mut recorder = sink.recorder();
@@ -104,6 +105,11 @@ pub(crate) fn run_coordinator(
         let before = stats;
         match message {
             EscalationMessage::Job(job) => {
+                // Chaos hook: a `Stall` here delays the whole serialized
+                // lane — every queued cross-shard job waits behind it.
+                if let Some(chaos::Fault::Stall { millis }) = injector.fire(chaos::Hook::LaneJob) {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
                 stats.escalations += 1;
                 let result = run_escalation(
                     &policy,

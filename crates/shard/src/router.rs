@@ -163,6 +163,9 @@ pub(crate) struct RouterCore {
     lane_active: Arc<AtomicU64>,
     /// Flight recorder for routing decisions (`Routed`/`Escalated` events).
     recorder: obs::SharedRecorder,
+    /// Chaos fault injector: the router fires `RouterSend` before every
+    /// fast-path mailbox send (disabled outside chaos runs).
+    injector: Arc<chaos::FaultInjector>,
 }
 
 impl RouterCore {
@@ -208,6 +211,24 @@ impl RouterCore {
             .map(|_| requests.iter().map(|r| r.intra).collect());
         let target = touched.first().copied().unwrap_or(0);
         let sent = if !cross_shard {
+            // Chaos hook: a scripted `SendFail` refuses the fast-path send
+            // as if the worker's mailbox were gone.  The ticket resolves
+            // with the error (the client sees a failed transaction, not a
+            // hung one) and the homes entry is dropped below — exactly the
+            // failed-send contract.
+            if matches!(
+                self.injector
+                    .fire(chaos::Hook::RouterSend { shard: target }),
+                Some(chaos::Fault::SendFail)
+            ) {
+                let _ = reply_tx.send(Err(SchedError::ChannelClosed {
+                    endpoint: "shard worker (chaos send failure)",
+                }));
+                if let Some(ta) = ta {
+                    homes.remove(&ta);
+                }
+                return Ok(ticket);
+            }
             // Fast path: the whole transaction lives on one shard (terminal-
             // only transactions with no recorded home default to shard 0).
             self.workers[target]
@@ -486,6 +507,7 @@ impl ShardRouter {
             let worker_homes = Arc::clone(&homes);
             let worker_sink = sink.clone();
             let worker_registry = Arc::clone(&registry);
+            let worker_injector = Arc::clone(&config.injector);
             let handle = std::thread::Builder::new()
                 .name(format!("declsched-shard-{shard}"))
                 .spawn(move || {
@@ -499,6 +521,7 @@ impl ShardRouter {
                         homes: worker_homes,
                         sink: worker_sink,
                         registry: worker_registry,
+                        injector: worker_injector,
                     })
                 })
                 .expect("spawning a shard worker cannot fail");
@@ -517,6 +540,7 @@ impl ShardRouter {
         let coordinator_lane_active = Arc::clone(&lane_active);
         let coordinator_sink = sink.clone();
         let coordinator_registry = Arc::clone(&registry);
+        let coordinator_injector = Arc::clone(&config.injector);
         let escalation_handle = std::thread::Builder::new()
             .name("declsched-escalation".to_string())
             .spawn(move || {
@@ -530,6 +554,7 @@ impl ShardRouter {
                     coordinator_lane_active,
                     coordinator_sink,
                     coordinator_registry,
+                    coordinator_injector,
                 )
             })
             .expect("spawning the escalation coordinator cannot fail");
@@ -555,6 +580,7 @@ impl ShardRouter {
                 depths,
                 lane_active,
                 recorder: sink.shared_recorder(),
+                injector: Arc::clone(&config.injector),
             }),
             worker_handles,
             escalation_handle,

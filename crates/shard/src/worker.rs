@@ -106,6 +106,9 @@ struct WorkerState {
     executed_log: Vec<Request>,
     peak_pending: usize,
     disconnected: bool,
+    /// Chaos `Kill` landed: everything in flight was failed, the
+    /// un-admitted state purged, and every later message is refused.
+    killed: bool,
     /// Live queue-depth gauge sampled by the control plane.
     depth: Arc<AtomicU64>,
     /// The router's homes map, for reclaiming entries of transactions this
@@ -124,6 +127,8 @@ struct WorkerState {
     /// Live counter of requests this shard executed through the
     /// escalation lane.
     escalated_ctr: obs::Counter,
+    /// Chaos fault injector (disabled outside chaos runs).
+    injector: Arc<chaos::FaultInjector>,
 }
 
 impl WorkerState {
@@ -212,18 +217,20 @@ impl WorkerState {
         }
     }
 
-    /// Fail every transaction still waiting (shutdown fixpoint or rule
-    /// failure).  During the shutdown drain the failed transactions are
-    /// dead — no later submission of theirs can route anywhere — so their
-    /// router homes entries are reclaimed here, which is what keeps the
-    /// homes map from leaking entries for transactions that error out
-    /// mid-flight.  On a mid-run rule failure the entries are *kept*: the
-    /// transaction may still hold locks from earlier submissions on other
-    /// shards, and the entry is what routes its follow-up abort there
-    /// (reclaim then happens when the client terminates or abandons it).
-    fn fail_all_waiting(&mut self, err: impl Fn(RequestKey) -> SchedError) {
+    /// Fail every transaction still waiting (shutdown fixpoint, rule
+    /// failure or a chaos kill).  With `reclaim` the failed transactions
+    /// are treated as dead — no later submission of theirs can route
+    /// anywhere — so their router homes entries are reclaimed here, which
+    /// is what keeps the homes map from leaking entries for transactions
+    /// that error out mid-flight (the shutdown drain and a worker kill
+    /// both pass `true`).  On a mid-run rule failure the entries are
+    /// *kept* (`reclaim = false`): the transaction may still hold locks
+    /// from earlier submissions on other shards, and the entry is what
+    /// routes its follow-up abort there (reclaim then happens when the
+    /// client terminates or abandons it).
+    fn fail_all_waiting(&mut self, reclaim: bool, err: impl Fn(RequestKey) -> SchedError) {
         let waiting: Vec<(RequestKey, usize)> = self.waiting.drain().collect();
-        if self.disconnected {
+        if reclaim {
             let mut dead: Vec<u64> = waiting.iter().map(|(key, _)| key.ta).collect();
             dead.sort_unstable();
             dead.dedup();
@@ -293,10 +300,64 @@ impl WorkerState {
         let _ = reply.send(value);
     }
 
+    /// Chaos `Kill`: fail everything in flight (reclaiming the dead
+    /// transactions' homes entries so nothing leaks), purge the
+    /// un-admitted scheduler state, and flip into refuse-everything mode.
+    /// History — and therefore the locks of already-admitted transactions
+    /// — is kept for post-mortem inspection; the worker never schedules
+    /// again, so they can no longer block anything here.
+    fn kill(&mut self) {
+        self.killed = true;
+        self.recorder
+            .freeze_anomaly(&format!("chaos: shard {} worker killed", self.shard));
+        let shard = self.shard;
+        self.fail_all_waiting(true, move |_| SchedError::Dispatch {
+            message: format!("chaos: shard {shard} worker killed"),
+        });
+        let now_ms = self.now_ms();
+        self.scheduler.purge_unscheduled(now_ms);
+    }
+
+    /// A killed worker answers every message with an error (or a refusal)
+    /// instead of hanging its sender.  `Freeze` still acks — with the
+    /// post-purge snapshot, so the lane's merged rule sees the locks the
+    /// dead worker's admitted transactions keep holding — because an
+    /// unacknowledged freeze would wedge the whole escalation lane.
+    /// `Export` reports busy (a dead shard's rows cannot migrate away)
+    /// and `Install` refuses (nothing should migrate in).
+    fn refuse(&mut self, message: ShardMessage) {
+        let dead = |what: &str| SchedError::Dispatch {
+            message: format!("chaos: shard worker killed ({what})"),
+        };
+        match message {
+            ShardMessage::Transaction { reply, .. } => {
+                let _ = reply.send(Err(dead("transaction refused")));
+            }
+            ShardMessage::Execute { done, .. } => {
+                let _ = done.send(Err(dead("escalated execute refused")));
+            }
+            ShardMessage::Freeze { ack } => {
+                let _ = ack.send(self.freeze_snapshot());
+            }
+            ShardMessage::Export { reply, .. } => {
+                let _ = reply.send(None);
+            }
+            ShardMessage::Install { done, .. } => {
+                let _ = done.send(Err(dead("install refused")));
+            }
+            ShardMessage::Release => {}
+            ShardMessage::Shutdown => self.disconnected = true,
+        }
+    }
+
     /// Handle one message.  `Freeze` blocks inside this call until the
     /// matching `Release` arrives, processing only escalation traffic (and
     /// buffering client transactions) in between.
     fn handle(&mut self, message: ShardMessage, receiver: &Receiver<ShardMessage>) {
+        if self.killed {
+            self.refuse(message);
+            return;
+        }
         match message {
             ShardMessage::Transaction { requests, reply } => {
                 self.submit_transaction(requests, reply)
@@ -368,6 +429,7 @@ pub(crate) struct WorkerSetup {
     pub homes: Arc<TxnHomes>,
     pub sink: obs::TraceSink,
     pub registry: Arc<obs::Registry>,
+    pub injector: Arc<chaos::FaultInjector>,
 }
 
 /// The shard worker thread body.
@@ -382,6 +444,7 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
         homes,
         sink,
         registry,
+        injector,
     } = setup;
     let rounds_ctr = registry.counter(&format!("shard.{shard}.rounds"));
     let executed_ctr = registry.counter(&format!("shard.{shard}.requests_executed"));
@@ -397,12 +460,14 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
         executed_log: Vec::new(),
         peak_pending: 0,
         disconnected: false,
+        killed: false,
         depth,
         homes,
         recorder: sink.recorder(),
         submit_round: HashMap::default(),
         round_no: 0,
         escalated_ctr: registry.counter(&format!("shard.{shard}.escalated_requests")),
+        injector,
     };
 
     // Whether the previous round executed anything.  A productive round
@@ -431,13 +496,24 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
         }
         made_progress = false;
 
+        // Chaos hook: once per loop iteration, after the mailbox drain.
+        match state.injector.fire(chaos::Hook::WorkerRound { shard }) {
+            Some(chaos::Fault::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(chaos::Fault::Kill) if !state.killed => state.kill(),
+            _ => {}
+        }
+
         let queue_depth = state.scheduler.queued() + state.scheduler.pending();
         state.peak_pending = state.peak_pending.max(queue_depth);
         state.depth.store(queue_depth as u64, Ordering::Relaxed);
 
         let now_ms = state.now_ms();
         // When shutting down, keep scheduling until everything drained.
-        let batch = if state.disconnected
+        let batch = if state.killed {
+            None
+        } else if state.disconnected
             && (state.scheduler.queued() > 0 || state.scheduler.pending() > 0)
         {
             Some(state.scheduler.run_round(now_ms))
@@ -457,8 +533,9 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
                         // the rule admits nothing more (e.g. a client went
                         // away without committing).  Fail the stragglers
                         // instead of spinning forever.
-                        state
-                            .fail_all_waiting(|key| SchedError::TransactionFinished { ta: key.ta });
+                        state.fail_all_waiting(true, |key| SchedError::TransactionFinished {
+                            ta: key.ta,
+                        });
                         break;
                     }
                     made_progress = !batch.is_empty();
@@ -504,6 +581,15 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
                                 obs::EventKind::Dispatched,
                             );
                         }
+                        // Chaos hook: a `Stall` right before a terminal
+                        // executes extends every lock the transaction holds.
+                        if request.op.is_terminal() {
+                            if let Some(chaos::Fault::Stall { millis }) =
+                                state.injector.fire(chaos::Hook::WorkerCommit { shard })
+                            {
+                                std::thread::sleep(Duration::from_millis(millis));
+                            }
+                        }
                         let result = state.dispatcher.execute_request(request);
                         executed_ctr.inc();
                         if sampled {
@@ -530,7 +616,8 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
                         .recorder
                         .freeze_anomaly(&format!("shard {}: rule failure: {e}", state.shard));
                     let err = e.clone();
-                    state.fail_all_waiting(|_| err.clone());
+                    let reclaim = state.disconnected;
+                    state.fail_all_waiting(reclaim, |_| err.clone());
                     if state.disconnected {
                         // The drain loop cannot make progress if the rule
                         // keeps erroring (run_round never empties the

@@ -16,17 +16,21 @@
 //! * optional per-transaction service classes ([`ClientClass`]) for the
 //!   SLA/priority protocols.
 //!
-//! The seven registered scenarios:
+//! The eleven registered scenarios:
 //!
-//! | name               | shape                                              | arrivals |
-//! |--------------------|----------------------------------------------------|----------|
-//! | `zipf-hotspot`     | short 2r+2w transactions, Zipfian s = 1.1 keys     | closed   |
-//! | `read-mostly`      | YCSB-B-style 95 % reads, Zipfian s = 0.8           | closed   |
-//! | `order-pipeline`   | TPC-C-lite multi-step orders over key regions      | closed   |
-//! | `bursty`           | single-update transactions, on/off burst arrivals  | open     |
-//! | `sla-tiers`        | premium/standard/free classes, Poisson arrivals    | open     |
-//! | `extreme-skew`     | 95 % of writes on 16 keys co-located by the router | closed   |
-//! | `tiered-overload`  | mostly-sheddable tiers for the overload experiment | open     |
+//! | name                 | shape                                              | arrivals |
+//! |----------------------|----------------------------------------------------|----------|
+//! | `zipf-hotspot`       | short 2r+2w transactions, Zipfian s = 1.1 keys     | closed   |
+//! | `read-mostly`        | YCSB-B-style 95 % reads, Zipfian s = 0.8           | closed   |
+//! | `order-pipeline`     | TPC-C-lite multi-step orders over key regions      | closed   |
+//! | `bursty`             | single-update transactions, on/off burst arrivals  | open     |
+//! | `sla-tiers`          | premium/standard/free classes, Poisson arrivals    | open     |
+//! | `extreme-skew`       | 95 % of writes on 16 keys co-located by the router | closed   |
+//! | `tiered-overload`    | mostly-sheddable tiers for the overload experiment | open     |
+//! | `drifting-hotspot`   | hot key-set jumps to a disjoint region per phase   | closed   |
+//! | `deadlock-storm`     | single-key upgrades on 4 keys — native deadlocks   | closed   |
+//! | `oltp-analytical-mix`| OLTP point updates + wide sorted analytical scans  | closed   |
+//! | `tenant-quota`       | per-tenant tiers under Poisson — quota pressure    | open     |
 //!
 //! Writes always store the row key as the value, so the *final database
 //! state* of a committed scenario run is independent of admission order —
@@ -677,6 +681,258 @@ impl Scenario for TieredOverload {
 }
 
 // ---------------------------------------------------------------------------
+// 8. drifting-hotspot
+// ---------------------------------------------------------------------------
+
+/// Number of phases the hot set moves through over a [`DriftingHotspot`] run.
+pub const DRIFT_PHASES: usize = 4;
+
+/// Hot keys per phase of the drifting hotspot.
+pub const DRIFT_HOT_KEYS: usize = 8;
+
+/// Fraction of transactions that target the current phase's hot set.
+pub const DRIFT_HOT_FRACTION: f64 = 0.8;
+
+/// A hotspot that *moves*: the stream is split into [`DRIFT_PHASES`] equal
+/// phases and each phase concentrates [`DRIFT_HOT_FRACTION`] of its
+/// single-key read-modify-write traffic on a phase-private, pairwise
+/// disjoint [`DRIFT_HOT_KEYS`]-key hot set.  A placement rebalancer that
+/// chased phase 1's hot keys is wrong by phase 2 — the adversarial probe
+/// for migration-cooldown bounds (a naive rebalancer churns placements
+/// every phase boundary).
+pub struct DriftingHotspot;
+
+impl DriftingHotspot {
+    /// Which phase the `index`-th of `transactions` transactions falls in.
+    pub fn phase_of(index: usize, transactions: usize) -> usize {
+        (index * DRIFT_PHASES / transactions.max(1)).min(DRIFT_PHASES - 1)
+    }
+
+    /// The hot set of `phase` within `table_rows`: [`DRIFT_HOT_KEYS`] keys
+    /// strided across the table, pairwise disjoint between phases.
+    pub fn hot_keys(phase: usize, table_rows: usize) -> Vec<i64> {
+        let stride = (table_rows / (DRIFT_PHASES * DRIFT_HOT_KEYS)).max(1);
+        (0..DRIFT_HOT_KEYS)
+            .map(|i| (((phase * DRIFT_HOT_KEYS + i) * stride) % table_rows) as i64)
+            .collect()
+    }
+}
+
+impl Scenario for DriftingHotspot {
+    fn name(&self) -> &'static str {
+        "drifting-hotspot"
+    }
+
+    fn description(&self) -> &'static str {
+        "hot key-set moves to a disjoint region each quarter of the run — rebalancer churn probe"
+    }
+
+    fn arrival(&self) -> ArrivalSpec {
+        ArrivalSpec::Closed { depth: 32 }
+    }
+
+    fn generate(&self, params: &ScenarioParams) -> Vec<ScenarioTxn> {
+        assert!(
+            params.table_rows >= DRIFT_PHASES * DRIFT_HOT_KEYS,
+            "drifting-hotspot needs disjoint per-phase hot sets"
+        );
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        (0..params.transactions)
+            .map(|index| {
+                let txn = TxnId(index as u64 + 1);
+                let phase = Self::phase_of(index, params.transactions);
+                let hot = Self::hot_keys(phase, params.table_rows);
+                let key = if rng.gen_bool(DRIFT_HOT_FRACTION) {
+                    hot[rng.gen_range(0..hot.len())]
+                } else {
+                    rng.gen_range(0..params.table_rows as i64)
+                };
+                ScenarioTxn::plain(vec![read(txn, 0, key), write(txn, 1, key), commit(txn, 2)])
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 9. deadlock-storm
+// ---------------------------------------------------------------------------
+
+/// Size of the deadlock storm's hot set (keys `0..4`).
+pub const DEADLOCK_STORM_HOT_KEYS: usize = 4;
+
+/// Fraction of transactions landing on the storm's hot set.
+pub const DEADLOCK_STORM_HOT_FRACTION: f64 = 0.9;
+
+/// Concurrent single-key read→write upgrades on a tiny hot set.  On the
+/// passthrough backend two transactions that both hold the shared lock on
+/// the same key and both request the upgrade form a genuine native
+/// upgrade deadlock — the server's waits-for detector must abort victims.
+/// The scheduled backends qualify each transaction's read *and* write
+/// together under SS2PL batch-conflict rules, so the same stream commits
+/// without a single deadlock: the scenario measures exactly the class of
+/// conflict declarative scheduling removes.
+pub struct DeadlockStorm;
+
+impl Scenario for DeadlockStorm {
+    fn name(&self) -> &'static str {
+        "deadlock-storm"
+    }
+
+    fn description(&self) -> &'static str {
+        "single-key lock upgrades on 4 hot keys — native upgrade deadlocks on passthrough"
+    }
+
+    fn arrival(&self) -> ArrivalSpec {
+        ArrivalSpec::Closed { depth: 16 }
+    }
+
+    fn generate(&self, params: &ScenarioParams) -> Vec<ScenarioTxn> {
+        assert!(
+            params.table_rows >= DEADLOCK_STORM_HOT_KEYS,
+            "deadlock-storm needs its hot keys inside the table"
+        );
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        (0..params.transactions)
+            .map(|index| {
+                let txn = TxnId(index as u64 + 1);
+                let key = if rng.gen_bool(DEADLOCK_STORM_HOT_FRACTION) {
+                    rng.gen_range(0..DEADLOCK_STORM_HOT_KEYS as i64)
+                } else {
+                    rng.gen_range(0..params.table_rows as i64)
+                };
+                ScenarioTxn::plain(vec![read(txn, 0, key), write(txn, 1, key), commit(txn, 2)])
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 10. oltp-analytical-mix
+// ---------------------------------------------------------------------------
+
+/// Every n-th transaction of the mix is analytical.
+pub const ANALYTICAL_EVERY: usize = 8;
+
+/// Distinct rows one analytical transaction scans.
+pub const ANALYTICAL_READS: usize = 12;
+
+/// OLTP point read-modify-writes with a long-running analytical scan mixed
+/// in every [`ANALYTICAL_EVERY`]-th transaction: [`ANALYTICAL_READS`]
+/// distinct reads in ascending key order, holding shared locks across a
+/// wide footprint until commit.  The scan's held read locks collide with
+/// the point writers' upgrades — the classic OLTP-vs-analytics
+/// interference shape.
+pub struct OltpAnalyticalMix;
+
+impl Scenario for OltpAnalyticalMix {
+    fn name(&self) -> &'static str {
+        "oltp-analytical-mix"
+    }
+
+    fn description(&self) -> &'static str {
+        "point updates with a wide sorted analytical scan every 8th transaction"
+    }
+
+    fn arrival(&self) -> ArrivalSpec {
+        ArrivalSpec::Closed { depth: 16 }
+    }
+
+    fn generate(&self, params: &ScenarioParams) -> Vec<ScenarioTxn> {
+        assert!(
+            params.table_rows >= ANALYTICAL_READS * 2,
+            "oltp-analytical-mix needs room for its scan footprint"
+        );
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let dist = KeyDistribution::HotSpot {
+            hot_fraction: 0.6,
+            hot_rows: (params.table_rows / 16).max(1),
+        };
+        (0..params.transactions)
+            .map(|index| {
+                let txn = TxnId(index as u64 + 1);
+                if index % ANALYTICAL_EVERY == 0 {
+                    // Analytical: a wide scan over distinct rows, emitted in
+                    // ascending key order so concurrent scans acquire their
+                    // shared locks in one global order.
+                    let mut keys: Vec<i64> = Vec::with_capacity(ANALYTICAL_READS);
+                    while keys.len() < ANALYTICAL_READS {
+                        let key = rng.gen_range(0..params.table_rows as i64);
+                        if !keys.contains(&key) {
+                            keys.push(key);
+                        }
+                    }
+                    keys.sort_unstable();
+                    let mut statements: Vec<Statement> = keys
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &key)| read(txn, i as u32, key))
+                        .collect();
+                    statements.push(commit(txn, ANALYTICAL_READS as u32));
+                    ScenarioTxn::plain(statements)
+                } else {
+                    let key = dist.sample(&mut rng, params.table_rows);
+                    ScenarioTxn::plain(vec![read(txn, 0, key), write(txn, 1, key), commit(txn, 2)])
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 11. tenant-quota
+// ---------------------------------------------------------------------------
+
+/// Multi-tenant quota pressure: a 1/2/7 premium/standard/free tenant cycle
+/// under open-loop Poisson arrivals, all issuing hotspot-skewed single-key
+/// read-modify-writes.  Layered under the session layer's shed-policy
+/// watermark the free bulk is the first to be refused while the thin
+/// premium slice must never be — the chaos suite flips the policy mid-run
+/// against exactly this stream.
+pub struct TenantQuota;
+
+impl Scenario for TenantQuota {
+    fn name(&self) -> &'static str {
+        "tenant-quota"
+    }
+
+    fn description(&self) -> &'static str {
+        "1/2/7 premium/standard/free tenants under Poisson arrivals — quota-shedding pressure"
+    }
+
+    fn arrival(&self) -> ArrivalSpec {
+        ArrivalSpec::Poisson { rate_tps: 5_000.0 }
+    }
+
+    fn sla_aware(&self) -> bool {
+        true
+    }
+
+    fn generate(&self, params: &ScenarioParams) -> Vec<ScenarioTxn> {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let dist = KeyDistribution::HotSpot {
+            hot_fraction: 0.5,
+            hot_rows: (params.table_rows / 32).max(1),
+        };
+        (0..params.transactions)
+            .map(|index| {
+                let txn = TxnId(index as u64 + 1);
+                // Deterministic 1/2/7 tenant cycle out of every 10.
+                let class = match index % 10 {
+                    0 => ClientClass::Premium,
+                    1..=2 => ClientClass::Standard,
+                    _ => ClientClass::Free,
+                };
+                let key = dist.sample(&mut rng, params.table_rows);
+                ScenarioTxn {
+                    statements: vec![read(txn, 0, key), write(txn, 1, key), commit(txn, 2)],
+                    class: Some(class),
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -691,6 +947,10 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
         Box::new(SlaTiers),
         Box::new(ExtremeSkew),
         Box::new(TieredOverload),
+        Box::new(DriftingHotspot),
+        Box::new(DeadlockStorm),
+        Box::new(OltpAnalyticalMix),
+        Box::new(TenantQuota),
     ]
 }
 
@@ -924,6 +1184,147 @@ mod tests {
         assert!(
             sheddable as f64 / stream.len() as f64 > 0.7,
             "the bulk of the load must be sheddable"
+        );
+    }
+
+    #[test]
+    fn drifting_hotspot_moves_between_disjoint_phase_hot_sets() {
+        let params = ScenarioParams {
+            transactions: 400,
+            table_rows: 2_048,
+            seed: 13,
+        };
+        // Phase hot sets are pairwise disjoint.
+        let sets: Vec<HashSet<i64>> = (0..DRIFT_PHASES)
+            .map(|p| {
+                DriftingHotspot::hot_keys(p, params.table_rows)
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        for a in 0..sets.len() {
+            assert_eq!(sets[a].len(), DRIFT_HOT_KEYS);
+            for b in (a + 1)..sets.len() {
+                assert!(
+                    sets[a].is_disjoint(&sets[b]),
+                    "phase {a} and {b} hot sets overlap"
+                );
+            }
+        }
+        // Each phase's traffic concentrates on its own hot set, not the
+        // previous phase's.
+        let stream = DriftingHotspot.generate(&params);
+        for (phase, hot_set) in sets.iter().enumerate().take(DRIFT_PHASES) {
+            let txns: Vec<&ScenarioTxn> = stream
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| DriftingHotspot::phase_of(*i, params.transactions) == phase)
+                .map(|(_, t)| t)
+                .collect();
+            let on_own = txns
+                .iter()
+                .filter(|t| {
+                    t.statements[0]
+                        .object()
+                        .is_some_and(|o| hot_set.contains(&o.0))
+                })
+                .count();
+            let fraction = on_own as f64 / txns.len() as f64;
+            assert!(
+                fraction > 0.6,
+                "phase {phase} hot fraction {fraction:.2} too cold"
+            );
+        }
+    }
+
+    #[test]
+    fn deadlock_storm_is_single_key_upgrades_on_a_tiny_hot_set() {
+        let params = ScenarioParams {
+            transactions: 300,
+            table_rows: 1_024,
+            seed: 17,
+        };
+        let stream = DeadlockStorm.generate(&params);
+        let mut hot_hits = 0usize;
+        for txn in &stream {
+            // Shape: read k, write k, commit — the upgrade pattern.
+            assert_eq!(txn.statements.len(), 3);
+            let read_key = txn.statements[0].object().expect("read has an object");
+            let write_key = txn.statements[1].object().expect("write has an object");
+            assert!(matches!(
+                txn.statements[0].kind,
+                StatementKind::Select { .. }
+            ));
+            assert!(matches!(
+                txn.statements[1].kind,
+                StatementKind::Update { .. }
+            ));
+            assert_eq!(read_key, write_key, "the write must upgrade the read");
+            if (read_key.0 as usize) < DEADLOCK_STORM_HOT_KEYS {
+                hot_hits += 1;
+            }
+        }
+        assert!(
+            hot_hits as f64 / stream.len() as f64 > 0.8,
+            "storm must concentrate on the hot set: {hot_hits}/{}",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn oltp_analytical_mix_interleaves_sorted_scans() {
+        let params = ScenarioParams {
+            transactions: 160,
+            table_rows: 1_024,
+            seed: 19,
+        };
+        let stream = OltpAnalyticalMix.generate(&params);
+        for (index, txn) in stream.iter().enumerate() {
+            if index % ANALYTICAL_EVERY == 0 {
+                assert_eq!(txn.statements.len(), ANALYTICAL_READS + 1);
+                let keys: Vec<i64> = txn
+                    .statements
+                    .iter()
+                    .filter_map(|s| s.object())
+                    .map(|o| o.0)
+                    .collect();
+                assert!(
+                    txn.statements[..ANALYTICAL_READS]
+                        .iter()
+                        .all(|s| matches!(s.kind, StatementKind::Select { .. })),
+                    "analytical transactions only read"
+                );
+                assert!(
+                    keys.windows(2).all(|w| w[0] < w[1]),
+                    "scan keys must be strictly ascending: {keys:?}"
+                );
+            } else {
+                assert_eq!(txn.statements.len(), 3, "point txns are rmw+commit");
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_quota_cycles_tenants_with_a_thin_premium_slice() {
+        let scenario = TenantQuota;
+        assert!(scenario.sla_aware());
+        assert!(scenario.arrival().is_open_loop());
+        let stream = scenario.generate(&ScenarioParams::small());
+        let classes: HashSet<ClientClass> = stream.iter().filter_map(|t| t.class).collect();
+        assert_eq!(classes.len(), 3, "all three tenant tiers present");
+        let premium = stream
+            .iter()
+            .filter(|t| t.class == Some(ClientClass::Premium))
+            .count();
+        let free = stream
+            .iter()
+            .filter(|t| t.class == Some(ClientClass::Free))
+            .count();
+        let expected_premium = (0..stream.len()).filter(|i| i % 10 == 0).count();
+        assert_eq!(premium, expected_premium, "1-in-10 premium cycle");
+        assert!(
+            free as f64 / stream.len() as f64 > 0.6,
+            "the free bulk carries the quota pressure"
         );
     }
 

@@ -6,8 +6,10 @@
 //! [`test_runner::TestRng`], `ProptestConfig::with_cases` and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
-//! There is no shrinking: a failing case panics with the case number so it
-//! can be replayed (generation is fully deterministic).
+//! There is no shrinking: a failing case panics with the case number and
+//! the active RNG seed so it can be replayed.  Generation is fully
+//! deterministic; set `CHAOS_SEED=<n>` to replay a printed failure (or
+//! explore a different schedule) — the same knob the chaos engine uses.
 
 /// Value-generation strategies.
 pub mod strategy {
@@ -140,6 +142,20 @@ pub mod test_runner {
         }
     }
 
+    /// The documented default seed: every property run is deterministic
+    /// unless `CHAOS_SEED` overrides it.
+    pub const DEFAULT_SEED: u64 = 0x5eed_dec1_a4a7_1e57;
+
+    /// The seed driving this process's property tests: `CHAOS_SEED` from
+    /// the environment when set (shared with the chaos engine's repro
+    /// knob), the documented default otherwise.
+    pub fn seed_from_env() -> u64 {
+        std::env::var("CHAOS_SEED")
+            .ok()
+            .and_then(|raw| raw.trim().parse().ok())
+            .unwrap_or(DEFAULT_SEED)
+    }
+
     /// Deterministic splitmix64 generator used to drive strategies.
     #[derive(Debug, Clone)]
     pub struct TestRng {
@@ -149,9 +165,12 @@ pub mod test_runner {
     impl TestRng {
         /// A generator with a fixed, documented seed so failures replay.
         pub fn deterministic() -> Self {
-            TestRng {
-                state: 0x5eed_dec1_a4a7_1e57,
-            }
+            TestRng::seeded(DEFAULT_SEED)
+        }
+
+        /// A generator seeded explicitly (replaying a `CHAOS_SEED` repro).
+        pub fn seeded(seed: u64) -> Self {
+            TestRng { state: seed }
         }
 
         /// Next raw 64-bit word.
@@ -190,13 +209,15 @@ macro_rules! proptest {
             fn $name() {
                 let config = $cfg;
                 let strategy = $strat;
-                let mut rng = $crate::test_runner::TestRng::deterministic();
+                let seed = $crate::test_runner::seed_from_env();
+                let mut rng = $crate::test_runner::TestRng::seeded(seed);
                 for case in 0..config.cases {
                     let $pat = $crate::strategy::Strategy::generate(&strategy, &mut rng);
                     let run = || -> () { $body };
                     if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
                         eprintln!(
-                            "property {} failed at deterministic case {case}/{}",
+                            "property {} failed at case {case}/{}; \
+                             reproduce with: CHAOS_SEED={seed}",
                             stringify!($name),
                             config.cases
                         );
