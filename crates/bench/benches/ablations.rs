@@ -44,6 +44,7 @@ fn scheduler_with_pending(
             enforce_intra_order: false,
             // The ablations time the declarative back-ends themselves.
             incremental: false,
+            ..SchedulerConfig::default()
         },
     );
     let mut rng = SplitMix(7);

@@ -1,7 +1,11 @@
 //! The chaos matrix: the four adversarial scenarios (drifting hotspot,
 //! deadlock storm, OLTP/analytical mix, tenant quota) against all three
 //! deployments, each fault-free and under a seeded fault plan, with the
-//! cross-backend invariant oracle checking every cell.
+//! cross-backend invariant oracle checking every cell.  Sharded faulted
+//! cells include a mid-handshake participant kill at a two-phase
+//! `lane-prepare/{shard}` hook: the dead shard votes a typed error, the
+//! initiating lane backs out of the shards it already holds, and the
+//! oracle still requires zero leaked homes entries.
 //!
 //! Emits a human-readable CSV on stdout and writes the machine-readable
 //! `BENCH_chaos_matrix.json` into the current directory.  Exits non-zero

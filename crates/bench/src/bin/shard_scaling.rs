@@ -1,15 +1,25 @@
 //! The shard-scaling experiment: single-shard vs 2/4/8-shard throughput on a
 //! uniform single-object workload, swept over the workload's
-//! `cross_shard_fraction` knob to locate the crossover where serialized
-//! escalation traffic erases the parallelism win.
+//! `cross_shard_fraction` knob to locate the crossover where escalation
+//! traffic erases the parallelism win.
 //!
 //! Emits a human-readable CSV on stdout and writes the machine-readable
 //! `BENCH_shard_scaling.json` into the current directory so the perf
 //! trajectory is tracked across PRs.
 //!
-//! Usage: `cargo run --release -p bench --bin shard_scaling [--paper]`
+//! Under `--smoke` the run doubles as a **CI perf gate**: sharding must
+//! still pay.  The process exits non-zero when the 8-shard fleet is slower
+//! than 2x the single scheduler at 0% cross-shard traffic, or slower than
+//! 0.8x at 20% — deliberately loose bounds (the full-scale acceptance bar
+//! is 4x / 1x) so CI noise on tiny smoke workloads doesn't flake the gate,
+//! while a regression to "sharding is a net loss" still fails the push.
+//!
+//! Usage: `cargo run --release -p bench --bin shard_scaling [--paper|--smoke]`
 
 use bench::{shard_scaling_json, shard_scaling_sweep, shard_scaling_workload, Scale};
+
+/// Smoke-gate floors: (cross_shard_fraction, minimum 8-shard speedup).
+const SMOKE_GATE: [(f64, f64); 2] = [(0.0, 2.0), (0.20, 0.8)];
 
 fn main() {
     let scale = Scale::from_args();
@@ -28,13 +38,13 @@ fn main() {
     }
 
     // Headline numbers: the acceptance bar and the crossover.
-    if let Some(four) = rows
+    if let Some(eight) = rows
         .iter()
-        .find(|r| r.shards == 4 && r.cross_shard_fraction == 0.0)
+        .find(|r| r.shards == 8 && r.cross_shard_fraction == 0.0)
     {
         println!(
-            "# 4-shard speedup over 1 shard at cross_shard_fraction=0: {:.2}x",
-            four.speedup_vs_one_shard
+            "# 8-shard speedup over 1 shard at cross_shard_fraction=0: {:.2}x",
+            eight.speedup_vs_one_shard
         );
     }
     if let Some(erased) = rows
@@ -52,5 +62,34 @@ fn main() {
     match std::fs::write(path, &json) {
         Ok(()) => println!("# wrote {path}"),
         Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+
+    if scale_label == "smoke" {
+        let mut gate_failed = false;
+        for (fraction, floor) in SMOKE_GATE {
+            let Some(row) = rows
+                .iter()
+                .find(|r| r.shards == 8 && (r.cross_shard_fraction - fraction).abs() < 1e-9)
+            else {
+                eprintln!("# GATE: missing 8-shard row at cross_shard_fraction={fraction:.2}");
+                gate_failed = true;
+                continue;
+            };
+            if row.speedup_vs_one_shard < floor {
+                eprintln!(
+                    "# GATE FAILED: 8 shards at cross_shard_fraction={:.2} reached {:.2}x vs 1 shard (floor {:.1}x)",
+                    fraction, row.speedup_vs_one_shard, floor
+                );
+                gate_failed = true;
+            } else {
+                println!(
+                    "# gate ok: 8 shards at cross_shard_fraction={:.2} → {:.2}x (floor {:.1}x)",
+                    fraction, row.speedup_vs_one_shard, floor
+                );
+            }
+        }
+        if gate_failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -175,6 +175,7 @@ pub fn rule_scaling_cell(
             prune_history: false,
             enforce_intra_order: true,
             incremental,
+            ..SchedulerConfig::default()
         },
     );
     scheduler

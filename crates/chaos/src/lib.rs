@@ -59,9 +59,25 @@ pub enum Hook {
         /// Shard the transaction was routed to.
         shard: usize,
     },
-    /// Top of an escalation-lane job, before the freeze fan-out.
-    /// `Stall` delays the whole serialized lane.
+    /// Top of an escalation-lane job, when the coordinator dequeues it
+    /// (before any runner starts).  `Stall` delays the whole lane.
     LaneJob,
+    /// Immediately before the lane sends a two-phase `Prepare` to a
+    /// participant shard.  `Stall` delays the handshake; `Kill` kills the
+    /// participant worker mid-handshake, so the initiator must release
+    /// the shards it already holds and fail the escalation with a typed
+    /// error.
+    LanePrepare {
+        /// Participant shard about to receive the prepare.
+        shard: usize,
+    },
+    /// Immediately before the lane sends the commit-phase execution batch
+    /// to a participant shard it holds.  `Stall` extends the hold;
+    /// `Kill` kills the participant before its slice executes.
+    LaneCommit {
+        /// Participant shard about to receive the commit batch.
+        shard: usize,
+    },
     /// Top of the session layer's submission path — fires once per
     /// submission across every session of the deployment.  `ShedFlip`
     /// swaps the live shed policy mid-run.
@@ -77,6 +93,8 @@ impl Hook {
             Hook::WorkerCommit { shard } => format!("worker-commit/{shard}"),
             Hook::RouterSend { shard } => format!("router-send/{shard}"),
             Hook::LaneJob => "lane-job".to_string(),
+            Hook::LanePrepare { shard } => format!("lane-prepare/{shard}"),
+            Hook::LaneCommit { shard } => format!("lane-commit/{shard}"),
             Hook::SessionSubmit => "session-submit".to_string(),
         }
     }
@@ -206,9 +224,13 @@ impl FaultPlan {
     ///
     /// The plan mixes worker stalls, a lock-hold extension, a mid-run
     /// shed-policy flip (engage, then release), and — on sharded
-    /// deployments — an escalation-lane delay and one fast-path send
-    /// failure.  It never kills a worker: `Kill` plans are for targeted
-    /// tests, not the matrix.
+    /// deployments — an escalation-lane delay, one fast-path send
+    /// failure, and one mid-handshake participant kill at a
+    /// [`Hook::LanePrepare`] point.  It never kills a worker *loop*
+    /// ([`Hook::WorkerRound`] `Kill` plans are for targeted tests, not
+    /// the matrix); the lane-prepare kill is survivable by construction
+    /// because the initiating lane releases its held shards and fails
+    /// the escalation with a typed error.
     pub fn seeded(seed: u64, profile: BackendProfile) -> Self {
         let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut plan = FaultPlan::new().with_seed(seed);
@@ -276,6 +298,18 @@ impl FaultPlan {
                 },
                 rng.range(3, 30),
                 Fault::SendFail,
+            );
+            // Kill one two-phase participant mid-handshake: the prepare
+            // is refused, the initiator releases its held shards and the
+            // escalation fails typed.  (The hook only fires if the
+            // workload actually escalates — `unfired` reports it
+            // otherwise.)
+            plan = plan.inject(
+                Hook::LanePrepare {
+                    shard: rng.below(shards as u64) as usize,
+                },
+                rng.range(1, 12),
+                Fault::Kill,
             );
         }
         plan
@@ -571,12 +605,23 @@ mod tests {
             assert_ne!(a, c, "different seed, different plan");
             assert!(!a.entries.is_empty());
             for entry in &a.entries {
-                assert_ne!(entry.fault, Fault::Kill, "seeded plans never kill");
+                if entry.fault == Fault::Kill {
+                    // The only kill a seeded plan scripts is the sharded
+                    // mid-handshake participant kill — worker loops are
+                    // never killed.
+                    assert!(
+                        matches!(entry.hook, Hook::LanePrepare { .. }),
+                        "seeded plans only kill at lane-prepare, got {}",
+                        entry.hook
+                    );
+                }
                 if let BackendProfile::Sharded { shards } = profile {
                     match entry.hook {
                         Hook::WorkerRound { shard }
                         | Hook::WorkerCommit { shard }
-                        | Hook::RouterSend { shard } => assert!(shard < shards),
+                        | Hook::RouterSend { shard }
+                        | Hook::LanePrepare { shard }
+                        | Hook::LaneCommit { shard } => assert!(shard < shards),
                         _ => {}
                     }
                 } else {
@@ -584,7 +629,10 @@ mod tests {
                         Hook::WorkerRound { shard } | Hook::WorkerCommit { shard } => {
                             assert_eq!(shard, 0)
                         }
-                        Hook::RouterSend { .. } | Hook::LaneJob => {
+                        Hook::RouterSend { .. }
+                        | Hook::LaneJob
+                        | Hook::LanePrepare { .. }
+                        | Hook::LaneCommit { .. } => {
                             panic!("router hooks in a non-sharded plan")
                         }
                         Hook::SessionSubmit => {}

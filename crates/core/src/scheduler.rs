@@ -54,6 +54,13 @@ pub struct SchedulerConfig {
     /// does (enforced by the property suite); disable only to measure the
     /// from-scratch baseline, as the `rule_scaling` bench does.
     pub incremental: bool,
+    /// Latency bound, in microseconds, on the sharded router's submission
+    /// batching: the router accumulates per-shard batches and flushes them
+    /// when a batch fills, when the fleet goes idle, or at this interval —
+    /// whichever comes first.  `0` disables batching entirely (every
+    /// submission is its own channel send, the pre-batching behaviour).
+    /// Unsharded backends ignore the knob.
+    pub batch_flush_micros: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -63,6 +70,7 @@ impl Default for SchedulerConfig {
             prune_history: true,
             enforce_intra_order: true,
             incremental: true,
+            batch_flush_micros: 100,
         }
     }
 }
@@ -249,6 +257,50 @@ impl DeclarativeScheduler {
     /// drained into the pending relation), in arrival order.
     pub fn queued_requests(&self) -> Vec<&Request> {
         self.queue.requests().collect()
+    }
+
+    /// Whether transaction `ta` still has un-admitted requests on this
+    /// scheduler — buffered in the incoming queue or sitting in the pending
+    /// relation.  The escalation lane's prepare phase uses this to defer a
+    /// cross-shard transaction until its own earlier fast-path submissions
+    /// have been admitted, preserving intra-transaction order.
+    pub fn transaction_pending(&self, ta: u64) -> bool {
+        self.pending.keys().any(|k| k.ta == ta) || self.queue.requests().any(|r| r.ta == ta)
+    }
+
+    /// Qualify an escalated request slice against this scheduler's *live*
+    /// history state, without mutating anything.
+    ///
+    /// The slice is loaded into a temporary pending store (ids renumbered
+    /// locally) and the built-in protocol rule is evaluated over
+    /// `slice` ∪ `history` (∪ aux) via the same per-object incremental
+    /// machinery a regular round uses.  Because every built-in rule
+    /// evaluates per object and each object lives on exactly one shard,
+    /// the conjunction of these shard-local verdicts equals the old
+    /// union-snapshot evaluation — that equivalence is what lets the
+    /// two-phase escalation handshake freeze only the touched shards.
+    pub fn qualify_escalated_slice(
+        &self,
+        kind: crate::protocol::ProtocolKind,
+        slice: &[Request],
+    ) -> SchedResult<Vec<RequestKey>> {
+        let mut tmp = PendingStore::new();
+        let renumbered: Vec<Request> = slice
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut r = r.clone();
+                r.id = i as u64 + 1;
+                r
+            })
+            .collect();
+        tmp.insert_batch(renumbered)?;
+        Ok(crate::qualify::qualify_once(
+            kind,
+            &tmp,
+            &self.history,
+            &self.aux,
+        ))
     }
 
     /// Whether `object` is completely idle on this scheduler: no queued

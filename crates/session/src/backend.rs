@@ -3,8 +3,39 @@
 
 use crate::report::Report;
 use crossbeam::channel::Receiver;
-use declsched::{Request, SchedResult};
+use declsched::{Request, SchedError, SchedResult};
 use std::fmt;
+
+/// The pending completion of one submitted transaction, returned by
+/// [`Backend::submit`].  Resolves exactly once, when every request has
+/// executed (or failed).
+///
+/// Channel-based backends (unsharded, passthrough, custom) wrap a
+/// single-shot reply channel; the sharded fleet hands back its hub-backed
+/// ticket directly, so a pipelined session costs one hub synchronization
+/// per completion *batch* rather than one channel pair per transaction.
+pub enum Completion {
+    /// A single-shot reply channel; the sender dropping without replying
+    /// reads as a closed backend.
+    Channel(Receiver<SchedResult<()>>),
+    /// A shard-fleet ticket waiting on the fleet's completion hub.
+    Sharded(shard::TxnTicket),
+}
+
+impl Completion {
+    /// Block until the transaction's result is known.
+    pub fn wait(self) -> SchedResult<()> {
+        match self {
+            Completion::Channel(rx) => match rx.recv() {
+                Ok(result) => result,
+                Err(_) => Err(SchedError::ChannelClosed {
+                    endpoint: "backend",
+                }),
+            },
+            Completion::Sharded(ticket) => ticket.wait(),
+        }
+    }
+}
 
 /// Which deployment a [`crate::Scheduler`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,16 +74,16 @@ impl fmt::Display for BackendKind {
 /// All three shipped deployments (unsharded middleware, shard router fleet,
 /// passthrough) implement this; custom backends only need the same two
 /// operations.  `submit` must not block on transaction *execution* — it
-/// returns a completion channel that fires exactly once, which is what
+/// returns a `Completion` that resolves exactly once, which is what
 /// makes pipelined submission possible.
 pub trait Backend: Send + Sync {
     /// Which deployment this is.
     fn kind(&self) -> BackendKind;
 
     /// Accept one whole transaction (requests in intra order, SLA metadata
-    /// intact) and return its completion channel.  The channel receives
-    /// exactly one message once every request has executed (or failed).
-    fn submit(&self, requests: Vec<Request>) -> SchedResult<Receiver<SchedResult<()>>>;
+    /// intact) and return its pending completion, which resolves exactly
+    /// once when every request has executed (or failed).
+    fn submit(&self, requests: Vec<Request>) -> SchedResult<Completion>;
 
     /// Drain outstanding work, stop the deployment and return the unified
     /// report.  The first call wins; later calls (and later submissions)

@@ -8,7 +8,7 @@
 //! retried in arrival order whenever anything else makes progress (the
 //! lock holder's commit arrives as a later submission).
 
-use crate::backend::{Backend, BackendKind};
+use crate::backend::{Backend, BackendKind, Completion};
 use crate::report::Report;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use declsched::passthrough::{PassthroughOutcome, PassthroughScheduler};
@@ -57,7 +57,7 @@ impl Backend for PassthroughBackend {
         BackendKind::Passthrough
     }
 
-    fn submit(&self, requests: Vec<Request>) -> SchedResult<Receiver<SchedResult<()>>> {
+    fn submit(&self, requests: Vec<Request>) -> SchedResult<Completion> {
         let (reply_tx, reply_rx) = bounded(1);
         self.sender
             .send(PassthroughMessage::Txn {
@@ -67,7 +67,7 @@ impl Backend for PassthroughBackend {
             .map_err(|_| SchedError::ChannelClosed {
                 endpoint: "passthrough worker",
             })?;
-        Ok(reply_rx)
+        Ok(Completion::Channel(reply_rx))
     }
 
     fn shutdown(&self) -> SchedResult<Report> {

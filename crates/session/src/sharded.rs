@@ -1,8 +1,7 @@
 //! [`Backend`] over the shard router fleet.
 
-use crate::backend::{Backend, BackendKind};
+use crate::backend::{Backend, BackendKind, Completion};
 use crate::report::Report;
-use crossbeam::channel::Receiver;
 use declsched::{Request, SchedError, SchedResult};
 use shard::{ShardedClientHandle, ShardedMiddleware};
 use std::sync::Mutex;
@@ -32,8 +31,10 @@ impl Backend for ShardedBackend {
         BackendKind::Sharded
     }
 
-    fn submit(&self, requests: Vec<Request>) -> SchedResult<Receiver<SchedResult<()>>> {
-        Ok(self.handle.submit_transaction(requests)?.into_receiver())
+    fn submit(&self, requests: Vec<Request>) -> SchedResult<Completion> {
+        Ok(Completion::Sharded(
+            self.handle.submit_transaction(requests)?,
+        ))
     }
 
     fn shutdown(&self) -> SchedResult<Report> {

@@ -1,8 +1,8 @@
 //! In-flight transaction handles.
 
+use crate::backend::Completion;
 use crate::observe::SessionObs;
 use crate::tier::TierRegistry;
-use crossbeam::channel::Receiver;
 use declsched::{SchedError, SchedResult};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -43,7 +43,7 @@ pub(crate) struct TicketCell {
 }
 
 struct CellState {
-    rx: Option<Receiver<SchedResult<()>>>,
+    rx: Option<Completion>,
     done: Option<SchedResult<()>>,
 }
 
@@ -51,7 +51,7 @@ impl TicketCell {
     pub(crate) fn new(
         ta: u64,
         statements: usize,
-        rx: Receiver<SchedResult<()>>,
+        rx: Completion,
         tier: Option<TierTrack>,
         observe: Arc<SessionObs>,
         sampled_intras: Option<Vec<u32>>,
@@ -84,9 +84,9 @@ impl TicketCell {
     }
 
     /// Block until the transaction's result is known and return it.  Safe
-    /// to call from several holders: the first caller consumes the channel
-    /// (any concurrent caller blocks on the cell lock meanwhile), later
-    /// callers get the cached result.
+    /// to call from several holders: the first caller consumes the
+    /// completion (any concurrent caller blocks on the cell lock meanwhile),
+    /// later callers get the cached result.
     pub(crate) fn wait(&self) -> SchedResult<()> {
         let mut state = self.state.lock().map_err(|_| SchedError::Poisoned {
             what: "ticket cell",
@@ -94,13 +94,11 @@ impl TicketCell {
         if let Some(result) = &state.done {
             return result.clone();
         }
-        let rx = state.rx.take().expect("channel present until first wait");
-        let result = match rx.recv() {
-            Ok(result) => result,
-            Err(_) => Err(SchedError::ChannelClosed {
-                endpoint: "backend",
-            }),
-        };
+        let rx = state
+            .rx
+            .take()
+            .expect("completion present until first wait");
+        let result = rx.wait();
         if let Some(tier) = &self.tier {
             tier.registry.record_outcome(
                 tier.class,

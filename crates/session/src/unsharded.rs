@@ -1,8 +1,7 @@
 //! [`Backend`] over the paper's unsharded middleware.
 
-use crate::backend::{Backend, BackendKind};
+use crate::backend::{Backend, BackendKind, Completion};
 use crate::report::Report;
-use crossbeam::channel::Receiver;
 use declsched::{ClientHandle, Middleware, Request, SchedError, SchedResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -34,9 +33,11 @@ impl Backend for UnshardedBackend {
         BackendKind::Unsharded
     }
 
-    fn submit(&self, requests: Vec<Request>) -> SchedResult<Receiver<SchedResult<()>>> {
+    fn submit(&self, requests: Vec<Request>) -> SchedResult<Completion> {
         self.transactions.fetch_add(1, Ordering::Relaxed);
-        Ok(self.handle.submit_transaction(requests)?.into_receiver())
+        Ok(Completion::Channel(
+            self.handle.submit_transaction(requests)?.into_receiver(),
+        ))
     }
 
     fn shutdown(&self) -> SchedResult<Report> {

@@ -1,20 +1,35 @@
-//! The serialized cross-shard lane.
+//! The cross-shard escalation lane: a small scheduler of two-phase
+//! prepare/commit handshakes.
 //!
 //! A transaction whose object footprint spans shards cannot be admitted by
 //! any single shard's rule — each shard only sees its own slice of the
-//! `history` relation, so none of them can prove conflict-freedom.  The
-//! coordinator restores the paper's single-relation picture just for these
-//! transactions: it freezes every touched shard at a round boundary (a
-//! batch-epoch barrier), evaluates the *same declarative rule* over the
-//! union of the frozen shards' history relations, and — only if the whole
-//! transaction qualifies — executes it on the owning shards inside the
-//! epoch.  If the rule defers the transaction (a shard-local lock
-//! conflicts), the shards are released so their clients can commit and drain
-//! the lock, and the escalation retries.
+//! `history` relation.  The lane restores whole-transaction admission with
+//! a two-phase handshake over exactly the touched shards:
 //!
-//! Because the lane is serialized and shards are frozen while it evaluates,
-//! the merged catalog is a consistent snapshot and SS2PL/C2PL admission
-//! decisions carry over unchanged from the unsharded scheduler.
+//! 1. **Prepare**: every touched shard qualifies the transaction's *local
+//!    slice* against its own live history — the same incremental
+//!    conflict-index evaluation local rounds use, no union snapshot — and
+//!    votes.  A granted vote holds the shard (it buffers traffic but runs
+//!    no rounds); a denial releases the siblings and the lane retries after
+//!    a backoff.  Per-shard qualification is sound because locks are per
+//!    object and every object has exactly one home shard: the conjunction
+//!    of the shard votes is precisely the unsharded rule's whole-footprint
+//!    admission decision.  (Custom protocols, whose rules the conflict
+//!    index cannot mirror, instead hand the lane a history snapshot and the
+//!    lane evaluates the declarative rule over the participants' union.)
+//! 2. **Commit**: with every vote granted, each touched shard executes its
+//!    sub-batch (terminals replicated to all participants) and drops its
+//!    hold.  Shards outside the footprint never stop — there is no fleet
+//!    barrier anywhere.
+//!
+//! Escalations whose shard sets are **disjoint** run concurrently on a
+//! small pool of persistent runner threads (spawning a thread per job would
+//! cost more than the handshake itself); the coordinator admits jobs in
+//! arrival order and
+//! never lets a job overtake an earlier one it overlaps (an overlapping
+//! waiter blocks its shards for everything behind it), which keeps
+//! per-object execution order — and therefore the cross-backend invariant
+//! oracle — deterministic.
 //!
 //! Ordering caveat: the lane serializes against *held locks* (the history
 //! relations), not against local transactions still sitting in shard
@@ -22,23 +37,25 @@
 //! concurrently pending local transaction with a smaller id on a shared
 //! object — a legal serialization, exactly as two concurrent transactions
 //! may commit in either order on the unsharded scheduler.  Locks are never
-//! violated: anything already executed-but-uncommitted defers the lane.
+//! violated: anything already executed-but-uncommitted denies the prepare.
 //! The one pending-queue check the lane does make is for its *own*
 //! transaction: an earlier submission of the same transaction still waiting
-//! on a touched shard defers the escalation, so intra-transaction order
-//! always holds.
+//! on a touched shard denies the vote, so intra-transaction order always
+//! holds.
 
+use crate::hub::HubReply;
 use crate::metrics::EscalationStats;
 use crate::router::RehomeOutcome;
-use crate::worker::{FreezeAck, ShardMessage};
+use crate::worker::{PrepareVote, ShardMessage};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use declsched::protocol::SchedulingPolicy;
 use declsched::{Operation, Placement, Request, RequestKey, SchedError, SchedResult};
 use relalg::{Catalog, Table};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A cross-shard transaction queued for the lane.
 pub(crate) struct EscalationJob {
@@ -48,23 +65,37 @@ pub(crate) struct EscalationJob {
     /// captured under the placement fence at routing time; `None` for
     /// terminals, which replicate to every touched shard.  The lane
     /// executes with exactly this assignment so a placement flip between
-    /// routing and execution cannot send a request to a shard the barrier
-    /// never froze.
+    /// routing and execution cannot send a request to a shard whose vote
+    /// the handshake never collected.
     pub assigned: Vec<Option<usize>>,
     /// Touched shard ids, ascending and distinct (includes shards holding
     /// locks from the transaction's earlier submissions).
     pub touched: Vec<usize>,
-    /// Signalled once with the outcome.
-    pub reply: Sender<SchedResult<()>>,
+    /// Resolved once with the outcome.
+    pub reply: HubReply,
 }
 
 /// Coordinator mailbox.
 pub(crate) enum EscalationMessage {
     /// Run one escalation.
     Job(EscalationJob),
+    /// A runner thread finished its job (sent by the runner itself through
+    /// a loopback sender) — join it, fold its counters, and start whatever
+    /// the freed shards unblock.
+    JobFinished {
+        /// The lane's id for the finished job.
+        job_id: u64,
+        /// Attempts beyond the first.
+        retries: u64,
+        /// Whether the escalation failed (typed error to the client).
+        failed: bool,
+        /// Requests executed through the lane on success.
+        requests: u64,
+    },
     /// Migrate an object between shard engines and flip its placement
-    /// entry.  Serialized behind every job already queued, so jobs routed
-    /// under the old placement execute before the flip.
+    /// entry.  The router only sends this while the lane is completely
+    /// idle (checked under the exclusive placement fence), so the
+    /// migration cannot race a handshake.
     Rehome {
         /// The object to migrate.
         object: i64,
@@ -73,24 +104,56 @@ pub(crate) enum EscalationMessage {
         /// Signalled once with the outcome.
         reply: Sender<SchedResult<RehomeOutcome>>,
     },
-    /// Finish queued jobs received before this marker, then stop.
+    /// Finish queued and running jobs received before this marker, then
+    /// stop.
     Shutdown,
 }
 
-/// The escalation coordinator thread body.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_coordinator(
+/// Everything the escalation coordinator thread is born with.
+pub(crate) struct CoordinatorSetup {
+    pub policy: SchedulingPolicy,
+    pub workers: Vec<Sender<ShardMessage>>,
+    pub receiver: Receiver<EscalationMessage>,
+    /// Loopback sender runners report `JobFinished` through.
+    pub loopback: Sender<EscalationMessage>,
+    pub max_attempts: u32,
+    pub aux_relations: Vec<Table>,
+    pub placement: Arc<Placement>,
+    pub lane_active: Arc<AtomicU64>,
+    pub sink: obs::TraceSink,
+    pub registry: Arc<obs::Registry>,
+    pub injector: Arc<chaos::FaultInjector>,
+}
+
+/// Everything a runner thread needs, shared across the pool.
+struct RunnerShared {
     policy: SchedulingPolicy,
     workers: Vec<Sender<ShardMessage>>,
-    receiver: Receiver<EscalationMessage>,
+    loopback: Sender<EscalationMessage>,
     max_attempts: u32,
     aux_relations: Vec<Table>,
-    placement: Arc<Placement>,
-    lane_active: Arc<AtomicU64>,
     sink: obs::TraceSink,
-    registry: Arc<obs::Registry>,
     injector: Arc<chaos::FaultInjector>,
-) -> EscalationStats {
+    prepare_hist: Arc<obs::MetricHistogram>,
+    commit_hist: Arc<obs::MetricHistogram>,
+}
+
+/// The escalation coordinator thread body: admits jobs in arrival order,
+/// runs shard-disjoint jobs concurrently, and merges runner outcomes.
+pub(crate) fn run_coordinator(setup: CoordinatorSetup) -> EscalationStats {
+    let CoordinatorSetup {
+        policy,
+        workers,
+        receiver,
+        loopback,
+        max_attempts,
+        aux_relations,
+        placement,
+        lane_active,
+        sink,
+        registry,
+        injector,
+    } = setup;
     let mut stats = EscalationStats::default();
     let mut recorder = sink.recorder();
     // Live mirrors of the `EscalationStats` fields: the struct stays the
@@ -101,72 +164,203 @@ pub(crate) fn run_coordinator(
     let requests_ctr = registry.counter("lane.escalated_requests");
     let rehomes_ctr = registry.counter("lane.rehomes");
     let rehomes_busy_ctr = registry.counter("lane.rehomes_busy");
-    while let Ok(message) = receiver.recv() {
-        let before = stats;
+    let concurrent_gauge = Arc::new(AtomicU64::new(0));
+    registry.adopt_gauge("lane.concurrent_peak", Arc::clone(&concurrent_gauge));
+    let shared = Arc::new(RunnerShared {
+        policy,
+        workers,
+        loopback,
+        max_attempts,
+        aux_relations,
+        sink,
+        injector: Arc::clone(&injector),
+        prepare_hist: registry.histogram("lane.prepare_us"),
+        commit_hist: registry.histogram("lane.commit_us"),
+    });
+
+    // The runner pool: persistent threads consuming admitted jobs.  Sized
+    // to the concurrency the disjointness rule can actually produce — at
+    // most ⌊shards/2⌋ two-shard escalations can be in flight at once — and
+    // bounded, because each runner mostly waits on worker round trips.
+    let runner_count = (shared.workers.len() / 2).clamp(1, 8);
+    let (jobs_tx, jobs_rx) = crossbeam::channel::unbounded::<(u64, EscalationJob)>();
+    // The shim's `Receiver::recv` takes `&self` (Mutex + Condvar inside), so
+    // the pool shares one receiver and the channel does the work stealing.
+    let jobs_rx = Arc::new(jobs_rx);
+    let runner_handles: Vec<JoinHandle<()>> = (0..runner_count)
+        .map(|i| {
+            let jobs_rx = Arc::clone(&jobs_rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("declsched-lane-{i}"))
+                .spawn(move || run_pool_runner(jobs_rx, shared))
+                .expect("spawning an escalation runner cannot fail")
+        })
+        .collect();
+    drop(jobs_rx);
+
+    let mut waiting: VecDeque<(u64, EscalationJob)> = VecDeque::new();
+    let mut active: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut next_job_id = 0u64;
+    let mut shutting_down = false;
+
+    loop {
+        if shutting_down && waiting.is_empty() && active.is_empty() {
+            break;
+        }
+        let Ok(message) = receiver.recv() else { break };
         match message {
             EscalationMessage::Job(job) => {
-                // Chaos hook: a `Stall` here delays the whole serialized
-                // lane — every queued cross-shard job waits behind it.
+                if shutting_down {
+                    // Arrived after the shutdown marker: refused.  Dropping
+                    // the reply resolves the client's ticket with a typed
+                    // closed-channel error.
+                    lane_active.fetch_sub(1, Ordering::Release);
+                    drop(job);
+                    continue;
+                }
+                // Chaos hook: a `Stall` here delays the whole lane — every
+                // queued cross-shard job waits behind it.
                 if let Some(chaos::Fault::Stall { millis }) = injector.fire(chaos::Hook::LaneJob) {
-                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                    std::thread::sleep(Duration::from_millis(millis));
                 }
                 stats.escalations += 1;
-                let result = run_escalation(
-                    &policy,
-                    &workers,
-                    &job,
-                    max_attempts,
-                    &aux_relations,
-                    &mut stats,
-                    &mut recorder,
-                );
-                if result.is_err() {
+                escalations_ctr.inc();
+                next_job_id += 1;
+                waiting.push_back((next_job_id, job));
+            }
+            EscalationMessage::JobFinished {
+                job_id,
+                retries,
+                failed,
+                requests,
+            } => {
+                active.remove(&job_id);
+                stats.retries += retries;
+                retries_ctr.add(retries);
+                if failed {
                     // The job failed, but the transaction may still hold
                     // locks from earlier submissions on its recorded home
                     // shards — the homes entry must survive so a follow-up
                     // abort routes there.  Reclaim happens when the client
                     // terminates or abandons the transaction.
                     stats.failed += 1;
+                    failed_ctr.inc();
                 } else {
-                    stats.escalated_requests += job.requests.len() as u64;
+                    stats.escalated_requests += requests;
+                    requests_ctr.add(requests);
                 }
-                let _ = job.reply.send(result);
-                // Counted up by the router when the job was enqueued (under
-                // the placement fence); down only once the job has fully
-                // finished, so a fence holder never sees the lane as idle
-                // while a job is queued *or* executing.
+                // Counted up by the router at enqueue (under the placement
+                // fence); down only once the job has fully finished, so a
+                // fence holder never sees the lane as idle while a job is
+                // queued *or* executing.
                 lane_active.fetch_sub(1, Ordering::Release);
             }
             EscalationMessage::Rehome { object, to, reply } => {
-                let outcome = run_rehome(&workers, &placement, object, to);
+                let outcome = run_rehome(&shared.workers, &placement, object, to);
                 match outcome {
                     Ok(RehomeOutcome::Done) => {
                         stats.rehomes += 1;
+                        rehomes_ctr.inc();
                         // A placement flip is rare enough to be worth a
                         // post-mortem window around it.
                         recorder.freeze_anomaly(&format!("rehome: object {object} -> shard {to}"));
                     }
-                    Ok(RehomeOutcome::Busy) => stats.rehomes_busy += 1,
+                    Ok(RehomeOutcome::Busy) => {
+                        stats.rehomes_busy += 1;
+                        rehomes_busy_ctr.inc();
+                    }
                     _ => {}
                 }
                 let _ = reply.send(outcome);
             }
-            EscalationMessage::Shutdown => break,
+            EscalationMessage::Shutdown => shutting_down = true,
         }
-        escalations_ctr.add(stats.escalations - before.escalations);
-        retries_ctr.add(stats.retries - before.retries);
-        failed_ctr.add(stats.failed - before.failed);
-        requests_ctr.add(stats.escalated_requests - before.escalated_requests);
-        rehomes_ctr.add(stats.rehomes - before.rehomes);
-        rehomes_busy_ctr.add(stats.rehomes_busy - before.rehomes_busy);
+
+        start_disjoint(&mut waiting, &mut active, &jobs_tx);
+        let concurrent = active.len() as u64;
+        if concurrent > stats.concurrent_peak {
+            stats.concurrent_peak = concurrent;
+            concurrent_gauge.fetch_max(concurrent, Ordering::Relaxed);
+        }
+    }
+    // No more jobs can be admitted: retire the pool.
+    drop(jobs_tx);
+    for handle in runner_handles {
+        let _ = handle.join();
     }
     stats
 }
 
+/// Admit every waiting job whose shard set is disjoint from all running
+/// jobs *and* from every earlier waiter — arrival order is never reordered
+/// between overlapping jobs, which is the deterministic ordering rule that
+/// keeps per-object execution order identical to serialized execution.
+fn start_disjoint(
+    waiting: &mut VecDeque<(u64, EscalationJob)>,
+    active: &mut HashMap<u64, Vec<usize>>,
+    jobs_tx: &Sender<(u64, EscalationJob)>,
+) {
+    let mut blocked: HashSet<usize> = active.values().flatten().copied().collect();
+    let mut index = 0;
+    while index < waiting.len() {
+        let disjoint = waiting[index]
+            .1
+            .touched
+            .iter()
+            .all(|shard| !blocked.contains(shard));
+        if disjoint {
+            let (job_id, job) = waiting.remove(index).expect("index in bounds");
+            blocked.extend(job.touched.iter().copied());
+            active.insert(job_id, job.touched.clone());
+            // The pool outlives the admission loop, so this can only fail
+            // after shutdown — and then waiting/active are already empty.
+            let _ = jobs_tx.send((job_id, job));
+        } else {
+            blocked.extend(waiting[index].1.touched.iter().copied());
+            index += 1;
+        }
+    }
+}
+
+/// One pool runner: executes admitted jobs until the coordinator retires
+/// the pool by dropping the job sender.
+fn run_pool_runner(jobs_rx: Arc<Receiver<(u64, EscalationJob)>>, shared: Arc<RunnerShared>) {
+    let mut recorder = shared.sink.recorder();
+    while let Ok((job_id, job)) = jobs_rx.recv() {
+        let EscalationJob {
+            requests,
+            assigned,
+            touched,
+            reply,
+        } = job;
+        let total_requests = requests.len() as u64;
+        let mut retries = 0u64;
+        let result = run_escalation(
+            &shared,
+            job_id,
+            &requests,
+            &assigned,
+            &touched,
+            &mut retries,
+            &mut recorder,
+        );
+        let failed = result.is_err();
+        reply.resolve_now(result);
+        let _ = shared.loopback.send(EscalationMessage::JobFinished {
+            job_id,
+            retries,
+            failed,
+            requests: total_requests,
+        });
+    }
+}
+
 /// Move one object's row from its current home engine to `to` and flip the
 /// placement overlay.  The caller holds the router's placement fence
-/// exclusively, so no submission can be routed (and no message for the
-/// object can be in flight behind this one) while the migration runs.
+/// exclusively and the lane is idle, so no submission can be routed (and no
+/// message for the object can be in flight behind this one) while the
+/// migration runs.
 fn run_rehome(
     workers: &[Sender<ShardMessage>],
     placement: &Placement,
@@ -209,123 +403,171 @@ fn run_rehome(
     Ok(RehomeOutcome::Done)
 }
 
-/// Freeze → evaluate → execute → release, retrying while the rule defers.
+/// Prepare → commit (or release), retrying while any touched shard denies.
 fn run_escalation(
-    policy: &SchedulingPolicy,
-    workers: &[Sender<ShardMessage>],
-    job: &EscalationJob,
-    max_attempts: u32,
-    aux_relations: &[Table],
-    stats: &mut EscalationStats,
+    shared: &RunnerShared,
+    job_id: u64,
+    requests: &[Request],
+    assigned: &[Option<usize>],
+    touched: &[usize],
+    retries: &mut u64,
     recorder: &mut obs::Recorder,
 ) -> SchedResult<()> {
-    let protocol = policy.select(job.requests.len()).clone();
+    let workers = &shared.workers;
+    let protocol = shared.policy.select(requests.len()).clone();
+    let custom = protocol.kind == declsched::ProtocolKind::Custom;
+    let ta = requests.first().map(|r| r.ta);
+    let max_attempts = shared.max_attempts;
     for attempt in 0..max_attempts.max(1) {
         if attempt > 0 {
-            stats.retries += 1;
-            // Growing pause so the released shards get rounds in to drain
-            // the conflicting locks.  Each retry re-freezes and re-snapshots
-            // the touched shards (a full table clone per shard), so the
-            // backoff caps well above the workers' ~1 ms round cadence to
-            // keep that cost amortised under contention.
+            *retries += 1;
+            // Growing pause so the denying shard gets rounds in to drain
+            // the conflicting locks.  Each retry re-prepares every touched
+            // shard, so the backoff caps well above the workers' ~1 ms
+            // round cadence to keep that cost amortised under contention.
             std::thread::sleep(Duration::from_micros(100 * u64::from(attempt.min(50))));
         }
 
-        // Acquire the batch-epoch barrier in ascending shard order (the lane
-        // is serialized, so ordering only matters for determinism).
-        let mut snapshots: Vec<(usize, FreezeAck)> = Vec::with_capacity(job.touched.len());
-        for &shard in &job.touched {
-            let (ack_tx, ack_rx) = bounded(1);
-            let frozen: Vec<usize> = snapshots.iter().map(|(s, _)| *s).collect();
+        // Phase 1 — prepare: fan the vote requests out in ascending shard
+        // order, then collect.  Each shard qualifies its own slice against
+        // its live history; a granted vote holds the shard until our
+        // decision.
+        let prepare_started = Instant::now();
+        let mut votes: Vec<(usize, Receiver<PrepareVote>)> = Vec::with_capacity(touched.len());
+        let mut error: Option<SchedError> = None;
+        for &shard in touched {
+            // Chaos hook: kill a participant right before its prepare
+            // lands — the mid-handshake fault the two-phase protocol must
+            // survive (the dead shard votes a typed error and the lane
+            // backs out, releasing every granted sibling).
+            match shared.injector.fire(chaos::Hook::LanePrepare { shard }) {
+                Some(chaos::Fault::Stall { millis }) => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                Some(chaos::Fault::Kill) => {
+                    let _ = workers[shard].send(ShardMessage::ChaosKill);
+                }
+                _ => {}
+            }
+            let slice: Vec<Request> = requests
+                .iter()
+                .zip(assigned)
+                .filter(|(r, a)| r.op.is_data() && **a == Some(shard))
+                .map(|(r, _)| r.clone())
+                .collect();
+            let (vote_tx, vote_rx) = bounded(1);
             if workers[shard]
-                .send(ShardMessage::Freeze { ack: ack_tx })
+                .send(ShardMessage::Prepare {
+                    job_id,
+                    ta,
+                    kind: protocol.kind,
+                    slice,
+                    want_snapshot: custom,
+                    vote: vote_tx,
+                })
                 .is_err()
             {
-                release(workers, &frozen);
-                return Err(SchedError::ChannelClosed {
-                    endpoint: "shard worker (freeze)",
+                error = Some(SchedError::ChannelClosed {
+                    endpoint: "shard worker (prepare)",
                 });
+                break;
             }
-            match ack_rx.recv() {
-                Ok(ack) => snapshots.push((shard, ack)),
+            votes.push((shard, vote_rx));
+        }
+        let mut granted: Vec<usize> = Vec::with_capacity(touched.len());
+        let mut all_granted = error.is_none();
+        let mut snapshots: Vec<(usize, Table)> = Vec::new();
+        for (shard, vote_rx) in votes {
+            match vote_rx.recv() {
+                Ok(vote) => {
+                    if let Some(e) = vote.error {
+                        if error.is_none() {
+                            error = Some(e);
+                        }
+                        all_granted = false;
+                    } else if vote.granted {
+                        granted.push(shard);
+                        if let Some(snapshot) = vote.snapshot {
+                            snapshots.push((shard, snapshot));
+                        }
+                    } else {
+                        all_granted = false;
+                    }
+                }
                 Err(_) => {
-                    release(workers, &frozen);
-                    return Err(SchedError::ChannelClosed {
-                        endpoint: "shard worker (freeze ack)",
-                    });
+                    if error.is_none() {
+                        error = Some(SchedError::ChannelClosed {
+                            endpoint: "shard worker (prepare ack)",
+                        });
+                    }
+                    all_granted = false;
                 }
             }
         }
-        let frozen: Vec<usize> = snapshots.iter().map(|(s, _)| *s).collect();
-
-        // An earlier submission of this very transaction still waiting in a
-        // shard's pending queue must execute before the escalated batch —
-        // replicating the terminal now would finish the transaction on that
-        // engine with the earlier statement unexecuted.  Defer until the
-        // shard has drained it.
-        let ta = job.requests.first().map(|r| r.ta);
-        let own_request_pending = ta.is_some_and(|ta| {
-            snapshots.iter().any(|(_, ack)| {
-                ack.pending
-                    .rows()
-                    .iter()
-                    .filter_map(Request::from_tuple)
-                    .any(|r| r.ta == ta)
-            })
-        });
-        if own_request_pending {
-            release(workers, &frozen);
+        if let Some(e) = error {
+            // A participant is gone (or voted an error): back out cleanly —
+            // every granted sibling is released, the client gets the typed
+            // error, untouched shards never noticed.
+            release(workers, job_id, &granted);
+            return Err(e);
+        }
+        if !all_granted {
+            // A shard-local lock (or an earlier own submission) defers the
+            // escalation; release the granted shards so it can drain.
+            release(workers, job_id, &granted);
             continue;
         }
-
-        // Evaluate the protocol rule over the merged relations.
-        let qualified = match qualify_merged(&protocol, &job.requests, &snapshots, aux_relations) {
-            Ok(q) => q,
-            Err(e) => {
-                release(workers, &frozen);
-                return Err(e);
+        if custom {
+            // Custom protocols: evaluate the declarative rule over the
+            // union of the participants' snapshots.
+            match qualify_union(&protocol, requests, &snapshots, &shared.aux_relations) {
+                Err(e) => {
+                    release(workers, job_id, &granted);
+                    return Err(e);
+                }
+                Ok(qualified) => {
+                    let admitted = requests
+                        .iter()
+                        .filter(|r| r.op.is_data())
+                        .all(|r| qualified.contains(&r.key()));
+                    if !admitted {
+                        release(workers, job_id, &granted);
+                        continue;
+                    }
+                }
             }
-        };
-        let data_keys: Vec<RequestKey> = job
-            .requests
-            .iter()
-            .filter(|r| r.op.is_data())
-            .map(|r| r.key())
-            .collect();
-        let admitted = data_keys.iter().all(|k| qualified.contains(k));
-
-        if !admitted {
-            // A shard-local lock conflicts; release so it can drain.
-            release(workers, &frozen);
-            continue;
         }
+        shared
+            .prepare_hist
+            .observe(prepare_started.elapsed().as_micros() as u64);
 
-        // The merged rule admitted the whole transaction: this is the
-        // lane's qualification point.  (Dispatched/Executed are recorded
-        // by the owning shards as they run the sub-batches.)
+        // Every vote granted: this is the lane's qualification point.
+        // (Dispatched/Executed are recorded by the owning shards as they
+        // run the sub-batches.)
         if let Some(ta) = ta {
             if recorder.samples(ta) {
                 let qualified_at = recorder.now_us();
-                for request in &job.requests {
+                for request in requests {
                     recorder.emit_at(ta, request.intra, qualified_at, obs::EventKind::Qualified);
                 }
             }
         }
 
-        // Execute each request on its owning shard — the placement captured
-        // at routing time (`job.assigned`) — terminals replicated to every
-        // touched shard so each participating engine finishes the
-        // transaction.
+        // Phase 2 — commit: each shard executes its sub-batch — the
+        // placement captured at routing time (`assigned`) — with terminals
+        // replicated to every touched shard so each participating engine
+        // finishes the transaction.  A shard with nothing to execute is
+        // released instead.
+        let commit_started = Instant::now();
         let mut result = Ok(());
-        let mut dones = Vec::with_capacity(frozen.len());
-        for &shard in &frozen {
-            let sub_batch: Vec<Request> = job
-                .requests
+        let mut dones = Vec::with_capacity(touched.len());
+        for &shard in touched {
+            let sub_batch: Vec<Request> = requests
                 .iter()
-                .zip(&job.assigned)
-                .filter(|(r, assigned)| {
+                .zip(assigned)
+                .filter(|(r, a)| {
                     if r.op.is_data() {
-                        **assigned == Some(shard)
+                        **a == Some(shard)
                     } else {
                         matches!(r.op, Operation::Commit | Operation::Abort)
                     }
@@ -333,18 +575,34 @@ fn run_escalation(
                 .map(|(r, _)| r.clone())
                 .collect();
             if sub_batch.is_empty() {
+                let _ = workers[shard].send(ShardMessage::Release2pc { job_id });
                 continue;
+            }
+            // Chaos hook: kill a participant between its granted vote and
+            // its commit — the worst mid-handshake moment.  The dead shard
+            // refuses the commit with a typed error; siblings that already
+            // executed keep their (locally recorded) slices, exactly like a
+            // worker dying mid-execute did under the old barrier.
+            match shared.injector.fire(chaos::Hook::LaneCommit { shard }) {
+                Some(chaos::Fault::Stall { millis }) => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                Some(chaos::Fault::Kill) => {
+                    let _ = workers[shard].send(ShardMessage::ChaosKill);
+                }
+                _ => {}
             }
             let (done_tx, done_rx) = bounded(1);
             if workers[shard]
-                .send(ShardMessage::Execute {
+                .send(ShardMessage::Commit {
+                    job_id,
                     requests: sub_batch,
                     done: done_tx,
                 })
                 .is_err()
             {
                 result = Err(SchedError::ChannelClosed {
-                    endpoint: "shard worker (execute)",
+                    endpoint: "shard worker (commit)",
                 });
                 break;
             }
@@ -361,13 +619,21 @@ fn run_escalation(
                 Err(_) => {
                     if result.is_ok() {
                         result = Err(SchedError::ChannelClosed {
-                            endpoint: "shard worker (execute ack)",
+                            endpoint: "shard worker (commit ack)",
                         });
                     }
                 }
             }
         }
-        release(workers, &frozen);
+        if result.is_err() {
+            // Commits were sent before this release on the same FIFO
+            // channels, so a shard that already executed treats the release
+            // as a no-op; one that never saw its commit drops the hold.
+            release(workers, job_id, touched);
+        }
+        shared
+            .commit_hist
+            .observe(commit_started.elapsed().as_micros() as u64);
         return result;
     }
     Err(SchedError::Dispatch {
@@ -378,46 +644,16 @@ fn run_escalation(
     })
 }
 
-/// Evaluate the protocol rule over `requests` ∪ the merged history of the
-/// frozen shards (∪ empty `sla`).
-///
-/// Built-in protocols go through [`declsched::qualify_once`] — the same
-/// per-object conflict-index evaluation the shards themselves use
-/// incrementally, here run once over the union snapshot (one linear pass
-/// instead of the multi-join relational plan).  Custom protocols keep the
-/// declarative catalog path, since only they carry rules the index cannot
-/// mirror.
-fn qualify_merged(
+/// Evaluate a custom protocol's declarative rule over `requests` ∪ the
+/// merged history snapshots of the prepared shards (∪ empty `sla`).
+/// Built-in protocols never reach this: their admission decomposes into the
+/// per-shard votes.
+fn qualify_union(
     protocol: &declsched::Protocol,
     requests: &[Request],
-    snapshots: &[(usize, FreezeAck)],
+    snapshots: &[(usize, Table)],
     aux_relations: &[Table],
 ) -> SchedResult<HashSet<RequestKey>> {
-    if protocol.kind != declsched::ProtocolKind::Custom {
-        let mut pending = declsched::PendingStore::new();
-        let renumbered: Vec<Request> = requests
-            .iter()
-            .enumerate()
-            .map(|(i, request)| {
-                let mut row = request.clone();
-                row.id = i as u64 + 1;
-                row
-            })
-            .collect();
-        pending.insert_batch(renumbered)?;
-        let mut history = declsched::HistoryStore::new();
-        for (_, ack) in snapshots {
-            for request in ack.history.rows().iter().filter_map(Request::from_tuple) {
-                history.insert(&request)?;
-            }
-        }
-        return Ok(
-            declsched::qualify_once(protocol.kind, &pending, &history, aux_relations)
-                .into_iter()
-                .collect(),
-        );
-    }
-
     let mut pending = Table::new("requests", Request::schema());
     for (i, request) in requests.iter().enumerate() {
         let mut row = request.clone();
@@ -427,9 +663,9 @@ fn qualify_merged(
             .map_err(declsched::SchedError::from)?;
     }
     let mut history = Table::new("history", Request::schema());
-    for (_, ack) in snapshots {
+    for (_, snapshot) in snapshots {
         history
-            .extend(ack.history.rows().iter().cloned())
+            .extend(snapshot.rows().iter().cloned())
             .map_err(declsched::SchedError::from)?;
     }
     let mut catalog = Catalog::new();
@@ -442,8 +678,8 @@ fn qualify_merged(
     Ok(protocol.rules.qualify(&catalog)?.into_iter().collect())
 }
 
-fn release(workers: &[Sender<ShardMessage>], frozen: &[usize]) {
-    for &shard in frozen {
-        let _ = workers[shard].send(ShardMessage::Release);
+fn release(workers: &[Sender<ShardMessage>], job_id: u64, shards: &[usize]) {
+    for &shard in shards {
+        let _ = workers[shard].send(ShardMessage::Release2pc { job_id });
     }
 }

@@ -1,0 +1,214 @@
+//! The completion hub: batched acknowledgement traffic from the shard
+//! fleet back to the session layer.
+//!
+//! Before batching, every submitted transaction allocated its own
+//! `bounded(1)` reply channel and every completion was a separate
+//! lock-and-notify on it.  The hub replaces that with a shared map:
+//! workers buffer `(token, result)` pairs over a scheduling round and
+//! publish them with one lock acquisition per *stripe*
+//! ([`CompletionHub::resolve_many`]), and a [`crate::TxnTicket`] waits on
+//! its token under its stripe's lock.  One synchronization per batch of
+//! completions, not per transaction — the ack-side mirror of the
+//! router's submission batching.
+//!
+//! The map is split into [`STRIPES`] independent `Mutex` + `Condvar`
+//! stripes keyed by token.  A single global lock would serialize every
+//! worker's publish against every client's wait — and a single condvar
+//! would wake all waiters on every publish (a thundering herd that grows
+//! with pipelining depth).  Striping bounds both: publishes on different
+//! stripes never contend, and a publish wakes only the ~1/[`STRIPES`]
+//! of waiters sharing its stripe.
+
+use declsched::{SchedError, SchedResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Number of independent hub stripes; a power of two so the stripe index
+/// is a mask of the token counter, which also spreads consecutive tokens
+/// round-robin across stripes.
+const STRIPES: usize = 32;
+
+/// Shared completion state for a whole fleet.
+///
+/// A completion for a ticket that is never waited on stays in the map
+/// until shutdown — bounded by the number of abandoned tickets, and
+/// reclaimed wholesale when the fleet stops.
+pub(crate) struct CompletionHub {
+    stripes: Vec<Stripe>,
+}
+
+struct Stripe {
+    inner: Mutex<HubInner>,
+    cond: Condvar,
+}
+
+struct HubInner {
+    results: HashMap<u64, SchedResult<()>>,
+    closed: bool,
+}
+
+impl CompletionHub {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(CompletionHub {
+            stripes: (0..STRIPES)
+                .map(|_| Stripe {
+                    inner: Mutex::new(HubInner {
+                        results: HashMap::new(),
+                        closed: false,
+                    }),
+                    cond: Condvar::new(),
+                })
+                .collect(),
+        })
+    }
+
+    fn stripe(&self, token: u64) -> &Stripe {
+        &self.stripes[(token as usize) & (STRIPES - 1)]
+    }
+
+    fn lock(stripe: &Stripe) -> MutexGuard<'_, HubInner> {
+        stripe
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Publish one completion (the first result for a token wins; a
+    /// later duplicate — e.g. a drop guard racing a real outcome — is
+    /// discarded rather than overwriting it).
+    pub(crate) fn resolve_one(&self, token: u64, result: SchedResult<()>) {
+        let stripe = self.stripe(token);
+        let mut inner = Self::lock(stripe);
+        inner.results.entry(token).or_insert(result);
+        drop(inner);
+        stripe.cond.notify_all();
+    }
+
+    /// Publish a batch of completions with one lock acquisition per
+    /// stripe touched.
+    pub(crate) fn resolve_many(&self, batch: impl IntoIterator<Item = (u64, SchedResult<()>)>) {
+        let mut buckets: Vec<Vec<(u64, SchedResult<()>)>> = Vec::new();
+        buckets.resize_with(STRIPES, Vec::new);
+        for (token, result) in batch {
+            buckets[(token as usize) & (STRIPES - 1)].push((token, result));
+        }
+        for (index, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let stripe = &self.stripes[index];
+            let mut inner = Self::lock(stripe);
+            for (token, result) in bucket {
+                inner.results.entry(token).or_insert(result);
+            }
+            drop(inner);
+            stripe.cond.notify_all();
+        }
+    }
+
+    /// Mark the fleet as stopped: waiters whose completion never arrived
+    /// fail with a closed-channel error instead of blocking forever.
+    /// Completions already published stay readable (a client may wait a
+    /// ticket after shutdown).
+    pub(crate) fn close(&self) {
+        for stripe in &self.stripes {
+            let mut inner = Self::lock(stripe);
+            inner.closed = true;
+            drop(inner);
+            stripe.cond.notify_all();
+        }
+    }
+
+    /// Block until `token`'s completion is published (removing it), or
+    /// until the hub closes without one.
+    pub(crate) fn wait(&self, token: u64) -> SchedResult<()> {
+        let stripe = self.stripe(token);
+        let mut inner = Self::lock(stripe);
+        loop {
+            if let Some(result) = inner.results.remove(&token) {
+                return result;
+            }
+            if inner.closed {
+                return Err(SchedError::ChannelClosed {
+                    endpoint: "shard worker",
+                });
+            }
+            inner = stripe
+                .cond
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// The fleet-side half of a ticket: whoever ends up owning the reply
+/// (a shard worker, the escalation lane, or the router's own failure
+/// paths) resolves it exactly once.  Dropping it unresolved — a message
+/// lost in a dying channel, a job discarded at shutdown — publishes a
+/// closed-channel error, replicating the sender-drop semantics of the
+/// per-transaction reply channels the hub replaced.  Either way the
+/// fleet-wide in-flight request gauge is decremented by the
+/// transaction's weight, which is what makes `peak_pending` a true
+/// concurrent-occupancy peak.
+pub(crate) struct HubReply {
+    hub: Arc<CompletionHub>,
+    token: u64,
+    weight: u64,
+    inflight: Arc<AtomicU64>,
+    resolved: bool,
+}
+
+impl HubReply {
+    pub(crate) fn new(
+        hub: Arc<CompletionHub>,
+        token: u64,
+        weight: u64,
+        inflight: Arc<AtomicU64>,
+    ) -> Self {
+        HubReply {
+            hub,
+            token,
+            weight,
+            inflight,
+            resolved: false,
+        }
+    }
+
+    fn settle(&mut self) {
+        self.resolved = true;
+        self.inflight.fetch_sub(self.weight, Ordering::Relaxed);
+    }
+
+    /// Resolve immediately (failure paths and the escalation lane, where
+    /// completions are rare enough that batching buys nothing).
+    pub(crate) fn resolve_now(mut self, result: SchedResult<()>) {
+        self.settle();
+        self.hub.resolve_one(self.token, result);
+    }
+
+    /// Resolve into a worker-local buffer, published later in one
+    /// [`CompletionHub::resolve_many`] call.
+    pub(crate) fn resolve_into(
+        mut self,
+        result: SchedResult<()>,
+        out: &mut Vec<(u64, SchedResult<()>)>,
+    ) {
+        self.settle();
+        out.push((self.token, result));
+    }
+}
+
+impl Drop for HubReply {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.settle();
+            self.hub.resolve_one(
+                self.token,
+                Err(SchedError::ChannelClosed {
+                    endpoint: "shard worker",
+                }),
+            );
+        }
+    }
+}

@@ -8,36 +8,49 @@
 //!
 //! ```text
 //!                         ┌─ shard 0 ─────────────────────────────────┐
-//!                  ┌────► │ queue → requests₀/history₀ → rule → exec  │
-//!   clients ──► ShardRouter (hash of object footprint)                │
+//!                  ┌────► │ batch → requests₀/history₀ → rule → exec  │
+//!   clients ──► ShardRouter (hash of object footprint, per-shard      │
+//!                  │        submission buffers + completion hub)      │
 //!                  ├────► │ shard 1: …                                │
 //!                  ├────► │ shard N-1: …                              │
-//!                  └────► │ escalation lane (serialized):             │
-//!                         │   freeze touched shards → rule over       │
-//!                         │   UNION of histories → execute → release  │
+//!                  └────► │ escalation lane (two-phase, concurrent):  │
+//!                         │   PREPARE touched shards (each qualifies  │
+//!                         │   its local slice, votes, holds) →        │
+//!                         │   COMMIT on every voter | RELEASE         │
 //!                         └───────────────────────────────────────────┘
 //! ```
 //!
 //! * [`ShardRouter`] hash-partitions incoming transactions by their object
 //!   footprint (`declsched::footprint` / `declsched::shard_of`).  A
-//!   transaction whose footprint maps to one shard goes straight to that
-//!   shard's worker thread — no synchronization with any other shard, ever.
+//!   transaction whose footprint maps to one shard goes into that shard's
+//!   **submission buffer**; buffers are flushed as one channel message per
+//!   shard on a configurable latency bound
+//!   (`SchedulerConfig::batch_flush_micros`), so a pipelined client costs
+//!   one synchronization per batch, not per transaction.  Completions flow
+//!   back the same way, through a shared completion hub the workers publish
+//!   into once per round.
 //! * Each shard worker owns a full private copy of the paper's Figure-1
 //!   pipeline: incoming queue, `requests` (pending) relation, `history`
 //!   relation, the declarative rule, and a dispatcher with its own engine.
 //!   Per-object serialization is preserved because an object has exactly one
 //!   home shard.
-//! * Transactions whose footprint **spans** shards are escalated to a
-//!   serialized global lane: the coordinator freezes the touched shards at
-//!   round boundaries (batch-epoch barriers), evaluates the same declarative
-//!   rule over the union of their `history` relations, executes the
-//!   transaction on its owning shards inside the epoch, and releases.  SS2PL
-//!   / C2PL admission semantics therefore survive the partitioning — the
-//!   escalation lane momentarily reconstructs exactly the relation the
-//!   unsharded scheduler would have seen.
+//! * Transactions whose footprint **spans** shards take a **two-phase
+//!   handshake** that involves only the touched shards: the lane sends each
+//!   one a *prepare* carrying its slice of the footprint, the shard
+//!   qualifies that slice against its local `history` (locks are per-object
+//!   and each object has exactly one home, so the conjunction of per-shard
+//!   slice admissions is exactly the union-relation admission the unsharded
+//!   scheduler would compute), votes, and holds its round loop; on
+//!   unanimous grant the lane *commits* on every voter, otherwise it
+//!   *releases* and retries.  Untouched shards never stop, and escalations
+//!   over **disjoint shard sets execute concurrently** (FIFO admission
+//!   without overtaking keeps the outcome equal to serialized execution).
+//!   Custom datalog protocols — whose rules may not decompose by object —
+//!   still evaluate over the union of the touched shards' history
+//!   snapshots, collected in the same prepare round-trip.
 //! * [`ShardedMetrics`] merges per-shard `SchedulerMetrics` and dispatch
-//!   totals with routing counters (throughput, peak queue depth, cross-shard
-//!   escalation rate).
+//!   totals with routing counters (throughput, fleet-wide in-flight peak,
+//!   cross-shard escalation rate, concurrent-escalation peak).
 //! * [`ShardedMiddleware`] is the client-facing sharded counterpart of
 //!   `declsched::middleware::Middleware`.
 //!
@@ -45,7 +58,8 @@
 //! (`BENCH_shard_scaling.json`): on a uniform single-object workload the
 //! hot loop is embarrassingly parallel and shards scale near-linearly;
 //! raising the workload's `cross_shard_fraction` sends traffic through the
-//! serialized lane until it erases the win.
+//! escalation lane, which now costs one two-phase handshake over the
+//! touched shards rather than a whole-fleet freeze.
 //!
 //! Direct use of the fleet (client code normally goes through the
 //! `session` façade with `.shards(n)` instead):
@@ -81,6 +95,7 @@
 
 mod config;
 mod escalation;
+mod hub;
 mod metrics;
 mod middleware;
 mod router;

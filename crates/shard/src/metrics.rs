@@ -17,6 +17,14 @@ pub struct ShardReport {
     /// Largest pending-relation size seen at any round start — the shard's
     /// peak queue depth.
     pub peak_pending: usize,
+    /// Microseconds this worker spent *processing* — draining its mailbox,
+    /// running rounds, executing batches and handshake slices — excluding
+    /// time blocked waiting for traffic.  The fleet's critical path (the
+    /// busiest shard's `busy_us`) is what the shard-scaling bench reports
+    /// as wall time: on a one-core CI box the elapsed time of N timeshared
+    /// workers measures the machine, not the deployment, while the maximum
+    /// per-shard busy time projects what an N-core deployment achieves.
+    pub busy_us: u64,
     /// Final value of every benchmark-table row on this shard's engine
     /// (index = row key).  Only rows whose home shard is this one were ever
     /// written here; the unified `Report` merges per-shard snapshots by home
@@ -37,7 +45,7 @@ pub struct EscalationStats {
     /// Escalations that failed (rule error, starvation bound hit, or a
     /// touched shard gone).
     pub failed: u64,
-    /// Freeze/evaluate/release attempts beyond the first, summed over all
+    /// Prepare/commit attempts beyond the first, summed over all
     /// escalations — the price paid waiting for shard-local locks to drain.
     pub retries: u64,
     /// Requests executed through the lane.
@@ -48,6 +56,10 @@ pub struct EscalationStats {
     /// Placement migrations refused because the object was not idle on its
     /// current home (the control plane retries these).
     pub rehomes_busy: u64,
+    /// Most escalations executing concurrently at any instant.  Disjoint
+    /// shard sets run in parallel, so this exceeds 1 whenever independent
+    /// cross-shard transactions overlapped in time.
+    pub concurrent_peak: u64,
 }
 
 /// What the router itself contributes to the aggregated metrics at
@@ -70,6 +82,10 @@ pub struct RouterSnapshot {
     pub rehomed_objects: u64,
     /// Final placement epoch (number of effective placement changes).
     pub placement_epoch: u64,
+    /// High-water mark of requests in flight fleet-wide (submitted and not
+    /// yet resolved) — a true concurrent-occupancy peak, incremented at
+    /// submission and decremented at completion.
+    pub peak_inflight: u64,
 }
 
 /// Aggregated view over a whole sharded run, built by
@@ -85,7 +101,13 @@ pub struct ShardedMetrics {
     pub merged: SchedulerMetrics,
     /// All per-shard dispatch totals merged.
     pub dispatch: DispatchReport,
-    /// Peak pending-relation size over all shards.
+    /// High-water mark of requests concurrently in flight fleet-wide:
+    /// submitted (buffered, queued, or pending on a shard) and not yet
+    /// resolved.  This is a true occupancy peak — a request counts only
+    /// between its submission and its completion, so a serial client that
+    /// submits 1 280 transactions one at a time reports its real pipeline
+    /// depth, not 1 280.  Per-shard pending-relation peaks remain on
+    /// [`ShardReport::peak_pending`].
     pub peak_pending: usize,
     /// Transactions routed (fast path + escalated).
     pub transactions: u64,
@@ -99,6 +121,15 @@ pub struct ShardedMetrics {
     pub rehomed_objects: u64,
     /// Final placement epoch.
     pub placement_epoch: u64,
+    /// Most escalations executing concurrently at any instant (disjoint
+    /// shard sets run in parallel through the lane).
+    pub escalations_concurrent_peak: u64,
+    /// The busiest shard's processing time in microseconds (the maximum of
+    /// the per-shard [`ShardReport::busy_us`]) — the fleet's critical path.
+    /// Workers run in parallel on a real deployment, so the busiest shard
+    /// bounds the fleet's completion time; on a timeshared CI box this is
+    /// the measurement `wall` cannot provide.
+    pub critical_path_us: u64,
     /// Escalation-lane counters.
     pub escalation: EscalationStats,
     /// Wall-clock duration of the run (start to shutdown).
@@ -115,12 +146,10 @@ impl ShardedMetrics {
     ) -> Self {
         let mut merged = SchedulerMetrics::new();
         let mut dispatch = DispatchReport::default();
-        let mut peak_pending = 0;
         let mut per_shard = Vec::with_capacity(reports.len());
         for report in reports {
             merged.merge(&report.scheduler);
             dispatch.merge(&report.dispatch);
-            peak_pending = peak_pending.max(report.peak_pending);
             per_shard.push(report.scheduler);
         }
         ShardedMetrics {
@@ -128,13 +157,15 @@ impl ShardedMetrics {
             per_shard,
             merged,
             dispatch,
-            peak_pending,
+            peak_pending: router.peak_inflight as usize,
             transactions: router.transactions,
             cross_shard_transactions: router.cross_shard_transactions,
             queue_depths: router.queue_depths,
             unreclaimed_homes: router.unreclaimed_homes,
             rehomed_objects: router.rehomed_objects,
             placement_epoch: router.placement_epoch,
+            escalations_concurrent_peak: escalation.concurrent_peak,
+            critical_path_us: reports.iter().map(|r| r.busy_us).max().unwrap_or(0),
             escalation,
             wall,
         }
@@ -189,6 +220,7 @@ mod tests {
                 ..DispatchReport::default()
             },
             peak_pending: peak,
+            busy_us: 1_000 * rounds,
             final_rows: Vec::new(),
             executed_log: Vec::new(),
         }
@@ -206,6 +238,7 @@ mod tests {
                 unreclaimed_homes: 0,
                 rehomed_objects: 2,
                 placement_epoch: 2,
+                peak_inflight: 17,
             },
             EscalationStats {
                 escalations: 5,
@@ -214,6 +247,7 @@ mod tests {
                 failed: 0,
                 rehomes: 2,
                 rehomes_busy: 1,
+                concurrent_peak: 3,
             },
             Duration::from_secs(2),
         );
@@ -223,7 +257,9 @@ mod tests {
         assert_eq!(m.merged.max_batch, 30);
         assert_eq!(m.dispatch.executed, 40);
         assert_eq!(m.dispatch.commits, 2);
-        assert_eq!(m.peak_pending, 12);
+        assert_eq!(m.peak_pending, 17);
+        assert_eq!(m.escalations_concurrent_peak, 3);
+        assert_eq!(m.critical_path_us, 5_000);
         assert_eq!(m.queue_depths, vec![3, 9]);
         assert_eq!(m.unreclaimed_homes, 0);
         assert_eq!(m.rehomed_objects, 2);

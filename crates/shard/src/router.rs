@@ -8,42 +8,51 @@
 //! migration holds the router's submission fence exclusively, so every
 //! transaction is routed entirely under one placement epoch and in-flight
 //! transactions keep the homes they were routed with.
+//!
+//! Submissions are **batched per shard**: the fast path pushes into a
+//! per-shard buffer and a flusher thread drains every buffer on the
+//! latency bound configured by `SchedulerConfig::batch_flush_micros` (a
+//! buffer also flushes inline when the fleet is otherwise idle or the
+//! buffer fills), so a pipelined client costs one channel synchronization
+//! per *batch* rather than per transaction.  Completions come back through
+//! the shared [`CompletionHub`] the same way — one hub synchronization per
+//! worker round.
 
 use crate::config::ShardConfig;
-use crate::escalation::{run_coordinator, EscalationJob, EscalationMessage};
+use crate::escalation::{run_coordinator, CoordinatorSetup, EscalationJob, EscalationMessage};
+use crate::hub::{CompletionHub, HubReply};
 use crate::metrics::{EscalationStats, RouterSnapshot, ShardReport, ShardedMetrics};
-use crate::worker::{run_worker, ShardMessage, WorkerSetup};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::worker::{run_worker, ShardMessage, Submission, WorkerSetup};
+use crossbeam::channel::{bounded, unbounded, Sender};
 use declsched::{
     footprint, DeclarativeScheduler, Dispatcher, FreqSketch, Placement, Request, SchedError,
     SchedResult,
 };
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Capacity of the router's hot-object frequency sketch.
 const SKETCH_CAPACITY: usize = 128;
 
-/// A pending reply for one submitted transaction.
+/// A submission buffer flushes as soon as it holds this many transactions,
+/// independent of the latency bound — batches beyond this see diminishing
+/// returns on the channel synchronization while adding tail latency.
+const MAX_BATCH: usize = 128;
+
+/// A pending completion for one submitted transaction, waited on through
+/// the fleet's shared completion hub.
 pub struct TxnTicket {
-    rx: Receiver<SchedResult<()>>,
+    hub: Arc<CompletionHub>,
+    token: u64,
 }
 
 impl TxnTicket {
     /// Block until the transaction has fully executed.
     pub fn wait(self) -> SchedResult<()> {
-        self.rx.recv().map_err(|_| SchedError::ChannelClosed {
-            endpoint: "shard worker",
-        })?
-    }
-
-    /// The raw completion channel, for callers (like the unified `Session`
-    /// façade) that multiplex many tickets.
-    pub fn into_receiver(self) -> Receiver<SchedResult<()>> {
-        self.rx
+        self.hub.wait(self.token)
     }
 }
 
@@ -79,19 +88,38 @@ struct Counters {
 /// remove every transaction they fail, the coordinator removes on
 /// escalation failure, and `Session::drop` removes transactions abandoned
 /// without a terminal.
+///
+/// The map is striped by `ta` so the lock doubles as the *per-transaction*
+/// submission lock without serializing unrelated transactions: `submit`
+/// holds its transaction's stripe across the whole route-and-buffer (that
+/// is what keeps one transaction's incremental submissions ordered), while
+/// concurrent submitters on other stripes route in parallel.
 pub(crate) struct TxnHomes {
-    map: Mutex<HashMap<u64, BTreeSet<usize>>>,
+    stripes: Vec<Mutex<HashMap<u64, BTreeSet<usize>>>>,
 }
+
+/// Stripe count for [`TxnHomes`]; a power of two so the stripe index is a
+/// mask of the transaction id.
+const HOME_STRIPES: usize = 32;
 
 impl TxnHomes {
     fn new() -> Self {
         TxnHomes {
-            map: Mutex::new(HashMap::new()),
+            stripes: (0..HOME_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
-    fn lock(&self) -> SchedResult<MutexGuard<'_, HashMap<u64, BTreeSet<usize>>>> {
-        self.map.lock().map_err(|_| SchedError::Poisoned {
+    fn stripe(&self, ta: u64) -> &Mutex<HashMap<u64, BTreeSet<usize>>> {
+        &self.stripes[(ta as usize) & (HOME_STRIPES - 1)]
+    }
+
+    /// Lock the stripe owning `ta` (transactions without an id share
+    /// stripe 0; they carry no homes entry, the guard only orders the
+    /// route).
+    fn lock(&self, ta: u64) -> SchedResult<MutexGuard<'_, HashMap<u64, BTreeSet<usize>>>> {
+        self.stripe(ta).lock().map_err(|_| SchedError::Poisoned {
             what: "router homes map",
         })
     }
@@ -99,7 +127,7 @@ impl TxnHomes {
     /// Drop the entry for `ta` (no-op if absent).  Poison-tolerant: reclaim
     /// must never panic a failure path.
     pub(crate) fn remove(&self, ta: u64) {
-        let mut map = match self.map.lock() {
+        let mut map = match self.stripe(ta).lock() {
             Ok(map) => map,
             Err(poisoned) => poisoned.into_inner(),
         };
@@ -108,20 +136,19 @@ impl TxnHomes {
 
     /// Drop the entries for every given transaction.
     pub(crate) fn remove_many(&self, tas: impl IntoIterator<Item = u64>) {
-        let mut map = match self.map.lock() {
-            Ok(map) => map,
-            Err(poisoned) => poisoned.into_inner(),
-        };
         for ta in tas {
-            map.remove(&ta);
+            self.remove(ta);
         }
     }
 
     fn len(&self) -> usize {
-        match self.map.lock() {
-            Ok(map) => map.len(),
-            Err(poisoned) => poisoned.into_inner().len(),
-        }
+        self.stripes
+            .iter()
+            .map(|stripe| match stripe.lock() {
+                Ok(map) => map.len(),
+                Err(poisoned) => poisoned.into_inner().len(),
+            })
+            .sum()
     }
 }
 
@@ -143,8 +170,8 @@ pub(crate) struct RouterCore {
     /// transaction observes exactly one placement epoch end to end.
     fence: RwLock<()>,
     /// Per-transaction homes (also the per-transaction submission lock:
-    /// holding it across the route-and-send keeps per-transaction ordering
-    /// stable).
+    /// holding it across the route-and-buffer keeps per-transaction
+    /// ordering stable).
     homes: Arc<TxnHomes>,
     /// Hot-object detector fed on every submission, drained by the control
     /// plane.
@@ -161,17 +188,49 @@ pub(crate) struct RouterCore {
     /// fence holder can never miss a job the coordinator has dequeued but
     /// not finished), decremented by the coordinator on completion.
     lane_active: Arc<AtomicU64>,
+    /// The shared completion hub tickets wait on.
+    hub: Arc<CompletionHub>,
+    /// Per-shard submission buffers, drained by the flusher thread (or
+    /// inline — see [`RouterCore::enqueue`]).  Sends happen under the
+    /// buffer lock, so batch order equals push order.
+    buffers: Vec<Mutex<Vec<Submission>>>,
+    /// Requests currently in flight fleet-wide (submitted, not resolved) —
+    /// decremented by the hub replies.
+    inflight: Arc<AtomicU64>,
+    /// High-water mark of `inflight`: the fleet-wide concurrent occupancy
+    /// peak reported as `ShardedMetrics::peak_pending`.
+    peak_inflight: Arc<AtomicU64>,
+    /// Completion-hub token allocator.
+    next_token: AtomicU64,
+    /// Set at the start of shutdown: submissions are refused from then on.
+    /// Without this, a submission could be accepted into a buffer that
+    /// will never flush again (buffering decouples accepting a transaction
+    /// from delivering it, so "the worker's channel died" no longer
+    /// surfaces at submit time).
+    closed: AtomicBool,
+    /// Latency bound on buffered submissions, from
+    /// `SchedulerConfig::batch_flush_micros` (`0` = flush inline, no
+    /// flusher thread).
+    flush_micros: u64,
+    /// Distribution of flushed batch sizes (`router.batch_size`).
+    batch_hist: Arc<obs::MetricHistogram>,
     /// Flight recorder for routing decisions (`Routed`/`Escalated` events).
     recorder: obs::SharedRecorder,
     /// Chaos fault injector: the router fires `RouterSend` before every
-    /// fast-path mailbox send (disabled outside chaos runs).
+    /// fast-path submission (disabled outside chaos runs).
     injector: Arc<chaos::FaultInjector>,
 }
 
 impl RouterCore {
-    /// Route one transaction: single-shard footprints go straight to their
-    /// shard, spanning footprints to the escalation lane.
+    /// Route one transaction: single-shard footprints go into their
+    /// shard's submission buffer, spanning footprints to the escalation
+    /// lane.
     pub(crate) fn submit(&self, requests: Vec<Request>) -> SchedResult<TxnTicket> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(SchedError::ChannelClosed {
+                endpoint: "shard router (shutting down)",
+            });
+        }
         let _fence = self.fence.read().map_err(|_| SchedError::Poisoned {
             what: "router placement fence",
         })?;
@@ -189,13 +248,26 @@ impl RouterCore {
             }
         }
 
-        let (reply_tx, reply_rx) = bounded(1);
-        let ticket = TxnTicket { rx: reply_rx };
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let weight = requests.len().max(1) as u64;
+        let before = self.inflight.fetch_add(weight, Ordering::Relaxed);
+        self.peak_inflight
+            .fetch_max(before + weight, Ordering::Relaxed);
+        let reply = HubReply::new(
+            Arc::clone(&self.hub),
+            token,
+            weight,
+            Arc::clone(&self.inflight),
+        );
+        let ticket = TxnTicket {
+            hub: Arc::clone(&self.hub),
+            token,
+        };
 
-        let mut homes = self.homes.lock()?;
+        let mut homes = self.homes.lock(ta.unwrap_or(0))?;
         // Union with the shards already touched by earlier submissions of
         // the same transaction: a lock acquired there must be part of any
-        // barrier this submission takes.
+        // handshake this submission takes.
         let mut touched = own.clone();
         if let Some(ta) = ta {
             if let Some(previous) = homes.get(&ta) {
@@ -211,17 +283,17 @@ impl RouterCore {
             .map(|_| requests.iter().map(|r| r.intra).collect());
         let target = touched.first().copied().unwrap_or(0);
         let sent = if !cross_shard {
-            // Chaos hook: a scripted `SendFail` refuses the fast-path send
-            // as if the worker's mailbox were gone.  The ticket resolves
-            // with the error (the client sees a failed transaction, not a
-            // hung one) and the homes entry is dropped below — exactly the
-            // failed-send contract.
+            // Chaos hook: a scripted `SendFail` refuses the fast-path
+            // submission as if the worker's mailbox were gone.  The ticket
+            // resolves with the error (the client sees a failed
+            // transaction, not a hung one) and the homes entry is dropped
+            // below — exactly the failed-send contract.
             if matches!(
                 self.injector
                     .fire(chaos::Hook::RouterSend { shard: target }),
                 Some(chaos::Fault::SendFail)
             ) {
-                let _ = reply_tx.send(Err(SchedError::ChannelClosed {
+                reply.resolve_now(Err(SchedError::ChannelClosed {
                     endpoint: "shard worker (chaos send failure)",
                 }));
                 if let Some(ta) = ta {
@@ -229,35 +301,49 @@ impl RouterCore {
                 }
                 return Ok(ticket);
             }
-            // Fast path: the whole transaction lives on one shard (terminal-
-            // only transactions with no recorded home default to shard 0).
-            self.workers[target]
-                .send(ShardMessage::Transaction {
-                    requests,
-                    reply: reply_tx,
-                })
-                .map_err(|_| SchedError::ChannelClosed {
-                    endpoint: "shard worker",
-                })
+            // Fast path: the whole transaction lives on one shard
+            // (terminal-only transactions with no recorded home default to
+            // shard 0).  Buffer it; flush inline when the fleet is
+            // otherwise idle (a lone sequential client must not eat the
+            // flush latency), when batching is disabled, or when the
+            // buffer fills.
+            self.enqueue(target, Submission { requests, reply }, before == 0)
         } else {
-            // Capture each data request's home under the fence: the
-            // escalation lane executes with exactly this assignment, so a
-            // later placement flip cannot re-route a queued job onto a
-            // shard its barrier never froze.
-            let assigned: Vec<Option<usize>> = requests
-                .iter()
-                .map(|r| r.op.is_data().then(|| self.placement.shard_of(r.object)))
-                .collect();
-            self.escalation
-                .send(EscalationMessage::Job(EscalationJob {
-                    requests,
-                    assigned,
-                    touched: touched.iter().copied().collect(),
-                    reply: reply_tx,
-                }))
-                .map_err(|_| SchedError::ChannelClosed {
-                    endpoint: "escalation coordinator",
-                })
+            // The handshake must observe every earlier same-transaction
+            // submission: flush the touched shards' buffers *before*
+            // enqueueing the job, so the workers' FIFO mailboxes order the
+            // buffered batches ahead of the lane's prepare.
+            let mut flushed = Ok(());
+            for &shard in &touched {
+                if let Err(e) = self.flush_shard(shard) {
+                    flushed = Err(e);
+                    break;
+                }
+            }
+            match flushed {
+                Ok(()) => {
+                    // Capture each data request's home under the fence: the
+                    // escalation lane executes with exactly this
+                    // assignment, so a later placement flip cannot re-route
+                    // a queued job onto a shard whose vote the handshake
+                    // never collected.
+                    let assigned: Vec<Option<usize>> = requests
+                        .iter()
+                        .map(|r| r.op.is_data().then(|| self.placement.shard_of(r.object)))
+                        .collect();
+                    self.escalation
+                        .send(EscalationMessage::Job(EscalationJob {
+                            requests,
+                            assigned,
+                            touched: touched.iter().copied().collect(),
+                            reply,
+                        }))
+                        .map_err(|_| SchedError::ChannelClosed {
+                            endpoint: "escalation coordinator",
+                        })
+                }
+                Err(e) => Err(e),
+            }
         };
 
         match sent {
@@ -310,10 +396,49 @@ impl RouterCore {
         }
     }
 
+    /// Push one submission into its shard's buffer, flushing inline when
+    /// `inline` (the fleet was idle at submit time), when batching is
+    /// disabled, or when the buffer reaches [`MAX_BATCH`].
+    fn enqueue(&self, shard: usize, submission: Submission, inline: bool) -> SchedResult<()> {
+        let mut buffer = self.buffers[shard]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        buffer.push(submission);
+        if inline || self.flush_micros == 0 || buffer.len() >= MAX_BATCH {
+            self.flush_locked(shard, &mut buffer)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Flush one shard's buffer (no-op when empty).
+    pub(crate) fn flush_shard(&self, shard: usize) -> SchedResult<()> {
+        let mut buffer = self.buffers[shard]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.flush_locked(shard, &mut buffer)
+    }
+
+    /// Send the buffered batch while holding the buffer lock, so batch
+    /// order on the worker's FIFO mailbox equals submission order.  A
+    /// failed send drops the batch — every contained reply then resolves
+    /// its ticket with a closed-channel error through its drop guard.
+    fn flush_locked(&self, shard: usize, buffer: &mut Vec<Submission>) -> SchedResult<()> {
+        if buffer.is_empty() {
+            return Ok(());
+        }
+        self.batch_hist.observe(buffer.len() as u64);
+        let batch = std::mem::take(buffer);
+        self.workers[shard]
+            .send(ShardMessage::Batch(batch))
+            .map_err(|_| SchedError::ChannelClosed {
+                endpoint: "shard worker",
+            })
+    }
+
     /// Migrate `object` to shard `to` behind the exclusive placement fence.
-    /// Serialized through the escalation coordinator so every queued
-    /// cross-shard job routed under the old placement executes before the
-    /// flip.
+    /// Runs inline on the escalation coordinator, which is guaranteed idle
+    /// (checked below), so the migration cannot race a handshake.
     pub(crate) fn rehome(&self, object: i64, to: usize) -> SchedResult<RehomeOutcome> {
         if to >= self.shards {
             return Err(SchedError::Dispatch {
@@ -368,8 +493,8 @@ impl RouterCore {
     }
 
     /// The deepest backlog anywhere in the fleet: the worst shard queue or
-    /// the serialized escalation lane's mailbox, whichever is larger —
-    /// cross-shard overload piles up in the lane, not on any worker.
+    /// the escalation lane's mailbox, whichever is larger — cross-shard
+    /// overload piles up in the lane, not on any worker.
     pub(crate) fn max_queue_depth(&self) -> usize {
         let worker = self.queue_depths().into_iter().max().unwrap_or(0) as usize;
         worker.max(self.escalation.len())
@@ -454,12 +579,14 @@ pub struct ShardedReport {
 
 /// The sharded scheduling subsystem: N shard workers, each running the
 /// paper's declarative scheduling loop over its slice of the object space,
-/// behind a placement-aware router with a serialized escalation lane for
+/// behind a placement-aware router with a two-phase escalation lane for
 /// spanning transactions.
 pub struct ShardRouter {
     core: Arc<RouterCore>,
     worker_handles: Vec<JoinHandle<ShardReport>>,
     escalation_handle: JoinHandle<EscalationStats>,
+    flusher_stop: Arc<AtomicBool>,
+    flusher_handle: Option<JoinHandle<()>>,
     started: Instant,
 }
 
@@ -477,10 +604,10 @@ impl ShardRouter {
     /// Like [`ShardRouter::start`], threading an observability sink and
     /// metrics registry through the fleet: every worker records request
     /// lifecycle events into `sink`, the router emits `Routed`/`Escalated`
-    /// events, and the `shard.*`/`router.*`/`lane.*` counters and gauges
-    /// register into `registry` (the per-shard queue-depth gauges and the
-    /// router's routing counters are adopted live — the registry reads the
-    /// very atomics the fleet updates).
+    /// events, and the `shard.*`/`router.*`/`lane.*` counters, gauges and
+    /// histograms register into `registry` (the per-shard queue-depth
+    /// gauges and the router's routing counters are adopted live — the
+    /// registry reads the very atomics the fleet updates).
     pub fn start_observed(
         config: ShardConfig,
         sink: obs::TraceSink,
@@ -489,6 +616,7 @@ impl ShardRouter {
         let shards = config.shards.max(1);
         let placement = Arc::new(Placement::new(shards));
         let homes = Arc::new(TxnHomes::new());
+        let hub = CompletionHub::new();
         let mut workers = Vec::with_capacity(shards);
         let mut worker_handles = Vec::with_capacity(shards);
         let mut depths = Vec::with_capacity(shards);
@@ -505,6 +633,7 @@ impl ShardRouter {
             let gauge = Arc::clone(&depth);
             registry.adopt_gauge(&format!("shard.{shard}.queue_depth"), Arc::clone(&depth));
             let worker_homes = Arc::clone(&homes);
+            let worker_hub = Arc::clone(&hub);
             let worker_sink = sink.clone();
             let worker_registry = Arc::clone(&registry);
             let worker_injector = Arc::clone(&config.injector);
@@ -519,6 +648,7 @@ impl ShardRouter {
                         receiver: rx,
                         depth: gauge,
                         homes: worker_homes,
+                        hub: worker_hub,
                         sink: worker_sink,
                         registry: worker_registry,
                         injector: worker_injector,
@@ -532,58 +662,90 @@ impl ShardRouter {
 
         let (escalation_tx, escalation_rx) = unbounded::<EscalationMessage>();
         let lane_active = Arc::new(AtomicU64::new(0));
-        let coordinator_workers = workers.clone();
-        let policy = config.policy.clone();
-        let max_attempts = config.max_escalation_attempts;
-        let aux_relations = config.aux_relations.clone();
-        let coordinator_placement = Arc::clone(&placement);
-        let coordinator_lane_active = Arc::clone(&lane_active);
-        let coordinator_sink = sink.clone();
-        let coordinator_registry = Arc::clone(&registry);
-        let coordinator_injector = Arc::clone(&config.injector);
+        let coordinator_setup = CoordinatorSetup {
+            policy: config.policy.clone(),
+            workers: workers.clone(),
+            receiver: escalation_rx,
+            loopback: escalation_tx.clone(),
+            max_attempts: config.max_escalation_attempts,
+            aux_relations: config.aux_relations.clone(),
+            placement: Arc::clone(&placement),
+            lane_active: Arc::clone(&lane_active),
+            sink: sink.clone(),
+            registry: Arc::clone(&registry),
+            injector: Arc::clone(&config.injector),
+        };
         let escalation_handle = std::thread::Builder::new()
             .name("declsched-escalation".to_string())
-            .spawn(move || {
-                run_coordinator(
-                    policy,
-                    coordinator_workers,
-                    escalation_rx,
-                    max_attempts,
-                    aux_relations,
-                    coordinator_placement,
-                    coordinator_lane_active,
-                    coordinator_sink,
-                    coordinator_registry,
-                    coordinator_injector,
-                )
-            })
+            .spawn(move || run_coordinator(coordinator_setup))
             .expect("spawning the escalation coordinator cannot fail");
 
         let transactions = Arc::new(AtomicU64::new(0));
         let cross_shard = Arc::new(AtomicU64::new(0));
         registry.adopt_counter("router.transactions", Arc::clone(&transactions));
         registry.adopt_counter("router.cross_shard", Arc::clone(&cross_shard));
+        let inflight = Arc::new(AtomicU64::new(0));
+        let peak_inflight = Arc::new(AtomicU64::new(0));
+        registry.adopt_gauge("router.inflight", Arc::clone(&inflight));
+        registry.adopt_gauge("router.peak_inflight", Arc::clone(&peak_inflight));
+        let flush_micros = config.scheduler.batch_flush_micros;
+
+        let core = Arc::new(RouterCore {
+            workers,
+            escalation: escalation_tx,
+            shards,
+            counters: Counters {
+                transactions,
+                cross_shard,
+            },
+            placement,
+            fence: RwLock::new(()),
+            homes,
+            sketch: Mutex::new(FreqSketch::new(SKETCH_CAPACITY)),
+            depths,
+            lane_active,
+            hub,
+            buffers: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            closed: AtomicBool::new(false),
+            inflight,
+            peak_inflight,
+            next_token: AtomicU64::new(0),
+            flush_micros,
+            batch_hist: registry.histogram("router.batch_size"),
+            recorder: sink.shared_recorder(),
+            injector: Arc::clone(&config.injector),
+        });
+
+        // The flusher enforces the latency bound on buffered submissions.
+        // With batching disabled every submission flushes inline, so no
+        // thread is needed.
+        let flusher_stop = Arc::new(AtomicBool::new(false));
+        let flusher_handle = if flush_micros > 0 {
+            let flusher_core = Arc::clone(&core);
+            let stop = Arc::clone(&flusher_stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("declsched-flusher".to_string())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_micros(flush_micros));
+                            for shard in 0..flusher_core.shards {
+                                let _ = flusher_core.flush_shard(shard);
+                            }
+                        }
+                    })
+                    .expect("spawning the submission flusher cannot fail"),
+            )
+        } else {
+            None
+        };
 
         Ok(ShardRouter {
-            core: Arc::new(RouterCore {
-                workers,
-                escalation: escalation_tx,
-                shards,
-                counters: Counters {
-                    transactions,
-                    cross_shard,
-                },
-                placement,
-                fence: RwLock::new(()),
-                homes,
-                sketch: Mutex::new(FreqSketch::new(SKETCH_CAPACITY)),
-                depths,
-                lane_active,
-                recorder: sink.shared_recorder(),
-                injector: Arc::clone(&config.injector),
-            }),
+            core,
             worker_handles,
             escalation_handle,
+            flusher_stop,
+            flusher_handle,
             started: Instant::now(),
         })
     }
@@ -642,7 +804,20 @@ impl ShardRouter {
     /// threads and return the merged report.  Transactions submitted through
     /// still-alive handles after this call are not executed.
     pub fn shutdown(self) -> ShardedReport {
-        // Stop the escalation lane first so no freeze epoch can outlive a
+        // Refuse new submissions first: anything accepted after this point
+        // would land in a buffer that never flushes again.
+        self.core.closed.store(true, Ordering::Release);
+        // Stop the flusher, then push every still-buffered submission out:
+        // nothing may sit in a buffer once the workers start draining.
+        self.flusher_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.flusher_handle {
+            let _ = handle.join();
+        }
+        for shard in 0..self.core.shards {
+            let _ = self.core.flush_shard(shard);
+        }
+
+        // Stop the escalation lane next so no handshake can outlive a
         // worker: the coordinator finishes every job queued before the
         // marker, then exits.
         let _ = self.core.escalation.send(EscalationMessage::Shutdown);
@@ -665,6 +840,11 @@ impl ShardRouter {
             .collect();
         reports.sort_by_key(|r| r.shard);
 
+        // Every worker has drained and published its completions; close
+        // the hub so any ticket whose completion never arrived (e.g. a
+        // submission raced the shutdown) fails instead of blocking.
+        self.core.hub.close();
+
         let router = RouterSnapshot {
             transactions: self.core.counters.transactions.load(Ordering::Relaxed),
             cross_shard_transactions: self.core.counters.cross_shard.load(Ordering::Relaxed),
@@ -672,6 +852,7 @@ impl ShardRouter {
             unreclaimed_homes: self.core.homes.len() as u64,
             rehomed_objects: self.core.placement.rehomed() as u64,
             placement_epoch: self.core.placement.epoch(),
+            peak_inflight: self.core.peak_inflight.load(Ordering::Relaxed),
         };
         let metrics =
             ShardedMetrics::aggregate(&reports, router, escalation, self.started.elapsed());

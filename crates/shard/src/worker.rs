@@ -2,62 +2,131 @@
 //! (incoming queue → pending relation → declarative rule → history relation
 //! → dispatcher) for the slice of the object space that hashes to it.
 //!
-//! Besides client transactions, the worker speaks the batch-epoch barrier
-//! protocol of the escalation lane: on `Freeze` it acks with a snapshot of
-//! its `history` relation and stops scheduling rounds; while frozen it
-//! executes `Execute` batches on behalf of the coordinator (recording them
-//! in its own history) and buffers client transactions; `Release` resumes
-//! normal rounds.  Freezes only ever happen at round boundaries, so a shard
-//! is never interrupted mid-rule.
+//! Client traffic arrives in [`ShardMessage::Batch`]es — the router
+//! accumulates submissions per shard and the worker drains a whole batch
+//! per channel synchronization.  Completions flow back the same way:
+//! resolved tickets are buffered over a scheduling round and published to
+//! the shared [`crate::hub::CompletionHub`] in one call.
+//!
+//! Besides client transactions, the worker speaks the two-phase escalation
+//! handshake: on `Prepare` it qualifies the escalated transaction's *local
+//! slice* against its own live history (the same incremental-qualifier
+//! evaluation local rounds use) and votes; a granted vote holds the shard —
+//! it keeps accepting and buffering traffic but schedules no rounds — until
+//! the initiating lane sends `Commit` (execute the slice here) or
+//! `Release2pc` (a sibling shard voted no; resume immediately).  Prepare
+//! only ever lands at a message boundary, so a shard is never interrupted
+//! mid-rule, and shards outside the transaction's footprint never stop.
 
+use crate::hub::{CompletionHub, HubReply};
 use crate::metrics::ShardReport;
 use crate::router::TxnHomes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use declsched::{DeclarativeScheduler, Dispatcher, Request, RequestKey, SchedError, SchedResult};
+use declsched::{
+    DeclarativeScheduler, Dispatcher, ProtocolKind, Request, RequestKey, SchedError, SchedResult,
+};
 use relalg::Table;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Coordinator's view of a frozen shard: the snapshot it needs to evaluate
-/// the rule over the union of touched shards.
-pub(crate) struct FreezeAck {
-    /// The shard's `history` relation at the freeze point.
-    pub history: Table,
-    /// The shard's `requests` (pending) relation at the freeze point, with
-    /// still-queued (undrained) submissions appended — everything this
-    /// shard has accepted but not yet executed.  The lane uses it to defer
-    /// an escalation while an *earlier submission of the same transaction*
-    /// is still waiting here, which would otherwise let the escalated
-    /// terminal overtake it.
-    pub pending: Table,
+/// One client transaction inside a router batch.
+pub(crate) struct Submission {
+    /// The transaction's requests, in intra order.
+    pub requests: Vec<Request>,
+    /// Resolved once every request has executed (or on failure).
+    pub reply: HubReply,
+}
+
+/// A shard's answer to a `Prepare`.
+pub(crate) struct PrepareVote {
+    /// The shard qualified its local slice and is now holding rounds for
+    /// the initiating lane.  A denial (not granted, no error) means either
+    /// a conflicting local lock or an earlier submission of the same
+    /// transaction still queued here — both cases the lane handles the same
+    /// way: release the siblings, back off, retry.
+    pub granted: bool,
+    /// For custom protocols only: the shard's `history` relation at the
+    /// vote point, so the lane can evaluate the declarative rule over the
+    /// union of the participants' snapshots.
+    pub snapshot: Option<Table>,
+    /// The shard could not vote at all (rule failure or a chaos kill); the
+    /// lane fails the escalation with this error.
+    pub error: Option<SchedError>,
+}
+
+impl PrepareVote {
+    fn granted(snapshot: Option<Table>) -> Self {
+        PrepareVote {
+            granted: true,
+            snapshot,
+            error: None,
+        }
+    }
+
+    fn denied() -> Self {
+        PrepareVote {
+            granted: false,
+            snapshot: None,
+            error: None,
+        }
+    }
+
+    fn error(error: SchedError) -> Self {
+        PrepareVote {
+            granted: false,
+            snapshot: None,
+            error: Some(error),
+        }
+    }
 }
 
 /// Messages understood by a shard worker.
 pub(crate) enum ShardMessage {
-    /// A whole client transaction whose footprint lives on this shard.
-    Transaction {
-        /// The transaction's requests, in intra order.
-        requests: Vec<Request>,
-        /// Signalled once when every request has executed (or on failure).
-        reply: Sender<SchedResult<()>>,
+    /// A batch of client transactions accumulated by the router — one
+    /// channel hop for the whole batch.
+    Batch(Vec<Submission>),
+    /// Escalation lane, phase 1: qualify the local slice of escalation
+    /// `job_id` and vote.  A granted vote holds the shard (no rounds) until
+    /// the matching `Commit` or `Release2pc`.
+    Prepare {
+        /// The lane's id for this escalation (holds are keyed by it).
+        job_id: u64,
+        /// The escalated transaction, for the own-submission-pending check.
+        ta: Option<u64>,
+        /// Protocol to qualify the slice under.
+        kind: ProtocolKind,
+        /// The data requests of the escalation that live on this shard.
+        slice: Vec<Request>,
+        /// Ask for a history snapshot instead of local qualification
+        /// (custom protocols, whose rules the lane evaluates over the
+        /// union).
+        want_snapshot: bool,
+        /// Where to send the vote.
+        vote: Sender<PrepareVote>,
     },
-    /// Escalation lane: freeze at the current round boundary and ack.
-    Freeze {
-        /// Where to send the history snapshot.
-        ack: Sender<FreezeAck>,
-    },
-    /// Escalation lane (only valid while frozen): execute these requests on
-    /// this shard's engine and record them in its history.
-    Execute {
+    /// Escalation lane, phase 2 (only valid while held by `job_id`):
+    /// execute these requests on this shard's engine, record them in its
+    /// history, and release the hold.
+    Commit {
+        /// The escalation this commit belongs to.
+        job_id: u64,
         /// The escalated requests owned by this shard, in intra order.
         requests: Vec<Request>,
         /// Signalled once with the execution outcome.
         done: Sender<SchedResult<()>>,
     },
-    /// Escalation lane: end the freeze epoch and resume rounds.
-    Release,
+    /// Escalation lane: a sibling shard voted no (or the lane is backing
+    /// out of a failed handshake); drop the hold for `job_id` and resume.
+    Release2pc {
+        /// The escalation being released.
+        job_id: u64,
+    },
+    /// Chaos: kill this worker as if its thread had died mid-handshake
+    /// (sent by the lane when a `LanePrepare`/`LaneCommit` hook fires
+    /// `Kill`).
+    ChaosKill,
     /// Placement migration, step 1: if `object` is completely idle here (no
     /// queued or pending request targets it, no live lock), reply with its
     /// current row value; reply `None` (busy) otherwise.  Sent only while
@@ -89,7 +158,7 @@ struct Ticket {
     /// Request keys of this transaction still registered in `waiting`.
     remaining: usize,
     /// Taken by the first terminal outcome (all-executed or first failure).
-    reply: Option<Sender<SchedResult<()>>>,
+    reply: Option<HubReply>,
 }
 
 struct WorkerState {
@@ -109,11 +178,22 @@ struct WorkerState {
     /// Chaos `Kill` landed: everything in flight was failed, the
     /// un-admitted state purged, and every later message is refused.
     killed: bool,
+    /// A granted escalation hold: the job id whose `Prepare` this shard
+    /// granted and whose `Commit`/`Release2pc` it is waiting for.  While
+    /// held the worker keeps draining its mailbox (and buffering client
+    /// traffic) but schedules no rounds, so the history the vote was based
+    /// on cannot shift under the lane.
+    held: Option<u64>,
     /// Live queue-depth gauge sampled by the control plane.
     depth: Arc<AtomicU64>,
     /// The router's homes map, for reclaiming entries of transactions this
     /// worker fails.
     homes: Arc<TxnHomes>,
+    /// The shared completion hub client tickets wait on.
+    hub: Arc<CompletionHub>,
+    /// Completions buffered over the current loop iteration, published to
+    /// the hub in one batch.
+    completions: Vec<(u64, SchedResult<()>)>,
     /// Thread-owned flight recorder (flushes into the run's trace sink
     /// when the worker joins).
     recorder: obs::Recorder,
@@ -136,11 +216,18 @@ impl WorkerState {
         self.started.elapsed().as_millis() as u64
     }
 
+    /// Publish buffered completions to the hub in one call.
+    fn flush_completions(&mut self) {
+        if !self.completions.is_empty() {
+            self.hub.resolve_many(self.completions.drain(..));
+        }
+    }
+
     /// Enqueue a client transaction into the local scheduler (queues only —
-    /// safe while frozen, because rounds are what a freeze suspends).
-    fn submit_transaction(&mut self, requests: Vec<Request>, reply: Sender<SchedResult<()>>) {
+    /// safe while held, because rounds are what a hold suspends).
+    fn submit_transaction(&mut self, requests: Vec<Request>, reply: HubReply) {
         if requests.is_empty() {
-            let _ = reply.send(Ok(()));
+            reply.resolve_now(Ok(()));
             return;
         }
         // Validate the whole batch before touching any state: a duplicate
@@ -151,7 +238,7 @@ impl WorkerState {
         for request in &requests {
             let key = request.key();
             if self.waiting.contains_key(&key) || !batch_keys.insert(key) {
-                let _ = reply.send(Err(SchedError::Dispatch {
+                reply.resolve_now(Err(SchedError::Dispatch {
                     message: format!(
                         "duplicate request key T{}[{}] submitted to shard {}",
                         key.ta, key.intra, self.shard
@@ -188,7 +275,8 @@ impl WorkerState {
     /// Resolve one executed (or failed) request against its ticket.  The
     /// slot is vacated only once *every* key of the transaction has
     /// resolved, so later keys of an already-failed transaction can never
-    /// hit a recycled slot.
+    /// hit a recycled slot.  Completions are buffered, not published — the
+    /// round's flush does that in one hub call.
     fn resolve(&mut self, key: RequestKey, result: SchedResult<()>) {
         let Some(index) = self.waiting.remove(&key) else {
             return;
@@ -197,23 +285,22 @@ impl WorkerState {
             return;
         };
         ticket.remaining -= 1;
-        match result {
+        let outcome = match result {
             Ok(()) => {
                 if ticket.remaining == 0 {
-                    if let Some(reply) = ticket.reply.take() {
-                        let _ = reply.send(Ok(()));
-                    }
+                    ticket.reply.take().map(|reply| (reply, Ok(())))
+                } else {
+                    None
                 }
             }
-            Err(e) => {
-                if let Some(reply) = ticket.reply.take() {
-                    let _ = reply.send(Err(e));
-                }
-            }
-        }
+            Err(e) => ticket.reply.take().map(|reply| (reply, Err(e))),
+        };
         if ticket.remaining == 0 {
             self.tickets[index] = None;
             self.free_tickets.push(index);
+        }
+        if let Some((reply, result)) = outcome {
+            reply.resolve_into(result, &mut self.completions);
         }
     }
 
@@ -239,7 +326,7 @@ impl WorkerState {
         for (key, index) in waiting {
             if let Some(ticket) = self.tickets[index].as_mut() {
                 if let Some(reply) = ticket.reply.take() {
-                    let _ = reply.send(Err(err(key)));
+                    reply.resolve_now(Err(err(key)));
                 }
             }
         }
@@ -249,18 +336,55 @@ impl WorkerState {
         self.submit_round.clear();
     }
 
-    /// The barrier snapshot: history plus everything accepted but not yet
-    /// executed (pending relation ∪ incoming queue).
-    fn freeze_snapshot(&self) -> FreezeAck {
-        let mut pending = self.scheduler.pending_table().clone();
-        for request in self.scheduler.queued_requests() {
-            pending
-                .push(request.to_tuple())
-                .expect("request tuples always match the requests schema");
+    /// Vote on an escalation's `Prepare`: qualify the transaction's local
+    /// slice against this shard's live history and, if admitted, hold the
+    /// shard for the lane's decision.  Qualification runs the same
+    /// conflict-index evaluation local rounds use — over the shard's own
+    /// relations, incrementally maintained, with no union snapshot — which
+    /// is sound because locks live per object and every object has exactly
+    /// one home shard.
+    fn prepare(
+        &mut self,
+        job_id: u64,
+        ta: Option<u64>,
+        kind: ProtocolKind,
+        slice: &[Request],
+        want_snapshot: bool,
+    ) -> PrepareVote {
+        if self.held.is_some() {
+            // Defensive: the lane only runs shard-disjoint jobs
+            // concurrently, so a second prepare while held means a lane bug
+            // — deny rather than deadlock.
+            return PrepareVote::denied();
         }
-        FreezeAck {
-            history: self.scheduler.history_table().clone(),
-            pending,
+        if let Some(ta) = ta {
+            // An earlier submission of this very transaction still waiting
+            // here must execute before the escalated batch — replicating
+            // the terminal now would finish the transaction on this engine
+            // with the earlier statement unexecuted.
+            if self.scheduler.transaction_pending(ta) {
+                return PrepareVote::denied();
+            }
+        }
+        if want_snapshot {
+            // Custom protocols: the lane evaluates the declarative rule
+            // over the union of the participants' snapshots; this shard
+            // just holds and hands over its history.
+            self.held = Some(job_id);
+            return PrepareVote::granted(Some(self.scheduler.history_table().clone()));
+        }
+        match self.scheduler.qualify_escalated_slice(kind, slice) {
+            Err(e) => PrepareVote::error(e),
+            Ok(qualified) => {
+                let qualified: std::collections::HashSet<RequestKey> =
+                    qualified.into_iter().collect();
+                if slice.iter().all(|r| qualified.contains(&r.key())) {
+                    self.held = Some(job_id);
+                    PrepareVote::granted(None)
+                } else {
+                    PrepareVote::denied()
+                }
+            }
         }
     }
 
@@ -302,12 +426,15 @@ impl WorkerState {
 
     /// Chaos `Kill`: fail everything in flight (reclaiming the dead
     /// transactions' homes entries so nothing leaks), purge the
-    /// un-admitted scheduler state, and flip into refuse-everything mode.
-    /// History — and therefore the locks of already-admitted transactions
-    /// — is kept for post-mortem inspection; the worker never schedules
-    /// again, so they can no longer block anything here.
+    /// un-admitted scheduler state, drop any escalation hold (the lane
+    /// backing out of the handshake will see the typed refusal), and flip
+    /// into refuse-everything mode.  History — and therefore the locks of
+    /// already-admitted transactions — is kept for post-mortem inspection;
+    /// the worker never schedules again, so they can no longer block
+    /// anything here.
     fn kill(&mut self) {
         self.killed = true;
+        self.held = None;
         self.recorder
             .freeze_anomaly(&format!("chaos: shard {} worker killed", self.shard));
         let shard = self.shard;
@@ -318,26 +445,29 @@ impl WorkerState {
         self.scheduler.purge_unscheduled(now_ms);
     }
 
-    /// A killed worker answers every message with an error (or a refusal)
-    /// instead of hanging its sender.  `Freeze` still acks — with the
-    /// post-purge snapshot, so the lane's merged rule sees the locks the
-    /// dead worker's admitted transactions keep holding — because an
-    /// unacknowledged freeze would wedge the whole escalation lane.
-    /// `Export` reports busy (a dead shard's rows cannot migrate away)
-    /// and `Install` refuses (nothing should migrate in).
+    /// A killed worker answers every message with a typed error (or a
+    /// refusal) instead of hanging its sender: `Prepare` votes an error —
+    /// which is what lets the initiating lane back out of a mid-handshake
+    /// kill cleanly — `Commit` refuses, `Export` reports busy (a dead
+    /// shard's rows cannot migrate away) and `Install` refuses (nothing
+    /// should migrate in).
     fn refuse(&mut self, message: ShardMessage) {
         let dead = |what: &str| SchedError::Dispatch {
             message: format!("chaos: shard worker killed ({what})"),
         };
         match message {
-            ShardMessage::Transaction { reply, .. } => {
-                let _ = reply.send(Err(dead("transaction refused")));
+            ShardMessage::Batch(submissions) => {
+                for submission in submissions {
+                    submission
+                        .reply
+                        .resolve_now(Err(dead("transaction refused")));
+                }
             }
-            ShardMessage::Execute { done, .. } => {
+            ShardMessage::Prepare { vote, .. } => {
+                let _ = vote.send(PrepareVote::error(dead("prepare refused")));
+            }
+            ShardMessage::Commit { done, .. } => {
                 let _ = done.send(Err(dead("escalated execute refused")));
-            }
-            ShardMessage::Freeze { ack } => {
-                let _ = ack.send(self.freeze_snapshot());
             }
             ShardMessage::Export { reply, .. } => {
                 let _ = reply.send(None);
@@ -345,30 +475,68 @@ impl WorkerState {
             ShardMessage::Install { done, .. } => {
                 let _ = done.send(Err(dead("install refused")));
             }
-            ShardMessage::Release => {}
+            ShardMessage::Release2pc { .. } | ShardMessage::ChaosKill => {}
             ShardMessage::Shutdown => self.disconnected = true,
         }
     }
 
-    /// Handle one message.  `Freeze` blocks inside this call until the
-    /// matching `Release` arrives, processing only escalation traffic (and
-    /// buffering client transactions) in between.
-    fn handle(&mut self, message: ShardMessage, receiver: &Receiver<ShardMessage>) {
+    /// Handle one message.  Never blocks: a granted `Prepare` records the
+    /// hold and returns — the worker keeps draining its mailbox (buffering
+    /// client traffic) until the lane's `Commit`/`Release2pc` lands.
+    fn handle(&mut self, message: ShardMessage) {
         if self.killed {
             self.refuse(message);
             return;
         }
         match message {
-            ShardMessage::Transaction { requests, reply } => {
-                self.submit_transaction(requests, reply)
+            ShardMessage::Batch(submissions) => {
+                for submission in submissions {
+                    self.submit_transaction(submission.requests, submission.reply);
+                }
+            }
+            ShardMessage::Prepare {
+                job_id,
+                ta,
+                kind,
+                slice,
+                want_snapshot,
+                vote,
+            } => {
+                let decision = self.prepare(job_id, ta, kind, &slice, want_snapshot);
+                if vote.send(decision).is_err() {
+                    // Lane went away mid-handshake; do not stay held for a
+                    // decision that will never come.
+                    if self.held == Some(job_id) {
+                        self.held = None;
+                    }
+                }
+            }
+            ShardMessage::Commit {
+                job_id,
+                requests,
+                done,
+            } => {
+                let result = if self.held == Some(job_id) {
+                    self.held = None;
+                    self.execute_escalated(&requests)
+                } else {
+                    Err(SchedError::Dispatch {
+                        message: "escalated commit outside a prepared handshake".to_string(),
+                    })
+                };
+                let _ = done.send(result);
+            }
+            ShardMessage::Release2pc { job_id } => {
+                if self.held == Some(job_id) {
+                    self.held = None;
+                }
+            }
+            ShardMessage::ChaosKill => {
+                if !self.killed {
+                    self.kill();
+                }
             }
             ShardMessage::Shutdown => self.disconnected = true,
-            ShardMessage::Execute { done, .. } => {
-                let _ = done.send(Err(SchedError::Dispatch {
-                    message: "escalated execute outside a freeze epoch".to_string(),
-                }));
-            }
-            ShardMessage::Release => {}
             ShardMessage::Export { object, reply } => self.export(object, &reply),
             ShardMessage::Install {
                 object,
@@ -376,43 +544,6 @@ impl WorkerState {
                 done,
             } => {
                 let _ = done.send(self.dispatcher.install_row(object, value));
-            }
-            ShardMessage::Freeze { ack } => {
-                if ack.send(self.freeze_snapshot()).is_err() {
-                    // Coordinator went away mid-freeze; do not wait for a
-                    // release that will never come.
-                    return;
-                }
-                loop {
-                    match receiver.recv() {
-                        Ok(ShardMessage::Release) => break,
-                        Ok(ShardMessage::Execute { requests, done }) => {
-                            let result = self.execute_escalated(&requests);
-                            let _ = done.send(result);
-                        }
-                        Ok(ShardMessage::Transaction { requests, reply }) => {
-                            self.submit_transaction(requests, reply)
-                        }
-                        Ok(ShardMessage::Shutdown) => self.disconnected = true,
-                        Ok(ShardMessage::Export { object, reply }) => self.export(object, &reply),
-                        Ok(ShardMessage::Install {
-                            object,
-                            value,
-                            done,
-                        }) => {
-                            let _ = done.send(self.dispatcher.install_row(object, value));
-                        }
-                        Ok(ShardMessage::Freeze { ack }) => {
-                            // The lane is serialized, so a nested freeze can
-                            // only be a re-sent barrier; ack idempotently.
-                            let _ = ack.send(self.freeze_snapshot());
-                        }
-                        Err(_) => {
-                            self.disconnected = true;
-                            break;
-                        }
-                    }
-                }
             }
         }
     }
@@ -427,13 +558,28 @@ pub(crate) struct WorkerSetup {
     pub receiver: Receiver<ShardMessage>,
     pub depth: Arc<AtomicU64>,
     pub homes: Arc<TxnHomes>,
+    pub hub: Arc<CompletionHub>,
     pub sink: obs::TraceSink,
     pub registry: Arc<obs::Registry>,
     pub injector: Arc<chaos::FaultInjector>,
 }
 
+/// Microseconds this thread has spent on-CPU, from the kernel's scheduler
+/// statistics.  Unlike wall-clock spans, this excludes both blocking waits
+/// *and* involuntary preemption — on a box with fewer cores than shards,
+/// a wall-clock "busy" span silently absorbs the time other threads spent
+/// running, inflating every shard's busy time toward the whole run's
+/// elapsed time.  `None` when unavailable (non-Linux, or scheduler stats
+/// compiled out), in which case the caller falls back to wall spans.
+fn thread_on_cpu_us() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    let on_cpu_ns: u64 = text.split_whitespace().next()?.parse().ok()?;
+    Some(on_cpu_ns / 1_000)
+}
+
 /// The shard worker thread body.
 pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
+    let cpu_at_start = thread_on_cpu_us();
     let WorkerSetup {
         shard,
         scheduler,
@@ -442,6 +588,7 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
         receiver,
         depth,
         homes,
+        hub,
         sink,
         registry,
         injector,
@@ -461,8 +608,11 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
         peak_pending: 0,
         disconnected: false,
         killed: false,
+        held: None,
         depth,
         homes,
+        hub,
+        completions: Vec::new(),
         recorder: sink.recorder(),
         submit_round: HashMap::default(),
         round_no: 0,
@@ -475,20 +625,27 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
     // round must run immediately — blocking on the channel first would put
     // a hard 1 ms stall into every lock handoff on a lightly loaded shard.
     let mut made_progress = false;
+    // Processing time, excluding the blocking waits for traffic — the
+    // shard's contribution to the fleet's critical path.  Idle wakeups add
+    // only their (near-free) no-op tick to the total.
+    let mut busy_us = 0u64;
     loop {
         // Collect what has arrived; block briefly so an idle shard does not
         // spin (an unproductive round cannot unblock anything by itself, so
-        // waiting for traffic is safe then).
+        // waiting for traffic is safe then).  A held shard also waits here:
+        // the lane's decision arrives as a message.
         let timeout = if made_progress {
             Duration::ZERO
         } else {
             Duration::from_millis(1)
         };
-        match receiver.recv_timeout(timeout) {
+        let received = receiver.recv_timeout(timeout);
+        let iteration_started = Instant::now();
+        match received {
             Ok(first) => {
-                state.handle(first, &receiver);
+                state.handle(first);
                 while let Ok(message) = receiver.try_recv() {
-                    state.handle(message, &receiver);
+                    state.handle(message);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -505,13 +662,22 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
             _ => {}
         }
 
+        if state.disconnected {
+            // The lane joins before the workers at shutdown, so a hold
+            // surviving to this point belongs to a handshake that died
+            // mid-flight; dropping it is what lets the drain below finish.
+            state.held = None;
+        }
+
         let queue_depth = state.scheduler.queued() + state.scheduler.pending();
         state.peak_pending = state.peak_pending.max(queue_depth);
         state.depth.store(queue_depth as u64, Ordering::Relaxed);
 
         let now_ms = state.now_ms();
-        // When shutting down, keep scheduling until everything drained.
-        let batch = if state.killed {
+        // When shutting down, keep scheduling until everything drained.  A
+        // held worker schedules nothing: the history its granted vote was
+        // qualified against must not shift until the lane decides.
+        let batch = if state.killed || state.held.is_some() {
             None
         } else if state.disconnected
             && (state.scheduler.queued() > 0 || state.scheduler.pending() > 0)
@@ -525,6 +691,7 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
             }
         };
 
+        let mut stop = false;
         if let Some(batch) = batch {
             match batch {
                 Ok(batch) => {
@@ -536,76 +703,79 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
                         state.fail_all_waiting(true, |key| SchedError::TransactionFinished {
                             ta: key.ta,
                         });
-                        break;
-                    }
-                    made_progress = !batch.is_empty();
-                    rounds_ctr.inc();
-                    let qualified_at = if state.recorder.enabled() && !batch.is_empty() {
-                        state.recorder.now_us()
+                        stop = true;
                     } else {
-                        0
-                    };
-                    // Chained stamps, as in the core loop: sequential batch
-                    // execution makes a request's `Executed` moment the
-                    // next one's `Dispatched` moment, halving clock reads.
-                    let mut last_us = qualified_at;
-                    let mut last_fresh = true;
-                    for request in &batch.requests {
-                        let key = request.key();
-                        let sampled = state.recorder.samples(key.ta);
-                        if sampled {
-                            let waited = state.round_no.saturating_sub(
-                                state.submit_round.remove(&key).unwrap_or(state.round_no),
-                            );
-                            if waited > 0 {
+                        made_progress = !batch.is_empty();
+                        rounds_ctr.inc();
+                        let qualified_at = if state.recorder.enabled() && !batch.is_empty() {
+                            state.recorder.now_us()
+                        } else {
+                            0
+                        };
+                        // Chained stamps, as in the core loop: sequential
+                        // batch execution makes a request's `Executed` moment
+                        // the next one's `Dispatched` moment, halving clock
+                        // reads.
+                        let mut last_us = qualified_at;
+                        let mut last_fresh = true;
+                        for request in &batch.requests {
+                            let key = request.key();
+                            let sampled = state.recorder.samples(key.ta);
+                            if sampled {
+                                let waited = state.round_no.saturating_sub(
+                                    state.submit_round.remove(&key).unwrap_or(state.round_no),
+                                );
+                                if waited > 0 {
+                                    state.recorder.emit_at(
+                                        key.ta,
+                                        key.intra,
+                                        qualified_at,
+                                        obs::EventKind::RoundDeferred { rounds: waited },
+                                    );
+                                }
                                 state.recorder.emit_at(
                                     key.ta,
                                     key.intra,
                                     qualified_at,
-                                    obs::EventKind::RoundDeferred { rounds: waited },
+                                    obs::EventKind::Qualified,
+                                );
+                                if !last_fresh {
+                                    last_us = state.recorder.now_us();
+                                }
+                                state.recorder.emit_at(
+                                    key.ta,
+                                    key.intra,
+                                    last_us,
+                                    obs::EventKind::Dispatched,
                                 );
                             }
-                            state.recorder.emit_at(
-                                key.ta,
-                                key.intra,
-                                qualified_at,
-                                obs::EventKind::Qualified,
-                            );
-                            if !last_fresh {
+                            // Chaos hook: a `Stall` right before a terminal
+                            // executes extends every lock the transaction
+                            // holds.
+                            if request.op.is_terminal() {
+                                if let Some(chaos::Fault::Stall { millis }) =
+                                    state.injector.fire(chaos::Hook::WorkerCommit { shard })
+                                {
+                                    std::thread::sleep(Duration::from_millis(millis));
+                                }
+                            }
+                            let result = state.dispatcher.execute_request(request);
+                            executed_ctr.inc();
+                            if sampled {
                                 last_us = state.recorder.now_us();
+                                state.recorder.emit_at(
+                                    key.ta,
+                                    key.intra,
+                                    last_us,
+                                    obs::EventKind::Executed,
+                                );
                             }
-                            state.recorder.emit_at(
-                                key.ta,
-                                key.intra,
-                                last_us,
-                                obs::EventKind::Dispatched,
-                            );
+                            last_fresh = sampled;
+                            state.executed_log.push(request.clone());
+                            state.resolve(key, result);
                         }
-                        // Chaos hook: a `Stall` right before a terminal
-                        // executes extends every lock the transaction holds.
-                        if request.op.is_terminal() {
-                            if let Some(chaos::Fault::Stall { millis }) =
-                                state.injector.fire(chaos::Hook::WorkerCommit { shard })
-                            {
-                                std::thread::sleep(Duration::from_millis(millis));
-                            }
-                        }
-                        let result = state.dispatcher.execute_request(request);
-                        executed_ctr.inc();
-                        if sampled {
-                            last_us = state.recorder.now_us();
-                            state.recorder.emit_at(
-                                key.ta,
-                                key.intra,
-                                last_us,
-                                obs::EventKind::Executed,
-                            );
-                        }
-                        last_fresh = sampled;
-                        state.executed_log.push(request.clone());
-                        state.resolve(key, result);
+                        state.round_no += 1;
                     }
-                    state.round_no += 1;
                 }
                 Err(e) => {
                     // A rule failure fails every waiting client rather than
@@ -622,16 +792,24 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
                         // The drain loop cannot make progress if the rule
                         // keeps erroring (run_round never empties the
                         // pending relation), so stop instead of spinning.
-                        break;
+                        stop = true;
                     }
                 }
             }
         }
 
+        // One hub synchronization for everything the round resolved.
+        state.flush_completions();
+
+        busy_us += iteration_started.elapsed().as_micros() as u64;
+        if stop {
+            break;
+        }
         if state.disconnected && state.scheduler.queued() == 0 && state.scheduler.pending() == 0 {
             break;
         }
     }
+    state.flush_completions();
 
     // Publish the true final depth (0 on a clean drain; the stranded
     // backlog if the drain bailed on a rule failure) — the loop's last
@@ -641,11 +819,20 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
         Ordering::Relaxed,
     );
 
+    // Prefer the kernel's on-CPU accounting; the accumulated wall spans
+    // are the portable fallback (exact on an unloaded box, inflated by
+    // preemption on an oversubscribed one).
+    let busy_us = match (cpu_at_start, thread_on_cpu_us()) {
+        (Some(start), Some(end)) => end.saturating_sub(start),
+        _ => busy_us,
+    };
+
     ShardReport {
         shard: state.shard,
         scheduler: state.scheduler.metrics(),
         dispatch: state.dispatcher.totals(),
         peak_pending: state.peak_pending,
+        busy_us,
         final_rows: state.dispatcher.final_rows(rows),
         executed_log: state.executed_log,
     }

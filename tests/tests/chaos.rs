@@ -181,6 +181,91 @@ fn killed_shard_worker_spares_the_live_shard_and_leaks_no_homes() {
     }
 }
 
+/// Killing a two-phase participant mid-handshake: a `Kill` at the
+/// `LanePrepare` hook takes down shard 1 immediately before the lane's
+/// prepare lands there, after shard 0 has already granted its hold.  The
+/// escalation must fail with the typed "killed" dispatch error, the
+/// initiator must back out of the shards it already holds (later shard-0
+/// writers to the very object the dead escalation touched still commit),
+/// and shutdown must show zero leaked homes entries.
+#[test]
+fn killed_prepare_participant_fails_typed_and_releases_the_initiator() {
+    let scheduler = builder()
+        .shards(2)
+        .chaos(FaultPlan::new().inject(Hook::LanePrepare { shard: 1 }, 0, Fault::Kill))
+        .build()
+        .expect("fleet starts");
+    let mut session = scheduler.connect();
+
+    let object_on = |shard: usize| -> i64 {
+        (0..TABLE_ROWS as i64)
+            .find(|&o| shard_of(o, 2) == shard)
+            .expect("both shards own objects")
+    };
+    let (a, b) = (object_on(0), object_on(1));
+
+    // Warm both shards with committed local traffic first, so the kill
+    // provably lands mid-handshake rather than at startup.
+    session
+        .submit(Txn::new(1).write(a, 1).commit())
+        .expect("shard-0 warmup submits")
+        .wait()
+        .expect("shard-0 warmup commits");
+    session
+        .submit(Txn::new(2).write(b, 1).commit())
+        .expect("shard-1 warmup submits")
+        .wait()
+        .expect("shard-1 warmup commits");
+
+    // The spanning transaction escalates.  The lane prepares shard 0
+    // (granted, held), then fires the hook before shard 1's prepare — the
+    // participant dies, votes the typed error, and the initiator must
+    // release shard 0.
+    let spanning = session
+        .submit(Txn::new(3).write(a, 99).write(b, 99).commit())
+        .expect("cross-shard submission routes");
+    let err = spanning
+        .wait()
+        .expect_err("a dead participant fails the escalation");
+    match &err {
+        SchedError::Dispatch { message } => {
+            assert!(message.contains("killed"), "unexpected message: {message}")
+        }
+        other => panic!("expected a dispatch error, got {other:?}"),
+    }
+
+    // Release proof: the surviving shard keeps committing — on the *same*
+    // object the failed escalation prepared — so neither the 2pc hold nor
+    // any qualification lock survived the back-out.
+    for ta in 10..14u64 {
+        session
+            .submit(Txn::new(ta).write(a, ta as i64).commit())
+            .expect("post-failure shard-0 submission routes")
+            .wait()
+            .expect("shard 0 commits after the initiator backed out");
+    }
+
+    // Drain re-reports the escalation failure already observed above.
+    assert!(session.drain().is_err());
+    assert_eq!(session.in_flight(), 0);
+
+    let report = scheduler.shutdown();
+    let detail = report.sharded.expect("sharded detail");
+    assert_eq!(detail.escalation.escalations, 1);
+    assert_eq!(
+        detail.escalation.failed, 1,
+        "the kill fails exactly one escalation"
+    );
+    assert_eq!(
+        detail.unreclaimed_homes, 0,
+        "a failed escalation must not leak routing state"
+    );
+    // Shard 0's post-failure writers landed; the dead escalation's write
+    // never executed anywhere.
+    assert_eq!(report.final_rows[a as usize], 13);
+    assert_eq!(report.final_rows[b as usize], 1);
+}
+
 /// The passthrough forward thread honours `Kill` the same way: queued and
 /// later transactions fail with the typed error, nothing hangs, and the
 /// worker still answers shutdown.

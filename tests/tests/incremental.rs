@@ -141,6 +141,7 @@ fn scheduler_for(
             prune_history,
             enforce_intra_order: true,
             incremental,
+            ..SchedulerConfig::default()
         },
     );
     // Rationing consults `object_class`; register the identical

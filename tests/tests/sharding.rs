@@ -121,6 +121,151 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Escalations with disjoint shard sets run concurrently through the
+    /// lane's runner pool; serialized execution is the oracle.  For any
+    /// workload of spanning transactions over two disjoint shard pairs and
+    /// any client interleaving (pipelined in order, pipelined reversed,
+    /// concurrent submitters), the outcome must be indistinguishable from
+    /// submit-wait-one-at-a-time: same commit set, same per-shard
+    /// admission order for the ordered run, same final rows.
+    #[test]
+    fn disjoint_escalations_match_serialized_execution(
+        (transactions, seed) in (2usize..10, 0u64..500)
+    ) {
+        let shards = 4usize;
+        // Unique objects per transaction (two per ta, one on each shard of
+        // its pair), so the final database state is interleaving-
+        // independent and any divergence is a scheduling bug, not an
+        // expected write-order difference.
+        let pair_of = |ta: u64| -> [usize; 2] {
+            if (ta + seed).is_multiple_of(2) {
+                [0, 1]
+            } else {
+                [2, 3]
+            }
+        };
+        let object_on = |shard: usize, ta: u64| -> i64 {
+            (0..TABLE_ROWS as i64)
+                .filter(|&o| shard_of(o, shards) == shard)
+                .nth(ta as usize)
+                .expect("enough objects per shard")
+        };
+        let txns: Vec<Vec<Request>> = (1..=transactions as u64)
+            .map(|ta| {
+                let [s1, s2] = pair_of(ta);
+                vec![
+                    Request::write(0, ta, 0, object_on(s1, ta)),
+                    Request::write(0, ta, 1, object_on(s2, ta)),
+                    Request::commit(0, ta, 2),
+                ]
+            })
+            .collect();
+
+        let start = || {
+            let config = ShardConfig::new(shards, Protocol::algebra(ProtocolKind::Ss2pl))
+                .with_scheduler(SchedulerConfig {
+                    trigger: TriggerPolicy::Hybrid { interval_ms: 1, threshold: 8 },
+                    ..SchedulerConfig::default()
+                })
+                .with_table("bench", TABLE_ROWS);
+            ShardRouter::start(config).expect("router starts")
+        };
+
+        // Oracle: strictly serialized — submit one, wait for it, then the
+        // next.  At most one escalation is ever in flight.
+        let serialized = {
+            let router = start();
+            for txn in &txns {
+                router
+                    .submit_transaction(txn.clone())
+                    .expect("submission succeeds")
+                    .wait()
+                    .expect("escalated transaction commits");
+            }
+            router.shutdown()
+        };
+
+        // Pipelined in ta order: all tickets outstanding at once, so
+        // disjoint-pair escalations overlap in the lane.
+        let pipelined = {
+            let router = start();
+            let tickets: Vec<_> = txns
+                .iter()
+                .map(|txn| router.submit_transaction(txn.clone()).expect("submission succeeds"))
+                .collect();
+            for ticket in tickets {
+                ticket.wait().expect("escalated transaction commits");
+            }
+            router.shutdown()
+        };
+
+        // Concurrent submitters: the two pair-groups race each other from
+        // separate threads (a different arrival interleaving every run).
+        let concurrent = {
+            let router = start();
+            std::thread::scope(|scope| {
+                for group in [[0usize, 1], [2, 3]] {
+                    let router = &router;
+                    let txns = &txns;
+                    scope.spawn(move || {
+                        let tickets: Vec<_> = (1..=transactions as u64)
+                            .filter(|&ta| pair_of(ta) == group)
+                            .map(|ta| {
+                                router
+                                    .submit_transaction(txns[ta as usize - 1].clone())
+                                    .expect("submission succeeds")
+                            })
+                            .collect();
+                        for ticket in tickets {
+                            ticket.wait().expect("escalated transaction commits");
+                        }
+                    });
+                }
+            });
+            router.shutdown()
+        };
+
+        for report in [&serialized, &pipelined, &concurrent] {
+            prop_assert_eq!(report.metrics.escalation.escalations, transactions as u64);
+            prop_assert_eq!(report.metrics.escalation.failed, 0);
+            prop_assert_eq!(report.metrics.unreclaimed_homes, 0);
+            // Spanning transactions commit on both touched engines.
+            prop_assert_eq!(report.metrics.dispatch.commits, 2 * transactions as u64);
+        }
+        // Same commit set and same final rows under every interleaving.
+        // No rehoming happens here, so comparing rows shard-by-shard is
+        // comparing the merged database state.
+        let final_rows = |report: &ShardedReport| -> Vec<Vec<i64>> {
+            report.shards.iter().map(|s| s.final_rows.clone()).collect()
+        };
+        prop_assert_eq!(executed_keys(&serialized), executed_keys(&pipelined));
+        prop_assert_eq!(executed_keys(&serialized), executed_keys(&concurrent));
+        prop_assert_eq!(final_rows(&serialized), final_rows(&pipelined));
+        prop_assert_eq!(final_rows(&serialized), final_rows(&concurrent));
+
+        // Admission order: the lane admits in arrival order with no
+        // overtaking, so the ordered pipelined run must execute each
+        // shard's escalated slices in ascending ta order.
+        for shard in &pipelined.shards {
+            let escalated_tas: Vec<u64> = shard
+                .executed_log
+                .iter()
+                .filter(|r| r.op == Operation::Write)
+                .map(|r| r.ta)
+                .collect();
+            let mut sorted = escalated_tas.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(
+                escalated_tas, sorted,
+                "escalation admission overtook on shard {}", shard.shard
+            );
+        }
+    }
+}
+
 /// The escalation path end to end: a workload with a nonzero cross-shard
 /// fraction routes its spanning transactions through the serialized lane,
 /// commits them on every touched engine, and preserves per-object write
