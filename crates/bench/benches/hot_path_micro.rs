@@ -1,0 +1,75 @@
+//! Micro-benchmarks for the allocation-free hot path: inline tuple
+//! construction, interner lookups, and a full incremental delta round.
+//!
+//! These are the three primitives the rule-scaling numbers decompose into;
+//! keeping them on a CI smoke run means a regression shows up at the
+//! primitive that caused it, not just in the end-to-end curve.
+
+use bench::{rule_scaling_cell, Backend, RuleScalingSpec};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use relalg::{Symbol, Tuple, Value};
+
+fn bench_tuple_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuple_build");
+    // Arity 5 matches the request schema (ID, TA, INTRATA, op, object);
+    // arity 10 spills past the inline capacity onto the heap.
+    for &arity in &[5usize, 10] {
+        let values: Vec<Value> = (0..arity as i64).map(Value::Int).collect();
+        group.bench_with_input(
+            BenchmarkId::new("from_slice", arity),
+            &values,
+            |b, values| b.iter(|| Tuple::from_slice(black_box(values))),
+        );
+    }
+    // The join path: concatenate two request-arity rows in one pass.
+    let left: Vec<Value> = (0..5).map(Value::Int).collect();
+    let right: Vec<Value> = (5..10).map(Value::Int).collect();
+    group.bench_function("from_slices_join", |b| {
+        b.iter(|| Tuple::from_slices(black_box(&left), black_box(&right)))
+    });
+    group.finish();
+}
+
+fn bench_intern_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern");
+    // Steady state: the literal is already interned (protocol literals are
+    // interned at construction), so this measures the read-mostly hit path.
+    let premium = Symbol::intern("premium");
+    group.bench_function("intern_hit", |b| {
+        b.iter(|| Symbol::intern(black_box("premium")))
+    });
+    group.bench_function("resolve", |b| b.iter(|| black_box(premium).as_str()));
+    group.finish();
+}
+
+fn bench_delta_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_round");
+    group.sample_size(10);
+    // One full incremental cell at a mid-size history: measures the pooled
+    // round loop end to end (submit, qualify, dispatch, drain).
+    // Criterion already iterates, so the cell itself runs once per iter.
+    let spec = RuleScalingSpec {
+        history_sizes: vec![2_048],
+        rounds: 10,
+        txns_per_round: 8,
+        repeats: 1,
+    };
+    for backend in [Backend::Algebra, Backend::Datalog] {
+        let label = match backend {
+            Backend::Algebra => "algebra",
+            Backend::Datalog => "datalog",
+        };
+        group.bench_function(BenchmarkId::new(label, 2_048usize), |b| {
+            b.iter(|| rule_scaling_cell(backend, true, 2_048, &spec))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tuple_build,
+    bench_intern_lookup,
+    bench_delta_round
+);
+criterion_main!(benches);

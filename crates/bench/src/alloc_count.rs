@@ -1,0 +1,95 @@
+//! Feature-gated allocation counting for the benchmark binaries.
+//!
+//! With the `count-alloc` feature enabled the bench crate installs a global
+//! allocator that wraps [`std::alloc::System`] and counts every allocation
+//! (`alloc`, `alloc_zeroed`, and the growth half of `realloc`) into a
+//! process-wide atomic.  The rule-scaling experiment reads the counter
+//! around its measured rounds to report `allocs_per_round` — the metric the
+//! allocation-free hot path is gated on.  Deallocations are deliberately
+//! not counted: the hot-path claim is about *transient* allocations per
+//! round, and a pool that allocates once and recycles forever should read
+//! as (amortised) zero.
+//!
+//! With the feature off (the default, and what every non-bench consumer
+//! gets) no allocator is installed, [`enabled`] is `false`, and
+//! [`allocations`] pins at zero — callers emit `0.0` and downstream tooling
+//! treats the field as "not measured".
+//!
+//! Counting costs one relaxed atomic increment per allocation, so timing
+//! runs and allocation runs should be separate invocations:
+//!
+//! ```text
+//! cargo run --release -p bench --features count-alloc --bin rule_scaling
+//! ```
+
+#[cfg(feature = "count-alloc")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAllocator;
+
+    // SAFETY: every method delegates directly to `System`; the wrapper only
+    // adds a relaxed counter bump, which cannot itself allocate.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+}
+
+/// Whether allocation counting is compiled in (`--features count-alloc`).
+pub fn enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+/// Heap allocations performed by this process so far; always `0` when the
+/// `count-alloc` feature is off.  Subtract two readings to count a region.
+pub fn allocations() -> u64 {
+    #[cfg(feature = "count-alloc")]
+    {
+        imp::ALLOCATIONS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone_and_matches_the_feature() {
+        let before = allocations();
+        let v: Vec<u64> = (0..1024).collect();
+        std::hint::black_box(&v);
+        let after = allocations();
+        if enabled() {
+            assert!(after > before, "a 1k-element Vec must allocate");
+        } else {
+            assert_eq!((before, after), (0, 0));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Continuous perf gate: compare fresh bench output against a committed
+//! baseline and exit non-zero beyond the tolerance.
+//!
+//! ```text
+//! perf_gate <rule_scaling|backend_matrix> <fresh.json> <baseline.json> \
+//!     [--tolerance 0.25]
+//! ```
+//!
+//! Tolerance precedence: `--tolerance` flag, then the
+//! `PERF_GATE_TOLERANCE` environment variable, then ±25 %.
+
+use bench::perf_gate::{compare, tolerance_from, GateKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (kind_arg, fresh_path, baseline_path) = match positional.as_slice() {
+        [kind, fresh, baseline, ..] => (kind.as_str(), fresh.as_str(), baseline.as_str()),
+        _ => {
+            eprintln!("usage: perf_gate <rule_scaling|backend_matrix> <fresh.json> <baseline.json> [--tolerance X]");
+            std::process::exit(2);
+        }
+    };
+    let kind = match GateKind::from_arg(kind_arg) {
+        Some(kind) => kind,
+        None => {
+            eprintln!(
+                "perf_gate: unknown kind `{kind_arg}` (expected rule_scaling or backend_matrix)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let tolerance = match tolerance_from(&args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let fresh = read(fresh_path);
+    let baseline = read(baseline_path);
+
+    let diffs = match compare(kind, &fresh, &baseline) {
+        Ok(diffs) => diffs,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "perf gate: {kind_arg}, {} cells, tolerance ±{:.0}%",
+        diffs.len(),
+        tolerance * 100.0
+    );
+    let mut failed = 0usize;
+    for diff in &diffs {
+        let verdict = if diff.within(tolerance) {
+            "ok  "
+        } else {
+            "FAIL"
+        };
+        println!("  [{verdict}] {diff}");
+        if !diff.within(tolerance) {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "perf_gate: {failed}/{} cells outside ±{:.0}% of {baseline_path}",
+            diffs.len(),
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate: all cells within tolerance");
+}

@@ -11,14 +11,84 @@
 //! CI runs this at `--smoke` scale.
 //!
 //! Usage: `cargo run --release -p bench --bin rule_scaling [--paper|--smoke]`
+//!
+//! Each cell is measured in a fresh subprocess (`--cell backend mode
+//! history_rows`, emitting one JSON row on stdout): a big cell leaves the
+//! allocator's heap fragmented, and a cell measured through that heap pays
+//! tens of microseconds per round in faults and TLB misses it does not
+//! cause itself.  If self-spawning fails the sweep falls back in-process.
 
 use bench::{
-    rule_scaling_json, rule_scaling_speedups, rule_scaling_sweep, RuleScalingRow, RuleScalingSpec,
-    Scale,
+    rule_scaling_cell, rule_scaling_json, rule_scaling_speedups, rule_scaling_sweep,
+    RuleScalingRow, RuleScalingSpec, Scale,
 };
+
+/// Parse and run `--cell <backend> <mode> <history_rows>`; `true` if the
+/// invocation was a child-cell run.
+fn run_cell_mode(spec: &RuleScalingSpec) -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(at) = args.iter().position(|a| a == "--cell") else {
+        return false;
+    };
+    let usage = "--cell <algebra|datalog> <scratch|incremental> <history_rows>";
+    let backend = match args.get(at + 1).map(String::as_str) {
+        Some("algebra") => declsched::protocol::Backend::Algebra,
+        Some("datalog") => declsched::protocol::Backend::Datalog,
+        _ => {
+            eprintln!("# bad cell args, expected {usage}");
+            std::process::exit(2);
+        }
+    };
+    let incremental = match args.get(at + 2).map(String::as_str) {
+        Some("incremental") => true,
+        Some("scratch") => false,
+        _ => {
+            eprintln!("# bad cell args, expected {usage}");
+            std::process::exit(2);
+        }
+    };
+    let Some(history_rows) = args.get(at + 3).and_then(|a| a.parse::<usize>().ok()) else {
+        eprintln!("# bad cell args, expected {usage}");
+        std::process::exit(2);
+    };
+    let row = rule_scaling_cell(backend, incremental, history_rows, spec);
+    println!("{}", row.to_json());
+    true
+}
+
+/// Run every cell of the sweep in its own subprocess, in the same order as
+/// [`rule_scaling_sweep`].  `None` if spawning or parsing failed anywhere.
+fn sweep_isolated(spec: &RuleScalingSpec) -> Option<Vec<RuleScalingRow>> {
+    let exe = std::env::current_exe().ok()?;
+    let scale_flags: Vec<String> = std::env::args()
+        .filter(|a| a == "--smoke" || a == "--paper")
+        .collect();
+    let mut rows = Vec::new();
+    for mode in ["incremental", "scratch"] {
+        for &history_rows in &spec.history_sizes {
+            for backend in ["algebra", "datalog"] {
+                let output = std::process::Command::new(&exe)
+                    .args(&scale_flags)
+                    .args(["--cell", backend, mode])
+                    .arg(history_rows.to_string())
+                    .output()
+                    .ok()?;
+                if !output.status.success() {
+                    return None;
+                }
+                let line = std::str::from_utf8(&output.stdout).ok()?;
+                rows.push(RuleScalingRow::from_json(line.trim())?);
+            }
+        }
+    }
+    Some(rows)
+}
 
 fn main() {
     let spec = RuleScalingSpec::from_args();
+    if run_cell_mode(&spec) {
+        return;
+    }
     let scale_label = Scale::label_from_args();
 
     println!(
@@ -26,7 +96,10 @@ fn main() {
         spec.rounds, spec.txns_per_round, spec.history_sizes
     );
     println!("{}", RuleScalingRow::csv_header());
-    let rows = rule_scaling_sweep(&spec);
+    let rows = sweep_isolated(&spec).unwrap_or_else(|| {
+        eprintln!("# per-cell subprocess isolation unavailable, sweeping in-process");
+        rule_scaling_sweep(&spec)
+    });
     for row in &rows {
         println!("{}", row.to_csv());
     }

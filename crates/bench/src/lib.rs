@@ -33,9 +33,11 @@ use simkit::{fig2_point, CostModel, Fig2Point, MultiUserConfig};
 use std::time::Instant;
 use workload::OltpSpec;
 
+pub mod alloc_count;
 pub mod chaos_matrix;
 pub mod hist;
 pub mod obs_overhead;
+pub mod perf_gate;
 pub mod rebalance;
 pub mod rule_scaling;
 pub mod scenario;

@@ -1,0 +1,444 @@
+//! Continuous performance gate: diff freshly generated bench JSON against a
+//! committed baseline and fail beyond a relative tolerance.
+//!
+//! The bench binaries write `BENCH_*.json` documents whose `"series"` array
+//! holds one flat object per measured cell.  The gate re-runs a bench at
+//! the same scale as a committed baseline, matches cells by their identity
+//! key (backend/mode/history size for `rule_scaling`, backend/mode/depth
+//! for `backend_matrix`), and compares the cell's headline metric.  Any
+//! cell whose relative deviation exceeds the tolerance — in **either**
+//! direction, so unexplained speedups update the baseline instead of
+//! silently drifting — fails the gate, as does an empty comparable
+//! intersection (a renamed field or scale mismatch must not vacuously
+//! pass).
+//!
+//! The workspace builds offline without serde, so parsing is a small
+//! self-contained JSON reader ([`parse_json`]) that handles exactly the
+//! grammar the bench writers emit.
+//!
+//! Used by the `perf_gate` bin, wired into CI after the bench smoke runs:
+//!
+//! ```text
+//! cargo run --release -p bench --bin rule_scaling -- --smoke
+//! cargo run --release -p bench --bin perf_gate -- \
+//!     rule_scaling BENCH_rule_scaling.json baselines/BENCH_rule_scaling.smoke.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value; only the shapes the bench writers emit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; the bench writers only emit finite decimals.
+    Num(f64),
+    /// A string (no escape sequences beyond `\"` and `\\` are produced).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` keeps error output deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value under `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number in this value, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// A display form used to build cell identity keys: strings bare,
+    /// numbers without a trailing `.0` when integral.
+    fn key_text(&self) -> String {
+        match self {
+            Json::Str(s) => s.clone(),
+            Json::Num(n) if n.fract() == 0.0 => format!("{}", *n as i64),
+            Json::Num(n) => format!("{n}"),
+            Json::Bool(b) => format!("{b}"),
+            Json::Null => "null".into(),
+            _ => "<composite>".into(),
+        }
+    }
+}
+
+/// Parse a complete JSON document, rejecting trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{word}` at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii slice");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let escaped = *bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match escaped {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    other => return Err(format!("unsupported escape `\\{}`", other as char)),
+                }
+            }
+            _ => out.push(b as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {}", *pos));
+        }
+        *pos += 1;
+        map.insert(key, parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+/// Which bench document the gate understands, with its cell identity and
+/// headline metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// `BENCH_rule_scaling.json`: cells keyed by (backend, mode,
+    /// history_rows), compared on `avg_round_micros`.
+    RuleScaling,
+    /// `BENCH_backend_matrix.json`: cells keyed by (backend, mode, depth),
+    /// compared on `throughput_tps`.
+    BackendMatrix,
+}
+
+impl GateKind {
+    /// Parse the bin's `<kind>` argument.
+    pub fn from_arg(arg: &str) -> Option<GateKind> {
+        match arg {
+            "rule_scaling" => Some(GateKind::RuleScaling),
+            "backend_matrix" => Some(GateKind::BackendMatrix),
+            _ => None,
+        }
+    }
+
+    /// Fields whose values identify a cell across runs.
+    pub fn key_fields(self) -> &'static [&'static str] {
+        match self {
+            GateKind::RuleScaling => &["backend", "mode", "history_rows"],
+            GateKind::BackendMatrix => &["backend", "mode", "depth"],
+        }
+    }
+
+    /// The metric the gate compares.
+    pub fn metric(self) -> &'static str {
+        match self {
+            GateKind::RuleScaling => "avg_round_micros",
+            GateKind::BackendMatrix => "throughput_tps",
+        }
+    }
+}
+
+/// Default relative tolerance when neither `--tolerance` nor
+/// `PERF_GATE_TOLERANCE` is given: ±25 %, wide enough for shared CI
+/// runners, tight enough to catch a lost pooling or interning path.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One compared cell.
+#[derive(Debug, Clone)]
+pub struct CellDiff {
+    /// The cell's identity, e.g. `algebra/incremental/16000`.
+    pub key: String,
+    /// Baseline metric value.
+    pub baseline: f64,
+    /// Freshly measured metric value.
+    pub fresh: f64,
+    /// `(fresh - baseline) / baseline`; positive means slower for
+    /// `rule_scaling` and faster for `backend_matrix`.
+    pub deviation: f64,
+}
+
+impl CellDiff {
+    /// Whether this cell stays within `tolerance`.
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.deviation.abs() <= tolerance
+    }
+}
+
+impl fmt::Display for CellDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: baseline {:.2} fresh {:.2} ({:+.1}%)",
+            self.key,
+            self.baseline,
+            self.fresh,
+            self.deviation * 100.0
+        )
+    }
+}
+
+/// Extract `series` cells as `(identity key, metric value)` pairs.
+fn series_cells(doc: &Json, kind: GateKind) -> Result<BTreeMap<String, f64>, String> {
+    let series = match doc.get("series") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("document has no `series` array".into()),
+    };
+    let mut cells = BTreeMap::new();
+    for (index, cell) in series.iter().enumerate() {
+        let mut key_parts = Vec::new();
+        for field in kind.key_fields() {
+            let part = cell
+                .get(field)
+                .ok_or_else(|| format!("series[{index}] lacks key field `{field}`"))?;
+            key_parts.push(part.key_text());
+        }
+        let metric = cell
+            .get(kind.metric())
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("series[{index}] lacks numeric `{}`", kind.metric()))?;
+        cells.insert(key_parts.join("/"), metric);
+    }
+    Ok(cells)
+}
+
+/// Compare fresh output against a baseline document.
+///
+/// Returns every matched cell's diff; errs on unparseable input or an
+/// empty comparable intersection.  Cells present in only one document are
+/// skipped (a baseline regenerated at a different sweep still gates the
+/// shared cells) — but at least one cell must match.
+pub fn compare(kind: GateKind, fresh: &str, baseline: &str) -> Result<Vec<CellDiff>, String> {
+    let fresh_cells = series_cells(&parse_json(fresh).map_err(|e| format!("fresh: {e}"))?, kind)?;
+    let base_cells = series_cells(
+        &parse_json(baseline).map_err(|e| format!("baseline: {e}"))?,
+        kind,
+    )?;
+    let mut diffs = Vec::new();
+    for (key, base) in &base_cells {
+        if let Some(fresh_value) = fresh_cells.get(key) {
+            if *base <= 0.0 {
+                return Err(format!("baseline cell {key} is non-positive ({base})"));
+            }
+            diffs.push(CellDiff {
+                key: key.clone(),
+                baseline: *base,
+                fresh: *fresh_value,
+                deviation: (fresh_value - base) / base,
+            });
+        }
+    }
+    if diffs.is_empty() {
+        return Err(format!(
+            "no comparable cells: baseline has [{}], fresh has [{}]",
+            base_cells.keys().cloned().collect::<Vec<_>>().join(", "),
+            fresh_cells.keys().cloned().collect::<Vec<_>>().join(", ")
+        ));
+    }
+    Ok(diffs)
+}
+
+/// Resolve the gate tolerance: `--tolerance <x>` argument, then the
+/// `PERF_GATE_TOLERANCE` environment variable, then [`DEFAULT_TOLERANCE`].
+pub fn tolerance_from(args: &[String]) -> Result<f64, String> {
+    let mut tolerance = None;
+    if let Some(index) = args.iter().position(|a| a == "--tolerance") {
+        let raw = args
+            .get(index + 1)
+            .ok_or_else(|| "--tolerance needs a value".to_string())?;
+        tolerance = Some(raw.clone());
+    } else if let Ok(raw) = std::env::var("PERF_GATE_TOLERANCE") {
+        tolerance = Some(raw);
+    }
+    match tolerance {
+        None => Ok(DEFAULT_TOLERANCE),
+        Some(raw) => {
+            let value: f64 = raw.parse().map_err(|_| format!("bad tolerance `{raw}`"))?;
+            if value > 0.0 && value.is_finite() {
+                Ok(value)
+            } else {
+                Err(format!("tolerance must be a positive number, got `{raw}`"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cells: &[(&str, &str, u64, f64)]) -> String {
+        let series: Vec<String> = cells
+            .iter()
+            .map(|(backend, mode, rows, metric)| {
+                format!(
+                    "{{\"backend\":\"{backend}\",\"mode\":\"{mode}\",\"history_rows\":{rows},\"avg_round_micros\":{metric}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"rule_scaling\",\"series\":[{}]}}",
+            series.join(",")
+        )
+    }
+
+    #[test]
+    fn parses_the_committed_document_shape() {
+        let text = doc(&[("algebra", "incremental", 16000, 38.5)]);
+        let parsed = parse_json(&text).unwrap();
+        let cells = series_cells(&parsed, GateKind::RuleScaling).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells["algebra/incremental/16000"], 38.5);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond_in_both_directions() {
+        let baseline = doc(&[("algebra", "incremental", 0, 100.0)]);
+        let ok = doc(&[("algebra", "incremental", 0, 120.0)]);
+        let slow = doc(&[("algebra", "incremental", 0, 130.0)]);
+        let fast = doc(&[("algebra", "incremental", 0, 70.0)]);
+        let diffs = compare(GateKind::RuleScaling, &ok, &baseline).unwrap();
+        assert!(diffs.iter().all(|d| d.within(DEFAULT_TOLERANCE)));
+        let diffs = compare(GateKind::RuleScaling, &slow, &baseline).unwrap();
+        assert!(diffs.iter().any(|d| !d.within(DEFAULT_TOLERANCE)));
+        let diffs = compare(GateKind::RuleScaling, &fast, &baseline).unwrap();
+        assert!(diffs.iter().any(|d| !d.within(DEFAULT_TOLERANCE)));
+    }
+
+    #[test]
+    fn empty_intersection_is_an_error_not_a_pass() {
+        let baseline = doc(&[("algebra", "incremental", 512, 50.0)]);
+        let fresh = doc(&[("algebra", "incremental", 16000, 50.0)]);
+        let err = compare(GateKind::RuleScaling, &fresh, &baseline).unwrap_err();
+        assert!(err.contains("no comparable cells"));
+    }
+
+    #[test]
+    fn tolerance_resolution_prefers_the_flag() {
+        let args = vec!["--tolerance".to_string(), "0.5".to_string()];
+        assert_eq!(tolerance_from(&args).unwrap(), 0.5);
+        assert_eq!(
+            tolerance_from(&[]).unwrap_or(DEFAULT_TOLERANCE),
+            DEFAULT_TOLERANCE
+        );
+        assert!(tolerance_from(&["--tolerance".into(), "-1".into()]).is_err());
+        assert!(tolerance_from(&["--tolerance".into(), "nan".into()]).is_err());
+    }
+
+    #[test]
+    fn backend_matrix_cells_key_on_depth() {
+        let text = "{\"series\":[{\"backend\":\"sharded4\",\"mode\":\"pipelined\",\"depth\":32,\"throughput_tps\":900.0}]}";
+        let parsed = parse_json(text).unwrap();
+        let cells = series_cells(&parsed, GateKind::BackendMatrix).unwrap();
+        assert_eq!(cells["sharded4/pipelined/32"], 900.0);
+    }
+}

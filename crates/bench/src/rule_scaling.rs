@@ -50,18 +50,23 @@ pub struct RuleScalingRow {
     pub incremental_rounds: u64,
     /// Pending requests re-examined by the incremental engine in total.
     pub delta_rows: u64,
+    /// Heap allocations per scheduling round, averaged over the measured
+    /// loop.  `0.0` unless the bench was built with `--features count-alloc`
+    /// (see [`crate::alloc_count`]); downstream tooling treats zero as
+    /// "not measured".
+    pub allocs_per_round: f64,
 }
 
 impl RuleScalingRow {
     /// CSV header.
     pub fn csv_header() -> &'static str {
-        "backend,mode,history_rows,final_history_rows,rounds,scheduled,avg_round_micros,avg_rule_eval_micros,catalog_build_micros,incremental_rounds,delta_rows"
+        "backend,mode,history_rows,final_history_rows,rounds,scheduled,avg_round_micros,avg_rule_eval_micros,catalog_build_micros,incremental_rounds,delta_rows,allocs_per_round"
     }
 
     /// CSV rendering.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{:.1},{:.1},{},{},{}",
+            "{},{},{},{},{},{},{:.1},{:.1},{},{},{},{:.1}",
             self.backend,
             self.mode,
             self.history_rows,
@@ -72,7 +77,8 @@ impl RuleScalingRow {
             self.avg_rule_eval_micros,
             self.catalog_build_micros,
             self.incremental_rounds,
-            self.delta_rows
+            self.delta_rows,
+            self.allocs_per_round
         )
     }
 
@@ -80,7 +86,7 @@ impl RuleScalingRow {
     /// serde dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"backend\":\"{}\",\"mode\":\"{}\",\"history_rows\":{},\"final_history_rows\":{},\"rounds\":{},\"scheduled\":{},\"avg_round_micros\":{:.2},\"avg_rule_eval_micros\":{:.2},\"catalog_build_micros\":{},\"incremental_rounds\":{},\"delta_rows\":{}}}",
+            "{{\"backend\":\"{}\",\"mode\":\"{}\",\"history_rows\":{},\"final_history_rows\":{},\"rounds\":{},\"scheduled\":{},\"avg_round_micros\":{:.2},\"avg_rule_eval_micros\":{:.2},\"catalog_build_micros\":{},\"incremental_rounds\":{},\"delta_rows\":{},\"allocs_per_round\":{:.1}}}",
             self.backend,
             self.mode,
             self.history_rows,
@@ -91,8 +97,42 @@ impl RuleScalingRow {
             self.avg_rule_eval_micros,
             self.catalog_build_micros,
             self.incremental_rounds,
-            self.delta_rows
+            self.delta_rows,
+            self.allocs_per_round
         )
+    }
+
+    /// Parse a row back from its [`RuleScalingRow::to_json`] line — the
+    /// wire format of the bench binary's per-cell subprocess mode, which
+    /// measures each cell in a fresh process so no cell inherits the heap
+    /// a previous cell fragmented.  Returns `None` on any shape mismatch.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let doc = crate::perf_gate::parse_json(text).ok()?;
+        let num = |key: &str| doc.get(key)?.as_num();
+        let backend = match doc.get("backend")? {
+            crate::perf_gate::Json::Str(s) if s == "algebra" => "algebra",
+            crate::perf_gate::Json::Str(s) if s == "datalog" => "datalog",
+            _ => return None,
+        };
+        let mode = match doc.get("mode")? {
+            crate::perf_gate::Json::Str(s) if s == "incremental" => "incremental",
+            crate::perf_gate::Json::Str(s) if s == "scratch" => "scratch",
+            _ => return None,
+        };
+        Some(RuleScalingRow {
+            backend,
+            mode,
+            history_rows: num("history_rows")? as usize,
+            final_history_rows: num("final_history_rows")? as usize,
+            rounds: num("rounds")? as u64,
+            scheduled: num("scheduled")? as u64,
+            avg_round_micros: num("avg_round_micros")?,
+            avg_rule_eval_micros: num("avg_rule_eval_micros")?,
+            catalog_build_micros: num("catalog_build_micros")? as u64,
+            incremental_rounds: num("incremental_rounds")? as u64,
+            delta_rows: num("delta_rows")? as u64,
+            allocs_per_round: num("allocs_per_round")?,
+        })
     }
 }
 
@@ -105,6 +145,10 @@ pub struct RuleScalingSpec {
     pub rounds: u64,
     /// Transactions submitted per round (each: one write + one commit).
     pub txns_per_round: u64,
+    /// Measured runs per cell; the best (lowest `avg_round_micros`) is
+    /// reported.  Suppresses OS-preemption noise on cells whose measured
+    /// loop is shorter than a scheduler timeslice; treated as 1 when 0.
+    pub repeats: u64,
 }
 
 impl RuleScalingSpec {
@@ -114,6 +158,7 @@ impl RuleScalingSpec {
             history_sizes: vec![0, 512, 2_048],
             rounds: 10,
             txns_per_round: 8,
+            repeats: 3,
         }
     }
 
@@ -123,6 +168,7 @@ impl RuleScalingSpec {
             history_sizes: vec![0, 1_000, 4_000, 16_000],
             rounds: 20,
             txns_per_round: 16,
+            repeats: 3,
         }
     }
 
@@ -132,6 +178,7 @@ impl RuleScalingSpec {
             history_sizes: vec![0, 2_000, 8_000, 32_000, 64_000],
             rounds: 25,
             txns_per_round: 16,
+            repeats: 3,
         }
     }
 
@@ -159,8 +206,39 @@ fn preload(rows: usize) -> Vec<Request> {
         .collect()
 }
 
-/// Run one cell and measure it.
+/// Run one cell and measure it, keeping the best of [`RuleScalingSpec::repeats`]
+/// runs (by `avg_round_micros`).
+///
+/// An incremental cell's measured loop spans only a few milliseconds of
+/// wall time, so one OS preemption can double its average; the best run is
+/// the least-disturbed one.  A cell whose measured loop already spans many
+/// scheduler timeslices amortises preemptions on its own, so repeating it
+/// buys nothing — the loop exits early once a run took long enough.
 pub fn rule_scaling_cell(
+    backend: declsched::protocol::Backend,
+    incremental: bool,
+    history_rows: usize,
+    spec: &RuleScalingSpec,
+) -> RuleScalingRow {
+    let mut best: Option<RuleScalingRow> = None;
+    for _ in 0..spec.repeats.max(1) {
+        let row = rule_scaling_cell_once(backend, incremental, history_rows, spec);
+        let measured_micros = row.avg_round_micros * row.rounds as f64;
+        if best
+            .as_ref()
+            .is_none_or(|b| row.avg_round_micros < b.avg_round_micros)
+        {
+            best = Some(row);
+        }
+        if measured_micros > 100_000.0 {
+            break;
+        }
+    }
+    best.expect("repeats.max(1) runs the cell at least once")
+}
+
+/// One measured run of a cell.
+fn rule_scaling_cell_once(
     backend: declsched::protocol::Backend,
     incremental: bool,
     history_rows: usize,
@@ -188,6 +266,10 @@ pub fn rule_scaling_cell(
     let objects = (spec.txns_per_round / 2).max(1) as i64;
     let mut ta = 0u64;
     let mut scheduled = 0u64;
+    // Allocation accounting brackets the measured loop only, so preload and
+    // report assembly don't pollute the per-round figure.  Reads zero unless
+    // built with `--features count-alloc`.
+    let allocs_before = crate::alloc_count::allocations();
     for round in 0..spec.rounds {
         for i in 0..spec.txns_per_round {
             ta += 1;
@@ -209,6 +291,7 @@ pub fn rule_scaling_cell(
         scheduled += batch.len() as u64;
         spins += 1;
     }
+    let allocs_after = crate::alloc_count::allocations();
 
     let metrics = scheduler.metrics();
     RuleScalingRow {
@@ -230,18 +313,29 @@ pub fn rule_scaling_cell(
         catalog_build_micros: metrics.catalog_build_micros,
         incremental_rounds: metrics.incremental_rounds,
         delta_rows: metrics.delta_rows,
+        allocs_per_round: if metrics.rounds > 0 {
+            allocs_after.saturating_sub(allocs_before) as f64 / metrics.rounds as f64
+        } else {
+            0.0
+        },
     }
 }
 
 /// The full sweep: every history size × both back-ends × both modes.
+///
+/// All incremental cells run *before* any from-scratch cell: the
+/// from-scratch sweep allocates hundreds of megabytes of transient
+/// evaluation state, and measuring the allocation-free path through the
+/// heap it leaves behind inflates its numbers with cache and TLB misses it
+/// never causes itself.
 pub fn rule_scaling_sweep(spec: &RuleScalingSpec) -> Vec<RuleScalingRow> {
     let mut rows = Vec::new();
-    for &history_rows in &spec.history_sizes {
-        for backend in [
-            declsched::protocol::Backend::Algebra,
-            declsched::protocol::Backend::Datalog,
-        ] {
-            for incremental in [false, true] {
+    for incremental in [true, false] {
+        for &history_rows in &spec.history_sizes {
+            for backend in [
+                declsched::protocol::Backend::Algebra,
+                declsched::protocol::Backend::Datalog,
+            ] {
                 rows.push(rule_scaling_cell(backend, incremental, history_rows, spec));
             }
         }
@@ -320,6 +414,7 @@ mod tests {
             history_sizes: vec![64],
             rounds: 4,
             txns_per_round: 6,
+            repeats: 1,
         };
         let scratch = rule_scaling_cell(Backend::Algebra, false, 64, &spec);
         let incremental = rule_scaling_cell(Backend::Algebra, true, 64, &spec);
@@ -337,9 +432,21 @@ mod tests {
             history_sizes: vec![0, 32],
             rounds: 2,
             txns_per_round: 4,
+            repeats: 1,
         };
         let rows = rule_scaling_sweep(&spec);
         assert_eq!(rows.len(), 2 * 2 * 2);
+        // The subprocess wire format round-trips every field.
+        for row in &rows {
+            let back = RuleScalingRow::from_json(&row.to_json()).expect("round-trip parses");
+            assert_eq!(back.backend, row.backend);
+            assert_eq!(back.mode, row.mode);
+            assert_eq!(back.history_rows, row.history_rows);
+            assert_eq!(back.final_history_rows, row.final_history_rows);
+            assert_eq!(back.rounds, row.rounds);
+            assert_eq!(back.scheduled, row.scheduled);
+            assert_eq!(back.delta_rows, row.delta_rows);
+        }
         let speedups = rule_scaling_speedups(&rows);
         assert_eq!(speedups.len(), 2 * 2);
         let json = rule_scaling_json(&rows, &speedups, &spec, "test");

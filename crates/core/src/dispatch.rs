@@ -184,7 +184,7 @@ mod tests {
             pending_after: 0,
             rule_eval_micros: 0,
             round_micros: 0,
-            protocol: "test".into(),
+            protocol: "test",
         }
     }
 

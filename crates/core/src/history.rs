@@ -103,13 +103,15 @@ impl LockIndex {
         self.held.entry(ta).or_default().insert(object);
     }
 
-    /// Drop every lock `ta` holds, returning the objects that were released.
-    fn release(&mut self, ta: u64) -> Vec<i64> {
+    /// Drop every lock `ta` holds, appending the released objects to `out`
+    /// (the appended range is sorted in place).
+    fn release_into(&mut self, ta: u64, out: &mut Vec<i64>) {
         let Some(objects) = self.held.remove(&ta) else {
-            return Vec::new();
+            return;
         };
-        let mut released: Vec<i64> = objects.into_iter().collect();
-        for &object in &released {
+        let start = out.len();
+        out.extend(objects.iter().copied());
+        for &object in &out[start..] {
             if let Some(set) = self.writers.get_mut(&object) {
                 set.remove(&ta);
                 if set.is_empty() {
@@ -123,8 +125,7 @@ impl LockIndex {
                 }
             }
         }
-        released.sort_unstable();
-        released
+        out[start..].sort_unstable();
     }
 }
 
@@ -165,32 +166,37 @@ impl HistoryStore {
     /// changed: the request's own object for data operations, or every
     /// object whose locks a terminal released.
     pub fn insert(&mut self, request: &Request) -> SchedResult<Vec<i64>> {
+        let mut changed = Vec::new();
+        self.insert_into(request, &mut changed)?;
+        Ok(changed)
+    }
+
+    /// [`HistoryStore::insert`] appending the changed objects to a
+    /// caller-owned buffer — the round loop's variant, reusing one buffer
+    /// across rounds instead of allocating a `Vec` per recorded request.
+    pub fn insert_into(&mut self, request: &Request, changed: &mut Vec<i64>) -> SchedResult<()> {
         self.table.push(request.to_tuple())?;
         self.total_inserted += 1;
         self.generation += 1;
-        let changed = match request.op {
+        match request.op {
             Operation::Commit | Operation::Abort => {
                 self.finished.insert(request.ta);
-                self.locks.release(request.ta)
+                self.locks.release_into(request.ta, changed);
             }
             Operation::Write => {
-                if self.finished.contains(&request.ta) {
-                    Vec::new()
-                } else {
+                if !self.finished.contains(&request.ta) {
                     self.locks.add_write(request.object, request.ta);
-                    vec![request.object]
+                    changed.push(request.object);
                 }
             }
             Operation::Read => {
-                if self.finished.contains(&request.ta) {
-                    Vec::new()
-                } else {
+                if !self.finished.contains(&request.ta) {
                     self.locks.add_read(request.object, request.ta);
-                    vec![request.object]
+                    changed.push(request.object);
                 }
             }
-        };
-        Ok(changed)
+        }
+        Ok(())
     }
 
     /// Record a batch of scheduled requests, returning all changed objects
@@ -200,12 +206,23 @@ impl HistoryStore {
         requests: impl IntoIterator<Item = &'a Request>,
     ) -> SchedResult<Vec<i64>> {
         let mut changed = Vec::new();
+        self.insert_batch_into(requests, &mut changed)?;
+        Ok(changed)
+    }
+
+    /// [`HistoryStore::insert_batch`] appending into a caller-owned buffer
+    /// (deduplicated and sorted over the whole buffer).
+    pub fn insert_batch_into<'a>(
+        &mut self,
+        requests: impl IntoIterator<Item = &'a Request>,
+        changed: &mut Vec<i64>,
+    ) -> SchedResult<()> {
         for r in requests {
-            changed.extend(self.insert(r)?);
+            self.insert_into(r, changed)?;
         }
         changed.sort_unstable();
         changed.dedup();
-        Ok(changed)
+        Ok(())
     }
 
     /// Number of history rows currently retained.
@@ -273,16 +290,20 @@ impl HistoryStore {
         if self.finished.is_empty() {
             return 0;
         }
-        let finished = self.finished.clone();
+        // Move the set out instead of cloning it: `delete_where` needs
+        // `&mut self.table` while the predicate reads the set.
+        let finished = std::mem::take(&mut self.finished);
         let removed = self.table.delete_where(|row| {
             Request::from_tuple(row)
                 .map(|r| finished.contains(&r.ta))
                 .unwrap_or(false)
         });
         if removed > 0 {
-            self.finished.clear();
             self.generation += 1;
             self.prune_epoch += 1;
+        } else {
+            // Nothing matched; keep tracking the finished set.
+            self.finished = finished;
         }
         removed
     }

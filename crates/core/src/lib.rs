@@ -88,6 +88,9 @@ pub mod trigger;
 
 pub use dispatch::{DispatchReport, Dispatcher};
 pub use error::{SchedError, SchedResult};
+// Re-exported so layers above the scheduler (workload generation, session
+// façade) can pre-intern their string literals at construction time without
+// depending on `relalg` directly.
 pub use history::HistoryStore;
 pub use metrics::SchedulerMetrics;
 pub use middleware::{ClientHandle, Middleware, MiddlewareReport, TxnTicket};
@@ -98,6 +101,7 @@ pub use protocol::{
 };
 pub use qualify::{qualify_once, IncrementalQualifier};
 pub use queue::IncomingQueue;
+pub use relalg::Symbol;
 pub use request::{footprint, shard_of, Operation, Request, RequestKey, SlaMeta};
 pub use rules::{OrderingSpec, RuleBackend, RuleSet};
 pub use scheduler::{DeclarativeScheduler, ScheduleBatch, SchedulerConfig};

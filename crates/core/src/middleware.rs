@@ -663,9 +663,10 @@ fn scheduler_loop(
                             recorder.emit_at(key.ta, key.intra, last_us, obs::EventKind::Executed);
                         }
                         last_fresh = sampled;
-                        executed_log.push(request.clone());
+                        executed_log.push(*request);
                         tickets.resolve(key, result);
                     }
+                    scheduler.recycle_batch(batch.requests);
                     round_no += 1;
                 }
                 Err(e) => {

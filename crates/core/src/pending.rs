@@ -1,7 +1,7 @@
 //! The pending-request database (Figure 1: "Pending request").
 
 use crate::error::SchedResult;
-use crate::request::{Request, RequestKey};
+use crate::request::{Operation, Request, RequestKey};
 use relalg::Table;
 use std::collections::HashMap;
 
@@ -16,10 +16,19 @@ use std::collections::HashMap;
 pub struct PendingStore {
     table: Table,
     by_key: HashMap<RequestKey, Request>,
-    /// object -> keys of pending requests on it (terminals live under their
-    /// sentinel object `-1`, exactly as they do in the relation).
-    by_object: HashMap<i64, Vec<RequestKey>>,
+    /// object -> `(key, op)` of pending requests on it (terminals live under
+    /// their sentinel object `-1`, exactly as they do in the relation).  The
+    /// operation rides along so the per-object qualification pass never has
+    /// to chase each key back through `by_key`.
+    by_object: HashMap<i64, Vec<(RequestKey, Operation)>>,
+    /// ta -> pending intra positions of that transaction.  Lets the
+    /// intra-order filter ask "earliest pending step of ta?" in O(steps of
+    /// one ta) instead of scanning the whole pending set every round.
+    by_ta: HashMap<u64, Vec<u32>>,
     generation: u64,
+    /// Reused per-[`PendingStore::take`] membership set (cleared, never
+    /// reallocated).
+    take_scratch: std::collections::HashSet<RequestKey>,
 }
 
 impl Default for PendingStore {
@@ -36,7 +45,9 @@ impl PendingStore {
             table: Table::new("requests", Request::schema()),
             by_key: HashMap::new(),
             by_object: HashMap::new(),
+            by_ta: HashMap::new(),
             generation: 0,
+            take_scratch: std::collections::HashSet::new(),
         }
     }
 
@@ -47,30 +58,49 @@ impl PendingStore {
     /// key replaces the earlier request, keeping the relation consistent
     /// with the key map.
     pub fn insert_batch(&mut self, requests: Vec<Request>) -> SchedResult<Vec<i64>> {
+        let mut changed = Vec::with_capacity(requests.len());
+        self.insert_batch_into(&requests, &mut changed)?;
+        Ok(changed)
+    }
+
+    /// [`PendingStore::insert_batch`] appending the changed objects to a
+    /// caller-owned buffer — the round loop's variant, reusing one buffer
+    /// across rounds.  Requests are `Copy`, so the slice is not consumed.
+    pub fn insert_batch_into(
+        &mut self,
+        requests: &[Request],
+        changed: &mut Vec<i64>,
+    ) -> SchedResult<()> {
         if requests.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
         self.generation += 1;
-        let mut changed = Vec::with_capacity(requests.len());
-        for r in requests {
+        for &r in requests {
             let key = r.key();
             changed.push(r.object);
-            if let Some(old) = self.by_key.insert(key, r.clone()) {
+            if let Some(old) = self.by_key.insert(key, r) {
                 // Duplicate key: drop the superseded row and index entry.
+                // The `(ta, intra)` pair is unchanged, so `by_ta` already
+                // holds this intra exactly once — don't push it again.
                 self.table.delete_where(|row| {
                     Request::from_tuple(row).map(|p| p.key() == key) == Some(true)
                 });
-                if let Some(keys) = self.by_object.get_mut(&old.object) {
-                    keys.retain(|k| *k != key);
+                if let Some(rows) = self.by_object.get_mut(&old.object) {
+                    rows.retain(|(k, _)| *k != key);
                 }
                 changed.push(old.object);
+            } else {
+                self.by_ta.entry(key.ta).or_default().push(key.intra);
             }
             self.table.push(r.to_tuple())?;
-            self.by_object.entry(r.object).or_default().push(key);
+            self.by_object
+                .entry(r.object)
+                .or_default()
+                .push((key, r.op));
         }
         changed.sort_unstable();
         changed.dedup();
-        Ok(changed)
+        Ok(())
     }
 
     /// Number of pending requests.
@@ -104,12 +134,23 @@ impl PendingStore {
         self.by_key.keys().copied()
     }
 
-    /// Keys of pending requests on the given object.
-    pub fn keys_on_object(&self, object: i64) -> &[RequestKey] {
+    /// Pending `(key, op)` rows on the given object — the per-object delta
+    /// the incremental qualifier re-evaluates, with the operation inline so
+    /// the pass needs no per-key map lookups.
+    pub fn rows_on_object(&self, object: i64) -> &[(RequestKey, Operation)] {
         self.by_object
             .get(&object)
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// Earliest pending intra-transaction position of `ta`, or `None` if the
+    /// transaction has nothing pending.  O(pending steps of one transaction),
+    /// which is what makes the intra-order filter O(qualified) per round.
+    pub fn min_pending_intra(&self, ta: u64) -> Option<u32> {
+        self.by_ta
+            .get(&ta)
+            .and_then(|intras| intras.iter().copied().min())
     }
 
     /// Objects with at least one pending request (terminals appear under
@@ -133,34 +174,50 @@ impl PendingStore {
     /// the history), returning the full request objects in the order given.
     pub fn take(&mut self, keys: &[RequestKey]) -> Vec<Request> {
         let mut taken = Vec::with_capacity(keys.len());
+        self.take_into(keys, &mut taken);
+        taken
+    }
+
+    /// [`PendingStore::take`] appending into a caller-owned buffer — the
+    /// round loop's variant, reusing one batch buffer across rounds.
+    pub fn take_into(&mut self, keys: &[RequestKey], taken: &mut Vec<Request>) {
+        let before = taken.len();
         for key in keys {
             if let Some(r) = self.by_key.remove(key) {
-                if let Some(object_keys) = self.by_object.get_mut(&r.object) {
-                    object_keys.retain(|k| k != key);
-                    if object_keys.is_empty() {
+                if let Some(object_rows) = self.by_object.get_mut(&r.object) {
+                    object_rows.retain(|(k, _)| k != key);
+                    if object_rows.is_empty() {
                         self.by_object.remove(&r.object);
+                    }
+                }
+                if let Some(intras) = self.by_ta.get_mut(&key.ta) {
+                    if let Some(pos) = intras.iter().position(|&i| i == key.intra) {
+                        intras.swap_remove(pos);
+                    }
+                    if intras.is_empty() {
+                        self.by_ta.remove(&key.ta);
                     }
                 }
                 taken.push(r);
             }
         }
-        if !taken.is_empty() {
+        if taken.len() > before {
             self.generation += 1;
-            let remove: std::collections::HashSet<RequestKey> = keys.iter().copied().collect();
+            self.take_scratch.clear();
+            self.take_scratch.extend(keys.iter().copied());
+            let remove = &self.take_scratch;
             self.table.delete_where(|row| {
                 Request::from_tuple(row)
                     .map(|r| remove.contains(&r.key()))
                     .unwrap_or(false)
             });
         }
-        taken
     }
 
     /// Distinct transactions with at least one pending request.
     pub fn pending_transactions(&self) -> Vec<u64> {
-        let mut tas: Vec<u64> = self.by_key.keys().map(|k| k.ta).collect();
+        let mut tas: Vec<u64> = self.by_ta.keys().copied().collect();
         tas.sort_unstable();
-        tas.dedup();
         tas
     }
 }
@@ -226,13 +283,28 @@ mod tests {
     fn object_index_tracks_inserts_and_takes() {
         let mut p = PendingStore::new();
         p.insert_batch(reqs()).unwrap();
-        assert_eq!(p.keys_on_object(100).len(), 2);
-        assert_eq!(p.keys_on_object(101).len(), 1);
+        assert_eq!(p.rows_on_object(100).len(), 2);
+        assert_eq!(p.rows_on_object(101).len(), 1);
+        // The operation rides along with the key.
+        assert_eq!(p.rows_on_object(101)[0].1, Operation::Write);
         // Terminals index under the sentinel object.
-        assert_eq!(p.keys_on_object(-1).len(), 1);
+        assert_eq!(p.rows_on_object(-1).len(), 1);
         p.take(&[RequestKey { ta: 10, intra: 0 }]);
-        assert_eq!(p.keys_on_object(100).len(), 1);
+        assert_eq!(p.rows_on_object(100).len(), 1);
         assert_eq!(p.keys().count(), 3);
+    }
+
+    #[test]
+    fn min_pending_intra_tracks_per_transaction_steps() {
+        let mut p = PendingStore::new();
+        p.insert_batch(reqs()).unwrap();
+        assert_eq!(p.min_pending_intra(10), Some(0));
+        assert_eq!(p.min_pending_intra(11), Some(0));
+        assert_eq!(p.min_pending_intra(99), None);
+        p.take(&[RequestKey { ta: 10, intra: 0 }]);
+        assert_eq!(p.min_pending_intra(10), Some(1));
+        p.take(&[RequestKey { ta: 10, intra: 1 }]);
+        assert_eq!(p.min_pending_intra(10), None);
     }
 
     #[test]
@@ -242,8 +314,11 @@ mod tests {
         p.insert_batch(vec![Request::write(2, 5, 0, 8)]).unwrap();
         assert_eq!(p.len(), 1);
         assert_eq!(p.table().len(), 1);
-        assert!(p.keys_on_object(7).is_empty());
-        assert_eq!(p.keys_on_object(8).len(), 1);
+        assert!(p.rows_on_object(7).is_empty());
+        assert_eq!(p.rows_on_object(8).len(), 1);
+        // The replacement did not double-count the transaction's step.
+        assert_eq!(p.pending_transactions(), vec![5]);
+        assert_eq!(p.min_pending_intra(5), Some(0));
         assert_eq!(
             p.get(RequestKey { ta: 5, intra: 0 }).unwrap().op,
             Operation::Write

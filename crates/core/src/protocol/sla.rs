@@ -108,7 +108,7 @@ mod tests {
 
         // Priority ordering puts the premium request first even though its
         // id is larger …
-        let mut batch = vec![free.clone(), premium.clone()];
+        let mut batch = vec![free, premium];
         prio.rules.ordering.sort(&mut batch);
         assert_eq!(batch[0].id, 10);
         // … while EDF puts the tighter deadline (the free request) first.

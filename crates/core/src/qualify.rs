@@ -44,20 +44,30 @@ pub struct IncrementalQualifier {
     /// Recompute every object on the next call (protocol switch, aux
     /// relation change, first round).
     all_dirty: bool,
-    /// Blocked pending keys, per object, under `kind`'s per-request rules.
+    /// Blocked pending keys, per object, under `kind`'s per-request rules
+    /// (kept for Conservative 2PL's transaction-level assembly).
     blocked_by_object: HashMap<i64, Vec<RequestKey>>,
-    /// Union of `blocked_by_object` for O(1) membership tests, mapping each
-    /// key to the object its verdict is registered under.  The object makes
-    /// stale-list cleanup safe when a duplicate-key submission moved a
-    /// request between objects: whichever of the two dirty objects
-    /// recomputes second must not evict the other's fresh verdict.
-    blocked: HashMap<RequestKey, i64>,
+    /// Qualified (unblocked) pending keys, per object.  The round's result
+    /// is assembled by flattening these cached lists, so assembly costs
+    /// O(qualified + objects) instead of a membership probe per pending key.
+    /// Both lists are rebuilt together from the store's current per-object
+    /// rows whenever an object is dirty, so a duplicate-key submission that
+    /// moved a request between objects cannot leave a stale verdict behind.
+    qualified_by_object: HashMap<i64, Vec<RequestKey>>,
     /// Category-C objects of the consistency-rationing protocol (from the
     /// auxiliary `object_class` relation).
     relaxed_objects: HashSet<i64>,
     relaxed_built: bool,
     /// Pending requests re-examined by the last `qualify` call.
     last_delta_rows: u64,
+    /// Reused dirty-object drain buffer (cleared each round, never freed).
+    objects_scratch: Vec<i64>,
+    /// Pool of key lists recycled through `blocked_by_object`, so objects
+    /// oscillating between blocked and free don't allocate a list per
+    /// transition.
+    key_list_pool: Vec<Vec<RequestKey>>,
+    /// Reused blocked-transaction set (Conservative 2PL assembly).
+    blocked_tas_scratch: HashSet<u64>,
 }
 
 impl IncrementalQualifier {
@@ -124,6 +134,22 @@ impl IncrementalQualifier {
         history: &HistoryStore,
         aux: &[Table],
     ) -> Vec<RequestKey> {
+        let mut qualified = Vec::new();
+        self.qualify_into(kind, pending, history, aux, &mut qualified);
+        qualified
+    }
+
+    /// [`IncrementalQualifier::qualify`] into a caller-owned buffer (which
+    /// is cleared first) — the round loop's variant, reusing one qualified
+    /// buffer across rounds.
+    pub fn qualify_into(
+        &mut self,
+        kind: ProtocolKind,
+        pending: &PendingStore,
+        history: &HistoryStore,
+        aux: &[Table],
+        qualified: &mut Vec<RequestKey>,
+    ) {
         debug_assert!(
             Self::supports(kind),
             "custom rules have no incremental form"
@@ -138,43 +164,54 @@ impl IncrementalQualifier {
         }
 
         self.last_delta_rows = 0;
+        let mut objects = std::mem::take(&mut self.objects_scratch);
+        objects.clear();
         if self.all_dirty {
-            self.blocked.clear();
-            self.blocked_by_object.clear();
-            let objects: Vec<i64> = pending.objects().collect();
-            for object in objects {
-                self.recompute_object(kind, object, pending, history);
+            for list in self.blocked_by_object.values_mut() {
+                list.clear();
+                self.key_list_pool.push(std::mem::take(list));
             }
+            self.blocked_by_object.clear();
+            for list in self.qualified_by_object.values_mut() {
+                list.clear();
+                self.key_list_pool.push(std::mem::take(list));
+            }
+            self.qualified_by_object.clear();
+            objects.extend(pending.objects());
             self.all_dirty = false;
             self.dirty.clear();
-        } else if !self.dirty.is_empty() {
-            let objects: Vec<i64> = self.dirty.drain().collect();
-            for object in objects {
-                self.recompute_object(kind, object, pending, history);
-            }
+        } else {
+            objects.extend(self.dirty.drain());
         }
+        for &object in &objects {
+            self.recompute_object(kind, object, pending, history);
+        }
+        objects.clear();
+        self.objects_scratch = objects;
 
-        // Assemble the qualified set from the caches.
-        let mut qualified: Vec<RequestKey> = match kind {
-            ProtocolKind::Fcfs => pending.keys().collect(),
+        // Assemble the qualified set from the per-object caches.
+        qualified.clear();
+        match kind {
             ProtocolKind::Conservative2pl => {
                 // One blocked request blocks its whole transaction.
-                let blocked_tas: HashSet<u64> = self.blocked.keys().map(|k| k.ta).collect();
-                pending
-                    .keys()
-                    .filter(|k| !blocked_tas.contains(&k.ta))
-                    .collect()
+                self.blocked_tas_scratch.clear();
+                self.blocked_tas_scratch
+                    .extend(self.blocked_by_object.values().flatten().map(|key| key.ta));
+                qualified.extend(
+                    self.qualified_by_object
+                        .values()
+                        .flatten()
+                        .filter(|key| !self.blocked_tas_scratch.contains(&key.ta))
+                        .copied(),
+                );
             }
-            _ => pending
-                .keys()
-                .filter(|k| !self.blocked.contains_key(k))
-                .collect(),
-        };
+            _ => qualified.extend(self.qualified_by_object.values().flatten().copied()),
+        }
         qualified.sort_unstable();
-        qualified
     }
 
-    /// Re-derive the blocked keys among the pending requests on one object.
+    /// Re-derive the blocked/qualified split of the pending requests on one
+    /// object, rebuilding both cached lists from the store's current rows.
     fn recompute_object(
         &mut self,
         kind: ProtocolKind,
@@ -182,79 +219,90 @@ impl IncrementalQualifier {
         pending: &PendingStore,
         history: &HistoryStore,
     ) {
-        // Drop the stale verdicts registered under this object — but only
-        // those still owned by it, so a request that moved to another dirty
-        // object (duplicate-key replacement) keeps the verdict that object's
-        // recomputation registered, whichever order the dirty set drains in.
-        if let Some(old) = self.blocked_by_object.remove(&object) {
-            for key in old {
-                if self.blocked.get(&key) == Some(&object) {
-                    self.blocked.remove(&key);
-                }
-            }
+        // Drop the stale lists for this object.  Both lists are derived
+        // from `rows_on_object` alone, so a request that moved to another
+        // dirty object (duplicate-key replacement) simply reappears in the
+        // other object's rebuild, whichever order the dirty set drains in.
+        if let Some(mut old) = self.blocked_by_object.remove(&object) {
+            old.clear();
+            self.key_list_pool.push(old);
         }
-        let keys = pending.keys_on_object(object);
-        if keys.is_empty() {
+        if let Some(mut old) = self.qualified_by_object.remove(&object) {
+            old.clear();
+            self.key_list_pool.push(old);
+        }
+        let rows = pending.rows_on_object(object);
+        if rows.is_empty() {
             return;
         }
-        self.last_delta_rows += keys.len() as u64;
+        self.last_delta_rows += rows.len() as u64;
 
+        let mut qualified_here = self.key_list_pool.pop().unwrap_or_default();
         // FCFS blocks nothing; rationing admits category-C objects outright.
         if kind == ProtocolKind::Fcfs
             || (kind == ProtocolKind::ConsistencyRationing
                 && self.relaxed_objects.contains(&object))
         {
+            qualified_here.extend(rows.iter().map(|&(key, _)| key));
+            self.qualified_by_object.insert(object, qualified_here);
             return;
         }
 
-        // The requests on this object, with the batch-conflict minima of the
-        // paper's `OpsOnSameObjAsPriorSelectOps` rules: the smallest pending
+        // The batch-conflict minima of the paper's
+        // `OpsOnSameObjAsPriorSelectOps` rules: the smallest pending
         // transaction id on the object, and the smallest with a write.
         let locks = history.lock_index();
         let mut min_any_ta = u64::MAX;
         let mut min_write_ta = u64::MAX;
-        let mut rows: Vec<(RequestKey, Operation)> = Vec::with_capacity(keys.len());
-        for &key in keys {
-            let Some(request) = pending.get(key) else {
-                continue;
-            };
+        for &(key, op) in rows {
             min_any_ta = min_any_ta.min(key.ta);
-            if request.op == Operation::Write {
+            if op == Operation::Write {
                 min_write_ta = min_write_ta.min(key.ta);
             }
-            rows.push((key, request.op));
         }
 
         let relaxed_writes_only = kind == ProtocolKind::RelaxedReads;
-        let mut blocked_here = Vec::new();
-        for (key, op) in rows {
+        let mut blocked_here = self.key_list_pool.pop().unwrap_or_default();
+        for &(key, op) in rows {
             let is_write = op == Operation::Write;
             if relaxed_writes_only && !is_write {
                 // Reads and terminators never wait under relaxed reads.
+                qualified_here.push(key);
                 continue;
             }
+            // The integer comparisons against the batch minima decide most
+            // deferred requests outright, so they run before the lock-index
+            // hash probes (a pure disjunction — order only affects cost).
             let blocked = if relaxed_writes_only {
                 // Writes keep SS2PL's write-write exclusion only.
-                locks.write_locked_by_other(object, key.ta) || min_write_ta < key.ta
+                min_write_ta < key.ta || locks.write_locked_by_other(object, key.ta)
             } else {
                 // Full SS2PL blocking (also C2PL's per-request core, and the
                 // category-A branch of consistency rationing):
-                //  1. the object is write-locked by another transaction;
-                //  2. a write on an object read-locked by another transaction;
-                //  3. an earlier pending write on the same object;
-                //  4. a write with any earlier pending request on the object.
-                locks.write_locked_by_other(object, key.ta)
-                    || (is_write && locks.read_locked_by_other(object, key.ta))
-                    || min_write_ta < key.ta
+                //  1. an earlier pending write on the same object;
+                //  2. a write with any earlier pending request on the object;
+                //  3. the object is write-locked by another transaction;
+                //  4. a write on an object read-locked by another transaction.
+                min_write_ta < key.ta
                     || (is_write && min_any_ta < key.ta)
+                    || locks.write_locked_by_other(object, key.ta)
+                    || (is_write && locks.read_locked_by_other(object, key.ta))
             };
             if blocked {
-                self.blocked.insert(key, object);
                 blocked_here.push(key);
+            } else {
+                qualified_here.push(key);
             }
         }
-        if !blocked_here.is_empty() {
+        if blocked_here.is_empty() {
+            self.key_list_pool.push(blocked_here);
+        } else {
             self.blocked_by_object.insert(object, blocked_here);
+        }
+        if qualified_here.is_empty() {
+            self.key_list_pool.push(qualified_here);
+        } else {
+            self.qualified_by_object.insert(object, qualified_here);
         }
     }
 }
@@ -394,7 +442,7 @@ mod tests {
 
         // Round 1: a write on a free object qualifies.
         let r1 = Request::write(1, 1, 0, 9);
-        let arrived = pending.insert_batch(vec![r1.clone()]).unwrap();
+        let arrived = pending.insert_batch(vec![r1]).unwrap();
         q.note_pending_changed(&arrived);
         let k1 = q.qualify(ProtocolKind::Ss2pl, &pending, &history, &[]);
         assert_eq!(k1, vec![RequestKey { ta: 1, intra: 0 }]);

@@ -57,8 +57,17 @@ impl IncomingQueue {
     /// order ("the scheduler … empties the incoming queue and moves all
     /// requests into the pending request database as a batch job").
     pub fn drain(&mut self, now_ms: u64) -> Vec<Request> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        self.drain_into(now_ms, &mut out);
+        out
+    }
+
+    /// [`IncomingQueue::drain`] into a caller-owned buffer — the round
+    /// loop's variant, which reuses one buffer across rounds instead of
+    /// allocating a fresh `Vec` per drain.
+    pub fn drain_into(&mut self, now_ms: u64, out: &mut Vec<Request>) {
         self.last_drain_ms = now_ms;
-        self.entries.drain(..).map(|(_, r)| r).collect()
+        out.extend(self.entries.drain(..).map(|(_, r)| r));
     }
 
     /// The buffered requests in arrival order, without draining.

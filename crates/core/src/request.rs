@@ -1,7 +1,8 @@
 //! The request data model — the paper's Table 2, extended with SLA metadata.
 
-use relalg::{DataType, Field, Schema, Tuple, Value};
+use relalg::{DataType, Field, Schema, Symbol, Tuple, Value};
 use std::fmt;
+use std::sync::OnceLock;
 use txnstore::{Statement, StatementKind, TxnId};
 
 /// Operation type of a request (the paper's `Operation` attribute:
@@ -28,6 +29,22 @@ impl Operation {
             Operation::Commit => "c",
             Operation::Abort => "a",
         }
+    }
+
+    /// The interned symbol of [`Operation::code`] — pre-interned once per
+    /// process, so the row-building hot path never touches the interner's
+    /// lookup map.
+    pub fn symbol(self) -> Symbol {
+        static SYMBOLS: OnceLock<[Symbol; 4]> = OnceLock::new();
+        let symbols = SYMBOLS.get_or_init(|| {
+            [
+                Symbol::intern("r"),
+                Symbol::intern("w"),
+                Symbol::intern("c"),
+                Symbol::intern("a"),
+            ]
+        });
+        symbols[self as usize]
     }
 
     /// Parse from the single-letter code.
@@ -83,7 +100,11 @@ pub struct RequestKey {
 
 /// A schedulable request — one row of the paper's `requests`/`history`/`rte`
 /// relations.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`: every field is plain data (strings are interned
+/// [`relalg::Symbol`]s), so requests move through queues, batches and pools
+/// by memcpy with no heap traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Consecutive request number (`ID`).
     pub id: u64,
@@ -157,7 +178,7 @@ impl Request {
     pub fn from_statement(id: u64, stmt: &Statement) -> Self {
         let (op, object, write_value) = match &stmt.kind {
             StatementKind::Select { key } => (Operation::Read, *key, None),
-            StatementKind::Update { key, value } => (Operation::Write, *key, Some(value.clone())),
+            StatementKind::Update { key, value } => (Operation::Write, *key, Some(*value)),
             StatementKind::Commit => (Operation::Commit, -1, None),
             StatementKind::Abort => (Operation::Abort, -1, None),
         };
@@ -183,7 +204,7 @@ impl Request {
                 self.intra,
                 table,
                 self.object,
-                self.write_value.clone().unwrap_or(Value::Int(self.object)),
+                self.write_value.unwrap_or(Value::Int(self.object)),
             ),
             Operation::Commit => Statement::commit(txn, self.intra, table),
             Operation::Abort => Statement::abort(txn, self.intra, table),
@@ -214,13 +235,14 @@ impl Request {
         ])
     }
 
-    /// Render as a tuple of [`Request::schema`].
+    /// Render as a tuple of [`Request::schema`].  Allocation-free: the
+    /// operation code is pre-interned and the row is built inline.
     pub fn to_tuple(&self) -> Tuple {
-        Tuple::new(vec![
+        Tuple::from_slice(&[
             Value::Int(self.id as i64),
             Value::Int(self.ta as i64),
             Value::Int(i64::from(self.intra)),
-            Value::str(self.op.code()),
+            Value::Str(self.op.symbol()),
             Value::Int(self.object),
         ])
     }
@@ -229,7 +251,7 @@ impl Request {
     /// metadata is attached.
     pub fn to_sla_tuple(&self) -> Option<Tuple> {
         self.sla.map(|s| {
-            Tuple::new(vec![
+            Tuple::from_slice(&[
                 Value::Int(self.ta as i64),
                 Value::str(s.class),
                 Value::Int(s.priority),

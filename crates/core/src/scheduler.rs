@@ -24,7 +24,7 @@ use crate::queue::IncomingQueue;
 use crate::request::{Request, RequestKey};
 use crate::rules::{datalog_output_keys, RuleBackend};
 use crate::trigger::TriggerPolicy;
-use relalg::{Catalog, Table};
+use relalg::{Catalog, Symbol, Table};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 use txnstore::Statement;
@@ -91,8 +91,9 @@ pub struct ScheduleBatch {
     /// Wall-clock microseconds for the whole round.
     pub round_micros: u64,
     /// Name of the protocol that was applied (relevant for adaptive
-    /// policies).
-    pub protocol: String,
+    /// policies).  Built-in protocol names are static; custom protocol
+    /// names are interned once, so no round allocates for this field.
+    pub protocol: &'static str,
 }
 
 impl ScheduleBatch {
@@ -106,6 +107,35 @@ impl ScheduleBatch {
         self.requests.is_empty()
     }
 }
+
+/// Reusable per-round buffers.  Every allocation the round loop used to
+/// make per call — the drain buffer, the changed-object lists, the
+/// qualified-key vector, the intra-order scratch sets and the dispatched
+/// batch itself — lives here instead and is cleared, not freed, between
+/// rounds.  Batch buffers handed out in [`ScheduleBatch::requests`] come
+/// back through [`DeclarativeScheduler::recycle_batch`].
+#[derive(Debug, Default)]
+struct RoundScratch {
+    /// Requests drained from the incoming queue this round.
+    drained: Vec<Request>,
+    /// Keys of this round's drained requests — the only candidates for a
+    /// first deferral, so bookkeeping touches the arrival delta instead of
+    /// rescanning the whole pending backlog every round.
+    drained_keys: Vec<RequestKey>,
+    /// Objects whose pending/history rows changed (two uses per round).
+    changed: Vec<i64>,
+    /// Qualified keys produced by rule evaluation.
+    keys: Vec<RequestKey>,
+    /// Intra-order filter: the qualified set, for O(1) membership.
+    qualified_set: HashSet<RequestKey>,
+    /// Recycled dispatch-batch buffers (fed by `recycle_batch`).
+    batch_pool: Vec<Vec<Request>>,
+}
+
+/// How many spare batch buffers the scheduler keeps.  The middleware loop
+/// recycles one batch per round, so a tiny pool suffices; the cap only
+/// guards against a caller recycling buffers it never got from us.
+const BATCH_POOL_CAP: usize = 8;
 
 /// The persistent Datalog evaluation for a custom protocol, plus the input
 /// watermarks describing what it has already been fed.
@@ -153,6 +183,8 @@ pub struct DeclarativeScheduler {
     /// Pending keys already counted in `requests_deferred` (bounded by the
     /// pending set: entries leave when their request is scheduled).
     deferred_seen: HashSet<RequestKey>,
+    /// Reusable round buffers (see [`RoundScratch`]).
+    scratch: RoundScratch,
     next_request_id: u64,
     round: u64,
 }
@@ -177,6 +209,7 @@ impl DeclarativeScheduler {
             datalog_cache: None,
             noop_fingerprint: None,
             deferred_seen: HashSet::new(),
+            scratch: RoundScratch::default(),
             next_request_id: 0,
             round: 0,
         }
@@ -195,7 +228,7 @@ impl DeclarativeScheduler {
         self.next_request_id += 1;
         request.id = self.next_request_id;
         if request.sla.is_some() {
-            match self.sla_rows.insert(request.ta, request.clone()) {
+            match self.sla_rows.insert(request.ta, request) {
                 None => {
                     if let Some(tuple) = request.to_sla_tuple() {
                         self.sla_table
@@ -289,7 +322,7 @@ impl DeclarativeScheduler {
             .iter()
             .enumerate()
             .map(|(i, r)| {
-                let mut r = r.clone();
+                let mut r = *r;
                 r.id = i as u64 + 1;
                 r
             })
@@ -309,7 +342,7 @@ impl DeclarativeScheduler {
     /// placement migration requires before an object may leave this shard —
     /// answered from the incremental indexes, not a relation scan.
     pub fn object_idle(&self, object: i64) -> bool {
-        self.pending.keys_on_object(object).is_empty()
+        self.pending.rows_on_object(object).is_empty()
             && !self.history.lock_index().locked(object)
             && !self
                 .queue
@@ -333,13 +366,17 @@ impl DeclarativeScheduler {
     /// the history table with half of the workload's requests exactly this
     /// way.
     pub fn preload_history(&mut self, requests: &[Request]) -> SchedResult<()> {
+        let mut changed = std::mem::take(&mut self.scratch.changed);
         for request in requests {
             self.next_request_id += 1;
-            let mut r = request.clone();
+            let mut r = *request;
             r.id = self.next_request_id;
-            let changed = self.history.insert(&r)?;
+            changed.clear();
+            self.history.insert_into(&r, &mut changed)?;
             self.qualifier.note_history_changed(&changed);
         }
+        changed.clear();
+        self.scratch.changed = changed;
         Ok(())
     }
 
@@ -382,34 +419,84 @@ impl DeclarativeScheduler {
         let round_start = Instant::now();
         self.round += 1;
 
-        // 1. Drain the incoming queue into the pending database.
-        let drained = self.queue.drain(now_ms);
-        let arrived = self.pending.insert_batch(drained)?;
-        self.qualifier.note_pending_changed(&arrived);
+        // 1. Drain the incoming queue into the pending database.  Both
+        //    buffers are round scratch: cleared, never freed.
+        let mut drained = std::mem::take(&mut self.scratch.drained);
+        let mut changed = std::mem::take(&mut self.scratch.changed);
+        let mut drained_keys = std::mem::take(&mut self.scratch.drained_keys);
+        drained.clear();
+        changed.clear();
+        drained_keys.clear();
+        self.queue.drain_into(now_ms, &mut drained);
+        self.pending.insert_batch_into(&drained, &mut changed)?;
+        drained_keys.extend(drained.iter().map(Request::key));
+        drained.clear();
+        self.scratch.drained = drained;
+        self.qualifier.note_pending_changed(&changed);
         let pending_before = self.pending.len();
 
-        // 2. Evaluate the declarative rule.
-        let protocol = self.policy.select(pending_before).clone();
+        // 2. Evaluate the declarative rule.  The hot (built-in incremental)
+        //    path extracts the `Copy` facts it needs — kind, ordering, the
+        //    interned name — instead of cloning the whole protocol; only the
+        //    cold paths (custom rules, from-scratch evaluation) still clone.
+        let selected = self.policy.select(pending_before);
+        let kind = selected.kind;
+        let ordering = selected.rules.ordering;
+        let protocol_name: &'static str = if selected.name() == kind.name() {
+            kind.name()
+        } else {
+            Symbol::intern(selected.name()).as_str()
+        };
+        let hot_path = self.config.incremental && IncrementalQualifier::supports(kind);
+        let cold_protocol = if hot_path {
+            None
+        } else {
+            Some(selected.clone())
+        };
         if let SchedulingPolicy::Adaptive(a) = &self.policy {
             if a.is_overloaded(pending_before) {
                 self.metrics.overload_rounds += 1;
             }
         }
-        let (mut keys, rule_eval_micros) = self.qualify(&protocol)?;
+        let mut keys = std::mem::take(&mut self.scratch.keys);
+        keys.clear();
+        let rule_eval_micros = if hot_path {
+            let rule_start = Instant::now();
+            self.qualifier
+                .qualify_into(kind, &self.pending, &self.history, &self.aux, &mut keys);
+            let micros = rule_start.elapsed().as_micros() as u64;
+            self.metrics.incremental_rounds += 1;
+            self.metrics.delta_rows += self.qualifier.last_delta_rows();
+            micros
+        } else {
+            let protocol = cold_protocol.expect("cold paths cloned the protocol above");
+            let (cold_keys, micros) = self.qualify_cold(&protocol)?;
+            keys.extend(cold_keys);
+            micros
+        };
 
         // 3. Enforce intra-transaction ordering.
         if self.config.enforce_intra_order {
-            keys = self.filter_intra_order(keys);
+            self.filter_intra_order(&mut keys);
         }
 
-        // 4. Recover the full requests and order them.
-        let mut batch = self.pending.take(&keys);
+        // 4. Recover the full requests and order them.  The batch buffer is
+        //    pooled: it leaves with the `ScheduleBatch` and comes back via
+        //    `recycle_batch`.
+        let mut batch = self.scratch.batch_pool.pop().unwrap_or_default();
+        batch.clear();
+        self.pending.take_into(&keys, &mut batch);
+        keys.clear();
+        self.scratch.keys = keys;
         self.qualifier.note_taken(&batch);
-        protocol.rules.ordering.sort(&mut batch);
+        ordering.sort(&mut batch);
 
         // 5. Record them in the history database.
-        let changed = self.history.insert_batch(batch.iter())?;
+        changed.clear();
+        self.history.insert_batch_into(batch.iter(), &mut changed)?;
         self.qualifier.note_history_changed(&changed);
+        changed.clear();
+        self.scratch.changed = changed;
         let pruned = if self.config.prune_history {
             self.history.prune_finished()
         } else {
@@ -423,16 +510,21 @@ impl DeclarativeScheduler {
         // counts each request once, the first time it survives a round
         // unqualified; `deferred_request_rounds` accumulates the waiting
         // request-rounds (the quantity the old `requests_deferred`
-        // conflated with a deferral count).
+        // conflated with a deferral count).  Only this round's arrivals can
+        // be *newly* deferred — everything older is already in
+        // `deferred_seen` from its own arrival round — so the scan covers
+        // the drained keys, not the whole pending backlog.
         for request in &batch {
             self.deferred_seen.remove(&request.key());
         }
         let mut newly_deferred = 0u64;
-        for key in self.pending.keys() {
-            if self.deferred_seen.insert(key) {
+        for &key in &drained_keys {
+            if self.pending.get(key).is_some() && self.deferred_seen.insert(key) {
                 newly_deferred += 1;
             }
         }
+        drained_keys.clear();
+        self.scratch.drained_keys = drained_keys;
         self.metrics.rounds += 1;
         self.metrics.requests_scheduled += batch.len() as u64;
         self.metrics.requests_deferred += newly_deferred;
@@ -456,8 +548,20 @@ impl DeclarativeScheduler {
             pending_after,
             rule_eval_micros,
             round_micros,
-            protocol: protocol.name().to_string(),
+            protocol: protocol_name,
         })
+    }
+
+    /// Return a dispatched batch's buffer to the round pool.  Dispatch
+    /// loops call this after executing a [`ScheduleBatch`] so the next
+    /// round reuses the allocation instead of growing a fresh `Vec`.
+    /// Contents are cleared here; excess buffers beyond the pool cap are
+    /// simply dropped.
+    pub fn recycle_batch(&mut self, mut requests: Vec<Request>) {
+        requests.clear();
+        if self.scratch.batch_pool.len() < BATCH_POOL_CAP {
+            self.scratch.batch_pool.push(requests);
+        }
     }
 
     /// Discard every request that has not been scheduled yet — the queued
@@ -481,24 +585,16 @@ impl DeclarativeScheduler {
     }
 
     /// Evaluate the qualification rule of `protocol` over the current
-    /// state, through the cheapest applicable path: the incremental
-    /// qualifier for built-in protocols, the persistent Datalog evaluation
-    /// for custom Datalog rules, or a from-scratch evaluation over a
-    /// freshly built catalog.  Returns the keys plus the microseconds spent
-    /// on rule evaluation proper — catalog assembly is accounted separately
-    /// in [`SchedulerMetrics::catalog_build_micros`], never in
-    /// `rule_eval_micros`, preserving the paper's Section 4.3 metric.
-    fn qualify(&mut self, protocol: &Protocol) -> SchedResult<(Vec<RequestKey>, u64)> {
-        if self.config.incremental && IncrementalQualifier::supports(protocol.kind) {
-            let rule_start = Instant::now();
-            let keys =
-                self.qualifier
-                    .qualify(protocol.kind, &self.pending, &self.history, &self.aux);
-            let micros = rule_start.elapsed().as_micros() as u64;
-            self.metrics.incremental_rounds += 1;
-            self.metrics.delta_rows += self.qualifier.last_delta_rows();
-            return Ok((keys, micros));
-        }
+    /// state on the *cold* paths: the persistent Datalog evaluation for
+    /// custom Datalog rules, or a from-scratch evaluation over a freshly
+    /// built catalog.  (The hot built-in incremental path lives inline in
+    /// [`DeclarativeScheduler::run_round`], which writes straight into the
+    /// round scratch without cloning the protocol.)  Returns the keys plus
+    /// the microseconds spent on rule evaluation proper — catalog assembly
+    /// is accounted separately in [`SchedulerMetrics::catalog_build_micros`],
+    /// never in `rule_eval_micros`, preserving the paper's Section 4.3
+    /// metric.
+    fn qualify_cold(&mut self, protocol: &Protocol) -> SchedResult<(Vec<RequestKey>, u64)> {
         if self.config.incremental {
             if let RuleBackend::Datalog { program, output } = &protocol.rules.backend {
                 let rule_start = Instant::now();
@@ -628,30 +724,26 @@ impl DeclarativeScheduler {
     }
 
     /// Keep only qualified keys whose earlier same-transaction requests are
-    /// either no longer pending or also qualified.
-    fn filter_intra_order(&self, keys: Vec<RequestKey>) -> Vec<RequestKey> {
-        let qualified: HashSet<RequestKey> = keys.iter().copied().collect();
-        // Earliest pending intra per transaction.
-        let mut min_pending: HashMap<u64, u32> = HashMap::new();
-        for request in self.pending.requests() {
-            min_pending
-                .entry(request.ta)
-                .and_modify(|m| *m = (*m).min(request.intra))
-                .or_insert(request.intra);
-        }
-        keys.into_iter()
-            .filter(|key| {
-                let Some(&first) = min_pending.get(&key.ta) else {
-                    return false;
-                };
-                // Every pending request of this transaction between the first
-                // pending one and this one must be qualified too.
-                (first..key.intra).all(|intra| {
-                    let probe = RequestKey { ta: key.ta, intra };
-                    self.pending.get(probe).is_none() || qualified.contains(&probe)
-                })
+    /// either no longer pending or also qualified.  Filters in place using
+    /// the round scratch set, asking the pending store for each qualified
+    /// transaction's earliest pending step — O(qualified keys), independent
+    /// of how large the deferred backlog has grown.
+    fn filter_intra_order(&mut self, keys: &mut Vec<RequestKey>) {
+        self.scratch.qualified_set.clear();
+        self.scratch.qualified_set.extend(keys.iter().copied());
+        let qualified = &self.scratch.qualified_set;
+        let pending = &self.pending;
+        keys.retain(|key| {
+            let Some(first) = pending.min_pending_intra(key.ta) else {
+                return false;
+            };
+            // Every pending request of this transaction between the first
+            // pending one and this one must be qualified too.
+            (first..key.intra).all(|intra| {
+                let probe = RequestKey { ta: key.ta, intra };
+                pending.get(probe).is_none() || qualified.contains(&probe)
             })
-            .collect()
+        });
     }
 }
 

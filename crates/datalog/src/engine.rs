@@ -50,6 +50,11 @@ impl Relation {
         &self.rows
     }
 
+    /// Consume the relation, returning its tuples in insertion order.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+
     /// Remove every tuple.
     pub fn clear(&mut self) {
         self.rows.clear();

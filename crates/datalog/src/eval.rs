@@ -7,8 +7,29 @@ use crate::stratify::stratify;
 use relalg::Value;
 use std::collections::HashMap;
 
-/// Variable bindings accumulated while matching a rule body.
-type Bindings = HashMap<String, Value>;
+/// Variable bindings accumulated while matching a rule body: a stack of
+/// `(variable, value)` pairs pushed as atoms bind and truncated on
+/// backtrack.  A rule binds a handful of variables, so linear lookup beats
+/// a hash map — and backtracking is a `truncate`, not a map clone per
+/// candidate row.
+type Bindings<'r> = Vec<(&'r str, Value)>;
+
+/// Reusable match-state for [`derive`]: the binding stack plus a ground-probe
+/// buffer for negated atoms.  One instance lives per stratum evaluation and
+/// is cleared, not reallocated, between rules.
+#[derive(Default)]
+struct EvalScratch<'r> {
+    bindings: Bindings<'r>,
+    probe: Vec<Value>,
+}
+
+fn lookup(bindings: &Bindings<'_>, name: &str) -> Option<Value> {
+    bindings
+        .iter()
+        .rev()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+}
 
 /// Evaluate a program against a database of facts, returning a database that
 /// contains both the original facts and all derived relations.
@@ -37,7 +58,7 @@ pub fn evaluate(program: &Program, mut db: Database) -> DatalogResult<Database> 
             .terms
             .iter()
             .map(|t| match t {
-                Term::Const(v) => v.clone(),
+                Term::Const(v) => *v,
                 Term::Var(_) => unreachable!("facts with variables are unsafe and rejected above"),
             })
             .collect();
@@ -72,9 +93,12 @@ pub fn evaluate(program: &Program, mut db: Database) -> DatalogResult<Database> 
 pub(crate) fn evaluate_stratum(rules: &[&Rule], db: &mut Database) -> DatalogResult<()> {
     // Round 0: naive evaluation to seed the deltas.
     let mut delta: HashMap<String, Relation> = HashMap::new();
+    let mut scratch = EvalScratch::default();
+    let mut derived = Vec::new();
     for rule in rules {
-        let derived = derive(rule, db, None)?;
-        for row in derived {
+        derived.clear();
+        derive(rule, db, None, &mut scratch, &mut derived)?;
+        for row in derived.drain(..) {
             if db.relation_mut(&rule.head.predicate).insert(row.clone()) {
                 delta
                     .entry(rule.head.predicate.clone())
@@ -83,7 +107,7 @@ pub(crate) fn evaluate_stratum(rules: &[&Rule], db: &mut Database) -> DatalogRes
             }
         }
     }
-    drain_deltas(rules, db, delta, None)?;
+    drain_deltas(rules, db, &delta, None)?;
     Ok(())
 }
 
@@ -94,12 +118,14 @@ pub(crate) fn evaluate_stratum(rules: &[&Rule], db: &mut Database) -> DatalogRes
 /// is insensitive to *when* a delta arrives (every rule is re-derived with
 /// each positive atom restricted to the delta in turn), continuing from the
 /// persisted fixpoint yields exactly the fixpoint over the enlarged fact
-/// set, in time proportional to the new derivations.  Returns the facts
-/// newly derived for each head predicate (the downstream strata's delta).
+/// set, in time proportional to the new derivations.  The delta map is
+/// borrowed, not consumed — entries for predicates no rule in this stratum
+/// references are simply never looked up.  Returns the facts newly derived
+/// for each head predicate (the downstream strata's delta).
 pub(crate) fn resume_stratum(
     rules: &[&Rule],
     db: &mut Database,
-    delta: HashMap<String, Relation>,
+    delta: &HashMap<String, Relation>,
 ) -> DatalogResult<HashMap<String, Relation>> {
     let mut derived_total = HashMap::new();
     drain_deltas(rules, db, delta, Some(&mut derived_total))?;
@@ -113,64 +139,95 @@ pub(crate) fn resume_stratum(
 fn drain_deltas(
     rules: &[&Rule],
     db: &mut Database,
-    mut delta: HashMap<String, Relation>,
+    seed: &HashMap<String, Relation>,
     mut derived_total: Option<&mut HashMap<String, Relation>>,
 ) -> DatalogResult<()> {
-    while !delta.is_empty() && delta.values().any(|r| !r.is_empty()) {
-        let mut next_delta: HashMap<String, Relation> = HashMap::new();
-        for rule in rules {
-            // For each positive body atom whose predicate has a delta, run
-            // the rule with that atom restricted to the delta.
-            for (pos, item) in rule.body.iter().enumerate() {
-                let BodyItem::Positive(atom) = item else {
-                    continue;
-                };
-                let Some(d) = delta.get(&atom.predicate) else {
-                    continue;
-                };
-                if d.is_empty() {
-                    continue;
-                }
-                let derived = derive(rule, db, Some((pos, d)))?;
-                for row in derived {
-                    if db.relation_mut(&rule.head.predicate).insert(row.clone()) {
-                        if let Some(total) = derived_total.as_deref_mut() {
-                            total
-                                .entry(rule.head.predicate.clone())
-                                .or_default()
-                                .insert(row.clone());
-                        }
-                        next_delta
-                            .entry(rule.head.predicate.clone())
-                            .or_default()
-                            .insert(row);
-                    }
-                }
-            }
-        }
-        delta = next_delta;
+    let mut scratch = EvalScratch::default();
+    let mut derived = Vec::new();
+    let mut delta = step_deltas(
+        rules,
+        db,
+        seed,
+        &mut derived_total,
+        &mut scratch,
+        &mut derived,
+    )?;
+    while delta.values().any(|r| !r.is_empty()) {
+        delta = step_deltas(
+            rules,
+            db,
+            &delta,
+            &mut derived_total,
+            &mut scratch,
+            &mut derived,
+        )?;
     }
     Ok(())
 }
 
-/// Compute all head tuples derivable by one rule.  When `delta_at` is given,
-/// the positive atom at that body position is matched against the delta
-/// relation instead of the full relation (semi-naive restriction).
-fn derive(
-    rule: &Rule,
-    db: &Database,
-    delta_at: Option<(usize, &Relation)>,
-) -> DatalogResult<Vec<Vec<Value>>> {
-    let mut results = Vec::new();
-    let bindings = Bindings::new();
-    join_body(rule, 0, bindings, db, delta_at, &mut results)?;
-    Ok(results)
+/// One semi-naive round: for each positive body atom whose predicate has a
+/// delta, run the rule with that atom restricted to the delta.  Returns the
+/// next round's delta (facts first derived this round).
+fn step_deltas<'r>(
+    rules: &[&'r Rule],
+    db: &mut Database,
+    delta: &HashMap<String, Relation>,
+    derived_total: &mut Option<&mut HashMap<String, Relation>>,
+    scratch: &mut EvalScratch<'r>,
+    derived: &mut Vec<Vec<Value>>,
+) -> DatalogResult<HashMap<String, Relation>> {
+    let mut next_delta: HashMap<String, Relation> = HashMap::new();
+    for rule in rules {
+        for (pos, item) in rule.body.iter().enumerate() {
+            let BodyItem::Positive(atom) = item else {
+                continue;
+            };
+            let Some(d) = delta.get(&atom.predicate) else {
+                continue;
+            };
+            if d.is_empty() {
+                continue;
+            }
+            derived.clear();
+            derive(rule, db, Some((pos, d)), scratch, derived)?;
+            for row in derived.drain(..) {
+                if db.relation_mut(&rule.head.predicate).insert(row.clone()) {
+                    if let Some(total) = derived_total.as_deref_mut() {
+                        total
+                            .entry(rule.head.predicate.clone())
+                            .or_default()
+                            .insert(row.clone());
+                    }
+                    next_delta
+                        .entry(rule.head.predicate.clone())
+                        .or_default()
+                        .insert(row);
+                }
+            }
+        }
+    }
+    Ok(next_delta)
 }
 
-fn join_body(
-    rule: &Rule,
+/// Compute all head tuples derivable by one rule, appending them to
+/// `results`.  When `delta_at` is given, the positive atom at that body
+/// position is matched against the delta relation instead of the full
+/// relation (semi-naive restriction).
+fn derive<'r>(
+    rule: &'r Rule,
+    db: &Database,
+    delta_at: Option<(usize, &Relation)>,
+    scratch: &mut EvalScratch<'r>,
+    results: &mut Vec<Vec<Value>>,
+) -> DatalogResult<()> {
+    scratch.bindings.clear();
+    join_body(rule, 0, scratch, db, delta_at, results)
+}
+
+fn join_body<'r>(
+    rule: &'r Rule,
     idx: usize,
-    bindings: Bindings,
+    scratch: &mut EvalScratch<'r>,
     db: &Database,
     delta_at: Option<(usize, &Relation)>,
     results: &mut Vec<Vec<Value>>,
@@ -182,10 +239,8 @@ fn join_body(
             .terms
             .iter()
             .map(|t| match t {
-                Term::Const(v) => v.clone(),
-                Term::Var(name) => bindings
-                    .get(name)
-                    .cloned()
+                Term::Const(v) => *v,
+                Term::Var(name) => lookup(&scratch.bindings, name)
                     .expect("safety check guarantees head variables are bound"),
             })
             .collect();
@@ -214,78 +269,76 @@ fn join_body(
                         got: row.len(),
                     });
                 }
-                if let Some(new_bindings) = unify(atom, row, &bindings) {
-                    join_body(rule, idx + 1, new_bindings, db, delta_at, results)?;
+                let mark = scratch.bindings.len();
+                if unify(atom, row, &mut scratch.bindings) {
+                    join_body(rule, idx + 1, scratch, db, delta_at, results)?;
                 }
+                scratch.bindings.truncate(mark);
             }
             Ok(())
         }
         BodyItem::Negative(atom) => {
-            // All variables are bound (safety); build the ground tuple and
-            // test membership.
-            let probe: Vec<Value> = atom
-                .terms
-                .iter()
-                .map(|t| match t {
-                    Term::Const(v) => v.clone(),
-                    Term::Var(name) => bindings
-                        .get(name)
-                        .cloned()
+            // All variables are bound (safety); build the ground tuple in
+            // the reused probe buffer and test membership.  The probe is
+            // dead once tested, so deeper negations may freely overwrite it.
+            let EvalScratch { bindings, probe } = scratch;
+            probe.clear();
+            probe.extend(atom.terms.iter().map(|t| {
+                match t {
+                    Term::Const(v) => *v,
+                    Term::Var(name) => lookup(bindings, name)
                         .expect("safety check guarantees negated variables are bound"),
-                })
-                .collect();
+                }
+            }));
             let present = db
                 .relation(&atom.predicate)
-                .map(|r| r.contains(&probe))
+                .map(|r| r.contains(probe))
                 .unwrap_or(false);
             if !present {
-                join_body(rule, idx + 1, bindings, db, delta_at, results)?;
+                join_body(rule, idx + 1, scratch, db, delta_at, results)?;
             }
             Ok(())
         }
         BodyItem::Compare { op, left, right } => {
             let resolve = |t: &Term| -> Value {
                 match t {
-                    Term::Const(v) => v.clone(),
-                    Term::Var(name) => bindings
-                        .get(name)
-                        .cloned()
+                    Term::Const(v) => *v,
+                    Term::Var(name) => lookup(&scratch.bindings, name)
                         .expect("safety check guarantees comparison variables are bound"),
                 }
             };
             let l = resolve(left);
             let r = resolve(right);
             if op.apply(&l, &r) {
-                join_body(rule, idx + 1, bindings, db, delta_at, results)?;
+                join_body(rule, idx + 1, scratch, db, delta_at, results)?;
             }
             Ok(())
         }
     }
 }
 
-/// Try to extend `bindings` so that `atom` matches `row`.
-fn unify(atom: &Atom, row: &[Value], bindings: &Bindings) -> Option<Bindings> {
-    let mut out = bindings.clone();
+/// Try to extend `bindings` so that `atom` matches `row`, pushing any new
+/// bindings onto the stack.  On mismatch, partially pushed bindings remain —
+/// the caller truncates back to its mark either way.
+fn unify<'r>(atom: &'r Atom, row: &[Value], bindings: &mut Bindings<'r>) -> bool {
     for (term, value) in atom.terms.iter().zip(row.iter()) {
         match term {
             Term::Const(c) => {
                 if c.sql_eq(value) != Some(true) {
-                    return None;
+                    return false;
                 }
             }
-            Term::Var(name) => match out.get(name) {
+            Term::Var(name) => match lookup(bindings, name) {
                 Some(existing) => {
                     if existing.sql_eq(value) != Some(true) {
-                        return None;
+                        return false;
                     }
                 }
-                None => {
-                    out.insert(name.clone(), value.clone());
-                }
+                None => bindings.push((name.as_str(), *value)),
             },
         }
     }
-    Some(out)
+    true
 }
 
 #[cfg(test)]

@@ -49,16 +49,33 @@ pub struct EvaluationStats {
     pub recomputed: usize,
 }
 
+/// One refined stratum group's evaluation plan, computed once at
+/// construction: the rule indexes plus the head/positive/negative predicate
+/// sets every [`IncrementalEvaluation::evaluate`] call used to re-derive
+/// from the rule ASTs on every round.
+#[derive(Debug)]
+struct GroupPlan {
+    /// Non-fact rule indexes into `program.rules`, in evaluation order.
+    rules: Vec<usize>,
+    /// Distinct head predicates of those rules.
+    heads: Vec<String>,
+    /// Distinct positive body dependencies.
+    positive: Vec<String>,
+    /// Distinct negative body dependencies.
+    negative: Vec<String>,
+}
+
 /// A Datalog program plus its persisted extensional facts and derived
 /// fixpoint, evaluated incrementally as the inputs change.
 #[derive(Debug)]
 pub struct IncrementalEvaluation {
     program: Program,
-    /// Stratum groups refined to one strongly connected component of head
-    /// predicates each (mutually recursive predicates stay together; merely
-    /// stratum-equal ones split apart), so an unchanged predicate skips even
-    /// when its stratum-mate recomputes.
-    rule_groups: Vec<Vec<usize>>,
+    /// Per-group evaluation plans for the stratum groups refined to one
+    /// strongly connected component of head predicates each (mutually
+    /// recursive predicates stay together; merely stratum-equal ones split
+    /// apart), so an unchanged predicate skips even when its stratum-mate
+    /// recomputes.
+    plans: Vec<GroupPlan>,
     /// Head predicates (rules may not write into these via the input API).
     idb: HashSet<String>,
     /// Facts embedded in the program text, re-seeded after a stratum clear.
@@ -85,6 +102,32 @@ impl IncrementalEvaluation {
         }
         let stratification = stratify(&program)?;
         let rule_groups = refine_groups(&program, &stratification.rule_groups);
+        let plans: Vec<GroupPlan> = rule_groups
+            .iter()
+            .map(|group| {
+                let rules: Vec<usize> = group
+                    .iter()
+                    .copied()
+                    .filter(|&i| !program.rules[i].is_fact())
+                    .collect();
+                let mut heads: BTreeSet<&str> = BTreeSet::new();
+                let mut positive: BTreeSet<&str> = BTreeSet::new();
+                let mut negative: BTreeSet<&str> = BTreeSet::new();
+                for &i in &rules {
+                    let rule = &program.rules[i];
+                    heads.insert(rule.head.predicate.as_str());
+                    positive.extend(rule.positive_deps());
+                    negative.extend(rule.negative_deps());
+                }
+                GroupPlan {
+                    rules,
+                    heads: heads.into_iter().map(str::to_string).collect(),
+                    positive: positive.into_iter().map(str::to_string).collect(),
+                    negative: negative.into_iter().map(str::to_string).collect(),
+                }
+            })
+            .filter(|plan| !plan.rules.is_empty())
+            .collect();
         let mut db = Database::new();
         let mut base_facts: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
         for rule in program.rules.iter().filter(|r| r.is_fact()) {
@@ -93,7 +136,7 @@ impl IncrementalEvaluation {
                 .terms
                 .iter()
                 .map(|t| match t {
-                    crate::ast::Term::Const(v) => v.clone(),
+                    crate::ast::Term::Const(v) => *v,
                     crate::ast::Term::Var(_) => {
                         unreachable!("facts with variables are unsafe and rejected above")
                     }
@@ -121,7 +164,7 @@ impl IncrementalEvaluation {
         }
         Ok(IncrementalEvaluation {
             program,
-            rule_groups,
+            plans,
             idb,
             base_facts,
             db,
@@ -203,38 +246,27 @@ impl IncrementalEvaluation {
         // the stale fixpoint as if nothing had changed.
         self.evaluated_once = false;
 
-        for group in self.rule_groups.clone() {
-            let rules: Vec<&Rule> = group
-                .iter()
-                .map(|&i| &self.program.rules[i])
-                .filter(|r| !r.is_fact())
-                .collect();
-            if rules.is_empty() {
-                continue;
-            }
-            let heads: BTreeSet<&str> = rules.iter().map(|r| r.head.predicate.as_str()).collect();
-            let mut positive: BTreeSet<&str> = BTreeSet::new();
-            let mut negative: BTreeSet<&str> = BTreeSet::new();
-            for rule in &rules {
-                positive.extend(rule.positive_deps());
-                negative.extend(rule.negative_deps());
-            }
+        let mut rules: Vec<&Rule> = Vec::new();
+        for plan in &self.plans {
+            rules.clear();
+            rules.extend(plan.rules.iter().map(|&i| &self.program.rules[i]));
 
             // A replaced dependency may have retracted facts; new facts under
             // a negation may retract derivations.  Either forces this stratum
             // to recompute from scratch.
             let must_recompute = first
-                || positive
+                || plan
+                    .positive
                     .iter()
-                    .chain(negative.iter())
-                    .any(|p| replaced.contains(*p))
-                || negative
+                    .chain(plan.negative.iter())
+                    .any(|p| replaced.contains(p))
+                || plan
+                    .negative
                     .iter()
-                    .any(|p| deltas.get(*p).is_some_and(|d| !d.is_empty()));
+                    .any(|p| deltas.get(p).is_some_and(|d| !d.is_empty()));
 
             if must_recompute {
-                let head_names: Vec<String> = heads.iter().map(|h| h.to_string()).collect();
-                for head in &head_names {
+                for head in &plan.heads {
                     self.db.clear_relation(head);
                     if let Some(facts) = self.base_facts.get(head) {
                         for row in facts {
@@ -244,27 +276,30 @@ impl IncrementalEvaluation {
                 }
                 evaluate_stratum(&rules, &mut self.db)?;
                 // Downstream strata must treat these heads as replaced.
-                replaced.extend(head_names);
+                replaced.extend(plan.heads.iter().cloned());
                 self.stats.recomputed += 1;
                 continue;
             }
 
             // Positive-only reachability: resume semi-naive iteration from
             // the persisted fixpoint, seeded with just the delta facts.
-            let relevant: HashMap<String, Relation> = positive
+            // The whole accumulated delta map is passed by reference — a
+            // rule only ever looks up its own positive atoms' predicates,
+            // so entries this stratum does not reference are inert, and no
+            // relation is cloned to build a filtered seed.
+            let has_delta = plan
+                .positive
                 .iter()
-                .filter_map(|p| deltas.get(*p).map(|d| ((*p).to_string(), d.clone())))
-                .filter(|(_, d)| !d.is_empty())
-                .collect();
-            if relevant.is_empty() {
+                .any(|p| deltas.get(p).is_some_and(|d| !d.is_empty()));
+            if !has_delta {
                 self.stats.skipped += 1;
                 continue;
             }
-            let derived = resume_stratum(&rules, &mut self.db, relevant)?;
+            let derived = resume_stratum(&rules, &mut self.db, &deltas)?;
             for (predicate, relation) in derived {
                 let pool = deltas.entry(predicate).or_default();
-                for row in relation.iter() {
-                    pool.insert(row.clone());
+                for row in relation.into_rows() {
+                    pool.insert(row);
                 }
             }
             self.stats.resumed += 1;

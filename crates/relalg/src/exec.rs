@@ -69,7 +69,7 @@ impl ResultSet {
     /// Extract a single column as values.
     pub fn column(&self, name: &str) -> RelResult<Vec<Value>> {
         let idx = self.schema.try_index_of(name)?;
-        Ok(self.rows.iter().map(|r| r.get(idx).clone()).collect())
+        Ok(self.rows.iter().map(|r| *r.get(idx)).collect())
     }
 }
 
@@ -347,20 +347,23 @@ fn execute_join(
         // Build side: right input.
         let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for (pos, row) in r.rows().iter().enumerate() {
-            let key: Vec<Value> = keys.right.iter().map(|&i| row.get(i).clone()).collect();
+            let key: Vec<Value> = keys.right.iter().map(|&i| *row.get(i)).collect();
             if key.iter().any(Value::is_null) {
                 continue; // NULL keys never join in SQL semantics
             }
             build.entry(key).or_default().push(pos);
         }
         for lrow in l.rows() {
-            let key: Vec<Value> = keys.left.iter().map(|&i| lrow.get(i).clone()).collect();
+            let key: Vec<Value> = keys.left.iter().map(|&i| *lrow.get(i)).collect();
             let mut matched = false;
             if !key.iter().any(Value::is_null) {
                 if let Some(candidates) = build.get(&key) {
                     for &pos in candidates {
                         let rrow = &r.rows()[pos];
-                        let combined = lrow.concat(rrow);
+                        // Single-pass concatenation: builds the joined row
+                        // at its final arity (inline when it fits) instead
+                        // of concat's grow-twice path.
+                        let combined = Tuple::from_slices(lrow.values(), rrow.values());
                         let passes = residual_passes(&keys.residual, &combined, &joined_schema)?;
                         if passes {
                             matched = true;
@@ -384,7 +387,7 @@ fn execute_join(
         for lrow in l.rows() {
             let mut matched = false;
             for rrow in r.rows() {
-                let combined = lrow.concat(rrow);
+                let combined = Tuple::from_slices(lrow.values(), rrow.values());
                 let passes = match on {
                     Some(pred) => pred.eval_predicate(&combined, &joined_schema)?,
                     None => true,

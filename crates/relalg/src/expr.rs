@@ -233,9 +233,9 @@ impl Expr {
         match self {
             Expr::Column(name) => {
                 let idx = schema.try_index_of(name)?;
-                Ok(tuple.get(idx).clone())
+                Ok(*tuple.get(idx))
             }
-            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Literal(v) => Ok(*v),
             Expr::Binary { op, left, right } => {
                 let l = left.eval(tuple, schema)?;
                 let r = right.eval(tuple, schema)?;

@@ -1,0 +1,285 @@
+//! A global, thread-safe string interner.
+//!
+//! The scheduler's relations store a handful of distinct short strings —
+//! operation codes (`"r"`, `"w"`, `"c"`, `"a"`), client classes, protocol
+//! names — repeated across millions of rows.  Interning replaces every
+//! stored string with a [`Symbol`]: a `u32` index into an append-only,
+//! process-lifetime arena.  Copying a value is then a register move,
+//! equality is an integer compare, and hashing hashes four bytes.
+//!
+//! The arena leaks by design: symbols are `&'static str` handles, valid for
+//! the life of the process.  The set of distinct strings in this system is
+//! tiny and bounded by the workload vocabulary, so the leak is a few
+//! kilobytes, bought once.
+//!
+//! ## Concurrency
+//!
+//! Interning takes a read lock on the string→id map (the overwhelmingly
+//! common hit path) and upgrades to a write lock only for a never-seen
+//! string.  Resolution ([`Symbol::as_str`]) is lock-free: the id indexes a
+//! two-level table of `OnceLock` slots that are written exactly once, under
+//! the map's write lock, before the id is ever handed out — so any symbol a
+//! thread can legally hold is already resolvable without synchronization
+//! beyond the `OnceLock` acquire loads.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Symbols per second-level chunk.  Chunks are allocated lazily, so the
+/// first-level table stays a few kilobytes of statics while the total
+/// capacity ([`MAX_SYMBOLS`]) is far beyond any realistic vocabulary.
+const CHUNK: usize = 1024;
+/// Number of lazily allocated chunks.
+const CHUNKS: usize = 1024;
+/// Hard capacity of the interner (`CHUNK * CHUNKS`).
+pub const MAX_SYMBOLS: usize = CHUNK * CHUNKS;
+
+/// First level: one `OnceLock` per chunk, initialised to a leaked boxed
+/// array of per-slot `OnceLock`s the first time a symbol lands in the
+/// chunk.
+static RESOLVE: [OnceLock<&'static [OnceLock<&'static str>; CHUNK]>; CHUNKS] =
+    [const { OnceLock::new() }; CHUNKS];
+
+/// The string→id map.  `&'static str` keys point into the leaked arena, so
+/// the map never owns string storage.
+static MAP: OnceLock<RwLock<HashMap<&'static str, u32>>> = OnceLock::new();
+
+fn map() -> &'static RwLock<HashMap<&'static str, u32>> {
+    MAP.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+fn chunk_for(id: u32) -> &'static [OnceLock<&'static str>; CHUNK] {
+    RESOLVE[id as usize / CHUNK]
+        .get_or_init(|| Box::leak(Box::new([const { OnceLock::new() }; CHUNK])))
+}
+
+/// An interned string: a 4-byte handle that resolves, lock-free, to a
+/// `&'static str`.
+///
+/// Two symbols are equal if and only if their strings are equal — the
+/// interner deduplicates, so id equality is string equality.  Ordering
+/// compares the *strings* (not the ids), so sorting symbols matches
+/// sorting the strings they denote.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Intern a string, returning its symbol.  Idempotent: interning the
+    /// same string from any thread yields the same symbol.
+    pub fn intern(s: &str) -> Symbol {
+        // Hit path: a read lock and a hash lookup.
+        if let Some(&id) = map().read().unwrap_or_else(|e| e.into_inner()).get(s) {
+            return Symbol(id);
+        }
+        let mut guard = map().write().unwrap_or_else(|e| e.into_inner());
+        // Double-check: another thread may have interned between the locks.
+        if let Some(&id) = guard.get(s) {
+            return Symbol(id);
+        }
+        let id = guard.len();
+        assert!(id < MAX_SYMBOLS, "string interner capacity exhausted");
+        let stored: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        // Publish the resolution before the id escapes the write lock.
+        let slot = &chunk_for(id as u32)[id % CHUNK];
+        let _ = slot.set(stored);
+        guard.insert(stored, id as u32);
+        Symbol(id as u32)
+    }
+
+    /// Resolve the symbol to its string.  Lock-free.
+    pub fn as_str(self) -> &'static str {
+        self.try_as_str()
+            .expect("symbol id not present in interner (constructed out of band)")
+    }
+
+    /// Resolve the symbol, returning `None` for an id the interner never
+    /// issued (only constructible via [`Symbol::from_raw`]).
+    pub fn try_as_str(self) -> Option<&'static str> {
+        RESOLVE[self.0 as usize / CHUNK]
+            .get()?
+            .get(self.0 as usize % CHUNK)?
+            .get()
+            .copied()
+    }
+
+    /// The raw interner id.  Stable for the life of the process; not
+    /// stable across processes.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a symbol from a raw id previously obtained via
+    /// [`Symbol::id`] in this process.  Resolution panics if the id was
+    /// never issued.
+    pub fn from_raw(id: u32) -> Symbol {
+        Symbol(id)
+    }
+}
+
+/// Number of distinct strings interned so far (diagnostics and tests).
+pub fn interned_count() -> usize {
+    map().read().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::borrow::Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let a = Symbol::intern("intern-test-alpha");
+        let b = Symbol::intern("intern-test-alpha");
+        let c = Symbol::intern("intern-test-beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "intern-test-alpha");
+        assert_eq!(c.as_str(), "intern-test-beta");
+    }
+
+    #[test]
+    fn ordering_follows_strings_not_ids() {
+        // Intern in reverse lexicographic order so id order and string
+        // order disagree.
+        let z = Symbol::intern("intern-ord-z");
+        let a = Symbol::intern("intern-ord-a");
+        assert!(a < z);
+        assert!(z > a);
+    }
+
+    #[test]
+    fn string_comparisons_and_deref() {
+        let s = Symbol::intern("intern-cmp");
+        assert_eq!(s, "intern-cmp");
+        assert_eq!("intern-cmp", s);
+        assert_eq!(s.len(), "intern-cmp".len());
+        assert!(s.starts_with("intern"));
+    }
+
+    #[test]
+    fn raw_ids_round_trip() {
+        let s = Symbol::intern("intern-raw");
+        let back = Symbol::from_raw(s.id());
+        assert_eq!(s, back);
+        assert_eq!(back.as_str(), "intern-raw");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let strings: Vec<String> = (0..64).map(|i| format!("intern-conc-{i}")).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let strings = strings.clone();
+                std::thread::spawn(move || {
+                    strings
+                        .iter()
+                        .map(|s| Symbol::intern(s))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for syms in &results[1..] {
+            assert_eq!(syms, &results[0]);
+        }
+        for (s, sym) in strings.iter().zip(&results[0]) {
+            assert_eq!(sym.as_str(), s.as_str());
+        }
+    }
+}

@@ -60,6 +60,7 @@ pub mod catalog;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod intern;
 pub mod optimizer;
 pub mod plan;
 pub mod schema;
@@ -72,6 +73,7 @@ pub use catalog::Catalog;
 pub use error::{RelError, RelResult};
 pub use exec::execute;
 pub use expr::Expr;
+pub use intern::Symbol;
 pub use plan::{JoinKind, Plan, SortKey, SortOrder};
 pub use schema::{DataType, Field, Schema};
 pub use table::Table;
@@ -85,6 +87,7 @@ pub mod prelude {
     pub use crate::error::{RelError, RelResult};
     pub use crate::exec::execute;
     pub use crate::expr::{AggFunc, BinOp, Expr};
+    pub use crate::intern::Symbol;
     pub use crate::optimizer::optimize;
     pub use crate::plan::{JoinKind, Plan, SortKey, SortOrder};
     pub use crate::schema::{DataType, Field, Schema};

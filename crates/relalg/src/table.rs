@@ -125,7 +125,7 @@ impl Table {
         let pos = self.rows.len();
         if !self.indexes.is_empty() {
             for (&col, index) in Arc::make_mut(&mut self.indexes).iter_mut() {
-                index.entry(tuple.get(col).clone()).or_default().push(pos);
+                index.entry(*tuple.get(col)).or_default().push(pos);
             }
         }
         Arc::make_mut(&mut self.rows).push(tuple);
@@ -153,7 +153,7 @@ impl Table {
         let col = self.schema.try_index_of(column)?;
         let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
         for (pos, row) in self.rows.iter().enumerate() {
-            index.entry(row.get(col).clone()).or_default().push(pos);
+            index.entry(*row.get(col)).or_default().push(pos);
         }
         Arc::make_mut(&mut self.indexes).insert(col, index);
         Ok(())
@@ -201,7 +201,7 @@ impl Table {
             for col in columns {
                 let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
                 for (pos, row) in self.rows.iter().enumerate() {
-                    index.entry(row.get(col).clone()).or_default().push(pos);
+                    index.entry(*row.get(col)).or_default().push(pos);
                 }
                 Arc::make_mut(&mut self.indexes).insert(col, index);
             }

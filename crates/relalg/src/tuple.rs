@@ -1,29 +1,109 @@
 //! Tuples (rows) of a relation.
+//!
+//! Rows in this system are small — the request and history relations are
+//! arity 5, the SLA relation arity 5, and the widest algebra intermediate
+//! (a self-join of two arity-5 relations) is arity 10.  [`Tuple`] therefore
+//! stores up to [`Tuple::INLINE`] values inline in the struct itself; only
+//! wider rows (join intermediates) spill to a heap `Vec`.  Combined with
+//! [`Value`] being `Copy`, building or cloning a stored row performs zero
+//! heap allocations.
 
 use crate::value::Value;
 use std::fmt;
 
 /// A row of a relation: an ordered list of values whose positions correspond
 /// to the columns of the owning [`crate::schema::Schema`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Tuple {
-    values: Vec<Value>,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Up to [`Tuple::INLINE`] values stored in place; `len` is the arity.
+    Inline {
+        len: u8,
+        vals: [Value; Tuple::INLINE],
+    },
+    /// Wider rows (join intermediates) spill to the heap.
+    Heap(Vec<Value>),
 }
 
 impl Tuple {
+    /// Maximum arity stored inline (without a heap allocation).
+    pub const INLINE: usize = 8;
+
     /// Create a tuple from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values }
+        if values.len() <= Self::INLINE {
+            Self::from_slice(&values)
+        } else {
+            Tuple {
+                repr: Repr::Heap(values),
+            }
+        }
+    }
+
+    /// Create a tuple by copying a slice of values — no intermediate `Vec`
+    /// for rows of arity ≤ [`Tuple::INLINE`].
+    pub fn from_slice(values: &[Value]) -> Self {
+        if values.len() <= Self::INLINE {
+            let mut vals = [Value::Null; Self::INLINE];
+            vals[..values.len()].copy_from_slice(values);
+            Tuple {
+                repr: Repr::Inline {
+                    len: values.len() as u8,
+                    vals,
+                },
+            }
+        } else {
+            Tuple {
+                repr: Repr::Heap(values.to_vec()),
+            }
+        }
+    }
+
+    /// Build the concatenation of two slices directly — the join path's
+    /// row constructor, replacing the former copy-into-`Vec`-then-copy
+    /// `concat` double pass.
+    pub fn from_slices(left: &[Value], right: &[Value]) -> Self {
+        let arity = left.len() + right.len();
+        if arity <= Self::INLINE {
+            let mut vals = [Value::Null; Self::INLINE];
+            vals[..left.len()].copy_from_slice(left);
+            vals[left.len()..arity].copy_from_slice(right);
+            Tuple {
+                repr: Repr::Inline {
+                    len: arity as u8,
+                    vals,
+                },
+            }
+        } else {
+            let mut values = Vec::with_capacity(arity);
+            values.extend_from_slice(left);
+            values.extend_from_slice(right);
+            Tuple {
+                repr: Repr::Heap(values),
+            }
+        }
     }
 
     /// The empty tuple.
     pub fn empty() -> Self {
-        Tuple { values: Vec::new() }
+        Tuple {
+            repr: Repr::Inline {
+                len: 0,
+                vals: [Value::Null; Self::INLINE],
+            },
+        }
     }
 
     /// Number of values.
     pub fn arity(&self) -> usize {
-        self.values.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// Borrow the value at position `idx`.
@@ -33,52 +113,109 @@ impl Tuple {
     /// indexes through the schema before evaluation, so an out-of-bounds
     /// access is a programming error.
     pub fn get(&self, idx: usize) -> &Value {
-        &self.values[idx]
+        &self.values()[idx]
     }
 
     /// Borrow the value at position `idx`, if in range.
     pub fn try_get(&self, idx: usize) -> Option<&Value> {
-        self.values.get(idx)
+        self.values().get(idx)
     }
 
     /// All values in order.
     pub fn values(&self) -> &[Value] {
-        &self.values
+        match &self.repr {
+            Repr::Inline { len, vals } => &vals[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// Consume the tuple and return its values.
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        match self.repr {
+            Repr::Inline { len, vals } => vals[..len as usize].to_vec(),
+            Repr::Heap(v) => v,
+        }
     }
 
     /// Concatenate with another tuple (used by joins).
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut values = Vec::with_capacity(self.arity() + other.arity());
-        values.extend_from_slice(&self.values);
-        values.extend_from_slice(&other.values);
-        Tuple::new(values)
+        Tuple::from_slices(self.values(), other.values())
     }
 
     /// Concatenate with `arity` NULL values (used by outer joins for the
     /// unmatched side, exactly as the paper's SS2PL query relies on to detect
     /// transactions without a commit/abort record).
     pub fn concat_nulls(&self, arity: usize) -> Tuple {
-        let mut values = Vec::with_capacity(self.arity() + arity);
-        values.extend_from_slice(&self.values);
-        values.extend(std::iter::repeat_n(Value::Null, arity));
-        Tuple::new(values)
+        let own = self.values();
+        let total = own.len() + arity;
+        if total <= Self::INLINE {
+            // Spare slots are already NULL.
+            let mut vals = [Value::Null; Self::INLINE];
+            vals[..own.len()].copy_from_slice(own);
+            Tuple {
+                repr: Repr::Inline {
+                    len: total as u8,
+                    vals,
+                },
+            }
+        } else {
+            let mut values = Vec::with_capacity(total);
+            values.extend_from_slice(own);
+            values.extend(std::iter::repeat_n(Value::Null, arity));
+            Tuple {
+                repr: Repr::Heap(values),
+            }
+        }
     }
 
     /// Build a new tuple containing the values at the given positions.
     pub fn project(&self, indices: &[usize]) -> Tuple {
-        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+        let own = self.values();
+        if indices.len() <= Self::INLINE {
+            let mut vals = [Value::Null; Self::INLINE];
+            for (slot, &i) in vals.iter_mut().zip(indices) {
+                *slot = own[i];
+            }
+            Tuple {
+                repr: Repr::Inline {
+                    len: indices.len() as u8,
+                    vals,
+                },
+            }
+        } else {
+            Tuple {
+                repr: Repr::Heap(indices.iter().map(|&i| own[i]).collect()),
+            }
+        }
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.values() == other.values()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the value slice (including its length) so inline and heap
+        // representations of the same row hash identically.
+        self.values().hash(state);
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.values()).finish()
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.values.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -94,12 +231,18 @@ impl From<Vec<Value>> for Tuple {
     }
 }
 
+impl From<&[Value]> for Tuple {
+    fn from(values: &[Value]) -> Self {
+        Tuple::from_slice(values)
+    }
+}
+
 /// Convenience macro for building tuples in tests and examples:
 /// `tuple![1, "w", 42]`.
 #[macro_export]
 macro_rules! tuple {
     ($($v:expr),* $(,)?) => {
-        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+        $crate::tuple::Tuple::from_slice(&[$($crate::value::Value::from($v)),*])
     };
 }
 
@@ -128,6 +271,33 @@ mod tests {
         assert_eq!(padded.arity(), 4);
         assert!(padded.get(2).is_null());
         assert!(padded.get(3).is_null());
+    }
+
+    #[test]
+    fn wide_rows_spill_to_the_heap_transparently() {
+        let vals: Vec<Value> = (0..12).map(Value::from).collect();
+        let wide = Tuple::new(vals.clone());
+        assert_eq!(wide.arity(), 12);
+        assert_eq!(wide.values(), &vals[..]);
+        // Equality and hashing are representation-independent.
+        let a = Tuple::from_slices(&vals[..6], &vals[6..]);
+        assert_eq!(a, wide);
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(wide.clone());
+        assert!(set.contains(&a));
+        // Inline/heap boundary round-trips.
+        let eight = Tuple::new(vals[..8].to_vec());
+        assert_eq!(eight.arity(), 8);
+        assert_eq!(eight.into_values(), vals[..8].to_vec());
+    }
+
+    #[test]
+    fn from_slices_matches_concat() {
+        let a = tuple![1, 2, 3, 4, 5];
+        let b = tuple![6, 7, 8, 9, 10];
+        assert_eq!(Tuple::from_slices(a.values(), b.values()), a.concat(&b));
+        assert_eq!(a.concat(&b).arity(), 10);
     }
 
     #[test]

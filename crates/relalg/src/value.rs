@@ -1,8 +1,8 @@
 //! Dynamically typed scalar values stored in tuples.
 
+use crate::intern::Symbol;
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
 
 /// A scalar value in a relation.
 ///
@@ -11,9 +11,14 @@ use std::sync::Arc;
 /// need integers and short strings; SLA metadata adds floats and booleans.
 /// `Null` exists because outer joins (used by the paper's SS2PL query to find
 /// unfinished transactions) produce unmatched sides.
-#[derive(Debug, Clone)]
+///
+/// Every variant is `Copy`: strings are carried as interned [`Symbol`]s
+/// (see [`crate::intern`]), so copying a value — and therefore a whole row —
+/// never touches the heap or an atomic reference count.
+#[derive(Debug, Clone, Copy, Default)]
 pub enum Value {
     /// SQL NULL / absent value.
+    #[default]
     Null,
     /// 64-bit signed integer.
     Int(i64),
@@ -21,14 +26,20 @@ pub enum Value {
     Float(f64),
     /// Boolean.
     Bool(bool),
-    /// Interned string (cheap to clone; operation codes and client classes).
-    Str(Arc<str>),
+    /// Interned string (operation codes and client classes).
+    Str(Symbol),
 }
 
 impl Value {
-    /// Construct a string value from anything string-like.
-    pub fn str(s: impl Into<Arc<str>>) -> Self {
-        Value::Str(s.into())
+    /// Construct a string value from anything string-like, interning it.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Symbol::intern(s.as_ref()))
+    }
+
+    /// Construct a string value from an already interned symbol (free —
+    /// no map lookup).
+    pub fn symbol(s: Symbol) -> Self {
+        Value::Str(s)
     }
 
     /// Returns `true` if this value is [`Value::Null`].
@@ -66,7 +77,15 @@ impl Value {
     /// Interpret the value as a string slice if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The interned symbol if this is a string value.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Str(s) => Some(*s),
             _ => None,
         }
     }
@@ -93,7 +112,8 @@ impl Value {
             (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
             (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
-            (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            // Symbol equality is id equality; only unequal symbols resolve.
+            (Str(a), Str(b)) => Some(a.cmp(b)),
             _ => None,
         }
     }
@@ -119,7 +139,7 @@ impl Value {
             (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
             (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
             (Bool(a), Bool(b)) => a.cmp(b),
-            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Str(a), Str(b)) => a.cmp(b),
             _ => rank(self).cmp(&rank(other)),
         }
     }
@@ -157,9 +177,11 @@ impl std::hash::Hash for Value {
                 3u8.hash(state);
                 f.to_bits().hash(state);
             }
+            // The interner deduplicates, so symbol-id equality is string
+            // equality and hashing the 4-byte id is consistent with `Eq`.
             Value::Str(s) => {
                 4u8.hash(state);
-                s.hash(state);
+                s.id().hash(state);
             }
         }
     }
@@ -221,7 +243,13 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v.into())
+        Value::str(&v)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(v: Symbol) -> Self {
+        Value::Str(v)
     }
 }
 
@@ -263,6 +291,15 @@ mod tests {
         assert!(vals[0].is_null());
         // Strings last under the type rank order.
         assert_eq!(vals.last().unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic_despite_interning() {
+        // Intern out of order so symbol ids disagree with string order.
+        let z = Value::str("value-ord-zz");
+        let a = Value::str("value-ord-aa");
+        assert_eq!(a.sql_cmp(&z), Some(Ordering::Less));
+        assert_eq!(z.total_cmp(&a), Ordering::Greater);
     }
 
     #[test]

@@ -172,7 +172,7 @@ impl Compiler {
                 "intra" => Term::var("Intra"),
                 "op" => Term::var("Op"),
                 "obj" => Term::var("Obj"),
-                other => Term::Const(Value::str(other.to_string())),
+                other => Term::Const(Value::str(other)),
             },
             other => self.plain_term(other),
         }

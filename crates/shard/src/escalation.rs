@@ -453,7 +453,7 @@ fn run_escalation(
                 .iter()
                 .zip(assigned)
                 .filter(|(r, a)| r.op.is_data() && **a == Some(shard))
-                .map(|(r, _)| r.clone())
+                .map(|(r, _)| *r)
                 .collect();
             let (vote_tx, vote_rx) = bounded(1);
             if workers[shard]
@@ -572,7 +572,7 @@ fn run_escalation(
                         matches!(r.op, Operation::Commit | Operation::Abort)
                     }
                 })
-                .map(|(r, _)| r.clone())
+                .map(|(r, _)| *r)
                 .collect();
             if sub_batch.is_empty() {
                 let _ = workers[shard].send(ShardMessage::Release2pc { job_id });
@@ -656,7 +656,7 @@ fn qualify_union(
 ) -> SchedResult<HashSet<RequestKey>> {
     let mut pending = Table::new("requests", Request::schema());
     for (i, request) in requests.iter().enumerate() {
-        let mut row = request.clone();
+        let mut row = *request;
         row.id = i as u64 + 1;
         pending
             .push(row.to_tuple())

@@ -19,6 +19,7 @@
 //! stripes never contend, and a publish wakes only the ~1/[`STRIPES`]
 //! of waiters sharing its stripe.
 
+use crate::worker::Submission;
 use declsched::{SchedError, SchedResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,13 +30,35 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 /// round-robin across stripes.
 const STRIPES: usize = 32;
 
+/// Spare buffers kept per hub pool.  Steady state needs one bucket array
+/// per concurrently-flushing worker and one batch buffer per in-flight
+/// `Batch` message; beyond a small surplus the extras are just parked
+/// capacity, so anything over the cap is dropped.
+const POOL_CAP: usize = 32;
+
+/// The per-stripe scatter buffer [`CompletionHub::resolve_many`] sorts a
+/// completion batch into before taking any stripe lock.
+type BucketArray = Vec<Vec<(u64, SchedResult<()>)>>;
+
 /// Shared completion state for a whole fleet.
 ///
 /// A completion for a ticket that is never waited on stays in the map
 /// until shutdown — bounded by the number of abandoned tickets, and
 /// reclaimed wholesale when the fleet stops.
+///
+/// The hub also doubles as the fleet's buffer exchange: it is the one
+/// object the router and every worker share, so the `Vec<Submission>`
+/// batch buffers the router flushes travel worker → hub → router in a
+/// cycle ([`CompletionHub::take_batch_buffer`] /
+/// [`CompletionHub::recycle_batch_buffer`]) instead of being allocated
+/// per flush, and `resolve_many`'s stripe scatter buckets are recycled
+/// the same way.
 pub(crate) struct CompletionHub {
     stripes: Vec<Stripe>,
+    /// Spare scatter-bucket arrays for `resolve_many`.
+    bucket_pool: Mutex<Vec<BucketArray>>,
+    /// Spare submission-batch buffers for the router's flush path.
+    batch_pool: Mutex<Vec<Vec<Submission>>>,
 }
 
 struct Stripe {
@@ -60,7 +83,38 @@ impl CompletionHub {
                     cond: Condvar::new(),
                 })
                 .collect(),
+            bucket_pool: Mutex::new(Vec::new()),
+            batch_pool: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Pop a recycled submission-batch buffer (empty, capacity retained),
+    /// or a fresh one if the pool is dry.  The router's flush path uses
+    /// this as the replacement buffer so steady-state flushes allocate
+    /// nothing.
+    pub(crate) fn take_batch_buffer(&self) -> Vec<Submission> {
+        let mut pool = self
+            .batch_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        pool.pop().unwrap_or_default()
+    }
+
+    /// Return a drained submission-batch buffer to the pool (workers call
+    /// this after consuming a `Batch` message).  Buffers beyond
+    /// [`POOL_CAP`] spares are dropped.
+    pub(crate) fn recycle_batch_buffer(&self, mut buffer: Vec<Submission>) {
+        buffer.clear();
+        if buffer.capacity() == 0 {
+            return;
+        }
+        let mut pool = self
+            .batch_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if pool.len() < POOL_CAP {
+            pool.push(buffer);
+        }
     }
 
     fn stripe(&self, token: u64) -> &Stripe {
@@ -86,24 +140,41 @@ impl CompletionHub {
     }
 
     /// Publish a batch of completions with one lock acquisition per
-    /// stripe touched.
+    /// stripe touched.  The stripe scatter buckets are drawn from (and
+    /// returned to) the hub's pool, so a worker's per-round flush
+    /// allocates nothing once the fleet has warmed up.
     pub(crate) fn resolve_many(&self, batch: impl IntoIterator<Item = (u64, SchedResult<()>)>) {
-        let mut buckets: Vec<Vec<(u64, SchedResult<()>)>> = Vec::new();
+        let mut buckets: BucketArray = {
+            let mut pool = self
+                .bucket_pool
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            pool.pop().unwrap_or_default()
+        };
         buckets.resize_with(STRIPES, Vec::new);
         for (token, result) in batch {
             buckets[(token as usize) & (STRIPES - 1)].push((token, result));
         }
-        for (index, bucket) in buckets.into_iter().enumerate() {
+        for (index, bucket) in buckets.iter_mut().enumerate() {
             if bucket.is_empty() {
                 continue;
             }
             let stripe = &self.stripes[index];
             let mut inner = Self::lock(stripe);
-            for (token, result) in bucket {
+            // `drain` (not `into_iter`) keeps each bucket's capacity for
+            // the next flush through the pool.
+            for (token, result) in bucket.drain(..) {
                 inner.results.entry(token).or_insert(result);
             }
             drop(inner);
             stripe.cond.notify_all();
+        }
+        let mut pool = self
+            .bucket_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if pool.len() < POOL_CAP {
+            pool.push(buckets);
         }
     }
 

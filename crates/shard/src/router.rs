@@ -423,12 +423,16 @@ impl RouterCore {
     /// order on the worker's FIFO mailbox equals submission order.  A
     /// failed send drops the batch — every contained reply then resolves
     /// its ticket with a closed-channel error through its drop guard.
+    ///
+    /// The replacement buffer comes from the hub's recycle pool, where
+    /// workers return `Batch` buffers after draining them — so a warmed-up
+    /// fleet flushes without allocating.
     fn flush_locked(&self, shard: usize, buffer: &mut Vec<Submission>) -> SchedResult<()> {
         if buffer.is_empty() {
             return Ok(());
         }
         self.batch_hist.observe(buffer.len() as u64);
-        let batch = std::mem::take(buffer);
+        let batch = std::mem::replace(buffer, self.hub.take_batch_buffer());
         self.workers[shard]
             .send(ShardMessage::Batch(batch))
             .map_err(|_| SchedError::ChannelClosed {

@@ -194,6 +194,9 @@ struct WorkerState {
     /// Completions buffered over the current loop iteration, published to
     /// the hub in one batch.
     completions: Vec<(u64, SchedResult<()>)>,
+    /// Reusable scratch for `submit_transaction`'s duplicate-key check, so
+    /// admission does not allocate a fresh set per transaction.
+    batch_keys: std::collections::HashSet<RequestKey>,
     /// Thread-owned flight recorder (flushes into the run's trace sink
     /// when the worker joins).
     recorder: obs::Recorder,
@@ -234,10 +237,10 @@ impl WorkerState {
         // (ta, intra) — within the batch or against an in-flight ticket —
         // would make both submissions unaccountable, so fail the new
         // transaction outright and leave the scheduler untouched.
-        let mut batch_keys = std::collections::HashSet::with_capacity(requests.len());
+        self.batch_keys.clear();
         for request in &requests {
             let key = request.key();
-            if self.waiting.contains_key(&key) || !batch_keys.insert(key) {
+            if self.waiting.contains_key(&key) || !self.batch_keys.insert(key) {
                 reply.resolve_now(Err(SchedError::Dispatch {
                     message: format!(
                         "duplicate request key T{}[{}] submitted to shard {}",
@@ -406,7 +409,7 @@ impl WorkerState {
                 self.recorder
                     .emit(key.ta, key.intra, obs::EventKind::Executed);
             }
-            self.executed_log.push(request.clone());
+            self.executed_log.push(*request);
         }
         self.scheduler.preload_history(requests)?;
         Ok(())
@@ -456,12 +459,13 @@ impl WorkerState {
             message: format!("chaos: shard worker killed ({what})"),
         };
         match message {
-            ShardMessage::Batch(submissions) => {
-                for submission in submissions {
+            ShardMessage::Batch(mut submissions) => {
+                for submission in submissions.drain(..) {
                     submission
                         .reply
                         .resolve_now(Err(dead("transaction refused")));
                 }
+                self.hub.recycle_batch_buffer(submissions);
             }
             ShardMessage::Prepare { vote, .. } => {
                 let _ = vote.send(PrepareVote::error(dead("prepare refused")));
@@ -489,10 +493,13 @@ impl WorkerState {
             return;
         }
         match message {
-            ShardMessage::Batch(submissions) => {
-                for submission in submissions {
+            ShardMessage::Batch(mut submissions) => {
+                for submission in submissions.drain(..) {
                     self.submit_transaction(submission.requests, submission.reply);
                 }
+                // Hand the emptied buffer back so the router's next flush
+                // reuses it instead of allocating.
+                self.hub.recycle_batch_buffer(submissions);
             }
             ShardMessage::Prepare {
                 job_id,
@@ -613,6 +620,7 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
         homes,
         hub,
         completions: Vec::new(),
+        batch_keys: std::collections::HashSet::new(),
         recorder: sink.recorder(),
         submit_round: HashMap::default(),
         round_no: 0,
@@ -771,7 +779,7 @@ pub(crate) fn run_worker(setup: WorkerSetup) -> ShardReport {
                                 );
                             }
                             last_fresh = sampled;
-                            state.executed_log.push(request.clone());
+                            state.executed_log.push(*request);
                             state.resolve(key, result);
                         }
                         state.round_no += 1;

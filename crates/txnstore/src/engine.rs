@@ -165,9 +165,7 @@ impl Engine {
                 Ok(ExecOutcome::Completed { unblocked })
             }
             StatementKind::Select { key } => self.execute_data(stmt, *key, None),
-            StatementKind::Update { key, value } => {
-                self.execute_data(stmt, *key, Some(value.clone()))
-            }
+            StatementKind::Update { key, value } => self.execute_data(stmt, *key, Some(*value)),
         }
     }
 
@@ -274,7 +272,7 @@ impl Engine {
                 }
                 StatementKind::Update { key, value } => {
                     self.store
-                        .write(su_txn, &stmt.table, Row::new(*key, vec![value.clone()]))?;
+                        .write(su_txn, &stmt.table, Row::new(*key, vec![*value]))?;
                     run.updates += 1;
                     run.statements += 1;
                 }

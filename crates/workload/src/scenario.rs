@@ -936,9 +936,26 @@ impl Scenario for TenantQuota {
 // Registry
 // ---------------------------------------------------------------------------
 
+/// Pre-intern every string literal the generated streams feed into the
+/// scheduler's relations — the table name and the service-class names (the
+/// operation codes are pre-interned by the core crate itself).  Called at
+/// registry construction so the first scheduling round never takes the
+/// interner's write lock on the hot path.
+fn intern_literals() {
+    declsched::Symbol::intern(TABLE);
+    for class in [
+        ClientClass::Premium,
+        ClientClass::Standard,
+        ClientClass::Free,
+    ] {
+        declsched::Symbol::intern(class.as_str());
+    }
+}
+
 /// Every registered scenario, in stable order.  Benchmarks iterate this so
 /// a newly added scenario is picked up everywhere without further wiring.
 pub fn registry() -> Vec<Box<dyn Scenario>> {
+    intern_literals();
     vec![
         Box::new(ZipfHotspot),
         Box::new(ReadMostly),

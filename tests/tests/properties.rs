@@ -189,7 +189,7 @@ proptest! {
         );
         scheduler.preload_history(&history).unwrap();
         for r in &pending {
-            scheduler.submit(r.clone(), 0);
+            scheduler.submit(*r, 0);
         }
         // Transactions that may be holding declarative locks and have not
         // been committed yet (history writers plus scheduled pending ones).

@@ -30,7 +30,7 @@ fn scheduled_mode_keeps_the_server_free_of_lock_activity() {
     );
     let mut dispatcher = Dispatcher::new("bench", 10).unwrap();
     for r in &requests {
-        scheduler.submit(r.clone(), 0);
+        scheduler.submit(*r, 0);
     }
     let mut now = 0;
     let mut committed = std::collections::HashSet::new();
